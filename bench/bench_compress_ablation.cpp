@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Compressor design-space ablations beyond Figure 7's feature bars:
+ * candidate length cap, parameter-slot count, dictionary-entry byte
+ * cost, and dictionary size cap. These quantify the design choices
+ * DESIGN.md calls out (greedy selection with parameterized candidate
+ * unification).
+ */
+
+#include "harness.hpp"
+
+using namespace dise;
+using namespace dise::bench;
+
+int
+main()
+{
+    std::printf("==========================================================\n");
+    std::printf("Compressor ablations (static size, geomean over suite)\n");
+    std::printf("==========================================================\n\n");
+
+    const auto specs = selectedSpecs();
+
+    auto sweep = [&](const std::string &title,
+                     const std::vector<std::pair<std::string,
+                                                 CompressorOptions>>
+                         &configs) {
+        std::printf("-- %s --\n", title.c_str());
+        std::vector<std::string> header = {"bench"};
+        for (const auto &kv : configs)
+            header.push_back(kv.first);
+        TextTable table(header);
+        std::map<std::string, std::vector<double>> g;
+        for (const auto &spec : specs) {
+            const Program &prog = program(spec);
+            std::vector<std::string> row = {spec.name};
+            for (const auto &kv : configs) {
+                const auto result = compressProgram(prog, kv.second);
+                row.push_back(TextTable::num(result.ratioWithDict()));
+                g[kv.first].push_back(result.ratioWithDict());
+            }
+            table.addRow(row);
+        }
+        std::vector<std::string> mean = {"geomean"};
+        for (const auto &kv : configs)
+            mean.push_back(TextTable::num(geomean(g[kv.first])));
+        table.addRow(mean);
+        std::printf("%s\n", table.render().c_str());
+    };
+
+    // Candidate length cap.
+    {
+        std::vector<std::pair<std::string, CompressorOptions>> configs;
+        for (const uint32_t len : {2u, 3u, 4u, 6u, 8u, 12u}) {
+            CompressorOptions opts;
+            opts.maxSeqLen = len;
+            configs.emplace_back("len<=" + std::to_string(len), opts);
+        }
+        sweep("candidate length cap (ratio incl. dictionary)", configs);
+    }
+
+    // Parameter count.
+    {
+        std::vector<std::pair<std::string, CompressorOptions>> configs;
+        for (const uint32_t params : {0u, 1u, 2u, 3u}) {
+            CompressorOptions opts;
+            opts.maxParams = params;
+            opts.compressBranches = params > 0;
+            configs.emplace_back(std::to_string(params) + "param",
+                                 opts);
+        }
+        sweep("parameter slots per dictionary entry", configs);
+    }
+
+    // Dictionary entry cost sensitivity.
+    {
+        std::vector<std::pair<std::string, CompressorOptions>> configs;
+        for (const uint32_t bytes : {4u, 8u, 12u, 16u}) {
+            CompressorOptions opts;
+            opts.dictEntryBytes = bytes;
+            configs.emplace_back(std::to_string(bytes) + "B/entry",
+                                 opts);
+        }
+        sweep("dictionary entry byte cost", configs);
+    }
+
+    // Dictionary size cap (tags available to the aware ACF).
+    {
+        std::vector<std::pair<std::string, CompressorOptions>> configs;
+        for (const uint32_t entries : {16u, 64u, 256u, 2048u}) {
+            CompressorOptions opts;
+            opts.maxDictEntries = entries;
+            configs.emplace_back("<=" + std::to_string(entries), opts);
+        }
+        sweep("dictionary entry cap", configs);
+    }
+    return 0;
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the DISE engine structures
+ * themselves (Section 2.2): pattern-table matching against production
+ * sets of varying size, replacement-table lookup under the different
+ * geometries, instantiation-logic throughput, and end-to-end expansion
+ * of a fetch stream. These measure the *simulator's* hot paths — the
+ * structures every fetched instruction passes through.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "src/acf/mfi.hpp"
+#include "src/assembler/assembler.hpp"
+#include "src/dise/engine.hpp"
+#include "src/dise/parser.hpp"
+#include "src/workloads/workloads.hpp"
+
+namespace {
+
+using namespace dise;
+
+std::shared_ptr<ProductionSet>
+patternsOfSize(unsigned patterns)
+{
+    auto set = std::make_shared<ProductionSet>();
+    ReplacementSeq seq;
+    seq.name = "R";
+    seq.insts.push_back(rTriggerInsn());
+    const SeqId id = set->addSequence(seq);
+    // Distinct patterns: loads with each possible destination register.
+    for (unsigned i = 0; i < patterns; ++i) {
+        PatternSpec pattern;
+        pattern.opclass = OpClass::Load;
+        pattern.rd = static_cast<RegIndex>(i % 30);
+        if (i >= 30)
+            pattern.opcode = Opcode::LDL;
+        set->addPattern(pattern, id);
+    }
+    return set;
+}
+
+void
+BM_PatternMatch(benchmark::State &state)
+{
+    const auto set = patternsOfSize(unsigned(state.range(0)));
+    const DecodedInst ld = decode(makeMemory(Opcode::LDQ, 5, 9, 16));
+    const DecodedInst add = decode(makeOperate(Opcode::ADDQ, 1, 2, 3));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(set->match(ld));
+        benchmark::DoNotOptimize(set->match(add));
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * 2);
+}
+BENCHMARK(BM_PatternMatch)->Arg(2)->Arg(8)->Arg(32);
+
+void
+BM_Instantiate(benchmark::State &state)
+{
+    const ProductionSet set = parseProductions(
+        "P1: class == load -> R1\n"
+        "R1: srl T.RS, #26, $dr1\n"
+        "    cmpeq $dr1, $dr2, $dr1\n"
+        "    beq $dr1, @0x4000f00\n"
+        "    T.INSN\n");
+    const ReplacementSeq &seq = set.sequences().begin()->second;
+    const DecodedInst trigger = decode(makeMemory(Opcode::LDQ, 5, 9, 16));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            instantiateSeq(seq, trigger, 0x4000000));
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            seq.insts.size());
+}
+BENCHMARK(BM_Instantiate);
+
+void
+BM_EngineExpand(benchmark::State &state)
+{
+    // Alternating loads and adds: 50% trigger rate, like MFI on a
+    // memory-heavy stream. Arg selects the RT geometry.
+    DiseConfig config;
+    config.rtEntries = uint32_t(state.range(0));
+    config.rtAssoc = 2;
+    DiseEngine engine(config);
+    const Program dummy = assemble(".text\nmain:\n    nop\n"
+                                   "error:\n    nop\n");
+    MfiOptions mopts;
+    engine.setProductions(std::make_shared<ProductionSet>(
+        makeMfiProductions(dummy, mopts)));
+    const DecodedInst ld = decode(makeMemory(Opcode::LDQ, 5, 9, 16));
+    const DecodedInst add = decode(makeOperate(Opcode::ADDQ, 1, 2, 3));
+    Addr pc = 0x4000000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.expand(ld, pc));
+        benchmark::DoNotOptimize(engine.expand(add, pc + 4));
+        pc += 8;
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * 2);
+}
+BENCHMARK(BM_EngineExpand)->Arg(0)->Arg(64)->Arg(2048);
+
+void
+BM_FunctionalSimThroughput(benchmark::State &state)
+{
+    WorkloadSpec spec = workloadSpec("bzip2");
+    spec.targetDynInsts = 50000;
+    spec.kernelIters = 500;
+    const Program prog = buildWorkload(spec);
+    for (auto _ : state) {
+        ExecCore core(prog);
+        const RunResult result = core.run();
+        benchmark::DoNotOptimize(result.dynInsts);
+        state.SetItemsProcessed(int64_t(result.dynInsts));
+    }
+}
+BENCHMARK(BM_FunctionalSimThroughput)->Unit(benchmark::kMillisecond);
+
+void
+BM_DiseSimThroughput(benchmark::State &state)
+{
+    WorkloadSpec spec = workloadSpec("bzip2");
+    spec.targetDynInsts = 50000;
+    spec.kernelIters = 500;
+    const Program prog = buildWorkload(spec);
+    MfiOptions mopts;
+    auto set =
+        std::make_shared<ProductionSet>(makeMfiProductions(prog, mopts));
+    for (auto _ : state) {
+        DiseController controller;
+        controller.install(set);
+        ExecCore core(prog, &controller);
+        initMfiRegisters(core, prog);
+        const RunResult result = core.run();
+        benchmark::DoNotOptimize(result.dynInsts);
+        state.SetItemsProcessed(int64_t(result.dynInsts));
+    }
+}
+BENCHMARK(BM_DiseSimThroughput)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

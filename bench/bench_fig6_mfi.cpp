@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Figure 6 — memory fault isolation (paper Section 4.1).
+ *
+ * Panel A: execution time normalized to the unprotected run on the
+ *   baseline 4-wide/32KB machine, for the binary-rewriting baseline and
+ *   four DISE design points: DISE4 (rewriting's 4-instruction check,
+ *   free engine), DISE4 with the 1-cycle-stall-per-expansion placement,
+ *   DISE4 with the extra-pipe-stage placement, and DISE3 (the
+ *   3-instruction check only DISE's control-flow model permits).
+ *
+ * Panel B: DISE3 vs rewriting across I-cache sizes (8K/32K/128K/perfect)
+ *   — isolates the static (cache-footprint) cost that only the software
+ *   implementation pays.
+ *
+ * Panel C: DISE3 vs rewriting across machine widths (1/2/4/8) at 32KB —
+ *   wider machines absorb DISE's dynamic cost; rewriting's static cost
+ *   remains.
+ */
+
+#include <cmath>
+
+#include "harness.hpp"
+
+using namespace dise;
+using namespace dise::bench;
+
+int
+main()
+{
+    std::printf("==========================================================\n");
+    std::printf("Figure 6: Memory Fault Isolation (normalized exec time)\n");
+    std::printf("==========================================================\n\n");
+
+    const auto specs = selectedSpecs();
+
+    auto mfiSet = [&](const Program &prog, MfiVariant variant) {
+        MfiOptions opts;
+        opts.variant = variant;
+        return std::make_shared<ProductionSet>(
+            makeMfiProductions(prog, opts));
+    };
+    auto diseCfg = [](DisePlacement placement) {
+        DiseConfig config;
+        config.placement = placement;
+        config.rtEntries = 2048;
+        config.rtAssoc = 2;
+        return config;
+    };
+
+    // ---- Panel A ----
+    {
+        std::printf("-- Panel A: implementations and engine placements "
+                    "(4-wide, 32KB I$); 'sandbox' is the checking-free "
+                    "SFI variant (extension) --\n");
+        TextTable table({"bench", "rewrite", "DISE4", "+stall", "+pipe",
+                         "DISE3", "sandbox", "exp/app-inst"});
+        std::vector<double> gRewrite, gD4, gStall, gPipe, gD3, gSbx;
+        for (const auto &spec : specs) {
+            const Program &prog = program(spec);
+            const PipelineParams machine = baselineMachine();
+            const TimingResult base = runNative(prog, machine);
+            check(base, spec.name + " base");
+
+            const Program rewritten = applyMfiRewriting(prog);
+            const TimingResult rw = runNative(rewritten, machine);
+            check(rw, spec.name + " rewrite");
+
+            const TimingResult d4 =
+                runDise(prog, machine, mfiSet(prog, MfiVariant::Dise4),
+                        diseCfg(DisePlacement::Free), true);
+            const TimingResult stall =
+                runDise(prog, machine, mfiSet(prog, MfiVariant::Dise4),
+                        diseCfg(DisePlacement::Stall), true);
+            const TimingResult pipe =
+                runDise(prog, machine, mfiSet(prog, MfiVariant::Dise4),
+                        diseCfg(DisePlacement::Pipe), true);
+            const TimingResult d3 =
+                runDise(prog, machine, mfiSet(prog, MfiVariant::Dise3),
+                        diseCfg(DisePlacement::Free), true);
+            check(d3, spec.name + " dise3");
+            const TimingResult sbx = runDise(
+                prog, machine, mfiSet(prog, MfiVariant::Sandbox),
+                diseCfg(DisePlacement::Free), true);
+            check(sbx, spec.name + " sandbox");
+
+            const double b = double(base.cycles);
+            const double expRate =
+                double(d3.arch.expansions) / double(d3.arch.appInsts);
+            table.addRow({spec.name, TextTable::num(rw.cycles / b),
+                          TextTable::num(d4.cycles / b),
+                          TextTable::num(stall.cycles / b),
+                          TextTable::num(pipe.cycles / b),
+                          TextTable::num(d3.cycles / b),
+                          TextTable::num(sbx.cycles / b),
+                          TextTable::num(expRate, 2)});
+            gRewrite.push_back(rw.cycles / b);
+            gD4.push_back(d4.cycles / b);
+            gStall.push_back(stall.cycles / b);
+            gPipe.push_back(pipe.cycles / b);
+            gD3.push_back(d3.cycles / b);
+            gSbx.push_back(sbx.cycles / b);
+        }
+        table.addRow({"geomean", TextTable::num(geomean(gRewrite)),
+                      TextTable::num(geomean(gD4)),
+                      TextTable::num(geomean(gStall)),
+                      TextTable::num(geomean(gPipe)),
+                      TextTable::num(geomean(gD3)),
+                      TextTable::num(geomean(gSbx)), ""});
+        std::printf("%s\n", table.render().c_str());
+    }
+
+    // ---- Panel B ----
+    {
+        std::printf("-- Panel B: I-cache size (DISE3 w/ pipe placement "
+                    "vs rewriting; normalized to native @ same cache) --\n");
+        TextTable table({"bench", "rw@8K", "d3@8K", "rw@32K", "d3@32K",
+                         "rw@128K", "d3@128K", "rw@perf", "d3@perf"});
+        for (const auto &spec : specs) {
+            const Program &prog = program(spec);
+            const Program rewritten = applyMfiRewriting(prog);
+            std::vector<std::string> row = {spec.name};
+            for (const uint32_t kb : {8u, 32u, 128u, 0u}) {
+                const PipelineParams machine = baselineMachine(kb);
+                const TimingResult base = runNative(prog, machine);
+                const TimingResult rw = runNative(rewritten, machine);
+                const TimingResult d3 = runDise(
+                    prog, machine, mfiSet(prog, MfiVariant::Dise3),
+                    diseCfg(DisePlacement::Pipe), true);
+                row.push_back(
+                    TextTable::num(double(rw.cycles) / base.cycles));
+                row.push_back(
+                    TextTable::num(double(d3.cycles) / base.cycles));
+            }
+            table.addRow(row);
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+
+    // ---- Panel C ----
+    {
+        std::printf("-- Panel C: machine width @ 32KB I$ (normalized to "
+                    "native @ same width) --\n");
+        TextTable table({"bench", "rw@1w", "d3@1w", "rw@2w", "d3@2w",
+                         "rw@4w", "d3@4w", "rw@8w", "d3@8w"});
+        for (const auto &spec : specs) {
+            const Program &prog = program(spec);
+            const Program rewritten = applyMfiRewriting(prog);
+            std::vector<std::string> row = {spec.name};
+            for (const uint32_t width : {1u, 2u, 4u, 8u}) {
+                const PipelineParams machine = baselineMachine(32, width);
+                const TimingResult base = runNative(prog, machine);
+                const TimingResult rw = runNative(rewritten, machine);
+                const TimingResult d3 = runDise(
+                    prog, machine, mfiSet(prog, MfiVariant::Dise3),
+                    diseCfg(DisePlacement::Pipe), true);
+                row.push_back(
+                    TextTable::num(double(rw.cycles) / base.cycles));
+                row.push_back(
+                    TextTable::num(double(d3.cycles) / base.cycles));
+            }
+            table.addRow(row);
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Shared helpers for the paper-figure benchmark harnesses: cached
+ * workload construction, standard machine configurations, and run
+ * wrappers for the native / DISE / rewriting regimes.
+ *
+ * Environment knobs:
+ *   DISE_BENCH_SCALE  scale every workload's dynamic-instruction target
+ *                     (e.g. 0.25 for a quick pass); default 1.0.
+ *   DISE_BENCH_ONLY   comma-separated benchmark names to run.
+ */
+
+#ifndef DISE_BENCH_HARNESS_HPP
+#define DISE_BENCH_HARNESS_HPP
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/acf/compress.hpp"
+#include "src/acf/mfi.hpp"
+#include "src/acf/rewriter.hpp"
+#include "src/common/table.hpp"
+#include "src/pipeline/pipeline.hpp"
+#include "src/workloads/workloads.hpp"
+
+namespace dise::bench {
+
+/** Benchmarks selected for this run, in suite order. */
+inline std::vector<WorkloadSpec>
+selectedSpecs()
+{
+    double scale = 1.0;
+    if (const char *env = std::getenv("DISE_BENCH_SCALE"))
+        scale = std::atof(env);
+    std::string only;
+    if (const char *env = std::getenv("DISE_BENCH_ONLY"))
+        only = std::string(",") + env + ",";
+    std::vector<WorkloadSpec> specs;
+    for (WorkloadSpec spec : spec2000()) {
+        if (!only.empty() &&
+            only.find("," + spec.name + ",") == std::string::npos) {
+            continue;
+        }
+        if (scale > 0 && scale != 1.0) {
+            spec.targetDynInsts = static_cast<uint64_t>(
+                double(spec.targetDynInsts) * scale);
+            spec.kernelIters = std::max(
+                1u,
+                static_cast<uint32_t>(double(spec.kernelIters) * scale));
+        }
+        specs.push_back(spec);
+    }
+    return specs;
+}
+
+/** Build (and cache) a workload program. */
+inline const Program &
+program(const WorkloadSpec &spec)
+{
+    static std::map<std::string, Program> cache;
+    auto it = cache.find(spec.name);
+    if (it == cache.end())
+        it = cache.emplace(spec.name, buildWorkload(spec)).first;
+    return it->second;
+}
+
+/** Baseline machine of the paper's evaluation. */
+inline PipelineParams
+baselineMachine(uint32_t icacheKB = 32, uint32_t width = 4)
+{
+    PipelineParams params;
+    params.width = width;
+    params.mem.l1iSize = icacheKB * 1024; // 0 = perfect
+    return params;
+}
+
+/** Run a program with no DISE. */
+inline TimingResult
+runNative(const Program &prog, const PipelineParams &params)
+{
+    PipelineSim sim(prog, params);
+    return sim.run();
+}
+
+/** Run a program under DISE with the given productions and config. */
+inline TimingResult
+runDise(const Program &prog, const PipelineParams &params,
+        std::shared_ptr<const ProductionSet> set, const DiseConfig &config,
+        bool mfiRegs = false, const Program *segSource = nullptr)
+{
+    DiseController controller(config);
+    controller.install(std::move(set));
+    PipelineSim sim(prog, params, &controller);
+    if (mfiRegs)
+        initMfiRegisters(sim.core(), segSource ? *segSource : prog);
+    return sim.run();
+}
+
+/** Abort the bench loudly if a run misbehaved. */
+inline void
+check(const TimingResult &result, const std::string &what)
+{
+    if (!result.arch.exited || result.arch.exitCode != 0) {
+        std::fprintf(stderr, "BENCH FAILURE: %s exited=%d code=%d\n",
+                     what.c_str(), result.arch.exited,
+                     result.arch.exitCode);
+        std::exit(1);
+    }
+}
+
+/** Geometric mean helper for summary rows. */
+inline double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log = 0;
+    for (const double v : values)
+        log += std::log(v);
+    return std::exp(log / double(values.size()));
+}
+
+} // namespace dise::bench
+
+#endif // DISE_BENCH_HARNESS_HPP

@@ -1,0 +1,33 @@
+#include "src/acf/assertions.hpp"
+
+#include "src/dise/parser.hpp"
+
+namespace dise {
+
+ProductionSet
+makeWatchpointProductions(const Program &prog,
+                          const WatchpointOptions &opts)
+{
+    const Addr error =
+        opts.errorHandler ? opts.errorHandler : prog.symbol("error");
+    const std::map<std::string, Addr> symbols = {{"error", error}};
+    const std::string dsl =
+        "P1: class == store -> RW\n"
+        "RW: lda $dr4, T.IMM(T.RS)\n"
+        "    cmpeq $dr4, $dr6, $dr4\n"
+        "    dbeq $dr4, +2\n"
+        "    cmpule T.RT, $dr7, $dr4\n"
+        "    beq $dr4, @error\n"
+        "    T.INSN\n";
+    return parseProductions(dsl, symbols);
+}
+
+void
+initWatchpointRegisters(ExecCore &core, Addr watchedAddr,
+                        uint64_t maxValue)
+{
+    core.setDiseReg(6, watchedAddr);
+    core.setDiseReg(7, maxValue);
+}
+
+} // namespace dise

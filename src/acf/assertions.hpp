@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Code assertions — the debugging ACF of paper Section 3.1.
+ *
+ * Debuggers implement data watchpoints and value assertions by
+ * single-stepping, which serializes the pipeline and is extremely slow;
+ * with DISE the assertion is inlined into every store's expansion and
+ * executes at full speed, can be added and removed instantly, and costs
+ * nothing when inactive.
+ *
+ * The watchpoint production guards one memory cell with an upper-bound
+ * value assertion:
+ *
+ *   P: class == store -> RW
+ *   RW: lda $dr4, T.IMM(T.RS)    ; effective address
+ *       cmpeq $dr4, $dr6, $dr4   ; the watched cell? ($dr6 = address)
+ *       dbeq $dr4, +2            ; no: skip straight to the store
+ *       cmpule T.RT, $dr7, $dr4  ; assert value <= bound ($dr7)
+ *       beq $dr4, @error
+ *       T.INSN
+ *
+ * The DISE-internal branch (dbeq) keeps the common case — stores to
+ * anything else — at two extra ALU operations, no application-visible
+ * control flow, and no branch-predictor footprint.
+ *
+ * Dedicated registers: $dr4 scratch, $dr6 watched address, $dr7 bound.
+ */
+
+#ifndef DISE_ACF_ASSERTIONS_HPP
+#define DISE_ACF_ASSERTIONS_HPP
+
+#include "src/assembler/program.hpp"
+#include "src/dise/production.hpp"
+#include "src/sim/core.hpp"
+
+namespace dise {
+
+/** Watchpoint configuration. */
+struct WatchpointOptions
+{
+    /** Absolute address of the violation handler (defaults to the
+     *  program's "error" symbol). */
+    Addr errorHandler = 0;
+};
+
+/** Build the watchpoint production set. */
+ProductionSet makeWatchpointProductions(const Program &prog,
+                                        const WatchpointOptions &opts = {});
+
+/**
+ * Arm the watchpoint: stores to @p watchedAddr must write values
+ * <= @p maxValue or control transfers to the violation handler.
+ */
+void initWatchpointRegisters(ExecCore &core, Addr watchedAddr,
+                             uint64_t maxValue);
+
+} // namespace dise
+
+#endif // DISE_ACF_ASSERTIONS_HPP

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * ACF composition (paper Section 3.3, Figures 5 and 8).
+ *
+ * Composition is performed in software on production sets, never by the
+ * hardware (which refuses recursive expansion).
+ *
+ * Nested composition Y(X(app)) — "X nested within Y" — yields Y's
+ * productions plus X's productions with Y's productions *executed on
+ * their replacement sequences*: every replacement instruction of X that
+ * Y's patterns match is inlined with Y's sequence, directives rewired so
+ * Y's trigger-role references resolve to X's field specifications, and
+ * Y's scratch dedicated registers renamed when they collide with X's.
+ * This is how transparent-within-aware composition (fault isolation of a
+ * decompressed program) is built; such sequences are flagged
+ * composeOnFill because the client performs the inlining in the RT miss
+ * handler (150-cycle fills instead of 30).
+ *
+ * Non-nested (merged) composition concatenates the replacement sequences
+ * of productions with identical patterns, keeping a single trigger
+ * instance — tracing a store AND fault-isolating it without
+ * fault-isolating the tracing stores. As the paper notes, this is only
+ * possible when the sequences have the right shape (each ending in
+ * T.INSN); impossible merges are rejected.
+ */
+
+#ifndef DISE_ACF_COMPOSE_HPP
+#define DISE_ACF_COMPOSE_HPP
+
+#include "src/dise/production.hpp"
+
+namespace dise {
+
+/** Options for nested composition. */
+struct ComposeOptions
+{
+    /**
+     * True when the composition is performed lazily by the RT miss
+     * handler (transparent-within-aware): composed sequences then carry
+     * the 150-cycle composed-fill cost.
+     */
+    bool viaMissHandler = false;
+};
+
+/**
+ * Nested composition: apply @p outer to the replacement sequences of
+ * @p inner and return outer's productions plus the rewritten inner ones
+ * (the stream equals outer(inner(application))).
+ *
+ * Pattern constraints that depend on parameterized (directive) fields of
+ * inner's sequences cannot be evaluated statically; such patterns are
+ * treated as non-matching and a warning is issued.
+ */
+ProductionSet composeNested(const ProductionSet &outer,
+                            const ProductionSet &inner,
+                            const ComposeOptions &opts = {});
+
+/**
+ * Non-nested merge: productions with identical pattern specifications
+ * have their sequences concatenated (first's instructions, then the
+ * second's, one shared trigger instance). Throws FatalError when a
+ * required merge is impossible.
+ */
+ProductionSet composeMerged(const ProductionSet &first,
+                            const ProductionSet &second);
+
+/** Structural equality of pattern specifications. */
+bool samePattern(const PatternSpec &a, const PatternSpec &b);
+
+} // namespace dise
+
+#endif // DISE_ACF_COMPOSE_HPP

@@ -1,0 +1,536 @@
+#include "src/acf/compress.hpp"
+
+#include <algorithm>
+#include <array>
+#include <queue>
+#include <unordered_map>
+
+#include "src/common/bits.hpp"
+#include "src/common/logging.hpp"
+
+namespace dise {
+
+namespace {
+
+/** Parameter slot kinds. */
+enum class SlotKind : uint8_t { None = 0, Reg, Imm };
+
+/** Per-field canonicalization result: slot index or -1 for literal. */
+struct FieldSlots
+{
+    int8_t ra = -1;
+    int8_t rb = -1;
+    int8_t rc = -1;
+    int8_t imm = -1;
+};
+
+/** Canonical form of one candidate occurrence. */
+struct Canon
+{
+    bool ok = false;
+    bool hasBranch = false;
+    uint32_t numParams = 0;
+    std::array<SlotKind, 3> kinds{SlotKind::None, SlotKind::None,
+                                  SlotKind::None};
+    std::array<uint8_t, 3> values{0, 0, 0}; ///< this occurrence's params
+    std::vector<FieldSlots> slots;          ///< per instruction
+    std::string key;
+};
+
+/** Append a value to a key string. */
+void
+keyPut(std::string &key, uint64_t v, unsigned bytes = 8)
+{
+    for (unsigned i = 0; i < bytes; ++i)
+        key.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+/**
+ * Canonicalize the candidate [start, start+len). Deterministic: the same
+ * instruction bytes always produce the same key, slot layout and, for a
+ * given occurrence, the same parameter values.
+ *
+ * @param immParams When false, only registers are abstracted into
+ *        parameter slots. The enumerator tries both variants: abstracting
+ *        small immediates unifies Figure 4-style +8/-8 displacements, but
+ *        wastes slots when the immediates are shared constants (0 bases)
+ *        and the register names are what varies.
+ */
+Canon
+canonicalize(const std::vector<DecodedInst> &insts, uint32_t start,
+             uint32_t len, const CompressorOptions &opts, bool immParams)
+{
+    Canon canon;
+    canon.slots.resize(len);
+
+    // Eligibility and branch detection.
+    for (uint32_t k = 0; k < len; ++k) {
+        const DecodedInst &inst = insts[start + k];
+        switch (inst.cls) {
+          case OpClass::Invalid:
+          case OpClass::Codeword:
+          case OpClass::DiseBranch:
+            return canon;
+          case OpClass::CondBranch:
+          case OpClass::UncondBranch:
+          case OpClass::Call:
+            if (k + 1 != len || !opts.compressBranches)
+                return canon;
+            canon.hasBranch = true;
+            break;
+          case OpClass::Jump:
+          case OpClass::CallIndirect:
+          case OpClass::Return:
+            if (k + 1 != len)
+                return canon;
+            break;
+          default:
+            break;
+        }
+    }
+
+    // Parameter assignment (registers and small immediates), unless the
+    // candidate carries a branch (its offset claims all parameter bits).
+    struct Value
+    {
+        SlotKind kind;
+        uint8_t value;
+        bool operator==(const Value &o) const
+        {
+            return kind == o.kind && value == o.value;
+        }
+    };
+    std::vector<Value> assigned;
+    const bool allowParams = !canon.hasBranch && opts.maxParams > 0;
+    auto trySlot = [&](SlotKind kind, int64_t value) -> int8_t {
+        if (!allowParams)
+            return -1;
+        if (kind == SlotKind::Reg) {
+            if (value == kZeroReg)
+                return -1; // keep the zero register literal
+        } else {
+            if (!immParams)
+                return -1;
+            if (value < -16 || value > 15)
+                return -1; // must fit a sign-extended 5-bit parameter
+        }
+        const Value v{kind, static_cast<uint8_t>(value & 0x1f)};
+        for (size_t i = 0; i < assigned.size(); ++i)
+            if (assigned[i] == v)
+                return static_cast<int8_t>(i);
+        if (assigned.size() >= opts.maxParams)
+            return -1; // out of slots: stays literal
+        assigned.push_back(v);
+        return static_cast<int8_t>(assigned.size() - 1);
+    };
+
+    std::string &key = canon.key;
+    keyPut(key, len, 1);
+    keyPut(key, canon.hasBranch ? 1 : 0, 1);
+    for (uint32_t k = 0; k < len; ++k) {
+        const DecodedInst &inst = insts[start + k];
+        const OpInfo &info = opInfo(inst.op);
+        FieldSlots &fs = canon.slots[k];
+        keyPut(key, static_cast<uint64_t>(inst.op), 1);
+        keyPut(key, inst.useLit ? 1 : 0, 1);
+
+        // Fixed-width field encodings keep the key unambiguous.
+        auto regField = [&](RegIndex r, int8_t &slot) {
+            slot = trySlot(SlotKind::Reg, r);
+            if (slot >= 0)
+                keyPut(key, 0x8000u + static_cast<unsigned>(slot), 2);
+            else
+                keyPut(key, r, 2);
+        };
+        auto immField = [&](int64_t imm, int8_t &slot, bool eligible) {
+            slot = eligible ? trySlot(SlotKind::Imm, imm) : int8_t(-1);
+            if (slot >= 0) {
+                keyPut(key, 0x8000u + static_cast<unsigned>(slot), 2);
+                keyPut(key, 0, 8);
+            } else {
+                keyPut(key, 0, 2);
+                keyPut(key, static_cast<uint64_t>(imm), 8);
+            }
+        };
+
+        switch (info.format) {
+          case InstFormat::Nop:
+          case InstFormat::Syscall:
+            break;
+          case InstFormat::Memory:
+            regField(inst.ra, fs.ra);
+            regField(inst.rb, fs.rb);
+            immField(inst.imm, fs.imm, true);
+            break;
+          case InstFormat::Branch:
+            regField(inst.ra, fs.ra);
+            // The displacement is the ParamImm parameter, excluded from
+            // the key so instances with different offsets unify.
+            break;
+          case InstFormat::Jump:
+            regField(inst.ra, fs.ra);
+            regField(inst.rb, fs.rb);
+            break;
+          case InstFormat::Operate:
+            regField(inst.ra, fs.ra);
+            if (inst.useLit) {
+                immField(inst.imm, fs.imm,
+                         inst.imm >= 0 && inst.imm <= 15);
+            } else {
+                regField(inst.rb, fs.rb);
+            }
+            regField(inst.rc, fs.rc);
+            break;
+          case InstFormat::Codeword:
+            return canon; // unreachable (filtered above)
+        }
+    }
+
+    canon.numParams = static_cast<uint32_t>(assigned.size());
+    for (size_t i = 0; i < assigned.size(); ++i)
+        canon.values[i] = assigned[i].value;
+    canon.ok = true;
+    return canon;
+}
+
+/** A dictionary candidate: one canonical key with all its occurrences. */
+struct Candidate
+{
+    uint32_t len = 0;
+    bool hasBranch = false;
+    bool immParams = false;
+    uint32_t numParams = 0;
+    std::vector<uint32_t> starts;
+    std::vector<std::array<uint8_t, 3>> paramVals;
+
+    int64_t
+    benefit(uint64_t validOccurrences,
+            const CompressorOptions &opts) const
+    {
+        const int64_t perOcc =
+            int64_t(len) * 4 - int64_t(opts.codewordBytes);
+        const int64_t dictCost = int64_t(len) * opts.dictEntryBytes;
+        return int64_t(validOccurrences) * perOcc - dictCost;
+    }
+};
+
+} // namespace
+
+CompressorOptions
+dedicatedDecompressorOptions()
+{
+    CompressorOptions opts;
+    opts.maxParams = 0;
+    opts.compressBranches = false;
+    opts.allowSingleInst = true;
+    opts.codewordBytes = 2;
+    opts.dictEntryBytes = 4;
+    return opts;
+}
+
+CompressionResult
+compressProgram(const Program &prog, const CompressorOptions &opts)
+{
+    DISE_ASSERT(opts.maxParams <= 3, "at most 3 parameter slots");
+    DISE_ASSERT(opts.maxDictEntries <= kMaxCodewordTag + 1,
+                "dictionary exceeds the 11-bit tag space");
+
+    const size_t n = prog.text.size();
+    std::vector<DecodedInst> insts;
+    insts.reserve(n);
+    for (const Word w : prog.text)
+        insts.push_back(decode(w));
+    const BasicBlocks bb = analyzeBasicBlocks(prog);
+
+    // ---- Candidate enumeration. ----
+    std::vector<Candidate> cands;
+    std::unordered_map<std::string, uint32_t> keyIndex;
+    const uint32_t minLen = opts.allowSingleInst && opts.codewordBytes < 4
+                                ? 1
+                                : 2;
+    for (const auto &[first, last] : bb.blocks) {
+        for (uint32_t i = first; i < last; ++i) {
+            const uint32_t maxLen =
+                std::min(opts.maxSeqLen, last - i);
+            for (uint32_t len = minLen; len <= maxLen; ++len) {
+                std::string firstKey;
+                for (const bool immParams : {true, false}) {
+                    const Canon canon =
+                        canonicalize(insts, i, len, opts, immParams);
+                    if (!canon.ok)
+                        continue;
+                    if (immParams) {
+                        firstKey = canon.key;
+                    } else if (canon.key == firstKey) {
+                        continue; // variants coincide; count once
+                    }
+                    auto [it, fresh] = keyIndex.try_emplace(
+                        canon.key, static_cast<uint32_t>(cands.size()));
+                    if (fresh) {
+                        Candidate cand;
+                        cand.len = len;
+                        cand.hasBranch = canon.hasBranch;
+                        cand.immParams = immParams;
+                        cand.numParams = canon.numParams;
+                        cands.push_back(std::move(cand));
+                    }
+                    Candidate &cand = cands[it->second];
+                    cand.starts.push_back(i);
+                    cand.paramVals.push_back(canon.values);
+                }
+            }
+        }
+    }
+
+    // ---- Greedy selection with lazy re-evaluation. ----
+    std::vector<bool> covered(n, false);
+    auto validOccurrences = [&](const Candidate &cand) {
+        // Non-overlapping, left-to-right; starts are already sorted.
+        std::vector<uint32_t> accepted;
+        uint32_t nextFree = 0;
+        for (size_t oi = 0; oi < cand.starts.size(); ++oi) {
+            const uint32_t s = cand.starts[oi];
+            if (s < nextFree)
+                continue;
+            bool clean = true;
+            for (uint32_t k = 0; k < cand.len && clean; ++k)
+                clean = !covered[s + k];
+            if (!clean)
+                continue;
+            accepted.push_back(static_cast<uint32_t>(oi));
+            nextFree = s + cand.len;
+        }
+        return accepted;
+    };
+
+    using QEntry = std::pair<int64_t, uint32_t>; // (benefit, candidate)
+    std::priority_queue<QEntry> queue;
+    for (uint32_t ci = 0; ci < cands.size(); ++ci) {
+        const int64_t b = cands[ci].benefit(cands[ci].starts.size(), opts);
+        if (b > 0)
+            queue.emplace(b, ci);
+    }
+
+    struct Chosen
+    {
+        uint32_t candIdx;
+        uint16_t tag;
+        std::vector<uint32_t> occIdx; ///< indices into cand.starts
+    };
+    std::vector<Chosen> chosen;
+    /** Per accepted start word: owning chosen index and parameters. */
+    std::vector<int32_t> startOwner(n, -1);
+    std::vector<std::array<uint8_t, 3>> startParams(
+        n, std::array<uint8_t, 3>{0, 0, 0});
+
+    while (!queue.empty() && chosen.size() < opts.maxDictEntries) {
+        const auto [claimed, ci] = queue.top();
+        queue.pop();
+        Candidate &cand = cands[ci];
+        const auto accepted = validOccurrences(cand);
+        const int64_t actual = cand.benefit(accepted.size(), opts);
+        if (actual <= 0)
+            continue;
+        if (actual < claimed) {
+            queue.emplace(actual, ci); // stale estimate; retry later
+            continue;
+        }
+        Chosen ch;
+        ch.candIdx = ci;
+        ch.tag = static_cast<uint16_t>(chosen.size());
+        ch.occIdx = accepted;
+        for (const uint32_t oi : accepted) {
+            const uint32_t s = cand.starts[oi];
+            startOwner[s] = static_cast<int32_t>(chosen.size());
+            startParams[s] = cand.paramVals[oi];
+            for (uint32_t k = 0; k < cand.len; ++k)
+                covered[s + k] = true;
+        }
+        chosen.push_back(std::move(ch));
+    }
+
+    // ---- Layout. ----
+    std::vector<uint32_t> newIndex(n + 1, 0);
+    const std::vector<int32_t> &occAtStart = startOwner;
+    {
+        uint32_t cursor = 0;
+        uint32_t i = 0;
+        while (i < n) {
+            if (occAtStart[i] >= 0) {
+                const Candidate &cand =
+                    cands[chosen[occAtStart[i]].candIdx];
+                for (uint32_t k = 0; k < cand.len; ++k)
+                    newIndex[i + k] = cursor;
+                ++cursor;
+                i += cand.len;
+            } else {
+                newIndex[i] = cursor;
+                ++cursor;
+                ++i;
+            }
+        }
+        newIndex[n] = cursor;
+    }
+    auto mapAddr = [&](Addr oldAddr) -> Addr {
+        if (!prog.inText(oldAddr))
+            return oldAddr;
+        return prog.textBase + Addr(newIndex[(oldAddr - prog.textBase) /
+                                             4]) *
+                                   4;
+    };
+
+    // ---- Emission. ----
+    CompressionResult result;
+    result.originalTextBytes = prog.textBytes();
+    Program &out = result.compressed;
+    out.textBase = prog.textBase;
+    out.dataBase = prog.dataBase;
+    out.data = prog.data;
+    out.stackTop = prog.stackTop;
+    out.entry = mapAddr(prog.entry);
+    for (const auto &kv : prog.symbols)
+        out.symbols[kv.first] = mapAddr(kv.second);
+
+    uint64_t residualInsts = 0;
+    uint32_t i = 0;
+    while (i < n) {
+        const Addr newPC = prog.textBase + out.text.size() * 4;
+        if (occAtStart[i] >= 0) {
+            const Chosen &ch = chosen[occAtStart[i]];
+            const Candidate &cand = cands[ch.candIdx];
+            Word cw;
+            if (cand.hasBranch) {
+                const DecodedInst &branch = insts[i + cand.len - 1];
+                // The branch's own (old) PC, not the candidate start.
+                const Addr oldPC =
+                    prog.textBase + Addr(i + cand.len - 1) * 4;
+                const Addr target = branch.branchTarget(oldPC);
+                // The expanded branch executes at the codeword's PC.
+                const int64_t disp =
+                    (static_cast<int64_t>(mapAddr(target)) -
+                     static_cast<int64_t>(newPC) - 4) /
+                    4;
+                DISE_ASSERT(fitsSigned(disp, 15),
+                            "branch offset parameter overflow");
+                cw = makeCodewordImm(opts.reservedOp, ch.tag, disp);
+            } else {
+                // Parameter values of THIS occurrence.
+                const auto &vals = startParams[i];
+                cw = makeCodeword(opts.reservedOp, ch.tag, vals[0],
+                                  vals[1], vals[2]);
+            }
+            out.text.push_back(cw);
+            ++result.codewords;
+            result.instsCompressedOut += cand.len - 1;
+            i += cand.len;
+        } else {
+            DecodedInst inst = insts[i];
+            if (inst.cls == OpClass::CondBranch ||
+                inst.cls == OpClass::UncondBranch ||
+                inst.cls == OpClass::Call) {
+                const Addr oldPC = prog.textBase + Addr(i) * 4;
+                const Addr target = inst.branchTarget(oldPC);
+                inst.imm = (static_cast<int64_t>(mapAddr(target)) -
+                            static_cast<int64_t>(newPC) - 4) /
+                           4;
+            }
+            out.text.push_back(encode(inst));
+            ++residualInsts;
+            ++i;
+        }
+    }
+
+    result.compressedTextBytes =
+        residualInsts * 4 + result.codewords * opts.codewordBytes;
+    result.dictEntries = static_cast<uint32_t>(chosen.size());
+
+    // ---- Dictionary productions. ----
+    auto dict = std::make_shared<ProductionSet>();
+    for (const Chosen &ch : chosen) {
+        const Candidate &cand = cands[ch.candIdx];
+        const uint32_t firstStart = cand.starts[ch.occIdx.front()];
+        const Canon canon = canonicalize(insts, firstStart, cand.len,
+                                         opts, cand.immParams);
+        DISE_ASSERT(canon.ok, "chosen candidate no longer canonicalizes");
+
+        ReplacementSeq seq;
+        seq.name = strFormat("D%u", unsigned(ch.tag));
+        for (uint32_t k = 0; k < cand.len; ++k) {
+            ReplacementInst rinst;
+            rinst.templ = insts[firstStart + k];
+            rinst.templ.raw = 0;
+            const FieldSlots &fs = canon.slots[k];
+            auto regDir = [](int8_t slot) {
+                switch (slot) {
+                  case 0: return RegDirective::Param1;
+                  case 1: return RegDirective::Param2;
+                  case 2: return RegDirective::Param3;
+                  default: return RegDirective::Literal;
+                }
+            };
+            auto immDir = [](int8_t slot) {
+                switch (slot) {
+                  case 0: return ImmDirective::Param1;
+                  case 1: return ImmDirective::Param2;
+                  case 2: return ImmDirective::Param3;
+                  default: return ImmDirective::Literal;
+                }
+            };
+            rinst.raDir = regDir(fs.ra);
+            rinst.rbDir = regDir(fs.rb);
+            rinst.rcDir = regDir(fs.rc);
+            rinst.immDir = immDir(fs.imm);
+            if (cand.hasBranch && k + 1 == cand.len)
+                rinst.immDir = ImmDirective::ParamImm;
+            seq.insts.push_back(rinst);
+        }
+        result.dictionaryBytes +=
+            uint64_t(cand.len) * opts.dictEntryBytes;
+        dict->addSequenceWithId(ch.tag, std::move(seq));
+    }
+    if (!chosen.empty()) {
+        PatternSpec pattern;
+        pattern.opcode = opts.reservedOp;
+        dict->addTagPattern(pattern, 0);
+    }
+    result.dictionary = std::move(dict);
+
+    // ---- Verification: every codeword must expand back to its original
+    // instructions (branch displacements checked in the new layout). ----
+    for (uint32_t s = 0; s < n; ++s) {
+        if (occAtStart[s] < 0)
+            continue;
+        const Chosen &ch = chosen[occAtStart[s]];
+        const Candidate &cand = cands[ch.candIdx];
+        const Addr newPC =
+            prog.textBase + Addr(newIndex[s]) * 4;
+        const DecodedInst trigger =
+            decode(out.text[newIndex[s]]);
+        const ReplacementSeq *seq =
+            result.dictionary->sequence(ch.tag);
+        DISE_ASSERT(seq != nullptr, "missing dictionary sequence");
+        const auto expanded = instantiateSeq(*seq, trigger, newPC);
+        for (uint32_t k = 0; k < cand.len; ++k) {
+            DecodedInst expect = insts[s + k];
+            if (cand.hasBranch && k + 1 == cand.len) {
+                const Addr oldPC = prog.textBase + Addr(s + k) * 4;
+                const Addr target = expect.branchTarget(oldPC);
+                expect.imm = (static_cast<int64_t>(mapAddr(target)) -
+                              static_cast<int64_t>(newPC) - 4) /
+                             4;
+            }
+            expect.raw = 0;
+            DecodedInst got = expanded[k];
+            got.raw = 0;
+            got.tag = 0;
+            expect.tag = 0;
+            DISE_ASSERT(got == expect,
+                        strFormat("decompression mismatch at word %u "
+                                  "slot %u", s, k));
+        }
+    }
+
+    return result;
+}
+
+} // namespace dise

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Dynamic code (de)compression — the paper's aware ACF example
+ * (Section 3.2, Figures 4 and 7).
+ *
+ * A greedy compressor builds a dictionary of frequently occurring
+ * instruction sequences (candidates of any size that do not straddle
+ * basic blocks), iteratively choosing the sequence with the greatest
+ * immediate compression — static occurrences weighed against the cost of
+ * coding the dictionary entry. Chosen occurrences in the text are
+ * replaced by DISE codewords: one reserved opcode, an 11-bit replacement
+ * sequence tag, and 15 bits of parameters (three 5-bit register /
+ * sign-extended-immediate parameters, or one 15-bit PC-relative branch
+ * offset parameter).
+ *
+ * Parameterization lets sequences that differ only in register names or
+ * small immediates share a dictionary entry, and makes PC-relative
+ * branches compressible at all: compression itself changes relative PCs,
+ * so two branches that shared an entry before compression may not after;
+ * carrying the offset as a per-codeword parameter sidesteps the
+ * stable-dictionary problem entirely.
+ *
+ * The same machinery, configured via CompressorOptions, models the
+ * dedicated decoder-based decompressor baseline (2-byte codewords,
+ * single-instruction compression, unparameterized 4-byte dictionary
+ * entries) and every intermediate design point of Figure 7's ablation.
+ */
+
+#ifndef DISE_ACF_COMPRESS_HPP
+#define DISE_ACF_COMPRESS_HPP
+
+#include <memory>
+
+#include "src/assembler/program.hpp"
+#include "src/dise/production.hpp"
+
+namespace dise {
+
+/** Compressor configuration. */
+struct CompressorOptions
+{
+    /** Longest candidate sequence, in instructions. */
+    uint32_t maxSeqLen = 6;
+    /** Parameter slots per dictionary entry (0 = unparameterized). */
+    uint32_t maxParams = 3;
+    /**
+     * Compress sequences ending in PC-relative branches by carrying the
+     * offset as the 15-bit parameter (such entries use no other params).
+     */
+    bool compressBranches = true;
+    /** Allow single-instruction entries (profitable only with 2-byte
+     *  codewords; dedicated-decompressor feature). */
+    bool allowSingleInst = false;
+    /** Codeword size used for static-size accounting (the runnable image
+     *  always uses 4-byte-aligned codewords; see DESIGN.md). */
+    uint32_t codewordBytes = 4;
+    /** Dictionary cost per replacement instruction, bytes (4 without
+     *  instantiation directives, 8 with). */
+    uint32_t dictEntryBytes = 8;
+    uint32_t maxDictEntries = 2048;
+    /** Reserved opcode used for the codewords. */
+    Opcode reservedOp = Opcode::RES0;
+};
+
+/** Output of the compressor. */
+struct CompressionResult
+{
+    /** The runnable compressed image. */
+    Program compressed;
+    /** Decompression dictionary as aware DISE productions. */
+    std::shared_ptr<ProductionSet> dictionary;
+
+    uint64_t originalTextBytes = 0;
+    /** Compressed text size under the accounting codeword size. */
+    uint64_t compressedTextBytes = 0;
+    uint64_t dictionaryBytes = 0;
+    uint32_t dictEntries = 0;
+    uint64_t codewords = 0;           ///< static codeword instances
+    uint64_t instsCompressedOut = 0;  ///< static instructions removed
+
+    /** Text compression ratio (no dictionary). */
+    double
+    ratio() const
+    {
+        return originalTextBytes
+                   ? double(compressedTextBytes) /
+                         double(originalTextBytes)
+                   : 1.0;
+    }
+    /** Ratio including the dictionary in the image. */
+    double
+    ratioWithDict() const
+    {
+        return originalTextBytes
+                   ? double(compressedTextBytes + dictionaryBytes) /
+                         double(originalTextBytes)
+                   : 1.0;
+    }
+};
+
+/**
+ * Compress a program.
+ *
+ * The compressed image executes correctly on a DISE machine with the
+ * returned dictionary installed; an integration test verifies that it
+ * retires exactly the original instruction stream.
+ */
+CompressionResult compressProgram(const Program &prog,
+                                  const CompressorOptions &opts = {});
+
+/** Options modeling the dedicated decompressor of [20]. */
+CompressorOptions dedicatedDecompressorOptions();
+
+} // namespace dise
+
+#endif // DISE_ACF_COMPRESS_HPP

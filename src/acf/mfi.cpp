@@ -1,0 +1,143 @@
+#include "src/acf/mfi.hpp"
+
+#include "src/common/logging.hpp"
+#include "src/dise/parser.hpp"
+
+namespace dise {
+
+namespace {
+
+/** Sandboxing sequence: mask the base register, re-base it into the
+ *  legal segment, then re-emit the access through the masked copy. */
+ReplacementSeq
+sandboxSeq(const std::string &name, RegIndex segBaseReg, bool jump)
+{
+    const RegIndex scratch = kDiseRegBase + 1; // $dr1
+    const RegIndex mask = kDiseRegBase + 6;    // $dr6
+
+    ReplacementSeq seq;
+    seq.name = name;
+
+    // and T.RS, $dr6, $dr1
+    ReplacementInst andInst;
+    andInst.templ.op = Opcode::AND;
+    andInst.templ.cls = OpClass::IntAlu;
+    andInst.raDir = RegDirective::TriggerRS;
+    andInst.templ.rb = mask;
+    andInst.templ.rc = scratch;
+    seq.insts.push_back(andInst);
+
+    // or $dr1, <segment base>, $dr1
+    ReplacementInst orInst;
+    orInst.templ.op = Opcode::OR;
+    orInst.templ.cls = OpClass::IntAlu;
+    orInst.templ.ra = scratch;
+    orInst.templ.rb = segBaseReg;
+    orInst.templ.rc = scratch;
+    seq.insts.push_back(orInst);
+
+    // T.OP T.RAW, T.IMM($dr1)  — the original access, re-based. For
+    // jumps the immediate field is unused.
+    ReplacementInst rebased;
+    rebased.opDir = OpDirective::Trigger;
+    rebased.raDir = RegDirective::TriggerRaw;
+    rebased.templ.rb = scratch;
+    rebased.immDir =
+        jump ? ImmDirective::Literal : ImmDirective::TriggerImm;
+    // Give the template a representative format so role queries work
+    // before instantiation; the opcode directive overrides it.
+    rebased.templ.op = jump ? Opcode::JMP : Opcode::LDQ;
+    rebased.templ.cls = jump ? OpClass::Jump : OpClass::Load;
+    seq.insts.push_back(rebased);
+    return seq;
+}
+
+ProductionSet
+makeSandboxProductions(bool checkJumps)
+{
+    ProductionSet set;
+    const SeqId mem = set.addSequence(
+        sandboxSeq("RMEM", kDiseRegBase + 7, /*jump=*/false));
+    PatternSpec stores;
+    stores.opclass = OpClass::Store;
+    set.addPattern(stores, mem);
+    PatternSpec loads;
+    loads.opclass = OpClass::Load;
+    set.addPattern(loads, mem);
+    if (checkJumps) {
+        const SeqId jmp = set.addSequence(
+            sandboxSeq("RJMP", kDiseRegBase + 0, /*jump=*/true));
+        for (const OpClass cls : {OpClass::Jump, OpClass::CallIndirect,
+                                  OpClass::Return}) {
+            PatternSpec pattern;
+            pattern.opclass = cls;
+            set.addPattern(pattern, jmp);
+        }
+    }
+    return set;
+}
+
+} // namespace
+
+ProductionSet
+makeMfiProductions(const Program &prog, const MfiOptions &opts)
+{
+    if (opts.variant == MfiVariant::Sandbox)
+        return makeSandboxProductions(opts.checkJumps);
+
+    const Addr error =
+        opts.errorHandler ? opts.errorHandler : prog.symbol("error");
+    std::map<std::string, Addr> symbols = {{"error", error}};
+
+    std::string dsl;
+    // Data-access checks: the address base register's segment must equal
+    // the module's data segment id in $dr2.
+    dsl += "P1: class == store -> RMEM\n";
+    dsl += "P2: class == load -> RMEM\n";
+    if (opts.variant == MfiVariant::Dise4) {
+        dsl += "RMEM: or T.RS, zero, $dr1\n"
+               "      srl $dr1, #26, $dr1\n"
+               "      cmpeq $dr1, $dr2, $dr1\n"
+               "      beq $dr1, @error\n"
+               "      T.INSN\n";
+    } else {
+        dsl += "RMEM: srl T.RS, #26, $dr1\n"
+               "      cmpeq $dr1, $dr2, $dr1\n"
+               "      beq $dr1, @error\n"
+               "      T.INSN\n";
+    }
+    if (opts.checkJumps) {
+        // Indirect control transfers: target segment must equal the
+        // module's code segment id in $dr3.
+        dsl += "P3: class == jump -> RJMP\n";
+        dsl += "P4: class == callindirect -> RJMP\n";
+        dsl += "P5: class == return -> RJMP\n";
+        if (opts.variant == MfiVariant::Dise4) {
+            dsl += "RJMP: or T.RS, zero, $dr1\n"
+                   "      srl $dr1, #26, $dr1\n"
+                   "      cmpeq $dr1, $dr3, $dr1\n"
+                   "      beq $dr1, @error\n"
+                   "      T.INSN\n";
+        } else {
+            dsl += "RJMP: srl T.RS, #26, $dr1\n"
+                   "      cmpeq $dr1, $dr3, $dr1\n"
+                   "      beq $dr1, @error\n"
+                   "      T.INSN\n";
+        }
+    }
+    return parseProductions(dsl, symbols);
+}
+
+void
+initMfiRegisters(ExecCore &core, const Program &prog)
+{
+    // Segment matching globals.
+    core.setDiseReg(2, prog.dataSegment());
+    core.setDiseReg(3, prog.textBase >> kSegmentShift);
+    // Sandboxing globals: offset mask and segment bases.
+    core.setDiseReg(6, (uint64_t(1) << kSegmentShift) - 1);
+    core.setDiseReg(7, prog.dataSegment() << kSegmentShift);
+    core.setDiseReg(0, (prog.textBase >> kSegmentShift) << kSegmentShift);
+}
+
+} // namespace dise

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Memory fault isolation (MFI) — the paper's transparent ACF example
+ * (Section 3.1, Figures 1 and 6).
+ *
+ * Software fault isolation in both of the paper's flavours:
+ *
+ *  - Segment matching: every load, store, and indirect jump is preceded
+ *    by a check that its address lies in the module's assigned segment;
+ *    violations branch to an error handler. Two DISE formulations:
+ *    DISE4 mirrors the binary-rewriting sequence exactly (copy + shift +
+ *    compare + branch before the original instruction), while DISE3
+ *    exploits DISE's control-flow model — jumps into the middle of a
+ *    replacement sequence are impossible, so the protective copy is
+ *    unnecessary and one instruction is saved per check.
+ *
+ *  - Sandboxing: instead of checking, the high-order address bits are
+ *    forced to the module's segment id (two instructions per access, no
+ *    error handler; wild accesses wrap harmlessly into the module's own
+ *    segment). The re-based original access is re-emitted with the T.OP
+ *    / T.RAW opcode and raw-field directives.
+ *
+ * Dedicated registers: $dr1 is scratch; $dr2 holds the legal data
+ * segment id and $dr3 the legal code segment id (segment matching);
+ * $dr6 holds the in-segment offset mask, $dr7 the data segment base and
+ * $dr0 the code segment base (sandboxing).
+ */
+
+#ifndef DISE_ACF_MFI_HPP
+#define DISE_ACF_MFI_HPP
+
+#include "src/assembler/program.hpp"
+#include "src/dise/production.hpp"
+#include "src/sim/core.hpp"
+
+namespace dise {
+
+/** MFI replacement-sequence formulation. */
+enum class MfiVariant : uint8_t {
+    Dise3,   ///< segment matching, 3 added instructions (Figure 1)
+    Dise4,   ///< segment matching, 4 added (binary rewriting's code)
+    Sandbox, ///< address sandboxing, 2 added, no fault detection
+};
+
+/** MFI configuration. */
+struct MfiOptions
+{
+    MfiVariant variant = MfiVariant::Dise3;
+    /** Also check indirect jump/call/return targets. */
+    bool checkJumps = true;
+    /** Absolute address of the error handler. */
+    Addr errorHandler = 0;
+};
+
+/**
+ * Build the MFI production set for a program.
+ * The error handler defaults to the program's "error" symbol.
+ */
+ProductionSet makeMfiProductions(const Program &prog,
+                                 const MfiOptions &opts);
+
+/**
+ * Initialize the MFI dedicated registers on a core:
+ * $dr2 = data segment id, $dr3 = text segment id.
+ */
+void initMfiRegisters(ExecCore &core, const Program &prog);
+
+} // namespace dise
+
+#endif // DISE_ACF_MFI_HPP

@@ -1,0 +1,76 @@
+#include "src/acf/profiler.hpp"
+
+#include "src/common/logging.hpp"
+#include "src/dise/parser.hpp"
+
+namespace dise {
+
+ProductionSet
+makePathProfilerProductions()
+{
+    // Direction computations per conditional-branch opcode. Each leaves
+    // the would-be-taken bit in $dr6.
+    struct BranchDir
+    {
+        const char *mnemonic;
+        const char *compute;
+    };
+    const BranchDir kDirs[] = {
+        {"beq", "cmpeq T.RS, #0, $dr6\n"},
+        {"bne", "cmpeq T.RS, #0, $dr6\n    xor $dr6, #1, $dr6\n"},
+        {"blt", "cmplt T.RS, #0, $dr6\n"},
+        {"bge", "cmplt T.RS, #0, $dr6\n    xor $dr6, #1, $dr6\n"},
+        {"ble", "cmple T.RS, #0, $dr6\n"},
+        {"bgt", "cmple T.RS, #0, $dr6\n    xor $dr6, #1, $dr6\n"},
+        {"blbs", "and T.RS, #1, $dr6\n"},
+        {"blbc", "and T.RS, #1, $dr6\n    xor $dr6, #1, $dr6\n"},
+    };
+
+    std::string dsl;
+    int n = 0;
+    for (const auto &dir : kDirs) {
+        const std::string seqName =
+            "RB" + std::string(dir.mnemonic);
+        dsl += strFormat("P%d: op == %s -> %s\n", ++n, dir.mnemonic,
+                         seqName.c_str());
+        dsl += seqName + ": " + dir.compute;
+        dsl += "    sll $dr7, #1, $dr7\n"
+               "    or $dr7, $dr6, $dr7\n"
+               "    T.INSN\n";
+    }
+
+    // Path endpoint: returns dump (PC, history) and reset the history.
+    dsl += strFormat("P%d: class == return -> RRET\n", ++n);
+    dsl += "RRET: lda $dr4, T.PC(zero)\n"
+           "      stq $dr4, 0($dr5)\n"
+           "      stq $dr7, 8($dr5)\n"
+           "      lda $dr5, 16($dr5)\n"
+           "      and $dr7, #0, $dr7\n"
+           "      T.INSN\n";
+    return parseProductions(dsl);
+}
+
+void
+initProfilerRegisters(ExecCore &core, Addr buffer)
+{
+    core.setDiseReg(5, buffer);
+    core.setDiseReg(7, 0);
+}
+
+std::vector<PathRecord>
+readPathProfile(const ExecCore &core, Addr buffer)
+{
+    const Addr cursor = core.diseRegs()[5];
+    DISE_ASSERT(cursor >= buffer && (cursor - buffer) % 16 == 0,
+                "corrupt path-profile cursor");
+    std::vector<PathRecord> records;
+    for (Addr at = buffer; at < cursor; at += 16) {
+        PathRecord record;
+        record.endpointPC = core.memory().readQuad(at);
+        record.history = core.memory().readQuad(at + 8);
+        records.push_back(record);
+    }
+    return records;
+}
+
+} // namespace dise

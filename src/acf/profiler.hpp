@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Path profiling — the "bit tracing" transparent ACF of paper Section
+ * 3.1 (and its companion paper [8]).
+ *
+ * Productions for every conditional-branch opcode compute the branch's
+ * direction *arithmetically* (e.g. beq's direction is cmpeq rs, 0)
+ * before the branch itself executes, and shift it into a path history
+ * register ($dr7). At acyclic-path endpoints (function returns) the
+ * endpoint PC — captured with the T.PC directive — and the accumulated
+ * history are appended to an in-memory profile buffer (cursor in $dr5)
+ * and the history resets. A post-execution pass (readPathProfile)
+ * reconstructs the records.
+ *
+ * Dedicated registers: $dr7 path history (persistent), $dr5 buffer
+ * cursor (persistent), $dr6 and $dr4 scratch.
+ */
+
+#ifndef DISE_ACF_PROFILER_HPP
+#define DISE_ACF_PROFILER_HPP
+
+#include <vector>
+
+#include "src/dise/production.hpp"
+#include "src/sim/core.hpp"
+
+namespace dise {
+
+/** One path record: (endpoint PC, branch-outcome bit history). */
+struct PathRecord
+{
+    Addr endpointPC = 0;
+    uint64_t history = 0;
+
+    bool
+    operator==(const PathRecord &o) const
+    {
+        return endpointPC == o.endpointPC && history == o.history;
+    }
+};
+
+/** Build the path-profiler production set. */
+ProductionSet makePathProfilerProductions();
+
+/** Point the profile cursor ($dr5) at @p buffer, clear the history. */
+void initProfilerRegisters(ExecCore &core, Addr buffer);
+
+/**
+ * Decode the records a profiled run produced.
+ * @param core The finished core (buffer contents + final cursor).
+ * @param buffer The buffer passed to initProfilerRegisters.
+ */
+std::vector<PathRecord> readPathProfile(const ExecCore &core,
+                                        Addr buffer);
+
+} // namespace dise
+
+#endif // DISE_ACF_PROFILER_HPP

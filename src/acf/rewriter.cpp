@@ -1,0 +1,138 @@
+#include "src/acf/rewriter.hpp"
+
+#include "src/common/logging.hpp"
+
+namespace dise {
+
+Program
+rewriteProgram(const Program &prog, const RewriteRule &rule,
+               const std::vector<RewriteInst> &prologue)
+{
+    const size_t n = prog.text.size();
+
+    // Pass 1: expand each instruction; record group sizes.
+    std::vector<std::vector<RewriteInst>> groups(n);
+    const size_t entryIdx = (prog.entry - prog.textBase) / 4;
+    for (size_t i = 0; i < n; ++i) {
+        const Addr pc = prog.textBase + i * 4;
+        const DecodedInst inst = decode(prog.text[i]);
+        groups[i] = rule(inst, pc);
+        DISE_ASSERT(!groups[i].empty(), "rewrite rule emitted nothing");
+    }
+    if (!prologue.empty()) {
+        DISE_ASSERT(entryIdx < n, "entry outside text");
+        std::vector<RewriteInst> combined = prologue;
+        combined.insert(combined.end(), groups[entryIdx].begin(),
+                        groups[entryIdx].end());
+        groups[entryIdx] = std::move(combined);
+    }
+
+    // Pass 2: layout. newIndex[i] = word index of group i's start.
+    std::vector<uint32_t> newIndex(n + 1);
+    uint32_t cursor = 0;
+    for (size_t i = 0; i < n; ++i) {
+        newIndex[i] = cursor;
+        cursor += static_cast<uint32_t>(groups[i].size());
+    }
+    newIndex[n] = cursor;
+
+    auto mapAddr = [&](Addr oldAddr) -> Addr {
+        if (!prog.inText(oldAddr))
+            return oldAddr; // data/stack addresses are unchanged
+        const size_t idx = (oldAddr - prog.textBase) / 4;
+        return prog.textBase + Addr(newIndex[idx]) * 4;
+    };
+
+    // Pass 3: encode, fixing branch displacements against the new layout.
+    Program out;
+    out.textBase = prog.textBase;
+    out.dataBase = prog.dataBase;
+    out.data = prog.data;
+    out.stackTop = prog.stackTop;
+    out.entry = mapAddr(prog.entry);
+    for (const auto &kv : prog.symbols)
+        out.symbols[kv.first] = mapAddr(kv.second);
+    out.text.reserve(cursor);
+    for (size_t i = 0; i < n; ++i) {
+        for (const auto &rw : groups[i]) {
+            DecodedInst inst = rw.inst;
+            if (rw.absTarget) {
+                const Addr newPC = prog.textBase + out.text.size() * 4;
+                const Addr newTarget = mapAddr(*rw.absTarget);
+                inst.imm = (static_cast<int64_t>(newTarget) -
+                            static_cast<int64_t>(newPC) - 4) /
+                           4;
+            }
+            out.text.push_back(encode(inst));
+        }
+    }
+    return out;
+}
+
+Program
+applyMfiRewriting(const Program &prog, const RewriterMfiOptions &opts)
+{
+    const Addr error =
+        opts.errorHandler ? opts.errorHandler : prog.symbol("error");
+    const uint64_t dataSeg = prog.dataSegment();
+    const uint64_t textSeg = prog.textBase >> kSegmentShift;
+
+    auto op = [](Word w) {
+        RewriteInst rw;
+        rw.inst = decode(w);
+        return rw;
+    };
+    auto checkSeq = [&](RegIndex addrReg, RegIndex segReg) {
+        std::vector<RewriteInst> seq;
+        // or addrReg, zero, s0  (protective copy)
+        seq.push_back(op(makeOperate(Opcode::OR, addrReg, kZeroReg,
+                                     opts.scratch0)));
+        // srl s0, #26, s1
+        seq.push_back(op(makeOperateImm(Opcode::SRL, opts.scratch0,
+                                        kSegmentShift, opts.scratch1)));
+        // cmpeq s1, segReg, s1
+        seq.push_back(op(makeOperate(Opcode::CMPEQ, opts.scratch1, segReg,
+                                     opts.scratch1)));
+        // beq s1, error
+        RewriteInst branch;
+        branch.inst = decode(makeBranch(Opcode::BEQ, opts.scratch1, 0));
+        branch.absTarget = error;
+        seq.push_back(branch);
+        return seq;
+    };
+
+    RewriteRule rule = [&](const DecodedInst &inst,
+                           Addr pc) -> std::vector<RewriteInst> {
+        std::vector<RewriteInst> out;
+        const bool isMem = inst.isLoad() || inst.isStore();
+        const bool isIndirect = isIndirectClass(inst.cls);
+        if (isMem) {
+            out = checkSeq(inst.rb, opts.segData);
+        } else if (isIndirect && opts.checkJumps) {
+            out = checkSeq(inst.rb, opts.segText);
+        }
+        RewriteInst orig;
+        orig.inst = inst;
+        if (inst.cls == OpClass::CondBranch ||
+            inst.cls == OpClass::UncondBranch ||
+            inst.cls == OpClass::Call) {
+            orig.absTarget = inst.branchTarget(pc);
+        }
+        out.push_back(orig);
+        return out;
+    };
+
+    // Prologue: load the segment ids into the scavenged registers.
+    std::vector<RewriteInst> prologue;
+    {
+        RewriteInst a, b;
+        a.inst = decode(makeMemory(Opcode::LDA, opts.segData, kZeroReg,
+                                   static_cast<int64_t>(dataSeg)));
+        b.inst = decode(makeMemory(Opcode::LDA, opts.segText, kZeroReg,
+                                   static_cast<int64_t>(textSeg)));
+        prologue = {a, b};
+    }
+    return rewriteProgram(prog, rule, prologue);
+}
+
+} // namespace dise

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Static binary rewriting — the software baseline the paper compares
+ * DISE against (Section 4.1). A generic rewriting engine expands each
+ * text instruction into a sequence, relays out the text, retargets every
+ * direct branch, and remaps the symbol table; an MFI instrumentation
+ * pass built on it inserts the segment-matching check (copy + shift +
+ * compare + branch) before every load, store, and indirect jump, using
+ * scavenged architectural registers instead of DISE dedicated ones.
+ *
+ * Constraints (matching how SFI rewriters operate): code must not hold
+ * text addresses in data (no jump tables); the workload generator
+ * guarantees this, and reserves the scavenged registers.
+ */
+
+#ifndef DISE_ACF_REWRITER_HPP
+#define DISE_ACF_REWRITER_HPP
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/assembler/program.hpp"
+
+namespace dise {
+
+/** One output instruction of a rewrite rule. */
+struct RewriteInst
+{
+    DecodedInst inst;
+    /**
+     * For direct branches: the absolute target in the ORIGINAL program's
+     * address space; the rewriter re-encodes the displacement after
+     * layout. Unset for everything else.
+     */
+    std::optional<Addr> absTarget;
+};
+
+/**
+ * Rewrite rule: maps one original instruction (at its original PC) to
+ * the sequence replacing it. Return {original} to keep it unchanged;
+ * direct branches must carry their original-space absolute target.
+ */
+using RewriteRule =
+    std::function<std::vector<RewriteInst>(const DecodedInst &, Addr)>;
+
+/**
+ * Apply a rewrite rule to a whole program.
+ *
+ * @param prog Input image.
+ * @param rule Per-instruction rule.
+ * @param prologue Instructions prepended at the entry point (e.g. to
+ *                 initialize scavenged registers).
+ * @return The rewritten program (text relaid, branches retargeted,
+ *         symbols and entry remapped; data unchanged).
+ */
+Program rewriteProgram(const Program &prog, const RewriteRule &rule,
+                       const std::vector<RewriteInst> &prologue = {});
+
+/** MFI instrumentation options. */
+struct RewriterMfiOptions
+{
+    /** Error handler (defaults to the "error" symbol). */
+    Addr errorHandler = 0;
+    bool checkJumps = true;
+    /**
+     * Scavenged registers (the paper: "as many as five dedicated
+     * registers that must be reserved by the compiler or scavenged").
+     * Defaults: s0/s1 scratch, s2 data segment id, s3 code segment id.
+     */
+    RegIndex scratch0 = 9, scratch1 = 10, segData = 11, segText = 12;
+};
+
+/**
+ * The binary-rewriting MFI baseline: 4 instructions inserted before
+ * every unsafe instruction (the extra copy protects against jumps into
+ * the middle of the check), plus a prologue loading the segment ids.
+ * The result runs on a stock (DISE-free) processor.
+ */
+Program applyMfiRewriting(const Program &prog,
+                          const RewriterMfiOptions &opts = {});
+
+} // namespace dise
+
+#endif // DISE_ACF_REWRITER_HPP

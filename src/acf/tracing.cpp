@@ -1,0 +1,25 @@
+#include "src/acf/tracing.hpp"
+
+#include "src/dise/parser.hpp"
+
+namespace dise {
+
+ProductionSet
+makeTracingProductions()
+{
+    const std::string dsl =
+        "P1: class == store -> RTRC\n"
+        "RTRC: lda $dr4, T.IMM(T.RS)\n"
+        "      stq $dr4, 0($dr5)\n"
+        "      lda $dr5, 8($dr5)\n"
+        "      T.INSN\n";
+    return parseProductions(dsl);
+}
+
+void
+initTracingRegisters(ExecCore &core, Addr buffer)
+{
+    core.setDiseReg(5, buffer);
+}
+
+} // namespace dise

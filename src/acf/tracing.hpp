@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Store-address tracing — the transparent ACF the paper composes with
+ * memory fault isolation in Figure 5. Every store's effective address is
+ * appended to an in-memory trace buffer whose cursor lives in the
+ * dedicated register $dr5 (the buffer itself is ordinary data memory,
+ * set up by the tool that activates the ACF).
+ */
+
+#ifndef DISE_ACF_TRACING_HPP
+#define DISE_ACF_TRACING_HPP
+
+#include "src/dise/production.hpp"
+#include "src/sim/core.hpp"
+
+namespace dise {
+
+/**
+ * Build the store-address-tracing production set:
+ *
+ *   P: class == store -> RT
+ *   RT: lda $dr4, T.IMM(T.RS)   ; effective address
+ *       stq $dr4, 0($dr5)       ; append to the trace buffer
+ *       lda $dr5, 8($dr5)       ; bump the cursor
+ *       T.INSN
+ */
+ProductionSet makeTracingProductions();
+
+/** Point the trace cursor ($dr5) at @p buffer. */
+void initTracingRegisters(ExecCore &core, Addr buffer);
+
+} // namespace dise
+
+#endif // DISE_ACF_TRACING_HPP

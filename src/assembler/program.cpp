@@ -1,0 +1,70 @@
+#include "src/assembler/program.hpp"
+
+#include "src/common/logging.hpp"
+
+namespace dise {
+
+Word
+Program::fetch(Addr addr) const
+{
+    DISE_ASSERT(inText(addr), strFormat("fetch outside text: 0x%llx",
+                                        (unsigned long long)addr));
+    return text[(addr - textBase) / 4];
+}
+
+Addr
+Program::symbol(const std::string &name) const
+{
+    const auto it = symbols.find(name);
+    if (it == symbols.end())
+        fatal("unknown symbol: " + name);
+    return it->second;
+}
+
+BasicBlocks
+analyzeBasicBlocks(const Program &prog)
+{
+    BasicBlocks bb;
+    const size_t n = prog.text.size();
+    bb.leader.assign(n, false);
+    if (n == 0)
+        return bb;
+
+    auto mark = [&](Addr addr) {
+        if (prog.inText(addr))
+            bb.leader[(addr - prog.textBase) / 4] = true;
+    };
+
+    mark(prog.entry);
+    bb.leader[0] = true;
+    for (const auto &kv : prog.symbols)
+        mark(kv.second);
+
+    for (size_t i = 0; i < n; ++i) {
+        const DecodedInst inst = decode(prog.text[i]);
+        if (!inst.isControl())
+            continue;
+        const Addr pc = prog.textBase + i * 4;
+        // Direct targets start blocks.
+        if (inst.cls == OpClass::CondBranch ||
+            inst.cls == OpClass::UncondBranch ||
+            inst.cls == OpClass::Call) {
+            mark(inst.branchTarget(pc));
+        }
+        // The fall-through after any control transfer starts a block.
+        if (i + 1 < n)
+            bb.leader[i + 1] = true;
+    }
+
+    uint32_t start = 0;
+    for (uint32_t i = 1; i < n; ++i) {
+        if (bb.leader[i]) {
+            bb.blocks.emplace_back(start, i);
+            start = i;
+        }
+    }
+    bb.blocks.emplace_back(start, static_cast<uint32_t>(n));
+    return bb;
+}
+
+} // namespace dise

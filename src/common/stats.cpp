@@ -1,0 +1,48 @@
+#include "src/common/stats.hpp"
+
+#include <sstream>
+
+namespace dise {
+
+void
+StatGroup::add(const std::string &key, uint64_t delta)
+{
+    counters_[key] += delta;
+}
+
+void
+StatGroup::set(const std::string &key, uint64_t value)
+{
+    counters_[key] = value;
+}
+
+uint64_t
+StatGroup::get(const std::string &key) const
+{
+    const auto it = counters_.find(key);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &kv : counters_)
+        kv.second = 0;
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream os;
+    for (const auto &kv : counters_)
+        os << name_ << '.' << kv.first << ' ' << kv.second << '\n';
+    return os.str();
+}
+
+double
+safeRatio(double num, double den)
+{
+    return den == 0.0 ? 0.0 : num / den;
+}
+
+} // namespace dise

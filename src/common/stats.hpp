@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Lightweight statistics counters and registries.
+ *
+ * Every simulation component exposes its counters through a StatGroup so
+ * that tests and benches can introspect them by name without knowing the
+ * component's concrete type.
+ */
+
+#ifndef DISE_COMMON_STATS_HPP
+#define DISE_COMMON_STATS_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dise {
+
+/** A named group of scalar counters. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    /** Increment (creating if necessary) the counter @p key. */
+    void add(const std::string &key, uint64_t delta = 1);
+
+    /** Set a counter to an absolute value. */
+    void set(const std::string &key, uint64_t value);
+
+    /** Read a counter; returns 0 when absent. */
+    uint64_t get(const std::string &key) const;
+
+    /** All counters in insertion-independent (sorted) order. */
+    const std::map<std::string, uint64_t> &counters() const
+    {
+        return counters_;
+    }
+
+    /** Reset every counter to zero. */
+    void reset();
+
+    /** Render as "group.key value" lines. */
+    std::string dump() const;
+
+  private:
+    std::string name_;
+    std::map<std::string, uint64_t> counters_;
+};
+
+/** Ratio helper that tolerates zero denominators. */
+double safeRatio(double num, double den);
+
+} // namespace dise
+
+#endif // DISE_COMMON_STATS_HPP

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Plain-text table renderer used by the benchmark harnesses to print
+ * paper-figure data series in a uniform, diffable format.
+ */
+
+#ifndef DISE_COMMON_TABLE_HPP
+#define DISE_COMMON_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+namespace dise {
+
+/** A simple column-aligned text table. */
+class TextTable
+{
+  public:
+    /** @param header Column titles; fixes the column count. */
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with @p precision digits. */
+    static std::string num(double value, int precision = 3);
+
+    /** Render with aligned columns and a separator under the header. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace dise
+
+#endif // DISE_COMMON_TABLE_HPP

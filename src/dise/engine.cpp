@@ -1,0 +1,194 @@
+#include "src/dise/engine.hpp"
+
+#include <algorithm>
+
+#include "src/common/bits.hpp"
+#include "src/common/logging.hpp"
+
+namespace dise {
+
+DiseEngine::DiseEngine(const DiseConfig &config)
+    : config_(config), stats_("dise")
+{
+    if (config_.rtEntries > 0) {
+        DISE_ASSERT(config_.rtAssoc > 0, "rt assoc must be nonzero");
+        DISE_ASSERT(config_.rtEntries % config_.rtAssoc == 0,
+                    "rt entries must divide by assoc");
+        rtSets_ = config_.rtEntries / config_.rtAssoc;
+        DISE_ASSERT(isPow2(rtSets_), "rt sets must be pow2");
+        rt_.assign(config_.rtEntries, RtEntry());
+    }
+}
+
+void
+DiseEngine::setProductions(std::shared_ptr<const ProductionSet> set)
+{
+    set_ = std::move(set);
+    flushTables();
+    patternsByOpcode_.assign(static_cast<size_t>(Opcode::NUM_OPCODES), {});
+    if (!set_)
+        return;
+    const auto &prods = set_->productions();
+    for (uint32_t i = 0; i < prods.size(); ++i) {
+        for (const Opcode op : prods[i].pattern.coveredOpcodes())
+            patternsByOpcode_[static_cast<size_t>(op)].push_back(i);
+    }
+}
+
+void
+DiseEngine::flushTables()
+{
+    opcodeResident_.assign(static_cast<size_t>(Opcode::NUM_OPCODES), false);
+    ptResident_.clear();
+    for (auto &entry : rt_)
+        entry = RtEntry();
+}
+
+bool
+DiseEngine::checkPatternTable(Opcode op)
+{
+    const auto &covering = patternsByOpcode_[static_cast<size_t>(op)];
+    if (covering.empty())
+        return false; // active counter is zero; a non-match, not a miss
+    if (opcodeResident_[static_cast<size_t>(op)]) {
+        for (const uint32_t idx : covering)
+            ptResident_[idx] = ++useCounter_;
+        return false;
+    }
+
+    // Active and resident pattern counters differ: PT miss. Fill every
+    // pattern covering this opcode, evicting LRU patterns if needed.
+    stats_.add("pt_misses");
+    for (const uint32_t idx : covering)
+        ptResident_[idx] = ++useCounter_;
+    while (ptResident_.size() > config_.ptEntries) {
+        auto victim = ptResident_.begin();
+        for (auto it = ptResident_.begin(); it != ptResident_.end(); ++it)
+            if (it->second < victim->second)
+                victim = it;
+        // Evicting a pattern clears residency for every opcode it covers.
+        const uint32_t evicted = victim->first;
+        ptResident_.erase(victim);
+        for (const Opcode cov :
+             set_->productions()[evicted].pattern.coveredOpcodes()) {
+            opcodeResident_[static_cast<size_t>(cov)] = false;
+        }
+    }
+    opcodeResident_[static_cast<size_t>(op)] = true;
+    // Re-derive residency: an opcode is resident iff all covering
+    // patterns are in the PT (evictions above may have split groups).
+    for (size_t o = 0; o < patternsByOpcode_.size(); ++o) {
+        if (!opcodeResident_[o])
+            continue;
+        for (const uint32_t idx : patternsByOpcode_[o]) {
+            if (!ptResident_.count(idx)) {
+                opcodeResident_[o] = false;
+                break;
+            }
+        }
+    }
+    return true;
+}
+
+unsigned
+DiseEngine::rtIndex(SeqId id, uint32_t disepc) const
+{
+    // Consecutive sequence slots fall in consecutive sets; distinct
+    // sequences are spread by id. Mirrors low-order-bit indexing of a
+    // hardware RT where the line address is (id << log2(maxlen)) | slot.
+    return static_cast<unsigned>(((uint64_t(id) << 3) + disepc) &
+                                 (rtSets_ - 1));
+}
+
+bool
+DiseEngine::checkReplacementTable(SeqId id, const ReplacementSeq &seq)
+{
+    if (config_.rtEntries == 0)
+        return false; // perfect RT
+
+    bool miss = false;
+    for (uint32_t slot = 0; slot < seq.length(); ++slot) {
+        const unsigned set = rtIndex(id, slot);
+        RtEntry *way = &rt_[size_t(set) * config_.rtAssoc];
+        RtEntry *hit = nullptr;
+        for (uint32_t w = 0; w < config_.rtAssoc; ++w) {
+            if (way[w].valid && way[w].seqId == id &&
+                way[w].disepc == slot) {
+                hit = &way[w];
+                break;
+            }
+        }
+        if (hit) {
+            hit->lastUse = ++useCounter_;
+        } else {
+            miss = true;
+            // Fill this slot, evicting LRU within the set.
+            RtEntry *victim = &way[0];
+            for (uint32_t w = 0; w < config_.rtAssoc; ++w) {
+                if (!way[w].valid) {
+                    victim = &way[w];
+                    break;
+                }
+                if (way[w].lastUse < victim->lastUse)
+                    victim = &way[w];
+            }
+            victim->valid = true;
+            victim->seqId = id;
+            victim->disepc = slot;
+            victim->lastUse = ++useCounter_;
+        }
+    }
+    return miss;
+}
+
+ExpandResult
+DiseEngine::expand(const DecodedInst &fetched, Addr pc)
+{
+    ExpandResult result;
+    stats_.add("inspected");
+    if (!set_ || set_->empty())
+        return result;
+
+    result.ptMiss = checkPatternTable(fetched.op);
+    if (result.ptMiss)
+        result.missPenalty += config_.missPenalty;
+
+    const auto seqId = set_->match(fetched);
+    if (!seqId)
+        return result;
+
+    const ReplacementSeq *seq = set_->sequence(*seqId);
+    if (!seq) {
+        // A tagged trigger naming an unbound dictionary entry is a user
+        // error (corrupt codeword); surface it loudly.
+        fatal(strFormat("DISE: trigger at 0x%llx selects unbound "
+                        "replacement sequence %u",
+                        (unsigned long long)pc, *seqId));
+    }
+
+    result.rtMiss = checkReplacementTable(*seqId, *seq);
+    if (result.rtMiss) {
+        stats_.add("rt_misses");
+        result.missPenalty += seq->composeOnFill
+                                  ? config_.composedMissPenalty
+                                  : config_.missPenalty;
+        if (seq->composeOnFill)
+            stats_.add("rt_misses_composed");
+    }
+
+    result.expanded = true;
+    result.seqId = *seqId;
+    result.seq = seq;
+    result.insts = instantiateSeq(*seq, fetched, pc);
+    stats_.add("expansions");
+    stats_.add("replacement_insts", result.insts.size());
+    return result;
+}
+
+const ReplacementSeq *
+DiseEngine::sequence(SeqId id) const
+{
+    return set_ ? set_->sequence(id) : nullptr;
+}
+
+} // namespace dise

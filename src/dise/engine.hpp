@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The DISE engine: the decode-stage hardware that inspects every fetched
+ * instruction and macro-expands triggers (paper Section 2.2).
+ *
+ * Three structures are modeled:
+ *
+ *  - The pattern table (PT) matches fetched instructions against the
+ *    active patterns, most-specific first. Virtualization treats the PT
+ *    as a cache over the active production set: a small pattern-counter
+ *    table tracks, per opcode, the number of active vs PT-resident
+ *    patterns; a fetched instance of an opcode whose counters differ is a
+ *    PT miss, which (procedurally, via the controller) fills all patterns
+ *    covering that opcode.
+ *
+ *  - The replacement table (RT) caches replacement sequences, one entry
+ *    per replacement instruction, tagged by (sequence id, DISEPC offset).
+ *    It may be direct-mapped, set-associative, or perfect. An RT miss is
+ *    detected when an id/DISEPC pair produced by the PT is absent; the
+ *    controller fills the whole sequence.
+ *
+ *  - The instantiation logic (IL) — instantiate() in production.hpp —
+ *    combines replacement literals with trigger fields.
+ *
+ * PT and RT misses interrupt the processor: the pipeline is flushed and
+ * the fill proceeds procedurally (30 cycles; 150 when the miss handler
+ * must also compose productions, as in transparent-within-aware ACF
+ * composition). The engine reports those events; the timing model charges
+ * them.
+ */
+
+#ifndef DISE_DISE_ENGINE_HPP
+#define DISE_DISE_ENGINE_HPP
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/stats.hpp"
+#include "src/dise/production.hpp"
+
+namespace dise {
+
+/** Decode-pipeline placement options for the engine (paper Section 4.1). */
+enum class DisePlacement : uint8_t {
+    /** Idealized: expansion costs nothing (upper bound). */
+    Free,
+    /** PT/RT in parallel with the decoder: 1-cycle stall per expansion. */
+    Stall,
+    /** PT/RT in series: one extra pipeline stage, always. */
+    Pipe,
+};
+
+/** Engine configuration (defaults match the paper's simulated machine). */
+struct DiseConfig
+{
+    uint32_t ptEntries = 32;
+    /** RT capacity in replacement-instruction entries; 0 = perfect. */
+    uint32_t rtEntries = 2048;
+    /** RT associativity; 1 = direct-mapped. */
+    uint32_t rtAssoc = 2;
+    /** Cycles to fill on a simple PT/RT miss. */
+    uint32_t missPenalty = 30;
+    /** Cycles when the miss handler must compose productions. */
+    uint32_t composedMissPenalty = 150;
+    DisePlacement placement = DisePlacement::Pipe;
+};
+
+/** Result of presenting one fetched instruction to the engine. */
+struct ExpandResult
+{
+    /** True when the instruction matched a pattern and was replaced. */
+    bool expanded = false;
+    SeqId seqId = 0;
+    const ReplacementSeq *seq = nullptr;
+    /** The instantiated replacement sequence (offset 0 onward). */
+    std::vector<DecodedInst> insts;
+    bool ptMiss = false;
+    bool rtMiss = false;
+    /** Stall cycles the miss events cost (flush handled by the caller). */
+    uint32_t missPenalty = 0;
+};
+
+/** The engine proper. Production sets are installed by the controller. */
+class DiseEngine
+{
+  public:
+    explicit DiseEngine(const DiseConfig &config = {});
+
+    /** Install (activate) a production set; cold PT/RT. */
+    void setProductions(std::shared_ptr<const ProductionSet> set);
+
+    /** The active set (may be null). */
+    const ProductionSet *productions() const { return set_.get(); }
+
+    /**
+     * Inspect one fetched instruction.
+     *
+     * @param fetched Decoded fetch-stream instruction.
+     * @param pc Its PC.
+     * @return Expansion outcome, including any PT/RT miss events. When
+     *         the instruction is not a trigger, expanded is false and the
+     *         instruction passes through unchanged.
+     */
+    ExpandResult expand(const DecodedInst &fetched, Addr pc);
+
+    /**
+     * Sequence lookup without the RT model (used to resume mid-sequence
+     * after an interrupt, where the RT was already filled).
+     */
+    const ReplacementSeq *sequence(SeqId id) const;
+
+    /** Drop all PT/RT residency (context switch / explicit flush). */
+    void flushTables();
+
+    const DiseConfig &config() const { return config_; }
+    const StatGroup &stats() const { return stats_; }
+    StatGroup &stats() { return stats_; }
+
+  private:
+    /** Check/maintain PT residency; returns true on a PT miss. */
+    bool checkPatternTable(Opcode op);
+
+    /** Check/maintain RT residency; returns true on an RT miss. */
+    bool checkReplacementTable(SeqId id, const ReplacementSeq &seq);
+
+    DiseConfig config_;
+    std::shared_ptr<const ProductionSet> set_;
+
+    /** @name PT model. */
+    /// @{
+    /** Pattern indices covering each opcode (derived from the set). */
+    std::vector<std::vector<uint32_t>> patternsByOpcode_;
+    /** True when all patterns for the opcode are PT-resident. */
+    std::vector<bool> opcodeResident_;
+    /** Resident pattern indices with LRU stamps. */
+    std::unordered_map<uint32_t, uint64_t> ptResident_;
+    /// @}
+
+    /** @name RT model. */
+    /// @{
+    struct RtEntry
+    {
+        bool valid = false;
+        SeqId seqId = 0;
+        uint32_t disepc = 0;
+        uint64_t lastUse = 0;
+    };
+    std::vector<RtEntry> rt_;
+    uint32_t rtSets_ = 0;
+    unsigned rtIndex(SeqId id, uint32_t disepc) const;
+    /// @}
+
+    uint64_t useCounter_ = 0;
+    StatGroup stats_;
+};
+
+} // namespace dise
+
+#endif // DISE_DISE_ENGINE_HPP

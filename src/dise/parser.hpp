@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Parser for the external (user-visible) production representation — the
+ * directive-annotated native-ISA syntax the DISE controller translates
+ * into internal PT/RT formats. The syntax mirrors the paper's figures:
+ *
+ *   ; memory fault isolation (Figure 1)
+ *   P1: class == store -> R1
+ *   P2: class == load -> R1
+ *   R1: srl T.RS, #26, $dr1
+ *       cmpeq $dr1, $dr2, $dr1
+ *       beq $dr1, @error
+ *       T.INSN
+ *
+ * Pattern lines: "Pn: cond [&& cond]... -> SEQNAME". Conditions:
+ *   op == <mnemonic>        exact opcode
+ *   class == <classname>    opcode class (load, store, condbranch, ...)
+ *   rs|rt|rd == <reg>       trigger role register
+ *   imm == <n>              immediate value
+ *   imm < 0 | imm >= 0      immediate sign
+ * Targets: "-> NAME" binds a named sequence; "-> tag" / "-> tag+N" uses
+ * explicit tagging (sequence id = N + the trigger's 11-bit tag field).
+ * A sequence header of the form "NAME@ID:" registers the sequence under
+ * the explicit id ID (how serialized tagged dictionaries pin their tag
+ * arithmetic; see serialize.hpp).
+ *
+ * Sequence lines follow a "NAME:" header, one replacement instruction
+ * per line, in assembler syntax extended with:
+ *   $dr0..$dr7              dedicated registers
+ *   T.RS / T.RT / T.RD      trigger role registers (register positions)
+ *   T.P1 / T.P2 / T.P3      codeword parameters (register or immediate)
+ *   T.IMM / T.PC / T.PIMM   trigger immediate / PC / 15-bit parameter
+ *   T.INSN                  the trigger itself (whole instruction)
+ *   @symbol, @0xADDR        absolute branch target (the IL converts it to
+ *                           a trigger-PC-relative displacement)
+ *   dbeq/dbne/dblt/dbge/dbr reg, +N|-N
+ *                           DISE-internal branches; displacement is in
+ *                           replacement-sequence slots
+ */
+
+#ifndef DISE_DISE_PARSER_HPP
+#define DISE_DISE_PARSER_HPP
+
+#include <map>
+#include <string>
+
+#include "src/dise/production.hpp"
+
+namespace dise {
+
+/**
+ * Parse a production-set definition.
+ *
+ * @param source The DSL text.
+ * @param symbols Symbol table used to resolve "@name" targets (typically
+ *                the application's).
+ * @return The production set, ready to install via the controller.
+ * @throws FatalError with a line-numbered message on syntax errors.
+ */
+ProductionSet parseProductions(
+    const std::string &source,
+    const std::map<std::string, Addr> &symbols = {});
+
+/**
+ * Parse a single replacement instruction line (used by tests and by ACF
+ * builders that assemble sequences programmatically).
+ */
+ReplacementInst parseReplacementInst(
+    const std::string &line,
+    const std::map<std::string, Addr> &symbols = {});
+
+} // namespace dise
+
+#endif // DISE_DISE_PARSER_HPP

@@ -1,0 +1,363 @@
+#include "src/dise/production.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/bits.hpp"
+#include "src/common/logging.hpp"
+#include "src/isa/disasm.hpp"
+
+namespace dise {
+
+bool
+PatternSpec::matches(const DecodedInst &inst) const
+{
+    if (inst.cls == OpClass::Invalid)
+        return false;
+    if (opcode && inst.op != *opcode)
+        return false;
+    if (opclass && inst.cls != *opclass)
+        return false;
+    if (rs && inst.triggerRS() != *rs)
+        return false;
+    if (rt && inst.triggerRT() != *rt)
+        return false;
+    if (rd && inst.triggerRD() != *rd)
+        return false;
+    if (immValue && inst.imm != *immValue)
+        return false;
+    if (immSign) {
+        const bool negative = inst.imm < 0;
+        if ((*immSign == SignConstraint::Negative) != negative)
+            return false;
+    }
+    return true;
+}
+
+unsigned
+PatternSpec::specificity() const
+{
+    unsigned score = 0;
+    if (opcode)
+        score += 6;
+    if (opclass)
+        score += 2;
+    if (rs)
+        score += 5;
+    if (rt)
+        score += 5;
+    if (rd)
+        score += 5;
+    if (immValue)
+        score += 16;
+    if (immSign)
+        score += 1;
+    return score;
+}
+
+std::vector<Opcode>
+PatternSpec::coveredOpcodes() const
+{
+    std::vector<Opcode> ops;
+    if (opcode) {
+        ops.push_back(*opcode);
+        return ops;
+    }
+    for (unsigned i = 0; i < static_cast<unsigned>(Opcode::NUM_OPCODES);
+         ++i) {
+        const Opcode op = static_cast<Opcode>(i);
+        const OpInfo &info = opInfo(op);
+        if (!info.valid)
+            continue;
+        if (opclass && info.cls != *opclass)
+            continue;
+        ops.push_back(op);
+    }
+    return ops;
+}
+
+std::string
+PatternSpec::toString() const
+{
+    std::vector<std::string> parts;
+    if (opcode)
+        parts.push_back(std::string("op == ") + opName(*opcode));
+    if (opclass)
+        parts.push_back(std::string("class == ") + opClassName(*opclass));
+    if (rs)
+        parts.push_back("rs == " + regName(*rs));
+    if (rt)
+        parts.push_back("rt == " + regName(*rt));
+    if (rd)
+        parts.push_back("rd == " + regName(*rd));
+    if (immValue)
+        parts.push_back("imm == " + std::to_string(*immValue));
+    if (immSign) {
+        parts.push_back(*immSign == SignConstraint::Negative
+                            ? "imm < 0"
+                            : "imm >= 0");
+    }
+    if (parts.empty())
+        return "any";
+    std::string out = parts[0];
+    for (size_t i = 1; i < parts.size(); ++i)
+        out += " && " + parts[i];
+    return out;
+}
+
+namespace {
+
+const char *
+regDirName(RegDirective dir)
+{
+    switch (dir) {
+      case RegDirective::Literal: return nullptr;
+      case RegDirective::TriggerRS: return "T.RS";
+      case RegDirective::TriggerRT: return "T.RT";
+      case RegDirective::TriggerRD: return "T.RD";
+      case RegDirective::TriggerRaw: return "T.RAW";
+      case RegDirective::Param1: return "T.P1";
+      case RegDirective::Param2: return "T.P2";
+      case RegDirective::Param3: return "T.P3";
+    }
+    return nullptr;
+}
+
+} // namespace
+
+std::string
+ReplacementInst::toString() const
+{
+    if (isTriggerInsn)
+        return "T.INSN";
+    std::ostringstream os;
+    if (opDir == OpDirective::Trigger)
+        os << "T.OP";
+    else
+        os << opName(templ.op);
+    auto reg = [&](RegDirective dir, RegIndex r) -> std::string {
+        if (const char *n = regDirName(dir))
+            return n;
+        return regName(r);
+    };
+    auto imm = [&]() -> std::string {
+        switch (immDir) {
+          case ImmDirective::Literal: return std::to_string(templ.imm);
+          case ImmDirective::TriggerImm: return "T.IMM";
+          case ImmDirective::TriggerPC: return "T.PC";
+          case ImmDirective::Param1: return "T.P1";
+          case ImmDirective::Param2: return "T.P2";
+          case ImmDirective::Param3: return "T.P3";
+          case ImmDirective::ParamImm: return "T.PIMM";
+          case ImmDirective::AbsTarget:
+            return strFormat("@0x%llx", (unsigned long long)templ.imm);
+        }
+        return "?";
+    };
+    const OpInfo &info = opInfo(templ.op);
+    switch (info.format) {
+      case InstFormat::Nop:
+      case InstFormat::Syscall:
+        break;
+      case InstFormat::Memory:
+        os << ' ' << reg(raDir, templ.ra) << ", " << imm() << '('
+           << reg(rbDir, templ.rb) << ')';
+        break;
+      case InstFormat::Branch:
+        os << ' ' << reg(raDir, templ.ra) << ", " << imm();
+        break;
+      case InstFormat::Jump:
+        os << ' ' << reg(raDir, templ.ra) << ", ("
+           << reg(rbDir, templ.rb) << ')';
+        break;
+      case InstFormat::Operate:
+        os << ' ' << reg(raDir, templ.ra) << ", ";
+        if (templ.useLit)
+            os << '#' << imm();
+        else
+            os << reg(rbDir, templ.rb);
+        os << ", " << reg(rcDir, templ.rc);
+        break;
+      case InstFormat::Codeword:
+        os << " <codeword>";
+        break;
+    }
+    return os.str();
+}
+
+SeqId
+ProductionSet::addSequence(ReplacementSeq seq)
+{
+    const SeqId id = nextId_++;
+    sequences_.emplace(id, std::move(seq));
+    return id;
+}
+
+void
+ProductionSet::addSequenceWithId(SeqId id, ReplacementSeq seq)
+{
+    DISE_ASSERT(!sequences_.count(id), "sequence id already bound");
+    sequences_.emplace(id, std::move(seq));
+    nextId_ = std::max(nextId_, id + 1);
+}
+
+void
+ProductionSet::addPattern(const PatternSpec &pattern, SeqId seqId)
+{
+    productions_.push_back({pattern, false, seqId});
+}
+
+void
+ProductionSet::addTagPattern(const PatternSpec &pattern, SeqId seqBase)
+{
+    productions_.push_back({pattern, true, seqBase});
+}
+
+std::optional<SeqId>
+ProductionSet::match(const DecodedInst &inst) const
+{
+    const Production *best = nullptr;
+    unsigned bestScore = 0;
+    for (const auto &prod : productions_) {
+        if (!prod.pattern.matches(inst))
+            continue;
+        const unsigned score = prod.pattern.specificity();
+        if (!best || score > bestScore) {
+            best = &prod;
+            bestScore = score;
+        }
+    }
+    if (!best)
+        return std::nullopt;
+    return best->explicitTag ? best->seqId + inst.tag : best->seqId;
+}
+
+const ReplacementSeq *
+ProductionSet::sequence(SeqId id) const
+{
+    const auto it = sequences_.find(id);
+    return it == sequences_.end() ? nullptr : &it->second;
+}
+
+uint64_t
+ProductionSet::totalReplacementInsts() const
+{
+    uint64_t total = 0;
+    for (const auto &kv : sequences_)
+        total += kv.second.insts.size();
+    return total;
+}
+
+void
+ProductionSet::merge(const ProductionSet &other)
+{
+    // Shift the other set's whole id space by a constant so both plain
+    // bindings and explicit-tag arithmetic (seqBase + tag) survive intact.
+    const SeqId offset = nextId_;
+    SeqId maxId = 0;
+    for (const auto &kv : other.sequences_) {
+        sequences_.emplace(offset + kv.first, kv.second);
+        maxId = std::max(maxId, kv.first);
+    }
+    for (const auto &prod : other.productions_) {
+        Production copy = prod;
+        copy.seqId += offset;
+        productions_.push_back(copy);
+    }
+    nextId_ = offset + maxId + 1 + kMaxCodewordTag;
+}
+
+DecodedInst
+instantiate(const ReplacementInst &rinst, const DecodedInst &trigger,
+            Addr triggerPC)
+{
+    if (rinst.isTriggerInsn)
+        return trigger;
+
+    DecodedInst inst = rinst.templ;
+    if (rinst.opDir == OpDirective::Trigger) {
+        inst.op = trigger.op;
+        inst.cls = trigger.cls;
+        inst.useLit = trigger.useLit;
+    }
+    auto pickReg = [&](RegDirective dir, RegIndex literal,
+                       RegIndex raw) -> RegIndex {
+        switch (dir) {
+          case RegDirective::Literal: return literal;
+          case RegDirective::TriggerRS: return trigger.triggerRS();
+          case RegDirective::TriggerRT: return trigger.triggerRT();
+          case RegDirective::TriggerRD: return trigger.triggerRD();
+          case RegDirective::TriggerRaw: return raw;
+          case RegDirective::Param1: return trigger.ra;
+          case RegDirective::Param2: return trigger.rb;
+          case RegDirective::Param3: return trigger.rc;
+        }
+        return literal;
+    };
+    inst.ra = pickReg(rinst.raDir, inst.ra, trigger.ra);
+    inst.rb = pickReg(rinst.rbDir, inst.rb, trigger.rb);
+    inst.rc = pickReg(rinst.rcDir, inst.rc, trigger.rc);
+
+    switch (rinst.immDir) {
+      case ImmDirective::Literal:
+        break;
+      case ImmDirective::TriggerImm:
+        inst.imm = trigger.imm;
+        break;
+      case ImmDirective::TriggerPC:
+        inst.imm = static_cast<int64_t>(triggerPC);
+        break;
+      case ImmDirective::Param1:
+        // Immediate parameters are sign-extended 5-bit values (register
+        // parameters use the raw field); see Figure 4's "-8" parameter.
+        inst.imm = signExtend(trigger.ra, 5);
+        break;
+      case ImmDirective::Param2:
+        inst.imm = signExtend(trigger.rb, 5);
+        break;
+      case ImmDirective::Param3:
+        inst.imm = signExtend(trigger.rc, 5);
+        break;
+      case ImmDirective::ParamImm:
+        inst.imm = trigger.imm; // codeword 15-bit signed parameter
+        break;
+      case ImmDirective::AbsTarget: {
+        // Application branch inside a replacement sequence: convert the
+        // absolute target to a displacement from the trigger's PC.
+        const int64_t target = rinst.templ.imm;
+        inst.imm = (target - static_cast<int64_t>(triggerPC) - 4) / 4;
+        break;
+      }
+    }
+    inst.raw = 0; // synthesized
+    return inst;
+}
+
+std::vector<DecodedInst>
+instantiateSeq(const ReplacementSeq &seq, const DecodedInst &trigger,
+               Addr triggerPC)
+{
+    std::vector<DecodedInst> out;
+    out.reserve(seq.insts.size());
+    for (const auto &rinst : seq.insts)
+        out.push_back(instantiate(rinst, trigger, triggerPC));
+    return out;
+}
+
+ReplacementInst
+rLiteral(const DecodedInst &inst)
+{
+    ReplacementInst rinst;
+    rinst.templ = inst;
+    return rinst;
+}
+
+ReplacementInst
+rTriggerInsn()
+{
+    ReplacementInst rinst;
+    rinst.isTriggerInsn = true;
+    return rinst;
+}
+
+} // namespace dise

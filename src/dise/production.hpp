@@ -1,0 +1,239 @@
+/**
+ * @file
+ * DISE productions: pattern specifications, parameterized replacement
+ * sequences, and the instantiation directives that combine replacement
+ * literals with trigger fields (paper Section 2.1).
+ *
+ * A production is (pattern -> replacement sequence). Patterns match any
+ * combination of opcode, opcode class, logical register names (by trigger
+ * role), and immediate value or sign. When several patterns match a
+ * fetched instruction, the most specific one — the one constraining the
+ * most instruction bits — wins, enabling overlapping and negative
+ * specifications ("all loads that don't use the stack pointer").
+ *
+ * Replacement sequences are parameterized: every register field carries a
+ * directive (literal — which covers dedicated registers, since those are
+ * simply register numbers >= 32 —, T.RS, T.RT, T.RD, or a codeword
+ * parameter T.P1..T.P3), every immediate field carries a directive
+ * (literal, T.IMM, T.PC, codeword parameters, or an absolute branch
+ * target that the IL converts to a PC-relative displacement), and a whole
+ * instruction may be the trigger itself (T.INSN).
+ */
+
+#ifndef DISE_DISE_PRODUCTION_HPP
+#define DISE_DISE_PRODUCTION_HPP
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/isa/inst.hpp"
+
+namespace dise {
+
+/** Constraint on an immediate's sign ("attribute thereof"). */
+enum class SignConstraint : uint8_t { Negative, NonNegative };
+
+/**
+ * A pattern specification. All present constraints must hold for the
+ * pattern to match a fetched instruction.
+ */
+struct PatternSpec
+{
+    std::optional<Opcode> opcode;
+    std::optional<OpClass> opclass;
+    /** Constraints on the trigger's role registers. */
+    std::optional<RegIndex> rs, rt, rd;
+    std::optional<int64_t> immValue;
+    std::optional<SignConstraint> immSign;
+
+    /** True when the pattern matches @p inst. */
+    bool matches(const DecodedInst &inst) const;
+
+    /**
+     * Number of instruction bits this pattern constrains; the PT uses it
+     * for most-specific-match arbitration. Exact opcode counts 6, opcode
+     * class 2 (it constrains fewer bits than a full opcode), each register
+     * 5, immediate value 16, immediate sign 1.
+     */
+    unsigned specificity() const;
+
+    /** Opcodes this pattern can possibly match (for PT fill grouping). */
+    std::vector<Opcode> coveredOpcodes() const;
+
+    /** Render as DSL text ("class == load && rs == sp"). */
+    std::string toString() const;
+};
+
+/** Register-field instantiation directives. */
+enum class RegDirective : uint8_t {
+    Literal,   ///< use the template's register number (incl. $dr*)
+    TriggerRS, ///< trigger's primary source register
+    TriggerRT, ///< trigger's secondary source register
+    TriggerRD, ///< trigger's destination register
+    /** The trigger's corresponding raw field (ra->ra, rb->rb, rc->rc);
+     *  used with the opcode directive to re-emit a modified trigger,
+     *  e.g. sandboxing's "original access through a masked base". */
+    TriggerRaw,
+    Param1,    ///< codeword parameter fields (aware ACFs)
+    Param2,
+    Param3,
+};
+
+/** Opcode-field directive ("opcode fields have analogous directives"). */
+enum class OpDirective : uint8_t {
+    Literal, ///< the template's opcode
+    Trigger, ///< the trigger's opcode (and operate-literal form)
+};
+
+/** Immediate-field instantiation directives. */
+enum class ImmDirective : uint8_t {
+    Literal,    ///< template immediate
+    TriggerImm, ///< trigger's immediate field
+    TriggerPC,  ///< trigger's PC (profiling ACFs)
+    Param1,     ///< codeword parameter, zero-extended 5 bits
+    Param2,
+    Param3,
+    ParamImm,   ///< codeword 15-bit signed parameter immediate
+    /**
+     * Template imm is an absolute text address; the IL rewrites it into
+     * the PC-relative word displacement for the trigger's PC. Used for
+     * application branches inside replacement sequences (e.g. the jump to
+     * the fault-isolation error handler in Figure 1).
+     */
+    AbsTarget,
+};
+
+/** One instruction of a replacement sequence specification. */
+struct ReplacementInst
+{
+    /** When true the whole instruction is the trigger (T.INSN). */
+    bool isTriggerInsn = false;
+    /** Template instruction; register numbers >= 32 are dedicated. */
+    DecodedInst templ;
+    OpDirective opDir = OpDirective::Literal;
+    RegDirective raDir = RegDirective::Literal;
+    RegDirective rbDir = RegDirective::Literal;
+    RegDirective rcDir = RegDirective::Literal;
+    ImmDirective immDir = ImmDirective::Literal;
+
+    /** Render as DSL text. */
+    std::string toString() const;
+};
+
+/** A named replacement sequence specification. */
+struct ReplacementSeq
+{
+    std::string name;
+    std::vector<ReplacementInst> insts;
+    /**
+     * True when an RT miss on this sequence requires the miss handler to
+     * compose productions before filling (transparent-within-aware
+     * composition, paper Section 3.3); such misses cost the controller's
+     * composed-miss latency (150 cycles) instead of the simple one (30).
+     */
+    bool composeOnFill = false;
+
+    uint32_t length() const { return static_cast<uint32_t>(insts.size()); }
+};
+
+/** Virtual replacement-sequence identifier. */
+using SeqId = uint32_t;
+
+/** A complete production: pattern plus sequence binding. */
+struct Production
+{
+    PatternSpec pattern;
+    /**
+     * When false, @c seqId names the sequence directly (transparent
+     * ACFs). When true — explicit tagging, aware ACFs — the trigger's
+     * 11-bit tag field is added to @c seqId to select the sequence.
+     */
+    bool explicitTag = false;
+    SeqId seqId = 0;
+};
+
+/**
+ * A set of productions: what an ACF (or a composition of ACFs) activates
+ * through the DISE controller. This is the *virtual* production space the
+ * PT and RT cache.
+ */
+class ProductionSet
+{
+  public:
+    /** Register a sequence under a fresh id. */
+    SeqId addSequence(ReplacementSeq seq);
+
+    /** Register a sequence under a caller-chosen id (aware dictionaries). */
+    void addSequenceWithId(SeqId id, ReplacementSeq seq);
+
+    /** Add a transparent production. */
+    void addPattern(const PatternSpec &pattern, SeqId seqId);
+
+    /** Add an aware production: sequence id = @p seqBase + trigger tag. */
+    void addTagPattern(const PatternSpec &pattern, SeqId seqBase);
+
+    /**
+     * Match an instruction against all patterns.
+     * @return The selected sequence id, or empty when nothing matches.
+     *         Most-specific pattern wins; ties break toward the earliest
+     *         added pattern.
+     */
+    std::optional<SeqId> match(const DecodedInst &inst) const;
+
+    /** Sequence lookup; nullptr when the id is unbound. */
+    const ReplacementSeq *sequence(SeqId id) const;
+
+    const std::vector<Production> &productions() const
+    {
+        return productions_;
+    }
+    const std::map<SeqId, ReplacementSeq> &sequences() const
+    {
+        return sequences_;
+    }
+
+    /** Total instruction slots across all sequences (RT footprint). */
+    uint64_t totalReplacementInsts() const;
+
+    /** Merge another set's productions and sequences (ids are remapped). */
+    void merge(const ProductionSet &other);
+
+    bool empty() const { return productions_.empty(); }
+
+  private:
+    std::vector<Production> productions_;
+    std::map<SeqId, ReplacementSeq> sequences_;
+    SeqId nextId_ = 1;
+};
+
+/**
+ * The instantiation logic (IL): combinational circuit that combines a
+ * replacement template with trigger fields.
+ *
+ * @param rinst Replacement instruction specification.
+ * @param trigger The matched (fetched) instruction.
+ * @param triggerPC The trigger's PC (for T.PC and AbsTarget directives).
+ * @return The instruction to splice into the execution stream.
+ */
+DecodedInst instantiate(const ReplacementInst &rinst,
+                        const DecodedInst &trigger, Addr triggerPC);
+
+/** Instantiate a full sequence. */
+std::vector<DecodedInst> instantiateSeq(const ReplacementSeq &seq,
+                                        const DecodedInst &trigger,
+                                        Addr triggerPC);
+
+/** @name Replacement-spec construction helpers (used by ACF builders). */
+/// @{
+/** A fully literal replacement instruction. */
+ReplacementInst rLiteral(const DecodedInst &inst);
+/** The T.INSN directive. */
+ReplacementInst rTriggerInsn();
+/// @}
+
+} // namespace dise
+
+#endif // DISE_DISE_PRODUCTION_HPP

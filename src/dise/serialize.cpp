@@ -1,0 +1,79 @@
+#include "src/dise/serialize.hpp"
+
+#include <sstream>
+
+#include "src/common/logging.hpp"
+
+namespace dise {
+
+namespace {
+
+/** DSL spelling checks: reject constructs the parser cannot read back. */
+void
+checkSerializable(const ReplacementSeq &seq)
+{
+    for (const auto &rinst : seq.insts) {
+        if (rinst.isTriggerInsn)
+            continue;
+        if (rinst.opDir == OpDirective::Trigger ||
+            rinst.raDir == RegDirective::TriggerRaw ||
+            rinst.rbDir == RegDirective::TriggerRaw ||
+            rinst.rcDir == RegDirective::TriggerRaw) {
+            fatal("serializeProductions: T.OP/T.RAW directives have no "
+                  "DSL spelling (sequence '" +
+                  seq.name + "')");
+        }
+        const OpInfo &info = opInfo(rinst.templ.op);
+        if (info.format == InstFormat::Branch &&
+            info.cls != OpClass::DiseBranch &&
+            rinst.immDir == ImmDirective::Literal) {
+            fatal("serializeProductions: application branch with a raw "
+                  "displacement cannot round-trip (sequence '" +
+                  seq.name + "')");
+        }
+    }
+}
+
+} // namespace
+
+std::string
+serializeSequence(const ReplacementSeq &seq)
+{
+    std::ostringstream os;
+    bool first = true;
+    for (const auto &rinst : seq.insts) {
+        os << (first ? "" : "    ") << rinst.toString() << "\n";
+        first = false;
+    }
+    return os.str();
+}
+
+std::string
+serializeProductions(const ProductionSet &set)
+{
+    std::ostringstream os;
+
+    // Sequence headers: "S<id>@<id>:" names are unique and, for tagged
+    // blocks, pin the id so explicit-tag arithmetic survives the round
+    // trip.
+    for (const auto &kv : set.sequences()) {
+        checkSerializable(kv.second);
+        os << "S" << kv.first << "@" << kv.first << ": "
+           << serializeSequence(kv.second);
+        if (kv.second.composeOnFill)
+            os << "; composeOnFill (informational)\n";
+    }
+
+    int n = 0;
+    for (const auto &prod : set.productions()) {
+        os << "P" << ++n << ": " << prod.pattern.toString() << " -> ";
+        if (prod.explicitTag)
+            os << "tag+" << prod.seqId;
+        else
+            os << "S" << prod.seqId << "@" << prod.seqId;
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace dise

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Production-set serialization: render a ProductionSet back into the
+ * external DSL the parser accepts. This is the "external representation"
+ * half of the controller interface (Section 2.3) — the portable form in
+ * which ACFs are shipped, inspected by the OS kernel, and stored in an
+ * application's data space. parse(serialize(set)) reproduces the set.
+ *
+ * Limitations (checked, with fatal() on violation): sequences built
+ * programmatically with the T.OP/T.RAW re-emission directives have no
+ * DSL spelling yet, and absolute branch targets serialize as "@0x..."
+ * (symbolic names are not recoverable).
+ */
+
+#ifndef DISE_DISE_SERIALIZE_HPP
+#define DISE_DISE_SERIALIZE_HPP
+
+#include <string>
+
+#include "src/dise/production.hpp"
+
+namespace dise {
+
+/** Render a whole production set as DSL text. */
+std::string serializeProductions(const ProductionSet &set);
+
+/** Render one replacement sequence (name + instructions). */
+std::string serializeSequence(const ReplacementSeq &seq);
+
+} // namespace dise
+
+#endif // DISE_DISE_SERIALIZE_HPP

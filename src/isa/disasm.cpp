@@ -1,0 +1,63 @@
+#include "src/isa/disasm.hpp"
+
+#include <sstream>
+
+#include "src/common/logging.hpp"
+
+namespace dise {
+
+std::string
+disassemble(const DecodedInst &inst, Addr pc)
+{
+    const OpInfo &info = opInfo(inst.op);
+    if (!info.valid || inst.cls == OpClass::Invalid)
+        return strFormat("<invalid 0x%08x>", inst.raw);
+
+    std::ostringstream os;
+    os << info.mnemonic;
+    switch (info.format) {
+      case InstFormat::Nop:
+      case InstFormat::Syscall:
+        break;
+      case InstFormat::Memory:
+        os << ' ' << regName(inst.ra) << ", " << inst.imm << '('
+           << regName(inst.rb) << ')';
+        break;
+      case InstFormat::Branch:
+        os << ' ' << regName(inst.ra) << ", ";
+        if (inst.cls == OpClass::DiseBranch) {
+            // DISEPC-relative displacement in replacement-sequence slots.
+            os << "d." << (inst.imm >= 0 ? "+" : "") << inst.imm;
+        } else if (pc != 0) {
+            os << strFormat("0x%llx",
+                            (unsigned long long)inst.branchTarget(pc));
+        } else {
+            os << ".+" << inst.imm;
+        }
+        break;
+      case InstFormat::Jump:
+        os << ' ' << regName(inst.ra) << ", (" << regName(inst.rb) << ')';
+        break;
+      case InstFormat::Operate:
+        os << ' ' << regName(inst.ra) << ", ";
+        if (inst.useLit)
+            os << '#' << inst.imm;
+        else
+            os << regName(inst.rb);
+        os << ", " << regName(inst.rc);
+        break;
+      case InstFormat::Codeword:
+        os << ' ' << inst.tag << ", " << unsigned(inst.ra) << ", "
+           << unsigned(inst.rb) << ", " << unsigned(inst.rc);
+        break;
+    }
+    return os.str();
+}
+
+std::string
+disassemble(Word word, Addr pc)
+{
+    return disassemble(decode(word), pc);
+}
+
+} // namespace dise

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Disassembler producing text in the same syntax the assembler accepts,
+ * so instruction streams can be round-tripped in tests.
+ */
+
+#ifndef DISE_ISA_DISASM_HPP
+#define DISE_ISA_DISASM_HPP
+
+#include <string>
+
+#include "src/isa/inst.hpp"
+
+namespace dise {
+
+/**
+ * Disassemble one instruction.
+ *
+ * @param inst The decoded instruction.
+ * @param pc When nonzero, direct-branch targets are printed as absolute
+ *           hex addresses; otherwise as ".+N" relative offsets.
+ */
+std::string disassemble(const DecodedInst &inst, Addr pc = 0);
+
+/** Disassemble a raw word. */
+std::string disassemble(Word word, Addr pc = 0);
+
+} // namespace dise
+
+#endif // DISE_ISA_DISASM_HPP

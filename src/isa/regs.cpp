@@ -1,0 +1,56 @@
+#include "src/isa/regs.hpp"
+
+#include <array>
+#include <cctype>
+#include <unordered_map>
+
+#include "src/common/logging.hpp"
+
+namespace dise {
+
+namespace {
+
+const std::array<const char *, kNumArchRegs> kAliases = {
+    "v0", "t0", "t1", "t2", "t3", "t4", "t5", "t6",
+    "t7", "s0", "s1", "s2", "s3", "s4", "s5", "fp",
+    "a0", "a1", "a2", "a3", "a4", "a5", "t8", "t9",
+    "t10", "t11", "ra", "t12", "at", "gp", "sp", "zero",
+};
+
+} // namespace
+
+std::string
+regName(RegIndex r)
+{
+    if (isArchReg(r))
+        return kAliases[r];
+    if (isDiseReg(r))
+        return "$dr" + std::to_string(r - kDiseRegBase);
+    return "<badreg>";
+}
+
+std::optional<RegIndex>
+regFromName(const std::string &name)
+{
+    static const std::unordered_map<std::string, RegIndex> byName = [] {
+        std::unordered_map<std::string, RegIndex> m;
+        for (unsigned i = 0; i < kNumArchRegs; ++i) {
+            m.emplace(kAliases[i], static_cast<RegIndex>(i));
+            m.emplace("r" + std::to_string(i), static_cast<RegIndex>(i));
+            m.emplace("$" + std::to_string(i), static_cast<RegIndex>(i));
+        }
+        for (unsigned i = 0; i < kNumDiseRegs; ++i) {
+            m.emplace("$dr" + std::to_string(i),
+                      static_cast<RegIndex>(kDiseRegBase + i));
+            m.emplace("dr" + std::to_string(i),
+                      static_cast<RegIndex>(kDiseRegBase + i));
+        }
+        return m;
+    }();
+    const auto it = byName.find(name);
+    if (it == byName.end())
+        return std::nullopt;
+    return it->second;
+}
+
+} // namespace dise

@@ -1,0 +1,129 @@
+#include "src/mem/cache.hpp"
+
+#include "src/common/bits.hpp"
+#include "src/common/logging.hpp"
+
+namespace dise {
+
+Cache::Cache(const CacheParams &params, Cache *next, uint32_t memLatency)
+    : params_(params), next_(next), memLatency_(memLatency),
+      perfect_(params.sizeBytes == 0), stats_(params.name)
+{
+    if (perfect_)
+        return;
+    DISE_ASSERT(isPow2(params_.lineBytes), "line size must be pow2");
+    DISE_ASSERT(params_.assoc > 0, "assoc must be nonzero");
+    DISE_ASSERT(params_.sizeBytes %
+                        (params_.lineBytes * params_.assoc) == 0,
+                "size must be a multiple of line*assoc");
+    numSets_ = params_.sizeBytes / (params_.lineBytes * params_.assoc);
+    DISE_ASSERT(isPow2(numSets_), "set count must be pow2");
+    lines_.assign(size_t(numSets_) * params_.assoc, Line());
+}
+
+uint32_t
+Cache::access(Addr addr, bool write)
+{
+    stats_.add("accesses");
+    if (write)
+        stats_.add("writes");
+    if (perfect_)
+        return params_.hitLatency;
+
+    const uint64_t la = lineAddr(addr);
+    const uint64_t set = la & (numSets_ - 1);
+    const uint64_t tag = la >> log2i(numSets_);
+    Line *way = &lines_[set * params_.assoc];
+
+    Line *hit = nullptr;
+    Line *victim = &way[0];
+    for (uint32_t w = 0; w < params_.assoc; ++w) {
+        if (way[w].valid && way[w].tag == tag) {
+            hit = &way[w];
+            break;
+        }
+        if (!way[w].valid || way[w].lastUse < victim->lastUse)
+            victim = &way[w];
+    }
+
+    if (hit) {
+        hit->lastUse = ++useCounter_;
+        if (write)
+            hit->dirty = true;
+        return params_.hitLatency;
+    }
+
+    stats_.add("misses");
+    uint32_t latency = params_.hitLatency;
+    // Write back the victim.
+    if (victim->valid && victim->dirty) {
+        stats_.add("writebacks");
+        if (next_) {
+            const uint64_t victimLine =
+                (victim->tag << log2i(numSets_)) | set;
+            next_->access(victimLine * params_.lineBytes, true);
+        }
+    }
+    // Fill from below.
+    if (next_)
+        latency += next_->access(addr, false);
+    else
+        latency += memLatency_;
+    victim->valid = true;
+    victim->dirty = write;
+    victim->tag = tag;
+    victim->lastUse = ++useCounter_;
+    return latency;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    if (perfect_)
+        return true;
+    const uint64_t la = lineAddr(addr);
+    const uint64_t set = la & (numSets_ - 1);
+    const uint64_t tag = la >> log2i(numSets_);
+    const Line *way = &lines_[set * params_.assoc];
+    for (uint32_t w = 0; w < params_.assoc; ++w)
+        if (way[w].valid && way[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (auto &line : lines_)
+        line = Line();
+}
+
+MemHierarchy::MemHierarchy(const MemHierarchyParams &params)
+    : params_(params)
+{
+    CacheParams l2p;
+    l2p.name = "l2";
+    l2p.sizeBytes = params.l2Size;
+    l2p.assoc = params.l2Assoc;
+    l2p.lineBytes = params.lineBytes;
+    l2p.hitLatency = params.l2Latency;
+    l2_ = std::make_unique<Cache>(l2p, nullptr, params.memLatency);
+
+    CacheParams l1i;
+    l1i.name = "l1i";
+    l1i.sizeBytes = params.l1iSize;
+    l1i.assoc = params.l1iAssoc;
+    l1i.lineBytes = params.lineBytes;
+    l1i.hitLatency = params.l1Latency;
+    icache_ = std::make_unique<Cache>(l1i, l2_.get(), params.memLatency);
+
+    CacheParams l1d;
+    l1d.name = "l1d";
+    l1d.sizeBytes = params.l1dSize;
+    l1d.assoc = params.l1dAssoc;
+    l1d.lineBytes = params.lineBytes;
+    l1d.hitLatency = params.l1Latency;
+    dcache_ = std::make_unique<Cache>(l1d, l2_.get(), params.memLatency);
+}
+
+} // namespace dise

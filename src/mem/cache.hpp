@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Set-associative LRU caches and the two-level hierarchy used by the
+ * timing model (32 KB split L1s over a unified 1 MB L2 by default,
+ * matching the paper's simulated machine).
+ */
+
+#ifndef DISE_MEM_CACHE_HPP
+#define DISE_MEM_CACHE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.hpp"
+#include "src/isa/inst.hpp"
+
+namespace dise {
+
+/** Configuration for one cache level. */
+struct CacheParams
+{
+    std::string name = "cache";
+    /** Capacity in bytes; 0 means a perfect (always-hit) cache. */
+    uint32_t sizeBytes = 32 * 1024;
+    uint32_t assoc = 2;
+    uint32_t lineBytes = 64;
+    /** Latency of a hit in this level, in cycles. */
+    uint32_t hitLatency = 1;
+};
+
+/**
+ * One cache level. Write-back, write-allocate, true-LRU replacement.
+ * Misses recurse into the next level (or pay the memory latency).
+ */
+class Cache
+{
+  public:
+    /**
+     * @param params Geometry and latency.
+     * @param next Next level, or nullptr if backed directly by memory.
+     * @param memLatency Latency of a memory access (used when next is
+     *                   nullptr).
+     */
+    Cache(const CacheParams &params, Cache *next, uint32_t memLatency);
+
+    /**
+     * Access one address.
+     * @param addr Byte address (the whole access is assumed to fit in
+     *             one line).
+     * @param write True for stores.
+     * @return Total latency in cycles, including lower levels on a miss.
+     */
+    uint32_t access(Addr addr, bool write);
+
+    /** True if @p addr is resident (no state change, no stats). */
+    bool probe(Addr addr) const;
+
+    /** Drop all lines (and dirty state). */
+    void invalidateAll();
+
+    bool isPerfect() const { return perfect_; }
+    uint32_t lineBytes() const { return params_.lineBytes; }
+
+    uint64_t accesses() const { return stats_.get("accesses"); }
+    uint64_t misses() const { return stats_.get("misses"); }
+    double
+    missRate() const
+    {
+        return safeRatio(double(misses()), double(accesses()));
+    }
+
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        uint64_t tag = 0;
+        uint64_t lastUse = 0;
+    };
+
+    uint64_t lineAddr(Addr addr) const { return addr / params_.lineBytes; }
+
+    CacheParams params_;
+    Cache *next_;
+    uint32_t memLatency_;
+    bool perfect_;
+    uint32_t numSets_ = 1;
+    std::vector<Line> lines_; ///< numSets_ x assoc, row-major
+    uint64_t useCounter_ = 0;
+    StatGroup stats_;
+};
+
+/** Configuration of the full hierarchy. */
+struct MemHierarchyParams
+{
+    uint32_t l1iSize = 32 * 1024; ///< 0 = perfect I-cache
+    uint32_t l1iAssoc = 2;
+    uint32_t l1dSize = 32 * 1024;
+    uint32_t l1dAssoc = 2;
+    uint32_t l2Size = 1 << 20;
+    uint32_t l2Assoc = 8;
+    uint32_t lineBytes = 64;
+    uint32_t l1Latency = 1;
+    uint32_t l2Latency = 10;
+    uint32_t memLatency = 100;
+};
+
+/** Split L1 I/D over a unified L2. */
+class MemHierarchy
+{
+  public:
+    explicit MemHierarchy(const MemHierarchyParams &params);
+
+    /** Instruction fetch of the line containing @p addr. */
+    uint32_t fetchAccess(Addr addr) { return icache_->access(addr, false); }
+    /** Data access. */
+    uint32_t
+    dataAccess(Addr addr, bool write)
+    {
+        return dcache_->access(addr, write);
+    }
+
+    Cache &icache() { return *icache_; }
+    Cache &dcache() { return *dcache_; }
+    Cache &l2() { return *l2_; }
+
+    const MemHierarchyParams &params() const { return params_; }
+
+  private:
+    MemHierarchyParams params_;
+    std::unique_ptr<Cache> l2_;
+    std::unique_ptr<Cache> icache_;
+    std::unique_ptr<Cache> dcache_;
+};
+
+} // namespace dise
+
+#endif // DISE_MEM_CACHE_HPP

@@ -1,0 +1,90 @@
+#include "src/mem/memory.hpp"
+
+#include "src/common/logging.hpp"
+
+namespace dise {
+
+Memory::Page *
+Memory::findPage(Addr addr)
+{
+    const auto it = pages_.find(addr >> kPageShift);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+const Memory::Page *
+Memory::findPage(Addr addr) const
+{
+    const auto it = pages_.find(addr >> kPageShift);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+Memory::Page &
+Memory::touchPage(Addr addr)
+{
+    Page &page = pages_[addr >> kPageShift];
+    if (page.empty())
+        page.assign(kPageSize, 0);
+    return page;
+}
+
+uint8_t
+Memory::readByte(Addr addr) const
+{
+    const Page *page = findPage(addr);
+    return page ? (*page)[addr & (kPageSize - 1)] : 0;
+}
+
+void
+Memory::writeByte(Addr addr, uint8_t value)
+{
+    touchPage(addr)[addr & (kPageSize - 1)] = value;
+}
+
+uint64_t
+Memory::read(Addr addr, unsigned size) const
+{
+    DISE_ASSERT(size == 1 || size == 2 || size == 4 || size == 8,
+                "bad access size");
+    uint64_t value = 0;
+    for (unsigned i = 0; i < size; ++i)
+        value |= static_cast<uint64_t>(readByte(addr + i)) << (8 * i);
+    return value;
+}
+
+void
+Memory::write(Addr addr, uint64_t value, unsigned size)
+{
+    DISE_ASSERT(size == 1 || size == 2 || size == 4 || size == 8,
+                "bad access size");
+    for (unsigned i = 0; i < size; ++i)
+        writeByte(addr + i, static_cast<uint8_t>(value >> (8 * i)));
+}
+
+void
+Memory::loadProgram(const Program &prog)
+{
+    for (size_t i = 0; i < prog.text.size(); ++i)
+        write(prog.textBase + i * 4, prog.text[i], 4);
+    if (!prog.data.empty())
+        writeBlock(prog.dataBase, prog.data.data(), prog.data.size());
+}
+
+void
+Memory::writeBlock(Addr addr, const uint8_t *src, size_t len)
+{
+    for (size_t i = 0; i < len; ++i)
+        writeByte(addr + i, src[i]);
+}
+
+uint64_t
+Memory::checksum(Addr addr, uint64_t len) const
+{
+    uint64_t hash = 0xcbf29ce484222325ULL;
+    for (uint64_t i = 0; i < len; ++i) {
+        hash ^= readByte(addr + i);
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+} // namespace dise

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Sparse byte-addressable memory image with little-endian multi-byte
+ * accessors. Backing store is a page map, so the 64-bit address space
+ * costs only what is touched.
+ */
+
+#ifndef DISE_MEM_MEMORY_HPP
+#define DISE_MEM_MEMORY_HPP
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/assembler/program.hpp"
+#include "src/isa/inst.hpp"
+
+namespace dise {
+
+/** Flat simulated memory. Unwritten bytes read as zero. */
+class Memory
+{
+  public:
+    static constexpr unsigned kPageShift = 12;
+    static constexpr uint64_t kPageSize = uint64_t(1) << kPageShift;
+
+    uint8_t readByte(Addr addr) const;
+    void writeByte(Addr addr, uint8_t value);
+
+    /** Little-endian read of 1, 2, 4 or 8 bytes. */
+    uint64_t read(Addr addr, unsigned size) const;
+    /** Little-endian write of 1, 2, 4 or 8 bytes. */
+    void write(Addr addr, uint64_t value, unsigned size);
+
+    uint32_t readWord(Addr addr) const
+    {
+        return static_cast<uint32_t>(read(addr, 4));
+    }
+    uint64_t readQuad(Addr addr) const { return read(addr, 8); }
+
+    /** Copy a program's text and data into memory. */
+    void loadProgram(const Program &prog);
+
+    /** Bulk write. */
+    void writeBlock(Addr addr, const uint8_t *src, size_t len);
+
+    /** FNV-1a checksum over [addr, addr+len); used by integration tests. */
+    uint64_t checksum(Addr addr, uint64_t len) const;
+
+    /** Number of distinct pages touched. */
+    size_t pagesTouched() const { return pages_.size(); }
+
+  private:
+    using Page = std::vector<uint8_t>;
+
+    Page *findPage(Addr addr);
+    const Page *findPage(Addr addr) const;
+    Page &touchPage(Addr addr);
+
+    std::unordered_map<uint64_t, Page> pages_;
+};
+
+} // namespace dise
+
+#endif // DISE_MEM_MEMORY_HPP

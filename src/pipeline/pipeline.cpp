@@ -1,0 +1,287 @@
+#include "src/pipeline/pipeline.hpp"
+
+#include <algorithm>
+
+#include "src/common/logging.hpp"
+
+namespace dise {
+
+PipelineSim::PipelineSim(const Program &prog, const PipelineParams &params,
+                         DiseController *controller)
+    : params_(params), controller_(controller), core_(prog, controller),
+      mem_(params.mem), bpred_(params.bpred)
+{
+    feDepth_ = params_.frontendDepth;
+    if (controller_) {
+        const DiseConfig &cfg = controller_->engine().config();
+        if (cfg.placement == DisePlacement::Pipe)
+            feDepth_ += 1;
+        stallPerExpansion_ = cfg.placement == DisePlacement::Stall;
+    }
+    commitRing_.assign(params_.robEntries, 0);
+    issueRing_.assign(params_.rsEntries, 0);
+    regReady_.fill(0);
+}
+
+void
+PipelineSim::newFetchGroup(uint64_t cycle, Addr pc, bool accessICache)
+{
+    feCycle_ = std::max(feCycle_, cycle);
+    feSlots_ = 0;
+    const uint64_t line = pc / mem_.params().lineBytes;
+    if (accessICache || line != curLine_) {
+        const uint32_t lat = mem_.fetchAccess(pc);
+        if (lat > params_.mem.l1Latency)
+            feCycle_ += lat - params_.mem.l1Latency;
+        curLine_ = line;
+    }
+}
+
+uint64_t
+PipelineSim::frontend(const DynInst &dyn)
+{
+    const bool appBoundary = !dyn.expanded || dyn.firstOfSeq;
+
+    if (appBoundary) {
+        // Honour any pending redirect (mispredict resolution, flush).
+        if (pendingRedirect_ > 0) {
+            newFetchGroup(std::max(pendingRedirect_, feCycle_), dyn.pc,
+                          true);
+            pendingRedirect_ = 0;
+        }
+        // PT/RT miss: flush the front end and stall for the fill.
+        if (dyn.missPenalty > 0) {
+            result_.missStallCycles += dyn.missPenalty;
+            newFetchGroup(feCycle_ + dyn.missPenalty, dyn.pc, true);
+        }
+        // Expansion stall placement: one bubble per expansion.
+        if (dyn.firstOfSeq && stallPerExpansion_) {
+            ++result_.expansionStalls;
+            feCycle_ += 1;
+        }
+        const uint64_t line = dyn.pc / mem_.params().lineBytes;
+        if (line != curLine_) {
+            // Line crossing: new fetch group with an I-cache access.
+            newFetchGroup(feSlots_ > 0 ? feCycle_ + 1 : feCycle_, dyn.pc,
+                          true);
+        } else if (feSlots_ >= params_.width) {
+            newFetchGroup(feCycle_ + 1, dyn.pc, false);
+        }
+    } else {
+        // Replacement instruction: consumes a decode slot, no fetch.
+        if (feSlots_ >= params_.width) {
+            feCycle_ += 1;
+            feSlots_ = 0;
+        }
+    }
+
+    ++feSlots_;
+    return feCycle_;
+}
+
+uint32_t
+PipelineSim::instLatency(const DynInst &dyn) const
+{
+    switch (dyn.inst.cls) {
+      case OpClass::IntMult:
+        return params_.intMultLatency;
+      case OpClass::Syscall:
+        return params_.syscallLatency;
+      default:
+        return params_.intAluLatency;
+    }
+}
+
+void
+PipelineSim::resolveControl(Addr pc, OpClass cls, bool taken, Addr target,
+                            uint64_t resolveCycle, uint64_t decodeCycle,
+                            const BranchPredictor::Prediction &pred)
+{
+    const bool wrongDir = pred.taken != taken;
+    const bool wrongTarget =
+        taken && (!pred.targetKnown || pred.target != target);
+    if (wrongDir || wrongTarget) {
+        if ((cls == OpClass::UncondBranch || cls == OpClass::Call) &&
+            !wrongDir) {
+            // Direct target computable at decode: cheap redirect.
+            ++result_.decodeRedirects;
+            pendingRedirect_ = std::max(
+                pendingRedirect_,
+                decodeCycle + params_.decodeRedirectPenalty);
+        } else {
+            ++result_.mispredicts;
+            pendingRedirect_ =
+                std::max(pendingRedirect_, resolveCycle + 1);
+        }
+    } else if (taken) {
+        // Correctly predicted taken: fetch continues at the target in
+        // the next cycle.
+        feCycle_ += 1;
+        feSlots_ = 0;
+        curLine_ = ~uint64_t(0);
+    }
+    if (cls != OpClass::Nop) {
+        bpred_.update(pc, cls, taken, target);
+        if (cls == OpClass::Call || cls == OpClass::CallIndirect)
+            bpred_.pushReturn(pc + 4);
+    }
+}
+
+TimingResult
+PipelineSim::run(uint64_t maxInsts)
+{
+    DynInst dyn;
+    uint64_t steps = 0;
+    while (steps < maxInsts && core_.step(dyn)) {
+        ++steps;
+
+        // ---- Front end: decode timestamp. ----
+        const uint64_t decodeCycle = frontend(dyn);
+
+        // ---- Dispatch. ----
+        uint64_t dispatch = decodeCycle + feDepth_;
+        // ROB entry must be free.
+        const uint64_t robFree =
+            commitRing_[instIndex_ % params_.robEntries];
+        dispatch = std::max(dispatch, robFree);
+        // RS entry must be free (freed at issue).
+        const uint64_t rsFree =
+            issueRing_[instIndex_ % params_.rsEntries] + 1;
+        dispatch = std::max(dispatch, rsFree);
+        // In-order dispatch, width per cycle.
+        if (dispatch < dispatchCycleCur_)
+            dispatch = dispatchCycleCur_;
+        if (dispatch == dispatchCycleCur_) {
+            if (dispatchSlots_ >= params_.width) {
+                ++dispatch;
+                dispatchCycleCur_ = dispatch;
+                dispatchSlots_ = 0;
+            }
+        } else {
+            dispatchCycleCur_ = dispatch;
+            dispatchSlots_ = 0;
+        }
+        ++dispatchSlots_;
+
+        // ---- Issue: dataflow-limited. ----
+        uint64_t ready = dispatch + 1;
+        for (const RegIndex src : dyn.inst.srcRegs())
+            ready = std::max(ready, regReady_[src]);
+        const uint64_t issue = ready;
+        issueRing_[instIndex_ % params_.rsEntries] = issue;
+
+        // ---- Complete. ----
+        uint64_t complete = issue + instLatency(dyn);
+        if (dyn.isMem && !dyn.isStore) {
+            // Loads: AGU + D-cache access.
+            complete = issue + 1 + mem_.dataAccess(dyn.memAddr, false);
+        }
+        const RegIndex dest = dyn.inst.destReg();
+        if (dest != kZeroReg)
+            regReady_[dest] = complete;
+
+        // ---- Commit: in order, width per cycle. ----
+        uint64_t commit = std::max(complete + 1, lastCommit_);
+        if (commit == commitCycleCur_) {
+            if (commitSlots_ >= params_.width) {
+                ++commit;
+                commitCycleCur_ = commit;
+                commitSlots_ = 0;
+            }
+        } else {
+            commitCycleCur_ = commit;
+            commitSlots_ = 0;
+        }
+        ++commitSlots_;
+        lastCommit_ = commit;
+        commitRing_[instIndex_ % params_.robEntries] = commit;
+
+        if (dyn.isStore) {
+            // Store buffer: D-cache updated at commit, off the critical
+            // path.
+            mem_.dataAccess(dyn.memAddr, true);
+        }
+        if (dyn.isSyscall) {
+            // Syscalls serialize the pipeline.
+            pendingRedirect_ = std::max(pendingRedirect_, commit + 1);
+        }
+
+        // ---- Control flow and prediction. ----
+        //
+        // The front end predicts once per fetched (application-level)
+        // PC. For an expansion, that single prediction covers the whole
+        // replacement sequence: internal branches are never predicted
+        // separately (paper Section 2.2) — a sequence whose outcome
+        // differs from the trigger-PC prediction costs a mispredict
+        // resolved when its deciding branch executes.
+        if (!dyn.expanded) {
+            if (dyn.isAppControl) {
+                const auto pred =
+                    bpred_.predict(dyn.pc, dyn.inst.cls, dyn.pc + 4);
+                resolveControl(dyn.pc, dyn.inst.cls, dyn.taken,
+                               dyn.actualTarget, complete, decodeCycle,
+                               pred);
+            }
+        } else {
+            if (dyn.firstOfSeq) {
+                seqPredCls_ = dyn.seqPredClass;
+                seqTriggerPC_ = dyn.pc;
+                seqTrigTaken_ = false;
+                seqTrigTarget_ = 0;
+                seqRedirected_ = false;
+                seqRedirTarget_ = 0;
+                seqResolve_ = complete;
+                if (seqPredCls_ != OpClass::Nop) {
+                    seqPred_ = bpred_.predict(dyn.pc, seqPredCls_,
+                                              dyn.pc + 4);
+                } else {
+                    seqPred_ = BranchPredictor::Prediction{};
+                    seqPred_.target = dyn.pc + 4;
+                    seqPred_.targetKnown = true;
+                }
+            }
+            if (dyn.inst.isDiseBranch() && dyn.taken) {
+                // Taken DISE branch: fetch restarts at the same PC, new
+                // DISEPC — interpreted as a misprediction.
+                ++result_.diseMispredicts;
+                pendingRedirect_ =
+                    std::max(pendingRedirect_, complete + 1);
+            }
+            if (dyn.isAppControl) {
+                seqResolve_ = std::max(seqResolve_, complete);
+                if (dyn.taken) {
+                    if (dyn.triggerSlot) {
+                        // Deferred: applied at sequence end unless a
+                        // later non-trigger branch redirects first.
+                        seqTrigTaken_ = true;
+                        seqTrigTarget_ = dyn.actualTarget;
+                    } else {
+                        seqRedirected_ = true;
+                        seqRedirTarget_ = dyn.actualTarget;
+                    }
+                }
+            }
+            if (dyn.lastOfSeq) {
+                const bool taken = seqRedirected_ || seqTrigTaken_;
+                const Addr next = seqRedirected_
+                                      ? seqRedirTarget_
+                                      : (seqTrigTaken_ ? seqTrigTarget_
+                                                       : dyn.pc + 4);
+                resolveControl(seqTriggerPC_, seqPredCls_, taken, next,
+                               std::max(seqResolve_, complete),
+                               decodeCycle, seqPred_);
+            }
+        }
+
+        ++instIndex_;
+    }
+
+    result_.cycles = lastCommit_;
+    result_.arch = core_.result();
+    result_.icacheMisses = mem_.icache().misses();
+    result_.dcacheMisses = mem_.dcache().misses();
+    result_.l2Misses = mem_.l2().misses();
+    return result_;
+}
+
+} // namespace dise

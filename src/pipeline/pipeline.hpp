@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Cycle-level timing model of a MIPS R10000-like superscalar processor
+ * with the DISE engine at decode — the substrate of the paper's
+ * evaluation (Section 4): 4-wide, 12-stage, 128-entry reorder buffer,
+ * 80 reservation stations, aggressive branch and load speculation, 32 KB
+ * L1 caches and a unified 1 MB L2.
+ *
+ * The model executes the correct-path dynamic instruction trace produced
+ * by the architectural core (ExecCore) and computes per-instruction
+ * fetch, dispatch, issue, complete and commit timestamps in one pass:
+ *
+ *  - Front end: line-granular instruction fetch through the I-cache,
+ *    width instructions per cycle, fetch groups broken by taken branches
+ *    and line crossings; gshare+BTB+RAS prediction; mispredicted
+ *    branches stall correct-path delivery until they resolve in the
+ *    backend plus the front-end refill depth.
+ *  - DISE at decode: replacement instructions consume front-end slots;
+ *    engine placement is Free (no overhead), Stall (one-cycle stall per
+ *    expansion) or Pipe (one extra front-end stage, deeper mispredict
+ *    refill); PT/RT misses flush the front end and stall it for the
+ *    controller's fill latency. Per the paper, DISE-internal branches
+ *    and non-trigger application branches inside replacement sequences
+ *    are never predicted: when taken they cost a full mispredict.
+ *  - Back end: dataflow-limited issue via register ready-times (renaming
+ *    removes false dependences), dispatch/commit bandwidth of the
+ *    machine width, ROB and RS occupancy via ring buffers of commit and
+ *    issue timestamps, loads access the D-cache at issue, stores at
+ *    commit (store buffer hides their latency).
+ *
+ * Deliberate simplifications (documented in DESIGN.md): wrong-path fetch
+ * consumes the mispredict shadow but does not pollute the I-cache;
+ * issue-port contention is subsumed by dispatch/commit width.
+ */
+
+#ifndef DISE_PIPELINE_PIPELINE_HPP
+#define DISE_PIPELINE_PIPELINE_HPP
+
+#include <memory>
+
+#include "src/branch/predictor.hpp"
+#include "src/mem/cache.hpp"
+#include "src/sim/core.hpp"
+
+namespace dise {
+
+/** Machine configuration (defaults = the paper's baseline). */
+struct PipelineParams
+{
+    uint32_t width = 4;
+    uint32_t robEntries = 128;
+    uint32_t rsEntries = 80;
+    /**
+     * Fetch-to-dispatch depth in cycles; with the 5 back-end stages this
+     * models the paper's 12-stage pipeline. The Pipe DISE placement adds
+     * one stage.
+     */
+    uint32_t frontendDepth = 7;
+    /** Cheap decode-stage redirect for direct branches that miss the BTB. */
+    uint32_t decodeRedirectPenalty = 2;
+    uint32_t intAluLatency = 1;
+    uint32_t intMultLatency = 3;
+    uint32_t syscallLatency = 30;
+    MemHierarchyParams mem;
+    PredictorParams bpred;
+};
+
+/** Timing results of one run. */
+struct TimingResult
+{
+    uint64_t cycles = 0;
+    RunResult arch;
+    uint64_t mispredicts = 0;
+    uint64_t decodeRedirects = 0;
+    uint64_t diseMispredicts = 0; ///< taken unpredicted (DISE/seq) branches
+    uint64_t expansionStalls = 0;
+    uint64_t missStallCycles = 0; ///< PT/RT fill stalls
+    uint64_t icacheMisses = 0;
+    uint64_t dcacheMisses = 0;
+    uint64_t l2Misses = 0;
+
+    double
+    ipc() const
+    {
+        return cycles ? double(arch.dynInsts) / double(cycles) : 0.0;
+    }
+};
+
+/** The timing simulator. */
+class PipelineSim
+{
+  public:
+    /**
+     * @param prog Program image.
+     * @param params Machine configuration.
+     * @param controller Optional DISE controller (engine placement and
+     *                   PT/RT geometry come from its DiseConfig).
+     */
+    PipelineSim(const Program &prog, const PipelineParams &params,
+                DiseController *controller = nullptr);
+
+    /** Run to program exit (or @p maxInsts dynamic instructions). */
+    TimingResult run(uint64_t maxInsts = ~uint64_t(0));
+
+    ExecCore &core() { return core_; }
+    MemHierarchy &mem() { return mem_; }
+    BranchPredictor &predictor() { return bpred_; }
+
+  private:
+    /** Front-end delivery: returns the decode cycle of @p dyn. */
+    uint64_t frontend(const DynInst &dyn);
+
+    /** Start a new fetch group at @p cycle fetching @p pc. */
+    void newFetchGroup(uint64_t cycle, Addr pc, bool accessICache);
+
+    uint32_t instLatency(const DynInst &dyn) const;
+
+    /**
+     * Evaluate a resolved control transfer against its prediction,
+     * charging redirects and training the predictor.
+     */
+    void resolveControl(Addr pc, OpClass cls, bool taken, Addr target,
+                        uint64_t resolveCycle, uint64_t decodeCycle,
+                        const BranchPredictor::Prediction &pred);
+
+    PipelineParams params_;
+    DiseController *controller_;
+    ExecCore core_;
+    MemHierarchy mem_;
+    BranchPredictor bpred_;
+    TimingResult result_;
+
+    /** @name Front-end state. */
+    /// @{
+    uint64_t feCycle_ = 0;
+    uint32_t feSlots_ = 0;
+    uint64_t curLine_ = ~uint64_t(0);
+    uint64_t pendingRedirect_ = 0; ///< earliest next fetch cycle
+    uint32_t feDepth_ = 7;
+    bool stallPerExpansion_ = false;
+    /// @}
+
+    /** @name Back-end state. */
+    /// @{
+    std::array<uint64_t, kNumLogicalRegs> regReady_{};
+    std::vector<uint64_t> commitRing_; ///< ROB occupancy
+    std::vector<uint64_t> issueRing_;  ///< RS occupancy
+    uint64_t instIndex_ = 0;
+    uint64_t dispatchCycleCur_ = 0;
+    uint32_t dispatchSlots_ = 0;
+    uint64_t commitCycleCur_ = 0;
+    uint32_t commitSlots_ = 0;
+    uint64_t lastCommit_ = 0;
+    /// @}
+
+    /** @name Per-expansion (sequence-level) prediction state. */
+    /// @{
+    OpClass seqPredCls_ = OpClass::Nop;
+    BranchPredictor::Prediction seqPred_;
+    Addr seqTriggerPC_ = 0;
+    bool seqTrigTaken_ = false;
+    Addr seqTrigTarget_ = 0;
+    bool seqRedirected_ = false;
+    Addr seqRedirTarget_ = 0;
+    uint64_t seqResolve_ = 0;
+    /// @}
+};
+
+} // namespace dise
+
+#endif // DISE_PIPELINE_PIPELINE_HPP

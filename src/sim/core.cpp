@@ -1,0 +1,453 @@
+#include "src/sim/core.hpp"
+
+#include "src/common/bits.hpp"
+#include "src/common/logging.hpp"
+#include "src/isa/disasm.hpp"
+
+namespace dise {
+
+ExecCore::ExecCore(const Program &prog, DiseController *controller)
+    : prog_(prog), controller_(controller), pc_(prog.entry)
+{
+    memory_.loadProgram(prog);
+    regs_.fill(0);
+    regs_[kSpReg] = prog.stackTop;
+    brk_ = (prog.dataBase + prog.data.size() + 0xffff) & ~Addr(0xffff);
+}
+
+void
+ExecCore::setReg(RegIndex r, uint64_t value)
+{
+    if (r != kZeroReg)
+        regs_[r] = value;
+}
+
+DiseRegFile
+ExecCore::diseRegs() const
+{
+    DiseRegFile file;
+    for (unsigned i = 0; i < kNumDiseRegs; ++i)
+        file[i] = regs_[kDiseRegBase + i];
+    return file;
+}
+
+void
+ExecCore::setDiseReg(unsigned i, uint64_t value)
+{
+    DISE_ASSERT(i < kNumDiseRegs, "bad dedicated register index");
+    regs_[kDiseRegBase + i] = value;
+}
+
+void
+ExecCore::doSyscall(DynInst &dyn)
+{
+    dyn.isSyscall = true;
+    const auto code = static_cast<SyscallCode>(readReg(kRetReg));
+    const uint64_t a0 = readReg(kArg0Reg);
+    switch (code) {
+      case SyscallCode::Exit:
+        exited_ = true;
+        result_.exited = true;
+        result_.exitCode = static_cast<int>(a0);
+        break;
+      case SyscallCode::PutChar:
+        result_.output += static_cast<char>(a0 & 0xff);
+        break;
+      case SyscallCode::PutInt:
+        result_.output += std::to_string(static_cast<int64_t>(a0));
+        break;
+      case SyscallCode::Brk: {
+        writeReg(kRetReg, brk_);
+        brk_ += a0;
+        break;
+      }
+      default:
+        fatal(strFormat("unknown syscall %llu at pc 0x%llx",
+                        (unsigned long long)readReg(kRetReg),
+                        (unsigned long long)dyn.pc));
+    }
+}
+
+void
+ExecCore::execute(DynInst &dyn)
+{
+    const DecodedInst &inst = dyn.inst;
+    const uint64_t vA = readReg(inst.ra);
+    const uint64_t vB = inst.useLit ? static_cast<uint64_t>(inst.imm)
+                                    : readReg(inst.rb);
+
+    auto condTaken = [&](Opcode op, uint64_t v) {
+        const int64_t sv = static_cast<int64_t>(v);
+        switch (op) {
+          case Opcode::BEQ: case Opcode::DBEQ: return v == 0;
+          case Opcode::BNE: case Opcode::DBNE: return v != 0;
+          case Opcode::BLT: case Opcode::DBLT: return sv < 0;
+          case Opcode::BLE: return sv <= 0;
+          case Opcode::BGT: return sv > 0;
+          case Opcode::BGE: case Opcode::DBGE: return sv >= 0;
+          case Opcode::BLBC: return (v & 1) == 0;
+          case Opcode::BLBS: return (v & 1) != 0;
+          default: return false;
+        }
+    };
+
+    switch (inst.op) {
+      case Opcode::NOP:
+        break;
+      case Opcode::LDA:
+        writeReg(inst.ra,
+                 readReg(inst.rb) + static_cast<uint64_t>(inst.imm));
+        break;
+      case Opcode::LDAH:
+        writeReg(inst.ra, readReg(inst.rb) +
+                              (static_cast<uint64_t>(inst.imm) << 16));
+        break;
+      case Opcode::LDBU:
+      case Opcode::LDL:
+      case Opcode::LDQ: {
+        dyn.isMem = true;
+        dyn.memAddr = readReg(inst.rb) + static_cast<uint64_t>(inst.imm);
+        ++result_.loads;
+        uint64_t value;
+        if (inst.op == Opcode::LDBU) {
+            value = memory_.read(dyn.memAddr, 1);
+        } else if (inst.op == Opcode::LDL) {
+            value = static_cast<uint64_t>(
+                signExtend(memory_.read(dyn.memAddr, 4), 32));
+        } else {
+            value = memory_.read(dyn.memAddr, 8);
+        }
+        writeReg(inst.ra, value);
+        break;
+      }
+      case Opcode::STB:
+      case Opcode::STL:
+      case Opcode::STQ: {
+        dyn.isMem = true;
+        dyn.isStore = true;
+        dyn.memAddr = readReg(inst.rb) + static_cast<uint64_t>(inst.imm);
+        ++result_.stores;
+        const unsigned size =
+            inst.op == Opcode::STB ? 1 : (inst.op == Opcode::STL ? 4 : 8);
+        memory_.write(dyn.memAddr, vA, size);
+        break;
+      }
+      case Opcode::BR:
+      case Opcode::BSR:
+        dyn.isAppControl = true;
+        dyn.taken = true;
+        dyn.actualTarget = inst.branchTarget(dyn.pc);
+        writeReg(inst.ra, dyn.pc + 4);
+        break;
+      case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
+      case Opcode::BLE: case Opcode::BGT: case Opcode::BGE:
+      case Opcode::BLBC: case Opcode::BLBS:
+        dyn.isAppControl = true;
+        dyn.taken = condTaken(inst.op, vA);
+        dyn.actualTarget = inst.branchTarget(dyn.pc);
+        break;
+      case Opcode::JMP:
+      case Opcode::JSR:
+      case Opcode::RET:
+        dyn.isAppControl = true;
+        dyn.taken = true;
+        dyn.actualTarget = readReg(inst.rb) & ~Addr(3);
+        writeReg(inst.ra, dyn.pc + 4);
+        break;
+      case Opcode::SYSCALL:
+        doSyscall(dyn);
+        break;
+      case Opcode::ADDQ:
+        writeReg(inst.rc, vA + vB);
+        break;
+      case Opcode::SUBQ:
+        writeReg(inst.rc, vA - vB);
+        break;
+      case Opcode::MULQ:
+        writeReg(inst.rc, vA * vB);
+        break;
+      case Opcode::AND:
+        writeReg(inst.rc, vA & vB);
+        break;
+      case Opcode::BIC:
+        writeReg(inst.rc, vA & ~vB);
+        break;
+      case Opcode::OR:
+        writeReg(inst.rc, vA | vB);
+        break;
+      case Opcode::ORNOT:
+        writeReg(inst.rc, vA | ~vB);
+        break;
+      case Opcode::XOR:
+        writeReg(inst.rc, vA ^ vB);
+        break;
+      case Opcode::SLL:
+        writeReg(inst.rc, vA << (vB & 63));
+        break;
+      case Opcode::SRL:
+        writeReg(inst.rc, vA >> (vB & 63));
+        break;
+      case Opcode::SRA:
+        writeReg(inst.rc, static_cast<uint64_t>(
+                              static_cast<int64_t>(vA) >> (vB & 63)));
+        break;
+      case Opcode::CMPEQ:
+        writeReg(inst.rc, vA == vB ? 1 : 0);
+        break;
+      case Opcode::CMPLT:
+        writeReg(inst.rc,
+                 static_cast<int64_t>(vA) < static_cast<int64_t>(vB) ? 1
+                                                                     : 0);
+        break;
+      case Opcode::CMPLE:
+        writeReg(inst.rc,
+                 static_cast<int64_t>(vA) <= static_cast<int64_t>(vB) ? 1
+                                                                      : 0);
+        break;
+      case Opcode::CMPULT:
+        writeReg(inst.rc, vA < vB ? 1 : 0);
+        break;
+      case Opcode::CMPULE:
+        writeReg(inst.rc, vA <= vB ? 1 : 0);
+        break;
+      case Opcode::CMOVEQ:
+        if (vA == 0)
+            writeReg(inst.rc, vB);
+        break;
+      case Opcode::CMOVNE:
+        if (vA != 0)
+            writeReg(inst.rc, vB);
+        break;
+      case Opcode::DBEQ: case Opcode::DBNE: case Opcode::DBLT:
+      case Opcode::DBGE:
+        dyn.taken = condTaken(inst.op, vA);
+        break;
+      case Opcode::DBR:
+        dyn.taken = true;
+        break;
+      case Opcode::RES0: case Opcode::RES1: case Opcode::RES2:
+      case Opcode::RES3:
+        fatal(strFormat("codeword executed unexpanded at pc 0x%llx "
+                        "(missing decompression productions?)",
+                        (unsigned long long)dyn.pc));
+        break;
+      default:
+        fatal(strFormat("executed invalid instruction 0x%08x at 0x%llx",
+                        inst.raw, (unsigned long long)dyn.pc));
+    }
+}
+
+bool
+ExecCore::step(DynInst &out)
+{
+    if (exited_)
+        return false;
+
+    DynInst dyn;
+
+    if (!seqSpec_) {
+        // Fetch and present to the DISE engine.
+        if (!prog_.inText(pc_) &&
+            !(pc_ >= prog_.textBase && pc_ < prog_.textEnd())) {
+            fatal(strFormat("pc left text segment: 0x%llx",
+                            (unsigned long long)pc_));
+        }
+        const DecodedInst fetched = dise::decode(memory_.readWord(pc_));
+        if (controller_) {
+            ExpandResult r =
+                controller_->engine().expand(fetched, pc_);
+            if (r.expanded) {
+                seq_ = std::move(r.insts);
+                seqSpec_ = r.seq;
+                seqIdx_ = 0;
+                seqTriggerPC_ = pc_;
+                seqHasPendingOutcome_ = false;
+                pendingExpand_ = std::move(r);
+                ++result_.expansions;
+                ++result_.appInsts;
+            }
+        }
+        if (!seqSpec_) {
+            // Ordinary application instruction.
+            dyn.pc = pc_;
+            dyn.disepc = 0;
+            dyn.inst = fetched;
+            if (fetched.isDiseBranch()) {
+                fatal(strFormat("DISE branch in application stream "
+                                "at 0x%llx",
+                                (unsigned long long)pc_));
+            }
+            execute(dyn);
+            ++result_.dynInsts;
+            ++result_.appInsts;
+            if (!exited_) {
+                pc_ = (dyn.isAppControl && dyn.taken) ? dyn.actualTarget
+                                                      : pc_ + 4;
+            }
+            out = dyn;
+            return true;
+        }
+    }
+
+    // Emit the next slot of the in-flight replacement sequence.
+    const uint32_t slot = seqIdx_;
+    DISE_ASSERT(slot < seq_.size(), "replacement sequence overrun");
+    dyn.pc = seqTriggerPC_;
+    dyn.disepc = slot + 1;
+    dyn.inst = seq_[slot];
+    dyn.expanded = true;
+    // T.INSN is the trigger itself; a T.OP re-emission (e.g. the rebased
+    // access in sandboxing) is the trigger in modified form — both are
+    // the application's own instruction, not DISE-inserted work.
+    dyn.triggerSlot = seqSpec_->insts[slot].isTriggerInsn ||
+                      seqSpec_->insts[slot].opDir == OpDirective::Trigger;
+    dyn.firstOfSeq = (slot == 0);
+    dyn.seqLen = static_cast<uint32_t>(seq_.size());
+    if (slot == 0) {
+        dyn.ptMiss = pendingExpand_.ptMiss;
+        dyn.rtMiss = pendingExpand_.rtMiss;
+        dyn.missPenalty = pendingExpand_.missPenalty;
+        // Sequence-level prediction class (see DynInst::seqPredClass).
+        const DecodedInst trigger =
+            dise::decode(memory_.readWord(seqTriggerPC_));
+        if (isControlClass(trigger.cls)) {
+            dyn.seqPredClass = trigger.cls;
+        } else if (!seq_.empty() &&
+                   isControlClass(seq_.back().cls)) {
+            dyn.seqPredClass = seq_.back().cls;
+        }
+    }
+    ++seqIdx_;
+
+    execute(dyn);
+    ++result_.dynInsts;
+    if (!dyn.triggerSlot)
+        ++result_.diseInsts;
+
+    bool endSeq = false;
+    Addr redirect = 0;
+    bool haveRedirect = false;
+
+    if (exited_) {
+        endSeq = true;
+    } else if (dyn.inst.isDiseBranch()) {
+        if (dyn.taken) {
+            const int64_t target = static_cast<int64_t>(slot) + 1 +
+                                   dyn.inst.imm;
+            if (target < 0 ||
+                target > static_cast<int64_t>(seq_.size())) {
+                fatal(strFormat("DISE branch target %lld outside "
+                                "sequence of length %zu",
+                                (long long)target, seq_.size()));
+            }
+            dyn.diseTarget = static_cast<uint32_t>(target);
+            seqIdx_ = dyn.diseTarget;
+            if (seqIdx_ == seq_.size())
+                endSeq = true;
+        }
+    } else if (dyn.isAppControl) {
+        if (dyn.triggerSlot) {
+            // Trigger branch: instructions after it ride its predicted
+            // (here: actual) path; apply the outcome at sequence end.
+            seqHasPendingOutcome_ = true;
+            seqPendingTaken_ = dyn.taken;
+            seqPendingTarget_ = dyn.actualTarget;
+        } else if (dyn.taken) {
+            // Non-trigger branch: post-branch slots belong to the
+            // non-taken path, so a taken branch discards them.
+            endSeq = true;
+            haveRedirect = true;
+            redirect = dyn.actualTarget;
+        }
+    }
+
+    if (!endSeq && seqIdx_ >= seq_.size())
+        endSeq = true;
+
+    if (endSeq) {
+        dyn.lastOfSeq = true;
+        if (!exited_) {
+            if (haveRedirect) {
+                pc_ = redirect;
+            } else if (seqHasPendingOutcome_ && seqPendingTaken_) {
+                pc_ = seqPendingTarget_;
+            } else {
+                pc_ = seqTriggerPC_ + 4;
+            }
+        }
+        seqSpec_ = nullptr;
+        seq_.clear();
+        seqIdx_ = 0;
+        seqHasPendingOutcome_ = false;
+    }
+
+    out = dyn;
+    return true;
+}
+
+std::pair<Addr, uint32_t>
+ExecCore::interruptPoint() const
+{
+    if (seqSpec_)
+        return {seqTriggerPC_, seqIdx_ + 1};
+    return {pc_, 0};
+}
+
+void
+ExecCore::copyArchStateFrom(const ExecCore &other)
+{
+    regs_ = other.regs_;
+    memory_ = other.memory_;
+    brk_ = other.brk_;
+}
+
+void
+ExecCore::resumeAt(Addr pc, uint32_t disepc)
+{
+    // Discard any in-flight control state; the caller supplies the
+    // precise point.
+    seqSpec_ = nullptr;
+    seq_.clear();
+    seqIdx_ = 0;
+    seqHasPendingOutcome_ = false;
+    pc_ = pc;
+    if (disepc == 0)
+        return;
+
+    DISE_ASSERT(controller_ != nullptr,
+                "resumeAt with a DISEPC requires a DISE controller");
+    // Fetch ignores the DISEPC; the DISE engine recognizes it and
+    // expands the replacement sequence, skipping the first DISEPC-1
+    // instructions (which already retired before the interrupt).
+    const DecodedInst fetched = dise::decode(memory_.readWord(pc));
+    ExpandResult r = controller_->engine().expand(fetched, pc);
+    if (!r.expanded) {
+        fatal(strFormat("resumeAt: instruction at 0x%llx no longer "
+                        "expands (production set changed?)",
+                        (unsigned long long)pc));
+    }
+    DISE_ASSERT(disepc - 1 < r.insts.size(),
+                "resume DISEPC outside the replacement sequence");
+    seq_ = std::move(r.insts);
+    seqSpec_ = r.seq;
+    seqTriggerPC_ = pc;
+    seqIdx_ = disepc - 1;
+    pendingExpand_ = std::move(r);
+    pendingExpand_.missPenalty = 0; // already charged before the trap
+}
+
+RunResult
+ExecCore::run(uint64_t maxInsts)
+{
+    DynInst dyn;
+    while (result_.dynInsts < maxInsts && step(dyn)) {
+    }
+    if (!exited_ && result_.dynInsts >= maxInsts) {
+        warn(strFormat("run stopped at %llu dynamic instructions "
+                       "without exiting",
+                       (unsigned long long)result_.dynInsts));
+    }
+    return result_;
+}
+
+} // namespace dise

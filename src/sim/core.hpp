@@ -1,0 +1,189 @@
+/**
+ * @file
+ * The architectural execution core: fetches through the DISE engine,
+ * executes the (possibly expanded) instruction stream, and exposes the
+ * resulting correct-path dynamic instruction trace one instruction at a
+ * time. The functional simulator is a thin loop over this core; the
+ * cycle-level pipeline model consumes the same trace and adds timing.
+ *
+ * Replacement-sequence control semantics implemented here (Section 2.1):
+ *
+ *  - Every dynamic instruction carries a PC:DISEPC pair; DISEPC is 0 for
+ *    application instructions.
+ *  - DISE branches (dbeq/dbne/...) move only the DISEPC: a taken DISE
+ *    branch jumps within the current replacement sequence (a target equal
+ *    to the sequence length ends the sequence).
+ *  - An application branch that is NOT the trigger is never predicted;
+ *    the replacement instructions after it belong to its non-taken path,
+ *    so if it is taken the rest of the sequence is discarded and fetch
+ *    resumes at its target. (Indirect jumps/calls in sequences are
+ *    always "taken" in this sense; a call links to the trigger's PC+4.)
+ *  - An application branch that IS the trigger keeps the instructions
+ *    after it on its predicted path: with the core's oracle view, the
+ *    remainder of the sequence executes and the branch's outcome is
+ *    applied when the sequence ends.
+ */
+
+#ifndef DISE_SIM_CORE_HPP
+#define DISE_SIM_CORE_HPP
+
+#include <array>
+#include <string>
+
+#include "src/assembler/program.hpp"
+#include "src/dise/controller.hpp"
+#include "src/mem/memory.hpp"
+#include "src/sim/syscalls.hpp"
+
+namespace dise {
+
+/** One correct-path dynamic instruction with its execution outcome. */
+struct DynInst
+{
+    Addr pc = 0;
+    uint32_t disepc = 0; ///< 0 for application instructions
+    DecodedInst inst;
+
+    /** @name Expansion bookkeeping. */
+    /// @{
+    bool expanded = false;    ///< part of a replacement sequence
+    bool triggerSlot = false; ///< this slot is T.INSN
+    bool firstOfSeq = false;
+    bool lastOfSeq = false;
+    uint32_t seqLen = 0;
+    bool ptMiss = false; ///< set on the first slot only
+    bool rtMiss = false;
+    uint32_t missPenalty = 0;
+    /**
+     * Prediction class of the whole expansion (set on the first slot):
+     * the front end predicts once per fetched trigger PC — the trigger's
+     * own class when the trigger is a control instruction, else the
+     * class of the sequence's final instruction when that is application
+     * control (e.g. the compressed-out branch ending a dictionary
+     * entry), else Nop (predict fall-through).
+     */
+    OpClass seqPredClass = OpClass::Nop;
+    /// @}
+
+    /** @name Execution outcome. */
+    /// @{
+    bool isAppControl = false; ///< application-level control transfer
+    bool taken = false;        ///< app control or DISE branch outcome
+    Addr actualTarget = 0;     ///< taken app-control target
+    uint32_t diseTarget = 0;   ///< taken DISE-branch target slot
+    bool isMem = false;
+    bool isStore = false;
+    Addr memAddr = 0;
+    bool isSyscall = false;
+    /// @}
+};
+
+/** Aggregate results of an architectural run. */
+struct RunResult
+{
+    bool exited = false;
+    int exitCode = 0;
+    uint64_t dynInsts = 0;  ///< total retired (app + replacement)
+    uint64_t appInsts = 0;  ///< application-stream instructions
+    uint64_t diseInsts = 0; ///< extra instructions DISE inserted
+    uint64_t expansions = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    std::string output;
+};
+
+/** The architectural core. */
+class ExecCore
+{
+  public:
+    /**
+     * @param prog The program image (loaded into a fresh memory).
+     * @param controller Optional DISE controller; when null, the fetch
+     *                   stream executes unmodified.
+     */
+    explicit ExecCore(const Program &prog,
+                      DiseController *controller = nullptr);
+
+    /**
+     * Execute and emit the next correct-path dynamic instruction.
+     * @return False when the program has exited (out is untouched).
+     */
+    bool step(DynInst &out);
+
+    /** Run to completion (or @p maxInsts dynamic instructions). */
+    RunResult run(uint64_t maxInsts = ~uint64_t(0));
+
+    bool exited() const { return exited_; }
+    const RunResult &result() const { return result_; }
+
+    /** @name Architectural state access (tests, ACF setup). */
+    /// @{
+    uint64_t reg(RegIndex r) const { return regs_[r]; }
+    void setReg(RegIndex r, uint64_t value);
+    DiseRegFile diseRegs() const;
+    void setDiseReg(unsigned i, uint64_t value);
+    Memory &memory() { return memory_; }
+    const Memory &memory() const { return memory_; }
+    Addr pc() const { return pc_; }
+    /// @}
+
+    /** @name Precise state and interrupt resume (paper Section 2.1).
+     *
+     * Every dynamic instruction boundary is a precise PC:DISEPC point.
+     * interruptPoint() reports where execution stands (the pair the OS
+     * would save); copyArchStateFrom() transfers the architectural state
+     * (registers, dedicated registers, memory, heap break) into a fresh
+     * core — what survives across a context switch; resumeAt() restarts
+     * fetch at a PC:DISEPC pair: the fetch engine re-fetches PC, the
+     * DISE engine re-expands, and the first DISEPC-1 replacement
+     * instructions are skipped without re-executing.
+     */
+    /// @{
+    /** Current precise point: the PC:DISEPC of the NEXT instruction. */
+    std::pair<Addr, uint32_t> interruptPoint() const;
+    /** Adopt another core's architectural state (not its control). */
+    void copyArchStateFrom(const ExecCore &other);
+    /** Restart at a saved PC:DISEPC pair. */
+    void resumeAt(Addr pc, uint32_t disepc);
+    /// @}
+
+  private:
+    void execute(DynInst &dyn);
+    void doSyscall(DynInst &dyn);
+    uint64_t readReg(RegIndex r) const
+    {
+        return r == kZeroReg ? 0 : regs_[r];
+    }
+    void
+    writeReg(RegIndex r, uint64_t value)
+    {
+        if (r != kZeroReg)
+            regs_[r] = value;
+    }
+
+    const Program &prog_;
+    DiseController *controller_;
+    Memory memory_;
+    std::array<uint64_t, kNumLogicalRegs> regs_{};
+    Addr pc_;
+    Addr brk_;
+    bool exited_ = false;
+    RunResult result_;
+
+    /** @name In-flight replacement sequence. */
+    /// @{
+    std::vector<DecodedInst> seq_;
+    const ReplacementSeq *seqSpec_ = nullptr;
+    uint32_t seqIdx_ = 0;
+    Addr seqTriggerPC_ = 0;
+    bool seqHasPendingOutcome_ = false; ///< trigger branch seen, deferred
+    bool seqPendingTaken_ = false;
+    Addr seqPendingTarget_ = 0;
+    bool seqFirstEmitted_ = false;
+    ExpandResult pendingExpand_;
+    /// @}
+};
+
+} // namespace dise
+
+#endif // DISE_SIM_CORE_HPP

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * The minimal OS interface the workloads use. A SYSCALL instruction reads
+ * the function code from v0 (r0) and arguments from a0/a1 (r16/r17).
+ */
+
+#ifndef DISE_SIM_SYSCALLS_HPP
+#define DISE_SIM_SYSCALLS_HPP
+
+#include <cstdint>
+
+namespace dise {
+
+/** Syscall function codes (in v0 at the SYSCALL). */
+enum class SyscallCode : uint64_t {
+    Exit = 0,   ///< terminate; exit code in a0
+    PutChar = 1, ///< write the low byte of a0 to the output stream
+    PutInt = 2, ///< write a0 as a signed decimal to the output stream
+    Brk = 3,    ///< grow the heap by a0 bytes; old break returned in v0
+};
+
+} // namespace dise
+
+#endif // DISE_SIM_SYSCALLS_HPP

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Hand-written assembly kernels giving each synthetic benchmark its
+ * characteristic flavour. Each kernel is a leaf function named "kernel"
+ * that folds its result into the shared "chk" checksum cell.
+ */
+
+#ifndef DISE_WORKLOADS_KERNELS_HPP
+#define DISE_WORKLOADS_KERNELS_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace dise {
+
+/**
+ * Text section of a kernel.
+ * @param family One of "compress", "chase", "parse", "bits", "sort",
+ *               "arith".
+ * @param iters Inner iteration count.
+ */
+std::string kernelText(const std::string &family, uint32_t iters);
+
+/**
+ * Data section a kernel needs (labels only it uses). The chase kernel's
+ * pointer ring must not be clobbered by the generator's LCG data
+ * initialization, so kernel data is emitted after the init window.
+ * @param ringNodes Node count for the chase kernel's ring.
+ */
+std::string kernelData(const std::string &family, uint32_t ringNodes);
+
+/** Approximate dynamic instructions per kernel invocation. */
+uint64_t kernelDynCost(const std::string &family, uint32_t iters);
+
+} // namespace dise
+
+#endif // DISE_WORKLOADS_KERNELS_HPP

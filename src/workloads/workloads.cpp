@@ -1,0 +1,353 @@
+#include "src/workloads/workloads.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/assembler/assembler.hpp"
+#include "src/common/logging.hpp"
+#include "src/common/rng.hpp"
+#include "src/workloads/kernels.hpp"
+
+namespace dise {
+
+namespace {
+
+/** Registers generated code may use. s0..s4 are reserved for the binary
+ *  rewriter to scavenge, fp holds the driver counter, a0/v0 do syscalls. */
+const std::vector<RegIndex> kPool = {1,  2,  3,  4,  5,  6,  7,  8, 14,
+                                     17, 18, 19, 20, 21, 22, 23, 24, 25};
+
+/** Role assignment for one generated function. */
+struct Roles
+{
+    std::string ptr, off, lim, acc, v, u, w, c, k;
+};
+
+Roles
+rolesFrom(const std::vector<RegIndex> &regs)
+{
+    auto name = [&](size_t i) { return regName(regs[i]); };
+    return Roles{name(0), name(1), name(2), name(3), name(4),
+                 name(5), name(6), name(7), name(8)};
+}
+
+/** Emit one idiom; returns its instruction count. */
+uint32_t
+emitIdiom(std::ostringstream &os, Rng &rng, const Roles &r,
+          uint32_t regionBytes, const std::string &labelBase,
+          uint32_t idiomKind)
+{
+    switch (idiomKind) {
+      case 0: // strided load with wraparound
+        os << "    addq " << r.off << ", 8, " << r.off << "\n"
+           << "    cmplt " << r.off << ", " << r.lim << ", " << r.c
+           << "\n"
+           << "    cmoveq " << r.c << ", zero, " << r.off << "\n"
+           << "    addq " << r.ptr << ", " << r.off << ", " << r.u << "\n"
+           << "    ldq " << r.v << ", 0(" << r.u << ")\n";
+        return 5;
+      case 1: // strided store
+        os << "    addq " << r.off << ", 16, " << r.off << "\n"
+           << "    cmplt " << r.off << ", " << r.lim << ", " << r.c
+           << "\n"
+           << "    cmoveq " << r.c << ", zero, " << r.off << "\n"
+           << "    addq " << r.ptr << ", " << r.off << ", " << r.u << "\n"
+           << "    stq " << r.acc << ", 0(" << r.u << ")\n";
+        return 5;
+      case 2: { // fixed-offset read-modify-write
+        const uint32_t k = static_cast<uint32_t>(
+                               rng.below(regionBytes / 8)) *
+                           8 % 32760;
+        os << "    ldq " << r.u << ", " << k << "(" << r.ptr << ")\n"
+           << "    addq " << r.u << ", " << r.v << ", " << r.u << "\n"
+           << "    stq " << r.u << ", " << k << "(" << r.ptr << ")\n";
+        return 3;
+      }
+      case 3: { // byte load + mix
+        const uint32_t k = static_cast<uint32_t>(
+            rng.below(std::min(regionBytes, 32760u)));
+        os << "    ldbu " << r.w << ", " << k << "(" << r.ptr << ")\n"
+           << "    xor " << r.acc << ", " << r.w << ", " << r.acc << "\n";
+        return 2;
+      }
+      case 4: // hash mix
+        os << "    sll " << r.acc << ", 5, " << r.u << "\n"
+           << "    srl " << r.acc << ", 3, " << r.w << "\n"
+           << "    xor " << r.u << ", " << r.w << ", " << r.acc << "\n"
+           << "    addq " << r.acc << ", " << r.v << ", " << r.acc
+           << "\n";
+        return 4;
+      case 5: // data-dependent skip branch
+        os << "    cmplt " << r.v << ", " << r.acc << ", " << r.c << "\n"
+           << "    beq " << r.c << ", " << labelBase << "\n"
+           << "    subq " << r.acc << ", " << r.v << ", " << r.acc
+           << "\n"
+           << "    addq " << r.v << ", 1, " << r.v << "\n"
+           << labelBase << ":\n";
+        return 4;
+      case 6: // bounded multiply-accumulate
+        os << "    mulq " << r.v << ", 7, " << r.u << "\n"
+           << "    addq " << r.acc << ", " << r.u << ", " << r.acc
+           << "\n"
+           << "    and " << r.u << ", 255, " << r.v << "\n";
+        return 3;
+      case 8: { // two loads, combine, store back (memory-dense)
+        const uint32_t base = std::min(regionBytes, 32760u) / 8;
+        const uint32_t k1 =
+            static_cast<uint32_t>(rng.below(base)) * 8 % 32760;
+        const uint32_t k2 =
+            static_cast<uint32_t>(rng.below(base)) * 8 % 32760;
+        os << "    ldq " << r.u << ", " << k1 << "(" << r.ptr << ")\n"
+           << "    ldq " << r.w << ", " << k2 << "(" << r.ptr << ")\n"
+           << "    addq " << r.u << ", " << r.w << ", " << r.u << "\n"
+           << "    stq " << r.u << ", " << k1 << "(" << r.ptr << ")\n";
+        return 4;
+      }
+      default: // conditional move select
+        os << "    cmpeq " << r.u << ", " << r.w << ", " << r.c << "\n"
+           << "    cmovne " << r.c << ", " << r.u << ", " << r.acc
+           << "\n";
+        return 2;
+    }
+}
+
+/** Pick an idiom kind from the density profile. */
+uint32_t
+pickIdiom(Rng &rng, const WorkloadSpec &spec)
+{
+    if (rng.chance(spec.memDensity)) {
+        // Weighted toward memory-dense idioms so the dynamic stream has
+        // the paper's ~30% load/store fraction.
+        const uint32_t memKinds[] = {0, 1, 2, 2, 3, 8, 8, 8};
+        return memKinds[rng.below(8)];
+    }
+    if (rng.chance(spec.branchDensity /
+                   std::max(1e-9, 1.0 - spec.memDensity))) {
+        return 5;
+    }
+    const uint32_t aluKinds[] = {4, 6, 7};
+    return aluKinds[rng.below(3)];
+}
+
+} // namespace
+
+const std::vector<WorkloadSpec> &
+spec2000()
+{
+    static const std::vector<WorkloadSpec> specs = [] {
+        std::vector<WorkloadSpec> v;
+        auto add = [&](const char *name, const char *kernel,
+                       uint32_t kIters, uint32_t funcs, uint32_t idioms,
+                       uint32_t loop, double reuse, double mem,
+                       double branch, uint32_t dataKB) {
+            WorkloadSpec spec;
+            spec.name = name;
+            spec.seed = 0x5EC0000 + v.size() * 977;
+            spec.kernel = kernel;
+            spec.kernelIters = kIters;
+            spec.numFunctions = funcs;
+            spec.idiomsPerBody = idioms;
+            spec.loopIters = loop;
+            spec.idiomReuse = reuse;
+            spec.memDensity = mem;
+            spec.branchDensity = branch;
+            spec.dataKB = dataKB;
+            spec.targetDynInsts = 1200000;
+            v.push_back(spec);
+        };
+        // Note on idiomReuse: it controls how often generated idioms use
+        // canonical (byte-identical) register assignments. Real compiled
+        // code repeats *shapes* far more than exact register bindings,
+        // which is precisely why the paper's parameterized dictionary
+        // entries beat the dedicated decompressor's exact-match ones;
+        // values near 0.15-0.25 reproduce that relationship (Figure 7).
+        //   name       kernel      kIters funcs idm loop reuse mem  br   dataKB
+        add("bzip2",    "compress", 3000,  28,  4, 40, 0.25, 0.60, 0.15, 64);
+        add("crafty",   "bits",     2000, 330,  5,  6, 0.15, 0.45, 0.20, 96);
+        add("eon",      "bits",     2500, 140,  5, 10, 0.20, 0.50, 0.12, 64);
+        add("gap",      "arith",    3000,  45,  4, 30, 0.25, 0.55, 0.15, 48);
+        add("gcc",      "arith",    1200, 200,  4,  5, 0.12, 0.55, 0.25, 80);
+        add("gzip",     "compress", 2500, 270,  4,  7, 0.20, 0.60, 0.15, 128);
+        add("mcf",      "chase",   20000,  30,  4, 35, 0.22, 0.65, 0.12, 256);
+        add("parser",   "parse",    3000,  95,  4, 14, 0.15, 0.55, 0.25, 64);
+        add("perlbmk",  "parse",    2500, 160,  4,  9, 0.15, 0.55, 0.22, 96);
+        add("twolf",    "sort",       60,  60,  4, 25, 0.22, 0.60, 0.18, 48);
+        add("vortex",   "chase",    8000, 120,  5, 10, 0.18, 0.65, 0.15, 256);
+        add("vpr",      "sort",       50, 380,  5,  6, 0.15, 0.55, 0.20, 64);
+        return v;
+    }();
+    return specs;
+}
+
+const WorkloadSpec &
+workloadSpec(const std::string &name)
+{
+    for (const auto &spec : spec2000())
+        if (spec.name == name)
+            return spec;
+    fatal("unknown workload: " + name);
+}
+
+std::string
+generateWorkloadSource(const WorkloadSpec &spec)
+{
+    Rng rng(spec.seed);
+    std::ostringstream text;
+    std::ostringstream funcs;
+
+    const uint32_t numRegions = 8;
+    uint32_t regionBytes = 1024;
+    while (regionBytes * numRegions < spec.dataKB * 1024u)
+        regionBytes *= 2;
+    const uint64_t initBytes = uint64_t(regionBytes) * numRegions;
+    const uint32_t ringNodes = spec.dataKB >= 256 ? 16384 : 4096;
+
+    // Canonical role registers (used with probability idiomReuse) make
+    // idiom instances byte-identical across functions, which is what
+    // unparameterized compression exploits; shuffled assignments leave
+    // redundancy only parameterization can capture.
+    const Roles canonical = rolesFrom(kPool);
+
+    // ---- Generated functions. ----
+    struct FuncInfo
+    {
+        uint64_t dynCost = 0;
+        bool isCaller = false;
+    };
+    std::vector<FuncInfo> info(spec.numFunctions);
+
+    for (uint32_t f = 0; f < spec.numFunctions; ++f) {
+        const bool caller =
+            f > 2 && rng.chance(0.12) && spec.numFunctions > 8;
+        info[f].isCaller = caller;
+        funcs << "f" << f << ":\n";
+        if (caller) {
+            // Save the return address, call a few earlier leaves.
+            funcs << "    lda sp, -16(sp)\n    stq ra, 0(sp)\n";
+            const uint32_t calls = 2 + rng.below(2);
+            uint64_t cost = 8;
+            for (uint32_t c = 0; c < calls; ++c) {
+                uint32_t target = rng.below(f);
+                if (info[target].isCaller)
+                    target = 0; // keep the call graph two-deep
+                funcs << "    call f" << target << "\n";
+                cost += info[target].dynCost + 1;
+            }
+            funcs << "    ldq ra, 0(sp)\n    lda sp, 16(sp)\n    ret\n";
+            info[f].dynCost = cost;
+            continue;
+        }
+
+        Roles roles;
+        if (rng.chance(spec.idiomReuse)) {
+            roles = canonical;
+        } else {
+            std::vector<RegIndex> regs = kPool;
+            for (size_t i = regs.size(); i > 1; --i)
+                std::swap(regs[i - 1], regs[rng.below(i)]);
+            roles = rolesFrom(regs);
+        }
+        const uint32_t region = rng.below(numRegions);
+        funcs << "    laq arr" << region << ", " << roles.ptr << "\n"
+              << "    li " << regionBytes << ", " << roles.lim << "\n"
+              << "    mov zero, " << roles.off << "\n"
+              << "    mov zero, " << roles.acc << "\n"
+              << "    li " << (17 + rng.below(200)) << ", " << roles.v
+              << "\n"
+              << "    mov zero, " << roles.u << "\n"
+              << "    mov zero, " << roles.w << "\n"
+              << "    li " << spec.loopIters << ", " << roles.k << "\n";
+        funcs << "f" << f << "_l:\n";
+        uint32_t bodyInsts = 0;
+        for (uint32_t b = 0; b < spec.idiomsPerBody; ++b) {
+            const std::string label =
+                strFormat("f%u_s%u", f, b);
+            bodyInsts += emitIdiom(funcs, rng, roles, regionBytes, label,
+                                   pickIdiom(rng, spec));
+        }
+        funcs << "    subq " << roles.k << ", 1, " << roles.k << "\n"
+              << "    bne " << roles.k << ", f" << f << "_l\n";
+        // Fold the accumulator into the shared checksum.
+        funcs << "    laq chk, " << roles.u << "\n"
+              << "    ldq " << roles.w << ", 0(" << roles.u << ")\n"
+              << "    xor " << roles.w << ", " << roles.acc << ", "
+              << roles.w << "\n"
+              << "    stq " << roles.w << ", 0(" << roles.u << ")\n"
+              << "    ret\n";
+        info[f].dynCost =
+            12 + uint64_t(spec.loopIters) * (bodyInsts + 2) + 8;
+    }
+
+    // ---- Dynamic length budget. ----
+    uint64_t perPass = kernelDynCost(spec.kernel, spec.kernelIters) + 2;
+    for (uint32_t f = 0; f < spec.numFunctions; ++f)
+        perPass += info[f].dynCost + 1;
+    const uint64_t initCost = (initBytes / 8) * 5 + 8;
+    uint64_t driverIters = 2;
+    if (spec.targetDynInsts > initCost + 2 * perPass) {
+        driverIters = std::max<uint64_t>(
+            2, (spec.targetDynInsts - initCost) / perPass);
+    }
+
+    // ---- Main, data init, driver. ----
+    text << "    .text\n";
+    text << "main:\n";
+    text << "    laq arr0, t0\n"
+         << "    li " << (initBytes / 8) << ", t1\n"
+         << "    li 12345, t2\n"
+         << "    li 25173, t3\n"
+         << "init_l:\n"
+         << "    mulq t2, t3, t2\n"
+         << "    addq t2, 239, t2\n"
+         << "    stq t2, 0(t0)\n"
+         << "    lda t0, 8(t0)\n"
+         << "    subq t1, 1, t1\n"
+         << "    bne t1, init_l\n";
+    text << "    li " << driverIters << ", fp\n";
+    text << "driver:\n";
+    text << "    call kernel\n";
+    for (uint32_t f = 0; f < spec.numFunctions; ++f)
+        text << "    call f" << f << "\n";
+    text << "    subq fp, 1, fp\n"
+         << "    bne fp, driver\n";
+    // Print the checksum and exit cleanly.
+    text << "    laq chk, t0\n"
+         << "    ldq a0, 0(t0)\n"
+         << "    li 2, v0\n"
+         << "    syscall\n"
+         << "    li 0, v0\n"
+         << "    li 0, a0\n"
+         << "    syscall\n";
+    // MFI error handler: exit(42).
+    text << "error:\n"
+         << "    li 0, v0\n"
+         << "    li 42, a0\n"
+         << "    syscall\n";
+
+    text << kernelText(spec.kernel, spec.kernelIters);
+    text << funcs.str();
+
+    // ---- Data. ----
+    text << "    .data\n";
+    for (uint32_t r = 0; r < numRegions; ++r)
+        text << "arr" << r << ":\n    .space " << regionBytes << "\n";
+    // Kernel data sits after the LCG-initialized window (the chase ring
+    // holds pointers that must survive).
+    text << kernelData(spec.kernel, ringNodes);
+    text << "chk:\n    .quad 0\n";
+    return text.str();
+}
+
+Program
+buildWorkload(const WorkloadSpec &spec)
+{
+    return assemble(generateWorkloadSource(spec));
+}
+
+Program
+buildWorkload(const std::string &name)
+{
+    return buildWorkload(workloadSpec(name));
+}
+
+} // namespace dise

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Synthetic SPEC2000-integer-like workload suite.
+ *
+ * The paper evaluates on the SPECint 2000 binaries (Alpha, GCC -O4); we
+ * cannot redistribute those, so each benchmark is replaced by a program
+ * with the same name generated from a per-benchmark profile plus a
+ * hand-written kernel capturing its flavour (compression loops for
+ * bzip2/gzip, pointer chasing for mcf/vortex, a branchy state machine
+ * for parser/perlbmk, bitboard arithmetic for crafty/eon, ...). The
+ * profile controls the properties the paper's experiments actually
+ * measure against:
+ *
+ *  - static text size / instruction working set (crafty, gzip and vpr
+ *    exceed 32 KB; about half the suite exceeds 8 KB — Section 4.2),
+ *  - memory-operation density (~30-40 % of dynamic instructions, so MFI
+ *    expands ~30 % of the stream — Section 4.1),
+ *  - branch density and code redundancy (drives compressibility and the
+ *    parameterization benefit — Section 4.2).
+ *
+ * Constraints the ACFs rely on: no text addresses stored in data or
+ * registers (so the binary rewriter can relocate code), and registers
+ * s0..s4 are reserved for the rewriter to scavenge.
+ */
+
+#ifndef DISE_WORKLOADS_WORKLOADS_HPP
+#define DISE_WORKLOADS_WORKLOADS_HPP
+
+#include <string>
+#include <vector>
+
+#include "src/assembler/program.hpp"
+
+namespace dise {
+
+/** Generation profile for one benchmark. */
+struct WorkloadSpec
+{
+    std::string name;
+    uint64_t seed = 1;
+    /** Hand-written kernel family ("compress", "chase", "parse",
+     *  "bits", "sort", "arith"). */
+    std::string kernel = "arith";
+    /** Kernel inner iteration count. */
+    uint32_t kernelIters = 2000;
+    /** Generated leaf/caller functions (static footprint driver). */
+    uint32_t numFunctions = 40;
+    /** Idioms per generated function body. */
+    uint32_t idiomsPerBody = 4;
+    /** Inner-loop trip count of generated functions. */
+    uint32_t loopIters = 24;
+    /** Probability an idiom uses canonical registers (redundancy). */
+    double idiomReuse = 0.5;
+    /** Probability an idiom is a memory idiom. */
+    double memDensity = 0.45;
+    /** Probability an idiom contains a conditional branch. */
+    double branchDensity = 0.18;
+    /** Data working set in KB (split across regions). */
+    uint32_t dataKB = 64;
+    /** Approximate dynamic instruction target. */
+    uint64_t targetDynInsts = 1200000;
+};
+
+/** The twelve SPECint-2000-named profiles. */
+const std::vector<WorkloadSpec> &spec2000();
+
+/** Look up a profile by name; fatal() when unknown. */
+const WorkloadSpec &workloadSpec(const std::string &name);
+
+/** Generate the assembly source for a profile. */
+std::string generateWorkloadSource(const WorkloadSpec &spec);
+
+/** Generate and assemble a benchmark. */
+Program buildWorkload(const WorkloadSpec &spec);
+Program buildWorkload(const std::string &name);
+
+} // namespace dise
+
+#endif // DISE_WORKLOADS_WORKLOADS_HPP

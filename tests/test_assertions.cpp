@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Watchpoint/assertion ACF tests: stores elsewhere take the DISE-branch
+ * fast path, stores to the watched cell are value-checked, violations
+ * trap, and the assertion adds zero cost when deactivated.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/acf/assertions.hpp"
+#include "src/assembler/assembler.hpp"
+#include "src/common/logging.hpp"
+#include "src/dise/controller.hpp"
+
+namespace dise {
+namespace {
+
+Program
+watchProgram(int64_t value, const char *target)
+{
+    return assemble(strFormat(".text\n"
+                              "main:\n"
+                              "    laq buf, t5\n"
+                              "    li %lld, t0\n"
+                              "    stq t0, %s(t5)\n"
+                              "    li 0, v0\n    li 0, a0\n"
+                              "    syscall\n"
+                              "error:\n"
+                              "    li 0, v0\n    li 42, a0\n"
+                              "    syscall\n"
+                              ".data\n"
+                              "buf:\n    .quad 0, 0\n",
+                              (long long)value, target));
+}
+
+RunResult
+runWatched(const Program &prog, Addr watched, uint64_t bound)
+{
+    WatchpointOptions opts;
+    auto set = std::make_shared<ProductionSet>(
+        makeWatchpointProductions(prog, opts));
+    DiseController controller;
+    controller.install(set);
+    ExecCore core(prog, &controller);
+    initWatchpointRegisters(core, watched, bound);
+    return core.run(10000);
+}
+
+TEST(Watchpoint, InBoundsStorePasses)
+{
+    const Program prog = watchProgram(7, "0");
+    const RunResult r = runWatched(prog, prog.symbol("buf"), 10);
+    EXPECT_EQ(r.exitCode, 0);
+}
+
+TEST(Watchpoint, ViolationTraps)
+{
+    const Program prog = watchProgram(11, "0");
+    const RunResult r = runWatched(prog, prog.symbol("buf"), 10);
+    EXPECT_EQ(r.exitCode, 42);
+}
+
+TEST(Watchpoint, BoundaryValuePasses)
+{
+    const Program prog = watchProgram(10, "0");
+    EXPECT_EQ(runWatched(prog, prog.symbol("buf"), 10).exitCode, 0);
+}
+
+TEST(Watchpoint, OtherAddressesTakeTheFastPath)
+{
+    // Store to buf+8 while watching buf: the over-bound value must NOT
+    // trap, and the value-check instructions must be skipped (the
+    // expansion retires 4 of its 6 slots thanks to the DISE branch).
+    const Program prog = watchProgram(999, "8");
+    WatchpointOptions opts;
+    auto set = std::make_shared<ProductionSet>(
+        makeWatchpointProductions(prog, opts));
+    DiseController controller;
+    controller.install(set);
+    ExecCore core(prog, &controller);
+    initWatchpointRegisters(core, prog.symbol("buf"), 10);
+    const RunResult r = core.run(10000);
+    EXPECT_EQ(r.exitCode, 0);
+    EXPECT_EQ(r.expansions, 1u);
+    // Slots executed: lda, cmpeq, dbeq, T.INSN -> 3 inserted.
+    EXPECT_EQ(r.diseInsts, 3u);
+}
+
+TEST(Watchpoint, WatchedStoreRunsFullCheck)
+{
+    const Program prog = watchProgram(7, "0");
+    WatchpointOptions opts;
+    auto set = std::make_shared<ProductionSet>(
+        makeWatchpointProductions(prog, opts));
+    DiseController controller;
+    controller.install(set);
+    ExecCore core(prog, &controller);
+    initWatchpointRegisters(core, prog.symbol("buf"), 10);
+    const RunResult r = core.run(10000);
+    EXPECT_EQ(r.exitCode, 0);
+    // All five inserted slots retired.
+    EXPECT_EQ(r.diseInsts, 5u);
+    EXPECT_EQ(core.memory().readQuad(prog.symbol("buf")), 7u);
+}
+
+TEST(Watchpoint, DisplacedStoreAddressesAreComputed)
+{
+    // The effective address (base + displacement) decides the match,
+    // not the base register alone: watch buf+8, store to 8(t5).
+    const Program prog = watchProgram(999, "8");
+    const RunResult r = runWatched(prog, prog.symbol("buf") + 8, 10);
+    EXPECT_EQ(r.exitCode, 42);
+}
+
+TEST(Watchpoint, DeactivationRemovesAllCost)
+{
+    const Program prog = watchProgram(999, "0");
+    DiseController controller;
+    controller.install(std::make_shared<ProductionSet>(
+        makeWatchpointProductions(prog, WatchpointOptions{})));
+    controller.deactivate();
+    ExecCore core(prog, &controller);
+    const RunResult r = core.run(10000);
+    EXPECT_EQ(r.exitCode, 0);
+    EXPECT_EQ(r.expansions, 0u);
+    EXPECT_EQ(r.diseInsts, 0u);
+}
+
+} // namespace
+} // namespace dise

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Unit tests for the common utilities: bit manipulation, the
+ * deterministic RNG, statistics groups and the table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/bits.hpp"
+#include "src/common/logging.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/stats.hpp"
+#include "src/common/table.hpp"
+
+namespace dise {
+namespace {
+
+TEST(Bits, ExtractBasic)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 0, 8), 0xefu);
+    EXPECT_EQ(bits(0xdeadbeef, 8, 8), 0xbeu);
+    EXPECT_EQ(bits(0xdeadbeef, 28, 4), 0xdu);
+    EXPECT_EQ(bits(0xffffffffffffffffULL, 0, 64), 0xffffffffffffffffULL);
+}
+
+TEST(Bits, InsertRoundTrip)
+{
+    uint64_t word = 0;
+    word = insertBits(word, 26, 6, 0x15);
+    word = insertBits(word, 21, 5, 7);
+    word = insertBits(word, 0, 16, 0x8001);
+    EXPECT_EQ(bits(word, 26, 6), 0x15u);
+    EXPECT_EQ(bits(word, 21, 5), 7u);
+    EXPECT_EQ(bits(word, 0, 16), 0x8001u);
+}
+
+TEST(Bits, InsertReplacesOldField)
+{
+    uint64_t word = ~uint64_t(0);
+    word = insertBits(word, 8, 8, 0);
+    EXPECT_EQ(bits(word, 8, 8), 0u);
+    EXPECT_EQ(bits(word, 0, 8), 0xffu);
+    EXPECT_EQ(bits(word, 16, 8), 0xffu);
+}
+
+TEST(Bits, SignExtend)
+{
+    EXPECT_EQ(signExtend(0xff, 8), -1);
+    EXPECT_EQ(signExtend(0x7f, 8), 127);
+    EXPECT_EQ(signExtend(0x8000, 16), -32768);
+    EXPECT_EQ(signExtend(0x1fffff, 21), -1);
+    EXPECT_EQ(signExtend(42, 21), 42);
+}
+
+TEST(Bits, FitsSigned)
+{
+    EXPECT_TRUE(fitsSigned(32767, 16));
+    EXPECT_FALSE(fitsSigned(32768, 16));
+    EXPECT_TRUE(fitsSigned(-32768, 16));
+    EXPECT_FALSE(fitsSigned(-32769, 16));
+    EXPECT_TRUE(fitsSigned(-1, 1));
+    EXPECT_FALSE(fitsSigned(1, 1));
+}
+
+TEST(Bits, FitsUnsigned)
+{
+    EXPECT_TRUE(fitsUnsigned(255, 8));
+    EXPECT_FALSE(fitsUnsigned(256, 8));
+    EXPECT_TRUE(fitsUnsigned(0, 1));
+}
+
+TEST(Bits, Log2AndPow2)
+{
+    EXPECT_EQ(log2i(1), 0u);
+    EXPECT_EQ(log2i(4096), 12u);
+    EXPECT_TRUE(isPow2(64));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(48));
+}
+
+TEST(Bits, PopCount)
+{
+    EXPECT_EQ(popCount(0), 0u);
+    EXPECT_EQ(popCount(0xff), 8u);
+    EXPECT_EQ(popCount(0x8000000000000001ULL), 2u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(13), 13u);
+}
+
+TEST(Rng, BelowCoversAllValues)
+{
+    Rng rng(9);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(rng.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(11);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const int64_t v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        sawLo |= v == -3;
+        sawHi |= v == 3;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(13);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Stats, AddSetGet)
+{
+    StatGroup stats("test");
+    EXPECT_EQ(stats.get("x"), 0u);
+    stats.add("x");
+    stats.add("x", 4);
+    EXPECT_EQ(stats.get("x"), 5u);
+    stats.set("x", 2);
+    EXPECT_EQ(stats.get("x"), 2u);
+}
+
+TEST(Stats, ResetZeroesEverything)
+{
+    StatGroup stats("test");
+    stats.add("a", 3);
+    stats.add("b", 7);
+    stats.reset();
+    EXPECT_EQ(stats.get("a"), 0u);
+    EXPECT_EQ(stats.get("b"), 0u);
+}
+
+TEST(Stats, DumpFormat)
+{
+    StatGroup stats("grp");
+    stats.add("hits", 2);
+    EXPECT_EQ(stats.dump(), "grp.hits 2\n");
+}
+
+TEST(Stats, SafeRatio)
+{
+    EXPECT_DOUBLE_EQ(safeRatio(1, 2), 0.5);
+    EXPECT_DOUBLE_EQ(safeRatio(1, 0), 0.0);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    TextTable table({"name", "value"});
+    table.addRow({"a", "1"});
+    table.addRow({"longer", "22"});
+    const std::string out = table.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    // Header separator exists.
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, ArityMismatchPanics)
+{
+    TextTable table({"one", "two"});
+    EXPECT_THROW(table.addRow({"only-one"}), PanicError);
+}
+
+TEST(Table, NumFormatting)
+{
+    EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::num(2.0, 3), "2.000");
+}
+
+TEST(Logging, FatalThrows)
+{
+    EXPECT_THROW(fatal("boom"), FatalError);
+    EXPECT_THROW(panic("bug"), PanicError);
+}
+
+TEST(Logging, StrFormat)
+{
+    EXPECT_EQ(strFormat("%d-%s", 5, "x"), "5-x");
+    EXPECT_EQ(strFormat("%04x", 0xab), "00ab");
+}
+
+} // namespace
+} // namespace dise

@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Code-compression tests: candidate rules, greedy selection, codeword
+ * encoding, parameterized dictionary sharing, PC-relative branch
+ * compression, size accounting for every Figure 7 design point, and
+ * compress/decompress round-trip execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/acf/compress.hpp"
+#include "src/assembler/assembler.hpp"
+#include "src/common/rng.hpp"
+#include "src/dise/controller.hpp"
+#include "src/sim/core.hpp"
+
+namespace dise {
+namespace {
+
+/** Run a program (optionally compressed) and return the result. */
+RunResult
+runProgram(const Program &prog,
+           std::shared_ptr<ProductionSet> dict = nullptr)
+{
+    DiseController controller;
+    if (dict)
+        controller.install(dict);
+    ExecCore core(prog, dict ? &controller : nullptr);
+    return core.run(1000000);
+}
+
+/** A program with a thrice-repeated 3-instruction idiom. */
+Program
+redundantProgram()
+{
+    std::string src = ".text\nmain:\n    laq buf, t5\n    li 0, t1\n";
+    for (int i = 0; i < 3; ++i) {
+        src += "    ldq t2, 0(t5)\n"
+               "    addq t2, t1, t2\n"
+               "    stq t2, 0(t5)\n";
+        src += strFormat("    addq t1, %d, t1\n", i); // break repetition
+    }
+    src += "    mov t1, a0\n    li 2, v0\n    syscall\n"
+           "    li 0, v0\n    li 0, a0\n    syscall\n"
+           ".data\nbuf:\n    .quad 0\n";
+    return assemble(src);
+}
+
+TEST(Compress, FindsRepeatedSequences)
+{
+    CompressorOptions opts;
+    opts.maxParams = 0;
+    opts.dictEntryBytes = 4;
+    const auto result = compressProgram(redundantProgram(), opts);
+    EXPECT_GE(result.dictEntries, 1u);
+    EXPECT_GE(result.codewords, 3u);
+    EXPECT_LT(result.compressedTextBytes, result.originalTextBytes);
+}
+
+TEST(Compress, RoundTripExecution)
+{
+    const Program prog = redundantProgram();
+    const RunResult native = runProgram(prog);
+    const auto result = compressProgram(prog);
+    const RunResult comp = runProgram(result.compressed,
+                                      result.dictionary);
+    EXPECT_EQ(comp.output, native.output);
+    EXPECT_EQ(comp.exitCode, native.exitCode);
+    // Decompression recreates the original stream instruction for
+    // instruction.
+    EXPECT_EQ(comp.dynInsts, native.dynInsts);
+}
+
+TEST(Compress, ParameterizationUnifiesRegisterVariants)
+{
+    // The same idiom over three different register sets: without
+    // parameters three entries (or none profitable), with parameters one
+    // shared entry.
+    std::string src = ".text\nmain:\n    laq buf, t5\n";
+    const char *regs[3][2] = {{"t0", "t1"}, {"t2", "t3"}, {"t6", "t7"}};
+    for (auto &r : regs) {
+        src += strFormat("    ldq %s, 0(t5)\n", r[0]);
+        src += strFormat("    addq %s, 1, %s\n", r[0], r[1]);
+        src += strFormat("    stq %s, 0(t5)\n", r[1]);
+        src += "    nop\n";
+    }
+    src += "    li 0, v0\n    li 0, a0\n    syscall\n"
+           ".data\nbuf:\n    .quad 0\n";
+    const Program prog = assemble(src);
+
+    CompressorOptions withParams;
+    withParams.maxParams = 3;
+    const auto param = compressProgram(prog, withParams);
+    CompressorOptions noParams;
+    noParams.maxParams = 0;
+    noParams.dictEntryBytes = 4;
+    const auto exact = compressProgram(prog, noParams);
+
+    EXPECT_GE(param.codewords, 3u);
+    EXPECT_LT(param.dictEntries * 3u, param.codewords * 3u + 1);
+    EXPECT_LT(param.compressedTextBytes, exact.compressedTextBytes);
+
+    // And the parameterized image still runs correctly.
+    const RunResult native = runProgram(prog);
+    const RunResult comp =
+        runProgram(param.compressed, param.dictionary);
+    EXPECT_EQ(comp.output, native.output);
+}
+
+TEST(Compress, SmallImmediatesBecomeParameters)
+{
+    // Figure 4's lda +8 / lda -8 sharing one entry. All displacements
+    // must fit the sign-extended 5-bit parameter range [-16, 15].
+    std::string src = ".text\nmain:\n    laq buf, t5\n";
+    for (const int d : {8, -8, -4}) {
+        src += strFormat("    lda t0, %d(t0)\n", d);
+        src += "    ldq t1, 0(t5)\n"
+               "    addq t1, t0, t1\n"
+               "    nop\n";
+    }
+    src += "    li 0, v0\n    li 0, a0\n    syscall\n"
+           ".data\nbuf:\n    .quad 0\n";
+    const Program prog = assemble(src);
+    CompressorOptions opts;
+    const auto result = compressProgram(prog, opts);
+    EXPECT_GE(result.codewords, 3u);
+    EXPECT_EQ(result.dictEntries, 1u);
+    const RunResult native = runProgram(prog);
+    const RunResult comp =
+        runProgram(result.compressed, result.dictionary);
+    EXPECT_EQ(comp.dynInsts, native.dynInsts);
+}
+
+TEST(Compress, BranchCompressionAdjustsOffsetsPerInstance)
+{
+    // Identical loop bodies ending in backward branches with (after
+    // compression) different displacements: only offset
+    // parameterization can share them.
+    std::string src = ".text\nmain:\n";
+    for (int l = 0; l < 3; ++l) {
+        src += "    li 3, t0\n";
+        src += strFormat("loop%d:\n", l);
+        src += "    subq t0, 1, t0\n"
+               "    addq t2, 2, t2\n"
+               "    xor t2, t3, t3\n";
+        src += strFormat("    bne t0, loop%d\n", l);
+    }
+    src += "    li 0, v0\n    li 0, a0\n    syscall\n";
+    const Program prog = assemble(src);
+
+    CompressorOptions opts;
+    opts.compressBranches = true;
+    const auto result = compressProgram(prog, opts);
+    EXPECT_GE(result.codewords, 3u);
+    const RunResult native = runProgram(prog);
+    const RunResult comp =
+        runProgram(result.compressed, result.dictionary);
+    EXPECT_EQ(comp.exitCode, 0);
+    EXPECT_EQ(comp.dynInsts, native.dynInsts);
+
+    CompressorOptions noBranches;
+    noBranches.compressBranches = false;
+    const auto safe = compressProgram(prog, noBranches);
+    // Branch-ending candidates are excluded entirely without offset
+    // parameters (subq differs between the loops, so only the 2-inst
+    // middle run repeats — too short to profit at 8-byte entries).
+    EXPECT_GE(safe.compressedTextBytes, result.compressedTextBytes);
+}
+
+TEST(Compress, CandidatesNeverStraddleBasicBlocks)
+{
+    // A branch target in the middle of a repeated run must split it.
+    std::string src = ".text\nmain:\n    li 2, t0\n";
+    src += "    addq t1, 1, t1\n"
+           "    addq t2, 1, t2\n"
+           "mid:\n"
+           "    addq t3, 1, t3\n"
+           "    addq t4, 1, t4\n"
+           "    subq t0, 1, t0\n"
+           "    bne t0, mid\n"
+           "    li 0, v0\n    li 0, a0\n    syscall\n";
+    const Program prog = assemble(src);
+    const auto result = compressProgram(prog);
+    // Whatever was chosen, execution must be exact.
+    const RunResult native = runProgram(prog);
+    const RunResult comp =
+        runProgram(result.compressed, result.dictionary);
+    EXPECT_EQ(comp.dynInsts, native.dynInsts);
+    EXPECT_EQ(comp.exitCode, 0);
+}
+
+TEST(Compress, DedicatedOptionsEnableSingleInstruction)
+{
+    // With 2-byte codewords a single instruction repeated often enough
+    // is profitable.
+    std::string src = ".text\nmain:\n";
+    for (int i = 0; i < 6; ++i)
+        src += "    mulq t0, t1, t2\n    nop\n";
+    src += "    li 0, v0\n    li 0, a0\n    syscall\n";
+    const Program prog = assemble(src);
+    const auto result =
+        compressProgram(prog, dedicatedDecompressorOptions());
+    EXPECT_GE(result.codewords, 6u);
+    // Accounting uses 2-byte codewords.
+    EXPECT_LT(result.compressedTextBytes, result.originalTextBytes);
+}
+
+TEST(Compress, AccountingIsConsistent)
+{
+    const auto result = compressProgram(redundantProgram());
+    const uint64_t residual =
+        result.compressed.text.size() - result.codewords;
+    EXPECT_EQ(result.compressedTextBytes,
+              residual * 4 + result.codewords * 4);
+    EXPECT_EQ(result.originalTextBytes,
+              redundantProgram().textBytes());
+    EXPECT_LE(result.ratio(), 1.0);
+    EXPECT_GE(result.ratioWithDict(), result.ratio());
+}
+
+TEST(Compress, DictionarySizeRespectsEntryCost)
+{
+    CompressorOptions cheap;
+    cheap.maxParams = 0;
+    cheap.dictEntryBytes = 4;
+    CompressorOptions costly = cheap;
+    costly.dictEntryBytes = 8;
+    const Program prog = redundantProgram();
+    const auto a = compressProgram(prog, cheap);
+    const auto b = compressProgram(prog, costly);
+    if (a.dictEntries == b.dictEntries && a.dictEntries > 0) {
+        EXPECT_EQ(b.dictionaryBytes, 2 * a.dictionaryBytes);
+    } else {
+        // Costlier entries admit fewer of them.
+        EXPECT_LE(b.dictEntries, a.dictEntries);
+    }
+}
+
+TEST(Compress, EmptyAndTinyProgramsSurvive)
+{
+    const Program tiny =
+        assemble(".text\nmain:\n    li 0, v0\n    li 0, a0\n"
+                 "    syscall\n");
+    const auto result = compressProgram(tiny);
+    const RunResult run =
+        runProgram(result.compressed, result.dictionary);
+    EXPECT_EQ(run.exitCode, 0);
+}
+
+TEST(Compress, SymbolsRemapIntoCompressedImage)
+{
+    const Program prog = redundantProgram();
+    const auto result = compressProgram(prog);
+    EXPECT_EQ(result.compressed.symbols.count("main"), 1u);
+    EXPECT_TRUE(result.compressed.inText(result.compressed.entry) ||
+                result.compressed.entry == result.compressed.textBase);
+    EXPECT_EQ(result.compressed.symbol("buf"), prog.symbol("buf"));
+}
+
+TEST(Compress, TagSpaceIsBounded)
+{
+    CompressorOptions opts;
+    opts.maxDictEntries = 4096; // exceeds the 11-bit tag space
+    EXPECT_THROW(compressProgram(redundantProgram(), opts), PanicError);
+}
+
+/** Property: random straight-line register programs round-trip. */
+class CompressProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CompressProperty, RandomProgramsRoundTrip)
+{
+    Rng rng(GetParam() * 104729 + 17);
+    std::string src = ".text\nmain:\n    laq buf, t5\n";
+    const char *ops[] = {"addq", "subq", "xor", "and", "or"};
+    const int n = 30 + int(rng.below(60));
+    for (int i = 0; i < n; ++i) {
+        if (rng.chance(0.25)) {
+            src += strFormat("    %s t%d, %d(t5)\n",
+                             rng.chance(0.5) ? "ldq" : "stq",
+                             int(rng.below(5)), int(rng.below(6)) * 8);
+        } else if (rng.chance(0.1)) {
+            src += strFormat("    blbs t%d, skip%d\n",
+                             int(rng.below(5)), i);
+            src += strFormat("    addq t0, 1, t0\nskip%d:\n", i);
+        } else {
+            src += strFormat("    %s t%d, %d, t%d\n",
+                             ops[rng.below(5)], int(rng.below(5)),
+                             int(rng.below(32)), int(rng.below(5)));
+        }
+    }
+    src += "    mov t0, a0\n    li 2, v0\n    syscall\n"
+           "    li 0, v0\n    li 0, a0\n    syscall\n"
+           ".data\nbuf:\n    .space 64\n";
+    const Program prog = assemble(src);
+    const RunResult native = runProgram(prog);
+    ASSERT_EQ(native.exitCode, 0);
+
+    for (const bool branches : {true, false}) {
+        for (const uint32_t params : {0u, 3u}) {
+            CompressorOptions opts;
+            opts.compressBranches = branches;
+            opts.maxParams = params;
+            const auto result = compressProgram(prog, opts);
+            const RunResult comp =
+                runProgram(result.compressed, result.dictionary);
+            EXPECT_EQ(comp.output, native.output)
+                << "branches=" << branches << " params=" << params;
+            EXPECT_EQ(comp.dynInsts, native.dynInsts);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompressProperty, ::testing::Range(0, 15));
+
+} // namespace
+} // namespace dise

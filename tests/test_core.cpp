@@ -1,0 +1,514 @@
+/**
+ * @file
+ * Architectural core tests: per-opcode semantics, syscalls, and the
+ * replacement-sequence execution model (DISEPC tagging, DISE-internal
+ * branches, trigger vs non-trigger application branches, dedicated
+ * registers).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/common/logging.hpp"
+#include "src/assembler/assembler.hpp"
+#include "src/dise/parser.hpp"
+#include "src/sim/core.hpp"
+
+namespace dise {
+namespace {
+
+/** Assemble, run to completion, return the core for inspection. */
+RunResult
+runAsm(const std::string &body, std::string *output = nullptr)
+{
+    const Program prog = assemble(".text\nmain:\n" + body +
+                                  "    li 0, v0\n    li 0, a0\n"
+                                  "    syscall\n");
+    ExecCore core(prog);
+    RunResult result = core.run(100000);
+    if (output)
+        *output = result.output;
+    return result;
+}
+
+/** Run and return a register value at exit (via PutInt of the reg). */
+int64_t
+evalReg(const std::string &body, const std::string &reg)
+{
+    std::string out;
+    runAsm(body + "    mov " + reg + ", a0\n    li 2, v0\n    syscall\n",
+           &out);
+    return std::stoll(out);
+}
+
+TEST(Exec, ArithmeticBasics)
+{
+    EXPECT_EQ(evalReg("    li 7, t0\n    addq t0, 5, t1\n", "t1"), 12);
+    EXPECT_EQ(evalReg("    li 7, t0\n    subq t0, 9, t1\n", "t1"), -2);
+    EXPECT_EQ(evalReg("    li 7, t0\n    mulq t0, 6, t1\n", "t1"), 42);
+}
+
+TEST(Exec, LogicAndShifts)
+{
+    EXPECT_EQ(evalReg("    li 12, t0\n    and t0, 10, t1\n", "t1"), 8);
+    EXPECT_EQ(evalReg("    li 12, t0\n    or t0, 3, t1\n", "t1"), 15);
+    EXPECT_EQ(evalReg("    li 12, t0\n    xor t0, 10, t1\n", "t1"), 6);
+    EXPECT_EQ(evalReg("    li 12, t0\n    bic t0, 4, t1\n", "t1"), 8);
+    EXPECT_EQ(evalReg("    li 1, t0\n    sll t0, 10, t1\n", "t1"), 1024);
+    EXPECT_EQ(evalReg("    li 1024, t0\n    srl t0, 3, t1\n", "t1"), 128);
+    EXPECT_EQ(evalReg("    li -16, t0\n    sra t0, 2, t1\n", "t1"), -4);
+    EXPECT_EQ(evalReg("    li -16, t0\n    srl t0, 60, t1\n", "t1"), 15);
+}
+
+TEST(Exec, Comparisons)
+{
+    EXPECT_EQ(evalReg("    li -1, t0\n    cmplt t0, 0, t1\n", "t1"), 1);
+    EXPECT_EQ(evalReg("    li -1, t0\n    cmpult t0, 0, t1\n", "t1"), 0);
+    EXPECT_EQ(evalReg("    li 5, t0\n    cmple t0, 5, t1\n", "t1"), 1);
+    EXPECT_EQ(evalReg("    li 5, t0\n    cmpeq t0, 5, t1\n", "t1"), 1);
+    EXPECT_EQ(evalReg("    li 5, t0\n    cmpule t0, 4, t1\n", "t1"), 0);
+}
+
+TEST(Exec, ConditionalMoves)
+{
+    EXPECT_EQ(evalReg("    li 0, t0\n    li 9, t1\n    li 1, t2\n"
+                      "    cmoveq t0, t1, t2\n",
+                      "t2"),
+              9);
+    EXPECT_EQ(evalReg("    li 3, t0\n    li 9, t1\n    li 1, t2\n"
+                      "    cmovne t0, t1, t2\n",
+                      "t2"),
+              9);
+    EXPECT_EQ(evalReg("    li 3, t0\n    li 9, t1\n    li 1, t2\n"
+                      "    cmoveq t0, t1, t2\n",
+                      "t2"),
+              1);
+}
+
+TEST(Exec, ZeroRegisterSemantics)
+{
+    EXPECT_EQ(evalReg("    addq zero, 5, zero\n    mov zero, t0\n",
+                      "t0"),
+              0);
+}
+
+TEST(Exec, LdaLdah)
+{
+    EXPECT_EQ(evalReg("    lda t0, 100(zero)\n", "t0"), 100);
+    EXPECT_EQ(evalReg("    ldah t0, 2(zero)\n", "t0"), 131072);
+    EXPECT_EQ(evalReg("    lda t0, -1(zero)\n", "t0"), -1);
+}
+
+TEST(Exec, LoadsAndStores)
+{
+    const std::string setup = "    laq buf, t5\n";
+    const std::string data = ".data\nbuf:\n    .quad 0\n    .quad 0\n";
+    const Program prog = assemble(
+        ".text\nmain:\n" + setup +
+        "    li -2, t0\n"
+        "    stq t0, 0(t5)\n"
+        "    ldl t1, 0(t5)\n"    // low 32 bits sign-extended
+        "    ldbu t2, 0(t5)\n"   // low byte zero-extended
+        "    stb t0, 8(t5)\n"
+        "    ldq t3, 8(t5)\n"
+        "    mov t1, a0\n    li 2, v0\n    syscall\n"
+        "    li 1, v0\n    mov t2, a0\n    syscall\n"
+        "    li 1, v0\n    li 10, a0\n    syscall\n"
+        "    li 0, v0\n    li 0, a0\n    syscall\n" +
+        data);
+    ExecCore core(prog);
+    const RunResult result = core.run(1000);
+    EXPECT_EQ(result.output.substr(0, 2), "-2");
+    EXPECT_EQ(core.memory().readQuad(prog.symbol("buf")),
+              static_cast<uint64_t>(-2));
+    EXPECT_EQ(core.memory().readQuad(prog.symbol("buf") + 8), 0xfeu);
+    EXPECT_EQ(result.loads, 3u);
+    EXPECT_EQ(result.stores, 2u);
+}
+
+TEST(Exec, BranchesAllConditions)
+{
+    // Each branch writes 1 to its slot if taken.
+    const char *body =
+        "    li -1, t0\n"
+        "    li 0, t1\n"
+        "    blt t0, L1\n"
+        "    br zero, L2\n"
+        "L1:\n"
+        "    addq t1, 1, t1\n"
+        "L2:\n"
+        "    blbs t0, L3\n"
+        "    br zero, L4\n"
+        "L3:\n"
+        "    addq t1, 2, t1\n"
+        "L4:\n"
+        "    bgt t0, L5\n"
+        "    addq t1, 4, t1\n"
+        "L5:\n";
+    EXPECT_EQ(evalReg(body, "t1"), 1 + 2 + 4);
+}
+
+TEST(Exec, CallAndReturn)
+{
+    const char *body =
+        "    call f\n"
+        "    br zero, done\n"
+        "f:\n"
+        "    li 77, t0\n"
+        "    ret\n"
+        "done:\n";
+    EXPECT_EQ(evalReg(body, "t0"), 77);
+}
+
+TEST(Exec, IndirectJumpThroughRegister)
+{
+    const Program prog = assemble(
+        ".text\nmain:\n"
+        "    laq target, t7\n"
+        "    jmp zero, (t7)\n"
+        "    li 1, t0\n" // skipped
+        "target:\n"
+        "    li 2, t0\n"
+        "    mov t0, a0\n    li 2, v0\n    syscall\n"
+        "    li 0, v0\n    li 0, a0\n    syscall\n");
+    ExecCore core(prog);
+    EXPECT_EQ(core.run(1000).output, "2");
+}
+
+TEST(Exec, SyscallBrk)
+{
+    const char *body = "    li 3, v0\n"
+                       "    li 4096, a0\n"
+                       "    syscall\n"
+                       "    mov v0, t6\n";
+    const int64_t brk = evalReg(body, "t6");
+    EXPECT_GT(static_cast<uint64_t>(brk) >> kSegmentShift, 1u);
+}
+
+TEST(Exec, ExitCodePropagates)
+{
+    const Program prog =
+        assemble(".text\nmain:\n    li 0, v0\n    li 42, a0\n    syscall\n");
+    ExecCore core(prog);
+    EXPECT_EQ(core.run(100).exitCode, 42);
+}
+
+TEST(Exec, UnknownSyscallIsFatal)
+{
+    const Program prog =
+        assemble(".text\nmain:\n    li 99, v0\n    syscall\n");
+    ExecCore core(prog);
+    EXPECT_THROW(core.run(100), FatalError);
+}
+
+TEST(Exec, CodewordWithoutProductionsIsFatal)
+{
+    const Program prog =
+        assemble(".text\nmain:\n    res0 1, 0, 0, 0\n");
+    ExecCore core(prog);
+    EXPECT_THROW(core.run(100), FatalError);
+}
+
+TEST(Exec, RunawayPcIsFatal)
+{
+    const Program prog = assemble(".text\nmain:\n    nop\n");
+    ExecCore core(prog);
+    EXPECT_THROW(core.run(100), FatalError); // falls off the text end
+}
+
+// ---- Replacement-sequence semantics. ----
+
+/** A program with one load between markers, plus an error handler. */
+Program
+loadProgram()
+{
+    return assemble(".text\n"
+                    "main:\n"
+                    "    laq buf, t5\n"
+                    "    ldq t0, 8(t5)\n"
+                    "    mov t0, a0\n    li 2, v0\n    syscall\n"
+                    "    li 0, v0\n    li 0, a0\n    syscall\n"
+                    "error:\n"
+                    "    li 0, v0\n    li 42, a0\n    syscall\n"
+                    ".data\n"
+                    "buf:\n    .quad 11, 22\n");
+}
+
+TEST(DiseExec, DisepcTagging)
+{
+    Program prog = loadProgram();
+    auto set = std::make_shared<ProductionSet>(parseProductions(
+        "P1: class == load -> R1\n"
+        "R1: srl T.RS, #26, $dr1\n"
+        "    cmpeq $dr1, $dr2, $dr1\n"
+        "    beq $dr1, @error\n"
+        "    T.INSN\n",
+        prog.symbols));
+    DiseController controller;
+    controller.install(set);
+    ExecCore core(prog, &controller);
+    core.setDiseReg(2, prog.dataSegment());
+
+    DynInst dyn;
+    std::vector<uint32_t> disepcs;
+    Addr loadPC = 0;
+    while (core.step(dyn)) {
+        if (dyn.expanded) {
+            disepcs.push_back(dyn.disepc);
+            loadPC = dyn.pc;
+        } else {
+            EXPECT_EQ(dyn.disepc, 0u);
+        }
+    }
+    // Application instructions carry DISEPC 0; replacement instructions
+    // are numbered from 1 and share the trigger's PC.
+    EXPECT_EQ(disepcs, (std::vector<uint32_t>{1, 2, 3, 4}));
+    EXPECT_EQ(loadPC, prog.textBase + 2 * 4); // after the 2-inst laq
+    EXPECT_EQ(core.result().output, "22");
+    EXPECT_EQ(core.result().exitCode, 0);
+}
+
+TEST(DiseExec, NonTriggerTakenBranchSquashesRest)
+{
+    Program prog = loadProgram();
+    auto set = std::make_shared<ProductionSet>(parseProductions(
+        "P1: class == load -> R1\n"
+        "R1: srl T.RS, #26, $dr1\n"
+        "    cmpeq $dr1, $dr2, $dr1\n"
+        "    beq $dr1, @error\n"
+        "    T.INSN\n",
+        prog.symbols));
+    DiseController controller;
+    controller.install(set);
+    ExecCore core(prog, &controller);
+    core.setDiseReg(2, 999); // wrong segment: the check must fire
+    const RunResult result = core.run(1000);
+    EXPECT_EQ(result.exitCode, 42);
+    EXPECT_EQ(result.output, ""); // the load itself never executed
+}
+
+TEST(DiseExec, DiseBranchSkipsWithinSequence)
+{
+    Program prog = loadProgram();
+    // dbne skips one instruction when $dr1 != 0.
+    auto set = std::make_shared<ProductionSet>(parseProductions(
+        "P1: class == load -> R1\n"
+        "R1: lda $dr1, 1(zero)\n"
+        "    dbne $dr1, +1\n"
+        "    lda $dr2, 1($dr2)\n" // skipped
+        "    T.INSN\n",
+        prog.symbols));
+    DiseController controller;
+    controller.install(set);
+    ExecCore core(prog, &controller);
+    const RunResult result = core.run(1000);
+    EXPECT_EQ(result.exitCode, 0);
+    EXPECT_EQ(core.diseRegs()[2], 0u); // the skipped slot never ran
+    EXPECT_EQ(result.output, "22");    // trigger still executed
+}
+
+TEST(DiseExec, DiseBranchToSequenceEnd)
+{
+    Program prog = loadProgram();
+    auto set = std::make_shared<ProductionSet>(parseProductions(
+        "P1: class == load -> R1\n"
+        "R1: T.INSN\n"
+        "    dbr zero, +1\n"
+        "    lda $dr2, 1($dr2)\n" // unreachable... wait, +1 from slot 1
+        "    lda $dr3, 1($dr3)\n",
+        prog.symbols));
+    // dbr at slot 1 jumps to slot 1+1+1 = 3, skipping the $dr2 bump.
+    DiseController controller;
+    controller.install(set);
+    ExecCore core(prog, &controller);
+    const RunResult result = core.run(1000);
+    EXPECT_EQ(result.exitCode, 0);
+    EXPECT_EQ(core.diseRegs()[2], 0u);
+    EXPECT_EQ(core.diseRegs()[3], 1u);
+}
+
+TEST(DiseExec, DiseBranchOutOfRangeIsFatal)
+{
+    Program prog = loadProgram();
+    auto set = std::make_shared<ProductionSet>(parseProductions(
+        "P1: class == load -> R1\n"
+        "R1: dbr zero, +5\n"
+        "    T.INSN\n",
+        prog.symbols));
+    DiseController controller;
+    controller.install(set);
+    ExecCore core(prog, &controller);
+    EXPECT_THROW(core.run(1000), FatalError);
+}
+
+TEST(DiseExec, TriggerBranchOutcomeDeferredToSequenceEnd)
+{
+    // Expand conditional branches into [count; T.INSN; count]: both
+    // counters must tick even for a taken branch (post-branch slots ride
+    // the predicted path), and the branch must still transfer control.
+    const Program prog = assemble(".text\n"
+                                  "main:\n"
+                                  "    li 1, t0\n"
+                                  "    bne t0, target\n"
+                                  "    li 0, v0\n    li 7, a0\n"
+                                  "    syscall\n" // not reached
+                                  "target:\n"
+                                  "    li 0, v0\n    li 0, a0\n"
+                                  "    syscall\n");
+    auto set = std::make_shared<ProductionSet>(parseProductions(
+        "P1: class == condbranch -> R1\n"
+        "R1: lda $dr4, 1($dr4)\n"
+        "    T.INSN\n"
+        "    lda $dr5, 1($dr5)\n"));
+    DiseController controller;
+    controller.install(set);
+    ExecCore core(prog, &controller);
+    const RunResult result = core.run(1000);
+    EXPECT_EQ(result.exitCode, 0); // branch taken to 'target'
+    EXPECT_EQ(core.diseRegs()[4], 1u);
+    EXPECT_EQ(core.diseRegs()[5], 1u); // post-branch slot executed
+}
+
+TEST(DiseExec, DedicatedRegistersInvisibleToApplication)
+{
+    Program prog = loadProgram();
+    auto set = std::make_shared<ProductionSet>(parseProductions(
+        "P1: class == load -> R1\n"
+        "R1: lda $dr7, 123(zero)\n"
+        "    T.INSN\n",
+        prog.symbols));
+    DiseController controller;
+    controller.install(set);
+    ExecCore core(prog, &controller);
+    core.run(1000);
+    EXPECT_EQ(core.diseRegs()[7], 123u);
+    // All 32 architectural registers are what the native run produces.
+    ExecCore native(loadProgram());
+    native.run(1000);
+    for (RegIndex r = 0; r < kNumArchRegs; ++r)
+        EXPECT_EQ(core.reg(r), native.reg(r)) << unsigned(r);
+}
+
+TEST(DiseExec, CountsSeparateAppAndDiseInsts)
+{
+    Program prog = loadProgram();
+    auto set = std::make_shared<ProductionSet>(parseProductions(
+        "P1: class == load -> R1\n"
+        "R1: srl T.RS, #26, $dr1\n"
+        "    T.INSN\n",
+        prog.symbols));
+    DiseController controller;
+    controller.install(set);
+    ExecCore core(prog, &controller);
+    const RunResult result = core.run(1000);
+    EXPECT_EQ(result.expansions, 1u);
+    EXPECT_EQ(result.diseInsts, 1u);
+    ExecCore native(loadProgram());
+    const RunResult nres = native.run(1000);
+    EXPECT_EQ(result.appInsts, nres.appInsts);
+    EXPECT_EQ(result.dynInsts, nres.dynInsts + 1);
+}
+
+TEST(DiseExec, InternalLoopViaBackwardDiseBranch)
+{
+    // Replacement sequences may loop internally: a 4-iteration counted
+    // loop built from DISE branches, invisible to the application.
+    Program prog = loadProgram();
+    auto set = std::make_shared<ProductionSet>(parseProductions(
+        "P1: class == load -> R1\n"
+        "R1: lda $dr1, 4(zero)\n"
+        "    lda $dr2, 1($dr2)\n"
+        "    lda $dr1, -1($dr1)\n"
+        "    dbne $dr1, -3\n"
+        "    T.INSN\n",
+        prog.symbols));
+    DiseController controller;
+    controller.install(set);
+    ExecCore core(prog, &controller);
+    const RunResult result = core.run(1000);
+    EXPECT_EQ(result.exitCode, 0);
+    EXPECT_EQ(result.output, "22"); // the load still happened
+    EXPECT_EQ(core.diseRegs()[2], 4u); // body ran 4 times
+    // One expansion, dynamic length 1 + 4*3 + 1(T.INSN) = 14.
+    EXPECT_EQ(result.expansions, 1u);
+    EXPECT_EQ(result.diseInsts, 13u);
+}
+
+TEST(DiseExec, PreciseInterruptAndResumeMidSequence)
+{
+    // Stop between two replacement instructions, transfer the
+    // architectural state to a fresh core (context switch), resume at
+    // the saved PC:DISEPC, and get exactly the uninterrupted results.
+    Program prog = loadProgram();
+    const std::string dsl = "P1: class == load -> R1\n"
+                            "R1: lda $dr1, 1($dr1)\n"
+                            "    lda $dr2, 1($dr2)\n"
+                            "    lda $dr3, 1($dr3)\n"
+                            "    T.INSN\n";
+    auto set = std::make_shared<ProductionSet>(
+        parseProductions(dsl, prog.symbols));
+
+    // Reference: uninterrupted run.
+    DiseController refCtl;
+    refCtl.install(set);
+    ExecCore ref(prog, &refCtl);
+    const RunResult rres = ref.run(1000);
+    ASSERT_EQ(rres.exitCode, 0);
+
+    // Interrupted run: stop after the second replacement instruction.
+    DiseController ctlA;
+    ctlA.install(set);
+    ExecCore coreA(prog, &ctlA);
+    DynInst dyn;
+    while (coreA.step(dyn)) {
+        if (dyn.expanded && dyn.disepc == 2)
+            break;
+    }
+    const auto [savedPC, savedDisepc] = coreA.interruptPoint();
+    EXPECT_EQ(savedDisepc, 3u); // next slot is the third
+
+    // "Post-handler" core: fresh control, transferred state.
+    DiseController ctlB;
+    ctlB.install(set);
+    ExecCore coreB(prog, &ctlB);
+    coreB.copyArchStateFrom(coreA);
+    coreB.resumeAt(savedPC, savedDisepc);
+    const RunResult bres = coreB.run(1000);
+    EXPECT_EQ(bres.exitCode, 0);
+    EXPECT_EQ(bres.output, rres.output);
+    // The skipped slots did NOT re-execute: every counter is exactly 1.
+    EXPECT_EQ(coreB.diseRegs()[1], 1u);
+    EXPECT_EQ(coreB.diseRegs()[2], 1u);
+    EXPECT_EQ(coreB.diseRegs()[3], 1u);
+    for (RegIndex r = 0; r < kNumArchRegs; ++r)
+        EXPECT_EQ(coreB.reg(r), ref.reg(r)) << unsigned(r);
+}
+
+TEST(DiseExec, ResumeAtApplicationBoundary)
+{
+    Program prog = loadProgram();
+    ExecCore coreA(prog);
+    DynInst dyn;
+    for (int i = 0; i < 3; ++i)
+        coreA.step(dyn);
+    const auto [pc, disepc] = coreA.interruptPoint();
+    EXPECT_EQ(disepc, 0u);
+
+    ExecCore coreB(prog);
+    coreB.copyArchStateFrom(coreA);
+    coreB.resumeAt(pc, 0);
+    const RunResult result = coreB.run(1000);
+    EXPECT_EQ(result.exitCode, 0);
+    EXPECT_EQ(result.output, "22");
+}
+
+TEST(DiseExec, DiseBranchInApplicationStreamIsFatal)
+{
+    Program prog;
+    prog.text = {makeBranch(Opcode::DBR, kZeroReg, 0)};
+    prog.entry = prog.textBase;
+    ExecCore core(prog);
+    EXPECT_THROW(core.run(10), FatalError);
+}
+
+} // namespace
+} // namespace dise

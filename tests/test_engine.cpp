@@ -1,0 +1,329 @@
+/**
+ * @file
+ * DISE engine and controller tests: expansion mechanics, PT miss
+ * detection via the pattern-counter scheme, RT geometry (direct-mapped,
+ * set-associative, perfect), composed-fill penalties, table flushes,
+ * and the OS-kernel virtualization layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/common/logging.hpp"
+#include "src/dise/controller.hpp"
+#include "src/dise/parser.hpp"
+
+namespace dise {
+namespace {
+
+std::shared_ptr<ProductionSet>
+mfiLikeSet()
+{
+    return std::make_shared<ProductionSet>(parseProductions(
+        "P1: class == store -> R1\n"
+        "P2: class == load -> R1\n"
+        "R1: srl T.RS, #26, $dr1\n"
+        "    cmpeq $dr1, $dr2, $dr1\n"
+        "    beq $dr1, @0x4000f00\n"
+        "    T.INSN\n"));
+}
+
+DecodedInst
+aLoad()
+{
+    return decode(makeMemory(Opcode::LDQ, 5, 9, 16));
+}
+
+TEST(Engine, PassThroughWithoutProductions)
+{
+    DiseEngine engine;
+    const auto result = engine.expand(aLoad(), 0x4000000);
+    EXPECT_FALSE(result.expanded);
+    EXPECT_FALSE(result.ptMiss);
+}
+
+TEST(Engine, ExpansionProducesInstantiatedSequence)
+{
+    DiseEngine engine;
+    engine.setProductions(mfiLikeSet());
+    const auto result = engine.expand(aLoad(), 0x4000000);
+    ASSERT_TRUE(result.expanded);
+    ASSERT_EQ(result.insts.size(), 4u);
+    EXPECT_EQ(result.insts[0].op, Opcode::SRL);
+    EXPECT_EQ(result.insts[0].ra, 9); // T.RS
+    EXPECT_EQ(result.insts[3], aLoad());
+    EXPECT_EQ(engine.stats().get("expansions"), 1u);
+    EXPECT_EQ(engine.stats().get("replacement_insts"), 4u);
+}
+
+TEST(Engine, NonTriggerPassesThrough)
+{
+    DiseEngine engine;
+    engine.setProductions(mfiLikeSet());
+    const auto result =
+        engine.expand(decode(makeOperate(Opcode::ADDQ, 1, 2, 3)),
+                      0x4000000);
+    EXPECT_FALSE(result.expanded);
+}
+
+TEST(Engine, ColdPtMissThenHit)
+{
+    DiseEngine engine;
+    engine.setProductions(mfiLikeSet());
+    const auto first = engine.expand(aLoad(), 0x4000000);
+    EXPECT_TRUE(first.ptMiss);
+    EXPECT_EQ(first.missPenalty,
+              engine.config().missPenalty + engine.config().missPenalty);
+    const auto second = engine.expand(aLoad(), 0x4000004);
+    EXPECT_FALSE(second.ptMiss);
+    EXPECT_FALSE(second.rtMiss);
+    EXPECT_EQ(second.missPenalty, 0u);
+}
+
+TEST(Engine, PtMissEvenForNonMatchingInstanceOfCoveredOpcode)
+{
+    // The pattern-counter scheme is per-opcode: any fetched instance of
+    // a covered opcode with a non-resident pattern group faults.
+    DiseEngine engine;
+    auto set = std::make_shared<ProductionSet>(parseProductions(
+        "P1: class == load && rs == sp -> R1\n"
+        "R1: T.INSN\n"));
+    engine.setProductions(set);
+    // This load does NOT use sp, but its opcode is covered.
+    const auto result =
+        engine.expand(decode(makeMemory(Opcode::LDQ, 1, 7, 0)),
+                      0x4000000);
+    EXPECT_FALSE(result.expanded);
+    EXPECT_TRUE(result.ptMiss);
+}
+
+TEST(Engine, UncoveredOpcodeIsNotAMiss)
+{
+    DiseEngine engine;
+    engine.setProductions(mfiLikeSet());
+    const auto result =
+        engine.expand(decode(makeBranch(Opcode::BEQ, 1, 4)), 0x4000000);
+    EXPECT_FALSE(result.ptMiss);
+}
+
+TEST(Engine, PtEvictionUnderPressure)
+{
+    // PT with a single entry and two single-opcode patterns: each fetch
+    // of the other opcode faults its pattern back in.
+    DiseConfig config;
+    config.ptEntries = 1;
+    DiseEngine engine(config);
+    auto set = std::make_shared<ProductionSet>(parseProductions(
+        "P1: op == ldq -> R1\n"
+        "P2: op == stq -> R1\n"
+        "R1: T.INSN\n"));
+    engine.setProductions(set);
+    const DecodedInst ld = decode(makeMemory(Opcode::LDQ, 1, 2, 0));
+    const DecodedInst st = decode(makeMemory(Opcode::STQ, 1, 2, 0));
+    engine.expand(ld, 0x4000000);
+    engine.expand(st, 0x4000004);
+    engine.expand(ld, 0x4000008);
+    engine.expand(st, 0x400000c);
+    EXPECT_EQ(engine.stats().get("pt_misses"), 4u);
+}
+
+TEST(Engine, RtPerfectNeverMisses)
+{
+    DiseConfig config;
+    config.rtEntries = 0;
+    DiseEngine engine(config);
+    engine.setProductions(mfiLikeSet());
+    const auto result = engine.expand(aLoad(), 0x4000000);
+    EXPECT_FALSE(result.rtMiss);
+}
+
+TEST(Engine, RtColdMissThenResident)
+{
+    DiseEngine engine; // 2K entries
+    engine.setProductions(mfiLikeSet());
+    EXPECT_TRUE(engine.expand(aLoad(), 0x4000000).rtMiss);
+    EXPECT_FALSE(engine.expand(aLoad(), 0x4000004).rtMiss);
+    EXPECT_EQ(engine.stats().get("rt_misses"), 1u);
+}
+
+TEST(Engine, RtConflictsInTinyDirectMappedRt)
+{
+    // Two sequences of length 8 in an 8-entry direct-mapped RT: the
+    // sets they occupy overlap, so alternating triggers thrash.
+    DiseConfig config;
+    config.rtEntries = 8;
+    config.rtAssoc = 1;
+    DiseEngine engine(config);
+    auto set = std::make_shared<ProductionSet>();
+    for (int s = 0; s < 2; ++s) {
+        ReplacementSeq seq;
+        seq.name = "S" + std::to_string(s);
+        for (int i = 0; i < 8; ++i)
+            seq.insts.push_back(rTriggerInsn());
+        const SeqId id = set->addSequence(seq);
+        PatternSpec pattern;
+        pattern.opcode = s == 0 ? Opcode::LDQ : Opcode::STQ;
+        set->addPattern(pattern, id);
+    }
+    engine.setProductions(set);
+    const DecodedInst ld = decode(makeMemory(Opcode::LDQ, 1, 2, 0));
+    const DecodedInst st = decode(makeMemory(Opcode::STQ, 1, 2, 0));
+    engine.expand(ld, 0x4000000);
+    engine.expand(st, 0x4000004);
+    EXPECT_TRUE(engine.expand(ld, 0x4000008).rtMiss);
+    EXPECT_TRUE(engine.expand(st, 0x400000c).rtMiss);
+}
+
+TEST(Engine, RtAssociativityAvoidsConflicts)
+{
+    DiseConfig config;
+    config.rtEntries = 16;
+    config.rtAssoc = 2;
+    DiseEngine engine(config);
+    auto set = std::make_shared<ProductionSet>();
+    for (int s = 0; s < 2; ++s) {
+        ReplacementSeq seq;
+        seq.name = "S" + std::to_string(s);
+        for (int i = 0; i < 8; ++i)
+            seq.insts.push_back(rTriggerInsn());
+        const SeqId id = set->addSequence(seq);
+        PatternSpec pattern;
+        pattern.opcode = s == 0 ? Opcode::LDQ : Opcode::STQ;
+        set->addPattern(pattern, id);
+    }
+    engine.setProductions(set);
+    const DecodedInst ld = decode(makeMemory(Opcode::LDQ, 1, 2, 0));
+    const DecodedInst st = decode(makeMemory(Opcode::STQ, 1, 2, 0));
+    engine.expand(ld, 0x4000000);
+    engine.expand(st, 0x4000004);
+    EXPECT_FALSE(engine.expand(ld, 0x4000008).rtMiss);
+    EXPECT_FALSE(engine.expand(st, 0x400000c).rtMiss);
+}
+
+TEST(Engine, ComposedFillPaysHigherPenalty)
+{
+    DiseEngine engine;
+    auto set = std::make_shared<ProductionSet>();
+    ReplacementSeq seq;
+    seq.name = "C";
+    seq.insts.push_back(rTriggerInsn());
+    seq.composeOnFill = true;
+    PatternSpec pattern;
+    pattern.opclass = OpClass::Load;
+    set->addPattern(pattern, set->addSequence(seq));
+    engine.setProductions(set);
+    const auto result = engine.expand(aLoad(), 0x4000000);
+    ASSERT_TRUE(result.rtMiss);
+    EXPECT_EQ(result.missPenalty,
+              engine.config().missPenalty + // PT cold miss
+                  engine.config().composedMissPenalty);
+    EXPECT_EQ(engine.stats().get("rt_misses_composed"), 1u);
+}
+
+TEST(Engine, FlushTablesForcesRefill)
+{
+    DiseEngine engine;
+    engine.setProductions(mfiLikeSet());
+    engine.expand(aLoad(), 0x4000000);
+    engine.flushTables();
+    const auto result = engine.expand(aLoad(), 0x4000004);
+    EXPECT_TRUE(result.ptMiss);
+    EXPECT_TRUE(result.rtMiss);
+}
+
+TEST(Engine, ExplicitTagSelectsSequence)
+{
+    DiseEngine engine;
+    auto set = std::make_shared<ProductionSet>();
+    for (uint16_t tag = 0; tag < 4; ++tag) {
+        ReplacementSeq seq;
+        seq.name = "D" + std::to_string(tag);
+        for (int i = 0; i <= tag; ++i)
+            seq.insts.push_back(rTriggerInsn());
+        set->addSequenceWithId(tag, seq);
+    }
+    PatternSpec cw;
+    cw.opcode = Opcode::RES0;
+    set->addTagPattern(cw, 0);
+    engine.setProductions(set);
+    for (uint16_t tag = 0; tag < 4; ++tag) {
+        const auto result = engine.expand(
+            decode(makeCodeword(Opcode::RES0, tag, 0, 0, 0)), 0x4000000);
+        ASSERT_TRUE(result.expanded);
+        EXPECT_EQ(result.insts.size(), size_t(tag) + 1);
+    }
+}
+
+TEST(Engine, UnboundTagIsFatal)
+{
+    DiseEngine engine;
+    auto set = std::make_shared<ProductionSet>();
+    set->addSequenceWithId(0, ReplacementSeq{"D0", {rTriggerInsn()}});
+    PatternSpec cw;
+    cw.opcode = Opcode::RES0;
+    set->addTagPattern(cw, 0);
+    engine.setProductions(set);
+    EXPECT_THROW(engine.expand(
+                     decode(makeCodeword(Opcode::RES0, 99, 0, 0, 0)),
+                     0x4000000),
+                 FatalError);
+}
+
+TEST(Controller, InstallAndDeactivate)
+{
+    DiseController controller;
+    controller.install(mfiLikeSet());
+    EXPECT_TRUE(controller.engine().expand(aLoad(), 0x4000000).expanded);
+    controller.deactivate();
+    EXPECT_FALSE(controller.engine().expand(aLoad(), 0x4000000).expanded);
+}
+
+TEST(OsKernel, KernelAcfsApplyToEveryProcess)
+{
+    DiseController controller;
+    DiseOsKernel kernel(controller);
+    DiseRegFile regs;
+    kernel.installKernelAcf("mfi", *mfiLikeSet());
+    EXPECT_TRUE(controller.engine().expand(aLoad(), 0x4000000).expanded);
+    kernel.switchTo(1, regs);
+    EXPECT_TRUE(controller.engine().expand(aLoad(), 0x4000000).expanded);
+}
+
+TEST(OsKernel, UserAcfsDeactivatedOnSwitch)
+{
+    DiseController controller;
+    DiseOsKernel kernel(controller);
+    DiseRegFile regs;
+    kernel.submitUserAcf(0, *mfiLikeSet()); // current pid is 0
+    EXPECT_TRUE(controller.engine().expand(aLoad(), 0x4000000).expanded);
+    kernel.switchTo(1, regs);
+    EXPECT_FALSE(controller.engine().expand(aLoad(), 0x4000000).expanded);
+    kernel.switchTo(0, regs);
+    EXPECT_TRUE(controller.engine().expand(aLoad(), 0x4000000).expanded);
+}
+
+TEST(OsKernel, DedicatedRegistersContextSwitch)
+{
+    DiseController controller;
+    DiseOsKernel kernel(controller);
+    DiseRegFile regs;
+    regs[2] = 0x1111;
+    kernel.switchTo(1, regs); // saves pid 0's registers
+    EXPECT_EQ(regs[2], 0u);   // fresh process state
+    regs[2] = 0x2222;
+    kernel.switchTo(0, regs);
+    EXPECT_EQ(regs[2], 0x1111u);
+    kernel.switchTo(1, regs);
+    EXPECT_EQ(regs[2], 0x2222u);
+}
+
+TEST(OsKernel, RemoveKernelAcf)
+{
+    DiseController controller;
+    DiseOsKernel kernel(controller);
+    kernel.installKernelAcf("mfi", *mfiLikeSet());
+    kernel.removeKernelAcf("mfi");
+    EXPECT_FALSE(controller.engine().expand(aLoad(), 0x4000000).expanded);
+}
+
+} // namespace
+} // namespace dise

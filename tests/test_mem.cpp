@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Memory image and cache tests: sparse memory semantics, LRU
+ * replacement, associativity, write-back traffic, the perfect-cache
+ * mode, and the two-level hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/assembler/assembler.hpp"
+#include "src/common/logging.hpp"
+#include "src/mem/cache.hpp"
+#include "src/mem/memory.hpp"
+
+namespace dise {
+namespace {
+
+TEST(Memory, UnwrittenReadsZero)
+{
+    Memory mem;
+    EXPECT_EQ(mem.read(0x12345678, 8), 0u);
+    EXPECT_EQ(mem.pagesTouched(), 0u);
+}
+
+TEST(Memory, ByteReadWrite)
+{
+    Memory mem;
+    mem.writeByte(100, 0xab);
+    EXPECT_EQ(mem.readByte(100), 0xab);
+    EXPECT_EQ(mem.readByte(101), 0);
+}
+
+TEST(Memory, LittleEndianMultiByte)
+{
+    Memory mem;
+    mem.write(0x1000, 0x1122334455667788ULL, 8);
+    EXPECT_EQ(mem.readByte(0x1000), 0x88);
+    EXPECT_EQ(mem.readByte(0x1007), 0x11);
+    EXPECT_EQ(mem.read(0x1000, 4), 0x55667788u);
+    EXPECT_EQ(mem.read(0x1004, 4), 0x11223344u);
+}
+
+TEST(Memory, CrossPageAccess)
+{
+    Memory mem;
+    const Addr addr = Memory::kPageSize - 4;
+    mem.write(addr, 0xdeadbeefcafef00dULL, 8);
+    EXPECT_EQ(mem.read(addr, 8), 0xdeadbeefcafef00dULL);
+    EXPECT_EQ(mem.pagesTouched(), 2u);
+}
+
+TEST(Memory, LoadProgram)
+{
+    const Program prog = assemble(
+        ".text\n    nop\n    syscall\n.data\nx:\n    .quad 42\n");
+    Memory mem;
+    mem.loadProgram(prog);
+    EXPECT_EQ(mem.readWord(prog.textBase + 4), prog.text[1]);
+    EXPECT_EQ(mem.readQuad(prog.symbol("x")), 42u);
+}
+
+TEST(Memory, ChecksumDetectsChanges)
+{
+    Memory mem;
+    const uint64_t empty = mem.checksum(0, 64);
+    mem.writeByte(10, 1);
+    EXPECT_NE(mem.checksum(0, 64), empty);
+}
+
+CacheParams
+smallCache(uint32_t sizeBytes, uint32_t assoc)
+{
+    CacheParams params;
+    params.name = "test";
+    params.sizeBytes = sizeBytes;
+    params.assoc = assoc;
+    params.lineBytes = 64;
+    params.hitLatency = 1;
+    return params;
+}
+
+TEST(Cache, HitAfterFill)
+{
+    Cache cache(smallCache(1024, 2), nullptr, 100);
+    EXPECT_GT(cache.access(0, false), 1u); // cold miss
+    EXPECT_EQ(cache.access(0, false), 1u); // hit
+    EXPECT_EQ(cache.access(63, false), 1u); // same line
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.accesses(), 3u);
+}
+
+TEST(Cache, MissLatencyIncludesMemory)
+{
+    Cache cache(smallCache(1024, 2), nullptr, 100);
+    EXPECT_EQ(cache.access(0, false), 101u);
+}
+
+TEST(Cache, LruReplacementWithinSet)
+{
+    // 2-way, 8 sets: lines 0, 8, 16 map to set 0.
+    Cache cache(smallCache(1024, 2), nullptr, 100);
+    cache.access(0 * 64 * 8, false);
+    cache.access(1 * 64 * 8 , false);
+    cache.access(0, false);              // touch line 0 (now MRU)
+    cache.access(2 * 64 * 8, false);     // evicts line at 8*64
+    EXPECT_TRUE(cache.probe(0));
+    EXPECT_FALSE(cache.probe(64 * 8));
+    EXPECT_TRUE(cache.probe(2 * 64 * 8));
+}
+
+TEST(Cache, DirectMappedConflicts)
+{
+    Cache cache(smallCache(512, 1), nullptr, 100); // 8 sets
+    cache.access(0, false);
+    cache.access(64 * 8, false); // same set, evicts
+    EXPECT_FALSE(cache.probe(0));
+    EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(Cache, CapacityHoldsWorkingSet)
+{
+    // 4KB, 2-way: 64 lines; a 32-line working set must all stick.
+    Cache cache(smallCache(4096, 2), nullptr, 100);
+    for (int round = 0; round < 3; ++round)
+        for (int i = 0; i < 32; ++i)
+            cache.access(uint64_t(i) * 64, false);
+    EXPECT_EQ(cache.misses(), 32u); // cold only
+}
+
+TEST(Cache, WritebackOnDirtyEviction)
+{
+    Cache l2(smallCache(4096, 2), nullptr, 100);
+    Cache l1(smallCache(512, 1), &l2, 100);
+    l1.access(0, true);       // dirty
+    l1.access(64 * 8, false); // evicts dirty line -> writeback to L2
+    EXPECT_EQ(l1.stats().get("writebacks"), 1u);
+    EXPECT_GE(l2.stats().get("writes"), 1u);
+}
+
+TEST(Cache, PerfectCacheNeverMisses)
+{
+    CacheParams params = smallCache(0, 1);
+    Cache cache(params, nullptr, 100);
+    for (uint64_t a = 0; a < 100; ++a)
+        EXPECT_EQ(cache.access(a * 4096, false), params.hitLatency);
+    EXPECT_EQ(cache.misses(), 0u);
+    EXPECT_TRUE(cache.probe(0xdeadbeef));
+}
+
+TEST(Cache, InvalidateAll)
+{
+    Cache cache(smallCache(1024, 2), nullptr, 100);
+    cache.access(0, false);
+    cache.invalidateAll();
+    EXPECT_FALSE(cache.probe(0));
+}
+
+TEST(Cache, MissRate)
+{
+    Cache cache(smallCache(1024, 2), nullptr, 100);
+    cache.access(0, false);
+    cache.access(0, false);
+    EXPECT_DOUBLE_EQ(cache.missRate(), 0.5);
+}
+
+TEST(Hierarchy, L2BacksBothL1s)
+{
+    MemHierarchyParams params;
+    params.l1iSize = 1024;
+    params.l1dSize = 1024;
+    params.l2Size = 64 * 1024;
+    MemHierarchy mem(params);
+    // I-fetch warms L2; a D-access to the same line hits in L2.
+    const uint32_t cold = mem.fetchAccess(0x4000);
+    EXPECT_EQ(cold, 1u + 10u + 100u);
+    const uint32_t dmiss = mem.dataAccess(0x4000, false);
+    EXPECT_EQ(dmiss, 1u + 10u); // L1 miss, L2 hit
+    EXPECT_EQ(mem.dataAccess(0x4000, false), 1u);
+}
+
+TEST(Hierarchy, PerfectICacheConfig)
+{
+    MemHierarchyParams params;
+    params.l1iSize = 0;
+    MemHierarchy mem(params);
+    EXPECT_EQ(mem.fetchAccess(0x123456), params.l1Latency);
+    EXPECT_TRUE(mem.icache().isPerfect());
+}
+
+TEST(Hierarchy, GeometryValidation)
+{
+    CacheParams bad = smallCache(1000, 3); // not line*assoc multiple
+    EXPECT_THROW((void)Cache(bad, nullptr, 100), PanicError);
+}
+
+} // namespace
+} // namespace dise

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Memory fault isolation tests: the DISE3/DISE4 production sets, check
+ * coverage (loads, stores, indirect jumps), violation detection, and
+ * instruction-count accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/acf/mfi.hpp"
+#include "src/assembler/assembler.hpp"
+#include "src/dise/controller.hpp"
+
+namespace dise {
+namespace {
+
+Program
+memProgram()
+{
+    return assemble(".text\n"
+                    "main:\n"
+                    "    laq buf, t5\n"
+                    "    li 5, t0\n"
+                    "    stq t0, 0(t5)\n"
+                    "    ldq t1, 0(t5)\n"
+                    "    mov t1, a0\n    li 2, v0\n    syscall\n"
+                    "    li 0, v0\n    li 0, a0\n    syscall\n"
+                    "error:\n"
+                    "    li 0, v0\n    li 42, a0\n    syscall\n"
+                    ".data\nbuf:\n    .quad 0\n");
+}
+
+RunResult
+runWithMfi(const Program &prog, const MfiOptions &opts,
+           uint64_t dataSeg = ~uint64_t(0))
+{
+    auto set =
+        std::make_shared<ProductionSet>(makeMfiProductions(prog, opts));
+    DiseController controller;
+    controller.install(set);
+    ExecCore core(prog, &controller);
+    initMfiRegisters(core, prog);
+    if (dataSeg != ~uint64_t(0))
+        core.setDiseReg(2, dataSeg);
+    return core.run(100000);
+}
+
+TEST(Mfi, Dise3SequenceShape)
+{
+    const Program prog = memProgram();
+    MfiOptions opts;
+    opts.variant = MfiVariant::Dise3;
+    const ProductionSet set = makeMfiProductions(prog, opts);
+    // Memory sequence: 3 added instructions + T.INSN.
+    const DecodedInst ld = decode(makeMemory(Opcode::LDQ, 1, 2, 0));
+    const auto id = set.match(ld);
+    ASSERT_TRUE(id.has_value());
+    EXPECT_EQ(set.sequence(*id)->length(), 4u);
+}
+
+TEST(Mfi, Dise4SequenceShape)
+{
+    const Program prog = memProgram();
+    MfiOptions opts;
+    opts.variant = MfiVariant::Dise4;
+    const ProductionSet set = makeMfiProductions(prog, opts);
+    const DecodedInst ld = decode(makeMemory(Opcode::LDQ, 1, 2, 0));
+    const auto id = set.match(ld);
+    EXPECT_EQ(set.sequence(*id)->length(), 5u);
+}
+
+TEST(Mfi, CleanRunUnaffected)
+{
+    const Program prog = memProgram();
+    MfiOptions opts;
+    const RunResult result = runWithMfi(prog, opts);
+    EXPECT_EQ(result.exitCode, 0);
+    EXPECT_EQ(result.output, "5");
+    // One store and one load expand; there are no indirect jumps.
+    EXPECT_EQ(result.expansions, 2u);
+    EXPECT_EQ(result.diseInsts, 2u * 3u);
+}
+
+TEST(Mfi, ViolationTrapsToErrorHandler)
+{
+    const Program prog = memProgram();
+    MfiOptions opts;
+    const RunResult result = runWithMfi(prog, opts, /*dataSeg=*/999);
+    EXPECT_EQ(result.exitCode, 42);
+}
+
+TEST(Mfi, Dise4AlsoCatchesViolations)
+{
+    const Program prog = memProgram();
+    MfiOptions opts;
+    opts.variant = MfiVariant::Dise4;
+    EXPECT_EQ(runWithMfi(prog, opts, 999).exitCode, 42);
+}
+
+TEST(Mfi, JumpCheckToggleControlsReturnExpansion)
+{
+    const Program prog = assemble(".text\n"
+                                  "main:\n"
+                                  "    call f\n"
+                                  "    li 0, v0\n    li 0, a0\n"
+                                  "    syscall\n"
+                                  "f:\n"
+                                  "    ret\n"
+                                  "error:\n"
+                                  "    li 0, v0\n    li 42, a0\n"
+                                  "    syscall\n");
+    MfiOptions withJumps;
+    EXPECT_EQ(runWithMfi(prog, withJumps).expansions, 1u); // the ret
+    MfiOptions without;
+    without.checkJumps = false;
+    EXPECT_EQ(runWithMfi(prog, without).expansions, 0u);
+}
+
+TEST(Mfi, JumpCheckCatchesWildReturn)
+{
+    // Clobber the return address with a data-segment pointer: the RJMP
+    // production must catch it before the jump executes.
+    const Program prog = assemble(".text\n"
+                                  "main:\n"
+                                  "    laq buf, ra\n"
+                                  "    ret\n"
+                                  "error:\n"
+                                  "    li 0, v0\n    li 42, a0\n"
+                                  "    syscall\n"
+                                  ".data\nbuf:\n    .quad 0\n");
+    MfiOptions opts;
+    const RunResult result = runWithMfi(prog, opts);
+    EXPECT_EQ(result.exitCode, 42);
+}
+
+TEST(Mfi, LdaIsNotChecked)
+{
+    // Address arithmetic must not trigger checks.
+    const Program prog = assemble(".text\n"
+                                  "main:\n"
+                                  "    lda t0, 8(zero)\n"
+                                  "    ldah t1, 1(zero)\n"
+                                  "    li 0, v0\n    li 0, a0\n"
+                                  "    syscall\n"
+                                  "error:\n"
+                                  "    li 0, v0\n    li 42, a0\n"
+                                  "    syscall\n");
+    MfiOptions opts;
+    EXPECT_EQ(runWithMfi(prog, opts).expansions, 0u);
+}
+
+TEST(Mfi, StackAccessesPass)
+{
+    // The stack lives in the data segment; stack traffic must pass.
+    const Program prog = assemble(".text\n"
+                                  "main:\n"
+                                  "    lda sp, -16(sp)\n"
+                                  "    stq t0, 0(sp)\n"
+                                  "    ldq t1, 0(sp)\n"
+                                  "    li 0, v0\n    li 0, a0\n"
+                                  "    syscall\n"
+                                  "error:\n"
+                                  "    li 0, v0\n    li 42, a0\n"
+                                  "    syscall\n");
+    MfiOptions opts;
+    EXPECT_EQ(runWithMfi(prog, opts).exitCode, 0);
+}
+
+TEST(Mfi, ExplicitErrorHandlerAddress)
+{
+    const Program prog = memProgram();
+    MfiOptions opts;
+    opts.errorHandler = prog.symbol("error");
+    EXPECT_EQ(runWithMfi(prog, opts, 999).exitCode, 42);
+}
+
+TEST(Mfi, InitRegistersSetsSegmentIds)
+{
+    const Program prog = memProgram();
+    ExecCore core(prog);
+    initMfiRegisters(core, prog);
+    EXPECT_EQ(core.diseRegs()[2], prog.dataSegment());
+    EXPECT_EQ(core.diseRegs()[3], prog.textBase >> kSegmentShift);
+}
+
+TEST(MfiSandbox, SequenceAddsTwoInstructions)
+{
+    const Program prog = memProgram();
+    MfiOptions opts;
+    opts.variant = MfiVariant::Sandbox;
+    const ProductionSet set = makeMfiProductions(prog, opts);
+    const DecodedInst ld = decode(makeMemory(Opcode::LDQ, 1, 2, 0));
+    const auto id = set.match(ld);
+    ASSERT_TRUE(id.has_value());
+    EXPECT_EQ(set.sequence(*id)->length(), 3u);
+}
+
+TEST(MfiSandbox, LegalAccessesUnchanged)
+{
+    const Program prog = memProgram();
+    MfiOptions opts;
+    opts.variant = MfiVariant::Sandbox;
+    const RunResult sandboxed = runWithMfi(prog, opts);
+    ExecCore native(prog);
+    const RunResult ref = native.run(100000);
+    EXPECT_EQ(sandboxed.exitCode, 0);
+    EXPECT_EQ(sandboxed.output, ref.output);
+    EXPECT_EQ(sandboxed.expansions, 2u);
+    EXPECT_EQ(sandboxed.diseInsts, 2u * 2u);
+}
+
+TEST(MfiSandbox, WildStoreForcedIntoDataSegment)
+{
+    // A store through a text pointer is silently redirected to the same
+    // offset within the data segment: text stays intact, no trap.
+    const Program prog = assemble(".text\n"
+                                  "main:\n"
+                                  "    laq main, t5\n"
+                                  "    li 77, t0\n"
+                                  "    stq t0, 0(t5)\n"
+                                  "    li 0, v0\n    li 0, a0\n"
+                                  "    syscall\n"
+                                  "error:\n"
+                                  "    li 0, v0\n    li 42, a0\n"
+                                  "    syscall\n");
+    MfiOptions opts;
+    opts.variant = MfiVariant::Sandbox;
+    auto set =
+        std::make_shared<ProductionSet>(makeMfiProductions(prog, opts));
+    DiseController controller;
+    controller.install(set);
+    ExecCore core(prog, &controller);
+    initMfiRegisters(core, prog);
+    const RunResult result = core.run(1000);
+    EXPECT_EQ(result.exitCode, 0); // sandboxing never traps
+    // Text untouched...
+    EXPECT_EQ(core.memory().readWord(prog.textBase), prog.text[0]);
+    // ...and the store landed at the same offset inside the data seg.
+    const Addr offset = prog.entry & ((Addr(1) << kSegmentShift) - 1);
+    EXPECT_EQ(core.memory().readQuad(prog.dataBase + offset), 77u);
+}
+
+TEST(MfiSandbox, WildReturnForcedIntoTextSegment)
+{
+    // A return to a data-segment address gets its high bits forced to
+    // the code segment. 'dest' sits at data-segment offset 12, the same
+    // offset as 'target' in text (after laq=2 insts + ret), so the
+    // sandboxed return lands exactly on 'target'.
+    const Program prog = assemble(".text\n"
+                                  "main:\n"
+                                  "    laq dest, ra\n"
+                                  "    ret\n"
+                                  "target:\n"
+                                  "    li 0, v0\n    li 7, a0\n"
+                                  "    syscall\n"
+                                  "error:\n"
+                                  "    li 0, v0\n    li 42, a0\n"
+                                  "    syscall\n"
+                                  ".data\n"
+                                  "    .space 12\n"
+                                  "dest:\n"
+                                  "    .quad 0\n");
+    ASSERT_EQ(prog.symbol("dest") - prog.dataBase,
+              prog.symbol("target") - prog.textBase);
+    MfiOptions opts;
+    opts.variant = MfiVariant::Sandbox;
+    auto set =
+        std::make_shared<ProductionSet>(makeMfiProductions(prog, opts));
+    DiseController controller;
+    controller.install(set);
+    ExecCore core(prog, &controller);
+    initMfiRegisters(core, prog);
+    const RunResult result = core.run(1000);
+    EXPECT_TRUE(result.exited);
+    EXPECT_EQ(result.exitCode, 7); // landed on 'target'
+}
+
+TEST(Mfi, Dise3SavesOneInstructionPerCheck)
+{
+    const Program prog = memProgram();
+    MfiOptions d3;
+    d3.variant = MfiVariant::Dise3;
+    MfiOptions d4;
+    d4.variant = MfiVariant::Dise4;
+    const RunResult r3 = runWithMfi(prog, d3);
+    const RunResult r4 = runWithMfi(prog, d4);
+    EXPECT_EQ(r3.expansions, r4.expansions);
+    EXPECT_EQ(r4.diseInsts - r3.diseInsts, r3.expansions);
+    EXPECT_EQ(r3.output, r4.output);
+}
+
+} // namespace
+} // namespace dise

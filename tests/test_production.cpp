@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Production tests: pattern matching and specificity, most-specific
+ * match arbitration (overlapping/negative patterns), explicit tagging,
+ * the instantiation logic's directives, and production-set merging.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/common/logging.hpp"
+#include "src/dise/production.hpp"
+
+namespace dise {
+namespace {
+
+DecodedInst
+load(RegIndex dest, RegIndex base, int64_t disp)
+{
+    return decode(makeMemory(Opcode::LDQ, dest, base, disp));
+}
+
+TEST(Pattern, OpcodeMatch)
+{
+    PatternSpec pattern;
+    pattern.opcode = Opcode::LDQ;
+    EXPECT_TRUE(pattern.matches(load(1, 2, 0)));
+    EXPECT_FALSE(pattern.matches(decode(makeMemory(Opcode::LDL, 1, 2, 0))));
+}
+
+TEST(Pattern, ClassMatch)
+{
+    PatternSpec pattern;
+    pattern.opclass = OpClass::Load;
+    EXPECT_TRUE(pattern.matches(load(1, 2, 0)));
+    EXPECT_TRUE(pattern.matches(decode(makeMemory(Opcode::LDBU, 1, 2, 0))));
+    EXPECT_FALSE(pattern.matches(decode(makeMemory(Opcode::STQ, 1, 2, 0))));
+    EXPECT_FALSE(pattern.matches(decode(makeMemory(Opcode::LDA, 1, 2, 0))));
+}
+
+TEST(Pattern, RoleRegisterMatch)
+{
+    // "loads that use the stack pointer as their address register"
+    PatternSpec pattern;
+    pattern.opclass = OpClass::Load;
+    pattern.rs = kSpReg;
+    EXPECT_TRUE(pattern.matches(load(1, kSpReg, 8)));
+    EXPECT_FALSE(pattern.matches(load(1, 7, 8)));
+}
+
+TEST(Pattern, ImmediateValueAndSign)
+{
+    // "conditional branches with negative offsets"
+    PatternSpec pattern;
+    pattern.opclass = OpClass::CondBranch;
+    pattern.immSign = SignConstraint::Negative;
+    EXPECT_TRUE(pattern.matches(decode(makeBranch(Opcode::BNE, 1, -5))));
+    EXPECT_FALSE(pattern.matches(decode(makeBranch(Opcode::BNE, 1, 5))));
+
+    PatternSpec exact;
+    exact.immValue = 8;
+    EXPECT_TRUE(exact.matches(load(1, 2, 8)));
+    EXPECT_FALSE(exact.matches(load(1, 2, 16)));
+}
+
+TEST(Pattern, InvalidNeverMatches)
+{
+    PatternSpec any;
+    DecodedInst bad = decode(static_cast<Word>(0x3fu << 26));
+    EXPECT_FALSE(any.matches(bad));
+}
+
+TEST(Pattern, Specificity)
+{
+    PatternSpec byClass;
+    byClass.opclass = OpClass::Load;
+    PatternSpec byOpcode;
+    byOpcode.opcode = Opcode::LDQ;
+    PatternSpec byClassAndReg = byClass;
+    byClassAndReg.rs = kSpReg;
+    EXPECT_LT(byClass.specificity(), byOpcode.specificity());
+    EXPECT_LT(byOpcode.specificity(), byClassAndReg.specificity() + 6);
+    EXPECT_GT(byClassAndReg.specificity(), byClass.specificity());
+}
+
+TEST(Pattern, CoveredOpcodes)
+{
+    PatternSpec byOpcode;
+    byOpcode.opcode = Opcode::STQ;
+    EXPECT_EQ(byOpcode.coveredOpcodes(),
+              std::vector<Opcode>{Opcode::STQ});
+    PatternSpec byClass;
+    byClass.opclass = OpClass::Store;
+    const auto covered = byClass.coveredOpcodes();
+    EXPECT_EQ(covered.size(), 3u); // stb, stl, stq
+}
+
+ReplacementSeq
+identitySeq(const std::string &name)
+{
+    ReplacementSeq seq;
+    seq.name = name;
+    seq.insts.push_back(rTriggerInsn());
+    return seq;
+}
+
+TEST(ProductionSet, MostSpecificWins)
+{
+    // Negative specification: "all loads that don't use sp" — the
+    // sp-specific pattern performs the identity expansion.
+    ProductionSet set;
+    const SeqId identity = set.addSequence(identitySeq("ID"));
+    ReplacementSeq work = identitySeq("WORK");
+    work.insts.push_back(rTriggerInsn()); // distinguishable length
+    const SeqId workId = set.addSequence(work);
+
+    PatternSpec spLoads;
+    spLoads.opclass = OpClass::Load;
+    spLoads.rs = kSpReg;
+    set.addPattern(spLoads, identity);
+    PatternSpec allLoads;
+    allLoads.opclass = OpClass::Load;
+    set.addPattern(allLoads, workId);
+
+    EXPECT_EQ(*set.match(load(1, kSpReg, 0)), identity);
+    EXPECT_EQ(*set.match(load(1, 7, 0)), workId);
+    EXPECT_FALSE(set.match(decode(makeNop())).has_value());
+}
+
+TEST(ProductionSet, TieBreaksTowardEarliestPattern)
+{
+    ProductionSet set;
+    const SeqId a = set.addSequence(identitySeq("A"));
+    const SeqId b = set.addSequence(identitySeq("B"));
+    PatternSpec loads;
+    loads.opclass = OpClass::Load;
+    set.addPattern(loads, a);
+    set.addPattern(loads, b);
+    EXPECT_EQ(*set.match(load(1, 2, 0)), a);
+}
+
+TEST(ProductionSet, ExplicitTagging)
+{
+    ProductionSet set;
+    set.addSequenceWithId(100 + 5, identitySeq("T5"));
+    set.addSequenceWithId(100 + 9, identitySeq("T9"));
+    PatternSpec cw;
+    cw.opcode = Opcode::RES0;
+    set.addTagPattern(cw, 100);
+
+    const DecodedInst t5 = decode(makeCodeword(Opcode::RES0, 5, 0, 0, 0));
+    const DecodedInst t9 = decode(makeCodeword(Opcode::RES0, 9, 0, 0, 0));
+    EXPECT_EQ(*set.match(t5), 105u);
+    EXPECT_EQ(*set.match(t9), 109u);
+    EXPECT_NE(set.sequence(105), nullptr);
+    EXPECT_EQ(set.sequence(106), nullptr);
+}
+
+TEST(ProductionSet, MergeRemapsIds)
+{
+    ProductionSet a, b;
+    PatternSpec loads;
+    loads.opclass = OpClass::Load;
+    a.addPattern(loads, a.addSequence(identitySeq("A")));
+    PatternSpec stores;
+    stores.opclass = OpClass::Store;
+    b.addPattern(stores, b.addSequence(identitySeq("B")));
+
+    ProductionSet merged;
+    merged.merge(a);
+    merged.merge(b);
+    EXPECT_EQ(merged.productions().size(), 2u);
+    const auto loadSeq = merged.match(load(1, 2, 0));
+    const auto storeSeq =
+        merged.match(decode(makeMemory(Opcode::STQ, 1, 2, 0)));
+    ASSERT_TRUE(loadSeq && storeSeq);
+    EXPECT_NE(*loadSeq, *storeSeq);
+    EXPECT_NE(merged.sequence(*loadSeq), nullptr);
+    EXPECT_NE(merged.sequence(*storeSeq), nullptr);
+}
+
+TEST(ProductionSet, MergePreservesTagArithmetic)
+{
+    ProductionSet tagged;
+    tagged.addSequenceWithId(3, identitySeq("T3"));
+    PatternSpec cw;
+    cw.opcode = Opcode::RES0;
+    tagged.addTagPattern(cw, 0);
+
+    ProductionSet merged;
+    merged.merge(tagged);
+    const DecodedInst t3 = decode(makeCodeword(Opcode::RES0, 3, 0, 0, 0));
+    const auto id = merged.match(t3);
+    ASSERT_TRUE(id.has_value());
+    EXPECT_NE(merged.sequence(*id), nullptr);
+}
+
+TEST(ProductionSet, TotalReplacementInsts)
+{
+    ProductionSet set;
+    ReplacementSeq seq = identitySeq("X");
+    seq.insts.push_back(rTriggerInsn());
+    set.addSequence(seq);
+    set.addSequence(identitySeq("Y"));
+    EXPECT_EQ(set.totalReplacementInsts(), 3u);
+}
+
+// ---- Instantiation logic. ----
+
+TEST(Instantiate, TriggerInsnIsTheTrigger)
+{
+    const DecodedInst trigger = load(5, 9, 24);
+    const DecodedInst out = instantiate(rTriggerInsn(), trigger, 0x4000);
+    EXPECT_EQ(out, trigger);
+}
+
+TEST(Instantiate, RegisterDirectives)
+{
+    // srl T.RS, #26, $dr1 applied to "stq a0, 16(t0)" (Figure 1).
+    ReplacementInst rinst;
+    rinst.templ.op = Opcode::SRL;
+    rinst.templ.cls = OpClass::IntAlu;
+    rinst.templ.useLit = true;
+    rinst.templ.imm = 26;
+    rinst.templ.rc = kDiseRegBase + 1;
+    rinst.raDir = RegDirective::TriggerRS;
+
+    const DecodedInst trigger = decode(makeMemory(Opcode::STQ, 16, 1, 16));
+    const DecodedInst out = instantiate(rinst, trigger, 0x4000);
+    EXPECT_EQ(out.op, Opcode::SRL);
+    EXPECT_EQ(out.ra, 1); // t0, the store's address register
+    EXPECT_EQ(out.imm, 26);
+    EXPECT_EQ(out.rc, kDiseRegBase + 1);
+}
+
+TEST(Instantiate, AllTriggerRoles)
+{
+    ReplacementInst rinst;
+    rinst.templ.op = Opcode::ADDQ;
+    rinst.templ.cls = OpClass::IntAlu;
+    rinst.raDir = RegDirective::TriggerRS;
+    rinst.rbDir = RegDirective::TriggerRT;
+    rinst.rcDir = RegDirective::TriggerRD;
+    const DecodedInst trigger = decode(makeOperate(Opcode::XOR, 3, 4, 5));
+    const DecodedInst out = instantiate(rinst, trigger, 0);
+    EXPECT_EQ(out.ra, 3);
+    EXPECT_EQ(out.rb, 4);
+    EXPECT_EQ(out.rc, 5);
+}
+
+TEST(Instantiate, TriggerImmAndPC)
+{
+    ReplacementInst rinst;
+    rinst.templ.op = Opcode::LDA;
+    rinst.templ.cls = OpClass::IntAlu;
+    rinst.immDir = ImmDirective::TriggerImm;
+    const DecodedInst trigger = load(1, 2, -48);
+    EXPECT_EQ(instantiate(rinst, trigger, 0x4000).imm, -48);
+
+    rinst.immDir = ImmDirective::TriggerPC;
+    EXPECT_EQ(instantiate(rinst, trigger, 0x4000).imm, 0x4000);
+}
+
+TEST(Instantiate, CodewordRegisterParams)
+{
+    ReplacementInst rinst;
+    rinst.templ.op = Opcode::ADDQ;
+    rinst.templ.cls = OpClass::IntAlu;
+    rinst.raDir = RegDirective::Param1;
+    rinst.rbDir = RegDirective::Param2;
+    rinst.rcDir = RegDirective::Param3;
+    const DecodedInst cw =
+        decode(makeCodeword(Opcode::RES0, 7, 10, 20, 30));
+    const DecodedInst out = instantiate(rinst, cw, 0);
+    EXPECT_EQ(out.ra, 10);
+    EXPECT_EQ(out.rb, 20);
+    EXPECT_EQ(out.rc, 30);
+}
+
+TEST(Instantiate, CodewordImmediateParamsSignExtend)
+{
+    ReplacementInst rinst;
+    rinst.templ.op = Opcode::LDA;
+    rinst.templ.cls = OpClass::IntAlu;
+    rinst.immDir = ImmDirective::Param2;
+    // Parameter value 0x18 = -8 as a signed 5-bit value (Figure 4).
+    const DecodedInst cw =
+        decode(makeCodeword(Opcode::RES0, 7, 0, 0x18, 0));
+    EXPECT_EQ(instantiate(rinst, cw, 0).imm, -8);
+}
+
+TEST(Instantiate, ParamImm15)
+{
+    ReplacementInst rinst;
+    rinst.templ.op = Opcode::BNE;
+    rinst.templ.cls = OpClass::CondBranch;
+    rinst.immDir = ImmDirective::ParamImm;
+    const DecodedInst cw = decode(makeCodewordImm(Opcode::RES0, 7, -129));
+    EXPECT_EQ(instantiate(rinst, cw, 0).imm, -129);
+}
+
+TEST(Instantiate, AbsTargetBecomesRelative)
+{
+    // beq $dr1, @error with the trigger fetched at 0x4000200.
+    ReplacementInst rinst;
+    rinst.templ.op = Opcode::BEQ;
+    rinst.templ.cls = OpClass::CondBranch;
+    rinst.templ.ra = kDiseRegBase + 1;
+    rinst.templ.imm = 0x4000300; // absolute error handler
+    rinst.immDir = ImmDirective::AbsTarget;
+    const DecodedInst trigger = load(1, 2, 0);
+    const DecodedInst out = instantiate(rinst, trigger, 0x4000200);
+    EXPECT_EQ(out.branchTarget(0x4000200), 0x4000300u);
+}
+
+TEST(Instantiate, SequenceInstantiation)
+{
+    ReplacementSeq seq;
+    seq.name = "R";
+    ReplacementInst first;
+    first.templ.op = Opcode::SRL;
+    first.templ.cls = OpClass::IntAlu;
+    first.templ.useLit = true;
+    first.templ.imm = 26;
+    first.raDir = RegDirective::TriggerRS;
+    seq.insts.push_back(first);
+    seq.insts.push_back(rTriggerInsn());
+
+    const DecodedInst trigger = load(3, 7, 8);
+    const auto out = instantiateSeq(seq, trigger, 0x4000);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].ra, 7);
+    EXPECT_EQ(out[1], trigger);
+}
+
+TEST(Display, PatternAndReplacementToString)
+{
+    PatternSpec pattern;
+    pattern.opclass = OpClass::Store;
+    pattern.rs = kSpReg;
+    EXPECT_EQ(pattern.toString(), "class == store && rs == sp");
+
+    ReplacementInst rinst;
+    rinst.templ.op = Opcode::SRL;
+    rinst.templ.cls = OpClass::IntAlu;
+    rinst.templ.useLit = true;
+    rinst.templ.imm = 26;
+    rinst.templ.rc = kDiseRegBase + 1;
+    rinst.raDir = RegDirective::TriggerRS;
+    EXPECT_EQ(rinst.toString(), "srl T.RS, #26, $dr1");
+    EXPECT_EQ(rTriggerInsn().toString(), "T.INSN");
+}
+
+} // namespace
+} // namespace dise

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Path-profiler ACF tests: arithmetic direction capture for every
+ * conditional-branch opcode, history accumulation across expansions via
+ * the persistent dedicated registers, endpoint records with the T.PC
+ * directive, and transparency (profiled runs produce identical
+ * application results).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/acf/profiler.hpp"
+#include "src/assembler/assembler.hpp"
+#include "src/common/logging.hpp"
+#include "src/dise/controller.hpp"
+#include "src/workloads/workloads.hpp"
+
+namespace dise {
+namespace {
+
+/** Run a program under the profiler; returns (records, core output). */
+std::pair<std::vector<PathRecord>, RunResult>
+profile(const Program &prog)
+{
+    DiseController controller;
+    controller.install(std::make_shared<ProductionSet>(
+        makePathProfilerProductions()));
+    ExecCore core(prog, &controller);
+    initProfilerRegisters(core, prog.symbol("pbuf"));
+    RunResult result = core.run(10000000);
+    return {readPathProfile(core, prog.symbol("pbuf")), result};
+}
+
+const char *kTail = "    li 0, v0\n    li 0, a0\n    syscall\n"
+                    ".data\npbuf:\n    .space 4096\n";
+
+TEST(Profiler, CapturesBranchOutcomeBits)
+{
+    // Function with three conditional branches on known data:
+    //   beq t0(=0)  -> taken    (1)
+    //   bne t1(=0)  -> not taken(0)
+    //   blt t2(=-1) -> taken    (1)
+    // History at the return must read 0b101.
+    const Program prog = assemble(std::string(".text\n"
+                                              "main:\n"
+                                              "    call f\n") +
+                                  kTail +
+                                  ".text\n"
+                                  "f:\n"
+                                  "    li 0, t0\n"
+                                  "    li 0, t1\n"
+                                  "    li -1, t2\n"
+                                  "    beq t0, L1\n"
+                                  "    nop\n"
+                                  "L1:\n"
+                                  "    bne t1, L2\n"
+                                  "    nop\n"
+                                  "L2:\n"
+                                  "    blt t2, L3\n"
+                                  "    nop\n"
+                                  "L3:\n"
+                                  "    ret\n");
+    const auto [records, result] = profile(prog);
+    ASSERT_EQ(result.exitCode, 0);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].history, 0b101u);
+    EXPECT_EQ(records[0].endpointPC, prog.symbol("L3"));
+}
+
+/** Direction capture for every conditional opcode, both outcomes. */
+struct DirCase
+{
+    const char *branch;
+    int64_t value;
+    uint64_t expected;
+};
+
+class ProfilerDirections : public ::testing::TestWithParam<DirCase>
+{
+};
+
+TEST_P(ProfilerDirections, ArithmeticDirectionMatchesBranch)
+{
+    const DirCase c = GetParam();
+    const Program prog = assemble(
+        std::string(".text\nmain:\n    call f\n") + kTail +
+        strFormat(".text\nf:\n"
+                  "    li %lld, t0\n"
+                  "    %s t0, L\n"
+                  "    nop\n"
+                  "L:\n"
+                  "    ret\n",
+                  (long long)c.value, c.branch));
+    const auto [records, result] = profile(prog);
+    ASSERT_EQ(result.exitCode, 0);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].history, c.expected)
+        << c.branch << " of " << c.value;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBranches, ProfilerDirections,
+    ::testing::Values(DirCase{"beq", 0, 1}, DirCase{"beq", 5, 0},
+                      DirCase{"bne", 0, 0}, DirCase{"bne", 5, 1},
+                      DirCase{"blt", -1, 1}, DirCase{"blt", 1, 0},
+                      DirCase{"bge", -1, 0}, DirCase{"bge", 0, 1},
+                      DirCase{"ble", 0, 1}, DirCase{"ble", 2, 0},
+                      DirCase{"bgt", 2, 1}, DirCase{"bgt", 0, 0},
+                      DirCase{"blbs", 3, 1}, DirCase{"blbs", 2, 0},
+                      DirCase{"blbc", 2, 1}, DirCase{"blbc", 3, 0}));
+
+TEST(Profiler, HistoryResetsAtEachEndpoint)
+{
+    // Two calls to a function whose single branch alternates.
+    const Program prog =
+        assemble(std::string(".text\n"
+                             "main:\n"
+                             "    li 0, t0\n"
+                             "    call f\n"
+                             "    li 1, t0\n"
+                             "    call f\n") +
+                 kTail +
+                 ".text\n"
+                 "f:\n"
+                 "    beq t0, L\n"
+                 "    nop\n"
+                 "L:\n"
+                 "    ret\n");
+    const auto [records, result] = profile(prog);
+    ASSERT_EQ(result.exitCode, 0);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].history, 1u); // t0 == 0: taken
+    EXPECT_EQ(records[1].history, 0u); // t0 == 1: not taken
+    EXPECT_EQ(records[0].endpointPC, records[1].endpointPC);
+}
+
+TEST(Profiler, LoopPathAccumulatesPerIteration)
+{
+    // A counted loop inside a function: history is one bit per
+    // iteration's loop-back branch plus the final not-taken bit.
+    const Program prog = assemble(std::string(".text\n"
+                                              "main:\n"
+                                              "    call f\n") +
+                                  kTail +
+                                  ".text\n"
+                                  "f:\n"
+                                  "    li 3, t0\n"
+                                  "L:\n"
+                                  "    subq t0, 1, t0\n"
+                                  "    bne t0, L\n"
+                                  "    ret\n");
+    const auto [records, result] = profile(prog);
+    ASSERT_EQ(result.exitCode, 0);
+    ASSERT_EQ(records.size(), 1u);
+    // bne outcomes: taken, taken, not-taken -> 0b110.
+    EXPECT_EQ(records[0].history, 0b110u);
+}
+
+TEST(Profiler, TransparencyOnRealWorkload)
+{
+    WorkloadSpec spec = workloadSpec("parser");
+    spec.targetDynInsts = 60000;
+    spec.kernelIters = 200;
+    Program prog = buildWorkload(spec);
+    // The profiler needs a buffer; append one by rebuilding with space.
+    const std::string src =
+        generateWorkloadSource(spec) + "\npbuf:\n    .space 1048576\n";
+    prog = assemble(src);
+
+    ExecCore native(prog);
+    const RunResult ref = native.run(10000000);
+    ASSERT_EQ(ref.exitCode, 0);
+
+    const auto [records, result] = profile(prog);
+    EXPECT_EQ(result.exitCode, 0);
+    EXPECT_EQ(result.output, ref.output);
+    EXPECT_GT(records.size(), 10u); // every generated function returns
+    for (const auto &record : records)
+        EXPECT_TRUE(prog.inText(record.endpointPC));
+}
+
+TEST(Profiler, RecordsAreWellFormed)
+{
+    const Program prog = assemble(std::string(".text\n"
+                                              "main:\n"
+                                              "    call f\n"
+                                              "    call f\n") +
+                                  kTail +
+                                  ".text\nf:\n    ret\n");
+    const auto [records, result] = profile(prog);
+    ASSERT_EQ(result.exitCode, 0);
+    ASSERT_EQ(records.size(), 2u);
+    // Both endpoints are the ret's PC + 4 (T.PC tags the trigger).
+    EXPECT_EQ(records[0].endpointPC, prog.symbol("f"));
+}
+
+} // namespace
+} // namespace dise

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Binary-rewriter tests: generic rewriting mechanics (layout, branch
+ * retargeting, symbol remapping, prologues), the MFI instrumentation
+ * pass, and a property test running randomly generated control-flow
+ * graphs natively vs rewritten.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/acf/rewriter.hpp"
+#include "src/assembler/assembler.hpp"
+#include "src/common/rng.hpp"
+#include "src/sim/core.hpp"
+
+namespace dise {
+namespace {
+
+/** Identity rule. */
+std::vector<RewriteInst>
+identityRule(const DecodedInst &inst, Addr pc)
+{
+    RewriteInst rw;
+    rw.inst = inst;
+    if (inst.cls == OpClass::CondBranch ||
+        inst.cls == OpClass::UncondBranch || inst.cls == OpClass::Call) {
+        rw.absTarget = inst.branchTarget(pc);
+    }
+    return {rw};
+}
+
+/** Pad every instruction with a leading nop. */
+std::vector<RewriteInst>
+padRule(const DecodedInst &inst, Addr pc)
+{
+    RewriteInst nop;
+    nop.inst = decode(makeNop());
+    auto out = identityRule(inst, pc);
+    out.insert(out.begin(), nop);
+    return out;
+}
+
+TEST(Rewriter, IdentityPreservesProgram)
+{
+    const Program prog = assemble(".text\nmain:\n"
+                                  "    li 3, t0\n"
+                                  "    beq t0, done\n"
+                                  "    addq t0, 1, t0\n"
+                                  "done:\n"
+                                  "    li 0, v0\n    li 0, a0\n"
+                                  "    syscall\n");
+    const Program out = rewriteProgram(prog, identityRule);
+    EXPECT_EQ(out.text, prog.text);
+    EXPECT_EQ(out.entry, prog.entry);
+    EXPECT_EQ(out.symbols, prog.symbols);
+}
+
+TEST(Rewriter, PaddingRetargetsBranches)
+{
+    const Program prog = assemble(".text\nmain:\n"
+                                  "    li 1, t0\n"
+                                  "    bne t0, target\n"
+                                  "    li 0, v0\n    li 7, a0\n"
+                                  "    syscall\n"
+                                  "target:\n"
+                                  "    li 0, v0\n    li 3, a0\n"
+                                  "    syscall\n");
+    const Program out = rewriteProgram(prog, padRule);
+    EXPECT_EQ(out.text.size(), prog.text.size() * 2);
+    ExecCore core(out);
+    EXPECT_EQ(core.run(1000).exitCode, 3);
+    // Symbols moved with their instructions.
+    EXPECT_EQ(out.symbol("target"),
+              out.textBase + (out.symbol("target") - out.textBase));
+    EXPECT_GT(out.symbol("target"), prog.symbol("target"));
+}
+
+TEST(Rewriter, PrologueRunsFirst)
+{
+    const Program prog = assemble(".text\nmain:\n"
+                                  "    mov t0, a0\n"
+                                  "    li 2, v0\n    syscall\n"
+                                  "    li 0, v0\n    li 0, a0\n"
+                                  "    syscall\n");
+    RewriteInst init;
+    init.inst = decode(makeMemory(Opcode::LDA, 1, kZeroReg, 99));
+    const Program out = rewriteProgram(prog, identityRule, {init});
+    ExecCore core(out);
+    EXPECT_EQ(core.run(1000).output, "99");
+}
+
+TEST(Rewriter, EmptyRuleOutputIsABug)
+{
+    const Program prog = assemble(".text\nmain:\n    nop\n");
+    const RewriteRule bad = [](const DecodedInst &,
+                               Addr) -> std::vector<RewriteInst> {
+        return {};
+    };
+    EXPECT_THROW(rewriteProgram(prog, bad), PanicError);
+}
+
+Program
+mfiProgram()
+{
+    return assemble(".text\n"
+                    "main:\n"
+                    "    laq buf, t5\n"
+                    "    li 9, t0\n"
+                    "    stq t0, 8(t5)\n"
+                    "    ldq t1, 8(t5)\n"
+                    "    call f\n"
+                    "    addq t1, t2, a0\n"
+                    "    li 2, v0\n    syscall\n"
+                    "    li 0, v0\n    li 0, a0\n    syscall\n"
+                    "f:\n"
+                    "    li 4, t2\n"
+                    "    ret\n"
+                    "error:\n"
+                    "    li 0, v0\n    li 42, a0\n    syscall\n"
+                    ".data\nbuf:\n    .quad 0, 0\n");
+}
+
+TEST(RewriterMfi, PreservesBehaviour)
+{
+    const Program prog = mfiProgram();
+    ExecCore native(prog);
+    const RunResult nres = native.run(10000);
+    const Program rw = applyMfiRewriting(prog);
+    ExecCore rewritten(rw);
+    const RunResult rres = rewritten.run(10000);
+    EXPECT_EQ(rres.output, nres.output);
+    EXPECT_EQ(rres.exitCode, 0);
+}
+
+TEST(RewriterMfi, InsertsFourInstructionsPerUnsafeOp)
+{
+    const Program prog = mfiProgram();
+    const Program rw = applyMfiRewriting(prog);
+    // 1 store + 1 load + 1 ret checked, 4 insts each, plus a 2-inst
+    // prologue.
+    EXPECT_EQ(rw.text.size(), prog.text.size() + 3 * 4 + 2);
+}
+
+TEST(RewriterMfi, RunsWithoutDiseHardware)
+{
+    // The whole point of the baseline: no controller anywhere.
+    const Program rw = applyMfiRewriting(mfiProgram());
+    ExecCore core(rw, nullptr);
+    EXPECT_EQ(core.run(10000).exitCode, 0);
+}
+
+TEST(RewriterMfi, CatchesWildStore)
+{
+    // A store through a text-segment pointer must reach the handler.
+    const Program prog = assemble(".text\n"
+                                  "main:\n"
+                                  "    laq main, t5\n"
+                                  "    stq t0, 0(t5)\n"
+                                  "    li 0, v0\n    li 0, a0\n"
+                                  "    syscall\n"
+                                  "error:\n"
+                                  "    li 0, v0\n    li 42, a0\n"
+                                  "    syscall\n");
+    const Program rw = applyMfiRewriting(prog);
+    ExecCore core(rw);
+    EXPECT_EQ(core.run(1000).exitCode, 42);
+}
+
+TEST(RewriterMfi, CatchesWildReturn)
+{
+    const Program prog = assemble(".text\n"
+                                  "main:\n"
+                                  "    laq buf, ra\n"
+                                  "    ret\n"
+                                  "error:\n"
+                                  "    li 0, v0\n    li 42, a0\n"
+                                  "    syscall\n"
+                                  ".data\nbuf:\n    .quad 0\n");
+    const Program rw = applyMfiRewriting(prog);
+    ExecCore core(rw);
+    EXPECT_EQ(core.run(1000).exitCode, 42);
+}
+
+/**
+ * Property: random branchy programs behave identically after MFI
+ * rewriting (and exit cleanly, i.e. no spurious faults).
+ */
+class RewriterCfgProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RewriterCfgProperty, RandomCfgEquivalence)
+{
+    Rng rng(GetParam() * 7919 + 3);
+    std::string src = ".text\nmain:\n    laq buf, t5\n    li 0, t1\n";
+    const int blocks = 6 + int(rng.below(6));
+    for (int b = 0; b < blocks; ++b) {
+        src += strFormat("b%d:\n", b);
+        const int insts = 1 + int(rng.below(4));
+        for (int i = 0; i < insts; ++i) {
+            switch (rng.below(4)) {
+              case 0:
+                src += strFormat("    addq t1, %d, t1\n",
+                                 int(rng.below(16)));
+                break;
+              case 1:
+                src += strFormat("    stq t1, %d(t5)\n",
+                                 int(rng.below(8)) * 8);
+                break;
+              case 2:
+                src += strFormat("    ldq t2, %d(t5)\n",
+                                 int(rng.below(8)) * 8);
+                break;
+              default:
+                src += "    xor t1, t2, t1\n";
+                break;
+            }
+        }
+        // Branch forward (no loops: guarantees termination).
+        if (b + 1 < blocks && rng.chance(0.7)) {
+            src += strFormat("    blbs t1, b%d\n",
+                             b + 1 + int(rng.below(blocks - b - 1)));
+        }
+    }
+    src += "    mov t1, a0\n    li 2, v0\n    syscall\n"
+           "    li 0, v0\n    li 0, a0\n    syscall\n"
+           "error:\n    li 0, v0\n    li 42, a0\n    syscall\n"
+           ".data\nbuf:\n    .space 64\n";
+
+    const Program prog = assemble(src);
+    ExecCore native(prog);
+    const RunResult nres = native.run(100000);
+    ASSERT_EQ(nres.exitCode, 0);
+
+    const Program rw = applyMfiRewriting(prog);
+    ExecCore rewritten(rw);
+    const RunResult rres = rewritten.run(100000);
+    EXPECT_EQ(rres.exitCode, 0);
+    EXPECT_EQ(rres.output, nres.output);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RewriterCfgProperty,
+                         ::testing::Range(0, 20));
+
+} // namespace
+} // namespace dise

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Serialization tests: production sets render to DSL text that parses
+ * back to a behaviourally identical set — the external-representation
+ * round trip of the controller interface (Section 2.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/acf/compress.hpp"
+#include "src/acf/mfi.hpp"
+#include "src/acf/profiler.hpp"
+#include "src/acf/tracing.hpp"
+#include "src/assembler/assembler.hpp"
+#include "src/common/logging.hpp"
+#include "src/common/rng.hpp"
+#include "src/dise/parser.hpp"
+#include "src/dise/serialize.hpp"
+#include "src/sim/core.hpp"
+
+namespace dise {
+namespace {
+
+/** Behavioural equality: identical expansion of a probe instruction. */
+void
+expectSameExpansion(const ProductionSet &a, const ProductionSet &b,
+                    const DecodedInst &probe, Addr pc)
+{
+    const auto ida = a.match(probe);
+    const auto idb = b.match(probe);
+    ASSERT_EQ(ida.has_value(), idb.has_value());
+    if (!ida)
+        return;
+    const ReplacementSeq *sa = a.sequence(*ida);
+    const ReplacementSeq *sb = b.sequence(*idb);
+    ASSERT_NE(sa, nullptr);
+    ASSERT_NE(sb, nullptr);
+    const auto ia = instantiateSeq(*sa, probe, pc);
+    const auto ib = instantiateSeq(*sb, probe, pc);
+    ASSERT_EQ(ia.size(), ib.size());
+    for (size_t i = 0; i < ia.size(); ++i)
+        EXPECT_EQ(ia[i], ib[i]) << "slot " << i;
+}
+
+TEST(Serialize, MfiRoundTrip)
+{
+    const Program prog = assemble(
+        ".text\nmain:\n    nop\nerror:\n    nop\n");
+    MfiOptions opts;
+    const ProductionSet original = makeMfiProductions(prog, opts);
+    const std::string dsl = serializeProductions(original);
+    const ProductionSet back = parseProductions(dsl);
+
+    EXPECT_EQ(back.productions().size(), original.productions().size());
+    for (const Word w :
+         {makeMemory(Opcode::LDQ, 3, 7, 16),
+          makeMemory(Opcode::STB, 1, 30, -8), makeJump(Opcode::RET, 31,
+                                                       26)}) {
+        expectSameExpansion(original, back, decode(w), 0x4000100);
+    }
+}
+
+TEST(Serialize, TracingRoundTrip)
+{
+    const ProductionSet original = makeTracingProductions();
+    const ProductionSet back =
+        parseProductions(serializeProductions(original));
+    expectSameExpansion(original, back,
+                        decode(makeMemory(Opcode::STQ, 5, 9, 24)),
+                        0x4000200);
+}
+
+TEST(Serialize, ProfilerRoundTrip)
+{
+    const ProductionSet original = makePathProfilerProductions();
+    const ProductionSet back =
+        parseProductions(serializeProductions(original));
+    for (const Word w :
+         {makeBranch(Opcode::BEQ, 4, -12), makeBranch(Opcode::BLBS, 7, 3),
+          makeJump(Opcode::RET, 31, 26)}) {
+        expectSameExpansion(original, back, decode(w), 0x4000300);
+    }
+}
+
+TEST(Serialize, TaggedDictionaryRoundTrip)
+{
+    // Compression dictionaries use explicit tagging; the "@id" headers
+    // must pin sequence ids so tag arithmetic survives.
+    std::string src = ".text\nmain:\n    laq buf, t5\n";
+    for (int i = 0; i < 4; ++i) {
+        src += "    ldq t0, 0(t5)\n    addq t0, 3, t0\n"
+               "    stq t0, 0(t5)\n    nop\n";
+    }
+    src += "    li 0, v0\n    li 0, a0\n    syscall\n"
+           ".data\nbuf:\n    .quad 0\n";
+    const Program prog = assemble(src);
+    const auto comp = compressProgram(prog);
+    ASSERT_GT(comp.dictEntries, 0u);
+
+    const ProductionSet back =
+        parseProductions(serializeProductions(*comp.dictionary));
+    for (uint32_t tag = 0; tag < comp.dictEntries; ++tag) {
+        // Probe with the actual codewords from the compressed text.
+        for (const Word w : comp.compressed.text) {
+            const DecodedInst inst = decode(w);
+            if (inst.isCodeword() && inst.tag == tag) {
+                expectSameExpansion(*comp.dictionary, back, inst,
+                                    0x4000400);
+                break;
+            }
+        }
+    }
+}
+
+TEST(Serialize, RoundTrippedSetRunsIdentically)
+{
+    // End to end: run a program under the original and the round-tripped
+    // production set; results must match exactly.
+    const Program prog = assemble(".text\n"
+                                  "main:\n"
+                                  "    laq buf, t5\n"
+                                  "    li 9, t0\n"
+                                  "    stq t0, 0(t5)\n"
+                                  "    ldq t1, 0(t5)\n"
+                                  "    mov t1, a0\n    li 2, v0\n"
+                                  "    syscall\n"
+                                  "    li 0, v0\n    li 0, a0\n"
+                                  "    syscall\n"
+                                  "error:\n"
+                                  "    li 0, v0\n    li 42, a0\n"
+                                  "    syscall\n"
+                                  ".data\nbuf:\n    .quad 0\n");
+    MfiOptions opts;
+    const ProductionSet original = makeMfiProductions(prog, opts);
+    const ProductionSet back =
+        parseProductions(serializeProductions(original));
+
+    auto runWith = [&](const ProductionSet &set) {
+        DiseController controller;
+        controller.install(std::make_shared<ProductionSet>(set));
+        ExecCore core(prog, &controller);
+        initMfiRegisters(core, prog);
+        return core.run(10000);
+    };
+    const RunResult a = runWith(original);
+    const RunResult b = runWith(back);
+    EXPECT_EQ(a.output, b.output);
+    EXPECT_EQ(a.dynInsts, b.dynInsts);
+    EXPECT_EQ(a.expansions, b.expansions);
+}
+
+TEST(Serialize, SandboxHasNoDslSpelling)
+{
+    const Program prog = assemble(".text\nmain:\n    nop\n");
+    MfiOptions opts;
+    opts.variant = MfiVariant::Sandbox;
+    const ProductionSet sandbox = makeMfiProductions(prog, opts);
+    EXPECT_THROW(serializeProductions(sandbox), FatalError);
+}
+
+TEST(Serialize, SequenceRendering)
+{
+    const ProductionSet set = parseProductions(
+        "P1: class == load -> R1\n"
+        "R1: srl T.RS, #26, $dr1\n"
+        "    dbne $dr1, +2\n"
+        "    T.INSN\n");
+    const std::string text =
+        serializeSequence(set.sequences().begin()->second);
+    EXPECT_NE(text.find("srl T.RS, #26, $dr1"), std::string::npos);
+    EXPECT_NE(text.find("T.INSN"), std::string::npos);
+}
+
+TEST(Serialize, ExplicitIdHeaderParses)
+{
+    const ProductionSet set = parseProductions(
+        "D7@107: T.INSN\n"
+        "P1: op == res0 -> tag+100\n");
+    const DecodedInst cw = decode(makeCodeword(Opcode::RES0, 7, 0, 0, 0));
+    const auto id = set.match(cw);
+    ASSERT_TRUE(id.has_value());
+    EXPECT_EQ(*id, 107u);
+    EXPECT_NE(set.sequence(107), nullptr);
+}
+
+TEST(Serialize, ExplicitAndFreshIdsCoexist)
+{
+    const ProductionSet set = parseProductions(
+        "R1: T.INSN\n"      // fresh id, must not collide with 1 below
+        "D0@1: T.INSN\n"
+        "P1: class == load -> R1\n"
+        "P2: op == res0 -> tag+1\n");
+    EXPECT_TRUE(
+        set.match(decode(makeMemory(Opcode::LDQ, 1, 2, 0))).has_value());
+    EXPECT_TRUE(
+        set.match(decode(makeCodeword(Opcode::RES0, 0, 0, 0, 0)))
+            .has_value());
+}
+
+/** Property: random transparent production sets round-trip. */
+class SerializeProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SerializeProperty, RandomTransparentSetsRoundTrip)
+{
+    Rng rng(GetParam() * 31337 + 5);
+    ProductionSet set;
+    const int numSeqs = 1 + int(rng.below(3));
+    std::vector<SeqId> ids;
+    for (int s = 0; s < numSeqs; ++s) {
+        ReplacementSeq seq;
+        seq.name = "R" + std::to_string(s);
+        const int len = 1 + int(rng.below(4));
+        for (int i = 0; i < len; ++i) {
+            ReplacementInst rinst;
+            switch (rng.below(4)) {
+              case 0:
+                rinst = rTriggerInsn();
+                break;
+              case 1: // operate with role directives
+                rinst.templ.op = Opcode::ADDQ;
+                rinst.templ.cls = OpClass::IntAlu;
+                rinst.raDir = RegDirective::TriggerRS;
+                rinst.templ.rb = static_cast<RegIndex>(
+                    kDiseRegBase + rng.below(8));
+                rinst.rcDir = RegDirective::TriggerRD;
+                break;
+              case 2: // memory through a dedicated register
+                rinst.templ.op = Opcode::STQ;
+                rinst.templ.cls = OpClass::Store;
+                rinst.raDir = RegDirective::TriggerRT;
+                rinst.templ.rb = static_cast<RegIndex>(
+                    kDiseRegBase + rng.below(8));
+                rinst.immDir = ImmDirective::TriggerImm;
+                break;
+              default: // dedicated-register arithmetic
+                rinst.templ.op = Opcode::XOR;
+                rinst.templ.cls = OpClass::IntAlu;
+                rinst.templ.ra = static_cast<RegIndex>(
+                    kDiseRegBase + rng.below(8));
+                rinst.templ.useLit = true;
+                rinst.templ.imm = static_cast<int64_t>(rng.below(256));
+                rinst.templ.rc = rinst.templ.ra;
+                break;
+            }
+            seq.insts.push_back(rinst);
+        }
+        ids.push_back(set.addSequence(seq));
+    }
+    const OpClass classes[] = {OpClass::Load, OpClass::Store,
+                               OpClass::IntMult, OpClass::Return};
+    for (int p = 0; p < 3; ++p) {
+        PatternSpec pattern;
+        pattern.opclass = classes[rng.below(4)];
+        if (rng.chance(0.3))
+            pattern.rs = static_cast<RegIndex>(rng.below(31));
+        set.addPattern(pattern, ids[rng.below(ids.size())]);
+    }
+
+    const ProductionSet back =
+        parseProductions(serializeProductions(set));
+    for (const Word probe :
+         {makeMemory(Opcode::LDQ, 3, 7, 16),
+          makeMemory(Opcode::STQ, 1, 30, -8),
+          makeOperate(Opcode::MULQ, 1, 2, 3),
+          makeJump(Opcode::RET, 31, 26)}) {
+        expectSameExpansion(set, back, decode(probe), 0x4000500);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializeProperty,
+                         ::testing::Range(0, 20));
+
+} // namespace
+} // namespace dise

@@ -1,0 +1,324 @@
+/**
+ * @file
+ * diserun — command-line driver for the DISE simulator.
+ *
+ * Assembles a program (or generates a built-in workload), optionally
+ * installs ACFs, and runs it on the functional or cycle-level simulator.
+ *
+ *   diserun [options] <program.s>
+ *   diserun [options] --workload <name>
+ *
+ * Options:
+ *   --timing                 cycle-level model (default: functional)
+ *   --productions <file>     install productions from a DSL file
+ *   --mfi[=dise3|dise4|sandbox]
+ *                            memory fault isolation via DISE
+ *   --rewrite-mfi            binary-rewriting MFI baseline (no DISE)
+ *   --compress               compress the text, run via decompression
+ *   --profile                path profiler; prints the records
+ *   --trace <n>              print the first n dynamic instructions
+ *   --icache <KB>            L1I size (0 = perfect)
+ *   --width <n>              machine width
+ *   --rt <entries>           RT capacity (0 = perfect)
+ *   --rt-assoc <n>           RT associativity
+ *   --placement <free|stall|pipe>
+ *   --max-insts <n>          dynamic instruction cap
+ *   --dump-asm               print the program source (workloads only)
+ *   --stats                  dump engine/cache/predictor counters
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/acf/compress.hpp"
+#include "src/common/logging.hpp"
+#include "src/acf/mfi.hpp"
+#include "src/acf/profiler.hpp"
+#include "src/acf/rewriter.hpp"
+#include "src/assembler/assembler.hpp"
+#include "src/dise/parser.hpp"
+#include "src/isa/disasm.hpp"
+#include "src/pipeline/pipeline.hpp"
+#include "src/workloads/workloads.hpp"
+
+using namespace dise;
+
+namespace {
+
+struct Options
+{
+    std::string source;
+    std::string workload;
+    std::string productionsFile;
+    bool timing = false;
+    bool mfi = false;
+    MfiVariant mfiVariant = MfiVariant::Dise3;
+    bool rewriteMfi = false;
+    bool compress = false;
+    bool profile = false;
+    uint64_t traceInsts = 0;
+    uint32_t icacheKB = 32;
+    uint32_t width = 4;
+    uint32_t rtEntries = 2048;
+    uint32_t rtAssoc = 2;
+    DisePlacement placement = DisePlacement::Pipe;
+    uint64_t maxInsts = ~uint64_t(0);
+    bool dumpAsm = false;
+    bool stats = false;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [options] <program.s> | --workload <name>\n"
+                 "run '%s --help' is this message; see the file header "
+                 "for the option list\n",
+                 argv0, argv0);
+    std::exit(2);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--timing") {
+            opts.timing = true;
+        } else if (arg == "--productions") {
+            opts.productionsFile = need(i);
+        } else if (arg == "--mfi" || arg.rfind("--mfi=", 0) == 0) {
+            opts.mfi = true;
+            if (arg == "--mfi=dise4")
+                opts.mfiVariant = MfiVariant::Dise4;
+            else if (arg == "--mfi=sandbox")
+                opts.mfiVariant = MfiVariant::Sandbox;
+        } else if (arg == "--rewrite-mfi") {
+            opts.rewriteMfi = true;
+        } else if (arg == "--compress") {
+            opts.compress = true;
+        } else if (arg == "--profile") {
+            opts.profile = true;
+        } else if (arg == "--trace") {
+            opts.traceInsts = std::strtoull(need(i), nullptr, 0);
+        } else if (arg == "--icache") {
+            opts.icacheKB = static_cast<uint32_t>(std::atoi(need(i)));
+        } else if (arg == "--width") {
+            opts.width = static_cast<uint32_t>(std::atoi(need(i)));
+        } else if (arg == "--rt") {
+            opts.rtEntries = static_cast<uint32_t>(std::atoi(need(i)));
+        } else if (arg == "--rt-assoc") {
+            opts.rtAssoc = static_cast<uint32_t>(std::atoi(need(i)));
+        } else if (arg == "--placement") {
+            const std::string p = need(i);
+            opts.placement = p == "free" ? DisePlacement::Free
+                             : p == "stall" ? DisePlacement::Stall
+                                            : DisePlacement::Pipe;
+        } else if (arg == "--max-insts") {
+            opts.maxInsts = std::strtoull(need(i), nullptr, 0);
+        } else if (arg == "--workload") {
+            opts.workload = need(i);
+        } else if (arg == "--dump-asm") {
+            opts.dumpAsm = true;
+        } else if (arg == "--stats") {
+            opts.stats = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            usage(argv[0]);
+        } else {
+            opts.source = arg;
+        }
+    }
+    if (opts.source.empty() == opts.workload.empty())
+        usage(argv[0]); // exactly one input source
+    return opts;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+void
+printRun(const RunResult &r)
+{
+    std::printf("exited:        %s (code %d)\n", r.exited ? "yes" : "NO",
+                r.exitCode);
+    if (!r.output.empty())
+        std::printf("output:        %s\n", r.output.c_str());
+    std::printf("dyn insts:     %llu (app %llu + dise %llu)\n",
+                (unsigned long long)r.dynInsts,
+                (unsigned long long)r.appInsts,
+                (unsigned long long)r.diseInsts);
+    std::printf("expansions:    %llu\n",
+                (unsigned long long)r.expansions);
+    std::printf("loads/stores:  %llu / %llu\n",
+                (unsigned long long)r.loads,
+                (unsigned long long)r.stores);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseArgs(argc, argv);
+
+    // ---- Build the program. ----
+    Program prog;
+    if (!opts.workload.empty()) {
+        const WorkloadSpec &spec = workloadSpec(opts.workload);
+        if (opts.dumpAsm) {
+            std::fputs(generateWorkloadSource(spec).c_str(), stdout);
+            return 0;
+        }
+        prog = buildWorkload(spec);
+    } else {
+        prog = assemble(readFile(opts.source));
+    }
+    std::printf("program:       %zu insts (%.1f KB text, %.1f KB "
+                "data), entry 0x%llx\n",
+                prog.text.size(), prog.textBytes() / 1024.0,
+                prog.data.size() / 1024.0,
+                (unsigned long long)prog.entry);
+
+    // ---- Assemble the production set. ----
+    auto set = std::make_shared<ProductionSet>();
+    bool haveDise = false;
+    if (!opts.productionsFile.empty()) {
+        set->merge(parseProductions(readFile(opts.productionsFile),
+                                    prog.symbols));
+        haveDise = true;
+    }
+    if (opts.mfi) {
+        MfiOptions mfiOpts;
+        mfiOpts.variant = opts.mfiVariant;
+        set->merge(makeMfiProductions(prog, mfiOpts));
+        haveDise = true;
+    }
+    if (opts.profile) {
+        set->merge(makePathProfilerProductions());
+        haveDise = true;
+    }
+    if (opts.rewriteMfi) {
+        prog = applyMfiRewriting(prog);
+        std::printf("rewritten:     %zu insts after MFI rewriting\n",
+                    prog.text.size());
+    }
+    Addr profileBuffer = 0;
+    if (opts.profile) {
+        // Place the profile buffer past everything in the data segment.
+        profileBuffer = prog.dataBase + ((prog.data.size() + 0xffff) &
+                                         ~size_t(0xfff)) + (1 << 20);
+    }
+    if (opts.compress) {
+        const CompressionResult comp = compressProgram(prog);
+        std::printf("compressed:    %.1f KB text (ratio %.3f, +dict "
+                    "%.3f), %u dictionary entries\n",
+                    comp.compressedTextBytes / 1024.0, comp.ratio(),
+                    comp.ratioWithDict(), comp.dictEntries);
+        prog = comp.compressed;
+        set->merge(*comp.dictionary);
+        haveDise = true;
+    }
+
+    DiseConfig config;
+    config.rtEntries = opts.rtEntries;
+    config.rtAssoc = opts.rtAssoc;
+    config.placement = opts.placement;
+    DiseController controller(config);
+    if (haveDise)
+        controller.install(set);
+    DiseController *ctl = haveDise ? &controller : nullptr;
+
+    auto initCore = [&](ExecCore &core) {
+        if (opts.mfi)
+            initMfiRegisters(core, prog);
+        if (opts.profile)
+            initProfilerRegisters(core, profileBuffer);
+    };
+
+    // ---- Run. ----
+    if (opts.timing) {
+        PipelineParams machine;
+        machine.width = opts.width;
+        machine.mem.l1iSize = opts.icacheKB * 1024;
+        PipelineSim sim(prog, machine, ctl);
+        initCore(sim.core());
+        const TimingResult t = sim.run(opts.maxInsts);
+        printRun(t.arch);
+        std::printf("cycles:        %llu (IPC %.2f)\n",
+                    (unsigned long long)t.cycles, t.ipc());
+        std::printf("mispredicts:   %llu (+%llu unpredicted-sequence, "
+                    "%llu decode redirects)\n",
+                    (unsigned long long)t.mispredicts,
+                    (unsigned long long)t.diseMispredicts,
+                    (unsigned long long)t.decodeRedirects);
+        std::printf("cache misses:  L1I %llu, L1D %llu, L2 %llu\n",
+                    (unsigned long long)t.icacheMisses,
+                    (unsigned long long)t.dcacheMisses,
+                    (unsigned long long)t.l2Misses);
+        std::printf("PT/RT stalls:  %llu cycles\n",
+                    (unsigned long long)t.missStallCycles);
+        if (opts.profile) {
+            const auto records =
+                readPathProfile(sim.core(), profileBuffer);
+            std::printf("path records:  %zu\n", records.size());
+        }
+        if (opts.stats) {
+            std::fputs(
+                controller.engine().stats().dump().c_str(), stdout);
+            std::fputs(sim.mem().icache().stats().dump().c_str(),
+                       stdout);
+            std::fputs(sim.mem().dcache().stats().dump().c_str(),
+                       stdout);
+            std::fputs(sim.predictor().stats().dump().c_str(), stdout);
+        }
+    } else {
+        ExecCore core(prog, ctl);
+        initCore(core);
+        if (opts.traceInsts > 0) {
+            DynInst dyn;
+            for (uint64_t i = 0;
+                 i < opts.traceInsts && core.step(dyn); ++i) {
+                std::printf("%6llu  0x%llx:%u  %s\n",
+                            (unsigned long long)i,
+                            (unsigned long long)dyn.pc, dyn.disepc,
+                            disassemble(dyn.inst, dyn.pc).c_str());
+            }
+        }
+        const RunResult r = core.run(opts.maxInsts);
+        printRun(r);
+        if (opts.profile) {
+            const auto records = readPathProfile(core, profileBuffer);
+            std::printf("path records:  %zu\n", records.size());
+            const size_t show = std::min<size_t>(records.size(), 10);
+            for (size_t i = 0; i < show; ++i) {
+                std::printf("    0x%llx : 0x%llx\n",
+                            (unsigned long long)records[i].endpointPC,
+                            (unsigned long long)records[i].history);
+            }
+        }
+        if (opts.stats && haveDise) {
+            std::fputs(
+                controller.engine().stats().dump().c_str(), stdout);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_mfi"
+  "../bench/bench_fig6_mfi.pdb"
+  "CMakeFiles/bench_fig6_mfi.dir/bench_fig6_mfi.cpp.o"
+  "CMakeFiles/bench_fig6_mfi.dir/bench_fig6_mfi.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_mfi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

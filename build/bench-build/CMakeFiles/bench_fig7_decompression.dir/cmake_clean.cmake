@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_decompression"
+  "../bench/bench_fig7_decompression.pdb"
+  "CMakeFiles/bench_fig7_decompression.dir/bench_fig7_decompression.cpp.o"
+  "CMakeFiles/bench_fig7_decompression.dir/bench_fig7_decompression.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_decompression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

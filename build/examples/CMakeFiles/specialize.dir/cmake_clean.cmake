@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specialize.dir/specialize.cpp.o"
+  "CMakeFiles/specialize.dir/specialize.cpp.o.d"
+  "specialize"
+  "specialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/acf/assertions.cpp" "src/acf/CMakeFiles/dise_acf.dir/assertions.cpp.o" "gcc" "src/acf/CMakeFiles/dise_acf.dir/assertions.cpp.o.d"
+  "/root/repo/src/acf/compose.cpp" "src/acf/CMakeFiles/dise_acf.dir/compose.cpp.o" "gcc" "src/acf/CMakeFiles/dise_acf.dir/compose.cpp.o.d"
+  "/root/repo/src/acf/compress.cpp" "src/acf/CMakeFiles/dise_acf.dir/compress.cpp.o" "gcc" "src/acf/CMakeFiles/dise_acf.dir/compress.cpp.o.d"
+  "/root/repo/src/acf/mfi.cpp" "src/acf/CMakeFiles/dise_acf.dir/mfi.cpp.o" "gcc" "src/acf/CMakeFiles/dise_acf.dir/mfi.cpp.o.d"
+  "/root/repo/src/acf/profiler.cpp" "src/acf/CMakeFiles/dise_acf.dir/profiler.cpp.o" "gcc" "src/acf/CMakeFiles/dise_acf.dir/profiler.cpp.o.d"
+  "/root/repo/src/acf/rewriter.cpp" "src/acf/CMakeFiles/dise_acf.dir/rewriter.cpp.o" "gcc" "src/acf/CMakeFiles/dise_acf.dir/rewriter.cpp.o.d"
+  "/root/repo/src/acf/tracing.cpp" "src/acf/CMakeFiles/dise_acf.dir/tracing.cpp.o" "gcc" "src/acf/CMakeFiles/dise_acf.dir/tracing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dise/CMakeFiles/dise_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembler/CMakeFiles/dise_assembler.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dise_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dise_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dise_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dise_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

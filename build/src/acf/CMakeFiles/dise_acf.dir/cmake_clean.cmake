@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dise_acf.dir/assertions.cpp.o"
+  "CMakeFiles/dise_acf.dir/assertions.cpp.o.d"
+  "CMakeFiles/dise_acf.dir/compose.cpp.o"
+  "CMakeFiles/dise_acf.dir/compose.cpp.o.d"
+  "CMakeFiles/dise_acf.dir/compress.cpp.o"
+  "CMakeFiles/dise_acf.dir/compress.cpp.o.d"
+  "CMakeFiles/dise_acf.dir/mfi.cpp.o"
+  "CMakeFiles/dise_acf.dir/mfi.cpp.o.d"
+  "CMakeFiles/dise_acf.dir/profiler.cpp.o"
+  "CMakeFiles/dise_acf.dir/profiler.cpp.o.d"
+  "CMakeFiles/dise_acf.dir/rewriter.cpp.o"
+  "CMakeFiles/dise_acf.dir/rewriter.cpp.o.d"
+  "CMakeFiles/dise_acf.dir/tracing.cpp.o"
+  "CMakeFiles/dise_acf.dir/tracing.cpp.o.d"
+  "libdise_acf.a"
+  "libdise_acf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dise_acf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dise_assembler.dir/assembler.cpp.o"
+  "CMakeFiles/dise_assembler.dir/assembler.cpp.o.d"
+  "CMakeFiles/dise_assembler.dir/program.cpp.o"
+  "CMakeFiles/dise_assembler.dir/program.cpp.o.d"
+  "libdise_assembler.a"
+  "libdise_assembler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dise_assembler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

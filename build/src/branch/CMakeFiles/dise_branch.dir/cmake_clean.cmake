@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dise_branch.dir/predictor.cpp.o"
+  "CMakeFiles/dise_branch.dir/predictor.cpp.o.d"
+  "libdise_branch.a"
+  "libdise_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dise_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dise_common.dir/logging.cpp.o"
+  "CMakeFiles/dise_common.dir/logging.cpp.o.d"
+  "CMakeFiles/dise_common.dir/stats.cpp.o"
+  "CMakeFiles/dise_common.dir/stats.cpp.o.d"
+  "CMakeFiles/dise_common.dir/table.cpp.o"
+  "CMakeFiles/dise_common.dir/table.cpp.o.d"
+  "libdise_common.a"
+  "libdise_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dise_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dise/controller.cpp" "src/dise/CMakeFiles/dise_core.dir/controller.cpp.o" "gcc" "src/dise/CMakeFiles/dise_core.dir/controller.cpp.o.d"
+  "/root/repo/src/dise/engine.cpp" "src/dise/CMakeFiles/dise_core.dir/engine.cpp.o" "gcc" "src/dise/CMakeFiles/dise_core.dir/engine.cpp.o.d"
+  "/root/repo/src/dise/parser.cpp" "src/dise/CMakeFiles/dise_core.dir/parser.cpp.o" "gcc" "src/dise/CMakeFiles/dise_core.dir/parser.cpp.o.d"
+  "/root/repo/src/dise/production.cpp" "src/dise/CMakeFiles/dise_core.dir/production.cpp.o" "gcc" "src/dise/CMakeFiles/dise_core.dir/production.cpp.o.d"
+  "/root/repo/src/dise/serialize.cpp" "src/dise/CMakeFiles/dise_core.dir/serialize.cpp.o" "gcc" "src/dise/CMakeFiles/dise_core.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/dise_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dise_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

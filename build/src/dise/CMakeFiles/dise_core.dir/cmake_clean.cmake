@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dise_core.dir/controller.cpp.o"
+  "CMakeFiles/dise_core.dir/controller.cpp.o.d"
+  "CMakeFiles/dise_core.dir/engine.cpp.o"
+  "CMakeFiles/dise_core.dir/engine.cpp.o.d"
+  "CMakeFiles/dise_core.dir/parser.cpp.o"
+  "CMakeFiles/dise_core.dir/parser.cpp.o.d"
+  "CMakeFiles/dise_core.dir/production.cpp.o"
+  "CMakeFiles/dise_core.dir/production.cpp.o.d"
+  "CMakeFiles/dise_core.dir/serialize.cpp.o"
+  "CMakeFiles/dise_core.dir/serialize.cpp.o.d"
+  "libdise_core.a"
+  "libdise_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dise_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdise_core.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dise_isa.dir/disasm.cpp.o"
+  "CMakeFiles/dise_isa.dir/disasm.cpp.o.d"
+  "CMakeFiles/dise_isa.dir/inst.cpp.o"
+  "CMakeFiles/dise_isa.dir/inst.cpp.o.d"
+  "CMakeFiles/dise_isa.dir/opcodes.cpp.o"
+  "CMakeFiles/dise_isa.dir/opcodes.cpp.o.d"
+  "CMakeFiles/dise_isa.dir/regs.cpp.o"
+  "CMakeFiles/dise_isa.dir/regs.cpp.o.d"
+  "libdise_isa.a"
+  "libdise_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dise_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache.cpp" "src/mem/CMakeFiles/dise_mem.dir/cache.cpp.o" "gcc" "src/mem/CMakeFiles/dise_mem.dir/cache.cpp.o.d"
+  "/root/repo/src/mem/memory.cpp" "src/mem/CMakeFiles/dise_mem.dir/memory.cpp.o" "gcc" "src/mem/CMakeFiles/dise_mem.dir/memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/assembler/CMakeFiles/dise_assembler.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dise_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dise_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

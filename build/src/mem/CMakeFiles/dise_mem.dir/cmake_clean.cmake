@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dise_mem.dir/cache.cpp.o"
+  "CMakeFiles/dise_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/dise_mem.dir/memory.cpp.o"
+  "CMakeFiles/dise_mem.dir/memory.cpp.o.d"
+  "libdise_mem.a"
+  "libdise_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dise_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dise_pipeline.dir/pipeline.cpp.o"
+  "CMakeFiles/dise_pipeline.dir/pipeline.cpp.o.d"
+  "libdise_pipeline.a"
+  "libdise_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dise_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

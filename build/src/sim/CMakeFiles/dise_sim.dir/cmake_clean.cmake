@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dise_sim.dir/core.cpp.o"
+  "CMakeFiles/dise_sim.dir/core.cpp.o.d"
+  "libdise_sim.a"
+  "libdise_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dise_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

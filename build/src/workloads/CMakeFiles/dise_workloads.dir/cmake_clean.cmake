@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dise_workloads.dir/kernels.cpp.o"
+  "CMakeFiles/dise_workloads.dir/kernels.cpp.o.d"
+  "CMakeFiles/dise_workloads.dir/workloads.cpp.o"
+  "CMakeFiles/dise_workloads.dir/workloads.cpp.o.d"
+  "libdise_workloads.a"
+  "libdise_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dise_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assertions.dir/test_assertions.cpp.o"
+  "CMakeFiles/test_assertions.dir/test_assertions.cpp.o.d"
+  "test_assertions"
+  "test_assertions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assertions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

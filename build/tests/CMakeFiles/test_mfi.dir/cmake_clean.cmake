@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mfi.dir/test_mfi.cpp.o"
+  "CMakeFiles/test_mfi.dir/test_mfi.cpp.o.d"
+  "test_mfi"
+  "test_mfi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mfi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_mfi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_rewriter.cpp" "tests/CMakeFiles/test_rewriter.dir/test_rewriter.cpp.o" "gcc" "tests/CMakeFiles/test_rewriter.dir/test_rewriter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/dise_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/acf/CMakeFiles/dise_acf.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/dise_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dise_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dise/CMakeFiles/dise_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/dise_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dise_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembler/CMakeFiles/dise_assembler.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dise_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dise_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

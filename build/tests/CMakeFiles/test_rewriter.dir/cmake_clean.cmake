@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rewriter.dir/test_rewriter.cpp.o"
+  "CMakeFiles/test_rewriter.dir/test_rewriter.cpp.o.d"
+  "test_rewriter"
+  "test_rewriter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rewriter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diserun.dir/diserun.cpp.o"
+  "CMakeFiles/diserun.dir/diserun.cpp.o.d"
+  "diserun"
+  "diserun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diserun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

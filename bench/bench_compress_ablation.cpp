@@ -31,15 +31,26 @@ main()
             header.push_back(kv.first);
         TextTable table(header);
         std::map<std::string, std::vector<double>> g;
-        for (const auto &spec : specs) {
+        struct Row
+        {
+            std::vector<std::string> cells;
+            std::vector<double> ratios;
+        };
+        const auto rows = mapSpecs(specs, [&](const WorkloadSpec &spec) {
             const Program &prog = program(spec);
-            std::vector<std::string> row = {spec.name};
+            Row row;
+            row.cells = {spec.name};
             for (const auto &kv : configs) {
                 const auto result = compressProgram(prog, kv.second);
-                row.push_back(TextTable::num(result.ratioWithDict()));
-                g[kv.first].push_back(result.ratioWithDict());
+                row.cells.push_back(TextTable::num(result.ratioWithDict()));
+                row.ratios.push_back(result.ratioWithDict());
             }
-            table.addRow(row);
+            return row;
+        });
+        for (const Row &row : rows) {
+            table.addRow(row.cells);
+            for (size_t c = 0; c < configs.size(); ++c)
+                g[configs[c].first].push_back(row.ratios[c]);
         }
         std::vector<std::string> mean = {"geomean"};
         for (const auto &kv : configs)

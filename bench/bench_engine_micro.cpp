@@ -101,6 +101,60 @@ BM_EngineExpand(benchmark::State &state)
 BENCHMARK(BM_EngineExpand)->Arg(0)->Arg(64)->Arg(2048);
 
 void
+BM_ExpansionRate(benchmark::State &state)
+{
+    // Expansion-heavy stream: every fetched instruction triggers a
+    // composed-scale replacement (a dictionary-entry body with each
+    // memory instruction wrapped in the MFI check, as in Figure 8), so
+    // items/sec IS expansions/sec. Arg(1) runs the memoized fast path,
+    // Arg(0) forces re-instantiation on every expansion (slow path).
+    // Same productions, same fetch stream, so architectural stats are
+    // identical; only the instantiation work differs.
+    DiseConfig config;
+    config.rtEntries = 2048;
+    config.rtAssoc = 2;
+    config.expansionCache = state.range(0) != 0;
+    DiseEngine engine(config);
+    engine.setProductions(
+        std::make_shared<ProductionSet>(parseProductions(
+            "P1: class == load -> R1\n"
+            "R1: srl T.RS, #26, $dr1\n"
+            "    cmpeq $dr1, $dr2, $dr1\n"
+            "    beq $dr1, @0x4000f00\n"
+            "    ldq $dr3, T.IMM(T.RS)\n"
+            "    srl $dr3, #26, $dr1\n"
+            "    cmpeq $dr1, $dr2, $dr1\n"
+            "    beq $dr1, @0x4000f00\n"
+            "    addq $dr3, T.RT, $dr4\n"
+            "    srl $dr4, #26, $dr1\n"
+            "    cmpeq $dr1, $dr2, $dr1\n"
+            "    beq $dr1, @0x4000f00\n"
+            "    stq $dr4, T.IMM($dr3)\n"
+            "    srl T.RS, #26, $dr1\n"
+            "    cmpeq $dr1, $dr2, $dr1\n"
+            "    beq $dr1, @0x4000f00\n"
+            "    T.INSN\n")));
+    // A small working set of static trigger sites, revisited like an
+    // inner loop's loads are: the same (word, PC) pairs recur, which is
+    // what the memoization keys on. MFI sequences branch to the error
+    // handler, so they are PC-dependent and cache per site.
+    std::vector<DecodedInst> triggers;
+    for (uint8_t ra = 1; ra <= 64; ++ra)
+        triggers.push_back(
+            decode(makeMemory(Opcode::LDQ, ra % 30, 9, 8 * ra)));
+    size_t i = 0;
+    for (auto _ : state) {
+        const size_t site = i++ % triggers.size();
+        benchmark::DoNotOptimize(
+            engine.expand(triggers[site], 0x4000000 + 4 * site));
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+    state.counters["expansions/s"] = benchmark::Counter(
+        double(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExpansionRate)->Arg(1)->Arg(0);
+
+void
 BM_FunctionalSimThroughput(benchmark::State &state)
 {
     WorkloadSpec spec = workloadSpec("bzip2");
@@ -119,6 +173,8 @@ BENCHMARK(BM_FunctionalSimThroughput)->Unit(benchmark::kMillisecond);
 void
 BM_DiseSimThroughput(benchmark::State &state)
 {
+    // items/sec here is simulated instructions per second (MIPS when
+    // divided by 1e6). Arg(1) = expansion fast path, Arg(0) = slow.
     WorkloadSpec spec = workloadSpec("bzip2");
     spec.targetDynInsts = 50000;
     spec.kernelIters = 500;
@@ -126,17 +182,26 @@ BM_DiseSimThroughput(benchmark::State &state)
     MfiOptions mopts;
     auto set =
         std::make_shared<ProductionSet>(makeMfiProductions(prog, mopts));
+    DiseConfig config;
+    config.expansionCache = state.range(0) != 0;
+    uint64_t simulated = 0;
     for (auto _ : state) {
-        DiseController controller;
+        DiseController controller(config);
         controller.install(set);
         ExecCore core(prog, &controller);
         initMfiRegisters(core, prog);
         const RunResult result = core.run();
         benchmark::DoNotOptimize(result.dynInsts);
-        state.SetItemsProcessed(int64_t(result.dynInsts));
+        simulated += result.dynInsts;
+        state.SetItemsProcessed(int64_t(simulated));
     }
+    state.counters["sim-MIPS"] = benchmark::Counter(
+        double(simulated) / 1e6, benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_DiseSimThroughput)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DiseSimThroughput)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -56,7 +56,12 @@ main()
         TextTable table({"bench", "rewrite", "DISE4", "+stall", "+pipe",
                          "DISE3", "sandbox", "exp/app-inst"});
         std::vector<double> gRewrite, gD4, gStall, gPipe, gD3, gSbx;
-        for (const auto &spec : specs) {
+        struct Row
+        {
+            std::vector<std::string> cells;
+            double rw, d4, stall, pipe, d3, sbx;
+        };
+        const auto rows = mapSpecs(specs, [&](const WorkloadSpec &spec) {
             const Program &prog = program(spec);
             const PipelineParams machine = baselineMachine();
             const TimingResult base = runNative(prog, machine);
@@ -87,19 +92,30 @@ main()
             const double b = double(base.cycles);
             const double expRate =
                 double(d3.arch.expansions) / double(d3.arch.appInsts);
-            table.addRow({spec.name, TextTable::num(rw.cycles / b),
-                          TextTable::num(d4.cycles / b),
-                          TextTable::num(stall.cycles / b),
-                          TextTable::num(pipe.cycles / b),
-                          TextTable::num(d3.cycles / b),
-                          TextTable::num(sbx.cycles / b),
-                          TextTable::num(expRate, 2)});
-            gRewrite.push_back(rw.cycles / b);
-            gD4.push_back(d4.cycles / b);
-            gStall.push_back(stall.cycles / b);
-            gPipe.push_back(pipe.cycles / b);
-            gD3.push_back(d3.cycles / b);
-            gSbx.push_back(sbx.cycles / b);
+            Row row;
+            row.cells = {spec.name, TextTable::num(rw.cycles / b),
+                         TextTable::num(d4.cycles / b),
+                         TextTable::num(stall.cycles / b),
+                         TextTable::num(pipe.cycles / b),
+                         TextTable::num(d3.cycles / b),
+                         TextTable::num(sbx.cycles / b),
+                         TextTable::num(expRate, 2)};
+            row.rw = rw.cycles / b;
+            row.d4 = d4.cycles / b;
+            row.stall = stall.cycles / b;
+            row.pipe = pipe.cycles / b;
+            row.d3 = d3.cycles / b;
+            row.sbx = sbx.cycles / b;
+            return row;
+        });
+        for (const Row &row : rows) {
+            table.addRow(row.cells);
+            gRewrite.push_back(row.rw);
+            gD4.push_back(row.d4);
+            gStall.push_back(row.stall);
+            gPipe.push_back(row.pipe);
+            gD3.push_back(row.d3);
+            gSbx.push_back(row.sbx);
         }
         table.addRow({"geomean", TextTable::num(geomean(gRewrite)),
                       TextTable::num(geomean(gD4)),
@@ -116,7 +132,7 @@ main()
                     "vs rewriting; normalized to native @ same cache) --\n");
         TextTable table({"bench", "rw@8K", "d3@8K", "rw@32K", "d3@32K",
                          "rw@128K", "d3@128K", "rw@perf", "d3@perf"});
-        for (const auto &spec : specs) {
+        const auto rows = mapSpecs(specs, [&](const WorkloadSpec &spec) {
             const Program &prog = program(spec);
             const Program rewritten = applyMfiRewriting(prog);
             std::vector<std::string> row = {spec.name};
@@ -132,8 +148,10 @@ main()
                 row.push_back(
                     TextTable::num(double(d3.cycles) / base.cycles));
             }
+            return row;
+        });
+        for (const auto &row : rows)
             table.addRow(row);
-        }
         std::printf("%s\n", table.render().c_str());
     }
 
@@ -143,7 +161,7 @@ main()
                     "native @ same width) --\n");
         TextTable table({"bench", "rw@1w", "d3@1w", "rw@2w", "d3@2w",
                          "rw@4w", "d3@4w", "rw@8w", "d3@8w"});
-        for (const auto &spec : specs) {
+        const auto rows = mapSpecs(specs, [&](const WorkloadSpec &spec) {
             const Program &prog = program(spec);
             const Program rewritten = applyMfiRewriting(prog);
             std::vector<std::string> row = {spec.name};
@@ -159,8 +177,10 @@ main()
                 row.push_back(
                     TextTable::num(double(d3.cycles) / base.cycles));
             }
+            return row;
+        });
+        for (const auto &row : rows)
             table.addRow(row);
-        }
         std::printf("%s\n", table.render().c_str());
     }
     return 0;

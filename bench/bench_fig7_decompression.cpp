@@ -78,18 +78,32 @@ main()
         }
         TextTable table(header);
         std::map<std::string, std::vector<double>> g;
-        for (const auto &spec : specs) {
+        struct Row
+        {
+            std::vector<std::string> cells;
+            std::vector<double> ratios, withDict;
+        };
+        const auto rows = mapSpecs(specs, [&](const WorkloadSpec &spec) {
             const Program &prog = program(spec);
-            std::vector<std::string> row = {spec.name};
+            Row row;
+            row.cells = {spec.name};
             for (const auto &config : configs) {
                 const auto result =
                     compressProgram(prog, ablationOptions(config));
-                row.push_back(TextTable::num(result.ratio()));
-                row.push_back(TextTable::num(result.ratioWithDict()));
-                g[config].push_back(result.ratio());
-                g[config + "+d"].push_back(result.ratioWithDict());
+                row.cells.push_back(TextTable::num(result.ratio()));
+                row.cells.push_back(
+                    TextTable::num(result.ratioWithDict()));
+                row.ratios.push_back(result.ratio());
+                row.withDict.push_back(result.ratioWithDict());
             }
-            table.addRow(row);
+            return row;
+        });
+        for (const Row &row : rows) {
+            table.addRow(row.cells);
+            for (size_t c = 0; c < configs.size(); ++c) {
+                g[configs[c]].push_back(row.ratios[c]);
+                g[configs[c] + "+d"].push_back(row.withDict[c]);
+            }
         }
         std::vector<std::string> mean = {"geomean"};
         for (const auto &config : configs) {
@@ -107,7 +121,7 @@ main()
         TextTable table({"bench", "unc@8K", "cmp@8K", "unc@32K",
                          "cmp@32K", "unc@128K", "cmp@128K", "unc@perf",
                          "cmp@perf"});
-        for (const auto &spec : specs) {
+        const auto rows = mapSpecs(specs, [&](const WorkloadSpec &spec) {
             const Program &prog = program(spec);
             const auto comp = compressProgram(prog);
             const TimingResult ref =
@@ -127,8 +141,10 @@ main()
                 row.push_back(
                     TextTable::num(double(cmp.cycles) / ref.cycles));
             }
+            return row;
+        });
+        for (const auto &row : rows)
             table.addRow(row);
-        }
         std::printf("%s\n", table.render().c_str());
     }
 
@@ -140,7 +156,7 @@ main()
         TextTable table({"bench", "perfRT", "2K/2w", "2K/dm", "512/2w",
                          "512/dm", "256/2w", "256/dm", "64/2w",
                          "64/dm"});
-        for (const auto &spec : specs) {
+        const auto rows = mapSpecs(specs, [&](const WorkloadSpec &spec) {
             const Program &prog = program(spec);
             const auto comp = compressProgram(prog);
             const PipelineParams machine = baselineMachine(32);
@@ -160,8 +176,10 @@ main()
                 row.push_back(rtRun(entries, 2));
                 row.push_back(rtRun(entries, 1));
             }
+            return row;
+        });
+        for (const auto &row : rows)
             table.addRow(row);
-        }
         std::printf("%s\n", table.render().c_str());
     }
 
@@ -169,15 +187,17 @@ main()
     {
         TextTable table({"bench", "dictEntries", "dictInsts",
                          "codewords", "textKB"});
-        for (const auto &spec : specs) {
+        const auto rows = mapSpecs(specs, [&](const WorkloadSpec &spec) {
             const Program &prog = program(spec);
             const auto comp = compressProgram(prog);
-            table.addRow({spec.name, std::to_string(comp.dictEntries),
-                          std::to_string(
-                              comp.dictionary->totalReplacementInsts()),
-                          std::to_string(comp.codewords),
-                          TextTable::num(prog.textBytes() / 1024.0, 1)});
-        }
+            return std::vector<std::string>{
+                spec.name, std::to_string(comp.dictEntries),
+                std::to_string(comp.dictionary->totalReplacementInsts()),
+                std::to_string(comp.codewords),
+                TextTable::num(prog.textBytes() / 1024.0, 1)};
+        });
+        for (const auto &row : rows)
+            table.addRow(row);
         std::printf("%s\n", table.render().c_str());
     }
     return 0;

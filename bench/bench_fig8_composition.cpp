@@ -43,7 +43,7 @@ main()
             header.push_back(std::string("DISE+DISE@") + kb);
         }
         TextTable table(header);
-        for (const auto &spec : specs) {
+        const auto rows = mapSpecs(specs, [&](const WorkloadSpec &spec) {
             const Program &prog = program(spec);
             MfiOptions mopts;
             const ProductionSet mfi = makeMfiProductions(prog, mopts);
@@ -86,8 +86,10 @@ main()
                 row.push_back(
                     TextTable::num(double(c.cycles) / ref.cycles));
             }
+            return row;
+        });
+        for (const auto &row : rows)
             table.addRow(row);
-        }
         std::printf("%s\n", table.render().c_str());
     }
 
@@ -102,7 +104,7 @@ main()
             header.push_back(std::string(rt) + "@150");
         }
         TextTable table(header);
-        for (const auto &spec : specs) {
+        const auto rows = mapSpecs(specs, [&](const WorkloadSpec &spec) {
             const Program &prog = program(spec);
             MfiOptions mopts;
             const ProductionSet mfi = makeMfiProductions(prog, mopts);
@@ -131,8 +133,10 @@ main()
                 row.push_back(run(entries, false)); // 30-cycle fills
                 row.push_back(run(entries, true));  // 150-cycle fills
             }
+            return row;
+        });
+        for (const auto &row : rows)
             table.addRow(row);
-        }
         std::printf("%s\n", table.render().c_str());
     }
     return 0;

@@ -8,26 +8,51 @@
  *   DISE_BENCH_SCALE  scale every workload's dynamic-instruction target
  *                     (e.g. 0.25 for a quick pass); default 1.0.
  *   DISE_BENCH_ONLY   comma-separated benchmark names to run.
+ *   DISE_BENCH_JOBS   shard per-benchmark work across this many worker
+ *                     threads (each run builds its own engine/simulator,
+ *                     so results are identical at any job count);
+ *                     default 1.
  */
 
 #ifndef DISE_BENCH_HARNESS_HPP
 #define DISE_BENCH_HARNESS_HPP
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <map>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/acf/compress.hpp"
 #include "src/acf/mfi.hpp"
 #include "src/acf/rewriter.hpp"
+#include "src/common/logging.hpp"
 #include "src/common/table.hpp"
 #include "src/pipeline/pipeline.hpp"
 #include "src/workloads/workloads.hpp"
 
 namespace dise::bench {
+
+/** Parse a strictly positive number; fatal() on garbage or x <= 0. */
+inline double
+parsePositive(const char *text, const char *what)
+{
+    char *end = nullptr;
+    const double value = std::strtod(text, &end);
+    if (end == text || *end != '\0') {
+        fatal(std::string(what) + ": cannot parse \"" + text + "\"");
+    }
+    if (!(value > 0)) {
+        fatal(std::string(what) + ": must be > 0, got \"" + text + "\"");
+    }
+    return value;
+}
 
 /** Benchmarks selected for this run, in suite order. */
 inline std::vector<WorkloadSpec>
@@ -35,7 +60,7 @@ selectedSpecs()
 {
     double scale = 1.0;
     if (const char *env = std::getenv("DISE_BENCH_SCALE"))
-        scale = std::atof(env);
+        scale = parsePositive(env, "DISE_BENCH_SCALE");
     std::string only;
     if (const char *env = std::getenv("DISE_BENCH_ONLY"))
         only = std::string(",") + env + ",";
@@ -45,7 +70,7 @@ selectedSpecs()
             only.find("," + spec.name + ",") == std::string::npos) {
             continue;
         }
-        if (scale > 0 && scale != 1.0) {
+        if (scale != 1.0) {
             spec.targetDynInsts = static_cast<uint64_t>(
                 double(spec.targetDynInsts) * scale);
             spec.kernelIters = std::max(
@@ -57,15 +82,85 @@ selectedSpecs()
     return specs;
 }
 
-/** Build (and cache) a workload program. */
+/** Build (and cache) a workload program. Thread-safe. */
 inline const Program &
 program(const WorkloadSpec &spec)
 {
+    static std::mutex mutex;
     static std::map<std::string, Program> cache;
-    auto it = cache.find(spec.name);
-    if (it == cache.end())
-        it = cache.emplace(spec.name, buildWorkload(spec)).first;
-    return it->second;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        const auto it = cache.find(spec.name);
+        if (it != cache.end())
+            return it->second;
+    }
+    Program built = buildWorkload(spec);
+    std::lock_guard<std::mutex> lock(mutex);
+    // First inserter wins; std::map references stay stable.
+    return cache.emplace(spec.name, std::move(built)).first->second;
+}
+
+/** Worker count from DISE_BENCH_JOBS (validated); default 1. */
+inline unsigned
+benchJobs()
+{
+    const char *env = std::getenv("DISE_BENCH_JOBS");
+    if (!env)
+        return 1;
+    const double jobs = parsePositive(env, "DISE_BENCH_JOBS");
+    if (jobs != double(unsigned(jobs)))
+        fatal(std::string("DISE_BENCH_JOBS: not an integer: ") + env);
+    return unsigned(jobs);
+}
+
+/**
+ * Run @p fn over every spec, sharded across DISE_BENCH_JOBS std::thread
+ * workers, and return the results in suite order. Each call of @p fn
+ * must build its own simulators/engines (all run*() helpers do), so a
+ * sharded suite produces bit-identical numbers to a serial one.
+ */
+template <typename Fn>
+auto
+mapSpecs(const std::vector<WorkloadSpec> &specs, Fn fn)
+    -> std::vector<decltype(fn(specs.front()))>
+{
+    using Result = decltype(fn(specs.front()));
+    std::vector<Result> results(specs.size());
+    const unsigned jobs =
+        std::min<unsigned>(benchJobs(), std::max<size_t>(specs.size(), 1));
+    if (jobs <= 1) {
+        for (size_t i = 0; i < specs.size(); ++i)
+            results[i] = fn(specs[i]);
+        return results;
+    }
+    std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex errorMutex;
+    auto worker = [&]() {
+        for (size_t i = next.fetch_add(1); i < specs.size();
+             i = next.fetch_add(1)) {
+            if (failed.load())
+                return;
+            try {
+                results[i] = fn(specs[i]);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errorMutex);
+                if (!error)
+                    error = std::current_exception();
+                failed.store(true);
+                return;
+            }
+        }
+    };
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < jobs; ++t)
+        threads.emplace_back(worker);
+    for (auto &thread : threads)
+        thread.join();
+    if (error)
+        std::rethrow_exception(error);
+    return results;
 }
 
 /** Baseline machine of the paper's evaluation. */

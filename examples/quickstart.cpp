@@ -75,7 +75,7 @@ R1: lda $dr4, 1($dr4)    ; count the load
         controller.engine().expand(trigger, prog.textBase);
     std::printf("\ntrigger:      %s\nexpands into:\n",
                 disassemble(trigger).c_str());
-    for (const auto &inst : outcome.insts)
+    for (const auto &inst : outcome)
         std::printf("    %s\n", disassemble(inst).c_str());
     return 0;
 }

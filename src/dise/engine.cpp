@@ -26,6 +26,8 @@ DiseEngine::setProductions(std::shared_ptr<const ProductionSet> set)
     set_ = std::move(set);
     flushTables();
     patternsByOpcode_.assign(static_cast<size_t>(Opcode::NUM_OPCODES), {});
+    seqPcDependent_.clear();
+    rtShift_ = 3;
     if (!set_)
         return;
     const auto &prods = set_->productions();
@@ -33,6 +35,17 @@ DiseEngine::setProductions(std::shared_ptr<const ProductionSet> set)
         for (const Opcode op : prods[i].pattern.coveredOpcodes())
             patternsByOpcode_[static_cast<size_t>(op)].push_back(i);
     }
+    // Size the RT's per-sequence slot stride to the longest replacement
+    // sequence so no sequence's slots alias a neighboring id's range,
+    // and classify each sequence's PC dependence for the expansion
+    // cache. The floor of 8 slots matches the paper's machine.
+    uint32_t maxLen = 1;
+    for (const auto &kv : set_->sequences()) {
+        maxLen = std::max(maxLen, kv.second.length());
+        seqPcDependent_[kv.first] = seqDependsOnPC(kv.second);
+    }
+    while ((1u << rtShift_) < maxLen)
+        ++rtShift_;
 }
 
 void
@@ -42,6 +55,7 @@ DiseEngine::flushTables()
     ptResident_.clear();
     for (auto &entry : rt_)
         entry = RtEntry();
+    expCache_.clear();
 }
 
 bool
@@ -95,8 +109,9 @@ DiseEngine::rtIndex(SeqId id, uint32_t disepc) const
 {
     // Consecutive sequence slots fall in consecutive sets; distinct
     // sequences are spread by id. Mirrors low-order-bit indexing of a
-    // hardware RT where the line address is (id << log2(maxlen)) | slot.
-    return static_cast<unsigned>(((uint64_t(id) << 3) + disepc) &
+    // hardware RT where the line address is (id << log2(maxlen)) | slot;
+    // rtShift_ is derived from the active set's longest sequence.
+    return static_cast<unsigned>(((uint64_t(id) << rtShift_) + disepc) &
                                  (rtSets_ - 1));
 }
 
@@ -141,11 +156,25 @@ DiseEngine::checkReplacementTable(SeqId id, const ReplacementSeq &seq)
     return miss;
 }
 
+void
+DiseEngine::syncStats() const
+{
+    const auto put = [&](const char *key, uint64_t value) {
+        if (value)
+            stats_.set(key, value);
+    };
+    put("inspected", inspected_);
+    put("expansions", expansions_);
+    put("replacement_insts", replacementInsts_);
+    put("expand_cache_fills", cacheFills_);
+    put("expand_cache_hits", cacheHits_);
+}
+
 ExpandResult
 DiseEngine::expand(const DecodedInst &fetched, Addr pc)
 {
     ExpandResult result;
-    stats_.add("inspected");
+    ++inspected_;
     if (!set_ || set_->empty())
         return result;
 
@@ -179,9 +208,39 @@ DiseEngine::expand(const DecodedInst &fetched, Addr pc)
     result.expanded = true;
     result.seqId = *seqId;
     result.seq = seq;
-    result.insts = instantiateSeq(*seq, fetched, pc);
-    stats_.add("expansions");
-    stats_.add("replacement_insts", result.insts.size());
+
+    // Instantiation fast path: repeated dynamic instances of the same
+    // static trigger produce identical replacement sequences (keyed by
+    // PC as well when the sequence reads it), so memoize and hand out a
+    // span into the cache. Triggers without an encoding (raw == 0, only
+    // synthesized instructions) are not keyable and use the scratch
+    // buffer, as does everything once the cache is full or disabled.
+    if (config_.expansionCache && fetched.raw != 0) {
+        const bool pcDep = seqPcDependent_.find(*seqId)->second;
+        const SeqKey key{*seqId, fetched.raw, pcDep ? pc : 0};
+        auto it = expCache_.find(key);
+        if (it == expCache_.end() &&
+            expCache_.size() < config_.expansionCacheMaxEntries) {
+            it = expCache_.emplace(key, std::vector<DecodedInst>()).first;
+            instantiateSeqInto(*seq, fetched, pc, it->second);
+            ++cacheFills_;
+        } else if (it != expCache_.end()) {
+            ++cacheHits_;
+        }
+        if (it != expCache_.end()) {
+            result.insts = it->second.data();
+            result.numInsts = static_cast<uint32_t>(it->second.size());
+        }
+    }
+    if (!result.insts) {
+        scratch_.clear();
+        instantiateSeqInto(*seq, fetched, pc, scratch_);
+        result.insts = scratch_.data();
+        result.numInsts = static_cast<uint32_t>(scratch_.size());
+    }
+
+    ++expansions_;
+    replacementInsts_ += result.numInsts;
     return result;
 }
 

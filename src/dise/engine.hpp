@@ -64,9 +64,30 @@ struct DiseConfig
     /** Cycles when the miss handler must compose productions. */
     uint32_t composedMissPenalty = 150;
     DisePlacement placement = DisePlacement::Pipe;
+    /**
+     * Simulator (not architecture) knob: memoize instantiated
+     * replacement sequences per (sequence, trigger word, PC class) so
+     * repeated dynamic instances of the same static trigger skip the
+     * instantiation logic. Purely a fast path — architectural stats and
+     * results are identical with it off.
+     */
+    bool expansionCache = true;
+    /** Cached-instantiation entry cap; caching stops when reached. */
+    uint32_t expansionCacheMaxEntries = 1u << 16;
 };
 
-/** Result of presenting one fetched instruction to the engine. */
+/**
+ * Result of presenting one fetched instruction to the engine.
+ *
+ * The replacement instructions are exposed as a non-owning span:
+ * @c insts points either into the engine's expansion cache or into its
+ * reusable scratch buffer, so no allocation happens per fetch. The span
+ * is valid until the engine's next expand(), flushTables() or
+ * setProductions() call — the same lifetime contract as @c seq, which
+ * points into the active production set. Callers that outlive that
+ * window (none in the simulator loop: a new expansion can only start
+ * after the previous sequence fully retired) must copy.
+ */
 struct ExpandResult
 {
     /** True when the instruction matched a pattern and was replaced. */
@@ -74,11 +95,21 @@ struct ExpandResult
     SeqId seqId = 0;
     const ReplacementSeq *seq = nullptr;
     /** The instantiated replacement sequence (offset 0 onward). */
-    std::vector<DecodedInst> insts;
+    const DecodedInst *insts = nullptr;
+    uint32_t numInsts = 0;
     bool ptMiss = false;
     bool rtMiss = false;
     /** Stall cycles the miss events cost (flush handled by the caller). */
     uint32_t missPenalty = 0;
+
+    /** @name Span access to the instantiated sequence. */
+    /// @{
+    size_t size() const { return numInsts; }
+    bool empty() const { return numInsts == 0; }
+    const DecodedInst &operator[](size_t i) const { return insts[i]; }
+    const DecodedInst *begin() const { return insts; }
+    const DecodedInst *end() const { return insts + numInsts; }
+    /// @}
 };
 
 /** The engine proper. Production sets are installed by the controller. */
@@ -114,10 +145,26 @@ class DiseEngine
     void flushTables();
 
     const DiseConfig &config() const { return config_; }
-    const StatGroup &stats() const { return stats_; }
-    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const
+    {
+        syncStats();
+        return stats_;
+    }
+    StatGroup &stats()
+    {
+        syncStats();
+        return stats_;
+    }
 
   private:
+    /**
+     * Flush the hot-path counters below into the StatGroup. Per-fetch
+     * events are counted in plain members — a string-keyed map update
+     * per expansion would dominate the fast path — and materialized as
+     * named counters only when someone reads stats().
+     */
+    void syncStats() const;
+
     /** Check/maintain PT residency; returns true on a PT miss. */
     bool checkPatternTable(Opcode op);
 
@@ -148,11 +195,64 @@ class DiseEngine
     };
     std::vector<RtEntry> rt_;
     uint32_t rtSets_ = 0;
+    /**
+     * log2 of the per-sequence slot stride in the RT index: derived
+     * from the active set's longest replacement sequence (rounded up to
+     * a power of two, floor 8 slots) so distinct sequences never alias
+     * each other's slot ranges.
+     */
+    unsigned rtShift_ = 3;
     unsigned rtIndex(SeqId id, uint32_t disepc) const;
     /// @}
 
+    /** @name Expansion fast path (simulator-level memoization). */
+    /// @{
+    struct SeqKey
+    {
+        SeqId id;
+        Word raw;
+        /** Trigger PC for PC-dependent sequences; 0 otherwise. */
+        Addr pc;
+        bool operator==(const SeqKey &) const = default;
+    };
+    struct SeqKeyHash
+    {
+        size_t
+        operator()(const SeqKey &k) const
+        {
+            // splitmix64-style mix of the three fields.
+            uint64_t x = (uint64_t(k.id) << 32) ^ k.raw;
+            x ^= k.pc + 0x9e3779b97f4a7c15ull + (x << 6) + (x >> 2);
+            x ^= x >> 30;
+            x *= 0xbf58476d1ce4e5b9ull;
+            x ^= x >> 27;
+            return static_cast<size_t>(x);
+        }
+    };
+    /**
+     * Memoized instantiations. Values are never erased individually
+     * (only cleared wholesale by flushTables/setProductions), so spans
+     * handed out in ExpandResult stay valid across inserts.
+     */
+    std::unordered_map<SeqKey, std::vector<DecodedInst>, SeqKeyHash>
+        expCache_;
+    /** Per-sequence PC-dependence class (see seqDependsOnPC). */
+    std::unordered_map<SeqId, bool> seqPcDependent_;
+    /** Reused instantiation buffer for uncacheable expansions. */
+    std::vector<DecodedInst> scratch_;
+    /// @}
+
+    /** @name Hot-path event counters (see syncStats). */
+    /// @{
+    uint64_t inspected_ = 0;
+    uint64_t expansions_ = 0;
+    uint64_t replacementInsts_ = 0;
+    uint64_t cacheFills_ = 0;
+    uint64_t cacheHits_ = 0;
+    /// @}
+
     uint64_t useCounter_ = 0;
-    StatGroup stats_;
+    mutable StatGroup stats_;
 };
 
 } // namespace dise

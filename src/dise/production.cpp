@@ -339,9 +339,30 @@ instantiateSeq(const ReplacementSeq &seq, const DecodedInst &trigger,
 {
     std::vector<DecodedInst> out;
     out.reserve(seq.insts.size());
+    instantiateSeqInto(seq, trigger, triggerPC, out);
+    return out;
+}
+
+void
+instantiateSeqInto(const ReplacementSeq &seq, const DecodedInst &trigger,
+                   Addr triggerPC, std::vector<DecodedInst> &out)
+{
     for (const auto &rinst : seq.insts)
         out.push_back(instantiate(rinst, trigger, triggerPC));
-    return out;
+}
+
+bool
+seqDependsOnPC(const ReplacementSeq &seq)
+{
+    for (const auto &rinst : seq.insts) {
+        if (rinst.isTriggerInsn)
+            continue;
+        if (rinst.immDir == ImmDirective::TriggerPC ||
+            rinst.immDir == ImmDirective::AbsTarget) {
+            return true;
+        }
+    }
+    return false;
 }
 
 ReplacementInst

@@ -226,6 +226,24 @@ std::vector<DecodedInst> instantiateSeq(const ReplacementSeq &seq,
                                         const DecodedInst &trigger,
                                         Addr triggerPC);
 
+/**
+ * Instantiate a full sequence into a caller-owned buffer (appended).
+ * The engine's expansion fast path reuses one buffer across fetches so
+ * the steady state performs no allocation.
+ */
+void instantiateSeqInto(const ReplacementSeq &seq,
+                        const DecodedInst &trigger, Addr triggerPC,
+                        std::vector<DecodedInst> &out);
+
+/**
+ * True when instantiating @p seq reads the trigger's PC (a T.PC or
+ * absolute-target directive), i.e. when two dynamic instances of the
+ * same trigger word at different PCs instantiate differently. The
+ * engine's expansion cache keys PC-dependent sequences by PC and
+ * PC-independent ones by the trigger word alone.
+ */
+bool seqDependsOnPC(const ReplacementSeq &seq);
+
 /** @name Replacement-spec construction helpers (used by ACF builders). */
 /// @{
 /** A fully literal replacement instruction. */

@@ -46,11 +46,15 @@ DecodedInst::writesReg() const
 std::vector<RegIndex>
 DecodedInst::srcRegs() const
 {
-    std::vector<RegIndex> srcs;
-    auto push = [&](RegIndex r) {
-        if (r != kZeroReg)
-            srcs.push_back(r);
-    };
+    const SrcRegList list = srcRegList();
+    return std::vector<RegIndex>(list.begin(), list.end());
+}
+
+SrcRegList
+DecodedInst::srcRegList() const
+{
+    SrcRegList srcs;
+    auto push = [&](RegIndex r) { srcs.push(r); };
     switch (opInfo(op).format) {
       case InstFormat::Memory:
         push(rb);

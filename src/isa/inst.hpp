@@ -21,6 +21,7 @@
 #ifndef DISE_ISA_INST_HPP
 #define DISE_ISA_INST_HPP
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -31,6 +32,27 @@ namespace dise {
 
 /** Virtual address type (byte addresses). */
 using Addr = uint64_t;
+
+/**
+ * Fixed-capacity source-register list. No instruction reads more than
+ * three registers, so the timing model's per-instruction dependence walk
+ * never needs to allocate.
+ */
+struct SrcRegList
+{
+    std::array<RegIndex, 3> regs{};
+    uint8_t count = 0;
+
+    void
+    push(RegIndex r)
+    {
+        if (r != kZeroReg)
+            regs[count++] = r;
+    }
+    const RegIndex *begin() const { return regs.data(); }
+    const RegIndex *end() const { return regs.data() + count; }
+    size_t size() const { return count; }
+};
 
 /** A decoded (or DISE-synthesized) instruction. */
 struct DecodedInst
@@ -74,6 +96,9 @@ struct DecodedInst
 
     /** Source registers in evaluation order (excludes the zero reg). */
     std::vector<RegIndex> srcRegs() const;
+
+    /** srcRegs() without the vector: for per-instruction hot loops. */
+    SrcRegList srcRegList() const;
 
     /** @name Trigger field roles (paper Section 2.1). */
     /// @{

@@ -165,7 +165,7 @@ PipelineSim::run(uint64_t maxInsts)
 
         // ---- Issue: dataflow-limited. ----
         uint64_t ready = dispatch + 1;
-        for (const RegIndex src : dyn.inst.srcRegs())
+        for (const RegIndex src : dyn.inst.srcRegList())
             ready = std::max(ready, regReady_[src]);
         const uint64_t issue = ready;
         issueRing_[instIndex_ % params_.rsEntries] = issue;

@@ -1,5 +1,7 @@
 #include "src/sim/core.hpp"
 
+#include <algorithm>
+
 #include "src/common/bits.hpp"
 #include "src/common/logging.hpp"
 #include "src/isa/disasm.hpp"
@@ -13,6 +15,42 @@ ExecCore::ExecCore(const Program &prog, DiseController *controller)
     regs_.fill(0);
     regs_[kSpReg] = prog.stackTop;
     brk_ = (prog.dataBase + prog.data.size() + 0xffff) & ~Addr(0xffff);
+    decoded_.resize(prog.text.size());
+    decodedValid_.assign(prog.text.size(), 0);
+}
+
+const DecodedInst &
+ExecCore::fetchDecode(Addr pc)
+{
+    const Addr off = pc - prog_.textBase;
+    const size_t idx = static_cast<size_t>(off >> 2);
+    if ((off & 3) != 0 || idx >= decoded_.size()) {
+        decodeFallback_ = dise::decode(memory_.readWord(pc));
+        return decodeFallback_;
+    }
+    if (!decodedValid_[idx]) {
+        decoded_[idx] = dise::decode(memory_.readWord(pc));
+        decodedValid_[idx] = 1;
+    }
+    return decoded_[idx];
+}
+
+void
+ExecCore::invalidateDecodeCache()
+{
+    decodedValid_.assign(decodedValid_.size(), 0);
+}
+
+void
+ExecCore::invalidateDecodedRange(Addr addr, unsigned size)
+{
+    const Addr end = std::min<Addr>(addr + size, prog_.textEnd());
+    Addr first = std::max(addr, prog_.textBase);
+    for (Addr a = first & ~Addr(3); a < end; a += 4) {
+        const size_t idx = static_cast<size_t>((a - prog_.textBase) >> 2);
+        if (idx < decodedValid_.size())
+            decodedValid_[idx] = 0;
+    }
 }
 
 void
@@ -130,6 +168,11 @@ ExecCore::execute(DynInst &dyn)
         const unsigned size =
             inst.op == Opcode::STB ? 1 : (inst.op == Opcode::STL ? 4 : 8);
         memory_.write(dyn.memAddr, vA, size);
+        // Self-modifying code: drop stale pre-decoded words.
+        if (dyn.memAddr < prog_.textEnd() &&
+            dyn.memAddr + size > prog_.textBase) {
+            invalidateDecodedRange(dyn.memAddr, size);
+        }
         break;
       }
       case Opcode::BR:
@@ -252,17 +295,18 @@ ExecCore::step(DynInst &out)
             fatal(strFormat("pc left text segment: 0x%llx",
                             (unsigned long long)pc_));
         }
-        const DecodedInst fetched = dise::decode(memory_.readWord(pc_));
+        const DecodedInst &fetched = fetchDecode(pc_);
         if (controller_) {
-            ExpandResult r =
+            const ExpandResult r =
                 controller_->engine().expand(fetched, pc_);
             if (r.expanded) {
-                seq_ = std::move(r.insts);
+                seqInsts_ = r.insts;
+                seqLen_ = r.numInsts;
                 seqSpec_ = r.seq;
                 seqIdx_ = 0;
                 seqTriggerPC_ = pc_;
                 seqHasPendingOutcome_ = false;
-                pendingExpand_ = std::move(r);
+                pendingExpand_ = r;
                 ++result_.expansions;
                 ++result_.appInsts;
             }
@@ -291,10 +335,10 @@ ExecCore::step(DynInst &out)
 
     // Emit the next slot of the in-flight replacement sequence.
     const uint32_t slot = seqIdx_;
-    DISE_ASSERT(slot < seq_.size(), "replacement sequence overrun");
+    DISE_ASSERT(slot < seqLen_, "replacement sequence overrun");
     dyn.pc = seqTriggerPC_;
     dyn.disepc = slot + 1;
-    dyn.inst = seq_[slot];
+    dyn.inst = seqInsts_[slot];
     dyn.expanded = true;
     // T.INSN is the trigger itself; a T.OP re-emission (e.g. the rebased
     // access in sandboxing) is the trigger in modified form — both are
@@ -302,19 +346,18 @@ ExecCore::step(DynInst &out)
     dyn.triggerSlot = seqSpec_->insts[slot].isTriggerInsn ||
                       seqSpec_->insts[slot].opDir == OpDirective::Trigger;
     dyn.firstOfSeq = (slot == 0);
-    dyn.seqLen = static_cast<uint32_t>(seq_.size());
+    dyn.seqLen = seqLen_;
     if (slot == 0) {
         dyn.ptMiss = pendingExpand_.ptMiss;
         dyn.rtMiss = pendingExpand_.rtMiss;
         dyn.missPenalty = pendingExpand_.missPenalty;
         // Sequence-level prediction class (see DynInst::seqPredClass).
-        const DecodedInst trigger =
-            dise::decode(memory_.readWord(seqTriggerPC_));
+        const DecodedInst &trigger = fetchDecode(seqTriggerPC_);
         if (isControlClass(trigger.cls)) {
             dyn.seqPredClass = trigger.cls;
-        } else if (!seq_.empty() &&
-                   isControlClass(seq_.back().cls)) {
-            dyn.seqPredClass = seq_.back().cls;
+        } else if (seqLen_ > 0 &&
+                   isControlClass(seqInsts_[seqLen_ - 1].cls)) {
+            dyn.seqPredClass = seqInsts_[seqLen_ - 1].cls;
         }
     }
     ++seqIdx_;
@@ -335,14 +378,14 @@ ExecCore::step(DynInst &out)
             const int64_t target = static_cast<int64_t>(slot) + 1 +
                                    dyn.inst.imm;
             if (target < 0 ||
-                target > static_cast<int64_t>(seq_.size())) {
+                target > static_cast<int64_t>(seqLen_)) {
                 fatal(strFormat("DISE branch target %lld outside "
-                                "sequence of length %zu",
-                                (long long)target, seq_.size()));
+                                "sequence of length %u",
+                                (long long)target, seqLen_));
             }
             dyn.diseTarget = static_cast<uint32_t>(target);
             seqIdx_ = dyn.diseTarget;
-            if (seqIdx_ == seq_.size())
+            if (seqIdx_ == seqLen_)
                 endSeq = true;
         }
     } else if (dyn.isAppControl) {
@@ -361,7 +404,7 @@ ExecCore::step(DynInst &out)
         }
     }
 
-    if (!endSeq && seqIdx_ >= seq_.size())
+    if (!endSeq && seqIdx_ >= seqLen_)
         endSeq = true;
 
     if (endSeq) {
@@ -376,7 +419,8 @@ ExecCore::step(DynInst &out)
             }
         }
         seqSpec_ = nullptr;
-        seq_.clear();
+        seqInsts_ = nullptr;
+        seqLen_ = 0;
         seqIdx_ = 0;
         seqHasPendingOutcome_ = false;
     }
@@ -399,6 +443,8 @@ ExecCore::copyArchStateFrom(const ExecCore &other)
     regs_ = other.regs_;
     memory_ = other.memory_;
     brk_ = other.brk_;
+    // The adopted memory image may differ from what was pre-decoded.
+    invalidateDecodeCache();
 }
 
 void
@@ -407,7 +453,8 @@ ExecCore::resumeAt(Addr pc, uint32_t disepc)
     // Discard any in-flight control state; the caller supplies the
     // precise point.
     seqSpec_ = nullptr;
-    seq_.clear();
+    seqInsts_ = nullptr;
+    seqLen_ = 0;
     seqIdx_ = 0;
     seqHasPendingOutcome_ = false;
     pc_ = pc;
@@ -419,20 +466,21 @@ ExecCore::resumeAt(Addr pc, uint32_t disepc)
     // Fetch ignores the DISEPC; the DISE engine recognizes it and
     // expands the replacement sequence, skipping the first DISEPC-1
     // instructions (which already retired before the interrupt).
-    const DecodedInst fetched = dise::decode(memory_.readWord(pc));
-    ExpandResult r = controller_->engine().expand(fetched, pc);
+    const DecodedInst &fetched = fetchDecode(pc);
+    const ExpandResult r = controller_->engine().expand(fetched, pc);
     if (!r.expanded) {
         fatal(strFormat("resumeAt: instruction at 0x%llx no longer "
                         "expands (production set changed?)",
                         (unsigned long long)pc));
     }
-    DISE_ASSERT(disepc - 1 < r.insts.size(),
+    DISE_ASSERT(disepc - 1 < r.numInsts,
                 "resume DISEPC outside the replacement sequence");
-    seq_ = std::move(r.insts);
+    seqInsts_ = r.insts;
+    seqLen_ = r.numInsts;
     seqSpec_ = r.seq;
     seqTriggerPC_ = pc;
     seqIdx_ = disepc - 1;
-    pendingExpand_ = std::move(r);
+    pendingExpand_ = r;
     pendingExpand_.missPenalty = 0; // already charged before the trap
 }
 

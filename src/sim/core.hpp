@@ -147,8 +147,19 @@ class ExecCore
     void resumeAt(Addr pc, uint32_t disepc);
     /// @}
 
+    /**
+     * Drop all pre-decoded instructions. The core invalidates affected
+     * entries itself on stores into the text segment; callers that
+     * mutate text through memory() directly must call this.
+     */
+    void invalidateDecodeCache();
+
   private:
     void execute(DynInst &dyn);
+    /** Decode-once fetch: cached per static text PC. */
+    const DecodedInst &fetchDecode(Addr pc);
+    /** Drop cached decodes overlapping [addr, addr+size). */
+    void invalidateDecodedRange(Addr addr, unsigned size);
     void doSyscall(DynInst &dyn);
     uint64_t readReg(RegIndex r) const
     {
@@ -170,9 +181,24 @@ class ExecCore
     bool exited_ = false;
     RunResult result_;
 
-    /** @name In-flight replacement sequence. */
+    /** @name Pre-decoded text image (decode once per static PC). */
     /// @{
-    std::vector<DecodedInst> seq_;
+    std::vector<DecodedInst> decoded_;
+    std::vector<uint8_t> decodedValid_;
+    /** Decode slot for out-of-image fetches (fatal upstream anyway). */
+    DecodedInst decodeFallback_;
+    /// @}
+
+    /** @name In-flight replacement sequence.
+     *
+     * The instantiated instructions are a non-owning span into the DISE
+     * engine's expansion cache (see ExpandResult); it stays valid for
+     * the whole sequence because the engine is not consulted again
+     * until the sequence retires.
+     */
+    /// @{
+    const DecodedInst *seqInsts_ = nullptr;
+    uint32_t seqLen_ = 0;
     const ReplacementSeq *seqSpec_ = nullptr;
     uint32_t seqIdx_ = 0;
     Addr seqTriggerPC_ = 0;

@@ -382,7 +382,9 @@ TEST(DiseExec, DedicatedRegistersInvisibleToApplication)
     core.run(1000);
     EXPECT_EQ(core.diseRegs()[7], 123u);
     // All 32 architectural registers are what the native run produces.
-    ExecCore native(loadProgram());
+    // (The core keeps a reference to the program, so it must outlive it.)
+    const Program nativeProg = loadProgram();
+    ExecCore native(nativeProg);
     native.run(1000);
     for (RegIndex r = 0; r < kNumArchRegs; ++r)
         EXPECT_EQ(core.reg(r), native.reg(r)) << unsigned(r);
@@ -402,7 +404,8 @@ TEST(DiseExec, CountsSeparateAppAndDiseInsts)
     const RunResult result = core.run(1000);
     EXPECT_EQ(result.expansions, 1u);
     EXPECT_EQ(result.diseInsts, 1u);
-    ExecCore native(loadProgram());
+    const Program nativeProg = loadProgram();
+    ExecCore native(nativeProg);
     const RunResult nres = native.run(1000);
     EXPECT_EQ(result.appInsts, nres.appInsts);
     EXPECT_EQ(result.dynInsts, nres.dynInsts + 1);

@@ -47,10 +47,10 @@ TEST(Engine, ExpansionProducesInstantiatedSequence)
     engine.setProductions(mfiLikeSet());
     const auto result = engine.expand(aLoad(), 0x4000000);
     ASSERT_TRUE(result.expanded);
-    ASSERT_EQ(result.insts.size(), 4u);
-    EXPECT_EQ(result.insts[0].op, Opcode::SRL);
-    EXPECT_EQ(result.insts[0].ra, 9); // T.RS
-    EXPECT_EQ(result.insts[3], aLoad());
+    ASSERT_EQ(result.size(), 4u);
+    EXPECT_EQ(result[0].op, Opcode::SRL);
+    EXPECT_EQ(result[0].ra, 9); // T.RS
+    EXPECT_EQ(result[3], aLoad());
     EXPECT_EQ(engine.stats().get("expansions"), 1u);
     EXPECT_EQ(engine.stats().get("replacement_insts"), 4u);
 }
@@ -199,6 +199,71 @@ TEST(Engine, RtAssociativityAvoidsConflicts)
     EXPECT_FALSE(engine.expand(st, 0x400000c).rtMiss);
 }
 
+TEST(Engine, RtLongSequencesDoNotAliasAcrossIds)
+{
+    // Regression: the RT index used a hardwired id << 3 stride, so two
+    // sequences longer than 8 instructions with adjacent ids overlapped
+    // in the RT — re-expanding an already-resident sequence missed. The
+    // stride must be derived from the active set's longest sequence.
+    DiseConfig config;
+    config.rtEntries = 64;
+    config.rtAssoc = 1;
+    DiseEngine engine(config);
+    auto set = std::make_shared<ProductionSet>();
+    for (int s = 0; s < 2; ++s) {
+        ReplacementSeq seq;
+        seq.name = "L" + std::to_string(s);
+        for (int i = 0; i < 9; ++i) // > 8: overflows an 8-slot stride
+            seq.insts.push_back(rTriggerInsn());
+        const SeqId id = set->addSequence(seq);
+        PatternSpec pattern;
+        pattern.opcode = s == 0 ? Opcode::LDQ : Opcode::STQ;
+        set->addPattern(pattern, id);
+    }
+    engine.setProductions(set);
+    const DecodedInst ld = decode(makeMemory(Opcode::LDQ, 1, 2, 0));
+    const DecodedInst st = decode(makeMemory(Opcode::STQ, 1, 2, 0));
+    engine.expand(ld, 0x4000000); // cold fill
+    engine.expand(st, 0x4000004); // cold fill
+    // Both sequences fit 64 entries with room to spare; re-expansion
+    // must hit in full.
+    EXPECT_FALSE(engine.expand(ld, 0x4000008).rtMiss);
+    EXPECT_FALSE(engine.expand(st, 0x400000c).rtMiss);
+    EXPECT_EQ(engine.stats().get("rt_misses"), 2u);
+}
+
+TEST(Engine, PtEvictionSplitsGroupResidency)
+{
+    // An opcode is PT-resident only while EVERY covering pattern is
+    // resident. Evicting one pattern of a group must re-derive
+    // residency so the next fetch of a covered opcode faults the whole
+    // group back in.
+    DiseConfig config;
+    config.ptEntries = 2;
+    DiseEngine engine(config);
+    auto set = std::make_shared<ProductionSet>(parseProductions(
+        "P1: op == ldq -> R1\n"
+        "P2: class == load -> R1\n"
+        "P3: op == stq -> R1\n"
+        "R1: T.INSN\n"));
+    engine.setProductions(set);
+    const DecodedInst ld = decode(makeMemory(Opcode::LDQ, 1, 2, 0));
+    const DecodedInst st = decode(makeMemory(Opcode::STQ, 1, 2, 0));
+    engine.expand(ld, 0x4000000); // miss: fills P1+P2 (both cover ldq)
+    EXPECT_EQ(engine.stats().get("pt_misses"), 1u);
+    engine.expand(ld, 0x4000004); // resident
+    EXPECT_EQ(engine.stats().get("pt_misses"), 1u);
+    // stq faults P3 in; the 2-entry PT evicts LRU P1, splitting ldq's
+    // {P1, P2} group even though P2 stays resident.
+    engine.expand(st, 0x4000008);
+    EXPECT_EQ(engine.stats().get("pt_misses"), 2u);
+    // The split group means ldq is no longer resident: miss again.
+    engine.expand(ld, 0x400000c);
+    EXPECT_EQ(engine.stats().get("pt_misses"), 3u);
+    engine.expand(ld, 0x4000010); // whole group refilled: resident
+    EXPECT_EQ(engine.stats().get("pt_misses"), 3u);
+}
+
 TEST(Engine, ComposedFillPaysHigherPenalty)
 {
     DiseEngine engine;
@@ -230,6 +295,251 @@ TEST(Engine, FlushTablesForcesRefill)
     EXPECT_TRUE(result.rtMiss);
 }
 
+TEST(Engine, ExpansionCacheMatchesDirectInstantiation)
+{
+    // The memoized fast path must return exactly what the IL would
+    // produce, across register directives (T.RS/T.RT/T.RD, literals and
+    // dedicated registers), immediates (literal, T.IMM, @abs targets)
+    // and T.INSN.
+    DiseEngine engine;
+    auto set = std::make_shared<ProductionSet>(parseProductions(
+        "P1: class == load -> R1\n"
+        "R1: addq T.RS, T.RT, $dr1\n"
+        "    srl T.RD, #26, $dr2\n"
+        "    ldq $dr3, T.IMM(T.RS)\n"
+        "    beq $dr1, @0x4000f00\n"
+        "    T.INSN\n"));
+    engine.setProductions(set);
+    const ReplacementSeq &seq = set->sequences().begin()->second;
+    const DecodedInst trigger = aLoad();
+    const Addr pc = 0x4000100;
+    const std::vector<DecodedInst> direct =
+        instantiateSeq(seq, trigger, pc);
+
+    const auto first = engine.expand(trigger, pc); // cache fill
+    ASSERT_EQ(first.size(), direct.size());
+    for (size_t i = 0; i < direct.size(); ++i)
+        EXPECT_EQ(first[i], direct[i]);
+    const auto second = engine.expand(trigger, pc); // cache hit
+    ASSERT_EQ(second.size(), direct.size());
+    for (size_t i = 0; i < direct.size(); ++i)
+        EXPECT_EQ(second[i], direct[i]);
+    EXPECT_EQ(engine.stats().get("expand_cache_fills"), 1u);
+    EXPECT_EQ(engine.stats().get("expand_cache_hits"), 1u);
+}
+
+TEST(Engine, ExpansionCacheCoversParamDirectives)
+{
+    // Aware-ACF directives: codeword parameters in register fields
+    // (T.P1..T.P3) and immediate fields (T.P*, T.PIMM). Distinct
+    // parameter values are distinct trigger words, so they must get
+    // distinct cache entries.
+    DiseEngine engine;
+    auto set = std::make_shared<ProductionSet>();
+    {
+        ReplacementSeq seq;
+        seq.name = "params";
+        ReplacementInst ri;
+        ri.templ = decode(makeOperate(Opcode::ADDQ, 0, 0, 0));
+        ri.raDir = RegDirective::Param1;
+        ri.rbDir = RegDirective::Param2;
+        ri.rcDir = RegDirective::Param3;
+        seq.insts.push_back(ri);
+        set->addSequenceWithId(0, seq);
+    }
+    {
+        ReplacementSeq seq;
+        seq.name = "pimm";
+        ReplacementInst ri;
+        ri.templ = decode(makeMemory(Opcode::LDQ, 1, 2, 0));
+        ri.immDir = ImmDirective::ParamImm;
+        seq.insts.push_back(ri);
+        set->addSequenceWithId(1, seq);
+    }
+    PatternSpec cw;
+    cw.opcode = Opcode::RES0;
+    set->addTagPattern(cw, 0);
+    engine.setProductions(set);
+
+    const DecodedInst a =
+        decode(makeCodeword(Opcode::RES0, 0, 5, 9, 16));
+    const DecodedInst b =
+        decode(makeCodeword(Opcode::RES0, 0, 6, 10, 17));
+    const DecodedInst c = decode(makeCodewordImm(Opcode::RES0, 1, -42));
+    for (const DecodedInst &trigger : {a, b, c}) {
+        const auto result = engine.expand(trigger, 0x4000000);
+        ASSERT_TRUE(result.expanded);
+        const std::vector<DecodedInst> direct =
+            instantiateSeq(*result.seq, trigger, 0x4000000);
+        ASSERT_EQ(result.size(), direct.size());
+        for (size_t i = 0; i < direct.size(); ++i)
+            EXPECT_EQ(result[i], direct[i]);
+    }
+    // Re-expansions hit and still match.
+    for (const DecodedInst &trigger : {a, b, c}) {
+        const auto result = engine.expand(trigger, 0x4000004);
+        const std::vector<DecodedInst> direct =
+            instantiateSeq(*result.seq, trigger, 0x4000004);
+        ASSERT_EQ(result.size(), direct.size());
+        for (size_t i = 0; i < direct.size(); ++i)
+            EXPECT_EQ(result[i], direct[i]);
+    }
+    EXPECT_EQ(engine.stats().get("expand_cache_hits"), 3u);
+}
+
+TEST(Engine, ExpansionCacheCoversTriggerRawReEmit)
+{
+    // Sandboxing's re-emit idiom: T.OP with raw register fields copies
+    // the trigger through with a substituted base. Two different loads
+    // must not share a cache entry.
+    DiseEngine engine;
+    auto set = std::make_shared<ProductionSet>();
+    ReplacementSeq seq;
+    seq.name = "reemit";
+    ReplacementInst ri;
+    ri.templ = decode(makeMemory(Opcode::LDL, 0, 0, 0));
+    ri.opDir = OpDirective::Trigger;
+    ri.raDir = RegDirective::TriggerRaw;
+    ri.rbDir = RegDirective::TriggerRaw;
+    ri.rcDir = RegDirective::TriggerRaw;
+    ri.immDir = ImmDirective::TriggerImm;
+    seq.insts.push_back(ri);
+    PatternSpec pattern;
+    pattern.opclass = OpClass::Load;
+    set->addPattern(pattern, set->addSequence(seq));
+    engine.setProductions(set);
+
+    const DecodedInst x = decode(makeMemory(Opcode::LDQ, 5, 9, 16));
+    const DecodedInst y = decode(makeMemory(Opcode::LDL, 3, 7, -8));
+    for (int round = 0; round < 2; ++round) {
+        for (const DecodedInst &trigger : {x, y}) {
+            const auto result = engine.expand(trigger, 0x4000000);
+            ASSERT_TRUE(result.expanded);
+            const std::vector<DecodedInst> direct =
+                instantiateSeq(seq, trigger, 0x4000000);
+            ASSERT_EQ(result.size(), direct.size());
+            for (size_t i = 0; i < direct.size(); ++i)
+                EXPECT_EQ(result[i], direct[i]);
+        }
+    }
+    EXPECT_EQ(engine.stats().get("expand_cache_fills"), 2u);
+    EXPECT_EQ(engine.stats().get("expand_cache_hits"), 2u);
+}
+
+TEST(Engine, ExpansionCachePcDependentKeyedByPC)
+{
+    // Sequences that read the trigger's PC (T.PC, @abs targets) must be
+    // memoized per PC: the same trigger word at two PCs instantiates
+    // differently.
+    DiseEngine engine;
+    auto set = std::make_shared<ProductionSet>(parseProductions(
+        "P1: class == load -> R1\n"
+        "R1: addq T.RS, T.PC, $dr1\n"
+        "    beq $dr1, @0x4000f00\n"
+        "    T.INSN\n"));
+    engine.setProductions(set);
+    const ReplacementSeq &seq = set->sequences().begin()->second;
+    const DecodedInst trigger = aLoad();
+
+    const auto atA = engine.expand(trigger, 0x4000000);
+    const auto directA = instantiateSeq(seq, trigger, 0x4000000);
+    ASSERT_EQ(atA.size(), directA.size());
+    for (size_t i = 0; i < directA.size(); ++i)
+        EXPECT_EQ(atA[i], directA[i]);
+
+    const auto atB = engine.expand(trigger, 0x4000800);
+    const auto directB = instantiateSeq(seq, trigger, 0x4000800);
+    ASSERT_EQ(atB.size(), directB.size());
+    for (size_t i = 0; i < directB.size(); ++i)
+        EXPECT_EQ(atB[i], directB[i]);
+
+    // Distinct PCs are distinct entries; revisiting the first PC hits
+    // and yields the first PC's instantiation.
+    EXPECT_EQ(engine.stats().get("expand_cache_fills"), 2u);
+    const auto again = engine.expand(trigger, 0x4000000);
+    EXPECT_EQ(engine.stats().get("expand_cache_hits"), 1u);
+    ASSERT_EQ(again.size(), directA.size());
+    for (size_t i = 0; i < directA.size(); ++i)
+        EXPECT_EQ(again[i], directA[i]);
+}
+
+TEST(Engine, ExpansionCachePcIndependentSharedAcrossPCs)
+{
+    DiseEngine engine;
+    auto set = std::make_shared<ProductionSet>(parseProductions(
+        "P1: class == load -> R1\n"
+        "R1: srl T.RS, #26, $dr1\n"
+        "    T.INSN\n"));
+    engine.setProductions(set);
+    engine.expand(aLoad(), 0x4000000);
+    engine.expand(aLoad(), 0x5000000);
+    EXPECT_EQ(engine.stats().get("expand_cache_fills"), 1u);
+    EXPECT_EQ(engine.stats().get("expand_cache_hits"), 1u);
+}
+
+TEST(Engine, ExpansionCacheDroppedOnFlushAndReinstall)
+{
+    DiseEngine engine;
+    engine.setProductions(mfiLikeSet());
+    engine.expand(aLoad(), 0x4000000);
+    engine.expand(aLoad(), 0x4000000);
+    EXPECT_EQ(engine.stats().get("expand_cache_hits"), 1u);
+    engine.flushTables();
+    engine.expand(aLoad(), 0x4000000); // refill, not a hit
+    EXPECT_EQ(engine.stats().get("expand_cache_hits"), 1u);
+    EXPECT_EQ(engine.stats().get("expand_cache_fills"), 2u);
+    engine.setProductions(mfiLikeSet());
+    engine.expand(aLoad(), 0x4000000); // new productions: refill again
+    EXPECT_EQ(engine.stats().get("expand_cache_hits"), 1u);
+    EXPECT_EQ(engine.stats().get("expand_cache_fills"), 3u);
+}
+
+TEST(Engine, ExpansionCacheArchStatsMatchSlowPath)
+{
+    // Architectural counters (expansions, PT/RT misses, replacement
+    // instructions) and the produced instruction stream must be
+    // bit-identical with the fast path on and off.
+    DiseConfig slow;
+    slow.expansionCache = false;
+    DiseConfig fastSmall;
+    fastSmall.expansionCacheMaxEntries = 2; // exercise the full-cache path
+    for (const DiseConfig &fastConfig : {DiseConfig(), fastSmall}) {
+        DiseEngine fast(fastConfig);
+        DiseEngine ref(slow);
+        fast.setProductions(mfiLikeSet());
+        ref.setProductions(mfiLikeSet());
+        const std::vector<DecodedInst> stream = {
+            aLoad(),
+            decode(makeOperate(Opcode::ADDQ, 1, 2, 3)),
+            decode(makeMemory(Opcode::STQ, 4, 5, 8)),
+            aLoad(),
+            aLoad(),
+            decode(makeMemory(Opcode::LDQ, 6, 7, 24)),
+            decode(makeMemory(Opcode::STQ, 4, 5, 8)),
+        };
+        Addr pc = 0x4000000;
+        for (const DecodedInst &fetched : stream) {
+            const auto a = fast.expand(fetched, pc);
+            const auto b = ref.expand(fetched, pc);
+            EXPECT_EQ(a.expanded, b.expanded);
+            EXPECT_EQ(a.ptMiss, b.ptMiss);
+            EXPECT_EQ(a.rtMiss, b.rtMiss);
+            EXPECT_EQ(a.missPenalty, b.missPenalty);
+            ASSERT_EQ(a.size(), b.size());
+            for (size_t i = 0; i < a.size(); ++i)
+                EXPECT_EQ(a[i], b[i]);
+            pc += 4;
+        }
+        for (const char *key : {"inspected", "expansions", "pt_misses",
+                                "rt_misses", "replacement_insts"}) {
+            EXPECT_EQ(fast.stats().get(key), ref.stats().get(key))
+                << key;
+        }
+        EXPECT_EQ(ref.stats().get("expand_cache_fills"), 0u);
+        EXPECT_EQ(ref.stats().get("expand_cache_hits"), 0u);
+    }
+}
+
 TEST(Engine, ExplicitTagSelectsSequence)
 {
     DiseEngine engine;
@@ -249,7 +559,7 @@ TEST(Engine, ExplicitTagSelectsSequence)
         const auto result = engine.expand(
             decode(makeCodeword(Opcode::RES0, tag, 0, 0, 0)), 0x4000000);
         ASSERT_TRUE(result.expanded);
-        EXPECT_EQ(result.insts.size(), size_t(tag) + 1);
+        EXPECT_EQ(result.size(), size_t(tag) + 1);
     }
 }
 

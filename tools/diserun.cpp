@@ -21,6 +21,7 @@
  *   --width <n>              machine width
  *   --rt <entries>           RT capacity (0 = perfect)
  *   --rt-assoc <n>           RT associativity
+ *   --no-expansion-cache     disable the memoized expansion fast path
  *   --placement <free|stall|pipe>
  *   --max-insts <n>          dynamic instruction cap
  *   --dump-asm               print the program source (workloads only)
@@ -63,6 +64,7 @@ struct Options
     uint32_t width = 4;
     uint32_t rtEntries = 2048;
     uint32_t rtAssoc = 2;
+    bool expansionCache = true;
     DisePlacement placement = DisePlacement::Pipe;
     uint64_t maxInsts = ~uint64_t(0);
     bool dumpAsm = false;
@@ -117,6 +119,8 @@ parseArgs(int argc, char **argv)
             opts.rtEntries = static_cast<uint32_t>(std::atoi(need(i)));
         } else if (arg == "--rt-assoc") {
             opts.rtAssoc = static_cast<uint32_t>(std::atoi(need(i)));
+        } else if (arg == "--no-expansion-cache") {
+            opts.expansionCache = false;
         } else if (arg == "--placement") {
             const std::string p = need(i);
             opts.placement = p == "free" ? DisePlacement::Free
@@ -241,6 +245,7 @@ main(int argc, char **argv)
     DiseConfig config;
     config.rtEntries = opts.rtEntries;
     config.rtAssoc = opts.rtAssoc;
+    config.expansionCache = opts.expansionCache;
     config.placement = opts.placement;
     DiseController controller(config);
     if (haveDise)

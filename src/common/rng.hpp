@@ -84,6 +84,21 @@ class Rng
     /** Bernoulli trial with probability @p p. */
     bool chance(double p) { return uniform() < p; }
 
+    /**
+     * Derive an independent child seed from @p seed and @p stream
+     * (splitmix64 over their combination). Used by fault campaigns to
+     * give every trial its own deterministic generator.
+     */
+    static uint64_t
+    deriveSeed(uint64_t seed, uint64_t stream)
+    {
+        uint64_t z = seed + stream * 0x9e3779b97f4a7c15ULL +
+                     0x9e3779b97f4a7c15ULL;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
   private:
     static constexpr uint64_t
     rotl(uint64_t x, int k)

@@ -56,6 +56,51 @@ DiseEngine::flushTables()
     for (auto &entry : rt_)
         entry = RtEntry();
     expCache_.clear();
+    ptCorrupt_.clear();
+}
+
+bool
+DiseEngine::corruptPatternEntry(uint64_t pick)
+{
+    if (ptResident_.empty())
+        return false;
+    // Pick among resident patterns in ascending index order so the
+    // choice is independent of unordered_map iteration order.
+    std::vector<uint32_t> resident;
+    resident.reserve(ptResident_.size());
+    for (const auto &kv : ptResident_)
+        resident.push_back(kv.first);
+    std::sort(resident.begin(), resident.end());
+    ptCorrupt_.insert(resident[pick % resident.size()]);
+    stats_.add("pt_faults_injected");
+    return true;
+}
+
+bool
+DiseEngine::corruptReplacementEntry(uint64_t pick, unsigned bit)
+{
+    std::vector<size_t> valid;
+    for (size_t i = 0; i < rt_.size(); ++i)
+        if (rt_[i].valid)
+            valid.push_back(i);
+    if (valid.empty())
+        return false;
+    RtEntry &entry = rt_[valid[pick % valid.size()]];
+    entry.corrupt = true;
+    entry.corruptBit = bit;
+    stats_.add("rt_faults_injected");
+    return true;
+}
+
+bool
+DiseEngine::hasCorruptEntries() const
+{
+    if (!ptCorrupt_.empty())
+        return true;
+    for (const auto &entry : rt_)
+        if (entry.valid && entry.corrupt)
+            return true;
+    return false;
 }
 
 bool
@@ -64,6 +109,28 @@ DiseEngine::checkPatternTable(Opcode op)
     const auto &covering = patternsByOpcode_[static_cast<size_t>(op)];
     if (covering.empty())
         return false; // active counter is zero; a non-match, not a miss
+    // Injected faults: a corrupted resident pattern covering this opcode
+    // either trips parity (detect, invalidate, re-fault below) or — with
+    // parity off — garbles the match so the trigger silently passes
+    // through unexpanded.
+    if (!ptCorrupt_.empty()) {
+        for (const uint32_t idx : covering) {
+            if (!ptCorrupt_.count(idx) || !ptResident_.count(idx))
+                continue;
+            if (config_.parityChecks) {
+                stats_.add("pt_parity_detected");
+                ptCorrupt_.erase(idx);
+                ptResident_.erase(idx);
+                for (const Opcode cov :
+                     set_->productions()[idx].pattern.coveredOpcodes()) {
+                    opcodeResident_[static_cast<size_t>(cov)] = false;
+                }
+            } else {
+                suppressExpand_ = true;
+                return false; // counters still agree: no fill happens
+            }
+        }
+    }
     if (opcodeResident_[static_cast<size_t>(op)]) {
         for (const uint32_t idx : covering)
             ptResident_[idx] = ++useCounter_;
@@ -133,6 +200,21 @@ DiseEngine::checkReplacementTable(SeqId id, const ReplacementSeq &seq)
                 break;
             }
         }
+        if (hit && hit->corrupt) {
+            if (config_.parityChecks) {
+                // Parity trips on use: invalidate and fall through to
+                // the fill path so the controller re-faults the slot
+                // (the caller charges the miss penalty).
+                stats_.add("rt_parity_detected");
+                hit->valid = false;
+                hit->corrupt = false;
+                hit = nullptr;
+            } else {
+                // No parity: the garbled entry hits and its instruction
+                // is delivered bit-flipped (applied in expand()).
+                corruptSlotsHit_.emplace_back(slot, hit->corruptBit);
+            }
+        }
         if (hit) {
             hit->lastUse = ++useCounter_;
         } else {
@@ -151,6 +233,7 @@ DiseEngine::checkReplacementTable(SeqId id, const ReplacementSeq &seq)
             victim->seqId = id;
             victim->disepc = slot;
             victim->lastUse = ++useCounter_;
+            victim->corrupt = false;
         }
     }
     return miss;
@@ -168,6 +251,24 @@ DiseEngine::syncStats() const
     put("replacement_insts", replacementInsts_);
     put("expand_cache_fills", cacheFills_);
     put("expand_cache_hits", cacheHits_);
+    put("pt_silent_drops", ptSilentDrops_);
+    put("rt_garbage_expansions", rtGarbageExpansions_);
+}
+
+/**
+ * Model a single-bit upset in a stored replacement instruction: flip the
+ * bit in the encoding and re-decode. Instructions synthesized by the IL
+ * have no encoding (raw == 0); for those the flip is applied to the
+ * immediate field as a documented approximation.
+ */
+static void
+flipInstBit(DecodedInst &inst, unsigned bit)
+{
+    if (inst.raw != 0) {
+        inst = decode(inst.raw ^ (Word(1) << (bit % 32)));
+    } else {
+        inst.imm ^= int64_t(1) << (bit % 16);
+    }
 }
 
 ExpandResult
@@ -178,6 +279,8 @@ DiseEngine::expand(const DecodedInst &fetched, Addr pc)
     if (!set_ || set_->empty())
         return result;
 
+    suppressExpand_ = false;
+    corruptSlotsHit_.clear();
     result.ptMiss = checkPatternTable(fetched.op);
     if (result.ptMiss)
         result.missPenalty += config_.missPenalty;
@@ -185,6 +288,12 @@ DiseEngine::expand(const DecodedInst &fetched, Addr pc)
     const auto seqId = set_->match(fetched);
     if (!seqId)
         return result;
+    if (suppressExpand_) {
+        // Parity-off PT corruption: the garbled pattern matches nothing,
+        // so a trigger that should have expanded silently passes through.
+        ++ptSilentDrops_;
+        return result;
+    }
 
     const ReplacementSeq *seq = set_->sequence(*seqId);
     if (!seq) {
@@ -237,6 +346,20 @@ DiseEngine::expand(const DecodedInst &fetched, Addr pc)
         instantiateSeqInto(*seq, fetched, pc, scratch_);
         result.insts = scratch_.data();
         result.numInsts = static_cast<uint32_t>(scratch_.size());
+    }
+
+    if (!corruptSlotsHit_.empty()) {
+        // Parity-off RT corruption: deliver the garbled instruction(s)
+        // from a scratch copy so the memoized cache entry stays clean.
+        if (result.insts != scratch_.data())
+            scratch_.assign(result.begin(), result.end());
+        for (const auto &[slot, bit] : corruptSlotsHit_) {
+            if (slot < scratch_.size())
+                flipInstBit(scratch_[slot], bit);
+        }
+        result.insts = scratch_.data();
+        result.numInsts = static_cast<uint32_t>(scratch_.size());
+        ++rtGarbageExpansions_;
     }
 
     ++expansions_;

@@ -33,7 +33,9 @@
 #define DISE_DISE_ENGINE_HPP
 
 #include <memory>
+#include <set>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/common/stats.hpp"
@@ -74,6 +76,17 @@ struct DiseConfig
     bool expansionCache = true;
     /** Cached-instantiation entry cap; caching stops when reached. */
     uint32_t expansionCacheMaxEntries = 1u << 16;
+    /**
+     * Per-entry parity on the PT and RT. With parity on, a corrupted
+     * entry (injected via corruptPatternEntry / corruptReplacementEntry)
+     * is detected on its next use, invalidated, and re-faulted through
+     * the controller, charging the usual miss penalty. With parity off,
+     * a corrupted PT entry silently fails to match (triggers of the
+     * covered opcodes pass through unexpanded) and a corrupted RT entry
+     * yields a garbled replacement instruction. Fault-free behavior is
+     * bit-identical with parity on or off.
+     */
+    bool parityChecks = false;
 };
 
 /**
@@ -144,6 +157,27 @@ class DiseEngine
     /** Drop all PT/RT residency (context switch / explicit flush). */
     void flushTables();
 
+    /** @name Fault-injection hooks (see DiseConfig::parityChecks). */
+    /// @{
+    /**
+     * Corrupt one PT-resident pattern entry, chosen deterministically by
+     * @p pick among the resident patterns in ascending pattern-index
+     * order. Returns false (no-op) when the PT is empty.
+     */
+    bool corruptPatternEntry(uint64_t pick);
+
+    /**
+     * Corrupt one valid RT entry, chosen deterministically by @p pick in
+     * ascending slot order; @p bit selects the bit flipped in the
+     * replacement instruction the entry holds. Returns false (no-op)
+     * when the RT is empty or perfect (rtEntries == 0).
+     */
+    bool corruptReplacementEntry(uint64_t pick, unsigned bit);
+
+    /** True while any injected corruption is still resident. */
+    bool hasCorruptEntries() const;
+    /// @}
+
     const DiseConfig &config() const { return config_; }
     const StatGroup &stats() const
     {
@@ -192,6 +226,9 @@ class DiseEngine
         SeqId seqId = 0;
         uint32_t disepc = 0;
         uint64_t lastUse = 0;
+        /** Injected single-bit fault (cleared on invalidate/refill). */
+        bool corrupt = false;
+        unsigned corruptBit = 0;
     };
     std::vector<RtEntry> rt_;
     uint32_t rtSets_ = 0;
@@ -249,6 +286,18 @@ class DiseEngine
     uint64_t replacementInsts_ = 0;
     uint64_t cacheFills_ = 0;
     uint64_t cacheHits_ = 0;
+    uint64_t ptSilentDrops_ = 0;
+    uint64_t rtGarbageExpansions_ = 0;
+    /// @}
+
+    /** @name Injected-fault state (see corruptPatternEntry). */
+    /// @{
+    /** Corrupted resident pattern indices (empty in fault-free runs). */
+    std::set<uint32_t> ptCorrupt_;
+    /** Parity-off PT drop: suppress this fetch's expansion. */
+    bool suppressExpand_ = false;
+    /** Parity-off RT garble: (slot, bit) pairs hit this fetch. */
+    std::vector<std::pair<uint32_t, unsigned>> corruptSlotsHit_;
     /// @}
 
     uint64_t useCounter_ = 0;

@@ -1,0 +1,170 @@
+#include "src/faults/campaign.hpp"
+
+#include <algorithm>
+
+#include "src/common/logging.hpp"
+#include "src/common/stats.hpp"
+
+namespace dise {
+
+const char *
+trialOutcomeName(TrialOutcome outcome)
+{
+    switch (outcome) {
+      case TrialOutcome::Benign:
+        return "benign";
+      case TrialOutcome::DetectedByAcf:
+        return "detected-acf";
+      case TrialOutcome::DetectedByTrap:
+        return "detected-trap";
+      case TrialOutcome::Hang:
+        return "hang";
+      case TrialOutcome::SilentCorruption:
+        return "silent-corruption";
+      case TrialOutcome::NotInjected:
+        return "not-injected";
+      case TrialOutcome::SimError:
+        return "sim-error";
+    }
+    return "?";
+}
+
+double
+CampaignResult::detectedFraction() const
+{
+    return safeRatio(double(count(TrialOutcome::DetectedByAcf) +
+                            count(TrialOutcome::DetectedByTrap)),
+                     double(injected));
+}
+
+double
+CampaignResult::silentFraction() const
+{
+    return safeRatio(double(count(TrialOutcome::SilentCorruption)),
+                     double(injected));
+}
+
+namespace {
+
+/** One run's worth of machinery (controller optional). */
+struct RunContext
+{
+    std::unique_ptr<DiseController> controller;
+    std::unique_ptr<ExecCore> core;
+};
+
+RunContext
+makeRun(const CampaignSetup &setup)
+{
+    RunContext ctx;
+    if (setup.makeAcf) {
+        ctx.controller =
+            std::make_unique<DiseController>(setup.diseConfig);
+        ctx.controller->install(setup.makeAcf());
+    }
+    ctx.core =
+        std::make_unique<ExecCore>(*setup.prog, ctx.controller.get());
+    if (setup.initCore)
+        setup.initCore(*ctx.core);
+    return ctx;
+}
+
+uint64_t
+parityDetections(const DiseController *controller)
+{
+    if (!controller)
+        return 0;
+    const StatGroup &stats = controller->engine().stats();
+    return stats.get("pt_parity_detected") +
+           stats.get("rt_parity_detected");
+}
+
+} // namespace
+
+CampaignResult
+runCampaign(const CampaignSetup &setup, const CampaignConfig &config)
+{
+    DISE_ASSERT(setup.prog != nullptr, "campaign without a program");
+    DISE_ASSERT(!config.targets.empty(), "campaign without targets");
+
+    CampaignResult result;
+
+    // Golden (fault-free) run: the classification baseline.
+    RunContext golden = makeRun(setup);
+    const RunResult gold = golden.core->run(config.maxGoldenInsts);
+    if (gold.outcome != RunOutcome::Exit || gold.exitCode != 0) {
+        fatal(strFormat("fault campaign: golden run did not exit "
+                        "cleanly (outcome=%s code=%d)",
+                        runOutcomeName(gold.outcome), gold.exitCode));
+    }
+    result.goldenDynInsts = gold.dynInsts;
+    result.goldenAppInsts = gold.appInsts;
+
+    const uint64_t hangBudget = std::max<uint64_t>(
+        static_cast<uint64_t>(double(gold.dynInsts) *
+                              config.hangBudgetFactor),
+        gold.dynInsts + 10000);
+
+    for (uint32_t t = 0; t < config.trials; ++t) {
+        Rng rng(Rng::deriveSeed(config.seed, t));
+        const FaultTarget target =
+            config.targets[t % config.targets.size()];
+        TrialRecord rec;
+        rec.plan = makeFaultPlan(rng, target, gold.appInsts);
+
+        try {
+            RunContext run = makeRun(setup);
+            bool triggered = false;
+            bool injectedBit = false;
+            DynInst dyn;
+            uint64_t steps = 0;
+            while (steps < hangBudget) {
+                if (!triggered && run.core->result().appInsts >=
+                                      rec.plan.triggerAppInst) {
+                    injectedBit = applyFault(*run.core,
+                                             run.controller.get(),
+                                             *setup.prog, rec.plan);
+                    triggered = true;
+                }
+                if (!run.core->step(dyn))
+                    break;
+                ++steps;
+            }
+
+            const RunResult &r = run.core->result();
+            rec.parityDetections = parityDetections(run.controller.get());
+            if (!injectedBit) {
+                rec.outcome = TrialOutcome::NotInjected;
+            } else if (r.acfDetections > 0) {
+                rec.outcome = TrialOutcome::DetectedByAcf;
+            } else if (r.outcome == RunOutcome::Trap) {
+                rec.outcome = TrialOutcome::DetectedByTrap;
+            } else if (r.outcome != RunOutcome::Exit) {
+                rec.outcome = TrialOutcome::Hang;
+            } else if (r.exitCode == gold.exitCode &&
+                       r.output == gold.output) {
+                rec.outcome = TrialOutcome::Benign;
+            } else {
+                rec.outcome = TrialOutcome::SilentCorruption;
+            }
+            if (injectedBit)
+                ++result.injected;
+            result.parityDetected += rec.parityDetections;
+            if (rec.parityDetections > 0 &&
+                rec.outcome == TrialOutcome::Benign) {
+                ++result.parityRecovered;
+            }
+        } catch (const std::exception &) {
+            // The simulator must never throw at a guest fault; anything
+            // escaping here is a host-level bug the bench asserts on.
+            ++result.uncaughtExceptions;
+            rec.outcome = TrialOutcome::SimError;
+        }
+
+        ++result.counts[static_cast<size_t>(rec.outcome)];
+        result.trials.push_back(rec);
+    }
+    return result;
+}
+
+} // namespace dise

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Seeded fault-injection campaigns over the architectural simulator.
+ *
+ * A campaign runs one golden (fault-free) execution of a program, then N
+ * trials, each a fresh core with a single planned bit flip (see
+ * injector.hpp), and classifies every trial's outcome:
+ *
+ *  - detected-acf: control transferred into the program's "error"
+ *    symbol — a fault-detecting ACF (MFI segment matching, watchpoint
+ *    assertion) caught the corruption.
+ *  - detected-trap: the run ended in an architected trap (invalid
+ *    instruction, runaway PC, unknown syscall, ...) — the baseline
+ *    architecture caught it.
+ *  - hang: the run exceeded the watchdog budget, a multiple of the
+ *    golden run's dynamic length.
+ *  - benign: the run exited with the golden exit code and output.
+ *  - silent-corruption: the run exited "normally" with wrong output or
+ *    exit code — the dangerous case ACFs are meant to shrink.
+ *  - not-injected: the plan had no victim (e.g. a PT/RT plan before any
+ *    entry was resident); excluded from rate denominators.
+ *  - sim-error: a C++ exception escaped the simulator; always a bug,
+ *    counted so benches can assert it stayed zero.
+ *
+ * Classification precedence is detected-acf > detected-trap > hang >
+ * output comparison: an ACF detection that then exits through the error
+ * handler is credited to the ACF, not to the exit code.
+ *
+ * Determinism: trial t draws its plan from
+ * Rng(Rng::deriveSeed(config.seed, t)); the simulator itself is
+ * deterministic, so two same-seed campaigns produce bit-identical
+ * classification vectors.
+ */
+
+#ifndef DISE_FAULTS_CAMPAIGN_HPP
+#define DISE_FAULTS_CAMPAIGN_HPP
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/faults/injector.hpp"
+
+namespace dise {
+
+/** Trial classification (see file header for semantics). */
+enum class TrialOutcome : uint8_t {
+    Benign,
+    DetectedByAcf,
+    DetectedByTrap,
+    Hang,
+    SilentCorruption,
+    NotInjected,
+    SimError,
+};
+
+constexpr size_t kNumTrialOutcomes = 7;
+
+/** Stable lower-case outcome name (table headers). */
+const char *trialOutcomeName(TrialOutcome outcome);
+
+/** What to run: the program plus its (optional) ACF environment. */
+struct CampaignSetup
+{
+    const Program *prog = nullptr;
+    /**
+     * Productions to install for every run, golden and trial alike;
+     * null = no DISE controller at all.
+     */
+    std::function<std::shared_ptr<const ProductionSet>()> makeAcf;
+    /** Per-run core setup (dedicated registers, ...); may be null. */
+    std::function<void(ExecCore &)> initCore;
+    /** Engine configuration (parityChecks lives here). */
+    DiseConfig diseConfig;
+};
+
+/** Campaign shape. */
+struct CampaignConfig
+{
+    uint64_t seed = 1;
+    uint32_t trials = 60;
+    /** Trial t targets targets[t % targets.size()]. */
+    std::vector<FaultTarget> targets = {FaultTarget::MemoryData,
+                                        FaultTarget::RegisterFile,
+                                        FaultTarget::InstructionWord};
+    /** Hang watchdog = golden dynInsts * this factor (plus slack). */
+    double hangBudgetFactor = 4.0;
+    /** Instruction cap on the golden run itself. */
+    uint64_t maxGoldenInsts = 200000000;
+};
+
+/** One classified trial. */
+struct TrialRecord
+{
+    FaultPlan plan;
+    TrialOutcome outcome = TrialOutcome::NotInjected;
+    /** PT/RT parity detections this trial (parity regime only). */
+    uint64_t parityDetections = 0;
+};
+
+/** Aggregate campaign results. */
+struct CampaignResult
+{
+    uint64_t goldenDynInsts = 0;
+    uint64_t goldenAppInsts = 0;
+    std::array<uint64_t, kNumTrialOutcomes> counts{};
+    std::vector<TrialRecord> trials;
+    /** Trials whose plan actually flipped a bit. */
+    uint64_t injected = 0;
+    /** PT/RT parity detections across all trials. */
+    uint64_t parityDetected = 0;
+    /** Parity detections whose trial still ended benign (recovered). */
+    uint64_t parityRecovered = 0;
+    /** Escaped C++ exceptions (must be zero; see SimError). */
+    uint64_t uncaughtExceptions = 0;
+
+    uint64_t
+    count(TrialOutcome outcome) const
+    {
+        return counts[static_cast<size_t>(outcome)];
+    }
+
+    /** Detected (ACF + trap) fraction of injected trials. */
+    double detectedFraction() const;
+
+    /** Silent-corruption fraction of injected trials. */
+    double silentFraction() const;
+};
+
+/**
+ * Run a campaign: one golden run, then config.trials seeded trials.
+ * fatal()s when the golden run does not exit cleanly (the campaign
+ * would classify nothing meaningful against a broken baseline).
+ */
+CampaignResult runCampaign(const CampaignSetup &setup,
+                           const CampaignConfig &config);
+
+} // namespace dise
+
+#endif // DISE_FAULTS_CAMPAIGN_HPP

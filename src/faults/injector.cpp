@@ -1,0 +1,76 @@
+#include "src/faults/injector.hpp"
+
+namespace dise {
+
+const char *
+faultTargetName(FaultTarget target)
+{
+    switch (target) {
+      case FaultTarget::MemoryData:
+        return "mem-data";
+      case FaultTarget::RegisterFile:
+        return "regfile";
+      case FaultTarget::InstructionWord:
+        return "inst-word";
+      case FaultTarget::PtEntry:
+        return "pt-entry";
+      case FaultTarget::RtEntry:
+        return "rt-entry";
+    }
+    return "?";
+}
+
+FaultPlan
+makeFaultPlan(Rng &rng, FaultTarget target, uint64_t maxTriggerAppInst)
+{
+    FaultPlan plan;
+    plan.target = target;
+    // Fixed draw order and count: the plan stream depends only on the
+    // trial seed, never on the target kind.
+    plan.triggerAppInst =
+        rng.below(maxTriggerAppInst > 0 ? maxTriggerAppInst : 1);
+    plan.pick = rng.next();
+    plan.bit = static_cast<unsigned>(rng.below(64));
+    return plan;
+}
+
+bool
+applyFault(ExecCore &core, DiseController *controller, const Program &prog,
+           const FaultPlan &plan)
+{
+    switch (plan.target) {
+      case FaultTarget::MemoryData: {
+        if (prog.data.empty())
+            return false;
+        const Addr addr = prog.dataBase + plan.pick % prog.data.size();
+        core.memory().flipBit(addr, plan.bit % 8);
+        return true;
+      }
+      case FaultTarget::RegisterFile: {
+        // [0, kNumArchRegs - 1) skips only $zero (index 31), which has
+        // no storage to corrupt.
+        const RegIndex r =
+            static_cast<RegIndex>(plan.pick % (kNumArchRegs - 1));
+        core.setReg(r, core.reg(r) ^ (uint64_t(1) << (plan.bit % 64)));
+        return true;
+      }
+      case FaultTarget::InstructionWord: {
+        if (prog.text.empty())
+            return false;
+        const Addr addr =
+            prog.textBase + 4 * (plan.pick % prog.text.size());
+        core.memory().flipBit(addr, plan.bit % 32);
+        core.invalidateDecodeCache();
+        return true;
+      }
+      case FaultTarget::PtEntry:
+        return controller &&
+               controller->engine().corruptPatternEntry(plan.pick);
+      case FaultTarget::RtEntry:
+        return controller && controller->engine().corruptReplacementEntry(
+                                 plan.pick, plan.bit % 32);
+    }
+    return false;
+}
+
+} // namespace dise

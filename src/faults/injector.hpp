@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Deterministic single-bit fault injection.
+ *
+ * A fault plan names a target structure, a dynamic trigger point, and a
+ * deterministic choice of victim within the structure; applying the plan
+ * flips exactly one bit. Plans are drawn from the repo's xoshiro256**
+ * generator seeded per trial, so a campaign seed fully determines every
+ * plan — two same-seed campaigns inject bit-identical fault sets.
+ *
+ * The trigger point is counted in *application* instructions (not total
+ * dynamic instructions): ACFs expand the dynamic stream but leave the
+ * application stream untouched, so the same plan perturbs the same
+ * architectural point whether an ACF is active or not. That is what
+ * makes detection rates comparable across ACF-on/ACF-off regimes.
+ *
+ * Targets:
+ *  - MemoryData: one bit of the program's data image.
+ *  - RegisterFile: one bit of an architectural register (never $zero).
+ *  - InstructionWord: one bit of a text word (the decode cache is
+ *    invalidated so the corrupted word is re-fetched).
+ *  - PtEntry / RtEntry: one resident DISE pattern-table / replacement-
+ *    table entry, via the engine's corruption hooks; parity modeling
+ *    (DiseConfig::parityChecks) decides whether the engine detects and
+ *    re-faults the entry or consumes it silently.
+ */
+
+#ifndef DISE_FAULTS_INJECTOR_HPP
+#define DISE_FAULTS_INJECTOR_HPP
+
+#include "src/common/rng.hpp"
+#include "src/sim/core.hpp"
+
+namespace dise {
+
+/** Structure a fault plan perturbs. */
+enum class FaultTarget : uint8_t {
+    MemoryData,
+    RegisterFile,
+    InstructionWord,
+    PtEntry,
+    RtEntry,
+};
+
+/** Stable lower-case target name (table/row labels). */
+const char *faultTargetName(FaultTarget target);
+
+/** One planned single-bit fault. */
+struct FaultPlan
+{
+    FaultTarget target = FaultTarget::MemoryData;
+    /** Inject when the core has retired this many application insts. */
+    uint64_t triggerAppInst = 0;
+    /** Deterministic victim selector within the target structure. */
+    uint64_t pick = 0;
+    /** Bit to flip (reduced modulo the victim's width). */
+    unsigned bit = 0;
+};
+
+/**
+ * Draw a plan for @p target from @p rng. The trigger is uniform in
+ * [0, max(1, @p maxTriggerAppInst)); the generator is always advanced
+ * by the same number of draws, whatever the target.
+ */
+FaultPlan makeFaultPlan(Rng &rng, FaultTarget target,
+                        uint64_t maxTriggerAppInst);
+
+/**
+ * Apply @p plan to a live core. @p controller may be null (PT/RT plans
+ * then inject nothing).
+ *
+ * @return True when a bit was actually flipped. PT/RT plans report
+ *         false when no entry is resident at the trigger point;
+ *         MemoryData reports false for a program with no data image.
+ */
+bool applyFault(ExecCore &core, DiseController *controller,
+                const Program &prog, const FaultPlan &plan);
+
+} // namespace dise
+
+#endif // DISE_FAULTS_INJECTOR_HPP

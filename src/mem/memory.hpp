@@ -48,6 +48,18 @@ class Memory
     /** FNV-1a checksum over [addr, addr+len); used by integration tests. */
     uint64_t checksum(Addr addr, uint64_t len) const;
 
+    /**
+     * Flip one bit: fault-injection hook. @p bit selects within the byte
+     * at @p addr + bit/8 (i.e. bit indexes a little-endian bit offset
+     * from @p addr).
+     */
+    void
+    flipBit(Addr addr, unsigned bit)
+    {
+        const Addr byteAddr = addr + bit / 8;
+        writeByte(byteAddr, readByte(byteAddr) ^ uint8_t(1u << (bit % 8)));
+    }
+
     /** Number of distinct pages touched. */
     size_t pagesTouched() const { return pages_.size(); }
 

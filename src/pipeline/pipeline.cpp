@@ -128,10 +128,11 @@ PipelineSim::resolveControl(Addr pc, OpClass cls, bool taken, Addr target,
 }
 
 TimingResult
-PipelineSim::run(uint64_t maxInsts)
+PipelineSim::run(uint64_t maxInsts, uint64_t maxCycles)
 {
     DynInst dyn;
     uint64_t steps = 0;
+    bool cycleBudgetExpired = false;
     while (steps < maxInsts && core_.step(dyn)) {
         ++steps;
 
@@ -274,10 +275,20 @@ PipelineSim::run(uint64_t maxInsts)
         }
 
         ++instIndex_;
+        if (maxCycles != 0 && lastCommit_ > maxCycles) {
+            cycleBudgetExpired = true;
+            break;
+        }
     }
 
     result_.cycles = lastCommit_;
     result_.arch = core_.result();
+    // Watchdog expiry (instruction cap or cycle budget) with the core
+    // still live is a Hang outcome, mirroring ExecCore::run.
+    if (result_.arch.outcome == RunOutcome::Running &&
+        (cycleBudgetExpired || steps >= maxInsts)) {
+        result_.arch.outcome = RunOutcome::Hang;
+    }
     result_.icacheMisses = mem_.icache().misses();
     result_.dcacheMisses = mem_.dcache().misses();
     result_.l2Misses = mem_.l2().misses();

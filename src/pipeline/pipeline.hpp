@@ -69,6 +69,11 @@ struct PipelineParams
 struct TimingResult
 {
     uint64_t cycles = 0;
+    /**
+     * Architectural results, including the run outcome: Exit, Trap
+     * (with the trap record), or Hang when either watchdog budget —
+     * instructions or cycles — expired before the program exited.
+     */
     RunResult arch;
     uint64_t mispredicts = 0;
     uint64_t decodeRedirects = 0;
@@ -99,8 +104,18 @@ class PipelineSim
     PipelineSim(const Program &prog, const PipelineParams &params,
                 DiseController *controller = nullptr);
 
-    /** Run to program exit (or @p maxInsts dynamic instructions). */
-    TimingResult run(uint64_t maxInsts = ~uint64_t(0));
+    /**
+     * Run to program exit, a trap, or watchdog expiry.
+     *
+     * @param maxInsts Dynamic-instruction budget; expiry yields a Hang
+     *                 outcome in TimingResult::arch (mirrors
+     *                 ExecCore::run).
+     * @param maxCycles Cycle budget (0 = unlimited): the timing-level
+     *                  watchdog — stops the run once the commit clock
+     *                  passes the budget, also a Hang outcome.
+     */
+    TimingResult run(uint64_t maxInsts = ~uint64_t(0),
+                     uint64_t maxCycles = 0);
 
     ExecCore &core() { return core_; }
     MemHierarchy &mem() { return mem_; }

@@ -17,6 +17,22 @@ ExecCore::ExecCore(const Program &prog, DiseController *controller)
     brk_ = (prog.dataBase + prog.data.size() + 0xffff) & ~Addr(0xffff);
     decoded_.resize(prog.text.size());
     decodedValid_.assign(prog.text.size(), 0);
+    const auto errorSym = prog.symbols.find("error");
+    if (errorSym != prog.symbols.end())
+        errorAddr_ = errorSym->second;
+}
+
+void
+ExecCore::raiseTrap(TrapCause cause, Addr pc, uint32_t disepc,
+                    uint64_t faultAddr, std::string message)
+{
+    trapped_ = true;
+    result_.outcome = RunOutcome::Trap;
+    result_.trap.cause = cause;
+    result_.trap.pc = pc;
+    result_.trap.disepc = disepc;
+    result_.trap.faultAddr = faultAddr;
+    result_.trap.message = std::move(message);
 }
 
 const DecodedInst &
@@ -86,6 +102,7 @@ ExecCore::doSyscall(DynInst &dyn)
       case SyscallCode::Exit:
         exited_ = true;
         result_.exited = true;
+        result_.outcome = RunOutcome::Exit;
         result_.exitCode = static_cast<int>(a0);
         break;
       case SyscallCode::PutChar:
@@ -100,9 +117,12 @@ ExecCore::doSyscall(DynInst &dyn)
         break;
       }
       default:
-        fatal(strFormat("unknown syscall %llu at pc 0x%llx",
-                        (unsigned long long)readReg(kRetReg),
-                        (unsigned long long)dyn.pc));
+        raiseTrap(TrapCause::UnknownSyscall, dyn.pc, dyn.disepc,
+                  readReg(kRetReg),
+                  strFormat("unknown syscall %llu at pc 0x%llx",
+                            (unsigned long long)readReg(kRetReg),
+                            (unsigned long long)dyn.pc));
+        break;
     }
 }
 
@@ -270,20 +290,35 @@ ExecCore::execute(DynInst &dyn)
         break;
       case Opcode::RES0: case Opcode::RES1: case Opcode::RES2:
       case Opcode::RES3:
-        fatal(strFormat("codeword executed unexpanded at pc 0x%llx "
-                        "(missing decompression productions?)",
-                        (unsigned long long)dyn.pc));
+        raiseTrap(TrapCause::UnexpandedCodeword, dyn.pc, dyn.disepc,
+                  inst.raw,
+                  strFormat("codeword executed unexpanded at pc 0x%llx "
+                            "(missing decompression productions?)",
+                            (unsigned long long)dyn.pc));
         break;
       default:
-        fatal(strFormat("executed invalid instruction 0x%08x at 0x%llx",
-                        inst.raw, (unsigned long long)dyn.pc));
+        raiseTrap(TrapCause::InvalidInstruction, dyn.pc, dyn.disepc,
+                  inst.raw,
+                  strFormat("executed invalid instruction 0x%08x at "
+                            "0x%llx",
+                            inst.raw, (unsigned long long)dyn.pc));
+        break;
+    }
+
+    // An explicit control transfer into the program's "error" symbol is
+    // the architected signature of an ACF-detected violation (MFI
+    // segment matching, watchpoint assertions): count it so callers can
+    // distinguish a detected fault from a normal exit.
+    if (dyn.isAppControl && dyn.taken && errorAddr_ != 0 &&
+        dyn.actualTarget == errorAddr_) {
+        ++result_.acfDetections;
     }
 }
 
 bool
 ExecCore::step(DynInst &out)
 {
-    if (exited_)
+    if (exited_ || trapped_)
         return false;
 
     DynInst dyn;
@@ -292,8 +327,10 @@ ExecCore::step(DynInst &out)
         // Fetch and present to the DISE engine.
         if (!prog_.inText(pc_) &&
             !(pc_ >= prog_.textBase && pc_ < prog_.textEnd())) {
-            fatal(strFormat("pc left text segment: 0x%llx",
-                            (unsigned long long)pc_));
+            raiseTrap(TrapCause::PcOutOfText, pc_, 0, pc_,
+                      strFormat("pc left text segment: 0x%llx",
+                                (unsigned long long)pc_));
+            return false;
         }
         const DecodedInst &fetched = fetchDecode(pc_);
         if (controller_) {
@@ -317,11 +354,16 @@ ExecCore::step(DynInst &out)
             dyn.disepc = 0;
             dyn.inst = fetched;
             if (fetched.isDiseBranch()) {
-                fatal(strFormat("DISE branch in application stream "
-                                "at 0x%llx",
-                                (unsigned long long)pc_));
+                raiseTrap(TrapCause::DiseBranchInAppStream, pc_, 0,
+                          fetched.raw,
+                          strFormat("DISE branch in application stream "
+                                    "at 0x%llx",
+                                    (unsigned long long)pc_));
+                return false;
             }
             execute(dyn);
+            if (trapped_)
+                return false; // the faulting instruction does not retire
             ++result_.dynInsts;
             ++result_.appInsts;
             if (!exited_) {
@@ -363,6 +405,16 @@ ExecCore::step(DynInst &out)
     ++seqIdx_;
 
     execute(dyn);
+    if (trapped_) {
+        // The faulting slot does not retire; drop the in-flight
+        // sequence (the trap records the precise PC:DISEPC point).
+        seqSpec_ = nullptr;
+        seqInsts_ = nullptr;
+        seqLen_ = 0;
+        seqIdx_ = 0;
+        seqHasPendingOutcome_ = false;
+        return false;
+    }
     ++result_.dynInsts;
     if (!dyn.triggerSlot)
         ++result_.diseInsts;
@@ -379,9 +431,18 @@ ExecCore::step(DynInst &out)
                                    dyn.inst.imm;
             if (target < 0 ||
                 target > static_cast<int64_t>(seqLen_)) {
-                fatal(strFormat("DISE branch target %lld outside "
-                                "sequence of length %u",
-                                (long long)target, seqLen_));
+                raiseTrap(TrapCause::DiseBranchOutOfRange,
+                          seqTriggerPC_, dyn.disepc,
+                          static_cast<uint64_t>(target),
+                          strFormat("DISE branch target %lld outside "
+                                    "sequence of length %u",
+                                    (long long)target, seqLen_));
+                seqSpec_ = nullptr;
+                seqInsts_ = nullptr;
+                seqLen_ = 0;
+                seqIdx_ = 0;
+                seqHasPendingOutcome_ = false;
+                return false;
             }
             dyn.diseTarget = static_cast<uint32_t>(target);
             seqIdx_ = dyn.diseTarget;
@@ -490,11 +551,10 @@ ExecCore::run(uint64_t maxInsts)
     DynInst dyn;
     while (result_.dynInsts < maxInsts && step(dyn)) {
     }
-    if (!exited_ && result_.dynInsts >= maxInsts) {
-        warn(strFormat("run stopped at %llu dynamic instructions "
-                       "without exiting",
-                       (unsigned long long)result_.dynInsts));
-    }
+    // Watchdog expiry is an architected, classifiable outcome: the
+    // instruction budget ran out with the program still live.
+    if (!exited_ && !trapped_ && result_.dynInsts >= maxInsts)
+        result_.outcome = RunOutcome::Hang;
     return result_;
 }
 

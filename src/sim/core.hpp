@@ -34,6 +34,7 @@
 #include "src/dise/controller.hpp"
 #include "src/mem/memory.hpp"
 #include "src/sim/syscalls.hpp"
+#include "src/sim/trap.hpp"
 
 namespace dise {
 
@@ -90,6 +91,19 @@ struct RunResult
     uint64_t loads = 0;
     uint64_t stores = 0;
     std::string output;
+
+    /** How the run terminated (Exit, Trap, Hang; Running mid-run). */
+    RunOutcome outcome = RunOutcome::Running;
+    /** The architected trap when outcome == Trap. */
+    Trap trap;
+    /**
+     * Control transfers into the program's "error" symbol — the
+     * landing pad fault-detecting ACFs (MFI segment matching, the
+     * watchpoint assertion) branch to. A nonzero count means an ACF
+     * *detected* a violation, distinguishing that exit from a normal
+     * one even when the handler terminates cleanly.
+     */
+    uint64_t acfDetections = 0;
 };
 
 /** The architectural core. */
@@ -106,14 +120,22 @@ class ExecCore
 
     /**
      * Execute and emit the next correct-path dynamic instruction.
-     * @return False when the program has exited (out is untouched).
+     * @return False when the program has terminated — exited or took an
+     *         architected trap (out is untouched).
      */
     bool step(DynInst &out);
 
-    /** Run to completion (or @p maxInsts dynamic instructions). */
+    /**
+     * Run to completion (or @p maxInsts dynamic instructions; hitting
+     * the cap yields a Hang outcome, the watchdog-expiry result).
+     */
     RunResult run(uint64_t maxInsts = ~uint64_t(0));
 
     bool exited() const { return exited_; }
+    /** True once an architected trap terminated the run. */
+    bool trapped() const { return trapped_; }
+    /** The trap (cause None when none fired). */
+    const Trap &trap() const { return result_.trap; }
     const RunResult &result() const { return result_; }
 
     /** @name Architectural state access (tests, ACF setup). */
@@ -156,6 +178,9 @@ class ExecCore
 
   private:
     void execute(DynInst &dyn);
+    /** Record an architected trap and halt the core (never throws). */
+    void raiseTrap(TrapCause cause, Addr pc, uint32_t disepc,
+                   uint64_t faultAddr, std::string message);
     /** Decode-once fetch: cached per static text PC. */
     const DecodedInst &fetchDecode(Addr pc);
     /** Drop cached decodes overlapping [addr, addr+size). */
@@ -179,6 +204,10 @@ class ExecCore
     Addr pc_;
     Addr brk_;
     bool exited_ = false;
+    bool trapped_ = false;
+    /** The program's "error" symbol (ACF violation landing pad); 0 when
+     *  the program defines none. */
+    Addr errorAddr_ = 0;
     RunResult result_;
 
     /** @name Pre-decoded text image (decode once per static PC). */

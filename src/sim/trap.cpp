@@ -1,0 +1,43 @@
+#include "src/sim/trap.hpp"
+
+namespace dise {
+
+const char *
+trapCauseName(TrapCause cause)
+{
+    switch (cause) {
+      case TrapCause::None:
+        return "none";
+      case TrapCause::UnexpandedCodeword:
+        return "unexpanded-codeword";
+      case TrapCause::InvalidInstruction:
+        return "invalid-instruction";
+      case TrapCause::PcOutOfText:
+        return "pc-out-of-text";
+      case TrapCause::UnknownSyscall:
+        return "unknown-syscall";
+      case TrapCause::DiseBranchOutOfRange:
+        return "dise-branch-out-of-range";
+      case TrapCause::DiseBranchInAppStream:
+        return "dise-branch-in-app-stream";
+    }
+    return "?";
+}
+
+const char *
+runOutcomeName(RunOutcome outcome)
+{
+    switch (outcome) {
+      case RunOutcome::Running:
+        return "running";
+      case RunOutcome::Exit:
+        return "exit";
+      case RunOutcome::Trap:
+        return "trap";
+      case RunOutcome::Hang:
+        return "hang";
+    }
+    return "?";
+}
+
+} // namespace dise

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The architected trap model.
+ *
+ * Guest-visible failures (an unexpanded codeword reaching execute, an
+ * invalid instruction, the PC escaping the text segment, ...) are not
+ * simulator errors: a production-scale engine must degrade gracefully
+ * rather than tear the host down. The simulators therefore *return* a
+ * structured Trap describing the failure instead of throwing — fatal()
+ * and panic() remain reserved for malformed user input and simulator
+ * bugs respectively.
+ *
+ * Every run ends in exactly one RunOutcome:
+ *
+ *  - Exit: the program executed the exit syscall (the only outcome the
+ *    pre-trap-model simulator could report without aborting).
+ *  - Trap: an architected trap fired; RunResult::trap holds the cause,
+ *    the faulting PC:DISEPC pair (the same precise point the interrupt
+ *    machinery uses), and the offending address/word where applicable.
+ *  - Hang: the dynamic-instruction (or cycle) watchdog budget expired
+ *    without the program exiting — a classifiable result, not a warning.
+ *
+ * The fault-injection campaign harness (src/faults) builds its
+ * detected-by-trap / hang classifications directly on these outcomes.
+ */
+
+#ifndef DISE_SIM_TRAP_HPP
+#define DISE_SIM_TRAP_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "src/isa/inst.hpp"
+
+namespace dise {
+
+/** Architected trap causes (guest failures, not simulator bugs). */
+enum class TrapCause : uint8_t {
+    None,
+    /** A codeword reached execute unexpanded (no matching production). */
+    UnexpandedCodeword,
+    /** An invalid encoding reached execute. */
+    InvalidInstruction,
+    /** Fetch left the text segment. */
+    PcOutOfText,
+    /** The syscall code names no handler. */
+    UnknownSyscall,
+    /** A taken DISE branch targeted a slot outside its sequence. */
+    DiseBranchOutOfRange,
+    /** A DISE-only instruction appeared in the application stream. */
+    DiseBranchInAppStream,
+};
+
+/** How a run terminated. */
+enum class RunOutcome : uint8_t {
+    /** Still running (a step()-driven core that has not terminated). */
+    Running,
+    Exit,
+    Trap,
+    Hang,
+};
+
+/** One architected trap: the precise point and cause of a guest fault. */
+struct Trap
+{
+    TrapCause cause = TrapCause::None;
+    /** Faulting application PC. */
+    Addr pc = 0;
+    /** DISE context: 0 in the application stream, else the replacement
+     *  slot (DISEPC) that faulted. */
+    uint32_t disepc = 0;
+    /** Offending address or raw word, per cause (0 when meaningless). */
+    uint64_t faultAddr = 0;
+    /** Human-readable description (diagnostics only). */
+    std::string message;
+
+    bool valid() const { return cause != TrapCause::None; }
+};
+
+/** Stable lower-case name of a trap cause (tables, logs). */
+const char *trapCauseName(TrapCause cause);
+
+/** Stable lower-case name of a run outcome. */
+const char *runOutcomeName(RunOutcome outcome);
+
+} // namespace dise
+
+#endif // DISE_SIM_TRAP_HPP

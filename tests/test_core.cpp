@@ -192,27 +192,80 @@ TEST(Exec, ExitCodePropagates)
     EXPECT_EQ(core.run(100).exitCode, 42);
 }
 
-TEST(Exec, UnknownSyscallIsFatal)
+TEST(Exec, UnknownSyscallTraps)
 {
     const Program prog =
         assemble(".text\nmain:\n    li 99, v0\n    syscall\n");
     ExecCore core(prog);
-    EXPECT_THROW(core.run(100), FatalError);
+    const RunResult result = core.run(100);
+    EXPECT_EQ(result.outcome, RunOutcome::Trap);
+    EXPECT_EQ(result.trap.cause, TrapCause::UnknownSyscall);
+    EXPECT_EQ(result.trap.faultAddr, 99u);
+    EXPECT_FALSE(result.exited);
+    // The faulting syscall does not retire; only the preceding li
+    // (a two-word pseudo-op) does.
+    EXPECT_EQ(result.dynInsts, 2u);
+    EXPECT_TRUE(core.trapped());
 }
 
-TEST(Exec, CodewordWithoutProductionsIsFatal)
+TEST(Exec, CodewordWithoutProductionsTraps)
 {
     const Program prog =
         assemble(".text\nmain:\n    res0 1, 0, 0, 0\n");
     ExecCore core(prog);
-    EXPECT_THROW(core.run(100), FatalError);
+    const RunResult result = core.run(100);
+    EXPECT_EQ(result.outcome, RunOutcome::Trap);
+    EXPECT_EQ(result.trap.cause, TrapCause::UnexpandedCodeword);
+    EXPECT_EQ(result.trap.pc, prog.entry);
+    EXPECT_EQ(result.trap.disepc, 0u);
 }
 
-TEST(Exec, RunawayPcIsFatal)
+TEST(Exec, RunawayPcTraps)
 {
     const Program prog = assemble(".text\nmain:\n    nop\n");
     ExecCore core(prog);
-    EXPECT_THROW(core.run(100), FatalError); // falls off the text end
+    const RunResult result = core.run(100); // falls off the text end
+    EXPECT_EQ(result.outcome, RunOutcome::Trap);
+    EXPECT_EQ(result.trap.cause, TrapCause::PcOutOfText);
+    EXPECT_EQ(result.trap.faultAddr, prog.textEnd());
+    EXPECT_EQ(result.dynInsts, 1u); // the nop retired
+}
+
+TEST(Exec, StepAfterTrapReturnsFalse)
+{
+    const Program prog = assemble(".text\nmain:\n    nop\n");
+    ExecCore core(prog);
+    DynInst dyn;
+    EXPECT_TRUE(core.step(dyn));  // the nop
+    EXPECT_FALSE(core.step(dyn)); // trap: pc left text
+    EXPECT_FALSE(core.step(dyn)); // stays halted
+    EXPECT_TRUE(core.trapped());
+    EXPECT_EQ(core.trap().cause, TrapCause::PcOutOfText);
+}
+
+TEST(Exec, InstructionCapYieldsHangOutcome)
+{
+    // An infinite loop stopped by the watchdog budget is a Hang, not an
+    // error and not an exit.
+    const Program prog =
+        assemble(".text\nmain:\n    br zero, main\n");
+    ExecCore core(prog);
+    const RunResult result = core.run(50);
+    EXPECT_EQ(result.outcome, RunOutcome::Hang);
+    EXPECT_FALSE(result.exited);
+    EXPECT_FALSE(core.trapped());
+    EXPECT_EQ(result.dynInsts, 50u);
+}
+
+TEST(Exec, NormalExitHasExitOutcome)
+{
+    const Program prog =
+        assemble(".text\nmain:\n    li 0, v0\n    li 0, a0\n    syscall\n");
+    ExecCore core(prog);
+    const RunResult result = core.run(100);
+    EXPECT_EQ(result.outcome, RunOutcome::Exit);
+    EXPECT_EQ(result.trap.cause, TrapCause::None);
+    EXPECT_EQ(result.acfDetections, 0u);
 }
 
 // ---- Replacement-sequence semantics. ----
@@ -326,7 +379,7 @@ TEST(DiseExec, DiseBranchToSequenceEnd)
     EXPECT_EQ(core.diseRegs()[3], 1u);
 }
 
-TEST(DiseExec, DiseBranchOutOfRangeIsFatal)
+TEST(DiseExec, DiseBranchOutOfRangeTraps)
 {
     Program prog = loadProgram();
     auto set = std::make_shared<ProductionSet>(parseProductions(
@@ -337,7 +390,13 @@ TEST(DiseExec, DiseBranchOutOfRangeIsFatal)
     DiseController controller;
     controller.install(set);
     ExecCore core(prog, &controller);
-    EXPECT_THROW(core.run(1000), FatalError);
+    const RunResult result = core.run(1000);
+    EXPECT_EQ(result.outcome, RunOutcome::Trap);
+    EXPECT_EQ(result.trap.cause, TrapCause::DiseBranchOutOfRange);
+    // The trap records the precise PC:DISEPC context of the fault.
+    EXPECT_EQ(result.trap.pc, prog.textBase + 2 * 4); // the load trigger
+    EXPECT_EQ(result.trap.disepc, 1u);                // first slot
+    EXPECT_EQ(result.trap.faultAddr, 6u);             // target slot
 }
 
 TEST(DiseExec, TriggerBranchOutcomeDeferredToSequenceEnd)
@@ -504,13 +563,45 @@ TEST(DiseExec, ResumeAtApplicationBoundary)
     EXPECT_EQ(result.output, "22");
 }
 
-TEST(DiseExec, DiseBranchInApplicationStreamIsFatal)
+TEST(DiseExec, DiseBranchInApplicationStreamTraps)
 {
     Program prog;
     prog.text = {makeBranch(Opcode::DBR, kZeroReg, 0)};
     prog.entry = prog.textBase;
     ExecCore core(prog);
-    EXPECT_THROW(core.run(10), FatalError);
+    const RunResult result = core.run(10);
+    EXPECT_EQ(result.outcome, RunOutcome::Trap);
+    EXPECT_EQ(result.trap.cause, TrapCause::DiseBranchInAppStream);
+    EXPECT_EQ(result.dynInsts, 0u);
+}
+
+TEST(DiseExec, AcfDetectionCountsTransfersIntoErrorSymbol)
+{
+    // A branch into the "error" symbol is counted as an ACF detection;
+    // a clean run of the same program counts zero.
+    Program prog = loadProgram();
+    auto set = std::make_shared<ProductionSet>(parseProductions(
+        "P1: class == load -> R1\n"
+        "R1: srl T.RS, #26, $dr1\n"
+        "    cmpeq $dr1, $dr2, $dr1\n"
+        "    beq $dr1, @error\n"
+        "    T.INSN\n",
+        prog.symbols));
+    DiseController controller;
+    controller.install(set);
+    ExecCore core(prog, &controller);
+    core.setDiseReg(2, 999); // wrong segment id: the check fires
+    const RunResult caught = core.run(1000);
+    EXPECT_EQ(caught.acfDetections, 1u);
+    EXPECT_EQ(caught.outcome, RunOutcome::Exit); // handler exits cleanly
+    EXPECT_EQ(caught.exitCode, 42);
+
+    DiseController cleanCtl;
+    cleanCtl.install(set);
+    const Program prog2 = loadProgram();
+    ExecCore clean(prog2, &cleanCtl);
+    clean.setDiseReg(2, prog2.dataSegment());
+    EXPECT_EQ(clean.run(1000).acfDetections, 0u);
 }
 
 } // namespace

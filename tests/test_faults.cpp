@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Fault-injection tests: deterministic plan generation and application,
+ * campaign reproducibility (same seed => bit-identical classifications),
+ * PT/RT parity detection and recovery, and the guarantee that parity
+ * modeling changes nothing in fault-free runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/acf/mfi.hpp"
+#include "src/assembler/assembler.hpp"
+#include "src/faults/campaign.hpp"
+
+namespace dise {
+namespace {
+
+/** Store/load loop with an output, a clean exit, and an MFI handler. */
+Program
+loopProgram()
+{
+    return assemble(".text\n"
+                    "main:\n"
+                    "    laq buf, t5\n"
+                    "    li 0, t0\n"
+                    "    li 40, t1\n"
+                    "loop:\n"
+                    "    stq t0, 0(t5)\n"
+                    "    ldq t2, 0(t5)\n"
+                    "    addq t3, t2, t3\n"
+                    "    addq t0, 1, t0\n"
+                    "    cmplt t0, t1, t4\n"
+                    "    bne t4, loop\n"
+                    "    mov t3, a0\n    li 2, v0\n    syscall\n"
+                    "    li 0, v0\n    li 0, a0\n    syscall\n"
+                    "error:\n"
+                    "    li 0, v0\n    li 42, a0\n    syscall\n"
+                    ".data\nbuf:\n    .quad 0\n");
+}
+
+/** Fresh MFI (DISE3) controller for @p prog with @p parity. */
+std::unique_ptr<DiseController>
+mfiController(const Program &prog, bool parity)
+{
+    DiseConfig config;
+    config.parityChecks = parity;
+    auto controller = std::make_unique<DiseController>(config);
+    controller->install(std::make_shared<ProductionSet>(
+        makeMfiProductions(prog, MfiOptions{})));
+    return controller;
+}
+
+CampaignSetup
+mfiSetup(const Program &prog)
+{
+    CampaignSetup setup;
+    setup.prog = &prog;
+    setup.makeAcf = [&prog] {
+        return std::make_shared<const ProductionSet>(
+            makeMfiProductions(prog, MfiOptions{}));
+    };
+    setup.initCore = [&prog](ExecCore &core) {
+        initMfiRegisters(core, prog);
+    };
+    return setup;
+}
+
+TEST(FaultPlan, SameSeedSamePlans)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 16; ++i) {
+        const auto target = static_cast<FaultTarget>(i % 5);
+        const FaultPlan pa = makeFaultPlan(a, target, 1000);
+        const FaultPlan pb = makeFaultPlan(b, target, 1000);
+        EXPECT_EQ(pa.triggerAppInst, pb.triggerAppInst);
+        EXPECT_EQ(pa.pick, pb.pick);
+        EXPECT_EQ(pa.bit, pb.bit);
+    }
+}
+
+TEST(FaultPlan, DeriveSeedSeparatesStreams)
+{
+    EXPECT_EQ(Rng::deriveSeed(1, 7), Rng::deriveSeed(1, 7));
+    EXPECT_NE(Rng::deriveSeed(1, 7), Rng::deriveSeed(1, 8));
+    EXPECT_NE(Rng::deriveSeed(1, 7), Rng::deriveSeed(2, 7));
+}
+
+TEST(FaultApply, MemoryDataFlipsOneBit)
+{
+    const Program prog = loopProgram();
+    ExecCore core(prog);
+    FaultPlan plan;
+    plan.target = FaultTarget::MemoryData;
+    plan.pick = 0; // first data byte
+    plan.bit = 3;
+    const uint8_t before = core.memory().readByte(prog.dataBase);
+    ASSERT_TRUE(applyFault(core, nullptr, prog, plan));
+    EXPECT_EQ(core.memory().readByte(prog.dataBase), before ^ 0x08);
+}
+
+TEST(FaultApply, RegisterFileFlipsOneBit)
+{
+    const Program prog = loopProgram();
+    ExecCore core(prog);
+    core.setReg(5, 0x100);
+    FaultPlan plan;
+    plan.target = FaultTarget::RegisterFile;
+    plan.pick = 5;
+    plan.bit = 0;
+    ASSERT_TRUE(applyFault(core, nullptr, prog, plan));
+    EXPECT_EQ(core.reg(5), 0x101u);
+}
+
+TEST(FaultApply, InstructionWordFlipsTextInMemory)
+{
+    const Program prog = loopProgram();
+    ExecCore core(prog);
+    FaultPlan plan;
+    plan.target = FaultTarget::InstructionWord;
+    plan.pick = 2; // third text word
+    plan.bit = 7;
+    ASSERT_TRUE(applyFault(core, nullptr, prog, plan));
+    EXPECT_EQ(core.memory().readWord(prog.textBase + 8),
+              prog.text[2] ^ (1u << 7));
+}
+
+TEST(FaultApply, TableFaultsNeedAController)
+{
+    const Program prog = loopProgram();
+    ExecCore core(prog);
+    FaultPlan plan;
+    plan.target = FaultTarget::PtEntry;
+    EXPECT_FALSE(applyFault(core, nullptr, prog, plan));
+    plan.target = FaultTarget::RtEntry;
+    EXPECT_FALSE(applyFault(core, nullptr, prog, plan));
+}
+
+TEST(Campaign, SameSeedIsBitIdentical)
+{
+    const Program prog = loopProgram();
+    const CampaignSetup setup = mfiSetup(prog);
+    CampaignConfig config;
+    config.seed = 7;
+    config.trials = 15;
+    config.targets = {FaultTarget::MemoryData, FaultTarget::RegisterFile,
+                      FaultTarget::InstructionWord, FaultTarget::PtEntry,
+                      FaultTarget::RtEntry};
+    const CampaignResult a = runCampaign(setup, config);
+    const CampaignResult b = runCampaign(setup, config);
+    EXPECT_EQ(a.uncaughtExceptions, 0u);
+    EXPECT_EQ(a.goldenDynInsts, b.goldenDynInsts);
+    ASSERT_EQ(a.trials.size(), b.trials.size());
+    for (size_t i = 0; i < a.trials.size(); ++i) {
+        EXPECT_EQ(a.trials[i].outcome, b.trials[i].outcome) << i;
+        EXPECT_EQ(a.trials[i].parityDetections,
+                  b.trials[i].parityDetections)
+            << i;
+        EXPECT_EQ(a.trials[i].plan.triggerAppInst,
+                  b.trials[i].plan.triggerAppInst)
+            << i;
+    }
+    EXPECT_EQ(a.counts, b.counts);
+}
+
+TEST(Campaign, DifferentSeedsDiffer)
+{
+    const Program prog = loopProgram();
+    const CampaignSetup setup = mfiSetup(prog);
+    CampaignConfig config;
+    config.trials = 12;
+    config.seed = 1;
+    const CampaignResult a = runCampaign(setup, config);
+    config.seed = 2;
+    const CampaignResult b = runCampaign(setup, config);
+    bool anyPlanDiffers = false;
+    for (size_t i = 0; i < a.trials.size(); ++i) {
+        anyPlanDiffers |= a.trials[i].plan.triggerAppInst !=
+                              b.trials[i].plan.triggerAppInst ||
+                          a.trials[i].plan.pick != b.trials[i].plan.pick;
+    }
+    EXPECT_TRUE(anyPlanDiffers);
+}
+
+/** Run @p core to completion (bounded); returns retired step count. */
+uint64_t
+drain(ExecCore &core, uint64_t cap = 100000)
+{
+    DynInst dyn;
+    uint64_t steps = 0;
+    while (steps < cap && core.step(dyn))
+        ++steps;
+    return steps;
+}
+
+TEST(Parity, FaultFreeRunsIdenticalWithParityOnOrOff)
+{
+    const Program prog = loopProgram();
+    RunResult results[2];
+    for (int parity = 0; parity < 2; ++parity) {
+        auto controller = mfiController(prog, parity != 0);
+        ExecCore core(prog, controller.get());
+        initMfiRegisters(core, prog);
+        results[parity] = core.run(100000);
+    }
+    EXPECT_EQ(results[0].outcome, results[1].outcome);
+    EXPECT_EQ(results[0].exitCode, results[1].exitCode);
+    EXPECT_EQ(results[0].output, results[1].output);
+    EXPECT_EQ(results[0].dynInsts, results[1].dynInsts);
+    EXPECT_EQ(results[0].appInsts, results[1].appInsts);
+    EXPECT_EQ(results[0].diseInsts, results[1].diseInsts);
+    EXPECT_EQ(results[0].expansions, results[1].expansions);
+    EXPECT_EQ(results[0].acfDetections, results[1].acfDetections);
+}
+
+TEST(Parity, RtCorruptionDetectedAndRefilled)
+{
+    const Program prog = loopProgram();
+    auto controller = mfiController(prog, /*parity=*/true);
+    ExecCore core(prog, controller.get());
+    initMfiRegisters(core, prog);
+    drain(core, 40); // warm the tables
+    ASSERT_TRUE(controller->engine().corruptReplacementEntry(0, 5));
+    EXPECT_TRUE(controller->engine().hasCorruptEntries());
+    drain(core);
+    const RunResult &r = core.result();
+    // Parity caught the entry, the controller re-faulted it, and the
+    // program finished untouched.
+    EXPECT_EQ(r.outcome, RunOutcome::Exit);
+    EXPECT_EQ(r.exitCode, 0);
+    EXPECT_EQ(r.output, "780"); // sum 0..39
+    EXPECT_EQ(controller->engine().stats().get("rt_parity_detected"), 1u);
+    EXPECT_FALSE(controller->engine().hasCorruptEntries());
+}
+
+TEST(Parity, RtCorruptionWithoutParityGarblesExpansion)
+{
+    const Program prog = loopProgram();
+    auto controller = mfiController(prog, /*parity=*/false);
+    ExecCore core(prog, controller.get());
+    initMfiRegisters(core, prog);
+    drain(core, 40);
+    ASSERT_TRUE(controller->engine().corruptReplacementEntry(0, 5));
+    drain(core);
+    EXPECT_EQ(controller->engine().stats().get("rt_parity_detected"), 0u);
+    EXPECT_GE(controller->engine().stats().get("rt_garbage_expansions"),
+              1u);
+    // The entry stays corrupt until evicted: no silent healing.
+    EXPECT_TRUE(controller->engine().hasCorruptEntries());
+}
+
+TEST(Parity, PtCorruptionDetectedAndRefilled)
+{
+    const Program prog = loopProgram();
+    auto controller = mfiController(prog, /*parity=*/true);
+    ExecCore core(prog, controller.get());
+    initMfiRegisters(core, prog);
+    drain(core, 40);
+    ASSERT_TRUE(controller->engine().corruptPatternEntry(0));
+    drain(core);
+    const RunResult &r = core.result();
+    EXPECT_EQ(r.outcome, RunOutcome::Exit);
+    EXPECT_EQ(r.exitCode, 0);
+    EXPECT_EQ(r.output, "780");
+    EXPECT_EQ(controller->engine().stats().get("pt_parity_detected"), 1u);
+    EXPECT_FALSE(controller->engine().hasCorruptEntries());
+}
+
+TEST(Parity, PtCorruptionWithoutParityDropsExpansions)
+{
+    const Program prog = loopProgram();
+
+    // Reference: expansions in a clean MFI run.
+    auto cleanCtl = mfiController(prog, false);
+    ExecCore clean(prog, cleanCtl.get());
+    initMfiRegisters(clean, prog);
+    const RunResult ref = clean.run(100000);
+
+    auto controller = mfiController(prog, /*parity=*/false);
+    ExecCore core(prog, controller.get());
+    initMfiRegisters(core, prog);
+    drain(core, 40);
+    ASSERT_TRUE(controller->engine().corruptPatternEntry(0));
+    drain(core);
+    const RunResult &r = core.result();
+    // Segment checks silently stop firing for the garbled pattern's
+    // opcodes; the (clean) program still runs to the right answer —
+    // exactly the unprotected window parity exists to close.
+    EXPECT_EQ(r.outcome, RunOutcome::Exit);
+    EXPECT_EQ(r.exitCode, 0);
+    EXPECT_EQ(r.output, ref.output);
+    EXPECT_GE(controller->engine().stats().get("pt_silent_drops"), 1u);
+    EXPECT_LT(r.expansions, ref.expansions);
+}
+
+} // namespace
+} // namespace dise

@@ -89,6 +89,40 @@ TEST(Mfi, ViolationTrapsToErrorHandler)
     EXPECT_EQ(result.exitCode, 42);
 }
 
+TEST(Mfi, OutOfSegmentStoreLandsOnErrorSymbol)
+{
+    // A wild store through a text pointer under the fault-detecting
+    // flavour: the segment check branches to the program's "error"
+    // symbol before the store executes. The core records that control
+    // transfer as an ACF detection, distinguishing the handler's clean
+    // exit(42) from a genuinely normal exit.
+    const Program prog = assemble(".text\n"
+                                  "main:\n"
+                                  "    laq main, t5\n"
+                                  "    li 77, t0\n"
+                                  "    stq t0, 0(t5)\n"
+                                  "    li 0, v0\n    li 0, a0\n"
+                                  "    syscall\n"
+                                  "error:\n"
+                                  "    li 0, v0\n    li 42, a0\n"
+                                  "    syscall\n");
+    MfiOptions opts;
+    opts.variant = MfiVariant::Dise3;
+    auto set =
+        std::make_shared<ProductionSet>(makeMfiProductions(prog, opts));
+    DiseController controller;
+    controller.install(set);
+    ExecCore core(prog, &controller);
+    initMfiRegisters(core, prog);
+    const RunResult result = core.run(1000);
+    EXPECT_EQ(result.outcome, RunOutcome::Exit);
+    EXPECT_EQ(result.exitCode, 42);
+    EXPECT_EQ(result.acfDetections, 1u);
+    // The wild store never executed: text is intact.
+    EXPECT_EQ(core.memory().readWord(prog.textBase), prog.text[0]);
+    EXPECT_EQ(result.stores, 0u);
+}
+
 TEST(Mfi, Dise4AlsoCatchesViolations)
 {
     const Program prog = memProgram();

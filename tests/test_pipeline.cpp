@@ -235,6 +235,30 @@ TEST(Pipeline, DeterministicAcrossRuns)
     EXPECT_EQ(a.icacheMisses, b.icacheMisses);
 }
 
+TEST(Pipeline, InstructionCapYieldsHangOutcome)
+{
+    const Program prog =
+        assemble(".text\nmain:\n    br zero, main\n");
+    PipelineSim sim(prog, PipelineParams{});
+    const auto result = sim.run(500);
+    EXPECT_EQ(result.arch.outcome, RunOutcome::Hang);
+    EXPECT_FALSE(result.arch.exited);
+    EXPECT_EQ(result.arch.dynInsts, 500u);
+}
+
+TEST(Pipeline, CycleBudgetYieldsHangOutcome)
+{
+    const Program prog =
+        assemble(".text\nmain:\n    br zero, main\n");
+    PipelineSim sim(prog, PipelineParams{});
+    const auto result = sim.run(~uint64_t(0), /*maxCycles=*/2000);
+    EXPECT_EQ(result.arch.outcome, RunOutcome::Hang);
+    // The run stopped within a commit-group of the budget, not at the
+    // instruction cap.
+    EXPECT_GT(result.cycles, 2000u);
+    EXPECT_LT(result.cycles, 4000u);
+}
+
 TEST(Pipeline, ArchResultsMatchFunctionalRun)
 {
     const Program prog = loopProgram(100, "    addq t1, 3, t1\n");

@@ -162,6 +162,19 @@ readFile(const std::string &path)
 void
 printRun(const RunResult &r)
 {
+    std::printf("outcome:       %s\n", runOutcomeName(r.outcome));
+    if (r.outcome == RunOutcome::Trap) {
+        std::printf("trap:          %s at 0x%llx:%u (fault addr 0x%llx)"
+                    "\n               %s\n",
+                    trapCauseName(r.trap.cause),
+                    (unsigned long long)r.trap.pc, r.trap.disepc,
+                    (unsigned long long)r.trap.faultAddr,
+                    r.trap.message.c_str());
+    }
+    if (r.acfDetections > 0) {
+        std::printf("acf detects:   %llu\n",
+                    (unsigned long long)r.acfDetections);
+    }
     std::printf("exited:        %s (code %d)\n", r.exited ? "yes" : "NO",
                 r.exitCode);
     if (!r.output.empty())
@@ -177,10 +190,8 @@ printRun(const RunResult &r)
                 (unsigned long long)r.stores);
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runMain(int argc, char **argv)
 {
     const Options opts = parseArgs(argc, argv);
 
@@ -326,4 +337,23 @@ main(int argc, char **argv)
         }
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Guest failures are architected Trap/Hang outcomes and never throw;
+    // the only exceptions reaching here are host-level, already logged
+    // to stderr by fatal()/panic(). Separate the two error classes by
+    // exit code: user error (bad input, unreadable file) is 1, a
+    // simulator invariant violation is 2.
+    try {
+        return runMain(argc, argv);
+    } catch (const PanicError &) {
+        return 2;
+    } catch (const FatalError &) {
+        return 1;
+    }
 }

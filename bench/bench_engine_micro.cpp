@@ -10,6 +10,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/harness.hpp"
 #include "src/acf/mfi.hpp"
 #include "src/assembler/assembler.hpp"
 #include "src/dise/engine.hpp"
@@ -203,6 +204,59 @@ BENCHMARK(BM_DiseSimThroughput)
     ->Arg(0)
     ->Unit(benchmark::kMillisecond);
 
+/**
+ * Console reporter that additionally records every run into the
+ * DISE_BENCH_JSON artifact: "BM_Name/arg" maps to workload BM_Name,
+ * regime arg ("default" for argless benchmarks).
+ */
+class RecordingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &reports) override
+    {
+        ConsoleReporter::ReportRuns(reports);
+        for (const Run &run : reports) {
+            if (run.error_occurred ||
+                run.run_type != Run::RT_Iteration) {
+                continue;
+            }
+            const std::string name = run.benchmark_name();
+            const size_t slash = name.find('/');
+            const std::string workload = name.substr(0, slash);
+            const std::string regime =
+                slash == std::string::npos ? "default"
+                                           : name.substr(slash + 1);
+            Json entry = dise::Json::object();
+            entry["iterations"] = Json(uint64_t(run.iterations));
+            entry["host_seconds"] = Json(run.real_accumulated_time);
+            Json counters = dise::Json::object();
+            for (const auto &kv : run.counters)
+                counters[kv.first] = Json(double(kv.second));
+            const auto items = run.counters.find("items_per_second");
+            entry["items_per_second"] = Json(
+                items != run.counters.end() ? double(items->second)
+                                            : 0.0);
+            entry["counters"] = std::move(counters);
+            dise::bench::BenchJson::instance().record(workload, regime,
+                                                      std::move(entry));
+        }
+    }
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    return dise::bench::benchGuard([] {
+        RecordingReporter reporter;
+        benchmark::RunSpecifiedBenchmarks(&reporter);
+        benchmark::Shutdown();
+        dise::bench::BenchJson::instance().write("engine_micro",
+                                                 "micro");
+    });
+}

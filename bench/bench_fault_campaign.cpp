@@ -94,17 +94,36 @@ sameClassifications(const CampaignResult &a, const CampaignResult &b)
     return true;
 }
 
+/**
+ * Abort the bench. Throws (FatalError) instead of exiting so the
+ * failure unwinds to benchGuard() in main, mirroring harness check().
+ */
 [[noreturn]] void
 fail(const std::string &what)
 {
-    std::fprintf(stderr, "BENCH FAILURE: %s\n", what.c_str());
-    std::exit(1);
+    fatal("BENCH FAILURE: " + what);
 }
 
-} // namespace
+/** JSON-artifact entry for one campaign (see DESIGN.md schema). */
+Json
+campaignEntry(const CampaignResult &r, double hostSeconds)
+{
+    Json outcomes = Json::object();
+    for (size_t i = 0; i < kNumTrialOutcomes; ++i)
+        outcomes[trialOutcomeName(static_cast<TrialOutcome>(i))] =
+            Json(uint64_t(r.counts[i]));
+    Json entry = Json::object();
+    entry["injected"] = Json(uint64_t(r.injected));
+    entry["outcomes"] = std::move(outcomes);
+    entry["detected_fraction"] = Json(r.detectedFraction());
+    entry["parity_detected"] = Json(uint64_t(r.parityDetected));
+    entry["parity_recovered"] = Json(uint64_t(r.parityRecovered));
+    entry["host_seconds"] = Json(hostSeconds);
+    return entry;
+}
 
-int
-main()
+void
+runFaultCampaignBench()
 {
     const uint32_t trials =
         static_cast<uint32_t>(envU64("DISE_FAULT_TRIALS", 48));
@@ -147,15 +166,33 @@ main()
     archCfg.seed = seed;
     archCfg.trials = trials;
 
+    // Timed wrapper that records each campaign into the JSON artifact.
+    const auto campaign = [&spec](const CampaignSetup &setup,
+                                  const CampaignConfig &cfg,
+                                  const char *regime) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const CampaignResult r = runCampaign(setup, cfg);
+        if (BenchJson::instance().enabled()) {
+            const double secs =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            BenchJson::instance().record(spec.name, regime,
+                                         campaignEntry(r, secs));
+        }
+        return r;
+    };
+
     // ---- Campaign A: architectural faults across ACF regimes. ----
     std::printf("fault campaign: %u trials/regime, seed %llu, workload "
                 "%s\n\n",
                 trials, (unsigned long long)seed, spec.name.c_str());
 
     TextTable tableA(outcomeHeader());
-    const CampaignResult rNone = runCampaign(noAcf, archCfg);
-    const CampaignResult rMfi = runCampaign(mfi, archCfg);
-    const CampaignResult rMfiWp = runCampaign(mfiWp, archCfg);
+    const CampaignResult rNone = campaign(noAcf, archCfg, "no_acf");
+    const CampaignResult rMfi = campaign(mfi, archCfg, "mfi_dise3");
+    const CampaignResult rMfiWp =
+        campaign(mfiWp, archCfg, "mfi_watchpoint");
     const std::string archTargets = targetsLabel(archCfg);
     tableA.addRow(outcomeRow("no-acf", archTargets.c_str(), rNone));
     tableA.addRow(outcomeRow("mfi-dise3", archTargets.c_str(), rMfi));
@@ -170,8 +207,10 @@ main()
     CampaignSetup mfiParity = mfi;
     mfiParity.diseConfig.parityChecks = true;
 
-    const CampaignResult rNoParity = runCampaign(mfi, tableCfg);
-    const CampaignResult rParity = runCampaign(mfiParity, tableCfg);
+    const CampaignResult rNoParity =
+        campaign(mfi, tableCfg, "ptrt_no_parity");
+    const CampaignResult rParity =
+        campaign(mfiParity, tableCfg, "ptrt_parity");
 
     TextTable tableB({"regime", "targets", "injected", "parity-detected",
                       "recovered", "benign", "detected-acf",
@@ -224,5 +263,13 @@ main()
                 rMfiWp.detectedFraction(), rNone.detectedFraction(),
                 trials >= 24 ? " (strict improvement enforced)"
                              : " (small sample: not enforced)");
-    return 0;
+    BenchJson::instance().write("fault_campaign", "campaign");
+}
+
+} // namespace
+
+int
+main()
+{
+    return benchGuard(runFaultCampaignBench);
 }

@@ -25,8 +25,10 @@
 using namespace dise;
 using namespace dise::bench;
 
-int
-main()
+namespace {
+
+void
+runFigure6()
 {
     std::printf("==========================================================\n");
     std::printf("Figure 6: Memory Fault Isolation (normalized exec time)\n");
@@ -64,29 +66,36 @@ main()
         const auto rows = mapSpecs(specs, [&](const WorkloadSpec &spec) {
             const Program &prog = program(spec);
             const PipelineParams machine = baselineMachine();
-            const TimingResult base = runNative(prog, machine);
+            const TimingResult base =
+                runNative(prog, machine, spec.name, "base");
             check(base, spec.name + " base");
 
             const Program rewritten = applyMfiRewriting(prog);
-            const TimingResult rw = runNative(rewritten, machine);
+            const TimingResult rw =
+                runNative(rewritten, machine, spec.name, "rewrite");
             check(rw, spec.name + " rewrite");
 
             const TimingResult d4 =
                 runDise(prog, machine, mfiSet(prog, MfiVariant::Dise4),
-                        diseCfg(DisePlacement::Free), true);
+                        diseCfg(DisePlacement::Free), true, nullptr,
+                        spec.name, "dise4");
             const TimingResult stall =
                 runDise(prog, machine, mfiSet(prog, MfiVariant::Dise4),
-                        diseCfg(DisePlacement::Stall), true);
+                        diseCfg(DisePlacement::Stall), true, nullptr,
+                        spec.name, "dise4_stall");
             const TimingResult pipe =
                 runDise(prog, machine, mfiSet(prog, MfiVariant::Dise4),
-                        diseCfg(DisePlacement::Pipe), true);
+                        diseCfg(DisePlacement::Pipe), true, nullptr,
+                        spec.name, "dise4_pipe");
             const TimingResult d3 =
                 runDise(prog, machine, mfiSet(prog, MfiVariant::Dise3),
-                        diseCfg(DisePlacement::Free), true);
+                        diseCfg(DisePlacement::Free), true, nullptr,
+                        spec.name, "dise3");
             check(d3, spec.name + " dise3");
             const TimingResult sbx = runDise(
                 prog, machine, mfiSet(prog, MfiVariant::Sandbox),
-                diseCfg(DisePlacement::Free), true);
+                diseCfg(DisePlacement::Free), true, nullptr, spec.name,
+                "sandbox");
             check(sbx, spec.name + " sandbox");
 
             const double b = double(base.cycles);
@@ -137,12 +146,17 @@ main()
             const Program rewritten = applyMfiRewriting(prog);
             std::vector<std::string> row = {spec.name};
             for (const uint32_t kb : {8u, 32u, 128u, 0u}) {
+                const std::string sz =
+                    kb ? std::to_string(kb) + "K" : "perfect";
                 const PipelineParams machine = baselineMachine(kb);
-                const TimingResult base = runNative(prog, machine);
-                const TimingResult rw = runNative(rewritten, machine);
+                const TimingResult base = runNative(
+                    prog, machine, spec.name, "base_icache" + sz);
+                const TimingResult rw = runNative(
+                    rewritten, machine, spec.name, "rewrite_icache" + sz);
                 const TimingResult d3 = runDise(
                     prog, machine, mfiSet(prog, MfiVariant::Dise3),
-                    diseCfg(DisePlacement::Pipe), true);
+                    diseCfg(DisePlacement::Pipe), true, nullptr,
+                    spec.name, "dise3_icache" + sz);
                 row.push_back(
                     TextTable::num(double(rw.cycles) / base.cycles));
                 row.push_back(
@@ -166,12 +180,17 @@ main()
             const Program rewritten = applyMfiRewriting(prog);
             std::vector<std::string> row = {spec.name};
             for (const uint32_t width : {1u, 2u, 4u, 8u}) {
+                const std::string w = "w" + std::to_string(width);
                 const PipelineParams machine = baselineMachine(32, width);
-                const TimingResult base = runNative(prog, machine);
-                const TimingResult rw = runNative(rewritten, machine);
+                const TimingResult base =
+                    runNative(prog, machine, spec.name, "base_" + w);
+                const TimingResult rw = runNative(rewritten, machine,
+                                                  spec.name,
+                                                  "rewrite_" + w);
                 const TimingResult d3 = runDise(
                     prog, machine, mfiSet(prog, MfiVariant::Dise3),
-                    diseCfg(DisePlacement::Pipe), true);
+                    diseCfg(DisePlacement::Pipe), true, nullptr,
+                    spec.name, "dise3_" + w);
                 row.push_back(
                     TextTable::num(double(rw.cycles) / base.cycles));
                 row.push_back(
@@ -183,5 +202,13 @@ main()
             table.addRow(row);
         std::printf("%s\n", table.render().c_str());
     }
-    return 0;
+    BenchJson::instance().write("fig6_mfi", "timing");
+}
+
+} // namespace
+
+int
+main()
+{
+    return benchGuard(runFigure6);
 }

@@ -53,10 +53,8 @@ ablationOptions(const std::string &config)
     return opts;
 }
 
-} // namespace
-
-int
-main()
+void
+runFigure7()
 {
     std::printf("==========================================================\n");
     std::printf("Figure 7: Dynamic Code Decompression\n");
@@ -125,16 +123,22 @@ main()
             const Program &prog = program(spec);
             const auto comp = compressProgram(prog);
             const TimingResult ref =
-                runNative(prog, baselineMachine(32));
+                runNative(prog, baselineMachine(32), spec.name, "base");
             check(ref, spec.name + " base");
             std::vector<std::string> row = {spec.name};
             for (const uint32_t kb : {8u, 32u, 128u, 0u}) {
+                const std::string sz =
+                    kb ? std::to_string(kb) + "K" : "perfect";
                 const PipelineParams machine = baselineMachine(kb);
-                const TimingResult unc = runNative(prog, machine);
+                const TimingResult unc =
+                    runNative(prog, machine, spec.name,
+                              "uncompressed_icache" + sz);
                 DiseConfig config;
                 config.rtEntries = 0; // perfect RT
                 const TimingResult cmp = runDise(
-                    comp.compressed, machine, comp.dictionary, config);
+                    comp.compressed, machine, comp.dictionary, config,
+                    false, nullptr, spec.name,
+                    "compressed_icache" + sz);
                 check(cmp, spec.name + " compressed");
                 row.push_back(
                     TextTable::num(double(unc.cycles) / ref.cycles));
@@ -166,8 +170,13 @@ main()
                 DiseConfig config;
                 config.rtEntries = entries;
                 config.rtAssoc = assoc;
-                const TimingResult r = runDise(comp.compressed, machine,
-                                               comp.dictionary, config);
+                const std::string regime =
+                    entries ? "rt" + std::to_string(entries) + "_" +
+                                  std::to_string(assoc) + "w"
+                            : "rt_perfect";
+                const TimingResult r =
+                    runDise(comp.compressed, machine, comp.dictionary,
+                            config, false, nullptr, spec.name, regime);
                 check(r, spec.name + " rt");
                 return TextTable::num(double(r.cycles) / ref.cycles);
             };
@@ -200,5 +209,13 @@ main()
             table.addRow(row);
         std::printf("%s\n", table.render().c_str());
     }
-    return 0;
+    BenchJson::instance().write("fig7_decompression", "timing");
+}
+
+} // namespace
+
+int
+main()
+{
+    return benchGuard(runFigure7);
 }

@@ -23,8 +23,10 @@
 using namespace dise;
 using namespace dise::bench;
 
-int
-main()
+namespace {
+
+void
+runFigure8()
 {
     std::printf("==========================================================\n");
     std::printf("Figure 8: Composing Decompression and Fault Isolation\n");
@@ -62,22 +64,29 @@ main()
             auto composed = std::make_shared<ProductionSet>(
                 composeNested(mfi, *comp.dictionary, copts));
 
-            const TimingResult ref = runNative(prog, baselineMachine());
+            const TimingResult ref = runNative(
+                prog, baselineMachine(), spec.name, "base");
             std::vector<std::string> row = {spec.name};
             for (const uint32_t kb : {8u, 32u, 128u, 0u}) {
+                const std::string sz =
+                    kb ? std::to_string(kb) + "K" : "perfect";
                 const PipelineParams machine = baselineMachine(kb);
                 DiseConfig perfect;
                 perfect.rtEntries = 0;
-                const TimingResult a = runDise(
-                    rwDed.compressed, machine, rwDed.dictionary, perfect);
+                const TimingResult a =
+                    runDise(rwDed.compressed, machine, rwDed.dictionary,
+                            perfect, false, nullptr, spec.name,
+                            "rw_dedicated_icache" + sz);
                 check(a, spec.name + " rw+ded");
                 const TimingResult b =
                     runDise(rwDise.compressed, machine,
-                            rwDise.dictionary, perfect);
+                            rwDise.dictionary, perfect, false, nullptr,
+                            spec.name, "rw_dise_icache" + sz);
                 check(b, spec.name + " rw+DISE");
                 const TimingResult c =
                     runDise(comp.compressed, machine, composed, perfect,
-                            true, &prog);
+                            true, &prog, spec.name,
+                            "dise_dise_icache" + sz);
                 check(c, spec.name + " DISE+DISE");
                 row.push_back(
                     TextTable::num(double(a.cycles) / ref.cycles));
@@ -121,9 +130,14 @@ main()
                 DiseConfig config;
                 config.rtEntries = entries;
                 config.rtAssoc = 2;
+                const std::string regime =
+                    entries ? "composed_rt" + std::to_string(entries) +
+                                  (composedFill ? "_fill150" : "_fill30")
+                            : "composed_rt_perfect";
                 const TimingResult r = runDise(
                     comp.compressed, baselineMachine(),
-                    composedSet(composedFill), config, true, &prog);
+                    composedSet(composedFill), config, true, &prog,
+                    spec.name, regime);
                 check(r, spec.name + " panelB");
                 return TextTable::num(double(r.cycles) / ref.cycles);
             };
@@ -139,5 +153,13 @@ main()
             table.addRow(row);
         std::printf("%s\n", table.render().c_str());
     }
-    return 0;
+    BenchJson::instance().write("fig8_composition", "timing");
+}
+
+} // namespace
+
+int
+main()
+{
+    return benchGuard(runFigure8);
 }

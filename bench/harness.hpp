@@ -12,6 +12,11 @@
  *                     threads (each run builds its own engine/simulator,
  *                     so results are identical at any job count);
  *                     default 1.
+ *   DISE_BENCH_JSON   directory (created if missing) into which each
+ *                     bench writes a machine-readable
+ *                     BENCH_<name>.json artifact next to its table
+ *                     output; unset = no artifacts. See DESIGN.md for
+ *                     the schema.
  */
 
 #ifndef DISE_BENCH_HARNESS_HPP
@@ -19,10 +24,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <mutex>
 #include <string>
@@ -33,6 +41,8 @@
 #include "src/acf/mfi.hpp"
 #include "src/acf/rewriter.hpp"
 #include "src/common/logging.hpp"
+#include "src/common/singleflight.hpp"
+#include "src/common/stats.hpp"
 #include "src/common/table.hpp"
 #include "src/pipeline/pipeline.hpp"
 #include "src/workloads/workloads.hpp"
@@ -82,22 +92,17 @@ selectedSpecs()
     return specs;
 }
 
-/** Build (and cache) a workload program. Thread-safe. */
+/**
+ * Build (and cache) a workload program. Thread-safe and single-flight:
+ * when sharded workers race for the same spec, exactly one runs
+ * buildWorkload and the rest wait for its result.
+ */
 inline const Program &
 program(const WorkloadSpec &spec)
 {
-    static std::mutex mutex;
-    static std::map<std::string, Program> cache;
-    {
-        std::lock_guard<std::mutex> lock(mutex);
-        const auto it = cache.find(spec.name);
-        if (it != cache.end())
-            return it->second;
-    }
-    Program built = buildWorkload(spec);
-    std::lock_guard<std::mutex> lock(mutex);
-    // First inserter wins; std::map references stay stable.
-    return cache.emplace(spec.name, std::move(built)).first->second;
+    static SingleFlightCache<std::string, Program> cache;
+    return cache.get(spec.name,
+                     [&spec] { return buildWorkload(spec); });
 }
 
 /** Worker count from DISE_BENCH_JOBS (validated); default 1. */
@@ -173,37 +178,199 @@ baselineMachine(uint32_t icacheKB = 32, uint32_t width = 4)
     return params;
 }
 
-/** Run a program with no DISE. */
-inline TimingResult
-runNative(const Program &prog, const PipelineParams &params)
+/**
+ * Collector for the DISE_BENCH_JSON artifact: timing/micro/campaign
+ * entries keyed by workload and regime, serialized once at bench exit
+ * by writeBenchJson(). Thread-safe (mapSpecs workers record
+ * concurrently); entries are stored in sorted maps, so the artifact is
+ * byte-identical at any DISE_BENCH_JOBS count or recording order.
+ */
+class BenchJson
 {
-    PipelineSim sim(prog, params);
-    return sim.run();
+  public:
+    static BenchJson &
+    instance()
+    {
+        static BenchJson recorder;
+        return recorder;
+    }
+
+    /** Enabled iff DISE_BENCH_JSON names an artifact directory. */
+    bool enabled() const { return !dir_.empty(); }
+
+    /** Record one workload x regime entry (any kind). */
+    void
+    record(const std::string &workload, const std::string &regime,
+           Json entry)
+    {
+        if (!enabled())
+            return;
+        std::lock_guard<std::mutex> lock(mutex_);
+        workloads_[workload][regime] = std::move(entry);
+    }
+
+    /**
+     * Write BENCH_<name>.json into the artifact directory (created if
+     * missing) and clear the recorded entries.
+     */
+    void
+    write(const std::string &name, const std::string &kind)
+    {
+        if (!enabled())
+            return;
+        std::lock_guard<std::mutex> lock(mutex_);
+        Json doc = Json::object();
+        doc["schema_version"] = Json(uint64_t(1));
+        doc["bench"] = Json(name);
+        doc["kind"] = Json(kind);
+        Json host = Json::object();
+        host["jobs"] = Json(uint64_t(benchJobs()));
+        host["seconds"] = Json(
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start_)
+                .count());
+        doc["host"] = std::move(host);
+        doc["workloads"] = std::move(workloads_);
+        workloads_ = Json::object();
+        std::filesystem::create_directories(dir_);
+        const std::string path =
+            (std::filesystem::path(dir_) / ("BENCH_" + name + ".json"))
+                .string();
+        std::ofstream out(path);
+        if (!out)
+            fatal("DISE_BENCH_JSON: cannot write " + path);
+        out << doc.dump(2) << "\n";
+        if (!out)
+            fatal("DISE_BENCH_JSON: write failed: " + path);
+    }
+
+  private:
+    BenchJson()
+    {
+        if (const char *env = std::getenv("DISE_BENCH_JSON"))
+            dir_ = env;
+    }
+
+    std::string dir_;
+    std::mutex mutex_;
+    Json workloads_ = Json::object();
+    std::chrono::steady_clock::time_point start_ =
+        std::chrono::steady_clock::now();
+};
+
+/**
+ * Build the JSON artifact entry for one timing run: cycles/CPI, the
+ * per-stage cycle buckets, every component counter and derived ratio
+ * (via PipelineSim::registerStats), and the host-side run time.
+ */
+inline Json
+timingEntry(PipelineSim &sim, const TimingResult &t, double hostSeconds)
+{
+    StatsRegistry reg;
+    sim.registerStats(reg);
+    Json entry = Json::object();
+    entry["cycles"] = Json(t.cycles);
+    entry["insts"] = Json(t.arch.dynInsts);
+    entry["ipc"] = Json(t.ipc());
+    entry["cpi"] = Json(
+        safeRatio(double(t.cycles), double(t.arch.dynInsts)));
+    entry["host_seconds"] = Json(hostSeconds);
+    Json buckets = Json::object();
+    buckets["issue"] = Json(t.buckets.issue);
+    buckets["imiss_stall"] = Json(t.buckets.imissStall);
+    buckets["dmiss_stall"] = Json(t.buckets.dmissStall);
+    buckets["branch_flush"] = Json(t.buckets.branchFlush);
+    buckets["dise_stall"] = Json(t.buckets.diseStall);
+    buckets["hazard"] = Json(t.buckets.hazard);
+    buckets["drain"] = Json(t.buckets.drain);
+    entry["buckets"] = std::move(buckets);
+    entry["counters"] = reg.toJson();
+    return entry;
 }
 
-/** Run a program under DISE with the given productions and config. */
+/**
+ * Run a program with no DISE. When @p workload / @p regime labels are
+ * given and DISE_BENCH_JSON is set, the run is recorded in the bench's
+ * JSON artifact under those labels.
+ */
+inline TimingResult
+runNative(const Program &prog, const PipelineParams &params,
+          const std::string &workload = "",
+          const std::string &regime = "")
+{
+    PipelineSim sim(prog, params);
+    const auto t0 = std::chrono::steady_clock::now();
+    const TimingResult t = sim.run();
+    if (!workload.empty() && BenchJson::instance().enabled()) {
+        const double secs = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+        BenchJson::instance().record(workload, regime,
+                                     timingEntry(sim, t, secs));
+    }
+    return t;
+}
+
+/**
+ * Run a program under DISE with the given productions and config.
+ * Labels work as in runNative().
+ */
 inline TimingResult
 runDise(const Program &prog, const PipelineParams &params,
         std::shared_ptr<const ProductionSet> set, const DiseConfig &config,
-        bool mfiRegs = false, const Program *segSource = nullptr)
+        bool mfiRegs = false, const Program *segSource = nullptr,
+        const std::string &workload = "", const std::string &regime = "")
 {
     DiseController controller(config);
     controller.install(std::move(set));
     PipelineSim sim(prog, params, &controller);
     if (mfiRegs)
         initMfiRegisters(sim.core(), segSource ? *segSource : prog);
-    return sim.run();
+    const auto t0 = std::chrono::steady_clock::now();
+    const TimingResult t = sim.run();
+    if (!workload.empty() && BenchJson::instance().enabled()) {
+        const double secs = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+        BenchJson::instance().record(workload, regime,
+                                     timingEntry(sim, t, secs));
+    }
+    return t;
 }
 
-/** Abort the bench loudly if a run misbehaved. */
+/**
+ * Abort the bench loudly if a run misbehaved. Throws (FatalError)
+ * rather than exiting so failures inside sharded mapSpecs workers
+ * unwind through the harness's exception_ptr path instead of calling
+ * std::exit on a worker thread; benchGuard() turns it into exit
+ * status 1 at main.
+ */
 inline void
 check(const TimingResult &result, const std::string &what)
 {
     if (!result.arch.exited || result.arch.exitCode != 0) {
-        std::fprintf(stderr, "BENCH FAILURE: %s exited=%d code=%d\n",
-                     what.c_str(), result.arch.exited,
-                     result.arch.exitCode);
-        std::exit(1);
+        fatal(strFormat("BENCH FAILURE: %s exited=%d code=%d",
+                        what.c_str(), int(result.arch.exited),
+                        result.arch.exitCode));
+    }
+}
+
+/**
+ * Run a bench body, mapping the harness error classes onto process
+ * exit codes (user/workload error 1, simulator invariant 2) like the
+ * tools do. Use as: int main() { return benchGuard([] {...}); }
+ */
+template <typename Fn>
+inline int
+benchGuard(Fn &&fn)
+{
+    try {
+        fn();
+        return 0;
+    } catch (const PanicError &) {
+        return 2;
+    } catch (const FatalError &) {
+        return 1;
     }
 }
 

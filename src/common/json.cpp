@@ -1,0 +1,443 @@
+#include "src/common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/logging.hpp"
+
+namespace dise {
+
+Json &
+Json::operator[](const std::string &key)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Object;
+    DISE_ASSERT(type_ == Type::Object, "operator[] on non-object Json");
+    return obj_[key];
+}
+
+const Json &
+Json::at(const std::string &key) const
+{
+    DISE_ASSERT(type_ == Type::Object, "at() on non-object Json");
+    const auto it = obj_.find(key);
+    if (it == obj_.end())
+        panic("Json::at: no member \"" + key + "\"");
+    return it->second;
+}
+
+bool
+Json::contains(const std::string &key) const
+{
+    return type_ == Type::Object && obj_.count(key) > 0;
+}
+
+void
+Json::push_back(Json value)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Array;
+    DISE_ASSERT(type_ == Type::Array, "push_back on non-array Json");
+    arr_.push_back(std::move(value));
+}
+
+size_t
+Json::size() const
+{
+    switch (type_) {
+      case Type::Array:
+        return arr_.size();
+      case Type::Object:
+        return obj_.size();
+      default:
+        return 0;
+    }
+}
+
+bool
+Json::asBool() const
+{
+    DISE_ASSERT(type_ == Type::Bool, "asBool on non-bool Json");
+    return bool_;
+}
+
+uint64_t
+Json::asUInt() const
+{
+    DISE_ASSERT(type_ == Type::UInt, "asUInt on non-integer Json");
+    return uint_;
+}
+
+double
+Json::asDouble() const
+{
+    if (type_ == Type::UInt)
+        return double(uint_);
+    DISE_ASSERT(type_ == Type::Number, "asDouble on non-number Json");
+    return num_;
+}
+
+const std::string &
+Json::asString() const
+{
+    DISE_ASSERT(type_ == Type::String, "asString on non-string Json");
+    return str_;
+}
+
+namespace {
+
+void
+escapeString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+} // namespace
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    const std::string pad(size_t(indent) * (depth + 1), ' ');
+    const std::string closePad(size_t(indent) * depth, ' ');
+    const char *nl = indent > 0 ? "\n" : "";
+    const char *colon = indent > 0 ? ": " : ":";
+    switch (type_) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Type::UInt: {
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(uint_));
+        out += buf;
+        break;
+      }
+      case Type::Number: {
+        // Non-finite values are not representable in JSON; emit 0.
+        const double v = std::isfinite(num_) ? num_ : 0.0;
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        out += buf;
+        break;
+      }
+      case Type::String:
+        escapeString(out, str_);
+        break;
+      case Type::Array: {
+        if (arr_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        bool first = true;
+        for (const Json &item : arr_) {
+            if (!first)
+                out += ',';
+            first = false;
+            out += nl;
+            out += pad;
+            item.dumpTo(out, indent, depth + 1);
+        }
+        out += nl;
+        out += closePad;
+        out += ']';
+        break;
+      }
+      case Type::Object: {
+        if (obj_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        bool first = true;
+        for (const auto &kv : obj_) {
+            if (!first)
+                out += ',';
+            first = false;
+            out += nl;
+            out += pad;
+            escapeString(out, kv.first);
+            out += colon;
+            kv.second.dumpTo(out, indent, depth + 1);
+        }
+        out += nl;
+        out += closePad;
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    if (indent > 0)
+        out += '\n';
+    return out;
+}
+
+// ---- Parser. ----
+
+namespace {
+
+struct Parser
+{
+    const std::string &text;
+    size_t pos = 0;
+
+    [[noreturn]] void
+    fail(const std::string &what)
+    {
+        fatal(strFormat("JSON parse error at offset %zu: %s", pos,
+                        what.c_str()));
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        if (pos >= text.size())
+            fail("unexpected end of input");
+        return text[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(strFormat("expected '%c', got '%c'", c, text[pos]));
+        ++pos;
+    }
+
+    bool
+    consumeWord(const char *word)
+    {
+        const size_t len = std::string(word).size();
+        if (text.compare(pos, len, word) == 0) {
+            pos += len;
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos >= text.size())
+                fail("unterminated string");
+            const char c = text[pos++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= text.size())
+                fail("unterminated escape");
+            const char esc = text[pos++];
+            switch (esc) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case '/':
+                out += '/';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                if (pos + 4 > text.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text[pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= unsigned(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape digit");
+                }
+                // ASCII only (our emitter never produces more).
+                if (code > 0x7f)
+                    fail("non-ASCII \\u escape unsupported");
+                out += char(code);
+                break;
+              }
+              default:
+                fail("unknown escape");
+            }
+        }
+    }
+
+    Json
+    parseNumber()
+    {
+        const size_t start = pos;
+        bool isInteger = true;
+        if (peek() == '-') {
+            isInteger = false;
+            ++pos;
+        }
+        while (pos < text.size() &&
+               ((text[pos] >= '0' && text[pos] <= '9') ||
+                text[pos] == '.' || text[pos] == 'e' ||
+                text[pos] == 'E' || text[pos] == '+' ||
+                text[pos] == '-')) {
+            if (text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E')
+                isInteger = false;
+            ++pos;
+        }
+        const std::string tok = text.substr(start, pos - start);
+        if (tok.empty() || tok == "-")
+            fail("malformed number");
+        if (isInteger) {
+            char *end = nullptr;
+            const unsigned long long v =
+                std::strtoull(tok.c_str(), &end, 10);
+            if (end != tok.c_str() + tok.size())
+                fail("malformed integer");
+            return Json(uint64_t(v));
+        }
+        char *end = nullptr;
+        const double v = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size())
+            fail("malformed number");
+        return Json(v);
+    }
+
+    Json
+    parseValue()
+    {
+        skipWs();
+        const char c = peek();
+        if (c == '{') {
+            ++pos;
+            Json obj = Json::object();
+            skipWs();
+            if (peek() == '}') {
+                ++pos;
+                return obj;
+            }
+            while (true) {
+                skipWs();
+                const std::string key = parseString();
+                skipWs();
+                expect(':');
+                obj[key] = parseValue();
+                skipWs();
+                if (peek() == ',') {
+                    ++pos;
+                    continue;
+                }
+                expect('}');
+                return obj;
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            Json arr = Json::array();
+            skipWs();
+            if (peek() == ']') {
+                ++pos;
+                return arr;
+            }
+            while (true) {
+                arr.push_back(parseValue());
+                skipWs();
+                if (peek() == ',') {
+                    ++pos;
+                    continue;
+                }
+                expect(']');
+                return arr;
+            }
+        }
+        if (c == '"')
+            return Json(parseString());
+        if (consumeWord("true"))
+            return Json(true);
+        if (consumeWord("false"))
+            return Json(false);
+        if (consumeWord("null"))
+            return Json();
+        return parseNumber();
+    }
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string &text)
+{
+    Parser parser{text};
+    Json value = parser.parseValue();
+    parser.skipWs();
+    if (parser.pos != text.size())
+        parser.fail("trailing garbage");
+    return value;
+}
+
+} // namespace dise

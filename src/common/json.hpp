@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Minimal JSON value type for the observability layer: build a tree,
+ * serialize it deterministically, and parse it back (tests and tools
+ * validate emitted artifacts by round-tripping them).
+ *
+ * Deliberately small: objects are sorted maps (deterministic output),
+ * unsigned integers keep full 64-bit precision (simulation counters),
+ * everything else is a double. Not a general-purpose JSON library —
+ * just enough for stats registries and bench artifacts.
+ */
+
+#ifndef DISE_COMMON_JSON_HPP
+#define DISE_COMMON_JSON_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dise {
+
+/** One JSON value (null, bool, number, string, array or object). */
+class Json
+{
+  public:
+    enum class Type { Null, Bool, UInt, Number, String, Array, Object };
+
+    Json() = default;
+    Json(bool b) : type_(Type::Bool), bool_(b) {}
+    Json(uint64_t u) : type_(Type::UInt), uint_(u) {}
+    Json(int i) : type_(Type::UInt), uint_(uint64_t(i)) {}
+    Json(unsigned i) : type_(Type::UInt), uint_(i) {}
+    Json(double d) : type_(Type::Number), num_(d) {}
+    Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+    Json(const char *s) : type_(Type::String), str_(s) {}
+
+    static Json array() { Json j; j.type_ = Type::Array; return j; }
+    static Json object() { Json j; j.type_ = Type::Object; return j; }
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isObject() const { return type_ == Type::Object; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isNumeric() const
+    {
+        return type_ == Type::UInt || type_ == Type::Number;
+    }
+    bool isString() const { return type_ == Type::String; }
+
+    /** Object access; creates members (and coerces Null to Object). */
+    Json &operator[](const std::string &key);
+    /** Read-only object member; panics when absent or not an object. */
+    const Json &at(const std::string &key) const;
+    bool contains(const std::string &key) const;
+    const std::map<std::string, Json> &members() const { return obj_; }
+
+    /** Array append (coerces Null to Array). */
+    void push_back(Json value);
+    const std::vector<Json> &items() const { return arr_; }
+    size_t size() const;
+
+    /** @name Scalar reads (panic on type mismatch). */
+    /// @{
+    bool asBool() const;
+    uint64_t asUInt() const;
+    double asDouble() const; ///< UInt converts implicitly
+    const std::string &asString() const;
+    /// @}
+
+    /**
+     * Serialize. @p indent > 0 pretty-prints with that many spaces per
+     * level; 0 emits a compact single line. Object keys are sorted, so
+     * equal trees always serialize identically.
+     */
+    std::string dump(int indent = 0) const;
+
+    /** Parse @p text; fatal() on malformed input or trailing garbage. */
+    static Json parse(const std::string &text);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    uint64_t uint_ = 0;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<Json> arr_;
+    std::map<std::string, Json> obj_;
+};
+
+} // namespace dise
+
+#endif // DISE_COMMON_JSON_HPP

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Single-flight build cache: a concurrent map where at most one caller
+ * runs the (expensive) builder per key; everyone else blocks on the
+ * in-flight build and shares its result. Used by the bench harness so
+ * sharded workers never build the same workload twice.
+ */
+
+#ifndef DISE_COMMON_SINGLEFLIGHT_HPP
+#define DISE_COMMON_SINGLEFLIGHT_HPP
+
+#include <condition_variable>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace dise {
+
+/**
+ * A keyed cache whose values are built at most once each.
+ *
+ * get(key, build) returns a reference to the cached value, calling
+ * build() exactly once per key across all threads: the first caller to
+ * miss becomes the builder (the lock is released while build() runs);
+ * concurrent callers for the same key wait for it. References stay
+ * valid for the cache's lifetime (std::map nodes are stable).
+ *
+ * A builder that throws propagates the exception to itself and every
+ * waiter, and leaves the key failed: later get() calls rethrow without
+ * retrying (the benches treat a failed build as fatal anyway).
+ */
+template <typename Key, typename Value>
+class SingleFlightCache
+{
+  public:
+    template <typename Build>
+    const Value &
+    get(const Key &key, Build &&build)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        Entry &entry = entries_[key];
+        if (entry.state == State::Empty) {
+            entry.state = State::Building;
+            lock.unlock();
+            try {
+                Value built = build();
+                lock.lock();
+                entry.value = std::move(built);
+                entry.state = State::Ready;
+            } catch (...) {
+                lock.lock();
+                entry.error = std::current_exception();
+                entry.state = State::Failed;
+            }
+            ready_.notify_all();
+        } else {
+            ready_.wait(lock, [&entry] {
+                return entry.state == State::Ready ||
+                       entry.state == State::Failed;
+            });
+        }
+        if (entry.state == State::Failed)
+            std::rethrow_exception(entry.error);
+        return entry.value;
+    }
+
+  private:
+    enum class State { Empty, Building, Ready, Failed };
+
+    struct Entry
+    {
+        State state = State::Empty;
+        Value value{};
+        std::exception_ptr error;
+    };
+
+    std::mutex mutex_;
+    std::condition_variable ready_;
+    std::map<Key, Entry> entries_;
+};
+
+} // namespace dise
+
+#endif // DISE_COMMON_SINGLEFLIGHT_HPP

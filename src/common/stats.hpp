@@ -4,7 +4,11 @@
  *
  * Every simulation component exposes its counters through a StatGroup so
  * that tests and benches can introspect them by name without knowing the
- * component's concrete type.
+ * component's concrete type. A StatsRegistry aggregates the groups of a
+ * whole simulator instance under hierarchical dotted names ("mem.l1i",
+ * "dise", "pipeline"), adds registry-owned scalars (host wall clock,
+ * run metadata) and derived ratios (miss rates, CPI), and serializes
+ * everything to JSON for machine-readable artifacts.
  */
 
 #ifndef DISE_COMMON_STATS_HPP
@@ -14,6 +18,8 @@
 #include <map>
 #include <string>
 #include <vector>
+
+#include "src/common/json.hpp"
 
 namespace dise {
 
@@ -53,6 +59,65 @@ class StatGroup
 
 /** Ratio helper that tolerates zero denominators. */
 double safeRatio(double num, double den);
+
+/**
+ * A view over the StatGroups of one simulator instance.
+ *
+ * Components register their groups under hierarchical dotted paths; the
+ * registry does not own them and reads their counters lazily, so it must
+ * be serialized while the components are still alive. Registry-owned
+ * scalars carry values that live outside any component (wall-clock time,
+ * run outcome), and derived ratios are computed from two counter paths
+ * at serialization time.
+ */
+class StatsRegistry
+{
+  public:
+    /** Register @p group under @p path (e.g. "mem.l1i"); not owned. */
+    void add(const std::string &path, const StatGroup *group);
+
+    /** Set a registry-owned scalar (number, string, bool...). */
+    void set(const std::string &path, Json value);
+
+    /**
+     * Define a derived ratio at @p path computed as the counter (or
+     * scalar) at @p numPath over the one at @p denPath; a zero
+     * denominator yields 0 (safeRatio).
+     */
+    void addRatio(const std::string &path, const std::string &numPath,
+                  const std::string &denPath);
+
+    /**
+     * Read one value by full dotted path — a group counter
+     * ("mem.l1i.misses"), a registry scalar, or a derived ratio.
+     * Returns 0 for unknown paths (mirrors StatGroup::get).
+     */
+    double value(const std::string &path) const;
+
+    /**
+     * Serialize to a JSON object nested along the dotted paths:
+     * {"mem": {"l1i": {"misses": 63, "miss_rate": 0.0027, ...}}}.
+     */
+    Json toJson() const;
+
+    /** Flat "path value" text lines, sorted by path (debugging). */
+    std::string dump() const;
+
+  private:
+    /** Numeric lookup without ratio resolution (ratio inputs). */
+    bool rawValue(const std::string &path, double &out) const;
+
+    struct Ratio
+    {
+        std::string path;
+        std::string numPath;
+        std::string denPath;
+    };
+
+    std::map<std::string, const StatGroup *> groups_;
+    std::map<std::string, Json> scalars_;
+    std::vector<Ratio> ratios_;
+};
 
 } // namespace dise
 

@@ -94,8 +94,14 @@ Cache::probe(Addr addr) const
 void
 Cache::invalidateAll()
 {
-    for (auto &line : lines_)
+    // Dropping a dirty line loses store traffic the timing stats would
+    // otherwise see at the next level; count each occurrence so runs
+    // that invalidate mid-stream can't silently shed writebacks.
+    for (auto &line : lines_) {
+        if (line.valid && line.dirty)
+            stats_.add("writebacks_dropped");
         line = Line();
+    }
 }
 
 MemHierarchy::MemHierarchy(const MemHierarchyParams &params)

@@ -57,7 +57,11 @@ class Cache
     /** True if @p addr is resident (no state change, no stats). */
     bool probe(Addr addr) const;
 
-    /** Drop all lines (and dirty state). */
+    /**
+     * Drop all lines. Dirty victims are NOT written back to the next
+     * level; each one discarded is counted in the "writebacks_dropped"
+     * stat so lost store traffic stays visible in the timing stats.
+     */
     void invalidateAll();
 
     bool isPerfect() const { return perfect_; }

@@ -31,9 +31,20 @@ PipelineSim::newFetchGroup(uint64_t cycle, Addr pc, bool accessICache)
     const uint64_t line = pc / mem_.params().lineBytes;
     if (accessICache || line != curLine_) {
         const uint32_t lat = mem_.fetchAccess(pc);
-        if (lat > params_.mem.l1Latency)
+        if (lat > params_.mem.l1Latency) {
             feCycle_ += lat - params_.mem.l1Latency;
+            pend_.imiss += lat - params_.mem.l1Latency;
+        }
         curLine_ = line;
+    }
+}
+
+void
+PipelineSim::raiseRedirect(uint64_t cycle, StallCause cause)
+{
+    if (cycle > pendingRedirect_) {
+        pendingRedirect_ = cycle;
+        redirectCause_ = cause;
     }
 }
 
@@ -45,18 +56,37 @@ PipelineSim::frontend(const DynInst &dyn)
     if (appBoundary) {
         // Honour any pending redirect (mispredict resolution, flush).
         if (pendingRedirect_ > 0) {
+            if (pendingRedirect_ > feCycle_) {
+                const uint64_t wait = pendingRedirect_ - feCycle_;
+                switch (redirectCause_) {
+                  case StallCause::Branch:
+                    pend_.branch += wait;
+                    break;
+                  case StallCause::Dise:
+                    pend_.dise += wait;
+                    break;
+                  case StallCause::Drain:
+                    pend_.drain += wait;
+                    break;
+                  case StallCause::None:
+                    break;
+                }
+            }
             newFetchGroup(std::max(pendingRedirect_, feCycle_), dyn.pc,
                           true);
             pendingRedirect_ = 0;
+            redirectCause_ = StallCause::None;
         }
         // PT/RT miss: flush the front end and stall for the fill.
         if (dyn.missPenalty > 0) {
             result_.missStallCycles += dyn.missPenalty;
+            pend_.dise += dyn.missPenalty;
             newFetchGroup(feCycle_ + dyn.missPenalty, dyn.pc, true);
         }
         // Expansion stall placement: one bubble per expansion.
         if (dyn.firstOfSeq && stallPerExpansion_) {
             ++result_.expansionStalls;
+            pend_.dise += 1;
             feCycle_ += 1;
         }
         const uint64_t line = dyn.pc / mem_.params().lineBytes;
@@ -105,13 +135,11 @@ PipelineSim::resolveControl(Addr pc, OpClass cls, bool taken, Addr target,
             !wrongDir) {
             // Direct target computable at decode: cheap redirect.
             ++result_.decodeRedirects;
-            pendingRedirect_ = std::max(
-                pendingRedirect_,
-                decodeCycle + params_.decodeRedirectPenalty);
+            raiseRedirect(decodeCycle + params_.decodeRedirectPenalty,
+                          StallCause::Branch);
         } else {
             ++result_.mispredicts;
-            pendingRedirect_ =
-                std::max(pendingRedirect_, resolveCycle + 1);
+            raiseRedirect(resolveCycle + 1, StallCause::Branch);
         }
     } else if (taken) {
         // Correctly predicted taken: fetch continues at the target in
@@ -144,11 +172,17 @@ PipelineSim::run(uint64_t maxInsts, uint64_t maxCycles)
         // ROB entry must be free.
         const uint64_t robFree =
             commitRing_[instIndex_ % params_.robEntries];
-        dispatch = std::max(dispatch, robFree);
+        if (robFree > dispatch) {
+            pend_.hazard += robFree - dispatch;
+            dispatch = robFree;
+        }
         // RS entry must be free (freed at issue).
         const uint64_t rsFree =
             issueRing_[instIndex_ % params_.rsEntries] + 1;
-        dispatch = std::max(dispatch, rsFree);
+        if (rsFree > dispatch) {
+            pend_.hazard += rsFree - dispatch;
+            dispatch = rsFree;
+        }
         // In-order dispatch, width per cycle.
         if (dispatch < dispatchCycleCur_)
             dispatch = dispatchCycleCur_;
@@ -168,6 +202,8 @@ PipelineSim::run(uint64_t maxInsts, uint64_t maxCycles)
         uint64_t ready = dispatch + 1;
         for (const RegIndex src : dyn.inst.srcRegList())
             ready = std::max(ready, regReady_[src]);
+        if (ready > dispatch + 1)
+            pend_.hazard += ready - (dispatch + 1);
         const uint64_t issue = ready;
         issueRing_[instIndex_ % params_.rsEntries] = issue;
 
@@ -175,13 +211,17 @@ PipelineSim::run(uint64_t maxInsts, uint64_t maxCycles)
         uint64_t complete = issue + instLatency(dyn);
         if (dyn.isMem && !dyn.isStore) {
             // Loads: AGU + D-cache access.
-            complete = issue + 1 + mem_.dataAccess(dyn.memAddr, false);
+            const uint32_t lat = mem_.dataAccess(dyn.memAddr, false);
+            if (lat > params_.mem.l1Latency)
+                pend_.dmiss += lat - params_.mem.l1Latency;
+            complete = issue + 1 + lat;
         }
         const RegIndex dest = dyn.inst.destReg();
         if (dest != kZeroReg)
             regReady_[dest] = complete;
 
         // ---- Commit: in order, width per cycle. ----
+        const uint64_t prevCommitClock = lastCommit_;
         uint64_t commit = std::max(complete + 1, lastCommit_);
         if (commit == commitCycleCur_) {
             if (commitSlots_ >= params_.width) {
@@ -197,6 +237,28 @@ PipelineSim::run(uint64_t maxInsts, uint64_t maxCycles)
         lastCommit_ = commit;
         commitRing_[instIndex_ % params_.robEntries] = commit;
 
+        // ---- Cycle accounting (see CycleBreakdown): charge this
+        // instruction's commit-clock advance to its observed stall
+        // causes in priority order; the remainder is base issue work.
+        // Amounts left unconsumed overlapped older work — drop them.
+        {
+            uint64_t remaining = commit - prevCommitClock;
+            const auto charge = [&remaining](uint64_t &bucket,
+                                             uint64_t amount) {
+                const uint64_t take = std::min(remaining, amount);
+                bucket += take;
+                remaining -= take;
+            };
+            charge(result_.buckets.diseStall, pend_.dise);
+            charge(result_.buckets.imissStall, pend_.imiss);
+            charge(result_.buckets.branchFlush, pend_.branch);
+            charge(result_.buckets.drain, pend_.drain);
+            charge(result_.buckets.dmissStall, pend_.dmiss);
+            charge(result_.buckets.hazard, pend_.hazard);
+            result_.buckets.issue += remaining;
+            pend_ = PendingStalls{};
+        }
+
         if (dyn.isStore) {
             // Store buffer: D-cache updated at commit, off the critical
             // path.
@@ -204,7 +266,7 @@ PipelineSim::run(uint64_t maxInsts, uint64_t maxCycles)
         }
         if (dyn.isSyscall) {
             // Syscalls serialize the pipeline.
-            pendingRedirect_ = std::max(pendingRedirect_, commit + 1);
+            raiseRedirect(commit + 1, StallCause::Drain);
         }
 
         // ---- Control flow and prediction. ----
@@ -245,8 +307,7 @@ PipelineSim::run(uint64_t maxInsts, uint64_t maxCycles)
                 // Taken DISE branch: fetch restarts at the same PC, new
                 // DISEPC — interpreted as a misprediction.
                 ++result_.diseMispredicts;
-                pendingRedirect_ =
-                    std::max(pendingRedirect_, complete + 1);
+                raiseRedirect(complete + 1, StallCause::Dise);
             }
             if (dyn.isAppControl) {
                 seqResolve_ = std::max(seqResolve_, complete);
@@ -292,7 +353,66 @@ PipelineSim::run(uint64_t maxInsts, uint64_t maxCycles)
     result_.icacheMisses = mem_.icache().misses();
     result_.dcacheMisses = mem_.dcache().misses();
     result_.l2Misses = mem_.l2().misses();
+    // The accounting identity: every commit-clock advance was charged
+    // to exactly one bucket, so the buckets partition the cycle count.
+    DISE_ASSERT(result_.buckets.total() == result_.cycles,
+                strFormat("cycle buckets sum to %llu, not total %llu",
+                          (unsigned long long)result_.buckets.total(),
+                          (unsigned long long)result_.cycles));
     return result_;
+}
+
+void
+PipelineSim::registerStats(StatsRegistry &reg)
+{
+    // Materialize the pipeline's own counters from the timing result.
+    pipeStats_.set("cycles", result_.cycles);
+    pipeStats_.set("bucket.issue", result_.buckets.issue);
+    pipeStats_.set("bucket.imiss_stall", result_.buckets.imissStall);
+    pipeStats_.set("bucket.dmiss_stall", result_.buckets.dmissStall);
+    pipeStats_.set("bucket.branch_flush", result_.buckets.branchFlush);
+    pipeStats_.set("bucket.dise_stall", result_.buckets.diseStall);
+    pipeStats_.set("bucket.hazard", result_.buckets.hazard);
+    pipeStats_.set("bucket.drain", result_.buckets.drain);
+    pipeStats_.set("mispredicts", result_.mispredicts);
+    pipeStats_.set("decode_redirects", result_.decodeRedirects);
+    pipeStats_.set("dise_mispredicts", result_.diseMispredicts);
+    pipeStats_.set("expansion_stalls", result_.expansionStalls);
+    pipeStats_.set("miss_stall_cycles", result_.missStallCycles);
+
+    // Architectural run counters (trap/outcome scalars are strings and
+    // are added by the caller, e.g. diserun, via reg.set()).
+    const RunResult &arch = result_.arch;
+    runStats_.set("dyn_insts", arch.dynInsts);
+    runStats_.set("app_insts", arch.appInsts);
+    runStats_.set("dise_insts", arch.diseInsts);
+    runStats_.set("expansions", arch.expansions);
+    runStats_.set("loads", arch.loads);
+    runStats_.set("stores", arch.stores);
+    runStats_.set("acf_detections", arch.acfDetections);
+
+    reg.add("pipeline", &pipeStats_);
+    reg.add("run", &runStats_);
+    reg.add("mem.l1i", &mem_.icache().stats());
+    reg.add("mem.l1d", &mem_.dcache().stats());
+    reg.add("mem.l2", &mem_.l2().stats());
+    reg.add("bpred", &bpred_.stats());
+    if (controller_)
+        reg.add("dise", &controller_->engine().stats());
+
+    reg.addRatio("mem.l1i.miss_rate", "mem.l1i.misses",
+                 "mem.l1i.accesses");
+    reg.addRatio("mem.l1d.miss_rate", "mem.l1d.misses",
+                 "mem.l1d.accesses");
+    reg.addRatio("mem.l2.miss_rate", "mem.l2.misses", "mem.l2.accesses");
+    reg.addRatio("bpred.mispredict_rate", "pipeline.mispredicts",
+                 "bpred.predictions");
+    reg.addRatio("pipeline.ipc", "run.dyn_insts", "pipeline.cycles");
+    reg.addRatio("pipeline.cpi", "pipeline.cycles", "run.dyn_insts");
+    if (controller_) {
+        reg.addRatio("dise.expansion_rate", "dise.expansions",
+                     "dise.inspected");
+    }
 }
 
 } // namespace dise

@@ -65,10 +65,43 @@ struct PipelineParams
     PredictorParams bpred;
 };
 
+/**
+ * Per-stage cycle accounting: every simulated cycle lands in exactly
+ * one bucket, so the buckets always sum to TimingResult::cycles (the
+ * simulator asserts this at the end of every run).
+ *
+ * Attribution happens on the in-order commit clock: each instruction's
+ * commit-clock advance is charged to the stall causes observed along
+ * its fetch→dispatch→issue→complete chain, clamped in the fixed
+ * priority order DISE → I-miss → branch → drain → D-miss → hazard
+ * (overlapped stalls are charged to the first cause only), and the
+ * unattributed remainder — useful issue/commit bandwidth and pipeline
+ * fill — goes to @c issue.
+ */
+struct CycleBreakdown
+{
+    uint64_t issue = 0;       ///< base bandwidth, latency, pipeline fill
+    uint64_t imissStall = 0;  ///< I-cache miss latency gating fetch
+    uint64_t dmissStall = 0;  ///< D-cache miss latency gating commit
+    uint64_t branchFlush = 0; ///< mispredict/decode-redirect recovery
+    uint64_t diseStall = 0;   ///< expansion stalls, PT/RT fills,
+                              ///< unpredicted DISE-branch redirects
+    uint64_t hazard = 0;      ///< RAW dependences, ROB/RS occupancy
+    uint64_t drain = 0;       ///< syscall serialization
+    uint64_t
+    total() const
+    {
+        return issue + imissStall + dmissStall + branchFlush +
+               diseStall + hazard + drain;
+    }
+};
+
 /** Timing results of one run. */
 struct TimingResult
 {
     uint64_t cycles = 0;
+    /** Where every one of those cycles went (sums to cycles). */
+    CycleBreakdown buckets;
     /**
      * Architectural results, including the run outcome: Exit, Trap
      * (with the trap record), or Hang when either watchdog budget —
@@ -121,9 +154,25 @@ class PipelineSim
     MemHierarchy &mem() { return mem_; }
     BranchPredictor &predictor() { return bpred_; }
 
+    /**
+     * Register every component's StatGroup (caches, predictor, engine
+     * when present, the pipeline's own cycle accounting, and the
+     * architectural run counters) into @p reg under hierarchical names,
+     * plus the standard derived ratios (miss rates, IPC/CPI). Call
+     * after run(); the registry reads the groups lazily, so it must be
+     * serialized while this simulator is alive.
+     */
+    void registerStats(StatsRegistry &reg);
+
   private:
+    /** What raised the pending front-end redirect (for accounting). */
+    enum class StallCause : uint8_t { None, Branch, Dise, Drain };
+
     /** Front-end delivery: returns the decode cycle of @p dyn. */
     uint64_t frontend(const DynInst &dyn);
+
+    /** Raise the pending redirect to @p cycle, tracking its cause. */
+    void raiseRedirect(uint64_t cycle, StallCause cause);
 
     /** Start a new fetch group at @p cycle fetching @p pc. */
     void newFetchGroup(uint64_t cycle, Addr pc, bool accessICache);
@@ -151,8 +200,31 @@ class PipelineSim
     uint32_t feSlots_ = 0;
     uint64_t curLine_ = ~uint64_t(0);
     uint64_t pendingRedirect_ = 0; ///< earliest next fetch cycle
+    StallCause redirectCause_ = StallCause::None;
     uint32_t feDepth_ = 7;
     bool stallPerExpansion_ = false;
+    /// @}
+
+    /** @name Cycle-accounting state (see CycleBreakdown).
+     *
+     * Stall amounts observed while timing the current instruction; at
+     * its commit they are charged against the commit-clock advance in
+     * priority order and then cleared (unconsumed amounts overlapped
+     * with older work and cost nothing).
+     */
+    /// @{
+    struct PendingStalls
+    {
+        uint64_t imiss = 0;
+        uint64_t dise = 0;
+        uint64_t branch = 0;
+        uint64_t drain = 0;
+        uint64_t dmiss = 0;
+        uint64_t hazard = 0;
+    };
+    PendingStalls pend_;
+    StatGroup pipeStats_{"pipeline"};
+    StatGroup runStats_{"run"};
     /// @}
 
     /** @name Back-end state. */

@@ -1,16 +1,23 @@
 /**
  * @file
  * Unit tests for the common utilities: bit manipulation, the
- * deterministic RNG, statistics groups and the table renderer.
+ * deterministic RNG, statistics groups and registries, JSON
+ * serialization, the single-flight build cache and the table renderer.
  */
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "src/common/bits.hpp"
+#include "src/common/json.hpp"
 #include "src/common/logging.hpp"
 #include "src/common/rng.hpp"
+#include "src/common/singleflight.hpp"
 #include "src/common/stats.hpp"
 #include "src/common/table.hpp"
 
@@ -203,6 +210,113 @@ TEST(Table, NumFormatting)
 {
     EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
     EXPECT_EQ(TextTable::num(2.0, 3), "2.000");
+}
+
+TEST(Json, RoundTripPreservesTypesAndValues)
+{
+    Json doc = Json::object();
+    doc["big"] = Json(uint64_t(1) << 63); // would lose bits as double
+    doc["pi"] = Json(3.25);
+    doc["s"] = Json(std::string("a\"b\\c\n\tz"));
+    doc["flag"] = Json(true);
+    doc["nothing"] = Json();
+    Json arr = Json::array();
+    arr.push_back(Json(uint64_t(1)));
+    arr.push_back(Json("two"));
+    doc["arr"] = std::move(arr);
+    for (const int indent : {0, 2}) {
+        const Json back = Json::parse(doc.dump(indent));
+        EXPECT_EQ(back.at("big").asUInt(), uint64_t(1) << 63);
+        EXPECT_DOUBLE_EQ(back.at("pi").asDouble(), 3.25);
+        EXPECT_EQ(back.at("s").asString(), "a\"b\\c\n\tz");
+        EXPECT_TRUE(back.at("flag").asBool());
+        EXPECT_TRUE(back.at("nothing").isNull());
+        EXPECT_EQ(back.at("arr").size(), 2u);
+        EXPECT_EQ(back.at("arr").items()[0].asUInt(), 1u);
+        EXPECT_EQ(back.at("arr").items()[1].asString(), "two");
+        // Deterministic: re-serializing the parse yields the same text.
+        EXPECT_EQ(back.dump(indent), doc.dump(indent));
+    }
+}
+
+TEST(Json, ParseRejectsMalformedInput)
+{
+    EXPECT_THROW(Json::parse("{"), FatalError);
+    EXPECT_THROW(Json::parse("{\"a\":}"), FatalError);
+    EXPECT_THROW(Json::parse("[1,]"), FatalError);
+    EXPECT_THROW(Json::parse("{} trailing"), FatalError);
+    EXPECT_THROW(Json::parse("nul"), FatalError);
+}
+
+TEST(StatsRegistry, JsonRoundTrip)
+{
+    StatGroup l1("l1i");
+    l1.set("accesses", 100);
+    l1.set("misses", 25);
+    StatsRegistry reg;
+    reg.add("mem.l1i", &l1);
+    reg.set("run.outcome", Json("exit"));
+    reg.set("host.seconds", Json(1.5));
+    reg.addRatio("mem.l1i.miss_rate", "mem.l1i.misses",
+                 "mem.l1i.accesses");
+
+    const Json doc = Json::parse(reg.toJson().dump(2));
+    EXPECT_EQ(doc.at("mem").at("l1i").at("accesses").asUInt(), 100u);
+    EXPECT_EQ(doc.at("mem").at("l1i").at("misses").asUInt(), 25u);
+    EXPECT_DOUBLE_EQ(doc.at("mem").at("l1i").at("miss_rate").asDouble(),
+                     0.25);
+    EXPECT_EQ(doc.at("run").at("outcome").asString(), "exit");
+    EXPECT_DOUBLE_EQ(doc.at("host").at("seconds").asDouble(), 1.5);
+
+    EXPECT_DOUBLE_EQ(reg.value("mem.l1i.miss_rate"), 0.25);
+    EXPECT_DOUBLE_EQ(reg.value("mem.l1i.misses"), 25.0);
+    EXPECT_DOUBLE_EQ(reg.value("no.such.path"), 0.0);
+
+    // The registry reads groups lazily: updates after registration are
+    // visible at the next serialization.
+    l1.add("misses", 25);
+    EXPECT_DOUBLE_EQ(reg.value("mem.l1i.miss_rate"), 0.5);
+}
+
+TEST(SingleFlight, OneBuildPerKeyUnderContention)
+{
+    SingleFlightCache<std::string, int> cache;
+    std::atomic<int> builds{0};
+    std::atomic<int> sum{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&] {
+            for (const std::string key : {"a", "b"}) {
+                const int &value = cache.get(key, [&] {
+                    builds.fetch_add(1);
+                    // Widen the race window: other workers must wait,
+                    // not start a second build.
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(10));
+                    return key == "a" ? 1 : 2;
+                });
+                sum.fetch_add(value);
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(builds.load(), 2);   // exactly one build per key
+    EXPECT_EQ(sum.load(), 8 * 3);  // every caller saw the built value
+}
+
+TEST(SingleFlight, BuilderFailurePropagatesWithoutRetry)
+{
+    SingleFlightCache<int, int> cache;
+    std::atomic<int> builds{0};
+    const auto boom = [&]() -> int {
+        builds.fetch_add(1);
+        fatal("build failed");
+    };
+    EXPECT_THROW(cache.get(7, boom), FatalError);
+    // The failure is cached: later callers rethrow, never rebuild.
+    EXPECT_THROW(cache.get(7, boom), FatalError);
+    EXPECT_EQ(builds.load(), 1);
 }
 
 TEST(Logging, FatalThrows)

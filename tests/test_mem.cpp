@@ -155,6 +155,22 @@ TEST(Cache, InvalidateAll)
     EXPECT_FALSE(cache.probe(0));
 }
 
+TEST(Cache, InvalidateAllCountsDroppedWritebacks)
+{
+    // Dirty lines discarded by invalidateAll are lost store traffic;
+    // the cache must account for them instead of dropping silently.
+    Cache cache(smallCache(1024, 2), nullptr, 100);
+    cache.access(0, true);    // dirty
+    cache.access(64, true);   // dirty
+    cache.access(128, false); // clean
+    cache.invalidateAll();
+    EXPECT_EQ(cache.stats().get("writebacks_dropped"), 2u);
+    EXPECT_EQ(cache.stats().get("writebacks"), 0u); // not real writebacks
+    // Nothing dirty remains: a second invalidate adds nothing.
+    cache.invalidateAll();
+    EXPECT_EQ(cache.stats().get("writebacks_dropped"), 2u);
+}
+
 TEST(Cache, MissRate)
 {
     Cache cache(smallCache(1024, 2), nullptr, 100);

@@ -434,5 +434,103 @@ TEST(PipelineDise, SequenceLevelPredictionLearnsLoopBranches)
     EXPECT_EQ(result.arch.exitCode, 0);
 }
 
+// ---- Cycle-accounting breakdown (CycleBreakdown). ----
+
+TEST(PipelineBuckets, SumToTotalAcrossFixtures)
+{
+    // run() asserts buckets.total() == cycles internally on every run;
+    // re-check the reported struct across fixtures whose dominant
+    // stall sources differ (compute, memory, the DISE placements).
+    const TimingResult fixtures[] = {
+        runTiming(loopProgram(2000, "    addq t1, 1, t1\n")),
+        runTiming(memLoop()),
+        runMfiPlacement(DisePlacement::Free),
+        runMfiPlacement(DisePlacement::Stall),
+        runMfiPlacement(DisePlacement::Pipe),
+        runMfiPlacement(DisePlacement::Pipe, 8, 1), // RT thrash
+    };
+    for (const TimingResult &t : fixtures) {
+        EXPECT_EQ(t.buckets.total(), t.cycles);
+        EXPECT_GT(t.buckets.issue, 0u);
+    }
+}
+
+TEST(PipelineBuckets, BranchFlushChargedForMispredicts)
+{
+    // Same xorshift-driven unpredictable branch as
+    // Pipeline.MispredictsCostCycles.
+    const char *flaky =
+        "    bne t1, seeded\n"
+        "    li 88675123, t1\n"
+        "seeded:\n"
+        "    sll t1, 13, t4\n"
+        "    xor t1, t4, t1\n"
+        "    srl t1, 7, t4\n"
+        "    xor t1, t4, t1\n"
+        "    sll t1, 17, t4\n"
+        "    xor t1, t4, t1\n"
+        "    blbs t1, skip\n"
+        "    addq t2, 1, t2\n"
+        "skip:\n";
+    const char *steady = "    blbs zero, skip\n"
+                         "    addq t2, 1, t2\n"
+                         "skip:\n";
+    const auto f = runTiming(loopProgram(3000, flaky));
+    const auto s = runTiming(loopProgram(3000, steady));
+    EXPECT_GT(f.mispredicts, s.mispredicts + 500);
+    EXPECT_GT(f.buckets.branchFlush, s.buckets.branchFlush);
+    EXPECT_EQ(f.buckets.total(), f.cycles);
+}
+
+TEST(PipelineBuckets, DmissStallChargedForMissingLoads)
+{
+    // Strided dependent loads: every load misses a 32KB D-cache and
+    // its consumer puts the miss latency on the commit critical path.
+    const Program prog = assemble(
+        ".text\nmain:\n"
+        "    laq arr, t5\n"
+        "    li 2000, t0\n"
+        "loop:\n"
+        "    ldq t1, 0(t5)\n"
+        "    addq t1, t1, t2\n"
+        "    lda t5, 256(t5)\n"
+        "    subq t0, 1, t0\n"
+        "    bne t0, loop\n" +
+        std::string(kEpilogue) + ".data\narr:\n    .space 1048576\n");
+    const auto t = runTiming(prog);
+    EXPECT_GT(t.dcacheMisses, 1000u);
+    EXPECT_GT(t.buckets.dmissStall, 0u);
+    EXPECT_EQ(t.buckets.total(), t.cycles);
+}
+
+TEST(PipelineBuckets, ImissStallChargedForColdCode)
+{
+    // A code footprint much larger than a 2KB I-cache, looped.
+    std::string big = ".text\nmain:\n    li 30, t0\nloop:\n";
+    for (int i = 0; i < 2048; ++i)
+        big += "    addq t1, 1, t1\n";
+    big += "    subq t0, 1, t0\n    bne t0, loop\n";
+    big += kEpilogue;
+    PipelineParams tiny;
+    tiny.mem.l1iSize = 2 * 1024;
+    const auto t = runTiming(assemble(big), tiny);
+    EXPECT_GT(t.icacheMisses, 1000u);
+    EXPECT_GT(t.buckets.imissStall, 0u);
+    EXPECT_EQ(t.buckets.total(), t.cycles);
+}
+
+TEST(PipelineBuckets, DiseStallChargedForExpansionOverheads)
+{
+    // Stall placement: one front-end stall per expansion.
+    const auto stall = runMfiPlacement(DisePlacement::Stall);
+    EXPECT_GT(stall.expansionStalls, 0u);
+    EXPECT_GT(stall.buckets.diseStall, 0u);
+    // RT thrashing: PT/RT fill stalls land in the same bucket.
+    const auto thrash = runMfiPlacement(DisePlacement::Pipe, 8, 1);
+    EXPECT_GT(thrash.missStallCycles, 0u);
+    EXPECT_GT(thrash.buckets.diseStall, 0u);
+    EXPECT_EQ(thrash.buckets.total(), thrash.cycles);
+}
+
 } // namespace
 } // namespace dise

@@ -26,8 +26,12 @@
  *   --max-insts <n>          dynamic instruction cap
  *   --dump-asm               print the program source (workloads only)
  *   --stats                  dump engine/cache/predictor counters
+ *   --stats-json <file>      write the full stats registry (all
+ *                            component counters, derived ratios, cycle
+ *                            buckets, host wall clock) as JSON
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -69,6 +73,7 @@ struct Options
     uint64_t maxInsts = ~uint64_t(0);
     bool dumpAsm = false;
     bool stats = false;
+    std::string statsJsonFile;
 };
 
 [[noreturn]] void
@@ -134,6 +139,8 @@ parseArgs(int argc, char **argv)
             opts.dumpAsm = true;
         } else if (arg == "--stats") {
             opts.stats = true;
+        } else if (arg == "--stats-json") {
+            opts.statsJsonFile = need(i);
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
         } else if (!arg.empty() && arg[0] == '-') {
@@ -157,6 +164,30 @@ readFile(const std::string &path)
     std::ostringstream ss;
     ss << in.rdbuf();
     return ss.str();
+}
+
+void
+writeStatsJson(const std::string &path, const StatsRegistry &reg)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write " + path);
+    out << reg.toJson().dump(2) << "\n";
+    if (!out)
+        fatal("write failed: " + path);
+}
+
+/**
+ * Host-side run metadata: wall-clock seconds of the run() call and the
+ * simulation rate in dynamic instructions per host second.
+ */
+void
+setHostStats(StatsRegistry &reg, double hostSeconds, uint64_t dynInsts)
+{
+    reg.set("host.seconds", Json(hostSeconds));
+    reg.set("host.insts_per_second",
+            Json(hostSeconds > 0.0 ? double(dynInsts) / hostSeconds
+                                   : 0.0));
 }
 
 void
@@ -277,7 +308,12 @@ runMain(int argc, char **argv)
         machine.mem.l1iSize = opts.icacheKB * 1024;
         PipelineSim sim(prog, machine, ctl);
         initCore(sim.core());
+        const auto t0 = std::chrono::steady_clock::now();
         const TimingResult t = sim.run(opts.maxInsts);
+        const double hostSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
         printRun(t.arch);
         std::printf("cycles:        %llu (IPC %.2f)\n",
                     (unsigned long long)t.cycles, t.ipc());
@@ -304,11 +340,21 @@ runMain(int argc, char **argv)
                        stdout);
             std::fputs(sim.mem().dcache().stats().dump().c_str(),
                        stdout);
+            std::fputs(sim.mem().l2().stats().dump().c_str(), stdout);
             std::fputs(sim.predictor().stats().dump().c_str(), stdout);
+        }
+        if (!opts.statsJsonFile.empty()) {
+            StatsRegistry reg;
+            sim.registerStats(reg);
+            reg.set("run.outcome",
+                    Json(std::string(runOutcomeName(t.arch.outcome))));
+            setHostStats(reg, hostSeconds, t.arch.dynInsts);
+            writeStatsJson(opts.statsJsonFile, reg);
         }
     } else {
         ExecCore core(prog, ctl);
         initCore(core);
+        const auto t0 = std::chrono::steady_clock::now();
         if (opts.traceInsts > 0) {
             DynInst dyn;
             for (uint64_t i = 0;
@@ -320,6 +366,10 @@ runMain(int argc, char **argv)
             }
         }
         const RunResult r = core.run(opts.maxInsts);
+        const double hostSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
         printRun(r);
         if (opts.profile) {
             const auto records = readPathProfile(core, profileBuffer);
@@ -334,6 +384,24 @@ runMain(int argc, char **argv)
         if (opts.stats && haveDise) {
             std::fputs(
                 controller.engine().stats().dump().c_str(), stdout);
+        }
+        if (!opts.statsJsonFile.empty()) {
+            StatsRegistry reg;
+            StatGroup runStats("run");
+            runStats.set("dyn_insts", r.dynInsts);
+            runStats.set("app_insts", r.appInsts);
+            runStats.set("dise_insts", r.diseInsts);
+            runStats.set("expansions", r.expansions);
+            runStats.set("loads", r.loads);
+            runStats.set("stores", r.stores);
+            runStats.set("acf_detections", r.acfDetections);
+            reg.add("run", &runStats);
+            if (haveDise)
+                reg.add("dise", &controller.engine().stats());
+            reg.set("run.outcome",
+                    Json(std::string(runOutcomeName(r.outcome))));
+            setHostStats(reg, hostSeconds, r.dynInsts);
+            writeStatsJson(opts.statsJsonFile, reg);
         }
     }
     return 0;

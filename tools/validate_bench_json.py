@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Validate DISE benchmark/stats JSON artifacts against their schema.
+
+Usage: validate_bench_json.py FILE [FILE...]
+
+Two artifact shapes are accepted:
+
+* Bench artifacts (written via DISE_BENCH_JSON): a top-level document
+  with schema_version / bench / kind / host / workloads, where each
+  workload maps regimes to entries whose required keys depend on kind
+  (timing, micro, campaign). Timing entries additionally must satisfy
+  the cycle-accounting invariant: the seven buckets sum exactly to
+  cycles.
+* Run registries (written by `diserun --stats-json`): the nested stats
+  registry itself, recognized by its top-level "run"/"host" sections.
+
+Exits 0 when every file validates, 1 with a diagnostic per problem
+otherwise. Stdlib only.
+"""
+
+import json
+import sys
+
+BUCKET_KEYS = {
+    "issue",
+    "imiss_stall",
+    "dmiss_stall",
+    "branch_flush",
+    "dise_stall",
+    "hazard",
+    "drain",
+}
+
+TIMING_KEYS = {
+    "cycles",
+    "insts",
+    "ipc",
+    "cpi",
+    "host_seconds",
+    "buckets",
+    "counters",
+}
+
+MICRO_KEYS = {"iterations", "host_seconds", "items_per_second", "counters"}
+
+CAMPAIGN_KEYS = {
+    "injected",
+    "outcomes",
+    "detected_fraction",
+    "parity_detected",
+    "parity_recovered",
+    "host_seconds",
+}
+
+
+class ValidationError(Exception):
+    pass
+
+
+def require(cond, message):
+    if not cond:
+        raise ValidationError(message)
+
+
+def check_keys(entry, required, where):
+    require(isinstance(entry, dict), f"{where}: entry is not an object")
+    missing = required - entry.keys()
+    require(not missing, f"{where}: missing keys {sorted(missing)}")
+
+
+def check_buckets(entry, where):
+    buckets = entry["buckets"]
+    check_keys(buckets, BUCKET_KEYS, f"{where}.buckets")
+    extra = buckets.keys() - BUCKET_KEYS
+    require(not extra, f"{where}.buckets: unknown keys {sorted(extra)}")
+    total = sum(buckets.values())
+    require(
+        total == entry["cycles"],
+        f"{where}: buckets sum to {total}, cycles is {entry['cycles']}",
+    )
+
+
+def check_timing_entry(entry, where):
+    check_keys(entry, TIMING_KEYS, where)
+    require(entry["cycles"] >= 0, f"{where}: negative cycles")
+    require(entry["host_seconds"] >= 0, f"{where}: negative host_seconds")
+    check_buckets(entry, where)
+    counters = entry["counters"]
+    require(isinstance(counters, dict), f"{where}: counters not an object")
+    for section in ("pipeline", "run", "mem"):
+        require(section in counters, f"{where}.counters: missing {section}")
+
+
+def check_micro_entry(entry, where):
+    check_keys(entry, MICRO_KEYS, where)
+    require(entry["iterations"] > 0, f"{where}: zero iterations")
+
+
+def check_campaign_entry(entry, where):
+    check_keys(entry, CAMPAIGN_KEYS, where)
+    outcomes = entry["outcomes"]
+    require(isinstance(outcomes, dict), f"{where}: outcomes not an object")
+    require(
+        sum(outcomes.values()) == entry["injected"],
+        f"{where}: outcome counts do not sum to injected trials",
+    )
+    require(
+        0.0 <= entry["detected_fraction"] <= 1.0,
+        f"{where}: detected_fraction out of [0,1]",
+    )
+
+
+ENTRY_CHECKS = {
+    "timing": check_timing_entry,
+    "micro": check_micro_entry,
+    "campaign": check_campaign_entry,
+}
+
+
+def validate_bench(doc, name):
+    require(doc.get("schema_version") == 1, f"{name}: bad schema_version")
+    require(bool(doc.get("bench")), f"{name}: missing bench name")
+    kind = doc.get("kind")
+    require(kind in ENTRY_CHECKS, f"{name}: unknown kind {kind!r}")
+    host = doc.get("host")
+    require(isinstance(host, dict), f"{name}: missing host section")
+    require("seconds" in host and "jobs" in host, f"{name}: bad host section")
+    workloads = doc.get("workloads")
+    require(isinstance(workloads, dict), f"{name}: missing workloads")
+    require(workloads, f"{name}: no workloads recorded")
+    for workload, regimes in workloads.items():
+        require(
+            isinstance(regimes, dict) and regimes,
+            f"{name}: workload {workload} has no regimes",
+        )
+        for regime, entry in regimes.items():
+            ENTRY_CHECKS[kind](entry, f"{name}:{workload}/{regime}")
+
+
+def validate_run_registry(doc, name):
+    run = doc["run"]
+    require(isinstance(run, dict), f"{name}: run is not an object")
+    require("outcome" in run, f"{name}: run.outcome missing")
+    require("dyn_insts" in run, f"{name}: run.dyn_insts missing")
+    host = doc.get("host")
+    require(isinstance(host, dict), f"{name}: missing host section")
+    require(
+        "seconds" in host and "insts_per_second" in host,
+        f"{name}: bad host section",
+    )
+    if "pipeline" in doc:
+        pipeline = doc["pipeline"]
+        require("bucket" in pipeline, f"{name}: pipeline.bucket missing")
+        total = sum(pipeline["bucket"].values())
+        require(
+            total == pipeline["cycles"],
+            f"{name}: pipeline buckets sum to {total}, "
+            f"cycles is {pipeline['cycles']}",
+        )
+
+
+def validate_file(path):
+    with open(path) as f:
+        doc = json.load(f)
+    require(isinstance(doc, dict), f"{path}: top level is not an object")
+    if "schema_version" in doc:
+        validate_bench(doc, path)
+    elif "run" in doc:
+        validate_run_registry(doc, path)
+    else:
+        raise ValidationError(f"{path}: neither a bench artifact nor a "
+                              "run registry")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = 0
+    for path in argv[1:]:
+        try:
+            validate_file(path)
+            print(f"OK {path}")
+        except (ValidationError, json.JSONDecodeError, OSError, KeyError,
+                TypeError) as err:
+            print(f"FAIL {path}: {err}", file=sys.stderr)
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

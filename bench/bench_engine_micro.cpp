@@ -229,7 +229,6 @@ class RecordingReporter : public benchmark::ConsoleReporter
                                            : name.substr(slash + 1);
             Json entry = dise::Json::object();
             entry["iterations"] = Json(uint64_t(run.iterations));
-            entry["host_seconds"] = Json(run.real_accumulated_time);
             Json counters = dise::Json::object();
             for (const auto &kv : run.counters)
                 counters[kv.first] = Json(double(kv.second));
@@ -237,6 +236,15 @@ class RecordingReporter : public benchmark::ConsoleReporter
             entry["items_per_second"] = Json(
                 items != run.counters.end() ? double(items->second)
                                             : 0.0);
+            // Guest insts/sec only for benchmarks that simulate guest
+            // code (they publish sim-MIPS); expansion micros report 0.
+            const auto mips = run.counters.find("sim-MIPS");
+            entry["host"] = dise::bench::hostSection(
+                run.real_accumulated_time,
+                mips != run.counters.end()
+                    ? uint64_t(double(mips->second) * 1e6 *
+                               run.real_accumulated_time)
+                    : 0);
             entry["counters"] = std::move(counters);
             dise::bench::BenchJson::instance().record(workload, regime,
                                                       std::move(entry));

@@ -118,7 +118,7 @@ campaignEntry(const CampaignResult &r, double hostSeconds)
     entry["detected_fraction"] = Json(r.detectedFraction());
     entry["parity_detected"] = Json(uint64_t(r.parityDetected));
     entry["parity_recovered"] = Json(uint64_t(r.parityRecovered));
-    entry["host_seconds"] = Json(hostSeconds);
+    entry["host"] = hostSection(hostSeconds, r.totalDynInsts);
     return entry;
 }
 

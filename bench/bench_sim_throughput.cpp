@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Simulator throughput: guest instructions simulated per host second.
+ *
+ * Not a paper figure — a host-side performance harness for the
+ * simulator itself, guarding the translated basic-block engine's
+ * speedup (DESIGN.md section 9). Per workload it measures guest MIPS
+ * for:
+ *
+ *   functional               no DISE, trace cache on
+ *   functional_mfi           MFI (DISE3) productions, trace cache on
+ *   functional_mfi_slowpath  same run with the trace cache disabled
+ *                            (the --no-trace-cache escape hatch)
+ *   timing_mfi               baseline 4-wide machine, MFI productions
+ *
+ * The fast and slow functional MFI runs must retire the identical
+ * instruction count (a cheap differential check; the full bit-identity
+ * suite lives in tests/test_trace.cpp), and every run must exit
+ * cleanly. The "speedup" column is functional_mfi over its slow-path
+ * twin.
+ *
+ * Honors the usual harness knobs (DISE_BENCH_SCALE / _ONLY / _JOBS /
+ * _JSON); the JSON artifact is BENCH_sim_throughput.json with kind
+ * "throughput", whose entries carry the guest instruction count and
+ * the per-entry host section. Host wall-clock numbers are inherently
+ * machine-dependent: determinism comparisons strip every host section
+ * (validate_bench_json.py --compare).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "bench/harness.hpp"
+
+using namespace dise;
+using namespace dise::bench;
+
+namespace {
+
+struct Measured
+{
+    uint64_t insts = 0;
+    double seconds = 0.0;
+
+    double
+    mips() const
+    {
+        return seconds > 0.0 ? double(insts) / 1e6 / seconds : 0.0;
+    }
+};
+
+Json
+throughputEntry(const Measured &m)
+{
+    Json entry = Json::object();
+    entry["insts"] = Json(m.insts);
+    entry["host"] = hostSection(m.seconds, m.insts);
+    return entry;
+}
+
+std::shared_ptr<const ProductionSet>
+mfiSet(const Program &prog)
+{
+    MfiOptions opts;
+    opts.variant = MfiVariant::Dise3;
+    return std::make_shared<const ProductionSet>(
+        makeMfiProductions(prog, opts));
+}
+
+Measured
+runFunctional(const Program &prog,
+              std::shared_ptr<const ProductionSet> set, bool traceCache,
+              const std::string &what)
+{
+    std::unique_ptr<DiseController> controller;
+    if (set) {
+        controller = std::make_unique<DiseController>(DiseConfig{});
+        controller->install(std::move(set));
+    }
+    ExecCore core(prog, controller.get());
+    if (controller)
+        initMfiRegisters(core, prog);
+    core.setTraceCacheEnabled(traceCache);
+    const auto t0 = std::chrono::steady_clock::now();
+    const RunResult r = core.run();
+    Measured m;
+    m.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    m.insts = r.dynInsts;
+    if (!r.exited || r.exitCode != 0) {
+        fatal(strFormat("BENCH FAILURE: %s exited=%d code=%d",
+                        what.c_str(), int(r.exited), r.exitCode));
+    }
+    return m;
+}
+
+Measured
+runTimingMfi(const Program &prog,
+             std::shared_ptr<const ProductionSet> set,
+             const std::string &what)
+{
+    DiseController controller{DiseConfig{}};
+    controller.install(std::move(set));
+    PipelineSim sim(prog, baselineMachine(), &controller);
+    initMfiRegisters(sim.core(), prog);
+    const auto t0 = std::chrono::steady_clock::now();
+    const TimingResult t = sim.run();
+    Measured m;
+    m.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    m.insts = t.arch.dynInsts;
+    check(t, what);
+    return m;
+}
+
+void
+runSimThroughput()
+{
+    std::printf("==========================================================\n");
+    std::printf("Simulator throughput (guest MIPS per host second)\n");
+    std::printf("==========================================================\n\n");
+
+    const auto specs = selectedSpecs();
+    TextTable table({"bench", "func", "func+MFI", "MFI-slowpath",
+                     "speedup", "timing+MFI"});
+    struct Row
+    {
+        std::vector<std::string> cells;
+    };
+    const auto rows = mapSpecs(specs, [&](const WorkloadSpec &spec) {
+        const Program &prog = program(spec);
+        const auto set = mfiSet(prog);
+
+        const Measured func = runFunctional(
+            prog, nullptr, true, spec.name + " functional");
+        const Measured fast = runFunctional(
+            prog, set, true, spec.name + " functional_mfi");
+        const Measured slow = runFunctional(
+            prog, set, false, spec.name + " functional_mfi_slowpath");
+        if (fast.insts != slow.insts) {
+            fatal(strFormat(
+                "BENCH FAILURE: %s trace cache changed retirement: "
+                "%llu insts fast vs %llu slow",
+                spec.name.c_str(), (unsigned long long)fast.insts,
+                (unsigned long long)slow.insts));
+        }
+        const Measured timing =
+            runTimingMfi(prog, set, spec.name + " timing_mfi");
+
+        if (BenchJson::instance().enabled()) {
+            BenchJson::instance().record(spec.name, "functional",
+                                         throughputEntry(func));
+            BenchJson::instance().record(spec.name, "functional_mfi",
+                                         throughputEntry(fast));
+            BenchJson::instance().record(spec.name,
+                                         "functional_mfi_slowpath",
+                                         throughputEntry(slow));
+            BenchJson::instance().record(spec.name, "timing_mfi",
+                                         throughputEntry(timing));
+        }
+
+        Row row;
+        row.cells = {spec.name,
+                     TextTable::num(func.mips(), 1),
+                     TextTable::num(fast.mips(), 1),
+                     TextTable::num(slow.mips(), 1),
+                     TextTable::num(slow.mips() > 0.0
+                                        ? fast.mips() / slow.mips()
+                                        : 0.0,
+                                    2),
+                     TextTable::num(timing.mips(), 1)};
+        return row;
+    });
+    for (const Row &row : rows)
+        table.addRow(row.cells);
+    std::printf("%s\n", table.render().c_str());
+
+    BenchJson::instance().write("sim_throughput", "throughput");
+}
+
+} // namespace
+
+int
+main()
+{
+    return benchGuard(runSimThroughput);
+}

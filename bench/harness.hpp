@@ -259,6 +259,22 @@ class BenchJson
 };
 
 /**
+ * Per-entry host-side throughput section: wall-clock seconds and guest
+ * instructions simulated per second. Host-dependent by construction —
+ * determinism comparisons must strip it (validate_bench_json.py
+ * --compare does).
+ */
+inline Json
+hostSection(double seconds, uint64_t guestInsts)
+{
+    Json host = Json::object();
+    host["seconds"] = Json(seconds);
+    host["insts_per_second"] =
+        Json(safeRatio(double(guestInsts), seconds));
+    return host;
+}
+
+/**
  * Build the JSON artifact entry for one timing run: cycles/CPI, the
  * per-stage cycle buckets, every component counter and derived ratio
  * (via PipelineSim::registerStats), and the host-side run time.
@@ -274,7 +290,7 @@ timingEntry(PipelineSim &sim, const TimingResult &t, double hostSeconds)
     entry["ipc"] = Json(t.ipc());
     entry["cpi"] = Json(
         safeRatio(double(t.cycles), double(t.arch.dynInsts)));
-    entry["host_seconds"] = Json(hostSeconds);
+    entry["host"] = hostSection(hostSeconds, t.arch.dynInsts);
     Json buckets = Json::object();
     buckets["issue"] = Json(t.buckets.issue);
     buckets["imiss_stall"] = Json(t.buckets.imissStall);

@@ -27,6 +27,7 @@ DiseEngine::setProductions(std::shared_ptr<const ProductionSet> set)
     flushTables();
     patternsByOpcode_.assign(static_cast<size_t>(Opcode::NUM_OPCODES), {});
     seqPcDependent_.clear();
+    seqById_.clear();
     rtShift_ = 3;
     if (!set_)
         return;
@@ -42,7 +43,12 @@ DiseEngine::setProductions(std::shared_ptr<const ProductionSet> set)
     uint32_t maxLen = 1;
     for (const auto &kv : set_->sequences()) {
         maxLen = std::max(maxLen, kv.second.length());
-        seqPcDependent_[kv.first] = seqDependsOnPC(kv.second);
+        if (kv.first >= seqPcDependent_.size()) {
+            seqPcDependent_.resize(kv.first + 1, 0);
+            seqById_.resize(kv.first + 1, nullptr);
+        }
+        seqPcDependent_[kv.first] = seqDependsOnPC(kv.second) ? 1 : 0;
+        seqById_[kv.first] = &kv.second;
     }
     while ((1u << rtShift_) < maxLen)
         ++rtShift_;
@@ -51,8 +57,12 @@ DiseEngine::setProductions(std::shared_ptr<const ProductionSet> set)
 void
 DiseEngine::flushTables()
 {
+    // Covers setProductions too (it always flushes): any install or
+    // flush invalidates translated traces built against the old tables.
+    ++generation_;
     opcodeResident_.assign(static_cast<size_t>(Opcode::NUM_OPCODES), false);
-    ptResident_.clear();
+    ptStamp_.assign(set_ ? set_->productions().size() : 0, 0);
+    ptResidentCount_ = 0;
     for (auto &entry : rt_)
         entry = RtEntry();
     expCache_.clear();
@@ -62,17 +72,18 @@ DiseEngine::flushTables()
 bool
 DiseEngine::corruptPatternEntry(uint64_t pick)
 {
-    if (ptResident_.empty())
+    if (ptResidentCount_ == 0)
         return false;
-    // Pick among resident patterns in ascending index order so the
-    // choice is independent of unordered_map iteration order.
+    // Pick among resident patterns in ascending index order (ptStamp_
+    // is index-ordered already) so the choice is deterministic.
     std::vector<uint32_t> resident;
-    resident.reserve(ptResident_.size());
-    for (const auto &kv : ptResident_)
-        resident.push_back(kv.first);
-    std::sort(resident.begin(), resident.end());
+    resident.reserve(ptResidentCount_);
+    for (uint32_t i = 0; i < ptStamp_.size(); ++i)
+        if (ptStamp_[i] != 0)
+            resident.push_back(i);
     ptCorrupt_.insert(resident[pick % resident.size()]);
     stats_.add("pt_faults_injected");
+    ++generation_; // stale traces must observe the corrupted entry
     return true;
 }
 
@@ -89,6 +100,7 @@ DiseEngine::corruptReplacementEntry(uint64_t pick, unsigned bit)
     entry.corrupt = true;
     entry.corruptBit = bit;
     stats_.add("rt_faults_injected");
+    ++generation_; // stale traces must observe the corrupted entry
     return true;
 }
 
@@ -115,12 +127,13 @@ DiseEngine::checkPatternTable(Opcode op)
     // through unexpanded.
     if (!ptCorrupt_.empty()) {
         for (const uint32_t idx : covering) {
-            if (!ptCorrupt_.count(idx) || !ptResident_.count(idx))
+            if (!ptCorrupt_.count(idx) || ptStamp_[idx] == 0)
                 continue;
             if (config_.parityChecks) {
                 stats_.add("pt_parity_detected");
                 ptCorrupt_.erase(idx);
-                ptResident_.erase(idx);
+                ptStamp_[idx] = 0;
+                --ptResidentCount_;
                 for (const Opcode cov :
                      set_->productions()[idx].pattern.coveredOpcodes()) {
                     opcodeResident_[static_cast<size_t>(cov)] = false;
@@ -133,23 +146,30 @@ DiseEngine::checkPatternTable(Opcode op)
     }
     if (opcodeResident_[static_cast<size_t>(op)]) {
         for (const uint32_t idx : covering)
-            ptResident_[idx] = ++useCounter_;
+            ptStamp_[idx] = ++useCounter_; // resident: refresh LRU only
         return false;
     }
 
     // Active and resident pattern counters differ: PT miss. Fill every
     // pattern covering this opcode, evicting LRU patterns if needed.
     stats_.add("pt_misses");
-    for (const uint32_t idx : covering)
-        ptResident_[idx] = ++useCounter_;
-    while (ptResident_.size() > config_.ptEntries) {
-        auto victim = ptResident_.begin();
-        for (auto it = ptResident_.begin(); it != ptResident_.end(); ++it)
-            if (it->second < victim->second)
-                victim = it;
+    for (const uint32_t idx : covering) {
+        if (ptStamp_[idx] == 0)
+            ++ptResidentCount_;
+        ptStamp_[idx] = ++useCounter_;
+    }
+    while (ptResidentCount_ > config_.ptEntries) {
+        uint32_t evicted = 0;
+        uint64_t minStamp = ~uint64_t(0);
+        for (uint32_t i = 0; i < ptStamp_.size(); ++i) {
+            if (ptStamp_[i] != 0 && ptStamp_[i] < minStamp) {
+                minStamp = ptStamp_[i];
+                evicted = i;
+            }
+        }
         // Evicting a pattern clears residency for every opcode it covers.
-        const uint32_t evicted = victim->first;
-        ptResident_.erase(victim);
+        ptStamp_[evicted] = 0;
+        --ptResidentCount_;
         for (const Opcode cov :
              set_->productions()[evicted].pattern.coveredOpcodes()) {
             opcodeResident_[static_cast<size_t>(cov)] = false;
@@ -162,7 +182,7 @@ DiseEngine::checkPatternTable(Opcode op)
         if (!opcodeResident_[o])
             continue;
         for (const uint32_t idx : patternsByOpcode_[o]) {
-            if (!ptResident_.count(idx)) {
+            if (ptStamp_[idx] == 0) {
                 opcodeResident_[o] = false;
                 break;
             }
@@ -295,7 +315,8 @@ DiseEngine::expand(const DecodedInst &fetched, Addr pc)
         return result;
     }
 
-    const ReplacementSeq *seq = set_->sequence(*seqId);
+    const ReplacementSeq *seq =
+        *seqId < seqById_.size() ? seqById_[*seqId] : nullptr;
     if (!seq) {
         // A tagged trigger naming an unbound dictionary entry is a user
         // error (corrupt codeword); surface it loudly.
@@ -325,7 +346,7 @@ DiseEngine::expand(const DecodedInst &fetched, Addr pc)
     // synthesized instructions) are not keyable and use the scratch
     // buffer, as does everything once the cache is full or disabled.
     if (config_.expansionCache && fetched.raw != 0) {
-        const bool pcDep = seqPcDependent_.find(*seqId)->second;
+        const bool pcDep = seqPcDependent_[*seqId] != 0;
         const SeqKey key{*seqId, fetched.raw, pcDep ? pc : 0};
         auto it = expCache_.find(key);
         if (it == expCache_.end() &&
@@ -339,6 +360,7 @@ DiseEngine::expand(const DecodedInst &fetched, Addr pc)
         if (it != expCache_.end()) {
             result.insts = it->second.data();
             result.numInsts = static_cast<uint32_t>(it->second.size());
+            result.memoized = true;
         }
     }
     if (!result.insts) {
@@ -359,6 +381,7 @@ DiseEngine::expand(const DecodedInst &fetched, Addr pc)
         }
         result.insts = scratch_.data();
         result.numInsts = static_cast<uint32_t>(scratch_.size());
+        result.memoized = false;
         ++rtGarbageExpansions_;
     }
 

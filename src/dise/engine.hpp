@@ -114,6 +114,14 @@ struct ExpandResult
     bool rtMiss = false;
     /** Stall cycles the miss events cost (flush handled by the caller). */
     uint32_t missPenalty = 0;
+    /**
+     * @c insts points into the engine's memoized expansion cache: the
+     * span is stable (same pointer, same contents) for every future
+     * expansion of this key at the current table generation. False for
+     * scratch-backed or fault-garbled deliveries, whose contents may
+     * differ call to call.
+     */
+    bool memoized = false;
 
     /** @name Span access to the instantiated sequence. */
     /// @{
@@ -156,6 +164,39 @@ class DiseEngine
 
     /** Drop all PT/RT residency (context switch / explicit flush). */
     void flushTables();
+
+    /** @name Translation-cache support (see ExecCore's trace cache). */
+    /// @{
+    /**
+     * Monotone table-generation counter: bumped whenever the engine's
+     * visible expansion behavior may change — production-set installs
+     * (setProductions), flushTables, and successful fault injections
+     * (corruptPatternEntry / corruptReplacementEntry). Translated traces
+     * key on it so any PT/RT content change invalidates them.
+     */
+    uint64_t generation() const { return generation_; }
+
+    /**
+     * True when the active set has patterns covering @p op, i.e. when an
+     * expand() of an instruction with this opcode could touch PT/RT
+     * state or match. For uncovered opcodes expand() is exactly
+     * "++inspected" — the trace fast path skips the call and accounts
+     * the inspections in bulk via noteInspected().
+     */
+    bool
+    opcodeCovered(Opcode op) const
+    {
+        return set_ && !set_->empty() &&
+               !patternsByOpcode_[static_cast<size_t>(op)].empty();
+    }
+
+    /**
+     * Account @p n fetched instructions that bypassed expand() because
+     * their opcodes are not covered (see opcodeCovered). Keeps the
+     * "inspected" stat bit-identical to the per-fetch slow path.
+     */
+    void noteInspected(uint64_t n) { inspected_ += n; }
+    /// @}
 
     /** @name Fault-injection hooks (see DiseConfig::parityChecks). */
     /// @{
@@ -214,8 +255,14 @@ class DiseEngine
     std::vector<std::vector<uint32_t>> patternsByOpcode_;
     /** True when all patterns for the opcode are PT-resident. */
     std::vector<bool> opcodeResident_;
-    /** Resident pattern indices with LRU stamps. */
-    std::unordered_map<uint32_t, uint64_t> ptResident_;
+    /**
+     * Per-pattern PT LRU stamp, indexed by pattern index; 0 means not
+     * resident (useCounter_ pre-increments, so live stamps are >= 1).
+     * Dense so the hit path touches no hash table.
+     */
+    std::vector<uint64_t> ptStamp_;
+    /** Number of nonzero ptStamp_ entries. */
+    uint32_t ptResidentCount_ = 0;
     /// @}
 
     /** @name RT model. */
@@ -273,8 +320,18 @@ class DiseEngine
      */
     std::unordered_map<SeqKey, std::vector<DecodedInst>, SeqKeyHash>
         expCache_;
-    /** Per-sequence PC-dependence class (see seqDependsOnPC). */
-    std::unordered_map<SeqId, bool> seqPcDependent_;
+    /**
+     * Per-sequence PC-dependence class (see seqDependsOnPC), dense over
+     * [0, max seqId] — ids are small (explicit dictionary tags are 11
+     * bits). 0 = independent, 1 = dependent.
+     */
+    std::vector<uint8_t> seqPcDependent_;
+    /**
+     * Dense seqId -> replacement-sequence lookup (pointers into the
+     * active set, valid while set_ is held); avoids the set's std::map
+     * walk on every expansion. nullptr marks unbound ids.
+     */
+    std::vector<const ReplacementSeq *> seqById_;
     /** Reused instantiation buffer for uncacheable expansions. */
     std::vector<DecodedInst> scratch_;
     /// @}
@@ -301,6 +358,7 @@ class DiseEngine
     /// @}
 
     uint64_t useCounter_ = 0;
+    uint64_t generation_ = 0;
     mutable StatGroup stats_;
 };
 

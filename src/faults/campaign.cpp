@@ -99,6 +99,7 @@ runCampaign(const CampaignSetup &setup, const CampaignConfig &config)
     }
     result.goldenDynInsts = gold.dynInsts;
     result.goldenAppInsts = gold.appInsts;
+    result.totalDynInsts += gold.dynInsts;
 
     const uint64_t hangBudget = std::max<uint64_t>(
         static_cast<uint64_t>(double(gold.dynInsts) *
@@ -132,6 +133,7 @@ runCampaign(const CampaignSetup &setup, const CampaignConfig &config)
             }
 
             const RunResult &r = run.core->result();
+            result.totalDynInsts += r.dynInsts;
             rec.parityDetections = parityDetections(run.controller.get());
             if (!injectedBit) {
                 rec.outcome = TrialOutcome::NotInjected;

@@ -104,6 +104,9 @@ struct CampaignResult
 {
     uint64_t goldenDynInsts = 0;
     uint64_t goldenAppInsts = 0;
+    /** Guest instructions simulated across the golden run and every
+     *  trial (host-throughput reporting, not a campaign outcome). */
+    uint64_t totalDynInsts = 0;
     std::array<uint64_t, kNumTrialOutcomes> counts{};
     std::vector<TrialRecord> trials;
     /** Trials whose plan actually flipped a bit. */

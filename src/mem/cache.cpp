@@ -19,6 +19,7 @@ Cache::Cache(const CacheParams &params, Cache *next, uint32_t memLatency)
     numSets_ = params_.sizeBytes / (params_.lineBytes * params_.assoc);
     DISE_ASSERT(isPow2(numSets_), "set count must be pow2");
     lines_.assign(size_t(numSets_) * params_.assoc, Line());
+    mru_.assign(numSets_, 0);
 }
 
 uint32_t
@@ -35,6 +36,18 @@ Cache::access(Addr addr, bool write)
     const uint64_t tag = la >> log2i(numSets_);
     Line *way = &lines_[set * params_.assoc];
 
+    // MRU-first early exit: hot access streams mostly re-hit the line
+    // they touched last, so probe it before the associative scan.
+    {
+        Line &mruLine = way[mru_[set]];
+        if (mruLine.valid && mruLine.tag == tag) {
+            mruLine.lastUse = ++useCounter_;
+            if (write)
+                mruLine.dirty = true;
+            return params_.hitLatency;
+        }
+    }
+
     Line *hit = nullptr;
     Line *victim = &way[0];
     for (uint32_t w = 0; w < params_.assoc; ++w) {
@@ -50,6 +63,7 @@ Cache::access(Addr addr, bool write)
         hit->lastUse = ++useCounter_;
         if (write)
             hit->dirty = true;
+        mru_[set] = static_cast<uint32_t>(hit - way);
         return params_.hitLatency;
     }
 
@@ -73,6 +87,7 @@ Cache::access(Addr addr, bool write)
     victim->dirty = write;
     victim->tag = tag;
     victim->lastUse = ++useCounter_;
+    mru_[set] = static_cast<uint32_t>(victim - way);
     return latency;
 }
 

@@ -94,6 +94,13 @@ class Cache
     bool perfect_;
     uint32_t numSets_ = 1;
     std::vector<Line> lines_; ///< numSets_ x assoc, row-major
+    /**
+     * Most-recently-used way per set: access() probes it before the
+     * associative scan, so the common hit-the-MRU-line case exits
+     * early. Purely a fast path — hit/miss/writeback accounting and LRU
+     * state are identical with or without it.
+     */
+    std::vector<uint32_t> mru_;
     uint64_t useCounter_ = 0;
     StatGroup stats_;
 };

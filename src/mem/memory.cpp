@@ -1,50 +1,39 @@
 #include "src/mem/memory.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 #include "src/common/logging.hpp"
 
 namespace dise {
 
-Memory::Page *
-Memory::findPage(Addr addr)
-{
-    const auto it = pages_.find(addr >> kPageShift);
-    return it == pages_.end() ? nullptr : &it->second;
-}
-
-const Memory::Page *
-Memory::findPage(Addr addr) const
-{
-    const auto it = pages_.find(addr >> kPageShift);
-    return it == pages_.end() ? nullptr : &it->second;
-}
-
-Memory::Page &
-Memory::touchPage(Addr addr)
-{
-    Page &page = pages_[addr >> kPageShift];
-    if (page.empty())
-        page.assign(kPageSize, 0);
-    return page;
-}
-
-uint8_t
-Memory::readByte(Addr addr) const
-{
-    const Page *page = findPage(addr);
-    return page ? (*page)[addr & (kPageSize - 1)] : 0;
-}
-
-void
-Memory::writeByte(Addr addr, uint8_t value)
-{
-    touchPage(addr)[addr & (kPageSize - 1)] = value;
-}
+/**
+ * The in-page fast path assembles/disassembles values with one memcpy,
+ * which matches the architected little-endian layout only on a
+ * little-endian host; big-endian hosts use the byte loop everywhere.
+ */
+#if defined(__BYTE_ORDER__) &&                                              \
+    __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+static constexpr bool kHostLittleEndian = true;
+#else
+static constexpr bool kHostLittleEndian = false;
+#endif
 
 uint64_t
 Memory::read(Addr addr, unsigned size) const
 {
     DISE_ASSERT(size == 1 || size == 2 || size == 4 || size == 8,
                 "bad access size");
+    const uint64_t off = addr & (kPageSize - 1);
+    if (kHostLittleEndian && off + size <= kPageSize) {
+        const uint8_t *page = pageData(addr);
+        if (!page)
+            return 0; // whole access inside an untouched page
+        uint64_t value = 0;
+        std::memcpy(&value, page + off, size);
+        return value;
+    }
+    // Page-crossing (or big-endian-host) fallback: per-byte lookups.
     uint64_t value = 0;
     for (unsigned i = 0; i < size; ++i)
         value |= static_cast<uint64_t>(readByte(addr + i)) << (8 * i);
@@ -56,6 +45,11 @@ Memory::write(Addr addr, uint64_t value, unsigned size)
 {
     DISE_ASSERT(size == 1 || size == 2 || size == 4 || size == 8,
                 "bad access size");
+    const uint64_t off = addr & (kPageSize - 1);
+    if (kHostLittleEndian && off + size <= kPageSize) {
+        std::memcpy(pageDataForWrite(addr) + off, &value, size);
+        return;
+    }
     for (unsigned i = 0; i < size; ++i)
         writeByte(addr + i, static_cast<uint8_t>(value >> (8 * i)));
 }
@@ -72,8 +66,15 @@ Memory::loadProgram(const Program &prog)
 void
 Memory::writeBlock(Addr addr, const uint8_t *src, size_t len)
 {
-    for (size_t i = 0; i < len; ++i)
-        writeByte(addr + i, src[i]);
+    while (len > 0) {
+        const uint64_t off = addr & (kPageSize - 1);
+        const size_t chunk =
+            static_cast<size_t>(std::min<uint64_t>(len, kPageSize - off));
+        std::memcpy(pageDataForWrite(addr) + off, src, chunk);
+        addr += chunk;
+        src += chunk;
+        len -= chunk;
+    }
 }
 
 uint64_t

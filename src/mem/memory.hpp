@@ -3,11 +3,26 @@
  * Sparse byte-addressable memory image with little-endian multi-byte
  * accessors. Backing store is a page map, so the 64-bit address space
  * costs only what is touched.
+ *
+ * Two simulator fast paths sit in front of the page map (architectural
+ * behavior is identical with or without them):
+ *
+ *  - A small direct-mapped page-pointer translation cache maps page
+ *    numbers straight to page storage so hot accesses skip the
+ *    unordered_map probe. Page storage is stable (pages are never
+ *    erased or resized once allocated), so cached pointers stay valid;
+ *    copies/moves of a Memory reset the cache rather than inherit
+ *    pointers into another image's pages.
+ *
+ *  - Multi-byte read/write that do not cross a page boundary are a
+ *    single in-page memcpy; only page-crossing accesses decompose into
+ *    per-byte page lookups.
  */
 
 #ifndef DISE_MEM_MEMORY_HPP
 #define DISE_MEM_MEMORY_HPP
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -25,8 +40,44 @@ class Memory
     static constexpr unsigned kPageShift = 12;
     static constexpr uint64_t kPageSize = uint64_t(1) << kPageShift;
 
-    uint8_t readByte(Addr addr) const;
-    void writeByte(Addr addr, uint8_t value);
+    Memory() = default;
+    /** Copies adopt the source's pages but never its cached pointers. */
+    Memory(const Memory &other) : pages_(other.pages_) {}
+    Memory(Memory &&other) noexcept : pages_(std::move(other.pages_))
+    {
+        other.resetTranslationCache();
+    }
+    Memory &
+    operator=(const Memory &other)
+    {
+        if (this != &other) {
+            pages_ = other.pages_;
+            resetTranslationCache();
+        }
+        return *this;
+    }
+    Memory &
+    operator=(Memory &&other) noexcept
+    {
+        if (this != &other) {
+            pages_ = std::move(other.pages_);
+            resetTranslationCache();
+            other.resetTranslationCache();
+        }
+        return *this;
+    }
+
+    uint8_t
+    readByte(Addr addr) const
+    {
+        const uint8_t *page = pageData(addr);
+        return page ? page[addr & (kPageSize - 1)] : 0;
+    }
+    void
+    writeByte(Addr addr, uint8_t value)
+    {
+        pageDataForWrite(addr)[addr & (kPageSize - 1)] = value;
+    }
 
     /** Little-endian read of 1, 2, 4 or 8 bytes. */
     uint64_t read(Addr addr, unsigned size) const;
@@ -66,11 +117,54 @@ class Memory
   private:
     using Page = std::vector<uint8_t>;
 
-    Page *findPage(Addr addr);
-    const Page *findPage(Addr addr) const;
-    Page &touchPage(Addr addr);
+    /** Direct-mapped page-number -> page-storage translation cache. */
+    struct TransEntry
+    {
+        uint64_t pageNum = ~uint64_t(0);
+        uint8_t *data = nullptr;
+    };
+    static constexpr size_t kTransEntries = 64;
+
+    void
+    resetTranslationCache()
+    {
+        trans_.fill(TransEntry());
+    }
+
+    /** Page storage holding @p addr, or nullptr when untouched. */
+    const uint8_t *
+    pageData(Addr addr) const
+    {
+        const uint64_t pn = addr >> kPageShift;
+        TransEntry &entry = trans_[pn & (kTransEntries - 1)];
+        if (entry.pageNum == pn)
+            return entry.data;
+        const auto it = pages_.find(pn);
+        if (it == pages_.end())
+            return nullptr; // absent pages are not cached: they may appear
+        entry.pageNum = pn;
+        entry.data = const_cast<uint8_t *>(it->second.data());
+        return entry.data;
+    }
+
+    /** Page storage holding @p addr, allocated on first touch. */
+    uint8_t *
+    pageDataForWrite(Addr addr)
+    {
+        const uint64_t pn = addr >> kPageShift;
+        TransEntry &entry = trans_[pn & (kTransEntries - 1)];
+        if (entry.pageNum == pn)
+            return entry.data;
+        Page &page = pages_[pn];
+        if (page.empty())
+            page.assign(kPageSize, 0);
+        entry.pageNum = pn;
+        entry.data = page.data();
+        return entry.data;
+    }
 
     std::unordered_map<uint64_t, Page> pages_;
+    mutable std::array<TransEntry, kTransEntries> trans_{};
 };
 
 } // namespace dise

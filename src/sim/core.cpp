@@ -8,6 +8,32 @@
 
 namespace dise {
 
+namespace {
+
+/** Longest straight-line run one translated block may cover. */
+constexpr size_t kMaxBlockLen = 128;
+
+/** Outcome of a conditional (application or DISE) branch on value @p v.
+ *  Single source of truth for execute() and the translated fast path. */
+bool
+condTaken(Opcode op, uint64_t v)
+{
+    const int64_t sv = static_cast<int64_t>(v);
+    switch (op) {
+      case Opcode::BEQ: case Opcode::DBEQ: return v == 0;
+      case Opcode::BNE: case Opcode::DBNE: return v != 0;
+      case Opcode::BLT: case Opcode::DBLT: return sv < 0;
+      case Opcode::BLE: return sv <= 0;
+      case Opcode::BGT: return sv > 0;
+      case Opcode::BGE: case Opcode::DBGE: return sv >= 0;
+      case Opcode::BLBC: return (v & 1) == 0;
+      case Opcode::BLBS: return (v & 1) != 0;
+      default: return false;
+    }
+}
+
+} // namespace
+
 ExecCore::ExecCore(const Program &prog, DiseController *controller)
     : prog_(prog), controller_(controller), pc_(prog.entry)
 {
@@ -55,6 +81,8 @@ void
 ExecCore::invalidateDecodeCache()
 {
     decodedValid_.assign(decodedValid_.size(), 0);
+    ++traceEpoch_;
+    traces_.clear();
 }
 
 void
@@ -66,6 +94,23 @@ ExecCore::invalidateDecodedRange(Addr addr, unsigned size)
         const size_t idx = static_cast<size_t>((a - prog_.textBase) >> 2);
         if (idx < decodedValid_.size())
             decodedValid_[idx] = 0;
+    }
+    invalidateTraceRange(addr, size);
+}
+
+void
+ExecCore::invalidateTraceRange(Addr addr, unsigned size)
+{
+    ++traceEpoch_;
+    if (traces_.empty())
+        return;
+    const Addr end = addr + size;
+    for (auto it = traces_.begin(); it != traces_.end();) {
+        const TransBlock &b = *it->second;
+        if (b.entryPC < end && b.coveredEnd() > addr)
+            it = traces_.erase(it);
+        else
+            ++it;
     }
 }
 
@@ -127,27 +172,11 @@ ExecCore::doSyscall(DynInst &dyn)
 }
 
 void
-ExecCore::execute(DynInst &dyn)
+ExecCore::execute(const DecodedInst &inst, DynInst &dyn)
 {
-    const DecodedInst &inst = dyn.inst;
     const uint64_t vA = readReg(inst.ra);
     const uint64_t vB = inst.useLit ? static_cast<uint64_t>(inst.imm)
                                     : readReg(inst.rb);
-
-    auto condTaken = [&](Opcode op, uint64_t v) {
-        const int64_t sv = static_cast<int64_t>(v);
-        switch (op) {
-          case Opcode::BEQ: case Opcode::DBEQ: return v == 0;
-          case Opcode::BNE: case Opcode::DBNE: return v != 0;
-          case Opcode::BLT: case Opcode::DBLT: return sv < 0;
-          case Opcode::BLE: return sv <= 0;
-          case Opcode::BGT: return sv > 0;
-          case Opcode::BGE: case Opcode::DBGE: return sv >= 0;
-          case Opcode::BLBC: return (v & 1) == 0;
-          case Opcode::BLBS: return (v & 1) != 0;
-          default: return false;
-        }
-    };
 
     switch (inst.op) {
       case Opcode::NOP:
@@ -316,12 +345,57 @@ ExecCore::execute(DynInst &dyn)
 }
 
 bool
+ExecCore::beginExpansion(const DecodedInst &fetched)
+{
+    const ExpandResult r = controller_->engine().expand(fetched, pc_);
+    if (!r.expanded)
+        return false;
+    seqInsts_ = r.insts;
+    seqLen_ = r.numInsts;
+    seqSpec_ = r.seq;
+    seqIdx_ = 0;
+    seqTriggerPC_ = pc_;
+    seqHasPendingOutcome_ = false;
+    pendingExpand_ = r;
+    ++result_.expansions;
+    ++result_.appInsts;
+    return true;
+}
+
+template <bool kEmit>
+bool
+ExecCore::execAppInst(const DecodedInst &fetched, DynInst *out)
+{
+    DynInst dyn;
+    dyn.pc = pc_;
+    dyn.disepc = 0;
+    dyn.inst = fetched;
+    if (fetched.isDiseBranch()) {
+        raiseTrap(TrapCause::DiseBranchInAppStream, pc_, 0, fetched.raw,
+                  strFormat("DISE branch in application stream "
+                            "at 0x%llx",
+                            (unsigned long long)pc_));
+        return false;
+    }
+    execute(fetched, dyn);
+    if (trapped_)
+        return false; // the faulting instruction does not retire
+    ++result_.dynInsts;
+    ++result_.appInsts;
+    if (!exited_) {
+        pc_ = (dyn.isAppControl && dyn.taken) ? dyn.actualTarget
+                                              : pc_ + 4;
+    }
+    if constexpr (kEmit)
+        *out = dyn;
+    return true;
+}
+
+bool
 ExecCore::step(DynInst &out)
 {
     if (exited_ || trapped_)
         return false;
-
-    DynInst dyn;
 
     if (!seqSpec_) {
         // Fetch and present to the DISE engine.
@@ -333,78 +407,75 @@ ExecCore::step(DynInst &out)
             return false;
         }
         const DecodedInst &fetched = fetchDecode(pc_);
-        if (controller_) {
-            const ExpandResult r =
-                controller_->engine().expand(fetched, pc_);
-            if (r.expanded) {
-                seqInsts_ = r.insts;
-                seqLen_ = r.numInsts;
-                seqSpec_ = r.seq;
-                seqIdx_ = 0;
-                seqTriggerPC_ = pc_;
-                seqHasPendingOutcome_ = false;
-                pendingExpand_ = r;
-                ++result_.expansions;
-                ++result_.appInsts;
-            }
-        }
+        if (controller_)
+            beginExpansion(fetched);
         if (!seqSpec_) {
             // Ordinary application instruction.
-            dyn.pc = pc_;
-            dyn.disepc = 0;
-            dyn.inst = fetched;
-            if (fetched.isDiseBranch()) {
-                raiseTrap(TrapCause::DiseBranchInAppStream, pc_, 0,
-                          fetched.raw,
-                          strFormat("DISE branch in application stream "
-                                    "at 0x%llx",
-                                    (unsigned long long)pc_));
-                return false;
-            }
-            execute(dyn);
-            if (trapped_)
-                return false; // the faulting instruction does not retire
-            ++result_.dynInsts;
-            ++result_.appInsts;
-            if (!exited_) {
-                pc_ = (dyn.isAppControl && dyn.taken) ? dyn.actualTarget
-                                                      : pc_ + 4;
-            }
-            out = dyn;
-            return true;
+            return execAppInst<true>(fetched, &out);
         }
     }
 
+    return execSeqSlot<true>(&out);
+}
+
+template <bool kEmit>
+bool
+ExecCore::execSeqSlot(DynInst *out)
+{
+    if constexpr (kEmit) {
+        DynInst dyn;
+        return execSeqSlotBody<true>(dyn, out);
+    } else {
+        // Reset only the outcome fields the body reads; the rest of the
+        // scratch DynInst is trace-stream metadata nothing consumes.
+        seqScratch_.isAppControl = false;
+        seqScratch_.taken = false;
+        seqScratch_.isMem = false;
+        seqScratch_.isStore = false;
+        seqScratch_.isSyscall = false;
+        return execSeqSlotBody<false>(seqScratch_, nullptr);
+    }
+}
+
+template <bool kEmit>
+bool
+ExecCore::execSeqSlotBody(DynInst &dyn, DynInst *out)
+{
     // Emit the next slot of the in-flight replacement sequence.
     const uint32_t slot = seqIdx_;
     DISE_ASSERT(slot < seqLen_, "replacement sequence overrun");
-    dyn.pc = seqTriggerPC_;
-    dyn.disepc = slot + 1;
-    dyn.inst = seqInsts_[slot];
-    dyn.expanded = true;
+    const DecodedInst &inst = seqInsts_[slot];
     // T.INSN is the trigger itself; a T.OP re-emission (e.g. the rebased
     // access in sandboxing) is the trigger in modified form — both are
     // the application's own instruction, not DISE-inserted work.
-    dyn.triggerSlot = seqSpec_->insts[slot].isTriggerInsn ||
-                      seqSpec_->insts[slot].opDir == OpDirective::Trigger;
-    dyn.firstOfSeq = (slot == 0);
-    dyn.seqLen = seqLen_;
-    if (slot == 0) {
-        dyn.ptMiss = pendingExpand_.ptMiss;
-        dyn.rtMiss = pendingExpand_.rtMiss;
-        dyn.missPenalty = pendingExpand_.missPenalty;
-        // Sequence-level prediction class (see DynInst::seqPredClass).
-        const DecodedInst &trigger = fetchDecode(seqTriggerPC_);
-        if (isControlClass(trigger.cls)) {
-            dyn.seqPredClass = trigger.cls;
-        } else if (seqLen_ > 0 &&
-                   isControlClass(seqInsts_[seqLen_ - 1].cls)) {
-            dyn.seqPredClass = seqInsts_[seqLen_ - 1].cls;
+    const bool triggerSlot =
+        seqSpec_->insts[slot].isTriggerInsn ||
+        seqSpec_->insts[slot].opDir == OpDirective::Trigger;
+    dyn.pc = seqTriggerPC_;
+    dyn.disepc = slot + 1;
+    if constexpr (kEmit) {
+        dyn.inst = inst;
+        dyn.expanded = true;
+        dyn.triggerSlot = triggerSlot;
+        dyn.firstOfSeq = (slot == 0);
+        dyn.seqLen = seqLen_;
+        if (slot == 0) {
+            dyn.ptMiss = pendingExpand_.ptMiss;
+            dyn.rtMiss = pendingExpand_.rtMiss;
+            dyn.missPenalty = pendingExpand_.missPenalty;
+            // Sequence-level prediction class (DynInst::seqPredClass).
+            const DecodedInst &trigger = fetchDecode(seqTriggerPC_);
+            if (isControlClass(trigger.cls)) {
+                dyn.seqPredClass = trigger.cls;
+            } else if (seqLen_ > 0 &&
+                       isControlClass(seqInsts_[seqLen_ - 1].cls)) {
+                dyn.seqPredClass = seqInsts_[seqLen_ - 1].cls;
+            }
         }
     }
     ++seqIdx_;
 
-    execute(dyn);
+    execute(inst, dyn);
     if (trapped_) {
         // The faulting slot does not retire; drop the in-flight
         // sequence (the trap records the precise PC:DISEPC point).
@@ -416,7 +487,7 @@ ExecCore::step(DynInst &out)
         return false;
     }
     ++result_.dynInsts;
-    if (!dyn.triggerSlot)
+    if (!triggerSlot)
         ++result_.diseInsts;
 
     bool endSeq = false;
@@ -425,10 +496,10 @@ ExecCore::step(DynInst &out)
 
     if (exited_) {
         endSeq = true;
-    } else if (dyn.inst.isDiseBranch()) {
+    } else if (inst.isDiseBranch()) {
         if (dyn.taken) {
             const int64_t target = static_cast<int64_t>(slot) + 1 +
-                                   dyn.inst.imm;
+                                   inst.imm;
             if (target < 0 ||
                 target > static_cast<int64_t>(seqLen_)) {
                 raiseTrap(TrapCause::DiseBranchOutOfRange,
@@ -444,13 +515,14 @@ ExecCore::step(DynInst &out)
                 seqHasPendingOutcome_ = false;
                 return false;
             }
-            dyn.diseTarget = static_cast<uint32_t>(target);
-            seqIdx_ = dyn.diseTarget;
+            if constexpr (kEmit)
+                dyn.diseTarget = static_cast<uint32_t>(target);
+            seqIdx_ = static_cast<uint32_t>(target);
             if (seqIdx_ == seqLen_)
                 endSeq = true;
         }
     } else if (dyn.isAppControl) {
-        if (dyn.triggerSlot) {
+        if (triggerSlot) {
             // Trigger branch: instructions after it ride its predicted
             // (here: actual) path; apply the outcome at sequence end.
             seqHasPendingOutcome_ = true;
@@ -469,7 +541,8 @@ ExecCore::step(DynInst &out)
         endSeq = true;
 
     if (endSeq) {
-        dyn.lastOfSeq = true;
+        if constexpr (kEmit)
+            dyn.lastOfSeq = true;
         if (!exited_) {
             if (haveRedirect) {
                 pc_ = redirect;
@@ -486,7 +559,8 @@ ExecCore::step(DynInst &out)
         seqHasPendingOutcome_ = false;
     }
 
-    out = dyn;
+    if constexpr (kEmit)
+        *out = dyn;
     return true;
 }
 
@@ -545,11 +619,707 @@ ExecCore::resumeAt(Addr pc, uint32_t disepc)
     pendingExpand_.missPenalty = 0; // already charged before the trap
 }
 
+std::shared_ptr<const TransBlock>
+ExecCore::translateBlock(Addr entry)
+{
+    auto block = std::make_shared<TransBlock>();
+    block->entryPC = entry;
+    block->engineGen =
+        controller_ ? controller_->engine().generation() : 0;
+
+    Addr pc = entry;
+    while (block->ops.size() < kMaxBlockLen && prog_.inText(pc)) {
+        const DecodedInst &d = fetchDecode(pc);
+
+        TransOp op;
+        op.op = d.op;
+        op.ra = d.ra;
+        op.rb = d.rb;
+        op.rc = d.rc;
+        op.useLit = d.useLit;
+        op.imm = d.imm;
+        op.inst = d;
+
+        if (controller_ && controller_->engine().opcodeCovered(d.op)) {
+            // The engine may expand this instruction; decide at run
+            // time. A control trigger may also redirect, so it ends the
+            // static block either way.
+            op.kind = TransKind::Engine;
+            block->ops.push_back(op);
+            pc += 4;
+            if (d.isControl())
+                break;
+            continue;
+        }
+
+        bool translatable = true;
+        bool terminator = false;
+        switch (d.op) {
+          case Opcode::NOP: case Opcode::LDA: case Opcode::LDAH:
+          case Opcode::ADDQ: case Opcode::SUBQ: case Opcode::MULQ:
+          case Opcode::AND: case Opcode::BIC: case Opcode::OR:
+          case Opcode::ORNOT: case Opcode::XOR: case Opcode::SLL:
+          case Opcode::SRL: case Opcode::SRA: case Opcode::CMPEQ:
+          case Opcode::CMPLT: case Opcode::CMPLE: case Opcode::CMPULT:
+          case Opcode::CMPULE: case Opcode::CMOVEQ: case Opcode::CMOVNE:
+            op.kind = TransKind::Alu;
+            break;
+          case Opcode::LDBU:
+            op.kind = TransKind::Load;
+            op.size = 1;
+            break;
+          case Opcode::LDL:
+            op.kind = TransKind::Load;
+            op.size = 4;
+            break;
+          case Opcode::LDQ:
+            op.kind = TransKind::Load;
+            op.size = 8;
+            break;
+          case Opcode::STB:
+            op.kind = TransKind::Store;
+            op.size = 1;
+            break;
+          case Opcode::STL:
+            op.kind = TransKind::Store;
+            op.size = 4;
+            break;
+          case Opcode::STQ:
+            op.kind = TransKind::Store;
+            op.size = 8;
+            break;
+          case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
+          case Opcode::BLE: case Opcode::BGT: case Opcode::BGE:
+          case Opcode::BLBC: case Opcode::BLBS:
+            op.kind = TransKind::CondBranch;
+            op.target = d.branchTarget(pc);
+            terminator = true;
+            break;
+          case Opcode::BR: case Opcode::BSR:
+            op.kind = TransKind::DirBranch;
+            op.target = d.branchTarget(pc);
+            terminator = true;
+            break;
+          case Opcode::JMP: case Opcode::JSR: case Opcode::RET:
+            op.kind = TransKind::Jump;
+            terminator = true;
+            break;
+          default:
+            // Syscalls, codewords, DISE branches, reserved/invalid
+            // encodings: end the block; the dispatcher executes them
+            // through step(), which models their traps and side
+            // effects.
+            translatable = false;
+            break;
+        }
+        if (!translatable)
+            break;
+        block->ops.push_back(op);
+        pc += 4;
+        if (terminator)
+            break;
+    }
+    return block;
+}
+
+std::shared_ptr<const TransBlock>
+ExecCore::lookupBlock(Addr pc)
+{
+    const uint64_t gen =
+        controller_ ? controller_->engine().generation() : 0;
+    auto [it, inserted] = traces_.try_emplace(pc);
+    if (inserted || !it->second || it->second->engineGen != gen)
+        it->second = translateBlock(pc);
+    return it->second;
+}
+
+namespace {
+
+/**
+ * Lower a memoized replacement sequence into SeqOps. Leaves
+ * @c st.usable false (fast path declines, generic path runs) when any
+ * slot is outside the repertoire: syscalls, codewords, invalid
+ * encodings.
+ */
+void
+translateSeq(const ExpandResult &r, SeqTrans &st, uint64_t gen)
+{
+    st.insts = r.insts;
+    st.numInsts = r.numInsts;
+    st.gen = gen;
+    st.usable = false;
+    st.ops.clear();
+    if (r.seq == nullptr || r.seq->insts.size() != r.numInsts)
+        return;
+    st.ops.reserve(r.numInsts);
+    for (uint32_t s = 0; s < r.numInsts; ++s) {
+        const DecodedInst &d = r.insts[s];
+        SeqOp op;
+        op.op = d.op;
+        op.ra = d.ra;
+        op.rb = d.rb;
+        op.rc = d.rc;
+        op.useLit = d.useLit;
+        op.imm = d.imm;
+        // T.INSN / T.OP slots retire as the application's own
+        // instruction (see execSeqSlotBody).
+        op.trigger = r.seq->insts[s].isTriggerInsn ||
+                     r.seq->insts[s].opDir == OpDirective::Trigger;
+        switch (d.op) {
+          case Opcode::NOP: case Opcode::LDA: case Opcode::LDAH:
+          case Opcode::ADDQ: case Opcode::SUBQ: case Opcode::MULQ:
+          case Opcode::AND: case Opcode::BIC: case Opcode::OR:
+          case Opcode::ORNOT: case Opcode::XOR: case Opcode::SLL:
+          case Opcode::SRL: case Opcode::SRA: case Opcode::CMPEQ:
+          case Opcode::CMPLT: case Opcode::CMPLE: case Opcode::CMPULT:
+          case Opcode::CMPULE: case Opcode::CMOVEQ: case Opcode::CMOVNE:
+            op.kind = SeqOpKind::Alu;
+            break;
+          case Opcode::LDBU:
+            op.kind = SeqOpKind::Load;
+            op.size = 1;
+            break;
+          case Opcode::LDL:
+            op.kind = SeqOpKind::Load;
+            op.size = 4;
+            break;
+          case Opcode::LDQ:
+            op.kind = SeqOpKind::Load;
+            op.size = 8;
+            break;
+          case Opcode::STB:
+            op.kind = SeqOpKind::Store;
+            op.size = 1;
+            break;
+          case Opcode::STL:
+            op.kind = SeqOpKind::Store;
+            op.size = 4;
+            break;
+          case Opcode::STQ:
+            op.kind = SeqOpKind::Store;
+            op.size = 8;
+            break;
+          case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
+          case Opcode::BLE: case Opcode::BGT: case Opcode::BGE:
+          case Opcode::BLBC: case Opcode::BLBS:
+            op.kind = SeqOpKind::CondBranch;
+            break;
+          case Opcode::BR: case Opcode::BSR:
+            op.kind = SeqOpKind::DirBranch;
+            break;
+          case Opcode::JMP: case Opcode::JSR: case Opcode::RET:
+            op.kind = SeqOpKind::Jump;
+            break;
+          case Opcode::DBEQ: case Opcode::DBNE: case Opcode::DBLT:
+          case Opcode::DBGE: case Opcode::DBR: {
+            op.kind = d.op == Opcode::DBR ? SeqOpKind::DiseBr
+                                          : SeqOpKind::DiseCond;
+            const int64_t target =
+                static_cast<int64_t>(s) + 1 + d.imm;
+            op.diseValid =
+                target >= 0 && target <= static_cast<int64_t>(r.numInsts);
+            op.diseTarget =
+                op.diseValid ? static_cast<uint32_t>(target) : 0;
+            break;
+          }
+          default:
+            st.ops.clear();
+            return;
+        }
+        st.ops.push_back(op);
+    }
+    st.usable = true;
+}
+
+} // namespace
+
+const SeqTrans *
+ExecCore::seqTransFor(const TransOp &t)
+{
+    const ExpandResult &r = pendingExpand_;
+    if (!r.memoized)
+        return nullptr; // span contents may differ call to call
+    SeqTrans &st = t.seqCache;
+    const uint64_t gen = controller_->engine().generation();
+    if (st.insts != r.insts || st.numInsts != r.numInsts ||
+        st.gen != gen)
+        translateSeq(r, st, gen);
+    return st.usable ? &st : nullptr;
+}
+
+void
+ExecCore::runSeqFast(const SeqTrans &st, uint64_t maxInsts)
+{
+    const Addr tpc = seqTriggerPC_;
+    const SeqOp *const ops = st.ops.data();
+    const uint32_t len = st.numInsts;
+    uint32_t j = 0;
+    // Deferred trigger-branch outcome (seqHasPendingOutcome_ et al. in
+    // the generic path), applied when the sequence runs off its end.
+    bool pendingHas = false;
+    bool pendingTaken = false;
+    Addr pendingTarget = 0;
+
+    // Inside the loop, `continue` advances to the next slot; falling
+    // out of the switch (case `break`) ends the sequence.
+    for (;;) {
+        if (j >= len) {
+            pc_ = (pendingHas && pendingTaken) ? pendingTarget
+                                               : tpc + 4;
+            break;
+        }
+        if (result_.dynInsts >= maxInsts) {
+            // Budget expired mid-sequence: write the cursor and the
+            // deferred outcome back so the generic path can resume.
+            seqIdx_ = j;
+            seqHasPendingOutcome_ = pendingHas;
+            seqPendingTaken_ = pendingTaken;
+            seqPendingTarget_ = pendingTarget;
+            return;
+        }
+        const SeqOp &t = ops[j];
+        switch (t.kind) {
+          case SeqOpKind::Alu: {
+            const uint64_t vA = readReg(t.ra);
+            const uint64_t vB = t.useLit
+                                    ? static_cast<uint64_t>(t.imm)
+                                    : readReg(t.rb);
+            switch (t.op) {
+              case Opcode::NOP:
+                break;
+              case Opcode::LDA:
+                writeReg(t.ra, readReg(t.rb) +
+                                   static_cast<uint64_t>(t.imm));
+                break;
+              case Opcode::LDAH:
+                writeReg(t.ra,
+                         readReg(t.rb) +
+                             (static_cast<uint64_t>(t.imm) << 16));
+                break;
+              case Opcode::ADDQ: writeReg(t.rc, vA + vB); break;
+              case Opcode::SUBQ: writeReg(t.rc, vA - vB); break;
+              case Opcode::MULQ: writeReg(t.rc, vA * vB); break;
+              case Opcode::AND: writeReg(t.rc, vA & vB); break;
+              case Opcode::BIC: writeReg(t.rc, vA & ~vB); break;
+              case Opcode::OR: writeReg(t.rc, vA | vB); break;
+              case Opcode::ORNOT: writeReg(t.rc, vA | ~vB); break;
+              case Opcode::XOR: writeReg(t.rc, vA ^ vB); break;
+              case Opcode::SLL: writeReg(t.rc, vA << (vB & 63)); break;
+              case Opcode::SRL: writeReg(t.rc, vA >> (vB & 63)); break;
+              case Opcode::SRA:
+                writeReg(t.rc,
+                         static_cast<uint64_t>(
+                             static_cast<int64_t>(vA) >> (vB & 63)));
+                break;
+              case Opcode::CMPEQ:
+                writeReg(t.rc, vA == vB ? 1 : 0);
+                break;
+              case Opcode::CMPLT:
+                writeReg(t.rc, static_cast<int64_t>(vA) <
+                                       static_cast<int64_t>(vB)
+                                   ? 1
+                                   : 0);
+                break;
+              case Opcode::CMPLE:
+                writeReg(t.rc, static_cast<int64_t>(vA) <=
+                                       static_cast<int64_t>(vB)
+                                   ? 1
+                                   : 0);
+                break;
+              case Opcode::CMPULT:
+                writeReg(t.rc, vA < vB ? 1 : 0);
+                break;
+              case Opcode::CMPULE:
+                writeReg(t.rc, vA <= vB ? 1 : 0);
+                break;
+              case Opcode::CMOVEQ:
+                if (vA == 0)
+                    writeReg(t.rc, vB);
+                break;
+              case Opcode::CMOVNE:
+                if (vA != 0)
+                    writeReg(t.rc, vB);
+                break;
+              default:
+                break; // unreachable: translateSeq admits no others
+            }
+            ++result_.dynInsts;
+            if (!t.trigger)
+                ++result_.diseInsts;
+            ++j;
+            continue;
+          }
+          case SeqOpKind::Load: {
+            const Addr addr =
+                readReg(t.rb) + static_cast<uint64_t>(t.imm);
+            ++result_.loads;
+            uint64_t value;
+            if (t.op == Opcode::LDBU)
+                value = memory_.read(addr, 1);
+            else if (t.op == Opcode::LDL)
+                value = static_cast<uint64_t>(
+                    signExtend(memory_.read(addr, 4), 32));
+            else
+                value = memory_.read(addr, 8);
+            writeReg(t.ra, value);
+            ++result_.dynInsts;
+            if (!t.trigger)
+                ++result_.diseInsts;
+            ++j;
+            continue;
+          }
+          case SeqOpKind::Store: {
+            const Addr addr =
+                readReg(t.rb) + static_cast<uint64_t>(t.imm);
+            ++result_.stores;
+            memory_.write(addr, readReg(t.ra), t.size);
+            // Self-modifying store: the sequence itself lives in the
+            // engine's tables and keeps running; the enclosing block's
+            // staleness is caught by the Engine slot's epoch check.
+            if (addr < prog_.textEnd() &&
+                addr + t.size > prog_.textBase)
+                invalidateDecodedRange(addr, t.size);
+            ++result_.dynInsts;
+            if (!t.trigger)
+                ++result_.diseInsts;
+            ++j;
+            continue;
+          }
+          case SeqOpKind::CondBranch: {
+            const bool taken = condTaken(t.op, readReg(t.ra));
+            const Addr target =
+                tpc + 4 + static_cast<uint64_t>(t.imm) * 4;
+            ++result_.dynInsts;
+            if (!t.trigger)
+                ++result_.diseInsts;
+            if (taken && errorAddr_ != 0 && target == errorAddr_)
+                ++result_.acfDetections;
+            if (t.trigger) {
+                // Trigger branch: later slots ride its path; apply the
+                // outcome at sequence end.
+                pendingHas = true;
+                pendingTaken = taken;
+                pendingTarget = target;
+            } else if (taken) {
+                // Non-trigger branch: post-branch slots belong to the
+                // non-taken path, so a taken branch discards them.
+                pc_ = target;
+                break;
+            }
+            ++j;
+            continue;
+          }
+          case SeqOpKind::DirBranch:
+          case SeqOpKind::Jump: {
+            // Jump reads the target before the link write (execute()
+            // order; the two may name the same register).
+            const Addr target =
+                t.kind == SeqOpKind::Jump
+                    ? readReg(t.rb) & ~Addr(3)
+                    : tpc + 4 + static_cast<uint64_t>(t.imm) * 4;
+            writeReg(t.ra, tpc + 4);
+            ++result_.dynInsts;
+            if (!t.trigger)
+                ++result_.diseInsts;
+            if (errorAddr_ != 0 && target == errorAddr_)
+                ++result_.acfDetections;
+            if (t.trigger) {
+                pendingHas = true;
+                pendingTaken = true;
+                pendingTarget = target;
+                ++j;
+                continue;
+            }
+            pc_ = target;
+            break;
+          }
+          case SeqOpKind::DiseCond:
+          case SeqOpKind::DiseBr: {
+            const bool taken = t.kind == SeqOpKind::DiseBr ||
+                               condTaken(t.op, readReg(t.ra));
+            ++result_.dynInsts;
+            if (!t.trigger)
+                ++result_.diseInsts;
+            if (!taken) {
+                ++j;
+                continue;
+            }
+            if (!t.diseValid) {
+                const int64_t target =
+                    static_cast<int64_t>(j) + 1 + t.imm;
+                raiseTrap(TrapCause::DiseBranchOutOfRange, tpc, j + 1,
+                          static_cast<uint64_t>(target),
+                          strFormat("DISE branch target %lld outside "
+                                    "sequence of length %u",
+                                    (long long)target, len));
+                break;
+            }
+            j = t.diseTarget;
+            continue;
+          }
+        }
+        break;
+    }
+
+    seqSpec_ = nullptr;
+    seqInsts_ = nullptr;
+    seqLen_ = 0;
+    seqIdx_ = 0;
+    seqHasPendingOutcome_ = false;
+}
+
+void
+ExecCore::runBlock(const TransBlock &block, uint64_t maxInsts)
+{
+    const TransOp *const ops = block.ops.data();
+    const size_t n = block.ops.size();
+    const bool haveEngine = controller_ != nullptr;
+    size_t i = 0;
+    Addr pc = block.entryPC;
+    const uint64_t epoch0 = traceEpoch_;
+    // Uncovered-opcode slots bypass expand(); their inspections are
+    // accounted in bulk at block exit (see DiseEngine::noteInspected).
+    uint64_t inspected = 0;
+
+    // Inside the loop, `continue` advances to the next slot; falling
+    // out of the switch (case `break`) exits the block with pc_ set.
+    for (;;) {
+        if (i == n || result_.dynInsts >= maxInsts) {
+            pc_ = pc;
+            break;
+        }
+        const TransOp &t = ops[i];
+        switch (t.kind) {
+          case TransKind::Alu: {
+            const uint64_t vA = readReg(t.ra);
+            const uint64_t vB = t.useLit
+                                    ? static_cast<uint64_t>(t.imm)
+                                    : readReg(t.rb);
+            switch (t.op) {
+              case Opcode::NOP:
+                break;
+              case Opcode::LDA:
+                writeReg(t.ra, readReg(t.rb) +
+                                   static_cast<uint64_t>(t.imm));
+                break;
+              case Opcode::LDAH:
+                writeReg(t.ra,
+                         readReg(t.rb) +
+                             (static_cast<uint64_t>(t.imm) << 16));
+                break;
+              case Opcode::ADDQ: writeReg(t.rc, vA + vB); break;
+              case Opcode::SUBQ: writeReg(t.rc, vA - vB); break;
+              case Opcode::MULQ: writeReg(t.rc, vA * vB); break;
+              case Opcode::AND: writeReg(t.rc, vA & vB); break;
+              case Opcode::BIC: writeReg(t.rc, vA & ~vB); break;
+              case Opcode::OR: writeReg(t.rc, vA | vB); break;
+              case Opcode::ORNOT: writeReg(t.rc, vA | ~vB); break;
+              case Opcode::XOR: writeReg(t.rc, vA ^ vB); break;
+              case Opcode::SLL: writeReg(t.rc, vA << (vB & 63)); break;
+              case Opcode::SRL: writeReg(t.rc, vA >> (vB & 63)); break;
+              case Opcode::SRA:
+                writeReg(t.rc,
+                         static_cast<uint64_t>(
+                             static_cast<int64_t>(vA) >> (vB & 63)));
+                break;
+              case Opcode::CMPEQ:
+                writeReg(t.rc, vA == vB ? 1 : 0);
+                break;
+              case Opcode::CMPLT:
+                writeReg(t.rc, static_cast<int64_t>(vA) <
+                                       static_cast<int64_t>(vB)
+                                   ? 1
+                                   : 0);
+                break;
+              case Opcode::CMPLE:
+                writeReg(t.rc, static_cast<int64_t>(vA) <=
+                                       static_cast<int64_t>(vB)
+                                   ? 1
+                                   : 0);
+                break;
+              case Opcode::CMPULT:
+                writeReg(t.rc, vA < vB ? 1 : 0);
+                break;
+              case Opcode::CMPULE:
+                writeReg(t.rc, vA <= vB ? 1 : 0);
+                break;
+              case Opcode::CMOVEQ:
+                if (vA == 0)
+                    writeReg(t.rc, vB);
+                break;
+              case Opcode::CMOVNE:
+                if (vA != 0)
+                    writeReg(t.rc, vB);
+                break;
+              default:
+                break; // unreachable: translateBlock admits no others
+            }
+            ++result_.dynInsts;
+            ++result_.appInsts;
+            inspected += haveEngine;
+            ++i;
+            pc += 4;
+            continue;
+          }
+          case TransKind::Load: {
+            const Addr addr =
+                readReg(t.rb) + static_cast<uint64_t>(t.imm);
+            ++result_.loads;
+            uint64_t value;
+            if (t.op == Opcode::LDBU)
+                value = memory_.read(addr, 1);
+            else if (t.op == Opcode::LDL)
+                value = static_cast<uint64_t>(
+                    signExtend(memory_.read(addr, 4), 32));
+            else
+                value = memory_.read(addr, 8);
+            writeReg(t.ra, value);
+            ++result_.dynInsts;
+            ++result_.appInsts;
+            inspected += haveEngine;
+            ++i;
+            pc += 4;
+            continue;
+          }
+          case TransKind::Store: {
+            const Addr addr =
+                readReg(t.rb) + static_cast<uint64_t>(t.imm);
+            ++result_.stores;
+            memory_.write(addr, readReg(t.ra), t.size);
+            ++result_.dynInsts;
+            ++result_.appInsts;
+            inspected += haveEngine;
+            if (addr < prog_.textEnd() &&
+                addr + t.size > prog_.textBase) {
+                // Self-modifying store: drop stale decodes and traces
+                // (possibly this block — kept alive by the caller's
+                // shared_ptr) and leave the fast path so the rewritten
+                // code is re-translated before it executes.
+                invalidateDecodedRange(addr, t.size);
+                pc_ = pc + 4;
+                break;
+            }
+            ++i;
+            pc += 4;
+            continue;
+          }
+          case TransKind::CondBranch: {
+            const bool taken = condTaken(t.op, readReg(t.ra));
+            ++result_.dynInsts;
+            ++result_.appInsts;
+            inspected += haveEngine;
+            if (!taken) {
+                ++i;
+                pc += 4;
+                continue;
+            }
+            if (errorAddr_ != 0 && t.target == errorAddr_)
+                ++result_.acfDetections;
+            pc_ = t.target;
+            break;
+          }
+          case TransKind::DirBranch: {
+            writeReg(t.ra, pc + 4);
+            ++result_.dynInsts;
+            ++result_.appInsts;
+            inspected += haveEngine;
+            if (errorAddr_ != 0 && t.target == errorAddr_)
+                ++result_.acfDetections;
+            pc_ = t.target;
+            break;
+          }
+          case TransKind::Jump: {
+            // Target read before the link write (execute() order; the
+            // two may name the same register).
+            const Addr target = readReg(t.rb) & ~Addr(3);
+            writeReg(t.ra, pc + 4);
+            ++result_.dynInsts;
+            ++result_.appInsts;
+            inspected += haveEngine;
+            if (errorAddr_ != 0 && target == errorAddr_)
+                ++result_.acfDetections;
+            pc_ = target;
+            break;
+          }
+          case TransKind::Engine: {
+            pc_ = pc;
+            if (!beginExpansion(t.inst)) {
+                if (!execAppInst<false>(t.inst, nullptr))
+                    break; // trapped
+            } else if (const SeqTrans *st = seqTransFor(t)) {
+                runSeqFast(*st, maxInsts);
+            } else {
+                while (seqSpec_ && result_.dynInsts < maxInsts)
+                    execSeqSlot<false>(nullptr);
+            }
+            if (exited_ || trapped_ || seqSpec_)
+                break; // done, or budget expired mid-sequence
+            if (pc_ != pc + 4)
+                break; // redirected out of the block
+            if (traceEpoch_ != epoch0)
+                break; // a sequence store rewrote text: re-translate
+            ++i;
+            pc += 4;
+            continue;
+          }
+        }
+        break;
+    }
+
+    if (inspected != 0)
+        controller_->engine().noteInspected(inspected);
+}
+
+void
+ExecCore::runTranslated(uint64_t maxInsts)
+{
+    DynInst dyn;
+    while (!exited_ && !trapped_ && result_.dynInsts < maxInsts) {
+        if (seqSpec_) {
+            // Resumed mid-sequence (resumeAt, or a budget expiry that
+            // was later raised): drain the sequence first.
+            execSeqSlot<false>(nullptr);
+            continue;
+        }
+        if ((pc_ & 3) != 0 || pc_ < prog_.textBase ||
+            pc_ >= prog_.textEnd()) {
+            // Out-of-text (traps) and unaligned fetches stay on the
+            // slow path.
+            if (!step(dyn))
+                break;
+            continue;
+        }
+        DispatchEntry &de =
+            dispatch_[(pc_ >> 2) & (kDispatchEntries - 1)];
+        const uint64_t gen =
+            controller_ ? controller_->engine().generation() : 0;
+        if (de.pc != pc_ || de.epoch != traceEpoch_ || de.gen != gen) {
+            de.block = lookupBlock(pc_);
+            de.pc = pc_;
+            de.epoch = traceEpoch_;
+            de.gen = gen;
+        }
+        const TransBlock &block = *de.block;
+        if (block.ops.empty()) {
+            // Leading untranslatable instruction (syscall, codeword,
+            // ...): execute it through the full machinery.
+            if (!step(dyn))
+                break;
+            continue;
+        }
+        runBlock(block, maxInsts);
+    }
+}
+
 RunResult
 ExecCore::run(uint64_t maxInsts)
 {
-    DynInst dyn;
-    while (result_.dynInsts < maxInsts && step(dyn)) {
+    if (traceEnabled_) {
+        runTranslated(maxInsts);
+    } else {
+        DynInst dyn;
+        while (result_.dynInsts < maxInsts && step(dyn)) {
+        }
     }
     // Watchdog expiry is an architected, classifiable outcome: the
     // instruction budget ran out with the program still live.

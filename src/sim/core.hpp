@@ -28,12 +28,15 @@
 #define DISE_SIM_CORE_HPP
 
 #include <array>
+#include <memory>
 #include <string>
+#include <unordered_map>
 
 #include "src/assembler/program.hpp"
 #include "src/dise/controller.hpp"
 #include "src/mem/memory.hpp"
 #include "src/sim/syscalls.hpp"
+#include "src/sim/trace.hpp"
 #include "src/sim/trap.hpp"
 
 namespace dise {
@@ -170,14 +173,79 @@ class ExecCore
     /// @}
 
     /**
-     * Drop all pre-decoded instructions. The core invalidates affected
-     * entries itself on stores into the text segment; callers that
-     * mutate text through memory() directly must call this.
+     * Drop all pre-decoded instructions (and translated traces). The
+     * core invalidates affected entries itself on stores into the text
+     * segment; callers that mutate text through memory() directly must
+     * call this.
      */
     void invalidateDecodeCache();
 
+    /** @name Translated basic-block fast path (src/sim/trace.hpp).
+     *
+     * run() executes through pre-translated straight-line micro-traces
+     * when enabled (the default). Architectural behavior and every
+     * simulator/engine statistic are bit-identical to the step() path;
+     * the switch exists as an escape hatch (diserun --no-trace-cache)
+     * and for differential testing. step() itself always takes the
+     * slow path, so the timing model's trace stream is unaffected.
+     */
+    /// @{
+    void setTraceCacheEnabled(bool on) { traceEnabled_ = on; }
+    bool traceCacheEnabled() const { return traceEnabled_; }
+    /// @}
+
   private:
-    void execute(DynInst &dyn);
+    /**
+     * Execute the fetched application instruction at pc_ and retire it.
+     * Shared by step() (kEmit: fills @p out) and the translated fast
+     * path (!kEmit: @p out unused). @return false on trap.
+     */
+    template <bool kEmit>
+    bool execAppInst(const DecodedInst &fetched, DynInst *out);
+    /**
+     * Execute + retire the next slot of the in-flight replacement
+     * sequence (seqSpec_ != nullptr). @return false on trap.
+     */
+    template <bool kEmit> bool execSeqSlot(DynInst *out);
+    /** execSeqSlot body; @p dyn is caller-provided outcome storage. */
+    template <bool kEmit> bool execSeqSlotBody(DynInst &dyn, DynInst *out);
+    /**
+     * Present the fetched instruction at pc_ to the DISE engine and set
+     * up sequence state when it expands. Requires controller_.
+     */
+    bool beginExpansion(const DecodedInst &fetched);
+    /** run() body when the trace cache is enabled. */
+    void runTranslated(uint64_t maxInsts);
+    /** Dispatch one translated block starting at pc_ (its entry PC). */
+    void runBlock(const TransBlock &block, uint64_t maxInsts);
+    /** Current-generation block entered at @p pc (translating on miss). */
+    std::shared_ptr<const TransBlock> lookupBlock(Addr pc);
+    std::shared_ptr<const TransBlock> translateBlock(Addr entry);
+    /** Drop translated blocks overlapping [addr, addr+size). */
+    void invalidateTraceRange(Addr addr, unsigned size);
+    /**
+     * Pre-translated form of the just-begun expansion (pendingExpand_),
+     * cached on the Engine slot @p t. Null when the expansion is not
+     * memoized or a slot falls outside the fast-path repertoire — the
+     * caller then drains the sequence through execSeqSlot instead.
+     */
+    const SeqTrans *seqTransFor(const TransOp &t);
+    /**
+     * Drain the in-flight replacement sequence through its
+     * pre-translated form. Equivalent to looping execSeqSlot<false>:
+     * identical retirement counters, PC outcome, trap points, and
+     * self-modifying-store invalidations. Suspends (leaving seqSpec_
+     * and seqIdx_ consistent for a later generic resume) when the
+     * instruction budget expires mid-sequence.
+     */
+    void runSeqFast(const SeqTrans &st, uint64_t maxInsts);
+
+    /**
+     * Execute @p inst, recording outcome fields into @p dyn (the fast
+     * path passes a scratch DynInst whose inst field is not populated;
+     * @p inst is always the instruction to run).
+     */
+    void execute(const DecodedInst &inst, DynInst &dyn);
     /** Record an architected trap and halt the core (never throws). */
     void raiseTrap(TrapCause cause, Addr pc, uint32_t disepc,
                    uint64_t faultAddr, std::string message);
@@ -236,6 +304,38 @@ class ExecCore
     Addr seqPendingTarget_ = 0;
     bool seqFirstEmitted_ = false;
     ExpandResult pendingExpand_;
+    /** Outcome scratch for non-emitting sequence execution; only the
+     *  fields execute() and the sequence-control logic read are reset
+     *  per slot (cheaper than value-initializing a DynInst). */
+    DynInst seqScratch_;
+    /// @}
+
+    /** @name Translated basic-block trace cache. */
+    /// @{
+    bool traceEnabled_ = true;
+    /** Blocks keyed by entry PC; validated against the engine
+     *  generation at dispatch. shared_ptr keeps the block a store
+     *  inside it invalidates alive until the block exits. */
+    std::unordered_map<Addr, std::shared_ptr<const TransBlock>> traces_;
+    /** Bumped on every trace invalidation; a running block exits when
+     *  it observes a change (a replacement-sequence store may have
+     *  rewritten text the block itself covers). */
+    uint64_t traceEpoch_ = 0;
+    /**
+     * Direct-mapped dispatch cache in front of traces_: entry PC ->
+     * block, validated against the trace epoch and engine generation.
+     * Entries own their block (shared_ptr), so a block invalidated
+     * while executing stays alive until its entry is reused.
+     */
+    struct DispatchEntry
+    {
+        Addr pc = 0;
+        uint64_t epoch = ~uint64_t(0);
+        uint64_t gen = 0;
+        std::shared_ptr<const TransBlock> block;
+    };
+    static constexpr size_t kDispatchEntries = 1024;
+    std::array<DispatchEntry, kDispatchEntries> dispatch_{};
     /// @}
 };
 

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Translated basic-block micro-traces: the functional simulator's
+ * fast-path representation of straight-line guest code.
+ *
+ * A TransBlock pre-resolves one basic block of decoded instructions into
+ * compact slots — handler kind, operand register indices, pre-sign-
+ * extended immediate, pre-computed direct-branch target — executed by a
+ * tight dispatch loop in ExecCore (see core.cpp) that bypasses the
+ * per-instruction fetch/decode/DISE-inspection machinery of step().
+ *
+ * Slots whose opcode the active DISE production set covers are kept as
+ * Engine slots: they consult the engine at run time (exactly like the
+ * slow path), so PT/RT residency state, miss events, and every engine
+ * counter evolve bit-identically to a step()-driven run. Instructions
+ * the fast path cannot model (syscalls, codewords, invalid encodings,
+ * DISE branches in the application stream) terminate translation and
+ * execute through the ordinary step() fallback.
+ *
+ * Invalidation (see DESIGN.md section 9):
+ *  - blocks are keyed by entry PC and stamped with the DISE engine's
+ *    table generation; any production install, table flush, or injected
+ *    table corruption bumps the generation and orphans stale blocks;
+ *  - stores into the text segment route through
+ *    ExecCore::invalidateDecodedRange, which drops every block
+ *    overlapping the written range (and the store exits its own block,
+ *    so self-modified code is re-translated before it executes).
+ */
+
+#ifndef DISE_SIM_TRACE_HPP
+#define DISE_SIM_TRACE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "src/isa/inst.hpp"
+
+namespace dise {
+
+/** Dispatch class of one translated slot. */
+enum class TransKind : uint8_t {
+    Alu,        ///< register/immediate compute, LDA/LDAH, NOP, CMOV
+    Load,       ///< LDBU/LDL/LDQ
+    Store,      ///< STB/STL/STQ
+    CondBranch, ///< direct conditional branch (block terminator)
+    DirBranch,  ///< BR/BSR: unconditional direct + link (terminator)
+    Jump,       ///< JMP/JSR/RET: indirect + link (terminator)
+    Engine,     ///< opcode covered by the DISE production set: consult
+                ///< the engine at run time (may expand)
+};
+
+/** Dispatch class of one pre-translated replacement-sequence slot. */
+enum class SeqOpKind : uint8_t {
+    Alu,
+    Load,
+    Store,
+    CondBranch, ///< application conditional branch (trigger-PC-relative)
+    DirBranch,  ///< BR/BSR
+    Jump,       ///< JMP/JSR/RET
+    DiseCond,   ///< dbeq/dbne/dblt/dbge: moves the DISEPC
+    DiseBr,     ///< dbr: unconditional DISEPC move
+};
+
+/** One pre-translated slot of a memoized replacement sequence. */
+struct SeqOp
+{
+    SeqOpKind kind = SeqOpKind::Alu;
+    Opcode op = Opcode::NOP;
+    RegIndex ra = 0;
+    RegIndex rb = 0;
+    RegIndex rc = 0;
+    bool useLit = false;
+    /** Slot retires as the application's own instruction (T.INSN /
+     *  T.OP re-emission), not DISE-inserted work. */
+    bool trigger = false;
+    uint8_t size = 0;        ///< memory access size (Load/Store)
+    bool diseValid = false;  ///< DISE-branch target is within range
+    int64_t imm = 0;         ///< pre-sign-extended immediate / literal
+    uint32_t diseTarget = 0; ///< resolved DISE-branch target slot
+};
+
+/**
+ * Pre-translated form of one memoized replacement sequence, cached per
+ * Engine slot. Valid while the engine still hands out the same span
+ * (same insts pointer/length) at the same table generation; expansions
+ * that are not memoized (scratch-backed or fault-garbled) never use it.
+ */
+struct SeqTrans
+{
+    const DecodedInst *insts = nullptr;
+    uint32_t numInsts = 0;
+    uint64_t gen = 0;
+    /** False when a slot is outside the fast-path repertoire (e.g. a
+     *  syscall): the generic per-slot path runs instead. */
+    bool usable = false;
+    std::vector<SeqOp> ops;
+};
+
+/** One pre-resolved slot of a translated basic block. */
+struct TransOp
+{
+    TransKind kind = TransKind::Alu;
+    Opcode op = Opcode::NOP;
+    RegIndex ra = 0;
+    RegIndex rb = 0;
+    RegIndex rc = 0;
+    bool useLit = false;
+    uint8_t size = 0; ///< memory access size (Load/Store)
+    int64_t imm = 0;  ///< pre-sign-extended immediate / literal
+    Addr target = 0;  ///< pre-computed direct-branch target
+    /** Full decode, for Engine slots and diagnostics. */
+    DecodedInst inst;
+    /** Engine slots: cached translation of this slot's memoized
+     *  replacement sequence (see SeqTrans). Execution-time state of a
+     *  block the dispatcher otherwise treats as immutable. */
+    mutable SeqTrans seqCache;
+};
+
+/**
+ * A translated straight-line micro-trace. Empty @c ops marks an entry
+ * whose first instruction is untranslatable (the dispatcher remembers
+ * the decision and routes the PC through step() without re-probing).
+ */
+struct TransBlock
+{
+    Addr entryPC = 0;
+    /** DiseEngine::generation() at build time (0 without a controller). */
+    uint64_t engineGen = 0;
+    std::vector<TransOp> ops;
+
+    /** First address past the last static instruction word covered. */
+    Addr
+    coveredEnd() const
+    {
+        return entryPC + (ops.empty() ? 1 : ops.size()) * 4;
+    }
+};
+
+} // namespace dise
+
+#endif // DISE_SIM_TRACE_HPP

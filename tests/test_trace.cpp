@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Translated basic-block engine tests (src/sim/trace.hpp, DESIGN.md
+ * section 9): self-modifying code invalidation inside one block and
+ * across block boundaries, engine-generation invalidation on table
+ * installs and injected table corruption, and full fast-vs-slow-path
+ * bit-identity (architectural result, engine counters, register file,
+ * memory image) on a generated MFI workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/acf/mfi.hpp"
+#include "src/assembler/assembler.hpp"
+#include "src/dise/controller.hpp"
+#include "src/dise/parser.hpp"
+#include "src/sim/core.hpp"
+#include "src/workloads/workloads.hpp"
+
+namespace dise {
+namespace {
+
+/**
+ * A program that patches a later instruction of its own basic block:
+ * the stq overwrites both words of `target`'s li expansion (still
+ * straight-line ahead of the store — no intervening control), so a
+ * stale translated block would execute the original `li 0, a0` and
+ * exit 0 instead of 42.
+ */
+constexpr const char *kSmcInBlock = R"(.text
+main:
+    laq donor, t0
+    laq target, t1
+    ldq t2, 0(t0)
+    stq t2, 0(t1)
+target:
+    li 0, a0
+    li 0, v0
+    syscall
+donor:
+    li 42, a0
+)";
+
+/**
+ * A program that patches an already-executed *other* block: `target` is
+ * called once (so its block is translated and cached), then an 8-byte
+ * stq rewrites both of its first two instructions, and it is called
+ * again. Correct invalidation yields s1 = 0 + 5 = 5; a stale block
+ * replays the original add-zero pair and exits 0.
+ */
+constexpr const char *kSmcCrossBlock = R"(.text
+main:
+    laq donor, t0
+    laq target, t1
+    li 0, s0
+    li 0, s1
+again:
+    call target
+    addq s0, 1, s0
+    cmpeq s0, 2, t2
+    beq t2, patch
+    mov s1, a0
+    li 0, v0
+    syscall
+patch:
+    ldq t2, 0(t0)
+    stq t2, 0(t1)
+    br zero, again
+target:
+    addq s1, 0, s1
+    addq s1, 0, s1
+    ret
+donor:
+    addq s1, 5, s1
+    addq s1, 0, s1
+)";
+
+/** Everything two runs must agree on to count as bit-identical. */
+struct RunSnapshot
+{
+    RunResult result;
+    std::map<std::string, uint64_t> engineStats;
+    std::vector<uint64_t> regs;
+    uint64_t memChecksum = 0;
+};
+
+void
+expectIdentical(const RunSnapshot &fast, const RunSnapshot &slow)
+{
+    EXPECT_EQ(fast.result.outcome, slow.result.outcome);
+    EXPECT_EQ(fast.result.exitCode, slow.result.exitCode);
+    EXPECT_EQ(fast.result.output, slow.result.output);
+    EXPECT_EQ(fast.result.dynInsts, slow.result.dynInsts);
+    EXPECT_EQ(fast.result.appInsts, slow.result.appInsts);
+    EXPECT_EQ(fast.result.diseInsts, slow.result.diseInsts);
+    EXPECT_EQ(fast.result.expansions, slow.result.expansions);
+    EXPECT_EQ(fast.result.loads, slow.result.loads);
+    EXPECT_EQ(fast.result.stores, slow.result.stores);
+    EXPECT_EQ(fast.result.acfDetections, slow.result.acfDetections);
+    EXPECT_EQ(fast.result.trap.cause, slow.result.trap.cause);
+    EXPECT_EQ(fast.engineStats, slow.engineStats);
+    EXPECT_EQ(fast.regs, slow.regs);
+    EXPECT_EQ(fast.memChecksum, slow.memChecksum);
+}
+
+/**
+ * Run @p prog under MFI productions with the trace cache on or off.
+ * When @p midRun is set, the run pauses after @p phase1Insts retired
+ * instructions and the callback mutates the engine (table install,
+ * corruption, ...) before the run finishes — at an identical point on
+ * both paths, since the budget counts retired instructions.
+ */
+RunSnapshot
+runMfi(const Program &prog, bool traceCache,
+       const std::function<void(ExecCore &, DiseController &)> &midRun =
+           nullptr,
+       uint64_t phase1Insts = 0)
+{
+    MfiOptions opts;
+    opts.variant = MfiVariant::Dise3;
+    auto set = std::make_shared<const ProductionSet>(
+        makeMfiProductions(prog, opts));
+    DiseController controller;
+    controller.install(set);
+    ExecCore core(prog, &controller);
+    initMfiRegisters(core, prog);
+    core.setTraceCacheEnabled(traceCache);
+    if (midRun) {
+        core.run(phase1Insts);
+        midRun(core, controller);
+    }
+    RunSnapshot snap;
+    snap.result = core.run();
+    snap.engineStats = controller.engine().stats().counters();
+    for (RegIndex r = 0; r < kNumLogicalRegs; ++r)
+        snap.regs.push_back(core.reg(r));
+    snap.memChecksum =
+        core.memory().checksum(prog.dataBase, uint64_t(1) << 20);
+    return snap;
+}
+
+Program
+smallWorkload(const char *name)
+{
+    WorkloadSpec spec = workloadSpec(name);
+    spec.targetDynInsts = 60000;
+    spec.kernelIters = std::max(1u, spec.kernelIters / 16);
+    return buildWorkload(spec);
+}
+
+TEST(Trace, SmcWithinBlockReexecutesPatchedCode)
+{
+    const Program prog = assemble(kSmcInBlock);
+
+    ExecCore fast(prog);
+    EXPECT_EQ(fast.run().exitCode, 42);
+
+    ExecCore slow(prog);
+    slow.setTraceCacheEnabled(false);
+    const RunResult ref = slow.run();
+    EXPECT_EQ(ref.exitCode, 42);
+    EXPECT_EQ(fast.result().dynInsts, ref.dynInsts);
+}
+
+TEST(Trace, SmcAcrossBlockBoundaryInvalidatesCachedBlock)
+{
+    const Program prog = assemble(kSmcCrossBlock);
+
+    ExecCore fast(prog);
+    EXPECT_EQ(fast.run().exitCode, 5);
+
+    ExecCore slow(prog);
+    slow.setTraceCacheEnabled(false);
+    const RunResult ref = slow.run();
+    EXPECT_EQ(ref.exitCode, 5);
+    EXPECT_EQ(fast.result().dynInsts, ref.dynInsts);
+}
+
+TEST(Trace, FastAndSlowPathsBitIdenticalOnMfiWorkload)
+{
+    const Program prog = smallWorkload("bzip2");
+    const RunSnapshot fast = runMfi(prog, true);
+    const RunSnapshot slow = runMfi(prog, false);
+    EXPECT_GT(fast.result.expansions, 0u);
+    expectIdentical(fast, slow);
+}
+
+TEST(Trace, NoControllerFastSlowParity)
+{
+    const Program prog = smallWorkload("gzip");
+
+    ExecCore fast(prog);
+    const RunResult a = fast.run();
+    ExecCore slow(prog);
+    slow.setTraceCacheEnabled(false);
+    const RunResult b = slow.run();
+
+    EXPECT_EQ(a.exitCode, b.exitCode);
+    EXPECT_EQ(a.dynInsts, b.dynInsts);
+    EXPECT_EQ(a.loads, b.loads);
+    EXPECT_EQ(a.stores, b.stores);
+    EXPECT_EQ(a.output, b.output);
+    EXPECT_EQ(fast.memory().checksum(prog.dataBase, uint64_t(1) << 20),
+              slow.memory().checksum(prog.dataBase, uint64_t(1) << 20));
+}
+
+TEST(Trace, ProductionInstallBumpsGenerationAndStaysIdentical)
+{
+    const Program prog = smallWorkload("bzip2");
+
+    // Swap the installed production set mid-run (Dise3 -> Dise4): the
+    // engine generation must advance, stale traces must be dropped,
+    // and both paths must agree on everything that follows.
+    uint64_t genBefore = 0, genAfter = 0;
+    const auto swapSet = [&](ExecCore &core, DiseController &controller) {
+        (void)core;
+        genBefore = controller.engine().generation();
+        MfiOptions opts;
+        opts.variant = MfiVariant::Dise4;
+        controller.install(std::make_shared<const ProductionSet>(
+            makeMfiProductions(prog, opts)));
+        genAfter = controller.engine().generation();
+    };
+
+    const RunSnapshot fast = runMfi(prog, true, swapSet, 20000);
+    EXPECT_GT(genAfter, genBefore);
+    const RunSnapshot slow = runMfi(prog, false, swapSet, 20000);
+    expectIdentical(fast, slow);
+}
+
+TEST(Trace, ReplacementCorruptionBumpsGenerationAndStaysIdentical)
+{
+    const Program prog = smallWorkload("bzip2");
+
+    // Flip a bit in a resident RT entry mid-run. The generation bump
+    // orphans every translated block, so the garbled replacement is
+    // delivered through a fresh expansion on both paths alike.
+    uint64_t genBefore = 0, genAfter = 0;
+    bool corrupted = false;
+    const auto corrupt = [&](ExecCore &core, DiseController &controller) {
+        (void)core;
+        genBefore = controller.engine().generation();
+        corrupted = controller.engine().corruptReplacementEntry(0, 7);
+        genAfter = controller.engine().generation();
+    };
+
+    const RunSnapshot fast = runMfi(prog, true, corrupt, 20000);
+    EXPECT_TRUE(corrupted); // 20k MFI insts leave resident RT entries
+    EXPECT_GT(genAfter, genBefore);
+    const RunSnapshot slow = runMfi(prog, false, corrupt, 20000);
+    expectIdentical(fast, slow);
+}
+
+TEST(Trace, FlushTablesBumpsGenerationAndStaysIdentical)
+{
+    const Program prog = smallWorkload("bzip2");
+
+    uint64_t genBefore = 0, genAfter = 0;
+    const auto flush = [&](ExecCore &core, DiseController &controller) {
+        (void)core;
+        genBefore = controller.engine().generation();
+        controller.engine().flushTables();
+        genAfter = controller.engine().generation();
+    };
+
+    const RunSnapshot fast = runMfi(prog, true, flush, 20000);
+    EXPECT_GT(genAfter, genBefore);
+    const RunSnapshot slow = runMfi(prog, false, flush, 20000);
+    expectIdentical(fast, slow);
+}
+
+TEST(Trace, SequenceTrapsIdenticalAcrossPaths)
+{
+    // A production whose DISE branch jumps out of range when taken:
+    // the pre-translated sequence path must raise the same trap at the
+    // same retirement point as the generic path.
+    const Program prog = assemble(".text\n"
+                                  "main:\n"
+                                  "    laq buf, t5\n"
+                                  "    ldq t0, 0(t5)\n"
+                                  "    li 0, v0\n    li 0, a0\n"
+                                  "    syscall\n"
+                                  ".data\n"
+                                  "buf:\n    .quad 7\n");
+    auto set = std::make_shared<ProductionSet>(parseProductions(
+        "P1: class == load -> R1\n"
+        "R1: lda $dr1, 1(zero)\n"
+        "    dbne $dr1, +9\n"
+        "    T.INSN\n",
+        prog.symbols));
+
+    RunResult results[2];
+    for (int traceCache = 0; traceCache < 2; ++traceCache) {
+        DiseController controller;
+        controller.install(set);
+        ExecCore core(prog, &controller);
+        core.setTraceCacheEnabled(traceCache != 0);
+        results[traceCache] = core.run();
+    }
+    EXPECT_EQ(results[1].outcome, RunOutcome::Trap);
+    EXPECT_EQ(results[1].trap.cause, results[0].trap.cause);
+    EXPECT_EQ(results[1].trap.pc, results[0].trap.pc);
+    EXPECT_EQ(results[1].trap.disepc, results[0].trap.disepc);
+    EXPECT_EQ(results[1].dynInsts, results[0].dynInsts);
+}
+
+} // namespace
+} // namespace dise

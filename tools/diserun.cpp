@@ -22,6 +22,8 @@
  *   --rt <entries>           RT capacity (0 = perfect)
  *   --rt-assoc <n>           RT associativity
  *   --no-expansion-cache     disable the memoized expansion fast path
+ *   --no-trace-cache         disable the translated basic-block fast
+ *                            path (functional mode; pure step() loop)
  *   --placement <free|stall|pipe>
  *   --max-insts <n>          dynamic instruction cap
  *   --dump-asm               print the program source (workloads only)
@@ -69,6 +71,7 @@ struct Options
     uint32_t rtEntries = 2048;
     uint32_t rtAssoc = 2;
     bool expansionCache = true;
+    bool traceCache = true;
     DisePlacement placement = DisePlacement::Pipe;
     uint64_t maxInsts = ~uint64_t(0);
     bool dumpAsm = false;
@@ -126,6 +129,8 @@ parseArgs(int argc, char **argv)
             opts.rtAssoc = static_cast<uint32_t>(std::atoi(need(i)));
         } else if (arg == "--no-expansion-cache") {
             opts.expansionCache = false;
+        } else if (arg == "--no-trace-cache") {
+            opts.traceCache = false;
         } else if (arg == "--placement") {
             const std::string p = need(i);
             opts.placement = p == "free" ? DisePlacement::Free
@@ -353,6 +358,7 @@ runMain(int argc, char **argv)
         }
     } else {
         ExecCore core(prog, ctl);
+        core.setTraceCacheEnabled(opts.traceCache);
         initCore(core);
         const auto t0 = std::chrono::steady_clock::now();
         if (opts.traceInsts > 0) {

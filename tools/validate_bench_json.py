@@ -2,20 +2,27 @@
 """Validate DISE benchmark/stats JSON artifacts against their schema.
 
 Usage: validate_bench_json.py FILE [FILE...]
+       validate_bench_json.py --compare FILE_A FILE_B
 
 Two artifact shapes are accepted:
 
 * Bench artifacts (written via DISE_BENCH_JSON): a top-level document
   with schema_version / bench / kind / host / workloads, where each
   workload maps regimes to entries whose required keys depend on kind
-  (timing, micro, campaign). Timing entries additionally must satisfy
-  the cycle-accounting invariant: the seven buckets sum exactly to
-  cycles.
+  (timing, micro, campaign, throughput). Every entry carries a "host"
+  section (wall-clock seconds + guest insts/sec). Timing entries
+  additionally must satisfy the cycle-accounting invariant: the seven
+  buckets sum exactly to cycles.
 * Run registries (written by `diserun --stats-json`): the nested stats
   registry itself, recognized by its top-level "run"/"host" sections.
 
-Exits 0 when every file validates, 1 with a diagnostic per problem
-otherwise. Stdlib only.
+--compare checks two artifacts for determinism: they must be deeply
+identical after recursively stripping every host-dependent section
+("host", "host_seconds") — wall-clock throughput is the only field
+allowed to differ between reruns.
+
+Exits 0 when every file validates (or the pair matches), 1 with a
+diagnostic per problem otherwise. Stdlib only.
 """
 
 import json
@@ -36,12 +43,12 @@ TIMING_KEYS = {
     "insts",
     "ipc",
     "cpi",
-    "host_seconds",
+    "host",
     "buckets",
     "counters",
 }
 
-MICRO_KEYS = {"iterations", "host_seconds", "items_per_second", "counters"}
+MICRO_KEYS = {"iterations", "host", "items_per_second", "counters"}
 
 CAMPAIGN_KEYS = {
     "injected",
@@ -49,8 +56,10 @@ CAMPAIGN_KEYS = {
     "detected_fraction",
     "parity_detected",
     "parity_recovered",
-    "host_seconds",
+    "host",
 }
+
+THROUGHPUT_KEYS = {"insts", "host"}
 
 
 class ValidationError(Exception):
@@ -80,10 +89,22 @@ def check_buckets(entry, where):
     )
 
 
+def check_host_section(entry, where):
+    host = entry["host"]
+    require(isinstance(host, dict), f"{where}: host is not an object")
+    missing = {"seconds", "insts_per_second"} - host.keys()
+    require(not missing, f"{where}.host: missing keys {sorted(missing)}")
+    require(host["seconds"] >= 0, f"{where}.host: negative seconds")
+    require(
+        host["insts_per_second"] >= 0,
+        f"{where}.host: negative insts_per_second",
+    )
+
+
 def check_timing_entry(entry, where):
     check_keys(entry, TIMING_KEYS, where)
     require(entry["cycles"] >= 0, f"{where}: negative cycles")
-    require(entry["host_seconds"] >= 0, f"{where}: negative host_seconds")
+    check_host_section(entry, where)
     check_buckets(entry, where)
     counters = entry["counters"]
     require(isinstance(counters, dict), f"{where}: counters not an object")
@@ -94,10 +115,18 @@ def check_timing_entry(entry, where):
 def check_micro_entry(entry, where):
     check_keys(entry, MICRO_KEYS, where)
     require(entry["iterations"] > 0, f"{where}: zero iterations")
+    check_host_section(entry, where)
+
+
+def check_throughput_entry(entry, where):
+    check_keys(entry, THROUGHPUT_KEYS, where)
+    require(entry["insts"] > 0, f"{where}: zero insts")
+    check_host_section(entry, where)
 
 
 def check_campaign_entry(entry, where):
     check_keys(entry, CAMPAIGN_KEYS, where)
+    check_host_section(entry, where)
     outcomes = entry["outcomes"]
     require(isinstance(outcomes, dict), f"{where}: outcomes not an object")
     require(
@@ -114,6 +143,7 @@ ENTRY_CHECKS = {
     "timing": check_timing_entry,
     "micro": check_micro_entry,
     "campaign": check_campaign_entry,
+    "throughput": check_throughput_entry,
 }
 
 
@@ -172,7 +202,68 @@ def validate_file(path):
                               "run registry")
 
 
+HOST_KEYS = {"host", "host_seconds"}
+
+
+def strip_host(value):
+    """Recursively drop host-dependent sections for determinism diffs."""
+    if isinstance(value, dict):
+        return {
+            k: strip_host(v)
+            for k, v in value.items()
+            if k not in HOST_KEYS
+        }
+    if isinstance(value, list):
+        return [strip_host(v) for v in value]
+    return value
+
+
+def first_difference(a, b, path=""):
+    """Human-readable path of the first mismatch, or None if equal."""
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(a.keys() | b.keys()):
+            if key not in a or key not in b:
+                return f"{path}/{key} (present on one side only)"
+            diff = first_difference(a[key], b[key], f"{path}/{key}")
+            if diff:
+                return diff
+        return None
+    if isinstance(a, list) and isinstance(b, list):
+        if len(a) != len(b):
+            return f"{path} (length {len(a)} vs {len(b)})"
+        for i, (x, y) in enumerate(zip(a, b)):
+            diff = first_difference(x, y, f"{path}[{i}]")
+            if diff:
+                return diff
+        return None
+    if a != b:
+        return f"{path} ({a!r} vs {b!r})"
+    return None
+
+
+def compare(path_a, path_b):
+    with open(path_a) as f:
+        a = strip_host(json.load(f))
+    with open(path_b) as f:
+        b = strip_host(json.load(f))
+    diff = first_difference(a, b)
+    if diff:
+        print(
+            f"DIFFER {path_a} vs {path_b}: first mismatch at {diff}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"IDENTICAL {path_a} vs {path_b} (host sections ignored)")
+    return 0
+
+
 def main(argv):
+    if len(argv) >= 2 and argv[1] == "--compare":
+        if len(argv) != 4:
+            print("usage: validate_bench_json.py --compare FILE_A FILE_B",
+                  file=sys.stderr)
+            return 2
+        return compare(argv[2], argv[3])
     if len(argv) < 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2

@@ -13,8 +13,9 @@ using namespace dise;
 using namespace dise::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    dise::bench::benchInit(argc, argv, "bench_compress_ablation");
     std::printf("==========================================================\n");
     std::printf("Compressor ablations (static size, geomean over suite)\n");
     std::printf("==========================================================\n\n");

@@ -257,6 +257,8 @@ class RecordingReporter : public benchmark::ConsoleReporter
 int
 main(int argc, char **argv)
 {
+    // Shared bench flags first (stripped), the rest to Google Benchmark.
+    dise::bench::benchInit(argc, argv, "bench_engine_micro");
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

@@ -19,9 +19,12 @@
  *   - re-running a campaign with the same seed reproduces bit-identical
  *     classifications.
  *
- * Environment knobs (on top of harness.hpp's):
- *   DISE_FAULT_TRIALS  trials per campaign (default 48)
- *   DISE_FAULT_SEED    campaign seed (default 2003)
+ * Campaign shape comes from BenchConfig: --fault-trials/--fault-seed
+ * flags or the DISE_FAULT_TRIALS/DISE_FAULT_SEED env vars (defaults
+ * 48 / 2003). Trials fan out across the bench scheduler (--jobs);
+ * aggregation is in trial order, so the classification vectors — and
+ * the JSON artifact modulo host sections — are bit-identical at any
+ * worker count.
  */
 
 #include <cstdio>
@@ -36,16 +39,6 @@ using namespace dise;
 using namespace dise::bench;
 
 namespace {
-
-uint64_t
-envU64(const char *name, uint64_t fallback)
-{
-    const char *env = std::getenv(name);
-    if (!env)
-        return fallback;
-    const double v = parsePositive(env, name);
-    return static_cast<uint64_t>(v);
-}
 
 std::vector<std::string>
 outcomeRow(const std::string &regime, const char *target,
@@ -108,16 +101,7 @@ fail(const std::string &what)
 Json
 campaignEntry(const CampaignResult &r, double hostSeconds)
 {
-    Json outcomes = Json::object();
-    for (size_t i = 0; i < kNumTrialOutcomes; ++i)
-        outcomes[trialOutcomeName(static_cast<TrialOutcome>(i))] =
-            Json(uint64_t(r.counts[i]));
-    Json entry = Json::object();
-    entry["injected"] = Json(uint64_t(r.injected));
-    entry["outcomes"] = std::move(outcomes);
-    entry["detected_fraction"] = Json(r.detectedFraction());
-    entry["parity_detected"] = Json(uint64_t(r.parityDetected));
-    entry["parity_recovered"] = Json(uint64_t(r.parityRecovered));
+    Json entry = campaignToJson(r);
     entry["host"] = hostSection(hostSeconds, r.totalDynInsts);
     return entry;
 }
@@ -125,9 +109,8 @@ campaignEntry(const CampaignResult &r, double hostSeconds)
 void
 runFaultCampaignBench()
 {
-    const uint32_t trials =
-        static_cast<uint32_t>(envU64("DISE_FAULT_TRIALS", 48));
-    const uint64_t seed = envU64("DISE_FAULT_SEED", 2003);
+    const uint32_t trials = BenchConfig::get().faultTrials;
+    const uint64_t seed = BenchConfig::get().faultSeed;
 
     // A scaled-down workload keeps trials (each up to 4x the golden
     // run) affordable while exercising generated code, not a toy.
@@ -171,7 +154,8 @@ runFaultCampaignBench()
                                   const CampaignConfig &cfg,
                                   const char *regime) {
         const auto t0 = std::chrono::steady_clock::now();
-        const CampaignResult r = runCampaign(setup, cfg);
+        const CampaignResult r =
+            runCampaign(setup, cfg, &benchScheduler());
         if (BenchJson::instance().enabled()) {
             const double secs =
                 std::chrono::duration<double>(
@@ -254,7 +238,8 @@ runFaultCampaignBench()
                        rNone.detectedFraction()));
     }
 
-    const CampaignResult rMfiWpAgain = runCampaign(mfiWp, archCfg);
+    const CampaignResult rMfiWpAgain =
+        runCampaign(mfiWp, archCfg, &benchScheduler());
     if (!sameClassifications(rMfiWp, rMfiWpAgain))
         fail("same-seed campaign replay diverged");
 
@@ -269,7 +254,8 @@ runFaultCampaignBench()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv, "bench_fault_campaign");
     return benchGuard(runFaultCampaignBench);
 }

@@ -208,7 +208,8 @@ runFigure6()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv, "bench_fig6_mfi");
     return benchGuard(runFigure6);
 }

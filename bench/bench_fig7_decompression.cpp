@@ -215,7 +215,8 @@ runFigure7()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv, "bench_fig7_decompression");
     return benchGuard(runFigure7);
 }

@@ -159,7 +159,8 @@ runFigure8()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv, "bench_fig8_composition");
     return benchGuard(runFigure8);
 }

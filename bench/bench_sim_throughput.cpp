@@ -184,7 +184,8 @@ runSimThroughput()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv, "bench_sim_throughput");
     return benchGuard(runSimThroughput);
 }

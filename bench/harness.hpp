@@ -4,50 +4,55 @@
  * workload construction, standard machine configurations, and run
  * wrappers for the native / DISE / rewriting regimes.
  *
- * Environment knobs:
- *   DISE_BENCH_SCALE  scale every workload's dynamic-instruction target
- *                     (e.g. 0.25 for a quick pass); default 1.0.
- *   DISE_BENCH_ONLY   comma-separated benchmark names to run.
- *   DISE_BENCH_JOBS   shard per-benchmark work across this many worker
- *                     threads (each run builds its own engine/simulator,
- *                     so results are identical at any job count);
- *                     default 1.
- *   DISE_BENCH_JSON   directory (created if missing) into which each
- *                     bench writes a machine-readable
- *                     BENCH_<name>.json artifact next to its table
- *                     output; unset = no artifacts. See DESIGN.md for
- *                     the schema.
+ * Configuration comes from BenchConfig (src/service/bench_config.hpp):
+ * one validated struct fed by the DISE_BENCH_* / DISE_FAULT_* env vars
+ * with --jobs/--scale/--only/--json/--fault-* CLI flags layered on
+ * top. Every bench main calls benchInit(argc, argv, name) first.
+ *
+ * Sharding runs on the process-wide SimScheduler work-stealing pool
+ * (benchScheduler()); runNative/runDise execute through the service
+ * executors (src/service/runner.hpp), so a bench run and a
+ * `diserun --batch` job of the same shape share one setup path.
+ *
+ * Thread-safety contract for bench bodies: per-run state (controller,
+ * core, pipeline) is built fresh inside each run*() call; shared sinks
+ * (BenchJson, the program cache) are internally synchronized; failures
+ * throw FatalError — never std::exit — so they unwind through the
+ * scheduler's exception channel to benchGuard() on the main thread.
  */
 
 #ifndef DISE_BENCH_HARNESS_HPP
 #define DISE_BENCH_HARNESS_HPP
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <exception>
 #include <filesystem>
 #include <fstream>
-#include <map>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "src/acf/compress.hpp"
 #include "src/acf/mfi.hpp"
 #include "src/acf/rewriter.hpp"
 #include "src/common/logging.hpp"
+#include "src/common/scheduler.hpp"
 #include "src/common/singleflight.hpp"
 #include "src/common/stats.hpp"
 #include "src/common/table.hpp"
 #include "src/pipeline/pipeline.hpp"
+#include "src/service/bench_config.hpp"
+#include "src/service/runner.hpp"
 #include "src/workloads/workloads.hpp"
 
 namespace dise::bench {
+
+// dise::hostSection, reachable qualified as dise::bench::hostSection
+// for benches that predate the service layer.
+using dise::hostSection;
 
 /** Parse a strictly positive number; fatal() on garbage or x <= 0. */
 inline double
@@ -64,30 +69,26 @@ parsePositive(const char *text, const char *what)
     return value;
 }
 
+/**
+ * Parse the shared bench flags (and validate the corresponding env
+ * vars) for this bench. Call first in every bench main; consumed flags
+ * are stripped from argv for benches that parse their own afterwards.
+ */
+inline void
+benchInit(int &argc, char **argv, const char *benchName)
+{
+    BenchConfig::init(argc, argv, benchName);
+}
+
 /** Benchmarks selected for this run, in suite order. */
 inline std::vector<WorkloadSpec>
 selectedSpecs()
 {
-    double scale = 1.0;
-    if (const char *env = std::getenv("DISE_BENCH_SCALE"))
-        scale = parsePositive(env, "DISE_BENCH_SCALE");
-    std::string only;
-    if (const char *env = std::getenv("DISE_BENCH_ONLY"))
-        only = std::string(",") + env + ",";
+    const BenchConfig &cfg = BenchConfig::get();
     std::vector<WorkloadSpec> specs;
-    for (WorkloadSpec spec : spec2000()) {
-        if (!only.empty() &&
-            only.find("," + spec.name + ",") == std::string::npos) {
-            continue;
-        }
-        if (scale != 1.0) {
-            spec.targetDynInsts = static_cast<uint64_t>(
-                double(spec.targetDynInsts) * scale);
-            spec.kernelIters = std::max(
-                1u,
-                static_cast<uint32_t>(double(spec.kernelIters) * scale));
-        }
-        specs.push_back(spec);
+    for (const WorkloadSpec &spec : spec2000()) {
+        if (cfg.selected(spec.name))
+            specs.push_back(scaledSpec(spec, cfg.scale));
     }
     return specs;
 }
@@ -105,67 +106,38 @@ program(const WorkloadSpec &spec)
                      [&spec] { return buildWorkload(spec); });
 }
 
-/** Worker count from DISE_BENCH_JOBS (validated); default 1. */
+/** Worker count (BenchConfig jobs; --jobs / DISE_BENCH_JOBS). */
 inline unsigned
 benchJobs()
 {
-    const char *env = std::getenv("DISE_BENCH_JOBS");
-    if (!env)
-        return 1;
-    const double jobs = parsePositive(env, "DISE_BENCH_JOBS");
-    if (jobs != double(unsigned(jobs)))
-        fatal(std::string("DISE_BENCH_JOBS: not an integer: ") + env);
-    return unsigned(jobs);
+    return BenchConfig::get().jobs;
 }
 
 /**
- * Run @p fn over every spec, sharded across DISE_BENCH_JOBS std::thread
- * workers, and return the results in suite order. Each call of @p fn
- * must build its own simulators/engines (all run*() helpers do), so a
- * sharded suite produces bit-identical numbers to a serial one.
+ * The process-wide scheduler every sharded bench stage runs on.
+ * Constructed on first use (after benchInit has fixed the job count);
+ * campaign benches pass it to runCampaign() so trials share the pool.
+ */
+inline SimScheduler &
+benchScheduler()
+{
+    static SimScheduler scheduler(benchJobs());
+    return scheduler;
+}
+
+/**
+ * Run @p fn over every spec on the bench scheduler and return the
+ * results in suite order. Each call of @p fn must build its own
+ * simulators/engines (all run*() helpers do), so a sharded suite
+ * produces bit-identical numbers to a serial one; the first exception
+ * cancels the remaining specs and rethrows on this thread.
  */
 template <typename Fn>
 auto
 mapSpecs(const std::vector<WorkloadSpec> &specs, Fn fn)
     -> std::vector<decltype(fn(specs.front()))>
 {
-    using Result = decltype(fn(specs.front()));
-    std::vector<Result> results(specs.size());
-    const unsigned jobs =
-        std::min<unsigned>(benchJobs(), std::max<size_t>(specs.size(), 1));
-    if (jobs <= 1) {
-        for (size_t i = 0; i < specs.size(); ++i)
-            results[i] = fn(specs[i]);
-        return results;
-    }
-    std::atomic<size_t> next{0};
-    std::atomic<bool> failed{false};
-    std::exception_ptr error;
-    std::mutex errorMutex;
-    auto worker = [&]() {
-        for (size_t i = next.fetch_add(1); i < specs.size();
-             i = next.fetch_add(1)) {
-            if (failed.load())
-                return;
-            try {
-                results[i] = fn(specs[i]);
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(errorMutex);
-                if (!error)
-                    error = std::current_exception();
-                failed.store(true);
-                return;
-            }
-        }
-    };
-    std::vector<std::thread> threads;
-    for (unsigned t = 0; t < jobs; ++t)
-        threads.emplace_back(worker);
-    for (auto &thread : threads)
-        thread.join();
-    if (error)
-        std::rethrow_exception(error);
-    return results;
+    return benchScheduler().map(specs, std::move(fn));
 }
 
 /** Baseline machine of the paper's evaluation. */
@@ -179,11 +151,11 @@ baselineMachine(uint32_t icacheKB = 32, uint32_t width = 4)
 }
 
 /**
- * Collector for the DISE_BENCH_JSON artifact: timing/micro/campaign
- * entries keyed by workload and regime, serialized once at bench exit
- * by writeBenchJson(). Thread-safe (mapSpecs workers record
- * concurrently); entries are stored in sorted maps, so the artifact is
- * byte-identical at any DISE_BENCH_JOBS count or recording order.
+ * Collector for the bench JSON artifact: timing/micro/campaign entries
+ * keyed by workload and regime, serialized once at bench exit by
+ * write(). Thread-safe (scheduler workers record concurrently);
+ * entries are stored in sorted maps, so the artifact is byte-identical
+ * at any worker count or recording order.
  */
 class BenchJson
 {
@@ -195,7 +167,7 @@ class BenchJson
         return recorder;
     }
 
-    /** Enabled iff DISE_BENCH_JSON names an artifact directory. */
+    /** Enabled iff BenchConfig names an artifact directory. */
     bool enabled() const { return !dir_.empty(); }
 
     /** Record one workload x regime entry (any kind). */
@@ -238,18 +210,14 @@ class BenchJson
                 .string();
         std::ofstream out(path);
         if (!out)
-            fatal("DISE_BENCH_JSON: cannot write " + path);
+            fatal("bench json: cannot write " + path);
         out << doc.dump(2) << "\n";
         if (!out)
-            fatal("DISE_BENCH_JSON: write failed: " + path);
+            fatal("bench json: write failed: " + path);
     }
 
   private:
-    BenchJson()
-    {
-        if (const char *env = std::getenv("DISE_BENCH_JSON"))
-            dir_ = env;
-    }
+    BenchJson() : dir_(BenchConfig::get().jsonDir) {}
 
     std::string dir_;
     std::mutex mutex_;
@@ -259,54 +227,8 @@ class BenchJson
 };
 
 /**
- * Per-entry host-side throughput section: wall-clock seconds and guest
- * instructions simulated per second. Host-dependent by construction —
- * determinism comparisons must strip it (validate_bench_json.py
- * --compare does).
- */
-inline Json
-hostSection(double seconds, uint64_t guestInsts)
-{
-    Json host = Json::object();
-    host["seconds"] = Json(seconds);
-    host["insts_per_second"] =
-        Json(safeRatio(double(guestInsts), seconds));
-    return host;
-}
-
-/**
- * Build the JSON artifact entry for one timing run: cycles/CPI, the
- * per-stage cycle buckets, every component counter and derived ratio
- * (via PipelineSim::registerStats), and the host-side run time.
- */
-inline Json
-timingEntry(PipelineSim &sim, const TimingResult &t, double hostSeconds)
-{
-    StatsRegistry reg;
-    sim.registerStats(reg);
-    Json entry = Json::object();
-    entry["cycles"] = Json(t.cycles);
-    entry["insts"] = Json(t.arch.dynInsts);
-    entry["ipc"] = Json(t.ipc());
-    entry["cpi"] = Json(
-        safeRatio(double(t.cycles), double(t.arch.dynInsts)));
-    entry["host"] = hostSection(hostSeconds, t.arch.dynInsts);
-    Json buckets = Json::object();
-    buckets["issue"] = Json(t.buckets.issue);
-    buckets["imiss_stall"] = Json(t.buckets.imissStall);
-    buckets["dmiss_stall"] = Json(t.buckets.dmissStall);
-    buckets["branch_flush"] = Json(t.buckets.branchFlush);
-    buckets["dise_stall"] = Json(t.buckets.diseStall);
-    buckets["hazard"] = Json(t.buckets.hazard);
-    buckets["drain"] = Json(t.buckets.drain);
-    entry["buckets"] = std::move(buckets);
-    entry["counters"] = reg.toJson();
-    return entry;
-}
-
-/**
  * Run a program with no DISE. When @p workload / @p regime labels are
- * given and DISE_BENCH_JSON is set, the run is recorded in the bench's
+ * given and artifacts are enabled, the run is recorded in the bench's
  * JSON artifact under those labels.
  */
 inline TimingResult
@@ -314,17 +236,17 @@ runNative(const Program &prog, const PipelineParams &params,
           const std::string &workload = "",
           const std::string &regime = "")
 {
-    PipelineSim sim(prog, params);
-    const auto t0 = std::chrono::steady_clock::now();
-    const TimingResult t = sim.run();
-    if (!workload.empty() && BenchJson::instance().enabled()) {
-        const double secs = std::chrono::duration<double>(
-                                std::chrono::steady_clock::now() - t0)
-                                .count();
+    PreparedJob job;
+    job.prog = &prog;
+    job.machine = params;
+    SimOptions opts;
+    opts.benchEntry = !workload.empty() && BenchJson::instance().enabled();
+    TimingOutcome out = runTimingSim(job, opts);
+    if (opts.benchEntry) {
         BenchJson::instance().record(workload, regime,
-                                     timingEntry(sim, t, secs));
+                                     std::move(out.benchEntry));
     }
-    return t;
+    return out.timing;
 }
 
 /**
@@ -337,28 +259,32 @@ runDise(const Program &prog, const PipelineParams &params,
         bool mfiRegs = false, const Program *segSource = nullptr,
         const std::string &workload = "", const std::string &regime = "")
 {
-    DiseController controller(config);
-    controller.install(std::move(set));
-    PipelineSim sim(prog, params, &controller);
-    if (mfiRegs)
-        initMfiRegisters(sim.core(), segSource ? *segSource : prog);
-    const auto t0 = std::chrono::steady_clock::now();
-    const TimingResult t = sim.run();
-    if (!workload.empty() && BenchJson::instance().enabled()) {
-        const double secs = std::chrono::duration<double>(
-                                std::chrono::steady_clock::now() - t0)
-                                .count();
-        BenchJson::instance().record(workload, regime,
-                                     timingEntry(sim, t, secs));
+    PreparedJob job;
+    job.prog = &prog;
+    job.machine = params;
+    job.productions = std::move(set);
+    job.dise = config;
+    if (mfiRegs) {
+        const Program *seg = segSource ? segSource : &prog;
+        job.initCore = [seg](ExecCore &core) {
+            initMfiRegisters(core, *seg);
+        };
     }
-    return t;
+    SimOptions opts;
+    opts.benchEntry = !workload.empty() && BenchJson::instance().enabled();
+    TimingOutcome out = runTimingSim(job, opts);
+    if (opts.benchEntry) {
+        BenchJson::instance().record(workload, regime,
+                                     std::move(out.benchEntry));
+    }
+    return out.timing;
 }
 
 /**
  * Abort the bench loudly if a run misbehaved. Throws (FatalError)
- * rather than exiting so failures inside sharded mapSpecs workers
- * unwind through the harness's exception_ptr path instead of calling
- * std::exit on a worker thread; benchGuard() turns it into exit
+ * rather than exiting so failures inside scheduler workers unwind
+ * through the scheduler's exception channel — never std::exit on a
+ * worker thread — and benchGuard() turns the rethrown error into exit
  * status 1 at main.
  */
 inline void
@@ -374,7 +300,11 @@ check(const TimingResult &result, const std::string &what)
 /**
  * Run a bench body, mapping the harness error classes onto process
  * exit codes (user/workload error 1, simulator invariant 2) like the
- * tools do. Use as: int main() { return benchGuard([] {...}); }
+ * tools do. Use as:
+ *   int main(int argc, char **argv) {
+ *       benchInit(argc, argv, "name");
+ *       return benchGuard([] {...});
+ *   }
  */
 template <typename Fn>
 inline int

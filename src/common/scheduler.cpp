@@ -1,0 +1,210 @@
+#include "src/common/scheduler.hpp"
+
+#include "src/common/logging.hpp"
+
+namespace dise {
+
+namespace {
+
+/** Set while this thread is executing a task of some scheduler batch;
+ *  a nested runBatch from such a thread must run inline (taking a pool
+ *  slot for a blocking wait would deadlock the pool). */
+thread_local bool tlsInsideWorkerTask = false;
+
+} // namespace
+
+SimScheduler::SimScheduler(unsigned workers)
+    : workers_(workers == 0 ? 1 : workers)
+{
+    if (workers_ <= 1)
+        return;
+    deques_.resize(workers_);
+    threads_.reserve(workers_);
+    for (unsigned w = 0; w < workers_; ++w)
+        threads_.emplace_back([this, w] { workerLoop(w); });
+}
+
+SimScheduler::~SimScheduler()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        // A live batch would leave workers touching freed state; this
+        // is a host-code bug, not a recoverable condition.
+        if (tasks_ != nullptr)
+            std::terminate();
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (auto &thread : threads_)
+        thread.join();
+}
+
+void
+SimScheduler::cancel()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    cancelled_ = true;
+}
+
+bool
+SimScheduler::cancelled() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cancelled_;
+}
+
+SimScheduler::BatchStats
+SimScheduler::runInline(std::vector<std::function<void()>> &tasks)
+{
+    BatchStats stats;
+    std::exception_ptr error;
+    for (auto &task : tasks) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (cancelled_) {
+                ++stats.skipped;
+                continue;
+            }
+        }
+        const bool wasInside = tlsInsideWorkerTask;
+        tlsInsideWorkerTask = true;
+        try {
+            task();
+            ++stats.completed;
+        } catch (...) {
+            ++stats.completed;
+            if (!error)
+                error = std::current_exception();
+            std::lock_guard<std::mutex> lock(mutex_);
+            cancelled_ = true;
+        }
+        tlsInsideWorkerTask = wasInside;
+    }
+    if (error)
+        std::rethrow_exception(error);
+    return stats;
+}
+
+SimScheduler::BatchStats
+SimScheduler::runBatch(std::vector<std::function<void()>> tasks)
+{
+    if (tasks.empty())
+        return BatchStats{};
+
+    // Inline paths: no pool, or a nested submission from a task of
+    // this (or any) scheduler. The nested case keeps its enclosing
+    // batch's cancellation flag — a cancel() there cancels both.
+    if (workers_ <= 1) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        cancelled_ = false;
+    }
+    if (workers_ <= 1 || tlsInsideWorkerTask)
+        return runInline(tasks);
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (tasks_ != nullptr) {
+        // A second thread submitted while a batch is in flight; run it
+        // inline rather than corrupting the pool's batch state.
+        lock.unlock();
+        return runInline(tasks);
+    }
+    tasks_ = &tasks;
+    pending_ = tasks.size();
+    cancelled_ = false;
+    error_ = nullptr;
+    completed_ = 0;
+    skipped_ = 0;
+    for (size_t i = 0; i < tasks.size(); ++i)
+        deques_[i % workers_].push_back(i);
+    ++batchGen_;
+    workCv_.notify_all();
+    doneCv_.wait(lock, [this] { return pending_ == 0; });
+    tasks_ = nullptr;
+    const BatchStats stats{completed_, skipped_};
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    lock.unlock();
+    if (error)
+        std::rethrow_exception(error);
+    return stats;
+}
+
+bool
+SimScheduler::popTask(unsigned self, size_t &index)
+{
+    // Own work first, newest-first (cache-warm); then steal the oldest
+    // task of the fullest other deque.
+    if (!deques_[self].empty()) {
+        index = deques_[self].back();
+        deques_[self].pop_back();
+        return true;
+    }
+    size_t victim = workers_;
+    size_t most = 0;
+    for (unsigned w = 0; w < workers_; ++w) {
+        if (w != self && deques_[w].size() > most) {
+            most = deques_[w].size();
+            victim = w;
+        }
+    }
+    if (victim == workers_)
+        return false;
+    index = deques_[victim].front();
+    deques_[victim].pop_front();
+    return true;
+}
+
+void
+SimScheduler::finishOne()
+{
+    if (--pending_ == 0)
+        doneCv_.notify_all();
+}
+
+void
+SimScheduler::runTasks(unsigned self, std::unique_lock<std::mutex> &lock)
+{
+    size_t index = 0;
+    while (popTask(self, index)) {
+        if (cancelled_) {
+            ++skipped_;
+            finishOne();
+            continue;
+        }
+        lock.unlock();
+        tlsInsideWorkerTask = true;
+        std::exception_ptr error;
+        try {
+            (*tasks_)[index]();
+        } catch (...) {
+            error = std::current_exception();
+        }
+        tlsInsideWorkerTask = false;
+        lock.lock();
+        ++completed_;
+        if (error) {
+            if (!error_)
+                error_ = error;
+            cancelled_ = true;
+        }
+        finishOne();
+    }
+}
+
+void
+SimScheduler::workerLoop(unsigned self)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    uint64_t seenGen = 0;
+    for (;;) {
+        workCv_.wait(lock, [this, seenGen] {
+            return stop_ || (tasks_ != nullptr && batchGen_ != seenGen);
+        });
+        if (stop_)
+            return;
+        seenGen = batchGen_;
+        runTasks(self, lock);
+    }
+}
+
+} // namespace dise

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * SimScheduler — the bounded work-stealing job scheduler behind every
+ * multi-run workload (figure benches, fault campaigns, diserun --batch).
+ *
+ * A scheduler owns a fixed pool of worker threads (created once,
+ * reused across batches) and executes *batches* of independent jobs:
+ *
+ *  - Work stealing: a batch's tasks are dealt round-robin into one
+ *    deque per worker; an idle worker pops its own deque from the back
+ *    and steals from the front of the busiest other deque, so uneven
+ *    job lengths (a campaign trial that hangs to its watchdog next to
+ *    one that traps instantly) still keep every worker busy.
+ *  - Deterministic result ordering: tasks are indexed, and map()
+ *    writes each result into its own pre-sized slot, so a batch's
+ *    result vector is bit-identical at any worker count regardless of
+ *    execution interleaving.
+ *  - Exception channel: a throwing task cancels the rest of its batch
+ *    (started tasks finish, unstarted ones are skipped) and the first
+ *    exception is rethrown from runBatch() on the submitting thread —
+ *    the same propagation contract SingleFlightCache gives waiters.
+ *    Workers never std::exit; FatalError/PanicError from check()/
+ *    fatal()/panic() unwind through this channel to the caller.
+ *  - Cancellation: cancel() (from any thread, including a running
+ *    task) marks the current batch cancelled; tasks not yet started
+ *    are skipped and runBatch() returns normally with the skip count.
+ *
+ * A scheduler with workers <= 1 runs batches inline on the submitting
+ * thread (no pool), preserving the same cancellation and exception
+ * semantics. Nested submission — a task submitting a batch to its own
+ * scheduler, e.g. a fault campaign scheduled as one job of a larger
+ * batch — is detected and run inline on the worker thread, so it can
+ * never deadlock the pool.
+ */
+
+#ifndef DISE_COMMON_SCHEDULER_HPP
+#define DISE_COMMON_SCHEDULER_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dise {
+
+/** The work-stealing simulation-job scheduler. */
+class SimScheduler
+{
+  public:
+    /** How one batch ended (counts cover every submitted task). */
+    struct BatchStats
+    {
+        size_t completed = 0; ///< tasks that ran (including a thrower)
+        size_t skipped = 0;   ///< tasks skipped after cancel/error
+    };
+
+    /**
+     * @param workers Worker-thread count; <= 1 means no pool (batches
+     *                run inline on the submitting thread).
+     */
+    explicit SimScheduler(unsigned workers = 1);
+
+    /** Joins the pool. Must not be called with a batch in flight. */
+    ~SimScheduler();
+
+    SimScheduler(const SimScheduler &) = delete;
+    SimScheduler &operator=(const SimScheduler &) = delete;
+
+    unsigned workers() const { return workers_; }
+
+    /**
+     * Execute every task of @p tasks and block until the batch has
+     * quiesced (all tasks completed or skipped). One batch runs at a
+     * time; submitting from a worker thread of this scheduler runs the
+     * nested batch inline. The first exception a task throws cancels
+     * the remaining unstarted tasks and is rethrown here.
+     */
+    BatchStats runBatch(std::vector<std::function<void()>> tasks);
+
+    /**
+     * Cancel the batch in flight: tasks not yet started are skipped.
+     * Callable from worker tasks and from other threads; a no-op when
+     * no batch is running.
+     */
+    void cancel();
+
+    /** True while the current batch is cancelled (or errored). */
+    bool cancelled() const;
+
+    /**
+     * Run @p fn over every item, scheduled as one batch, and return
+     * the results in item order (deterministic at any worker count).
+     * The result type must be default-constructible; slots of skipped
+     * tasks (after cancel()) keep their default value.
+     */
+    template <typename T, typename Fn>
+    auto
+    map(const std::vector<T> &items, Fn fn)
+        -> std::vector<decltype(fn(items.front()))>
+    {
+        using Result = decltype(fn(items.front()));
+        std::vector<Result> results(items.size());
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(items.size());
+        for (size_t i = 0; i < items.size(); ++i) {
+            tasks.push_back([&results, &items, fn, i]() {
+                results[i] = fn(items[i]);
+            });
+        }
+        runBatch(std::move(tasks));
+        return results;
+    }
+
+  private:
+    void workerLoop(unsigned self);
+    /** Drain tasks (own deque back, then steal fronts) until none
+     *  remain; runs under @p lock, unlocking around each task body. */
+    void runTasks(unsigned self, std::unique_lock<std::mutex> &lock);
+    /** Pop the next task index for worker @p self; false when every
+     *  deque is empty. Caller holds the mutex. */
+    bool popTask(unsigned self, size_t &index);
+    /** Inline execution path (workers <= 1 and nested submissions). */
+    BatchStats runInline(std::vector<std::function<void()>> &tasks);
+    void finishOne();
+
+    const unsigned workers_;
+    mutable std::mutex mutex_;
+    std::condition_variable workCv_; ///< workers wait for a batch
+    std::condition_variable doneCv_; ///< submitter waits for quiesce
+    std::vector<std::thread> threads_;
+    std::vector<std::deque<size_t>> deques_;
+
+    /** @name Current batch (guarded by mutex_). */
+    /// @{
+    std::vector<std::function<void()>> *tasks_ = nullptr;
+    size_t pending_ = 0;   ///< tasks not yet completed or skipped
+    uint64_t batchGen_ = 0;
+    bool cancelled_ = false;
+    std::exception_ptr error_;
+    size_t completed_ = 0;
+    size_t skipped_ = 0;
+    /// @}
+
+    bool stop_ = false;
+};
+
+} // namespace dise
+
+#endif // DISE_COMMON_SCHEDULER_HPP

@@ -44,6 +44,41 @@ CampaignResult::silentFraction() const
                      double(injected));
 }
 
+TrialOutcome
+classifyTrialOutcome(const RunResult &trial, const RunResult &golden,
+                     bool injected)
+{
+    if (!injected)
+        return TrialOutcome::NotInjected;
+    if (trial.acfDetections > 0)
+        return TrialOutcome::DetectedByAcf;
+    if (trial.outcome == RunOutcome::Trap)
+        return TrialOutcome::DetectedByTrap;
+    if (trial.outcome != RunOutcome::Exit)
+        return TrialOutcome::Hang;
+    if (trial.exitCode == golden.exitCode &&
+        trial.output == golden.output) {
+        return TrialOutcome::Benign;
+    }
+    return TrialOutcome::SilentCorruption;
+}
+
+Json
+campaignToJson(const CampaignResult &result)
+{
+    Json outcomes = Json::object();
+    for (size_t i = 0; i < kNumTrialOutcomes; ++i)
+        outcomes[trialOutcomeName(static_cast<TrialOutcome>(i))] =
+            Json(uint64_t(result.counts[i]));
+    Json entry = Json::object();
+    entry["injected"] = Json(uint64_t(result.injected));
+    entry["outcomes"] = std::move(outcomes);
+    entry["detected_fraction"] = Json(result.detectedFraction());
+    entry["parity_detected"] = Json(uint64_t(result.parityDetected));
+    entry["parity_recovered"] = Json(uint64_t(result.parityRecovered));
+    return entry;
+}
+
 namespace {
 
 /** One run's worth of machinery (controller optional). */
@@ -79,10 +114,67 @@ parityDetections(const DiseController *controller)
            stats.get("rt_parity_detected");
 }
 
+/** Everything one trial produces; aggregated in trial order. */
+struct TrialData
+{
+    TrialRecord rec;
+    uint64_t dynInsts = 0;
+    bool injectedBit = false;
+    bool simError = false;
+};
+
+/**
+ * Run and classify trial t. Thread-safe: each trial owns a fresh
+ * controller/core, reads only const campaign state (setup, golden run,
+ * config), and derives its fault plan from a per-trial seed.
+ */
+TrialData
+runTrial(const CampaignSetup &setup, const CampaignConfig &config,
+         const RunResult &gold, uint64_t hangBudget, uint32_t t)
+{
+    Rng rng(Rng::deriveSeed(config.seed, t));
+    const FaultTarget target = config.targets[t % config.targets.size()];
+    TrialData data;
+    data.rec.plan = makeFaultPlan(rng, target, gold.appInsts);
+
+    try {
+        RunContext run = makeRun(setup);
+        bool triggered = false;
+        DynInst dyn;
+        uint64_t steps = 0;
+        while (steps < hangBudget) {
+            if (!triggered && run.core->result().appInsts >=
+                                  data.rec.plan.triggerAppInst) {
+                data.injectedBit = applyFault(*run.core,
+                                              run.controller.get(),
+                                              *setup.prog,
+                                              data.rec.plan);
+                triggered = true;
+            }
+            if (!run.core->step(dyn))
+                break;
+            ++steps;
+        }
+
+        const RunResult &r = run.core->result();
+        data.dynInsts = r.dynInsts;
+        data.rec.parityDetections = parityDetections(run.controller.get());
+        data.rec.outcome = classifyTrialOutcome(r, gold, data.injectedBit);
+    } catch (const std::exception &) {
+        // The simulator must never throw at a guest fault; anything
+        // escaping here is a host-level bug the bench asserts on.
+        data.simError = true;
+        data.injectedBit = false;
+        data.rec.outcome = TrialOutcome::SimError;
+    }
+    return data;
+}
+
 } // namespace
 
 CampaignResult
-runCampaign(const CampaignSetup &setup, const CampaignConfig &config)
+runCampaign(const CampaignSetup &setup, const CampaignConfig &config,
+            SimScheduler *scheduler)
 {
     DISE_ASSERT(setup.prog != nullptr, "campaign without a program");
     DISE_ASSERT(!config.targets.empty(), "campaign without targets");
@@ -97,6 +189,7 @@ runCampaign(const CampaignSetup &setup, const CampaignConfig &config)
                         "cleanly (outcome=%s code=%d)",
                         runOutcomeName(gold.outcome), gold.exitCode));
     }
+    result.golden = gold;
     result.goldenDynInsts = gold.dynInsts;
     result.goldenAppInsts = gold.appInsts;
     result.totalDynInsts += gold.dynInsts;
@@ -106,65 +199,38 @@ runCampaign(const CampaignSetup &setup, const CampaignConfig &config)
                               config.hangBudgetFactor),
         gold.dynInsts + 10000);
 
-    for (uint32_t t = 0; t < config.trials; ++t) {
-        Rng rng(Rng::deriveSeed(config.seed, t));
-        const FaultTarget target =
-            config.targets[t % config.targets.size()];
-        TrialRecord rec;
-        rec.plan = makeFaultPlan(rng, target, gold.appInsts);
+    // Run the trials — fanned out across the scheduler when one is
+    // provided, serially otherwise. Either way each trial writes its
+    // own TrialData slot, and the aggregation below walks the slots in
+    // trial order, so the result is bit-identical at any worker count.
+    std::vector<uint32_t> indices(config.trials);
+    for (uint32_t t = 0; t < config.trials; ++t)
+        indices[t] = t;
+    std::vector<TrialData> data;
+    const auto trial = [&](uint32_t t) {
+        return runTrial(setup, config, gold, hangBudget, t);
+    };
+    if (scheduler && scheduler->workers() > 1)
+        data = scheduler->map(indices, trial);
+    else {
+        data.reserve(config.trials);
+        for (const uint32_t t : indices)
+            data.push_back(trial(t));
+    }
 
-        try {
-            RunContext run = makeRun(setup);
-            bool triggered = false;
-            bool injectedBit = false;
-            DynInst dyn;
-            uint64_t steps = 0;
-            while (steps < hangBudget) {
-                if (!triggered && run.core->result().appInsts >=
-                                      rec.plan.triggerAppInst) {
-                    injectedBit = applyFault(*run.core,
-                                             run.controller.get(),
-                                             *setup.prog, rec.plan);
-                    triggered = true;
-                }
-                if (!run.core->step(dyn))
-                    break;
-                ++steps;
-            }
-
-            const RunResult &r = run.core->result();
-            result.totalDynInsts += r.dynInsts;
-            rec.parityDetections = parityDetections(run.controller.get());
-            if (!injectedBit) {
-                rec.outcome = TrialOutcome::NotInjected;
-            } else if (r.acfDetections > 0) {
-                rec.outcome = TrialOutcome::DetectedByAcf;
-            } else if (r.outcome == RunOutcome::Trap) {
-                rec.outcome = TrialOutcome::DetectedByTrap;
-            } else if (r.outcome != RunOutcome::Exit) {
-                rec.outcome = TrialOutcome::Hang;
-            } else if (r.exitCode == gold.exitCode &&
-                       r.output == gold.output) {
-                rec.outcome = TrialOutcome::Benign;
-            } else {
-                rec.outcome = TrialOutcome::SilentCorruption;
-            }
-            if (injectedBit)
-                ++result.injected;
-            result.parityDetected += rec.parityDetections;
-            if (rec.parityDetections > 0 &&
-                rec.outcome == TrialOutcome::Benign) {
-                ++result.parityRecovered;
-            }
-        } catch (const std::exception &) {
-            // The simulator must never throw at a guest fault; anything
-            // escaping here is a host-level bug the bench asserts on.
+    for (const TrialData &d : data) {
+        result.totalDynInsts += d.dynInsts;
+        if (d.injectedBit)
+            ++result.injected;
+        if (d.simError)
             ++result.uncaughtExceptions;
-            rec.outcome = TrialOutcome::SimError;
+        result.parityDetected += d.rec.parityDetections;
+        if (d.rec.parityDetections > 0 &&
+            d.rec.outcome == TrialOutcome::Benign) {
+            ++result.parityRecovered;
         }
-
-        ++result.counts[static_cast<size_t>(rec.outcome)];
-        result.trials.push_back(rec);
+        ++result.counts[static_cast<size_t>(d.rec.outcome)];
+        result.trials.push_back(d.rec);
     }
     return result;
 }

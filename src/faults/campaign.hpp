@@ -40,6 +40,8 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/json.hpp"
+#include "src/common/scheduler.hpp"
 #include "src/faults/injector.hpp"
 
 namespace dise {
@@ -102,6 +104,10 @@ struct TrialRecord
 /** Aggregate campaign results. */
 struct CampaignResult
 {
+    /** The golden (fault-free) run the trials were classified against;
+     *  also the unified architectural result a campaign RunResponse
+     *  reports. */
+    RunResult golden;
     uint64_t goldenDynInsts = 0;
     uint64_t goldenAppInsts = 0;
     /** Guest instructions simulated across the golden run and every
@@ -132,12 +138,36 @@ struct CampaignResult
 };
 
 /**
+ * Classify one finished trial against the golden run. The single
+ * source of the precedence order documented in the file header
+ * (detected-acf > detected-trap > hang > output comparison); every
+ * campaign path (serial, scheduler-parallel, service) uses it.
+ */
+TrialOutcome classifyTrialOutcome(const RunResult &trial,
+                                  const RunResult &golden,
+                                  bool injected);
+
+/**
+ * The campaign's artifact entry sans host section (outcome counts,
+ * fractions, parity counters). Shared by bench_fault_campaign and the
+ * SimSession campaign path so the two emit byte-identical shapes.
+ */
+Json campaignToJson(const CampaignResult &result);
+
+/**
  * Run a campaign: one golden run, then config.trials seeded trials.
  * fatal()s when the golden run does not exit cleanly (the campaign
  * would classify nothing meaningful against a broken baseline).
+ *
+ * With a scheduler of >1 workers, trials fan out across its pool;
+ * results are aggregated in trial order, so the classification vector
+ * and every derived count are bit-identical to the serial run (each
+ * trial owns a fresh core and draws its plan from a per-trial derived
+ * seed, so trials share no mutable state).
  */
 CampaignResult runCampaign(const CampaignSetup &setup,
-                           const CampaignConfig &config);
+                           const CampaignConfig &config,
+                           SimScheduler *scheduler = nullptr);
 
 } // namespace dise
 

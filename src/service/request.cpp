@@ -1,0 +1,265 @@
+#include "src/service/request.hpp"
+
+#include "src/common/logging.hpp"
+#include "src/common/stats.hpp"
+
+namespace dise {
+
+const char *
+runModeName(RunMode mode)
+{
+    switch (mode) {
+      case RunMode::Functional:
+        return "functional";
+      case RunMode::Timing:
+        return "timing";
+      case RunMode::Campaign:
+        return "campaign";
+    }
+    return "?";
+}
+
+RunMode
+parseRunMode(const std::string &name)
+{
+    if (name == "functional")
+        return RunMode::Functional;
+    if (name == "timing")
+        return RunMode::Timing;
+    if (name == "campaign")
+        return RunMode::Campaign;
+    fatal("RunRequest: unknown mode \"" + name + "\"");
+}
+
+namespace {
+
+const char *
+mfiVariantName(MfiVariant variant)
+{
+    switch (variant) {
+      case MfiVariant::Dise3:
+        return "dise3";
+      case MfiVariant::Dise4:
+        return "dise4";
+      case MfiVariant::Sandbox:
+        return "sandbox";
+    }
+    return "?";
+}
+
+MfiVariant
+parseMfiVariant(const std::string &name)
+{
+    if (name == "dise3")
+        return MfiVariant::Dise3;
+    if (name == "dise4")
+        return MfiVariant::Dise4;
+    if (name == "sandbox")
+        return MfiVariant::Sandbox;
+    fatal("RunRequest: unknown mfi_variant \"" + name + "\"");
+}
+
+const char *
+placementName(DisePlacement placement)
+{
+    switch (placement) {
+      case DisePlacement::Free:
+        return "free";
+      case DisePlacement::Stall:
+        return "stall";
+      case DisePlacement::Pipe:
+        return "pipe";
+    }
+    return "?";
+}
+
+DisePlacement
+parsePlacement(const std::string &name)
+{
+    if (name == "free")
+        return DisePlacement::Free;
+    if (name == "stall")
+        return DisePlacement::Stall;
+    if (name == "pipe")
+        return DisePlacement::Pipe;
+    fatal("RunRequest: unknown placement \"" + name + "\"");
+}
+
+FaultTarget
+parseFaultTarget(const std::string &name)
+{
+    for (const FaultTarget t :
+         {FaultTarget::MemoryData, FaultTarget::RegisterFile,
+          FaultTarget::InstructionWord, FaultTarget::PtEntry,
+          FaultTarget::RtEntry}) {
+        if (name == faultTargetName(t))
+            return t;
+    }
+    fatal("RunRequest: unknown fault target \"" + name + "\"");
+}
+
+} // namespace
+
+std::string
+RunRequest::label() const
+{
+    if (!id.empty())
+        return id;
+    const std::string what = !workload.empty() ? workload : "source";
+    return what + "/" + regime;
+}
+
+void
+RunRequest::validate() const
+{
+    if (workload.empty() == source.empty())
+        fatal("RunRequest: exactly one of workload/source required");
+    if (!(scale > 0))
+        fatal("RunRequest: scale must be > 0");
+    if (workload.empty() && scale != 1.0)
+        fatal("RunRequest: scale applies to workloads only");
+    if (width == 0)
+        fatal("RunRequest: width must be >= 1");
+    if (watchpoint && !mfi)
+        fatal("RunRequest: watchpoint requires mfi");
+    if (mode == RunMode::Campaign) {
+        if (trials == 0)
+            fatal("RunRequest: campaign needs trials >= 1");
+        if (faultTargets.empty())
+            fatal("RunRequest: campaign needs fault targets");
+    }
+}
+
+Json
+RunRequest::toJson() const
+{
+    Json doc = Json::object();
+    doc["id"] = Json(id);
+    doc["workload"] = Json(workload);
+    doc["source"] = Json(source);
+    doc["scale"] = Json(scale);
+    doc["regime"] = Json(regime);
+    doc["mode"] = Json(std::string(runModeName(mode)));
+    doc["mfi"] = Json(mfi);
+    doc["mfi_variant"] = Json(std::string(mfiVariantName(mfiVariant)));
+    doc["watchpoint"] = Json(watchpoint);
+    doc["rewrite_mfi"] = Json(rewriteMfi);
+    doc["compress"] = Json(compress);
+    doc["productions"] = Json(productions);
+    doc["profile"] = Json(profile);
+    doc["rt_entries"] = Json(dise.rtEntries);
+    doc["rt_assoc"] = Json(dise.rtAssoc);
+    doc["placement"] = Json(std::string(placementName(dise.placement)));
+    doc["expansion_cache"] = Json(dise.expansionCache);
+    doc["parity_checks"] = Json(dise.parityChecks);
+    doc["trace_cache"] = Json(traceCache);
+    doc["icache_kb"] = Json(icacheKB);
+    doc["width"] = Json(width);
+    doc["max_insts"] = Json(maxInsts);
+    doc["max_cycles"] = Json(maxCycles);
+    doc["seed"] = Json(seed);
+    doc["trials"] = Json(trials);
+    Json targets = Json::array();
+    for (const FaultTarget t : faultTargets)
+        targets.push_back(Json(std::string(faultTargetName(t))));
+    doc["fault_targets"] = std::move(targets);
+    return doc;
+}
+
+RunRequest
+RunRequest::fromJson(const Json &doc)
+{
+    if (!doc.isObject())
+        fatal("RunRequest: job entry is not a JSON object");
+    RunRequest req;
+    for (const auto &kv : doc.members()) {
+        const std::string &key = kv.first;
+        const Json &value = kv.second;
+        if (key == "id") {
+            req.id = value.asString();
+        } else if (key == "workload") {
+            req.workload = value.asString();
+        } else if (key == "source") {
+            req.source = value.asString();
+        } else if (key == "scale") {
+            req.scale = value.asDouble();
+        } else if (key == "regime") {
+            req.regime = value.asString();
+        } else if (key == "mode") {
+            req.mode = parseRunMode(value.asString());
+        } else if (key == "mfi") {
+            req.mfi = value.asBool();
+        } else if (key == "mfi_variant") {
+            req.mfiVariant = parseMfiVariant(value.asString());
+        } else if (key == "watchpoint") {
+            req.watchpoint = value.asBool();
+        } else if (key == "rewrite_mfi") {
+            req.rewriteMfi = value.asBool();
+        } else if (key == "compress") {
+            req.compress = value.asBool();
+        } else if (key == "productions") {
+            req.productions = value.asString();
+        } else if (key == "profile") {
+            req.profile = value.asBool();
+        } else if (key == "rt_entries") {
+            req.dise.rtEntries = uint32_t(value.asUInt());
+        } else if (key == "rt_assoc") {
+            req.dise.rtAssoc = uint32_t(value.asUInt());
+        } else if (key == "placement") {
+            req.dise.placement = parsePlacement(value.asString());
+        } else if (key == "expansion_cache") {
+            req.dise.expansionCache = value.asBool();
+        } else if (key == "parity_checks") {
+            req.dise.parityChecks = value.asBool();
+        } else if (key == "trace_cache") {
+            req.traceCache = value.asBool();
+        } else if (key == "icache_kb") {
+            req.icacheKB = uint32_t(value.asUInt());
+        } else if (key == "width") {
+            req.width = uint32_t(value.asUInt());
+        } else if (key == "max_insts") {
+            req.maxInsts = value.asUInt();
+        } else if (key == "max_cycles") {
+            req.maxCycles = value.asUInt();
+        } else if (key == "seed") {
+            req.seed = value.asUInt();
+        } else if (key == "trials") {
+            req.trials = uint32_t(value.asUInt());
+        } else if (key == "fault_targets") {
+            req.faultTargets.clear();
+            for (const Json &t : value.items())
+                req.faultTargets.push_back(
+                    parseFaultTarget(t.asString()));
+        } else {
+            fatal("RunRequest: unknown key \"" + key + "\"");
+        }
+    }
+    req.validate();
+    return req;
+}
+
+Json
+RunResponse::toJson() const
+{
+    Json doc = Json::object();
+    doc["id"] = Json(id);
+    doc["mode"] = Json(std::string(runModeName(mode)));
+    doc["ok"] = Json(ok);
+    if (!ok) {
+        doc["error"] = Json(error);
+        return doc;
+    }
+    doc["run"] = arch.toJson();
+    if (mode == RunMode::Timing)
+        doc["cycles"] = Json(cycles);
+    if (!detail.isNull())
+        doc["detail"] = detail;
+    Json host = Json::object();
+    host["seconds"] = Json(hostSeconds);
+    host["insts_per_second"] = Json(
+        safeRatio(double(arch.dynInsts), hostSeconds));
+    doc["host"] = std::move(host);
+    return doc;
+}
+
+} // namespace dise

@@ -1,0 +1,281 @@
+#include "src/service/runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/acf/compress.hpp"
+#include "src/acf/assertions.hpp"
+#include "src/acf/compose.hpp"
+#include "src/acf/mfi.hpp"
+#include "src/acf/rewriter.hpp"
+#include "src/assembler/assembler.hpp"
+#include "src/common/logging.hpp"
+#include "src/common/stats.hpp"
+#include "src/dise/parser.hpp"
+
+namespace dise {
+
+WorkloadSpec
+scaledSpec(WorkloadSpec spec, double scale)
+{
+    if (!(scale > 0))
+        fatal("workload scale must be > 0");
+    if (scale != 1.0) {
+        spec.targetDynInsts = static_cast<uint64_t>(
+            double(spec.targetDynInsts) * scale);
+        spec.kernelIters = std::max(
+            1u, static_cast<uint32_t>(double(spec.kernelIters) * scale));
+    }
+    return spec;
+}
+
+Json
+hostSection(double seconds, uint64_t guestInsts)
+{
+    Json host = Json::object();
+    host["seconds"] = Json(seconds);
+    host["insts_per_second"] =
+        Json(safeRatio(double(guestInsts), seconds));
+    return host;
+}
+
+PreparedJob
+prepareJob(const RunRequest &req, const Program *base)
+{
+    req.validate();
+    PreparedJob job;
+
+    // ---- Build the program. ----
+    Program prog;
+    if (base) {
+        prog = *base;
+    } else if (!req.workload.empty()) {
+        prog = buildWorkload(
+            scaledSpec(workloadSpec(req.workload), req.scale));
+    } else {
+        prog = assemble(req.source);
+    }
+
+    // ---- Assemble the production set (pre-transform program). ----
+    auto set = std::make_shared<ProductionSet>();
+    bool haveDise = false;
+    if (!req.productions.empty()) {
+        set->merge(parseProductions(req.productions, prog.symbols));
+        haveDise = true;
+    }
+    // Guard cell the program never writes, above the stack region; any
+    // nonzero store landing there trips the watchpoint assertion.
+    const Addr watchAddr = prog.dataBase +
+                           (Addr(1) << (kSegmentShift - 1)) +
+                           (Addr(1) << 20);
+    if (req.mfi) {
+        MfiOptions mfiOpts;
+        mfiOpts.variant = req.mfiVariant;
+        if (req.watchpoint) {
+            set->merge(composeMerged(makeMfiProductions(prog, mfiOpts),
+                                     makeWatchpointProductions(prog)));
+        } else {
+            set->merge(makeMfiProductions(prog, mfiOpts));
+        }
+        haveDise = true;
+    }
+    if (req.profile) {
+        set->merge(makePathProfilerProductions());
+        haveDise = true;
+    }
+
+    // ---- Program transforms. ----
+    if (req.rewriteMfi)
+        prog = applyMfiRewriting(prog);
+    if (req.profile) {
+        // Place the profile buffer past everything in the data segment.
+        job.profileBuffer = prog.dataBase +
+                            ((prog.data.size() + 0xffff) &
+                             ~size_t(0xfff)) +
+                            (1 << 20);
+    }
+    if (req.compress) {
+        const CompressionResult comp = compressProgram(prog);
+        prog = comp.compressed;
+        set->merge(*comp.dictionary);
+        haveDise = true;
+    }
+
+    job.owned = std::make_shared<const Program>(std::move(prog));
+    job.prog = job.owned.get();
+    if (haveDise)
+        job.productions = std::move(set);
+
+    // ---- Configuration. ----
+    job.dise = req.dise;
+    job.traceCache = req.traceCache;
+    job.machine.width = req.width;
+    job.machine.mem.l1iSize = req.icacheKB * 1024; // 0 = perfect
+    job.maxInsts = req.maxInsts;
+    job.maxCycles = req.maxCycles;
+
+    // ---- Register-initialization hook. ----
+    const bool mfiRegs = req.mfi;
+    const bool profRegs = req.profile;
+    const bool watchRegs = req.watchpoint;
+    const Addr profileBuffer = job.profileBuffer;
+    std::shared_ptr<const Program> owned = job.owned;
+    if (mfiRegs || profRegs) {
+        job.initCore = [mfiRegs, profRegs, watchRegs, watchAddr,
+                        profileBuffer, owned](ExecCore &core) {
+            if (mfiRegs)
+                initMfiRegisters(core, *owned);
+            if (watchRegs)
+                initWatchpointRegisters(core, watchAddr, 0);
+            if (profRegs)
+                initProfilerRegisters(core, profileBuffer);
+        };
+    }
+    return job;
+}
+
+namespace {
+
+/** Fresh controller for a job; null when the job installs no ACFs. */
+std::unique_ptr<DiseController>
+makeController(const PreparedJob &job)
+{
+    if (!job.productions)
+        return nullptr;
+    auto controller = std::make_unique<DiseController>(job.dise);
+    controller->install(job.productions);
+    return controller;
+}
+
+double
+secondsSince(const std::chrono::steady_clock::time_point &t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+void
+setRunMeta(StatsRegistry &reg, RunOutcome outcome, double hostSeconds,
+           uint64_t dynInsts)
+{
+    reg.set("run.outcome", Json(std::string(runOutcomeName(outcome))));
+    reg.set("host.seconds", Json(hostSeconds));
+    reg.set("host.insts_per_second",
+            Json(safeRatio(double(dynInsts), hostSeconds)));
+}
+
+} // namespace
+
+Json
+timingEntryJson(PipelineSim &sim, const TimingResult &t,
+                double hostSeconds)
+{
+    StatsRegistry reg;
+    sim.registerStats(reg);
+    Json entry = Json::object();
+    entry["cycles"] = Json(t.cycles);
+    entry["insts"] = Json(t.arch.dynInsts);
+    entry["ipc"] = Json(t.ipc());
+    entry["cpi"] = Json(
+        safeRatio(double(t.cycles), double(t.arch.dynInsts)));
+    entry["host"] = hostSection(hostSeconds, t.arch.dynInsts);
+    Json buckets = Json::object();
+    buckets["issue"] = Json(t.buckets.issue);
+    buckets["imiss_stall"] = Json(t.buckets.imissStall);
+    buckets["dmiss_stall"] = Json(t.buckets.dmissStall);
+    buckets["branch_flush"] = Json(t.buckets.branchFlush);
+    buckets["dise_stall"] = Json(t.buckets.diseStall);
+    buckets["hazard"] = Json(t.buckets.hazard);
+    buckets["drain"] = Json(t.buckets.drain);
+    entry["buckets"] = std::move(buckets);
+    entry["counters"] = reg.toJson();
+    return entry;
+}
+
+FunctionalOutcome
+runFunctionalSim(const PreparedJob &job, const SimOptions &opts)
+{
+    DISE_ASSERT(job.prog != nullptr, "job without a program");
+    FunctionalOutcome out;
+    std::unique_ptr<DiseController> controller = makeController(job);
+    ExecCore core(*job.prog, controller.get());
+    core.setTraceCacheEnabled(job.traceCache);
+    if (job.initCore)
+        job.initCore(core);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    if (opts.traceInsts > 0) {
+        DynInst dyn;
+        for (uint64_t i = 0; i < opts.traceInsts && core.step(dyn); ++i) {
+            if (opts.onTrace)
+                opts.onTrace(dyn, i);
+        }
+    }
+    out.arch = core.run(job.maxInsts);
+    out.hostSeconds = secondsSince(t0);
+
+    if (opts.statsText && controller)
+        out.statsText = controller->engine().stats().dump();
+    if (opts.registry) {
+        StatsRegistry reg;
+        StatGroup runStats("run");
+        runStats.set("dyn_insts", out.arch.dynInsts);
+        runStats.set("app_insts", out.arch.appInsts);
+        runStats.set("dise_insts", out.arch.diseInsts);
+        runStats.set("expansions", out.arch.expansions);
+        runStats.set("loads", out.arch.loads);
+        runStats.set("stores", out.arch.stores);
+        runStats.set("acf_detections", out.arch.acfDetections);
+        reg.add("run", &runStats);
+        if (controller)
+            reg.add("dise", &controller->engine().stats());
+        setRunMeta(reg, out.arch.outcome, out.hostSeconds,
+                   out.arch.dynInsts);
+        out.registry = reg.toJson();
+    }
+    if (job.profileBuffer != 0)
+        out.profile = readPathProfile(core, job.profileBuffer);
+    return out;
+}
+
+TimingOutcome
+runTimingSim(const PreparedJob &job, const SimOptions &opts)
+{
+    DISE_ASSERT(job.prog != nullptr, "job without a program");
+    TimingOutcome out;
+    std::unique_ptr<DiseController> controller = makeController(job);
+    PipelineSim sim(*job.prog, job.machine, controller.get());
+    if (job.initCore)
+        job.initCore(sim.core());
+
+    const auto t0 = std::chrono::steady_clock::now();
+    out.timing = sim.run(job.maxInsts, job.maxCycles);
+    out.hostSeconds = secondsSince(t0);
+
+    if (opts.statsText) {
+        std::string text;
+        if (controller)
+            text += controller->engine().stats().dump();
+        text += sim.mem().icache().stats().dump();
+        text += sim.mem().dcache().stats().dump();
+        text += sim.mem().l2().stats().dump();
+        text += sim.predictor().stats().dump();
+        out.statsText = std::move(text);
+    }
+    if (opts.benchEntry)
+        out.benchEntry = timingEntryJson(sim, out.timing,
+                                         out.hostSeconds);
+    if (opts.registry) {
+        StatsRegistry reg;
+        sim.registerStats(reg);
+        setRunMeta(reg, out.timing.arch.outcome, out.hostSeconds,
+                   out.timing.arch.dynInsts);
+        out.registry = reg.toJson();
+    }
+    if (job.profileBuffer != 0)
+        out.profile = readPathProfile(sim.core(), job.profileBuffer);
+    return out;
+}
+
+} // namespace dise

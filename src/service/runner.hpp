@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The one place simulation jobs are prepared and executed.
+ *
+ * prepareJob() turns a RunRequest into a PreparedJob — the program
+ * (built, scaled, optionally MFI-rewritten and/or compressed), the
+ * installed-production set, the engine/machine configuration, and the
+ * core-initialization hook — and runFunctionalSim()/runTimingSim()
+ * execute a PreparedJob on a fresh core/pipeline, returning the unified
+ * RunResult plus optional artifact-shaped JSON.
+ *
+ * diserun, the bench harness run helpers (runNative/runDise), and the
+ * SimSession batch paths all route through these executors, so the
+ * per-run setup (controller construction, register initialization, the
+ * timing-entry artifact shape) exists exactly once.
+ *
+ * Every executor call builds its own controller and core from const
+ * inputs, so concurrent calls on the same PreparedJob are safe — this
+ * is what lets SimScheduler fan jobs out across workers.
+ */
+
+#ifndef DISE_SERVICE_RUNNER_HPP
+#define DISE_SERVICE_RUNNER_HPP
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/acf/profiler.hpp"
+#include "src/pipeline/pipeline.hpp"
+#include "src/service/request.hpp"
+#include "src/workloads/workloads.hpp"
+
+namespace dise {
+
+/**
+ * Scale a workload's dynamic-instruction target and kernel iterations.
+ * The single implementation behind RunRequest::scale and the bench
+ * harness's DISE_BENCH_SCALE / --scale knob.
+ */
+WorkloadSpec scaledSpec(WorkloadSpec spec, double scale);
+
+/**
+ * Per-entry host-side throughput section: wall-clock seconds and guest
+ * instructions simulated per second. Host-dependent by construction —
+ * determinism comparisons must strip it (validate_bench_json.py
+ * --compare does).
+ */
+Json hostSection(double seconds, uint64_t guestInsts);
+
+/** An executable simulation job: program + ACFs + configuration. */
+struct PreparedJob
+{
+    /** Program storage when prepareJob built or transformed it. */
+    std::shared_ptr<const Program> owned;
+    /** The program to run (== owned.get() or an external program). */
+    const Program *prog = nullptr;
+
+    /** Productions to install; null = no DISE controller at all. */
+    std::shared_ptr<const ProductionSet> productions;
+    DiseConfig dise;
+
+    PipelineParams machine;
+    bool traceCache = true;
+    uint64_t maxInsts = ~uint64_t(0);
+    uint64_t maxCycles = 0;
+
+    /** Path-profile buffer base; 0 = no profiler installed. */
+    Addr profileBuffer = 0;
+
+    /** Per-run core setup (dedicated registers); may be null. */
+    std::function<void(ExecCore &)> initCore;
+};
+
+/**
+ * Prepare a request for execution: build (or adopt @p base), apply
+ * binary rewriting and compression, assemble the production set (DSL
+ * text, MFI, watchpoint, profiler, decompression dictionary), and
+ * compose the register-initialization hook.
+ *
+ * @param base An already-built base program to start from (e.g. a
+ *             session-cached workload); null = build from the request.
+ */
+PreparedJob prepareJob(const RunRequest &req,
+                       const Program *base = nullptr);
+
+/** What an executor should collect beyond the architectural result. */
+struct SimOptions
+{
+    /** Dump engine (and timing: cache/predictor) counter text. */
+    bool statsText = false;
+    /** Build the full StatsRegistry JSON document (--stats-json). */
+    bool registry = false;
+    /** Timing: build the bench-artifact timing entry. */
+    bool benchEntry = false;
+    /** Functional: step the first n instructions through onTrace. */
+    uint64_t traceInsts = 0;
+    std::function<void(const DynInst &dyn, uint64_t index)> onTrace;
+};
+
+/** One functional run's outputs. */
+struct FunctionalOutcome
+{
+    RunResult arch;
+    double hostSeconds = 0.0;
+    /** Full stats-registry document (run.*, dise.* when present,
+     *  host.*); null unless SimOptions::registry. */
+    Json registry;
+    std::string statsText;
+    std::vector<PathRecord> profile;
+};
+
+/** One timing run's outputs. */
+struct TimingOutcome
+{
+    TimingResult timing;
+    double hostSeconds = 0.0;
+    /** Bench-artifact timing entry (cycles/ipc/buckets/counters/host);
+     *  null unless SimOptions::benchEntry. */
+    Json benchEntry;
+    /** Full stats-registry document; null unless SimOptions::registry. */
+    Json registry;
+    std::string statsText;
+    std::vector<PathRecord> profile;
+};
+
+/** Run a PreparedJob on the architectural simulator (ExecCore). */
+FunctionalOutcome runFunctionalSim(const PreparedJob &job,
+                                   const SimOptions &opts = {});
+
+/** Run a PreparedJob on the cycle-level simulator (PipelineSim). */
+TimingOutcome runTimingSim(const PreparedJob &job,
+                           const SimOptions &opts = {});
+
+/**
+ * The bench-artifact entry for one timing run: cycles/CPI, per-stage
+ * cycle buckets, every component counter and derived ratio (via
+ * PipelineSim::registerStats), and the host section.
+ */
+Json timingEntryJson(PipelineSim &sim, const TimingResult &t,
+                     double hostSeconds);
+
+} // namespace dise
+
+#endif // DISE_SERVICE_RUNNER_HPP

@@ -1,0 +1,123 @@
+#include "src/service/session.hpp"
+
+#include <chrono>
+
+#include "src/common/logging.hpp"
+#include "src/faults/campaign.hpp"
+
+namespace dise {
+
+SimSession::SimSession(const SessionConfig &config)
+    : scheduler_(config.workers)
+{
+}
+
+const Program *
+SimSession::cachedProgram(const RunRequest &req)
+{
+    if (req.workload.empty())
+        return nullptr;
+    const std::string key =
+        req.workload + "@" + std::to_string(req.scale);
+    return &programs_.get(key, [&req] {
+        return buildWorkload(scaledSpec(workloadSpec(req.workload),
+                                        req.scale));
+    });
+}
+
+RunResponse
+SimSession::execute(const RunRequest &req)
+{
+    req.validate();
+    RunResponse resp;
+    resp.id = req.label();
+    resp.mode = req.mode;
+
+    const PreparedJob job = prepareJob(req, cachedProgram(req));
+    switch (req.mode) {
+      case RunMode::Functional: {
+        SimOptions opts;
+        opts.registry = true;
+        const FunctionalOutcome out = runFunctionalSim(job, opts);
+        resp.arch = out.arch;
+        resp.hostSeconds = out.hostSeconds;
+        resp.detail = out.registry;
+        break;
+      }
+      case RunMode::Timing: {
+        SimOptions opts;
+        opts.benchEntry = true;
+        const TimingOutcome out = runTimingSim(job, opts);
+        resp.arch = out.timing.arch;
+        resp.cycles = out.timing.cycles;
+        resp.hostSeconds = out.hostSeconds;
+        resp.detail = out.benchEntry;
+        break;
+      }
+      case RunMode::Campaign: {
+        CampaignSetup setup;
+        setup.prog = job.prog;
+        if (job.productions) {
+            setup.makeAcf = [set = job.productions] { return set; };
+        }
+        setup.initCore = job.initCore;
+        setup.diseConfig = job.dise;
+        CampaignConfig cfg;
+        cfg.seed = req.seed;
+        cfg.trials = req.trials;
+        cfg.targets = req.faultTargets;
+        if (req.maxInsts != ~uint64_t(0))
+            cfg.maxGoldenInsts = req.maxInsts;
+        const auto t0 = std::chrono::steady_clock::now();
+        const CampaignResult r = runCampaign(setup, cfg, &scheduler_);
+        resp.hostSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        resp.arch = r.golden;
+        Json detail = campaignToJson(r);
+        detail["host"] = hostSection(resp.hostSeconds, r.totalDynInsts);
+        resp.detail = std::move(detail);
+        break;
+      }
+    }
+    return resp;
+}
+
+RunResponse
+SimSession::run(const RunRequest &req)
+{
+    return execute(req);
+}
+
+std::vector<RunResponse>
+SimSession::runBatch(
+    const std::vector<RunRequest> &reqs,
+    const std::function<void(size_t, const RunResponse &)> &onResult)
+{
+    std::vector<size_t> indices(reqs.size());
+    for (size_t i = 0; i < reqs.size(); ++i)
+        indices[i] = i;
+    // FatalError is a per-job failure: report it in the response and
+    // let the rest of the batch finish. PanicError propagates out of
+    // the task, which makes the scheduler cancel the remaining jobs
+    // and rethrow here — a simulator bug fails the whole batch.
+    return scheduler_.map(indices, [&](size_t i) {
+        RunResponse resp;
+        try {
+            resp = execute(reqs[i]);
+        } catch (const FatalError &e) {
+            resp.id = reqs[i].label();
+            resp.mode = reqs[i].mode;
+            resp.ok = false;
+            resp.error = e.what();
+        }
+        if (onResult) {
+            std::lock_guard<std::mutex> lock(resultMutex_);
+            onResult(i, resp);
+        }
+        return resp;
+    });
+}
+
+} // namespace dise

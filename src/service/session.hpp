@@ -1,0 +1,98 @@
+/**
+ * @file
+ * SimSession — the one public way to run simulations.
+ *
+ * A session owns a SimScheduler worker pool and a single-flight program
+ * cache, and executes RunRequests in any mode:
+ *
+ *   SimSession session({4});
+ *   RunResponse r = session.run(req);              // one job
+ *   auto all = session.runBatch(reqs, onResult);   // a sharded batch
+ *
+ * Batch semantics:
+ *  - Results come back in request order regardless of worker count
+ *    (each job writes its own slot), so a batch is bit-identical at
+ *    workers=1 and workers=N modulo the host sections.
+ *  - A job failing with FatalError (bad request, broken program, a
+ *    golden campaign run that traps) produces an ok=false response and
+ *    the batch keeps going — one bad job must not waste the other
+ *    N-1 results.
+ *  - PanicError (a simulator invariant violation) cancels the batch
+ *    and propagates: a buggy simulator must fail the whole process
+ *    loudly (exit code 2 at the mains), never report around it.
+ *  - onResult streams each response as it completes (indices arrive
+ *    out of order); calls are serialized under a session mutex, so
+ *    callbacks may write shared sinks (an NDJSON stream) directly.
+ *
+ * Campaign jobs fan their trials out over the same scheduler; nested
+ * use inside a batch is safe because a worker thread re-entering the
+ * scheduler runs inline (see scheduler.hpp).
+ */
+
+#ifndef DISE_SERVICE_SESSION_HPP
+#define DISE_SERVICE_SESSION_HPP
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/scheduler.hpp"
+#include "src/common/singleflight.hpp"
+#include "src/service/request.hpp"
+#include "src/service/runner.hpp"
+
+namespace dise {
+
+/** Session-wide configuration. */
+struct SessionConfig
+{
+    /** Worker threads for batches and campaign trials; 1 = serial. */
+    unsigned workers = 1;
+};
+
+class SimSession
+{
+  public:
+    explicit SimSession(const SessionConfig &config = {});
+
+    /**
+     * Execute one request synchronously. FatalError/PanicError
+     * propagate to the caller (single runs want the error at main).
+     */
+    RunResponse run(const RunRequest &req);
+
+    /**
+     * Execute a batch across the session's workers; responses are
+     * returned in request order. See the file header for failure and
+     * streaming semantics.
+     *
+     * @param onResult Optional streaming callback, invoked serialized
+     *                 as each job completes with (request index,
+     *                 response).
+     */
+    std::vector<RunResponse> runBatch(
+        const std::vector<RunRequest> &reqs,
+        const std::function<void(size_t, const RunResponse &)>
+            &onResult = {});
+
+    SimScheduler &scheduler() { return scheduler_; }
+
+  private:
+    /** Build/execute one request; errors propagate. */
+    RunResponse execute(const RunRequest &req);
+
+    /** Cached workload program for the request (workload jobs only);
+     *  null for inline-source jobs. */
+    const Program *cachedProgram(const RunRequest &req);
+
+    SimScheduler scheduler_;
+    /** Workload programs keyed "<name>@<scale>"; single-flight so
+     *  concurrent jobs sharing a workload build it once. */
+    SingleFlightCache<std::string, Program> programs_;
+    std::mutex resultMutex_;
+};
+
+} // namespace dise
+
+#endif // DISE_SERVICE_SESSION_HPP

@@ -34,6 +34,33 @@ condTaken(Opcode op, uint64_t v)
 
 } // namespace
 
+Json
+RunResult::toJson() const
+{
+    Json doc = Json::object();
+    doc["outcome"] = Json(std::string(runOutcomeName(outcome)));
+    doc["exited"] = Json(exited);
+    doc["exit_code"] = Json(exitCode);
+    doc["dyn_insts"] = Json(dynInsts);
+    doc["app_insts"] = Json(appInsts);
+    doc["dise_insts"] = Json(diseInsts);
+    doc["expansions"] = Json(expansions);
+    doc["loads"] = Json(loads);
+    doc["stores"] = Json(stores);
+    doc["acf_detections"] = Json(acfDetections);
+    doc["output"] = Json(output);
+    if (outcome == RunOutcome::Trap) {
+        Json t = Json::object();
+        t["cause"] = Json(std::string(trapCauseName(trap.cause)));
+        t["pc"] = Json(uint64_t(trap.pc));
+        t["disepc"] = Json(trap.disepc);
+        t["fault_addr"] = Json(trap.faultAddr);
+        t["message"] = Json(trap.message);
+        doc["trap"] = std::move(t);
+    }
+    return doc;
+}
+
 ExecCore::ExecCore(const Program &prog, DiseController *controller)
     : prog_(prog), controller_(controller), pc_(prog.entry)
 {

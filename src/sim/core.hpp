@@ -33,6 +33,7 @@
 #include <unordered_map>
 
 #include "src/assembler/program.hpp"
+#include "src/common/json.hpp"
 #include "src/dise/controller.hpp"
 #include "src/mem/memory.hpp"
 #include "src/sim/syscalls.hpp"
@@ -107,6 +108,14 @@ struct RunResult
      * one even when the handler terminates cleanly.
      */
     uint64_t acfDetections = 0;
+
+    /**
+     * The one serializer for architectural results: `diserun
+     * --stats-json` (functional runs), the batch NDJSON stream, and
+     * campaign golden runs all emit this object. Keys are stable
+     * snake_case; the trap record appears only when outcome == Trap.
+     */
+    Json toJson() const;
 };
 
 /** The architectural core. */

@@ -1,0 +1,370 @@
+/**
+ * @file
+ * Simulation-service tests: SimScheduler semantics (deterministic
+ * result ordering, work stealing under stress, cancellation, exception
+ * propagation and pool reusability), RunRequest JSON round-tripping,
+ * SimSession batch bit-identity across worker counts, and serial vs
+ * parallel fault-campaign equivalence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "src/acf/mfi.hpp"
+#include "src/assembler/assembler.hpp"
+#include "src/common/logging.hpp"
+#include "src/common/scheduler.hpp"
+#include "src/faults/campaign.hpp"
+#include "src/service/session.hpp"
+
+namespace dise {
+namespace {
+
+/** Store/load loop with an output, a clean exit, and an error handler
+ *  (the shape every service-level test program needs). */
+const char *kLoopSource =
+    ".text\n"
+    "main:\n"
+    "    laq buf, t5\n"
+    "    li 0, t0\n"
+    "    li 40, t1\n"
+    "loop:\n"
+    "    stq t0, 0(t5)\n"
+    "    ldq t2, 0(t5)\n"
+    "    addq t3, t2, t3\n"
+    "    addq t0, 1, t0\n"
+    "    cmplt t0, t1, t4\n"
+    "    bne t4, loop\n"
+    "    mov t3, a0\n    li 2, v0\n    syscall\n"
+    "    li 0, v0\n    li 0, a0\n    syscall\n"
+    "error:\n"
+    "    li 0, v0\n    li 42, a0\n    syscall\n"
+    ".data\nbuf:\n    .quad 0\n";
+
+/** Strip host-dependent keys, mirroring validate_bench_json --compare. */
+Json
+stripHost(const Json &doc)
+{
+    if (doc.isObject()) {
+        Json out = Json::object();
+        for (const auto &kv : doc.members()) {
+            if (kv.first == "host" || kv.first == "host_seconds")
+                continue;
+            out[kv.first] = stripHost(kv.second);
+        }
+        return out;
+    }
+    if (doc.isArray()) {
+        Json out = Json::array();
+        for (const Json &item : doc.items())
+            out.push_back(stripHost(item));
+        return out;
+    }
+    return doc;
+}
+
+// ---- SimScheduler ----
+
+TEST(Scheduler, MapPreservesOrderAtAnyWorkerCount)
+{
+    std::vector<int> items;
+    for (int i = 0; i < 64; ++i)
+        items.push_back(i);
+    const auto square = [](int x) { return x * x; };
+
+    SimScheduler serial(1);
+    SimScheduler pool(4);
+    const auto a = serial.map(items, square);
+    const auto b = pool.map(items, square);
+    ASSERT_EQ(a.size(), items.size());
+    EXPECT_EQ(a, b);
+    for (size_t i = 0; i < items.size(); ++i)
+        EXPECT_EQ(a[i], int(i * i));
+}
+
+TEST(Scheduler, StressManyMoreJobsThanWorkers)
+{
+    SimScheduler pool(3);
+    std::vector<int> items;
+    for (int i = 0; i < 200; ++i)
+        items.push_back(i);
+    std::atomic<int> ran{0};
+    const auto results = pool.map(items, [&ran](int x) {
+        ++ran;
+        return x + 1;
+    });
+    EXPECT_EQ(ran.load(), 200);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(results[size_t(i)], i + 1);
+}
+
+TEST(Scheduler, ExceptionPropagatesAndPoolStaysUsable)
+{
+    SimScheduler pool(4);
+    std::vector<int> items{0, 1, 2, 3, 4, 5, 6, 7};
+    EXPECT_THROW(pool.map(items,
+                          [](int x) -> int {
+                              if (x == 3)
+                                  fatal("boom");
+                              return x;
+                          }),
+                 FatalError);
+    // The pool must survive a failed batch and run the next one.
+    const auto results = pool.map(items, [](int x) { return x * 2; });
+    for (size_t i = 0; i < items.size(); ++i)
+        EXPECT_EQ(results[i], int(i) * 2);
+}
+
+TEST(Scheduler, SerialCancellationSkipsRemainingTasks)
+{
+    SimScheduler serial(1);
+    std::vector<std::function<void()>> tasks;
+    size_t ran = 0;
+    for (int i = 0; i < 10; ++i) {
+        tasks.push_back([&serial, &ran, i] {
+            ++ran;
+            if (i == 0)
+                serial.cancel();
+        });
+    }
+    const auto stats = serial.runBatch(std::move(tasks));
+    EXPECT_EQ(ran, 1u);
+    EXPECT_EQ(stats.completed, 1u);
+    EXPECT_EQ(stats.skipped, 9u);
+}
+
+TEST(Scheduler, ParallelCancellationStopsUnstartedTasks)
+{
+    SimScheduler pool(2);
+    std::vector<std::function<void()>> tasks;
+    std::atomic<size_t> ran{0};
+    for (int i = 0; i < 64; ++i) {
+        // The fifth completion cancels; at that point at most
+        // completed + in-flight tasks have started, so the bulk of the
+        // batch must be skipped, not run.
+        tasks.push_back([&pool, &ran] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            if (++ran == 5)
+                pool.cancel();
+        });
+    }
+    const auto stats = pool.runBatch(std::move(tasks));
+    EXPECT_EQ(stats.completed + stats.skipped, 64u);
+    EXPECT_GT(stats.skipped, 0u);
+    EXPECT_LT(stats.completed, 64u);
+    EXPECT_EQ(ran.load(), stats.completed);
+}
+
+TEST(Scheduler, NestedBatchRunsInlineWithoutDeadlock)
+{
+    SimScheduler pool(2);
+    std::vector<int> outer{0, 1, 2, 3};
+    const auto results = pool.map(outer, [&pool](int x) {
+        std::vector<int> inner{10, 20, 30};
+        const auto sub = pool.map(inner, [](int y) { return y + 1; });
+        return x + sub[0] + sub[1] + sub[2];
+    });
+    for (size_t i = 0; i < outer.size(); ++i)
+        EXPECT_EQ(results[i], int(i) + 11 + 21 + 31);
+}
+
+// ---- RunRequest serialization ----
+
+TEST(RunRequest, JsonRoundTrip)
+{
+    RunRequest req;
+    req.id = "job-7";
+    req.workload = "gzip";
+    req.scale = 0.25;
+    req.regime = "mfi";
+    req.mode = RunMode::Campaign;
+    req.mfi = true;
+    req.mfiVariant = MfiVariant::Dise4;
+    req.watchpoint = true;
+    req.dise.rtEntries = 512;
+    req.dise.parityChecks = true;
+    req.seed = 99;
+    req.trials = 12;
+    req.faultTargets = {FaultTarget::PtEntry, FaultTarget::RtEntry};
+
+    const Json doc = req.toJson();
+    const RunRequest back = RunRequest::fromJson(doc);
+    EXPECT_EQ(back.toJson().dump(), doc.dump());
+    EXPECT_EQ(back.id, "job-7");
+    EXPECT_EQ(back.mode, RunMode::Campaign);
+    EXPECT_EQ(back.mfiVariant, MfiVariant::Dise4);
+    EXPECT_EQ(back.dise.rtEntries, 512u);
+    EXPECT_EQ(back.faultTargets.size(), 2u);
+}
+
+TEST(RunRequest, RejectsUnknownKeysAndBadShapes)
+{
+    Json doc = Json::object();
+    doc["workload"] = Json(std::string("gzip"));
+    doc["no_such_key"] = Json(true);
+    EXPECT_THROW(RunRequest::fromJson(doc), FatalError);
+
+    RunRequest both;
+    both.workload = "gzip";
+    both.source = ".text\n";
+    EXPECT_THROW(both.validate(), FatalError);
+
+    RunRequest neither;
+    EXPECT_THROW(neither.validate(), FatalError);
+
+    RunRequest watchpointOnly;
+    watchpointOnly.workload = "gzip";
+    watchpointOnly.watchpoint = true;
+    EXPECT_THROW(watchpointOnly.validate(), FatalError);
+}
+
+// ---- SimSession ----
+
+std::vector<RunRequest>
+smallBatch()
+{
+    std::vector<RunRequest> reqs;
+    RunRequest base;
+    base.source = kLoopSource;
+
+    RunRequest functional = base;
+    functional.id = "functional";
+    reqs.push_back(functional);
+
+    RunRequest mfi = base;
+    mfi.id = "mfi";
+    mfi.mfi = true;
+    reqs.push_back(mfi);
+
+    RunRequest timing = base;
+    timing.id = "timing";
+    timing.mode = RunMode::Timing;
+    reqs.push_back(timing);
+
+    RunRequest campaign = base;
+    campaign.id = "campaign";
+    campaign.mode = RunMode::Campaign;
+    campaign.mfi = true;
+    campaign.trials = 6;
+    campaign.seed = 7;
+    reqs.push_back(campaign);
+    return reqs;
+}
+
+TEST(SimSession, BatchBitIdenticalAcrossWorkerCounts)
+{
+    const std::vector<RunRequest> reqs = smallBatch();
+
+    SimSession serial(SessionConfig{1});
+    SimSession pool(SessionConfig{4});
+    const auto a = serial.runBatch(reqs);
+    const auto b = pool.runBatch(reqs);
+    ASSERT_EQ(a.size(), reqs.size());
+    ASSERT_EQ(b.size(), reqs.size());
+    for (size_t i = 0; i < reqs.size(); ++i) {
+        EXPECT_TRUE(a[i].ok) << a[i].error;
+        EXPECT_EQ(stripHost(a[i].toJson()).dump(),
+                  stripHost(b[i].toJson()).dump())
+            << reqs[i].id;
+    }
+}
+
+TEST(SimSession, StreamsEveryResultExactlyOnce)
+{
+    const std::vector<RunRequest> reqs = smallBatch();
+    SimSession session(SessionConfig{2});
+    std::vector<int> seen(reqs.size(), 0);
+    const auto responses = session.runBatch(
+        reqs, [&seen](size_t index, const RunResponse &resp) {
+            ASSERT_LT(index, seen.size());
+            ++seen[index];
+            EXPECT_TRUE(resp.ok);
+        });
+    EXPECT_EQ(responses.size(), reqs.size());
+    for (const int count : seen)
+        EXPECT_EQ(count, 1);
+}
+
+TEST(SimSession, FatalJobReportsErrorAndBatchContinues)
+{
+    std::vector<RunRequest> reqs = smallBatch();
+    RunRequest bad;
+    bad.id = "bad";
+    bad.source = "this is not assembly\n";
+    reqs.insert(reqs.begin() + 1, bad);
+
+    SimSession session(SessionConfig{2});
+    const auto responses = session.runBatch(reqs);
+    ASSERT_EQ(responses.size(), reqs.size());
+    EXPECT_FALSE(responses[1].ok);
+    EXPECT_FALSE(responses[1].error.empty());
+    for (size_t i = 0; i < responses.size(); ++i) {
+        if (i != 1) {
+            EXPECT_TRUE(responses[i].ok) << responses[i].error;
+        }
+    }
+    const Json line = responses[1].toJson();
+    EXPECT_TRUE(line.contains("error"));
+}
+
+TEST(SimSession, FunctionalAndTimingShareTheArchResult)
+{
+    RunRequest req;
+    req.source = kLoopSource;
+    SimSession session;
+    const RunResponse functional = session.run(req);
+    req.mode = RunMode::Timing;
+    const RunResponse timing = session.run(req);
+    ASSERT_TRUE(functional.ok);
+    ASSERT_TRUE(timing.ok);
+    EXPECT_EQ(functional.arch.dynInsts, timing.arch.dynInsts);
+    EXPECT_EQ(functional.arch.output, timing.arch.output);
+    EXPECT_GT(timing.cycles, 0u);
+    // The unified serializer reports the same architectural section.
+    EXPECT_EQ(functional.arch.toJson().dump(),
+              timing.arch.toJson().dump());
+}
+
+// ---- Campaign: serial vs scheduler-parallel ----
+
+TEST(Campaign, ParallelTrialsMatchSerialBitForBit)
+{
+    const Program prog = assemble(kLoopSource);
+    CampaignSetup setup;
+    setup.prog = &prog;
+    setup.makeAcf = [&prog] {
+        return std::make_shared<const ProductionSet>(
+            makeMfiProductions(prog, MfiOptions{}));
+    };
+    setup.initCore = [&prog](ExecCore &core) {
+        initMfiRegisters(core, prog);
+    };
+    CampaignConfig cfg;
+    cfg.seed = 11;
+    cfg.trials = 24;
+
+    const CampaignResult serial = runCampaign(setup, cfg);
+    SimScheduler pool(4);
+    const CampaignResult parallel = runCampaign(setup, cfg, &pool);
+
+    ASSERT_EQ(serial.trials.size(), parallel.trials.size());
+    for (size_t i = 0; i < serial.trials.size(); ++i) {
+        EXPECT_EQ(serial.trials[i].outcome, parallel.trials[i].outcome)
+            << "trial " << i;
+        EXPECT_EQ(serial.trials[i].parityDetections,
+                  parallel.trials[i].parityDetections);
+    }
+    EXPECT_EQ(serial.counts, parallel.counts);
+    EXPECT_EQ(serial.injected, parallel.injected);
+    EXPECT_EQ(serial.totalDynInsts, parallel.totalDynInsts);
+    EXPECT_EQ(campaignToJson(serial).dump(),
+              campaignToJson(parallel).dump());
+    EXPECT_EQ(serial.golden.toJson().dump(),
+              parallel.golden.toJson().dump());
+}
+
+} // namespace
+} // namespace dise

@@ -3,16 +3,30 @@
  * diserun — command-line driver for the DISE simulator.
  *
  * Assembles a program (or generates a built-in workload), optionally
- * installs ACFs, and runs it on the functional or cycle-level simulator.
+ * installs ACFs, and runs it on the functional or cycle-level
+ * simulator. All execution routes through the simulation service
+ * (src/service): one run builds a RunRequest and executes it via
+ * prepareJob()/run*Sim(); --batch hands a whole job file to a
+ * SimSession, which shards it across a worker pool.
  *
  *   diserun [options] <program.s>
  *   diserun [options] --workload <name>
+ *   diserun --batch <jobs.json> [--jobs N] [--batch-out <file>]
  *
  * Options:
+ *   --batch <file>           run a JSON batch: either a top-level array
+ *                            of RunRequest objects or {"jobs": [...]}.
+ *                            Results stream as NDJSON (one JSON object
+ *                            per line, with an "index" field) in
+ *                            completion order; exit 1 if any job failed
+ *   --jobs <n>               batch worker threads (default 1)
+ *   --batch-out <file>       write the NDJSON stream here (default
+ *                            stdout)
  *   --timing                 cycle-level model (default: functional)
  *   --productions <file>     install productions from a DSL file
  *   --mfi[=dise3|dise4|sandbox]
  *                            memory fault isolation via DISE
+ *   --watchpoint             merge the watchpoint assertion over MFI
  *   --rewrite-mfi            binary-rewriting MFI baseline (no DISE)
  *   --compress               compress the text, run via decompression
  *   --profile                path profiler; prints the records
@@ -26,6 +40,7 @@
  *                            path (functional mode; pure step() loop)
  *   --placement <free|stall|pipe>
  *   --max-insts <n>          dynamic instruction cap
+ *   --scale <x>              workload scale (workloads only)
  *   --dump-asm               print the program source (workloads only)
  *   --stats                  dump engine/cache/predictor counters
  *   --stats-json <file>      write the full stats registry (all
@@ -33,21 +48,16 @@
  *                            buckets, host wall clock) as JSON
  */
 
-#include <chrono>
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 
-#include "src/acf/compress.hpp"
 #include "src/common/logging.hpp"
-#include "src/acf/mfi.hpp"
-#include "src/acf/profiler.hpp"
-#include "src/acf/rewriter.hpp"
-#include "src/assembler/assembler.hpp"
-#include "src/dise/parser.hpp"
 #include "src/isa/disasm.hpp"
-#include "src/pipeline/pipeline.hpp"
+#include "src/service/session.hpp"
 #include "src/workloads/workloads.hpp"
 
 using namespace dise;
@@ -56,24 +66,13 @@ namespace {
 
 struct Options
 {
-    std::string source;
-    std::string workload;
+    RunRequest req;
+    std::string sourceFile;
     std::string productionsFile;
-    bool timing = false;
-    bool mfi = false;
-    MfiVariant mfiVariant = MfiVariant::Dise3;
-    bool rewriteMfi = false;
-    bool compress = false;
-    bool profile = false;
+    std::string batchFile;
+    std::string batchOutFile;
+    unsigned jobs = 1;
     uint64_t traceInsts = 0;
-    uint32_t icacheKB = 32;
-    uint32_t width = 4;
-    uint32_t rtEntries = 2048;
-    uint32_t rtAssoc = 2;
-    bool expansionCache = true;
-    bool traceCache = true;
-    DisePlacement placement = DisePlacement::Pipe;
-    uint64_t maxInsts = ~uint64_t(0);
     bool dumpAsm = false;
     bool stats = false;
     std::string statsJsonFile;
@@ -83,10 +82,10 @@ struct Options
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s [options] <program.s> | --workload <name>\n"
-                 "run '%s --help' is this message; see the file header "
-                 "for the option list\n",
-                 argv0, argv0);
+                 "usage: %s [options] <program.s> | --workload <name> | "
+                 "--batch <jobs.json>\n"
+                 "see the file header for the option list\n",
+                 argv0);
     std::exit(2);
 }
 
@@ -101,45 +100,61 @@ parseArgs(int argc, char **argv)
     };
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--timing") {
-            opts.timing = true;
+        if (arg == "--batch") {
+            opts.batchFile = need(i);
+        } else if (arg == "--jobs") {
+            opts.jobs = static_cast<unsigned>(std::atoi(need(i)));
+            if (opts.jobs == 0)
+                usage(argv[0]);
+        } else if (arg == "--batch-out") {
+            opts.batchOutFile = need(i);
+        } else if (arg == "--timing") {
+            opts.req.mode = RunMode::Timing;
         } else if (arg == "--productions") {
             opts.productionsFile = need(i);
         } else if (arg == "--mfi" || arg.rfind("--mfi=", 0) == 0) {
-            opts.mfi = true;
+            opts.req.mfi = true;
             if (arg == "--mfi=dise4")
-                opts.mfiVariant = MfiVariant::Dise4;
+                opts.req.mfiVariant = MfiVariant::Dise4;
             else if (arg == "--mfi=sandbox")
-                opts.mfiVariant = MfiVariant::Sandbox;
+                opts.req.mfiVariant = MfiVariant::Sandbox;
+        } else if (arg == "--watchpoint") {
+            opts.req.watchpoint = true;
         } else if (arg == "--rewrite-mfi") {
-            opts.rewriteMfi = true;
+            opts.req.rewriteMfi = true;
         } else if (arg == "--compress") {
-            opts.compress = true;
+            opts.req.compress = true;
         } else if (arg == "--profile") {
-            opts.profile = true;
+            opts.req.profile = true;
         } else if (arg == "--trace") {
             opts.traceInsts = std::strtoull(need(i), nullptr, 0);
         } else if (arg == "--icache") {
-            opts.icacheKB = static_cast<uint32_t>(std::atoi(need(i)));
+            opts.req.icacheKB =
+                static_cast<uint32_t>(std::atoi(need(i)));
         } else if (arg == "--width") {
-            opts.width = static_cast<uint32_t>(std::atoi(need(i)));
+            opts.req.width = static_cast<uint32_t>(std::atoi(need(i)));
         } else if (arg == "--rt") {
-            opts.rtEntries = static_cast<uint32_t>(std::atoi(need(i)));
+            opts.req.dise.rtEntries =
+                static_cast<uint32_t>(std::atoi(need(i)));
         } else if (arg == "--rt-assoc") {
-            opts.rtAssoc = static_cast<uint32_t>(std::atoi(need(i)));
+            opts.req.dise.rtAssoc =
+                static_cast<uint32_t>(std::atoi(need(i)));
         } else if (arg == "--no-expansion-cache") {
-            opts.expansionCache = false;
+            opts.req.dise.expansionCache = false;
         } else if (arg == "--no-trace-cache") {
-            opts.traceCache = false;
+            opts.req.traceCache = false;
         } else if (arg == "--placement") {
             const std::string p = need(i);
-            opts.placement = p == "free" ? DisePlacement::Free
-                             : p == "stall" ? DisePlacement::Stall
-                                            : DisePlacement::Pipe;
+            opts.req.dise.placement = p == "free" ? DisePlacement::Free
+                                      : p == "stall"
+                                          ? DisePlacement::Stall
+                                          : DisePlacement::Pipe;
         } else if (arg == "--max-insts") {
-            opts.maxInsts = std::strtoull(need(i), nullptr, 0);
+            opts.req.maxInsts = std::strtoull(need(i), nullptr, 0);
+        } else if (arg == "--scale") {
+            opts.req.scale = std::strtod(need(i), nullptr);
         } else if (arg == "--workload") {
-            opts.workload = need(i);
+            opts.req.workload = need(i);
         } else if (arg == "--dump-asm") {
             opts.dumpAsm = true;
         } else if (arg == "--stats") {
@@ -152,10 +167,12 @@ parseArgs(int argc, char **argv)
             std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
             usage(argv[0]);
         } else {
-            opts.source = arg;
+            opts.sourceFile = arg;
         }
     }
-    if (opts.source.empty() == opts.workload.empty())
+    if (!opts.batchFile.empty())
+        return opts;
+    if (opts.sourceFile.empty() == opts.req.workload.empty())
         usage(argv[0]); // exactly one input source
     return opts;
 }
@@ -172,27 +189,14 @@ readFile(const std::string &path)
 }
 
 void
-writeStatsJson(const std::string &path, const StatsRegistry &reg)
+writeStatsJson(const std::string &path, const Json &doc)
 {
     std::ofstream out(path);
     if (!out)
         fatal("cannot write " + path);
-    out << reg.toJson().dump(2) << "\n";
+    out << doc.dump(2) << "\n";
     if (!out)
         fatal("write failed: " + path);
-}
-
-/**
- * Host-side run metadata: wall-clock seconds of the run() call and the
- * simulation rate in dynamic instructions per host second.
- */
-void
-setHostStats(StatsRegistry &reg, double hostSeconds, uint64_t dynInsts)
-{
-    reg.set("host.seconds", Json(hostSeconds));
-    reg.set("host.insts_per_second",
-            Json(hostSeconds > 0.0 ? double(dynInsts) / hostSeconds
-                                   : 0.0));
 }
 
 void
@@ -226,99 +230,97 @@ printRun(const RunResult &r)
                 (unsigned long long)r.stores);
 }
 
+void
+printProfile(const std::vector<PathRecord> &records, size_t show)
+{
+    std::printf("path records:  %zu\n", records.size());
+    show = std::min(records.size(), show);
+    for (size_t i = 0; i < show; ++i) {
+        std::printf("    0x%llx : 0x%llx\n",
+                    (unsigned long long)records[i].endpointPC,
+                    (unsigned long long)records[i].history);
+    }
+}
+
+/** Run a parsed batch file through a SimSession, streaming NDJSON. */
+int
+runBatch(const Options &opts)
+{
+    Json doc = Json::parse(readFile(opts.batchFile));
+    Json *jobsDoc = &doc;
+    if (doc.isObject()) {
+        if (!doc.contains("jobs"))
+            fatal("batch file: expected a top-level array or an object "
+                  "with a \"jobs\" array");
+        jobsDoc = &doc["jobs"];
+    }
+    std::vector<RunRequest> reqs;
+    for (const Json &entry : jobsDoc->items())
+        reqs.push_back(RunRequest::fromJson(entry));
+
+    std::ofstream outFile;
+    if (!opts.batchOutFile.empty()) {
+        outFile.open(opts.batchOutFile);
+        if (!outFile)
+            fatal("cannot write " + opts.batchOutFile);
+    }
+    std::ostream &out = opts.batchOutFile.empty()
+                            ? static_cast<std::ostream &>(std::cout)
+                            : outFile;
+
+    SimSession session({opts.jobs});
+    // Stream one NDJSON line per job as it completes (the session
+    // serializes callbacks); "index" identifies the request so
+    // consumers can reorder deterministically.
+    const auto responses = session.runBatch(
+        reqs, [&](size_t index, const RunResponse &resp) {
+            Json line = resp.toJson();
+            line["index"] = Json(uint64_t(index));
+            out << line.dump() << "\n";
+            out.flush();
+        });
+
+    size_t failed = 0;
+    for (const RunResponse &resp : responses)
+        failed += resp.ok ? 0 : 1;
+    std::fprintf(stderr, "batch: %zu jobs, %zu failed, %u workers\n",
+                 responses.size(), failed, opts.jobs);
+    return failed == 0 ? 0 : 1;
+}
+
 int
 runMain(int argc, char **argv)
 {
-    const Options opts = parseArgs(argc, argv);
+    Options opts = parseArgs(argc, argv);
+    if (!opts.batchFile.empty())
+        return runBatch(opts);
 
-    // ---- Build the program. ----
-    Program prog;
-    if (!opts.workload.empty()) {
-        const WorkloadSpec &spec = workloadSpec(opts.workload);
-        if (opts.dumpAsm) {
-            std::fputs(generateWorkloadSource(spec).c_str(), stdout);
-            return 0;
-        }
-        prog = buildWorkload(spec);
-    } else {
-        prog = assemble(readFile(opts.source));
+    RunRequest &req = opts.req;
+    if (!opts.sourceFile.empty())
+        req.source = readFile(opts.sourceFile);
+    if (!opts.productionsFile.empty())
+        req.productions = readFile(opts.productionsFile);
+    if (opts.dumpAsm && !req.workload.empty()) {
+        std::fputs(
+            generateWorkloadSource(workloadSpec(req.workload)).c_str(),
+            stdout);
+        return 0;
     }
+
+    const PreparedJob job = prepareJob(req);
     std::printf("program:       %zu insts (%.1f KB text, %.1f KB "
                 "data), entry 0x%llx\n",
-                prog.text.size(), prog.textBytes() / 1024.0,
-                prog.data.size() / 1024.0,
-                (unsigned long long)prog.entry);
+                job.prog->text.size(), job.prog->textBytes() / 1024.0,
+                job.prog->data.size() / 1024.0,
+                (unsigned long long)job.prog->entry);
 
-    // ---- Assemble the production set. ----
-    auto set = std::make_shared<ProductionSet>();
-    bool haveDise = false;
-    if (!opts.productionsFile.empty()) {
-        set->merge(parseProductions(readFile(opts.productionsFile),
-                                    prog.symbols));
-        haveDise = true;
-    }
-    if (opts.mfi) {
-        MfiOptions mfiOpts;
-        mfiOpts.variant = opts.mfiVariant;
-        set->merge(makeMfiProductions(prog, mfiOpts));
-        haveDise = true;
-    }
-    if (opts.profile) {
-        set->merge(makePathProfilerProductions());
-        haveDise = true;
-    }
-    if (opts.rewriteMfi) {
-        prog = applyMfiRewriting(prog);
-        std::printf("rewritten:     %zu insts after MFI rewriting\n",
-                    prog.text.size());
-    }
-    Addr profileBuffer = 0;
-    if (opts.profile) {
-        // Place the profile buffer past everything in the data segment.
-        profileBuffer = prog.dataBase + ((prog.data.size() + 0xffff) &
-                                         ~size_t(0xfff)) + (1 << 20);
-    }
-    if (opts.compress) {
-        const CompressionResult comp = compressProgram(prog);
-        std::printf("compressed:    %.1f KB text (ratio %.3f, +dict "
-                    "%.3f), %u dictionary entries\n",
-                    comp.compressedTextBytes / 1024.0, comp.ratio(),
-                    comp.ratioWithDict(), comp.dictEntries);
-        prog = comp.compressed;
-        set->merge(*comp.dictionary);
-        haveDise = true;
-    }
+    SimOptions simOpts;
+    simOpts.statsText = opts.stats;
+    simOpts.registry = !opts.statsJsonFile.empty();
 
-    DiseConfig config;
-    config.rtEntries = opts.rtEntries;
-    config.rtAssoc = opts.rtAssoc;
-    config.expansionCache = opts.expansionCache;
-    config.placement = opts.placement;
-    DiseController controller(config);
-    if (haveDise)
-        controller.install(set);
-    DiseController *ctl = haveDise ? &controller : nullptr;
-
-    auto initCore = [&](ExecCore &core) {
-        if (opts.mfi)
-            initMfiRegisters(core, prog);
-        if (opts.profile)
-            initProfilerRegisters(core, profileBuffer);
-    };
-
-    // ---- Run. ----
-    if (opts.timing) {
-        PipelineParams machine;
-        machine.width = opts.width;
-        machine.mem.l1iSize = opts.icacheKB * 1024;
-        PipelineSim sim(prog, machine, ctl);
-        initCore(sim.core());
-        const auto t0 = std::chrono::steady_clock::now();
-        const TimingResult t = sim.run(opts.maxInsts);
-        const double hostSeconds =
-            std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - t0)
-                .count();
+    if (req.mode == RunMode::Timing) {
+        const TimingOutcome out = runTimingSim(job, simOpts);
+        const TimingResult &t = out.timing;
         printRun(t.arch);
         std::printf("cycles:        %llu (IPC %.2f)\n",
                     (unsigned long long)t.cycles, t.ipc());
@@ -333,82 +335,27 @@ runMain(int argc, char **argv)
                     (unsigned long long)t.l2Misses);
         std::printf("PT/RT stalls:  %llu cycles\n",
                     (unsigned long long)t.missStallCycles);
-        if (opts.profile) {
-            const auto records =
-                readPathProfile(sim.core(), profileBuffer);
-            std::printf("path records:  %zu\n", records.size());
-        }
-        if (opts.stats) {
-            std::fputs(
-                controller.engine().stats().dump().c_str(), stdout);
-            std::fputs(sim.mem().icache().stats().dump().c_str(),
-                       stdout);
-            std::fputs(sim.mem().dcache().stats().dump().c_str(),
-                       stdout);
-            std::fputs(sim.mem().l2().stats().dump().c_str(), stdout);
-            std::fputs(sim.predictor().stats().dump().c_str(), stdout);
-        }
-        if (!opts.statsJsonFile.empty()) {
-            StatsRegistry reg;
-            sim.registerStats(reg);
-            reg.set("run.outcome",
-                    Json(std::string(runOutcomeName(t.arch.outcome))));
-            setHostStats(reg, hostSeconds, t.arch.dynInsts);
-            writeStatsJson(opts.statsJsonFile, reg);
-        }
+        if (req.profile)
+            printProfile(out.profile, 0);
+        if (opts.stats)
+            std::fputs(out.statsText.c_str(), stdout);
+        if (!opts.statsJsonFile.empty())
+            writeStatsJson(opts.statsJsonFile, out.registry);
     } else {
-        ExecCore core(prog, ctl);
-        core.setTraceCacheEnabled(opts.traceCache);
-        initCore(core);
-        const auto t0 = std::chrono::steady_clock::now();
-        if (opts.traceInsts > 0) {
-            DynInst dyn;
-            for (uint64_t i = 0;
-                 i < opts.traceInsts && core.step(dyn); ++i) {
-                std::printf("%6llu  0x%llx:%u  %s\n",
-                            (unsigned long long)i,
-                            (unsigned long long)dyn.pc, dyn.disepc,
-                            disassemble(dyn.inst, dyn.pc).c_str());
-            }
-        }
-        const RunResult r = core.run(opts.maxInsts);
-        const double hostSeconds =
-            std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - t0)
-                .count();
-        printRun(r);
-        if (opts.profile) {
-            const auto records = readPathProfile(core, profileBuffer);
-            std::printf("path records:  %zu\n", records.size());
-            const size_t show = std::min<size_t>(records.size(), 10);
-            for (size_t i = 0; i < show; ++i) {
-                std::printf("    0x%llx : 0x%llx\n",
-                            (unsigned long long)records[i].endpointPC,
-                            (unsigned long long)records[i].history);
-            }
-        }
-        if (opts.stats && haveDise) {
-            std::fputs(
-                controller.engine().stats().dump().c_str(), stdout);
-        }
-        if (!opts.statsJsonFile.empty()) {
-            StatsRegistry reg;
-            StatGroup runStats("run");
-            runStats.set("dyn_insts", r.dynInsts);
-            runStats.set("app_insts", r.appInsts);
-            runStats.set("dise_insts", r.diseInsts);
-            runStats.set("expansions", r.expansions);
-            runStats.set("loads", r.loads);
-            runStats.set("stores", r.stores);
-            runStats.set("acf_detections", r.acfDetections);
-            reg.add("run", &runStats);
-            if (haveDise)
-                reg.add("dise", &controller.engine().stats());
-            reg.set("run.outcome",
-                    Json(std::string(runOutcomeName(r.outcome))));
-            setHostStats(reg, hostSeconds, r.dynInsts);
-            writeStatsJson(opts.statsJsonFile, reg);
-        }
+        simOpts.traceInsts = opts.traceInsts;
+        simOpts.onTrace = [](const DynInst &dyn, uint64_t i) {
+            std::printf("%6llu  0x%llx:%u  %s\n", (unsigned long long)i,
+                        (unsigned long long)dyn.pc, dyn.disepc,
+                        disassemble(dyn.inst, dyn.pc).c_str());
+        };
+        const FunctionalOutcome out = runFunctionalSim(job, simOpts);
+        printRun(out.arch);
+        if (req.profile)
+            printProfile(out.profile, 10);
+        if (opts.stats)
+            std::fputs(out.statsText.c_str(), stdout);
+        if (!opts.statsJsonFile.empty())
+            writeStatsJson(opts.statsJsonFile, out.registry);
     }
     return 0;
 }

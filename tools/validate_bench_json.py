@@ -4,7 +4,7 @@
 Usage: validate_bench_json.py FILE [FILE...]
        validate_bench_json.py --compare FILE_A FILE_B
 
-Two artifact shapes are accepted:
+Three artifact shapes are accepted:
 
 * Bench artifacts (written via DISE_BENCH_JSON): a top-level document
   with schema_version / bench / kind / host / workloads, where each
@@ -15,11 +15,17 @@ Two artifact shapes are accepted:
   buckets sum exactly to cycles.
 * Run registries (written by `diserun --stats-json`): the nested stats
   registry itself, recognized by its top-level "run"/"host" sections.
+* Batch result streams (written by `diserun --batch`, recognized by the
+  .ndjson extension): one JSON object per line with index/id/mode/ok;
+  successful lines carry the unified "run" result (and "host"), failed
+  lines an "error" message. Indices must be unique and cover 0..N-1.
 
 --compare checks two artifacts for determinism: they must be deeply
 identical after recursively stripping every host-dependent section
 ("host", "host_seconds") — wall-clock throughput is the only field
-allowed to differ between reruns.
+allowed to differ between reruns. NDJSON streams are compared after
+sorting by index, so two runs that completed jobs in different orders
+(different worker counts) still compare equal.
 
 Exits 0 when every file validates (or the pair matches), 1 with a
 diagnostic per problem otherwise. Stdlib only.
@@ -189,7 +195,53 @@ def validate_run_registry(doc, name):
         )
 
 
+def load_ndjson(path):
+    rows = []
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rows.append(json.loads(line))
+            except json.JSONDecodeError as err:
+                raise ValidationError(f"{path}:{lineno}: {err}")
+    return rows
+
+
+def validate_batch_ndjson(path):
+    rows = load_ndjson(path)
+    require(rows, f"{path}: empty batch stream")
+    indices = set()
+    for row in rows:
+        require(isinstance(row, dict), f"{path}: line is not an object")
+        for key in ("index", "id", "mode", "ok"):
+            require(key in row, f"{path}: line missing {key!r}")
+        where = f"{path}:index {row['index']}"
+        require(
+            isinstance(row["index"], int) and row["index"] >= 0,
+            f"{where}: bad index",
+        )
+        require(row["index"] not in indices, f"{where}: duplicate index")
+        indices.add(row["index"])
+        if row["ok"]:
+            run = row.get("run")
+            require(isinstance(run, dict), f"{where}: missing run result")
+            require("outcome" in run, f"{where}: run.outcome missing")
+            require("dyn_insts" in run, f"{where}: run.dyn_insts missing")
+            check_host_section(row, where)
+        else:
+            require(bool(row.get("error")), f"{where}: failed without error")
+    require(
+        indices == set(range(len(rows))),
+        f"{path}: indices do not cover 0..{len(rows) - 1}",
+    )
+
+
 def validate_file(path):
+    if path.endswith(".ndjson"):
+        validate_batch_ndjson(path)
+        return
     with open(path) as f:
         doc = json.load(f)
     require(isinstance(doc, dict), f"{path}: top level is not an object")
@@ -241,11 +293,18 @@ def first_difference(a, b, path=""):
     return None
 
 
+def load_for_compare(path):
+    if path.endswith(".ndjson"):
+        rows = load_ndjson(path)
+        rows.sort(key=lambda row: row.get("index", 0))
+        return strip_host(rows)
+    with open(path) as f:
+        return strip_host(json.load(f))
+
+
 def compare(path_a, path_b):
-    with open(path_a) as f:
-        a = strip_host(json.load(f))
-    with open(path_b) as f:
-        b = strip_host(json.load(f))
+    a = load_for_compare(path_a)
+    b = load_for_compare(path_b)
     diff = first_difference(a, b)
     if diff:
         print(

@@ -148,6 +148,10 @@ runFaultCampaignBench()
     CampaignConfig archCfg;
     archCfg.seed = seed;
     archCfg.trials = trials;
+    // O(delta) snapshot replay by default; --fault-full-replay selects
+    // the from-reset reference mode (same classifications and artifact
+    // modulo the host and replay sections — CI diffs the two).
+    archCfg.useSnapshots = !BenchConfig::get().faultFullReplay;
 
     // Timed wrapper that records each campaign into the JSON artifact.
     const auto campaign = [&spec](const CampaignSetup &setup,
@@ -169,8 +173,9 @@ runFaultCampaignBench()
 
     // ---- Campaign A: architectural faults across ACF regimes. ----
     std::printf("fault campaign: %u trials/regime, seed %llu, workload "
-                "%s\n\n",
-                trials, (unsigned long long)seed, spec.name.c_str());
+                "%s, %s replay\n\n",
+                trials, (unsigned long long)seed, spec.name.c_str(),
+                archCfg.useSnapshots ? "snapshot" : "full");
 
     TextTable tableA(outcomeHeader());
     const CampaignResult rNone = campaign(noAcf, archCfg, "no_acf");
@@ -243,6 +248,16 @@ runFaultCampaignBench()
     if (!sameClassifications(rMfiWp, rMfiWpAgain))
         fail("same-seed campaign replay diverged");
 
+    const uint64_t replayed = rNone.replayedInsts + rMfi.replayedInsts +
+                              rMfiWp.replayedInsts +
+                              rNoParity.replayedInsts +
+                              rParity.replayedInsts;
+    const uint64_t saved = rNone.savedInsts + rMfi.savedInsts +
+                           rMfiWp.savedInsts + rNoParity.savedInsts +
+                           rParity.savedInsts;
+    std::printf("replay: %llu insts executed, %llu saved vs full "
+                "replay\n",
+                (unsigned long long)replayed, (unsigned long long)saved);
     std::printf("acceptance: detected %0.3f (mfi+wp) vs %0.3f (no-acf)%s"
                 "; replay deterministic; zero escaped exceptions\n",
                 rMfiWp.detectedFraction(), rNone.detectedFraction(),

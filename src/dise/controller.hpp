@@ -58,6 +58,21 @@ class DiseController
     /** Deactivate all productions. */
     void deactivate();
 
+    /**
+     * Replace the engine wholesale with a previously captured copy
+     * (see DiseEngine::sharedProductions for why plain copies are
+     * complete snapshots). PT/RT residency, LRU stamps, the expansion
+     * cache, statistics and the table generation all revert to the
+     * captured values; the controller's active-set handle follows the
+     * restored engine.
+     */
+    void
+    restoreEngine(const DiseEngine &snapshot)
+    {
+        engine_ = snapshot;
+        active_ = engine_.sharedProductions();
+    }
+
     /** The active set (may be null). */
     std::shared_ptr<const ProductionSet> active() const { return active_; }
 

@@ -146,6 +146,20 @@ class DiseEngine
     const ProductionSet *productions() const { return set_.get(); }
 
     /**
+     * The active set's owning handle (snapshot/restore plumbing). The
+     * engine is value-copyable — tables, caches, stats and the LRU/
+     * generation counters all copy; internal sequence pointers
+     * (seqById_) reference the shared set, which the copy co-owns — so
+     * a plain `DiseEngine` copy is a complete engine snapshot, and
+     * restoring is plain assignment. DiseController::restoreEngine
+     * uses this accessor to keep its own active-set handle in sync.
+     */
+    std::shared_ptr<const ProductionSet> sharedProductions() const
+    {
+        return set_;
+    }
+
+    /**
      * Inspect one fetched instruction.
      *
      * @param fetched Decoded fetch-stream instruction.

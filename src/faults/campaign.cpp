@@ -1,9 +1,11 @@
 #include "src/faults/campaign.hpp"
 
 #include <algorithm>
+#include <map>
 
 #include "src/common/logging.hpp"
 #include "src/common/stats.hpp"
+#include "src/sim/snapshot.hpp"
 
 namespace dise {
 
@@ -76,6 +78,14 @@ campaignToJson(const CampaignResult &result)
     entry["detected_fraction"] = Json(result.detectedFraction());
     entry["parity_detected"] = Json(uint64_t(result.parityDetected));
     entry["parity_recovered"] = Json(uint64_t(result.parityRecovered));
+    // Replay accounting differs by design between snapshot and
+    // full-replay campaigns (that difference IS the O(delta) claim), so
+    // it lives in its own section that determinism comparisons strip,
+    // like "host".
+    Json replay = Json::object();
+    replay["replayed_insts"] = Json(result.replayedInsts);
+    replay["saved_insts"] = Json(result.savedInsts);
+    entry["replay"] = std::move(replay);
     return entry;
 }
 
@@ -118,46 +128,74 @@ parityDetections(const DiseController *controller)
 struct TrialData
 {
     TrialRecord rec;
-    uint64_t dynInsts = 0;
+    /** Guest instructions this trial actually executed (the suffix
+     *  only, when it restored a snapshot). */
+    uint64_t execInsts = 0;
+    /** Guest instructions a from-reset replay of this trial covers
+     *  (prefix + suffix); what execInsts is measured against. */
+    uint64_t fullDynInsts = 0;
     bool injectedBit = false;
     bool simError = false;
 };
 
 /**
- * Run and classify trial t. Thread-safe: each trial owns a fresh
- * controller/core, reads only const campaign state (setup, golden run,
- * config), and derives its fault plan from a per-trial seed.
+ * Run and classify one trial. Thread-safe: each trial owns a fresh
+ * controller/core and reads only const campaign state — the setup, the
+ * golden run, its precomputed plan, and (snapshot mode) a frozen
+ * SimSnapshot, which restores never mutate.
+ *
+ * Faults inject at the first application-instruction boundary with
+ * plan.triggerAppInst application instructions retired — identically
+ * in both modes: the full-replay step loop gates on atAppBoundary(),
+ * and snapshots are taken at exactly that boundary.
  */
 TrialData
-runTrial(const CampaignSetup &setup, const CampaignConfig &config,
-         const RunResult &gold, uint64_t hangBudget, uint32_t t)
+runTrial(const CampaignSetup &setup, const FaultPlan &plan,
+         const RunResult &gold, uint64_t hangBudget,
+         const SimSnapshot *snap)
 {
-    Rng rng(Rng::deriveSeed(config.seed, t));
-    const FaultTarget target = config.targets[t % config.targets.size()];
     TrialData data;
-    data.rec.plan = makeFaultPlan(rng, target, gold.appInsts);
+    data.rec.plan = plan;
 
     try {
         RunContext run = makeRun(setup);
-        bool triggered = false;
-        DynInst dyn;
-        uint64_t steps = 0;
-        while (steps < hangBudget) {
-            if (!triggered && run.core->result().appInsts >=
-                                  data.rec.plan.triggerAppInst) {
+        uint64_t restoredInsts = 0;
+        if (snap) {
+            // O(delta): adopt the golden prefix (COW memory fork, full
+            // engine state) and execute only the divergent suffix,
+            // through the translated fast path.
+            run.core->restoreSnapshot(*snap);
+            restoredInsts = snap->result.dynInsts;
+            if (!run.core->exited() && !run.core->trapped()) {
                 data.injectedBit = applyFault(*run.core,
                                               run.controller.get(),
-                                              *setup.prog,
-                                              data.rec.plan);
-                triggered = true;
+                                              *setup.prog, plan);
             }
-            if (!run.core->step(dyn))
-                break;
-            ++steps;
+            run.core->run(hangBudget);
+        } else {
+            // Reference configuration: replay the prefix from reset on
+            // the step path.
+            bool triggered = false;
+            DynInst dyn;
+            uint64_t steps = 0;
+            while (steps < hangBudget) {
+                if (!triggered &&
+                    run.core->result().appInsts >= plan.triggerAppInst &&
+                    run.core->atAppBoundary()) {
+                    data.injectedBit = applyFault(*run.core,
+                                                  run.controller.get(),
+                                                  *setup.prog, plan);
+                    triggered = true;
+                }
+                if (!run.core->step(dyn))
+                    break;
+                ++steps;
+            }
         }
 
         const RunResult &r = run.core->result();
-        data.dynInsts = r.dynInsts;
+        data.execInsts = r.dynInsts - restoredInsts;
+        data.fullDynInsts = r.dynInsts;
         data.rec.parityDetections = parityDetections(run.controller.get());
         data.rec.outcome = classifyTrialOutcome(r, gold, data.injectedBit);
     } catch (const std::exception &) {
@@ -199,6 +237,38 @@ runCampaign(const CampaignSetup &setup, const CampaignConfig &config,
                               config.hangBudgetFactor),
         gold.dynInsts + 10000);
 
+    // Every trial's plan is derived up front from its per-trial seed —
+    // the same derivation the trials themselves used before plans were
+    // hoisted, so plan streams are unchanged for a given campaign seed.
+    std::vector<FaultPlan> plans;
+    plans.reserve(config.trials);
+    for (uint32_t t = 0; t < config.trials; ++t) {
+        Rng rng(Rng::deriveSeed(config.seed, t));
+        const FaultTarget target =
+            config.targets[t % config.targets.size()];
+        plans.push_back(makeFaultPlan(rng, target, gold.appInsts));
+    }
+
+    // Snapshot pass: one core walks the golden path once (translated
+    // fast path), freezing a COW snapshot at every distinct trigger
+    // boundary. Trials sharing a trigger share one snapshot; restores
+    // from a frozen snapshot are thread-safe.
+    std::map<uint64_t, std::shared_ptr<const SimSnapshot>> snapshots;
+    uint64_t snapshotterInsts = 0;
+    if (config.useSnapshots) {
+        RunContext pass = makeRun(setup);
+        for (const FaultPlan &plan : plans)
+            snapshots.emplace(plan.triggerAppInst, nullptr);
+        for (auto &kv : snapshots) {
+            pass.core->advanceToAppInst(kv.first);
+            auto snap = std::make_shared<SimSnapshot>();
+            pass.core->saveSnapshot(*snap);
+            kv.second = std::move(snap);
+        }
+        snapshotterInsts = pass.core->result().dynInsts;
+        result.totalDynInsts += snapshotterInsts;
+    }
+
     // Run the trials — fanned out across the scheduler when one is
     // provided, serially otherwise. Either way each trial writes its
     // own TrialData slot, and the aggregation below walks the slots in
@@ -208,7 +278,10 @@ runCampaign(const CampaignSetup &setup, const CampaignConfig &config,
         indices[t] = t;
     std::vector<TrialData> data;
     const auto trial = [&](uint32_t t) {
-        return runTrial(setup, config, gold, hangBudget, t);
+        const SimSnapshot *snap = nullptr;
+        if (config.useSnapshots)
+            snap = snapshots.at(plans[t].triggerAppInst).get();
+        return runTrial(setup, plans[t], gold, hangBudget, snap);
     };
     if (scheduler && scheduler->workers() > 1)
         data = scheduler->map(indices, trial);
@@ -218,8 +291,12 @@ runCampaign(const CampaignSetup &setup, const CampaignConfig &config,
             data.push_back(trial(t));
     }
 
+    uint64_t fullReplayInsts = 0;
+    result.replayedInsts = snapshotterInsts;
     for (const TrialData &d : data) {
-        result.totalDynInsts += d.dynInsts;
+        result.totalDynInsts += d.execInsts;
+        result.replayedInsts += d.execInsts;
+        fullReplayInsts += d.fullDynInsts;
         if (d.injectedBit)
             ++result.injected;
         if (d.simError)
@@ -232,6 +309,9 @@ runCampaign(const CampaignSetup &setup, const CampaignConfig &config,
         ++result.counts[static_cast<size_t>(d.rec.outcome)];
         result.trials.push_back(d.rec);
     }
+    result.savedInsts = fullReplayInsts > result.replayedInsts
+                            ? fullReplayInsts - result.replayedInsts
+                            : 0;
     return result;
 }
 

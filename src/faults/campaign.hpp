@@ -90,6 +90,19 @@ struct CampaignConfig
     double hangBudgetFactor = 4.0;
     /** Instruction cap on the golden run itself. */
     uint64_t maxGoldenInsts = 200000000;
+    /**
+     * Replay strategy. True (the default): a single snapshotter pass
+     * walks the golden path once, captures a copy-on-write SimSnapshot
+     * at every distinct trigger point, and each trial restores its
+     * snapshot and executes only the divergent suffix (O(delta) per
+     * trial). False: every trial re-executes its golden prefix from
+     * reset on the step path — the reference configuration the
+     * snapshot mode is verified bit-identical against. Classification
+     * tables, parity counters and the campaign JSON (modulo the host
+     * and replay sections) are identical either way, at any worker
+     * count.
+     */
+    bool useSnapshots = true;
 };
 
 /** One classified trial. */
@@ -123,6 +136,15 @@ struct CampaignResult
     uint64_t parityRecovered = 0;
     /** Escaped C++ exceptions (must be zero; see SimError). */
     uint64_t uncaughtExceptions = 0;
+    /** @name O(delta) replay accounting (the artifact's "replay"
+     *  section). replayedInsts counts guest instructions the trial
+     *  phase actually executed (snapshotter pass + per-trial work);
+     *  savedInsts is what full replay would have executed on top of
+     *  that. Full-replay campaigns report savedInsts == 0. */
+    /// @{
+    uint64_t replayedInsts = 0;
+    uint64_t savedInsts = 0;
+    /// @}
 
     uint64_t
     count(TrialOutcome outcome) const

@@ -119,6 +119,20 @@ Cache::invalidateAll()
     }
 }
 
+void
+Cache::adoptState(const Cache &other)
+{
+    DISE_ASSERT(numSets_ == other.numSets_ &&
+                    params_.assoc == other.params_.assoc &&
+                    params_.lineBytes == other.params_.lineBytes &&
+                    perfect_ == other.perfect_,
+                "adoptState between caches of different geometry");
+    lines_ = other.lines_;
+    mru_ = other.mru_;
+    useCounter_ = other.useCounter_;
+    stats_ = other.stats_;
+}
+
 MemHierarchy::MemHierarchy(const MemHierarchyParams &params)
     : params_(params)
 {

@@ -77,6 +77,13 @@ class Cache
 
     const StatGroup &stats() const { return stats_; }
 
+    /**
+     * Adopt another cache's line/LRU/statistics state (checkpoint
+     * restore). Geometry must match; the next-level link is untouched,
+     * so adopting never re-wires a hierarchy.
+     */
+    void adoptState(const Cache &other);
+
   private:
     struct Line
     {
@@ -140,6 +147,15 @@ class MemHierarchy
     Cache &l2() { return *l2_; }
 
     const MemHierarchyParams &params() const { return params_; }
+
+    /** Adopt another (same-geometry) hierarchy's cache state. */
+    void
+    adoptState(const MemHierarchy &other)
+    {
+        l2_->adoptState(*other.l2_);
+        icache_->adoptState(*other.icache_);
+        dcache_->adoptState(*other.dcache_);
+    }
 
   private:
     MemHierarchyParams params_;

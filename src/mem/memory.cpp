@@ -19,6 +19,23 @@ static constexpr bool kHostLittleEndian = true;
 static constexpr bool kHostLittleEndian = false;
 #endif
 
+uint8_t *
+Memory::pageDataForWriteSlow(uint64_t pn, TransEntry &entry)
+{
+    std::shared_ptr<Page> &slot = pages_[pn];
+    if (!slot) {
+        slot = std::make_shared<Page>(kPageSize, uint8_t(0));
+    } else if (slot.use_count() > 1) {
+        // Write fault on a shared page: clone it. Other owners keep the
+        // old storage alive, so their cached read pointers stay valid.
+        slot = std::make_shared<Page>(*slot);
+    }
+    entry.pageNum = pn;
+    entry.writableNum = pn;
+    entry.data = slot->data();
+    return entry.data;
+}
+
 uint64_t
 Memory::read(Addr addr, unsigned size) const
 {

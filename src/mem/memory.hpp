@@ -4,15 +4,25 @@
  * accessors. Backing store is a page map, so the 64-bit address space
  * costs only what is touched.
  *
+ * Pages are copy-on-write: a copied Memory shares page storage with its
+ * source via shared_ptr and clones a page only when one side writes it.
+ * Forking an image is O(pages touched) pointer copies; the divergent
+ * state after a fork costs only the pages actually written (O(delta)).
+ * A frozen source (e.g. a snapshot) is never mutated by copies taken
+ * from it, so many threads may fork the same image concurrently.
+ *
  * Two simulator fast paths sit in front of the page map (architectural
  * behavior is identical with or without them):
  *
  *  - A small direct-mapped page-pointer translation cache maps page
  *    numbers straight to page storage so hot accesses skip the
- *    unordered_map probe. Page storage is stable (pages are never
- *    erased or resized once allocated), so cached pointers stay valid;
- *    copies/moves of a Memory reset the cache rather than inherit
- *    pointers into another image's pages.
+ *    unordered_map probe. Each entry is separately read-valid
+ *    (pageNum) and write-valid (writableNum): a shared page may be
+ *    read through the cache but the first write must take the slow
+ *    path so it can clone. Copies/moves of a Memory reset the
+ *    destination cache rather than inherit pointers into another
+ *    image's pages, and copying *from* an image demotes the source's
+ *    write-valid entries (its pages just became shared).
  *
  *  - Multi-byte read/write that do not cross a page boundary are a
  *    single in-page memcpy; only page-crossing accesses decompose into
@@ -41,8 +51,17 @@ class Memory
     static constexpr uint64_t kPageSize = uint64_t(1) << kPageShift;
 
     Memory() = default;
-    /** Copies adopt the source's pages but never its cached pointers. */
-    Memory(const Memory &other) : pages_(other.pages_) {}
+    /**
+     * Copies share the source's pages copy-on-write and never inherit
+     * its cached pointers. The source's write-valid cache entries are
+     * demoted (its pages are now shared); entries already demoted are
+     * left untouched, so copying from a frozen snapshot performs no
+     * stores on the shared object and is safe from many threads.
+     */
+    Memory(const Memory &other) : pages_(other.pages_)
+    {
+        other.demoteWritable();
+    }
     Memory(Memory &&other) noexcept : pages_(std::move(other.pages_))
     {
         other.resetTranslationCache();
@@ -53,6 +72,7 @@ class Memory
         if (this != &other) {
             pages_ = other.pages_;
             resetTranslationCache();
+            other.demoteWritable();
         }
         return *this;
     }
@@ -114,13 +134,30 @@ class Memory
     /** Number of distinct pages touched. */
     size_t pagesTouched() const { return pages_.size(); }
 
+    /** Number of pages whose storage is shared with another image. */
+    size_t
+    pagesShared() const
+    {
+        size_t n = 0;
+        for (const auto &kv : pages_)
+            if (kv.second && kv.second.use_count() > 1)
+                ++n;
+        return n;
+    }
+
   private:
     using Page = std::vector<uint8_t>;
 
-    /** Direct-mapped page-number -> page-storage translation cache. */
+    /**
+     * Direct-mapped page-number -> page-storage translation cache.
+     * pageNum validates the entry for reads; writableNum additionally
+     * validates it for writes (only uniquely-owned pages may be
+     * written in place).
+     */
     struct TransEntry
     {
         uint64_t pageNum = ~uint64_t(0);
+        uint64_t writableNum = ~uint64_t(0);
         uint8_t *data = nullptr;
     };
     static constexpr size_t kTransEntries = 64;
@@ -129,6 +166,20 @@ class Memory
     resetTranslationCache()
     {
         trans_.fill(TransEntry());
+    }
+
+    /**
+     * Drop write permission from every cache entry; reads stay cached.
+     * Called on the *source* of a copy. The store is conditional so a
+     * frozen image (cache already demoted or reset) is never written.
+     */
+    void
+    demoteWritable() const
+    {
+        for (TransEntry &e : trans_) {
+            if (e.writableNum != ~uint64_t(0))
+                e.writableNum = ~uint64_t(0);
+        }
     }
 
     /** Page storage holding @p addr, or nullptr when untouched. */
@@ -140,30 +191,31 @@ class Memory
         if (entry.pageNum == pn)
             return entry.data;
         const auto it = pages_.find(pn);
-        if (it == pages_.end())
+        if (it == pages_.end() || !it->second)
             return nullptr; // absent pages are not cached: they may appear
         entry.pageNum = pn;
-        entry.data = const_cast<uint8_t *>(it->second.data());
+        // A uniquely-owned page may also be written through the cache;
+        // a shared one must write-fault so it can be cloned first.
+        entry.writableNum = it->second.use_count() == 1 ? pn : ~uint64_t(0);
+        entry.data = it->second->data();
         return entry.data;
     }
 
-    /** Page storage holding @p addr, allocated on first touch. */
+    /** Page storage holding @p addr, allocated or cloned on first write. */
     uint8_t *
     pageDataForWrite(Addr addr)
     {
         const uint64_t pn = addr >> kPageShift;
         TransEntry &entry = trans_[pn & (kTransEntries - 1)];
-        if (entry.pageNum == pn)
+        if (entry.writableNum == pn)
             return entry.data;
-        Page &page = pages_[pn];
-        if (page.empty())
-            page.assign(kPageSize, 0);
-        entry.pageNum = pn;
-        entry.data = page.data();
-        return entry.data;
+        return pageDataForWriteSlow(pn, entry);
     }
 
-    std::unordered_map<uint64_t, Page> pages_;
+    /** Write miss: allocate an untouched page or clone a shared one. */
+    uint8_t *pageDataForWriteSlow(uint64_t pn, TransEntry &entry);
+
+    std::unordered_map<uint64_t, std::shared_ptr<Page>> pages_;
     mutable std::array<TransEntry, kTransEntries> trans_{};
 };
 

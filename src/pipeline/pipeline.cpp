@@ -363,6 +363,97 @@ PipelineSim::run(uint64_t maxInsts, uint64_t maxCycles)
 }
 
 void
+PipelineSim::saveSnapshot(TimingSnapshot &out) const
+{
+    core_.saveSnapshot(out.core);
+    out.result = result_;
+    out.mem = std::make_unique<MemHierarchy>(params_.mem);
+    out.mem->adoptState(mem_);
+    out.bpred = std::make_unique<BranchPredictor>(bpred_);
+    out.scalars = {feCycle_,
+                   feSlots_,
+                   curLine_,
+                   pendingRedirect_,
+                   uint64_t(redirectCause_),
+                   pend_.imiss,
+                   pend_.dise,
+                   pend_.branch,
+                   pend_.drain,
+                   pend_.dmiss,
+                   pend_.hazard,
+                   instIndex_,
+                   dispatchCycleCur_,
+                   dispatchSlots_,
+                   commitCycleCur_,
+                   commitSlots_,
+                   lastCommit_,
+                   uint64_t(seqPredCls_),
+                   seqPred_.taken,
+                   seqPred_.target,
+                   seqPred_.targetKnown,
+                   seqTriggerPC_,
+                   seqTrigTaken_,
+                   seqTrigTarget_,
+                   seqRedirected_,
+                   seqRedirTarget_,
+                   seqResolve_};
+    out.scalars.insert(out.scalars.end(), regReady_.begin(),
+                       regReady_.end());
+    out.scalars.insert(out.scalars.end(), commitRing_.begin(),
+                       commitRing_.end());
+    out.scalars.insert(out.scalars.end(), issueRing_.begin(),
+                       issueRing_.end());
+}
+
+void
+PipelineSim::restoreSnapshot(const TimingSnapshot &snap)
+{
+    core_.restoreSnapshot(snap.core);
+    result_ = snap.result;
+    mem_.adoptState(*snap.mem);
+    bpred_ = *snap.bpred;
+    const uint64_t *p = snap.scalars.data();
+    DISE_ASSERT(snap.scalars.size() == 27 + regReady_.size() +
+                                           commitRing_.size() +
+                                           issueRing_.size(),
+                "timing snapshot shape mismatch (different machine "
+                "configuration?)");
+    feCycle_ = *p++;
+    feSlots_ = uint32_t(*p++);
+    curLine_ = *p++;
+    pendingRedirect_ = *p++;
+    redirectCause_ = StallCause(*p++);
+    pend_.imiss = *p++;
+    pend_.dise = *p++;
+    pend_.branch = *p++;
+    pend_.drain = *p++;
+    pend_.dmiss = *p++;
+    pend_.hazard = *p++;
+    instIndex_ = *p++;
+    dispatchCycleCur_ = *p++;
+    dispatchSlots_ = uint32_t(*p++);
+    commitCycleCur_ = *p++;
+    commitSlots_ = uint32_t(*p++);
+    lastCommit_ = *p++;
+    seqPredCls_ = OpClass(*p++);
+    seqPred_.taken = *p++ != 0;
+    seqPred_.target = *p++;
+    seqPred_.targetKnown = *p++ != 0;
+    seqTriggerPC_ = *p++;
+    seqTrigTaken_ = *p++ != 0;
+    seqTrigTarget_ = *p++;
+    seqRedirected_ = *p++ != 0;
+    seqRedirTarget_ = *p++;
+    seqResolve_ = *p++;
+    for (uint64_t &r : regReady_)
+        r = *p++;
+    for (uint64_t &r : commitRing_)
+        r = *p++;
+    for (uint64_t &r : issueRing_)
+        r = *p++;
+}
+
+void
 PipelineSim::registerStats(StatsRegistry &reg)
 {
     // Materialize the pipeline's own counters from the timing result.

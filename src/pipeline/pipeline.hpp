@@ -41,6 +41,7 @@
 #include "src/branch/predictor.hpp"
 #include "src/mem/cache.hpp"
 #include "src/sim/core.hpp"
+#include "src/sim/snapshot.hpp"
 
 namespace dise {
 
@@ -124,6 +125,26 @@ struct TimingResult
     }
 };
 
+/**
+ * Complete timing-simulator checkpoint: the architectural SimSnapshot
+ * plus every piece of timing state — cache lines/LRU/stats (held in a
+ * standalone same-geometry hierarchy), branch-predictor tables, the
+ * accumulated TimingResult, and the pipeline's clock/occupancy
+ * scalars. PipelineSim::run is resumable (all loop state lives in
+ * members), so restoring a checkpoint and running on is bit-identical
+ * — cycles, buckets, counters — to a run that never stopped.
+ */
+struct TimingSnapshot
+{
+    SimSnapshot core;
+    TimingResult result;
+    std::unique_ptr<MemHierarchy> mem;
+    std::unique_ptr<BranchPredictor> bpred;
+    /** Opaque pipeline scalar state (front end, accounting, back end,
+     *  sequence-level prediction); filled by PipelineSim. */
+    std::vector<uint64_t> scalars;
+};
+
 /** The timing simulator. */
 class PipelineSim
 {
@@ -153,6 +174,18 @@ class PipelineSim
     ExecCore &core() { return core_; }
     MemHierarchy &mem() { return mem_; }
     BranchPredictor &predictor() { return bpred_; }
+
+    /** @name Checkpoint/restore (see TimingSnapshot).
+     *
+     * Legal at any point between run() calls at an application
+     * boundary — in practice: after a run(maxInsts) that stopped on
+     * its instruction budget, or before the first run. A restored
+     * simulator continues exactly where the checkpoint was taken.
+     */
+    /// @{
+    void saveSnapshot(TimingSnapshot &out) const;
+    void restoreSnapshot(const TimingSnapshot &snap);
+    /// @}
 
     /**
      * Register every component's StatGroup (caches, predictor, engine

@@ -8,8 +8,6 @@
 
 namespace dise {
 
-namespace {
-
 double
 parsePositiveValue(const char *text, const std::string &what)
 {
@@ -31,6 +29,22 @@ parsePositiveInt(const char *text, const std::string &what)
     return uint64_t(value);
 }
 
+uint64_t
+parseNonNegativeInt(const char *text, const std::string &what)
+{
+    char *end = nullptr;
+    const double value = std::strtod(text, &end);
+    if (end == text || *end != '\0')
+        fatal(what + ": cannot parse \"" + text + "\"");
+    if (!(value >= 0))
+        fatal(what + ": must be >= 0, got \"" + text + "\"");
+    if (value != double(uint64_t(value)))
+        fatal(what + ": not an integer: \"" + std::string(text) + "\"");
+    return uint64_t(value);
+}
+
+namespace {
+
 BenchConfig
 fromEnvironment()
 {
@@ -48,6 +62,9 @@ fromEnvironment()
             uint32_t(parsePositiveInt(env, "DISE_FAULT_TRIALS"));
     if (const char *env = std::getenv("DISE_FAULT_SEED"))
         cfg.faultSeed = parsePositiveInt(env, "DISE_FAULT_SEED");
+    if (const char *env = std::getenv("DISE_FAULT_FULL_REPLAY"))
+        cfg.faultFullReplay =
+            parseNonNegativeInt(env, "DISE_FAULT_FULL_REPLAY") != 0;
     return cfg;
 }
 
@@ -69,6 +86,9 @@ printHelp(const char *benchName)
         "(DISE_FAULT_TRIALS; default 48)\n"
         "  --fault-seed N    fault-campaign seed "
         "(DISE_FAULT_SEED; default 2003)\n"
+        "  --fault-full-replay\n"
+        "                    replay campaign trials from reset instead "
+        "of from snapshots (DISE_FAULT_FULL_REPLAY=1)\n"
         "  --help            this message\n"
         "\n"
         "Flags override the environment; unrecognized arguments are "
@@ -114,6 +134,8 @@ BenchConfig::init(int &argc, char **argv, const char *benchName)
         } else if (arg == "--fault-seed") {
             cfg.faultSeed =
                 parsePositiveInt(need(i, "--fault-seed"), "--fault-seed");
+        } else if (arg == "--fault-full-replay") {
+            cfg.faultFullReplay = true;
         } else if (arg == "--help" || arg == "-h") {
             printHelp(benchName);
         } else {

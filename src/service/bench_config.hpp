@@ -8,8 +8,9 @@
  *   1. defaults (below),
  *   2. environment: DISE_BENCH_JOBS, DISE_BENCH_SCALE, DISE_BENCH_ONLY,
  *      DISE_BENCH_JSON, DISE_FAULT_TRIALS, DISE_FAULT_SEED,
+ *      DISE_FAULT_FULL_REPLAY,
  *   3. CLI flags: --jobs N, --scale X, --only a,b, --json DIR,
- *      --fault-trials N, --fault-seed N, --help.
+ *      --fault-trials N, --fault-seed N, --fault-full-replay, --help.
  *
  * benchInit() (bench/harness.hpp) calls init() from every bench main;
  * init() strips the flags it consumed from argv so benches that parse
@@ -52,9 +53,32 @@ struct BenchConfig
      */
     static void init(int &argc, char **argv, const char *benchName);
 
+    /** Fault campaigns replay every trial from reset instead of from
+     *  per-trigger snapshots (the O(n^2) reference configuration). */
+    bool faultFullReplay = false;
+
     /** Does the --only/DISE_BENCH_ONLY filter select this name? */
     bool selected(const std::string &name) const;
 };
+
+/**
+ * @name Strict numeric argument parsing.
+ *
+ * The validated parsers behind every BenchConfig value, shared with the
+ * tool front-ends (diserun): the whole token must parse, trailing junk
+ * and non-numeric input fatal() with @p what naming the flag. The
+ * integer forms go through double, so they also reject fractions
+ * ("0.5" is not a trial count) while accepting exponent spellings
+ * ("1e6") that fit exactly.
+ */
+/// @{
+/** A strictly positive value ("--scale 0.25"). */
+double parsePositiveValue(const char *text, const std::string &what);
+/** A strictly positive integer ("--jobs 4"). */
+uint64_t parsePositiveInt(const char *text, const std::string &what);
+/** A non-negative integer; 0 is meaningful ("--icache 0" = perfect). */
+uint64_t parseNonNegativeInt(const char *text, const std::string &what);
+/// @}
 
 } // namespace dise
 

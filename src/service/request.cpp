@@ -122,6 +122,8 @@ RunRequest::validate() const
         fatal("RunRequest: width must be >= 1");
     if (watchpoint && !mfi)
         fatal("RunRequest: watchpoint requires mfi");
+    if (warmupInsts > 0 && mode != RunMode::Functional)
+        fatal("RunRequest: warmup_insts applies to functional mode only");
     if (mode == RunMode::Campaign) {
         if (trials == 0)
             fatal("RunRequest: campaign needs trials >= 1");
@@ -157,8 +159,10 @@ RunRequest::toJson() const
     doc["width"] = Json(width);
     doc["max_insts"] = Json(maxInsts);
     doc["max_cycles"] = Json(maxCycles);
+    doc["warmup_insts"] = Json(warmupInsts);
     doc["seed"] = Json(seed);
     doc["trials"] = Json(trials);
+    doc["snapshots"] = Json(snapshots);
     Json targets = Json::array();
     for (const FaultTarget t : faultTargets)
         targets.push_back(Json(std::string(faultTargetName(t))));
@@ -221,6 +225,10 @@ RunRequest::fromJson(const Json &doc)
             req.maxInsts = value.asUInt();
         } else if (key == "max_cycles") {
             req.maxCycles = value.asUInt();
+        } else if (key == "warmup_insts") {
+            req.warmupInsts = value.asUInt();
+        } else if (key == "snapshots") {
+            req.snapshots = value.asBool();
         } else if (key == "seed") {
             req.seed = value.asUInt();
         } else if (key == "trials") {

@@ -92,6 +92,15 @@ struct RunRequest
     uint64_t maxCycles = 0; ///< timing watchdog; 0 = unlimited
     /// @}
 
+    /**
+     * Warm-start point (functional mode): restore from a session-cached
+     * snapshot taken after this many application instructions instead
+     * of executing the prefix. Jobs sharing (program, ACF environment,
+     * warmup point) execute the warmup once per session; results are
+     * bit-identical to cold runs (see src/sim/snapshot.hpp). 0 = cold.
+     */
+    uint64_t warmupInsts = 0;
+
     /** @name Campaign shape (mode == Campaign). */
     /// @{
     uint64_t seed = 2003;
@@ -99,6 +108,10 @@ struct RunRequest
     std::vector<FaultTarget> faultTargets = {FaultTarget::MemoryData,
                                              FaultTarget::RegisterFile,
                                              FaultTarget::InstructionWord};
+    /** Replay trials from per-trigger COW snapshots (O(delta) per
+     *  trial) instead of from reset; classifications are identical
+     *  either way, so this is purely a speed knob. */
+    bool snapshots = true;
     /// @}
 
     /** The response/artifact label this request resolves to. */

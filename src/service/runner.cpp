@@ -12,6 +12,7 @@
 #include "src/common/logging.hpp"
 #include "src/common/stats.hpp"
 #include "src/dise/parser.hpp"
+#include "src/sim/snapshot.hpp"
 
 namespace dise {
 
@@ -193,6 +194,21 @@ timingEntryJson(PipelineSim &sim, const TimingResult &t,
     return entry;
 }
 
+SimSnapshot
+takeWarmupSnapshot(const PreparedJob &job, uint64_t warmupAppInsts)
+{
+    DISE_ASSERT(job.prog != nullptr, "job without a program");
+    std::unique_ptr<DiseController> controller = makeController(job);
+    ExecCore core(*job.prog, controller.get());
+    core.setTraceCacheEnabled(job.traceCache);
+    if (job.initCore)
+        job.initCore(core);
+    core.advanceToAppInst(warmupAppInsts);
+    SimSnapshot snap;
+    core.saveSnapshot(snap);
+    return snap;
+}
+
 FunctionalOutcome
 runFunctionalSim(const PreparedJob &job, const SimOptions &opts)
 {
@@ -203,6 +219,8 @@ runFunctionalSim(const PreparedJob &job, const SimOptions &opts)
     core.setTraceCacheEnabled(job.traceCache);
     if (job.initCore)
         job.initCore(core);
+    if (opts.resume)
+        core.restoreSnapshot(*opts.resume);
 
     const auto t0 = std::chrono::steady_clock::now();
     if (opts.traceInsts > 0) {

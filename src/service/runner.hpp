@@ -97,6 +97,13 @@ struct SimOptions
     /** Functional: step the first n instructions through onTrace. */
     uint64_t traceInsts = 0;
     std::function<void(const DynInst &dyn, uint64_t index)> onTrace;
+    /**
+     * Functional: warm-start from this snapshot instead of from reset.
+     * Must have been taken from a core prepared with the same job (see
+     * takeWarmupSnapshot); the run then covers only the remainder and
+     * its results are bit-identical to a cold run of the whole program.
+     */
+    const SimSnapshot *resume = nullptr;
 };
 
 /** One functional run's outputs. */
@@ -128,6 +135,15 @@ struct TimingOutcome
 /** Run a PreparedJob on the architectural simulator (ExecCore). */
 FunctionalOutcome runFunctionalSim(const PreparedJob &job,
                                    const SimOptions &opts = {});
+
+/**
+ * Execute @p job on a fresh core up to @p warmupAppInsts application
+ * instructions and capture the state (COW memory fork — the snapshot
+ * costs O(pages touched), not a full image copy). Feed the result to
+ * SimOptions::resume to warm-start runs sharing the same prefix.
+ */
+SimSnapshot takeWarmupSnapshot(const PreparedJob &job,
+                               uint64_t warmupAppInsts);
 
 /** Run a PreparedJob on the cycle-level simulator (PipelineSim). */
 TimingOutcome runTimingSim(const PreparedJob &job,

@@ -25,6 +25,29 @@ SimSession::cachedProgram(const RunRequest &req)
     });
 }
 
+std::shared_ptr<const SimSnapshot>
+SimSession::cachedSnapshot(const RunRequest &req, const PreparedJob &job)
+{
+    // Key on everything that shapes the warmed-up state: the program
+    // and ACF environment plus the warmup point. Job-specific fields
+    // (label, budgets, campaign shape) are normalized away so jobs
+    // differing only in those share one warmup execution.
+    RunRequest norm = req;
+    norm.id.clear();
+    norm.mode = RunMode::Functional;
+    norm.maxInsts = ~uint64_t(0);
+    norm.maxCycles = 0;
+    norm.seed = RunRequest().seed;
+    norm.trials = RunRequest().trials;
+    norm.faultTargets = RunRequest().faultTargets;
+    norm.snapshots = true;
+    const std::string key = norm.toJson().dump();
+    return snapshots_.get(key, [&req, &job] {
+        return std::make_shared<const SimSnapshot>(
+            takeWarmupSnapshot(job, req.warmupInsts));
+    });
+}
+
 RunResponse
 SimSession::execute(const RunRequest &req)
 {
@@ -38,6 +61,11 @@ SimSession::execute(const RunRequest &req)
       case RunMode::Functional: {
         SimOptions opts;
         opts.registry = true;
+        std::shared_ptr<const SimSnapshot> warm;
+        if (req.warmupInsts > 0) {
+            warm = cachedSnapshot(req, job);
+            opts.resume = warm.get();
+        }
         const FunctionalOutcome out = runFunctionalSim(job, opts);
         resp.arch = out.arch;
         resp.hostSeconds = out.hostSeconds;
@@ -66,6 +94,7 @@ SimSession::execute(const RunRequest &req)
         cfg.seed = req.seed;
         cfg.trials = req.trials;
         cfg.targets = req.faultTargets;
+        cfg.useSnapshots = req.snapshots;
         if (req.maxInsts != ~uint64_t(0))
             cfg.maxGoldenInsts = req.maxInsts;
         const auto t0 = std::chrono::steady_clock::now();

@@ -37,10 +37,13 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "src/common/scheduler.hpp"
 #include "src/common/singleflight.hpp"
 #include "src/service/request.hpp"
 #include "src/service/runner.hpp"
+#include "src/sim/snapshot.hpp"
 
 namespace dise {
 
@@ -86,10 +89,20 @@ class SimSession
      *  null for inline-source jobs. */
     const Program *cachedProgram(const RunRequest &req);
 
+    /** Cached warm-start snapshot for the request (warmupInsts > 0);
+     *  built once per (program, ACF environment, warmup point). */
+    std::shared_ptr<const SimSnapshot>
+    cachedSnapshot(const RunRequest &req, const PreparedJob &job);
+
     SimScheduler scheduler_;
     /** Workload programs keyed "<name>@<scale>"; single-flight so
      *  concurrent jobs sharing a workload build it once. */
     SingleFlightCache<std::string, Program> programs_;
+    /** Warm-start snapshots keyed on the normalized request identity
+     *  plus the warmup point; single-flight so batch jobs sharing a
+     *  prefix execute the warmup exactly once. */
+    SingleFlightCache<std::string, std::shared_ptr<const SimSnapshot>>
+        snapshots_;
     std::mutex resultMutex_;
 };
 

@@ -5,6 +5,7 @@
 #include "src/common/bits.hpp"
 #include "src/common/logging.hpp"
 #include "src/isa/disasm.hpp"
+#include "src/sim/snapshot.hpp"
 
 namespace dise {
 
@@ -606,6 +607,80 @@ ExecCore::copyArchStateFrom(const ExecCore &other)
     memory_ = other.memory_;
     brk_ = other.brk_;
     // The adopted memory image may differ from what was pre-decoded.
+    invalidateDecodeCache();
+}
+
+void
+ExecCore::advanceToAppInst(uint64_t target)
+{
+    // Chunked advance: each pass budgets dynInsts so that appInsts
+    // cannot overshoot target (every dynamic instruction advances
+    // appInsts by at most one), then re-budgets. Unlike run(), a
+    // budget expiry here is not a Hang — the caller is positioning the
+    // core, not classifying a run.
+    while (!exited_ && !trapped_ && result_.appInsts < target) {
+        const uint64_t budget =
+            result_.dynInsts + (target - result_.appInsts);
+        if (traceEnabled_) {
+            runTranslated(budget);
+        } else {
+            DynInst dyn;
+            while (result_.dynInsts < budget && step(dyn)) {
+            }
+        }
+    }
+    // Drain any in-flight replacement sequence: the target application
+    // instruction may have expanded, and its effects are complete only
+    // when the sequence retires.
+    while (seqSpec_ && !exited_ && !trapped_)
+        execSeqSlot<false>(nullptr);
+}
+
+void
+ExecCore::saveSnapshot(SimSnapshot &out) const
+{
+    // A terminated core is snapshottable regardless: any in-flight
+    // sequence is dead control state a restore would discard anyway.
+    DISE_ASSERT(seqSpec_ == nullptr || exited_ || trapped_,
+                "saveSnapshot requires an application-instruction "
+                "boundary (no in-flight replacement sequence)");
+    out.regs = regs_;
+    out.memory = memory_; // COW fork: O(pages) pointer copies
+    out.pc = pc_;
+    out.brk = brk_;
+    out.exited = exited_;
+    out.trapped = trapped_;
+    out.result = result_;
+    out.appInsts = result_.appInsts;
+    if (controller_)
+        out.engine = std::make_unique<DiseEngine>(controller_->engine());
+    else
+        out.engine.reset();
+}
+
+void
+ExecCore::restoreSnapshot(const SimSnapshot &snap)
+{
+    DISE_ASSERT(bool(controller_) == bool(snap.engine),
+                "snapshot controller shape does not match this core");
+    regs_ = snap.regs;
+    memory_ = snap.memory; // COW fork back; the snapshot stays frozen
+    pc_ = snap.pc;
+    brk_ = snap.brk;
+    exited_ = snap.exited;
+    trapped_ = snap.trapped;
+    result_ = snap.result;
+    // Snapshots are taken at application boundaries; clear any control
+    // state this core had in flight.
+    seqSpec_ = nullptr;
+    seqInsts_ = nullptr;
+    seqLen_ = 0;
+    seqIdx_ = 0;
+    seqHasPendingOutcome_ = false;
+    if (controller_)
+        controller_->restoreEngine(*snap.engine);
+    // The restored image may differ from what was pre-decoded or
+    // translated (and the engine generation may have moved backwards).
     invalidateDecodeCache();
 }
 

@@ -42,6 +42,8 @@
 
 namespace dise {
 
+struct SimSnapshot;
+
 /** One correct-path dynamic instruction with its execution outcome. */
 struct DynInst
 {
@@ -179,6 +181,35 @@ class ExecCore
     void copyArchStateFrom(const ExecCore &other);
     /** Restart at a saved PC:DISEPC pair. */
     void resumeAt(Addr pc, uint32_t disepc);
+    /// @}
+
+    /** @name Copy-on-write snapshots (src/sim/snapshot.hpp).
+     *
+     * saveSnapshot/restoreSnapshot capture and reinstate the complete
+     * execution state at an application-instruction boundary; unlike
+     * resumeAt, restore is a pure state copy (no engine re-expansion),
+     * so a restored run is bit-identical — every counter, PT/RT stamp
+     * and statistic — to one that executed the prefix itself. The core
+     * must be at an application boundary to snapshot (no in-flight
+     * replacement sequence; its instantiated instructions are a
+     * non-owning span into the engine's caches and cannot be captured
+     * by value). advanceToAppInst runs — via the translated fast path
+     * when enabled — until exactly @p target application instructions
+     * have retired and the core is at such a boundary, without
+     * classifying a budget expiry as a Hang the way run() does.
+     */
+    /// @{
+    /** No replacement sequence in flight: snapshots are legal here. */
+    bool atAppBoundary() const { return seqSpec_ == nullptr; }
+    /** Execute until result().appInsts == @p target (or termination),
+     *  draining any in-flight sequence to the next boundary. */
+    void advanceToAppInst(uint64_t target);
+    /** Capture the complete execution state into @p out. */
+    void saveSnapshot(SimSnapshot &out) const;
+    /** Reinstate a capture; the snapshot must come from a core running
+     *  the same program (and the same controller-attached-or-not
+     *  shape) as this one. */
+    void restoreSnapshot(const SimSnapshot &snap);
     /// @}
 
     /**

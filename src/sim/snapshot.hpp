@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Copy-on-write execution-state snapshots.
+ *
+ * A SimSnapshot captures everything that determines an ExecCore's
+ * future behavior at an application-instruction boundary: the register
+ * file (integer and dedicated DISE registers live in one file), the
+ * memory image, the precise PC, the heap break, the termination flags,
+ * the accumulated RunResult, and — when a DISE controller is attached —
+ * the complete engine (PT/RT residency and LRU stamps, expansion
+ * cache, statistics, table generation).
+ *
+ * Cost model: the memory image forks copy-on-write (see
+ * src/mem/memory.hpp), so taking a snapshot is O(pages touched)
+ * pointer copies and restoring is the same — the restored core then
+ * pays only for the pages it actually writes (O(delta)). The engine
+ * copy is small (table metadata, not program state). Snapshots taken
+ * once may be restored any number of times, from many threads
+ * concurrently: a frozen snapshot is never mutated by restores.
+ *
+ * Restoring deliberately does NOT re-expand through the engine the way
+ * ExecCore::resumeAt does — resumeAt consults the live engine (PT/RT
+ * fills, LRU movement, inspection counters), which would perturb
+ * statistics and residency relative to an uninterrupted run. Restore
+ * is a pure state copy, so a restored run is bit-identical, statistic
+ * for statistic, to one that executed the prefix itself. That property
+ * is what lets snapshot-based fault campaigns replace full replay.
+ */
+
+#ifndef DISE_SIM_SNAPSHOT_HPP
+#define DISE_SIM_SNAPSHOT_HPP
+
+#include <array>
+#include <memory>
+
+#include "src/sim/core.hpp"
+
+namespace dise {
+
+/** One resumable execution point. Move-only (the engine copy is owned);
+ *  share read-only across threads via shared_ptr<const SimSnapshot>. */
+struct SimSnapshot
+{
+    /** Logical register file (includes the dedicated DISE registers). */
+    std::array<uint64_t, kNumLogicalRegs> regs{};
+    /** COW fork of the memory image at the snapshot point. */
+    Memory memory;
+    Addr pc = 0;
+    Addr brk = 0;
+    bool exited = false;
+    bool trapped = false;
+    /** Accumulated architectural result (counters, output, outcome). */
+    RunResult result;
+    /** Complete engine copy; null when the core has no controller. */
+    std::unique_ptr<DiseEngine> engine;
+    /** Application instructions retired at the snapshot point
+     *  (== result.appInsts; kept explicit for cache keying). */
+    uint64_t appInsts = 0;
+};
+
+} // namespace dise
+
+#endif // DISE_SIM_SNAPSHOT_HPP

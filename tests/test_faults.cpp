@@ -11,6 +11,7 @@
 #include "src/acf/mfi.hpp"
 #include "src/assembler/assembler.hpp"
 #include "src/faults/campaign.hpp"
+#include "src/sim/snapshot.hpp"
 
 namespace dise {
 namespace {
@@ -290,6 +291,150 @@ TEST(Parity, PtCorruptionWithoutParityDropsExpansions)
     EXPECT_EQ(r.output, ref.output);
     EXPECT_GE(controller->engine().stats().get("pt_silent_drops"), 1u);
     EXPECT_LT(r.expansions, ref.expansions);
+}
+
+// ---- Copy-on-write snapshots ----
+
+/** Campaigns must classify identically with and without snapshots,
+ *  at any worker count: snapshot restore is a pure state copy, so a
+ *  restored suffix is bit-identical — counters, PT/RT residency,
+ *  parity statistics — to a from-reset replay. */
+TEST(Snapshot, CampaignMatchesFullReplayBitForBit)
+{
+    const Program prog = loopProgram();
+    const CampaignSetup setup = mfiSetup(prog);
+    CampaignConfig config;
+    config.seed = 11;
+    config.trials = 20;
+    config.targets = {FaultTarget::MemoryData, FaultTarget::RegisterFile,
+                      FaultTarget::InstructionWord, FaultTarget::PtEntry,
+                      FaultTarget::RtEntry};
+
+    config.useSnapshots = false;
+    const CampaignResult full = runCampaign(setup, config);
+    config.useSnapshots = true;
+    const CampaignResult snap = runCampaign(setup, config);
+    SimScheduler pool(4);
+    const CampaignResult snapPar = runCampaign(setup, config, &pool);
+
+    for (const CampaignResult *r : {&snap, &snapPar}) {
+        EXPECT_EQ(r->uncaughtExceptions, 0u);
+        ASSERT_EQ(r->trials.size(), full.trials.size());
+        for (size_t i = 0; i < full.trials.size(); ++i) {
+            EXPECT_EQ(r->trials[i].outcome, full.trials[i].outcome) << i;
+            EXPECT_EQ(r->trials[i].parityDetections,
+                      full.trials[i].parityDetections)
+                << i;
+        }
+        EXPECT_EQ(r->counts, full.counts);
+        EXPECT_EQ(r->injected, full.injected);
+        EXPECT_EQ(r->parityDetected, full.parityDetected);
+        EXPECT_EQ(r->parityRecovered, full.parityRecovered);
+    }
+
+    // The two modes' artifact entries differ only in the replay
+    // section (and would differ in host timing, which campaignToJson
+    // does not emit).
+    Json fullJson = campaignToJson(full);
+    Json snapJson = campaignToJson(snap);
+    EXPECT_NE(fullJson.dump(), snapJson.dump());
+    fullJson["replay"] = Json::object();
+    snapJson["replay"] = Json::object();
+    EXPECT_EQ(fullJson.dump(), snapJson.dump());
+
+    // O(delta) accounting: full replay saves nothing by definition;
+    // the snapshot campaign must both record savings and actually
+    // execute less than full replay did.
+    EXPECT_EQ(full.savedInsts, 0u);
+    EXPECT_GT(snap.savedInsts, 0u);
+    EXPECT_LT(snap.replayedInsts, full.replayedInsts);
+    EXPECT_EQ(snap.replayedInsts + snap.savedInsts, full.replayedInsts);
+    EXPECT_EQ(snapPar.replayedInsts, snap.replayedInsts);
+    EXPECT_EQ(snapPar.savedInsts, snap.savedInsts);
+}
+
+/** Restoring a snapshot and finishing must equal an uninterrupted run
+ *  in every architectural counter and engine statistic. */
+TEST(Snapshot, RestoredRunMatchesUninterrupted)
+{
+    const Program prog = loopProgram();
+
+    // Reference: uninterrupted MFI run.
+    auto refCtl = mfiController(prog, true);
+    ExecCore ref(prog, refCtl.get());
+    initMfiRegisters(ref, prog);
+    const RunResult refResult = ref.run(100000);
+    ASSERT_EQ(refResult.outcome, RunOutcome::Exit);
+
+    // Snapshot mid-run, keep running the original to completion.
+    auto ctlA = mfiController(prog, true);
+    ExecCore a(prog, ctlA.get());
+    initMfiRegisters(a, prog);
+    a.advanceToAppInst(50);
+    ASSERT_TRUE(a.atAppBoundary());
+    ASSERT_EQ(a.result().appInsts, 50u);
+    SimSnapshot snap;
+    a.saveSnapshot(snap);
+    EXPECT_EQ(snap.appInsts, 50u);
+    const RunResult aResult = a.run(100000);
+
+    // Restore into a *used* core (decode/trace caches warm, different
+    // point of execution) and finish.
+    auto ctlB = mfiController(prog, true);
+    ExecCore b(prog, ctlB.get());
+    initMfiRegisters(b, prog);
+    b.advanceToAppInst(90);
+    b.restoreSnapshot(snap);
+    EXPECT_EQ(b.result().appInsts, 50u);
+    const RunResult bResult = b.run(100000);
+
+    for (const RunResult *r : {&aResult, &bResult}) {
+        EXPECT_EQ(r->outcome, refResult.outcome);
+        EXPECT_EQ(r->exitCode, refResult.exitCode);
+        EXPECT_EQ(r->output, refResult.output);
+        EXPECT_EQ(r->dynInsts, refResult.dynInsts);
+        EXPECT_EQ(r->appInsts, refResult.appInsts);
+        EXPECT_EQ(r->diseInsts, refResult.diseInsts);
+        EXPECT_EQ(r->expansions, refResult.expansions);
+        EXPECT_EQ(r->acfDetections, refResult.acfDetections);
+    }
+    // Engine statistics revert with the snapshot too: the restored
+    // core's engine ends exactly where the reference engine did.
+    EXPECT_EQ(ctlB->engine().stats().get("expansions"),
+              refCtl->engine().stats().get("expansions"));
+    EXPECT_EQ(ctlB->engine().stats().get("inspected"),
+              refCtl->engine().stats().get("inspected"));
+}
+
+/** One frozen snapshot restored into divergent cores: writes after the
+ *  fork must not leak between forks or back into the snapshot. */
+TEST(Snapshot, ForksAreIsolated)
+{
+    const Program prog = loopProgram();
+    ExecCore core(prog, nullptr);
+    core.advanceToAppInst(20);
+    SimSnapshot snap;
+    core.saveSnapshot(snap);
+    const uint64_t snapSum = snap.memory.checksum(prog.dataBase, 8);
+
+    ExecCore fork1(prog, nullptr);
+    fork1.restoreSnapshot(snap);
+    ExecCore fork2(prog, nullptr);
+    fork2.restoreSnapshot(snap);
+    fork1.memory().writeByte(prog.dataBase, 0xAA);
+    fork2.memory().writeByte(prog.dataBase, 0x55);
+    fork1.invalidateDecodeCache();
+    fork2.invalidateDecodeCache();
+
+    EXPECT_EQ(fork1.memory().readByte(prog.dataBase), 0xAA);
+    EXPECT_EQ(fork2.memory().readByte(prog.dataBase), 0x55);
+    EXPECT_EQ(snap.memory.checksum(prog.dataBase, 8), snapSum);
+
+    // Each fork still finishes as a valid (now divergent) execution.
+    const RunResult r1 = fork1.run(100000);
+    const RunResult r2 = fork2.run(100000);
+    EXPECT_EQ(r1.outcome, RunOutcome::Exit);
+    EXPECT_EQ(r2.outcome, RunOutcome::Exit);
 }
 
 } // namespace

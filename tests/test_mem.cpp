@@ -353,6 +353,140 @@ TEST(Cache, MruShortcutStatsMatchReferenceLru)
     EXPECT_EQ(cache.stats().get("writebacks"), ref.writebacks);
 }
 
+// ---- Copy-on-write forks and translation-cache coherence ----
+
+/**
+ * operator= adopts the source's pages; the destination's previously
+ * cached page pointers reference its OLD image and must be dropped, in
+ * both directions and for move-assignment too (the moved-from map's
+ * storage is gone entirely).
+ */
+TEST(Memory, AssignmentInvalidatesTranslationCache)
+{
+    Memory a, b;
+    a.write(0x5000, 0x1111, 8); // cache a's page 5 translation
+    b.write(0x5000, 0x2222, 8); // cache b's page 5 translation
+    ASSERT_EQ(a.read(0x5000, 8), 0x1111u);
+
+    a = b; // a's cached pointer into its old page 5 is now stale
+    EXPECT_EQ(a.read(0x5000, 8), 0x2222u);
+
+    // Writes through a stale write-valid entry must not reach b.
+    a.write(0x5000, 0x3333, 8);
+    EXPECT_EQ(a.read(0x5000, 8), 0x3333u);
+    EXPECT_EQ(b.read(0x5000, 8), 0x2222u);
+
+    Memory c;
+    c.write(0x5000, 0x4444, 8);
+    c = std::move(b);
+    EXPECT_EQ(c.read(0x5000, 8), 0x2222u);
+    // The moved-from image is empty and its cache reset: accesses are
+    // safe and see an untouched image.
+    EXPECT_EQ(b.read(0x5000, 8), 0u);
+    b.write(0x5000, 1, 1);
+    EXPECT_EQ(b.read(0x5000, 1), 1u);
+}
+
+TEST(Memory, CopyConstructionInvalidatesTranslationCache)
+{
+    Memory a;
+    a.write(0x7008, 0xabcd, 8); // warm a's cache (write-valid entry)
+    Memory b(a);                // page 7 now shared
+    // The source's write-valid entry was demoted: this write must
+    // clone, not scribble on the shared page.
+    a.write(0x7008, 0xef01, 8);
+    EXPECT_EQ(a.read(0x7008, 8), 0xef01u);
+    EXPECT_EQ(b.read(0x7008, 8), 0xabcdu);
+
+    Memory d(std::move(a));
+    EXPECT_EQ(d.read(0x7008, 8), 0xef01u);
+    EXPECT_EQ(a.read(0x7008, 8), 0u); // moved-from: empty, cache reset
+}
+
+/** Write-after-fork isolation in both directions, including pages that
+ *  alias in the translation cache and pages touched only post-fork. */
+TEST(Memory, CowForkWriteIsolationBothDirections)
+{
+    Memory parent;
+    const Addr pa = Addr(5) << Memory::kPageShift;
+    const Addr pb = Addr(5 + 64) << Memory::kPageShift; // aliases pa
+    parent.write(pa, 0x1111, 8);
+    parent.write(pb, 0x2222, 8);
+
+    Memory child(parent);
+    EXPECT_EQ(child.read(pa, 8), 0x1111u);
+
+    // Parent writes must not appear in the child...
+    parent.write(pa, 0xAAAA, 8);
+    EXPECT_EQ(parent.read(pa, 8), 0xAAAAu);
+    EXPECT_EQ(child.read(pa, 8), 0x1111u);
+    // ...and child writes must not appear in the parent.
+    child.write(pb, 0xBBBB, 8);
+    EXPECT_EQ(child.read(pb, 8), 0xBBBBu);
+    EXPECT_EQ(parent.read(pb, 8), 0x2222u);
+
+    // Pages allocated after the fork are private from birth.
+    child.write(0x9000, 0xCC, 1);
+    EXPECT_EQ(parent.read(0x9000, 1), 0u);
+    parent.write(0xA000, 0xDD, 1);
+    EXPECT_EQ(child.read(0xA000, 1), 0u);
+}
+
+/**
+ * Randomized differential: a COW fork must be indistinguishable from a
+ * deep copy under any interleaving of reads and writes on both images
+ * — byte-exact against independent reference models, with fork points
+ * mid-stream so forks inherit warm translation caches.
+ */
+TEST(Memory, RandomizedCowForkVsDeepCopyModel)
+{
+    std::mt19937_64 rng(0xf0c0f0c0);
+    Memory images[2];
+    std::map<Addr, uint8_t> ref[2]; // per-image byte model
+
+    // Aliasing-prone pool, as in RandomizedDifferentialVsByteModel.
+    const uint64_t basePages[] = {3, 3 + 64, 9, 9 + 128, 500};
+    std::vector<Addr> pool;
+    for (uint64_t pn : basePages) {
+        const Addr page = pn << Memory::kPageShift;
+        for (int d = -9; d <= 9; ++d)
+            pool.push_back(page + Memory::kPageSize / 2 + d);
+        pool.push_back(page);
+        pool.push_back(page + Memory::kPageSize - 8);
+    }
+
+    const unsigned sizes[] = {1, 2, 4, 8};
+    for (int i = 0; i < 30000; ++i) {
+        const int which = int(rng() & 1);
+        const Addr addr = pool[rng() % pool.size()];
+        const unsigned size = sizes[rng() % 4];
+        const uint64_t action = rng() % 100;
+        if (action < 2) {
+            // Fork one image over the other (both directions occur).
+            images[which] = images[which ^ 1];
+            ref[which] = ref[which ^ 1];
+        } else if (action < 50) {
+            const uint64_t value = rng();
+            images[which].write(addr, value, size);
+            for (unsigned b = 0; b < size; ++b)
+                ref[which][addr + b] = uint8_t(value >> (8 * b));
+        } else {
+            uint64_t expect = 0;
+            for (unsigned b = 0; b < size; ++b) {
+                const auto it = ref[which].find(addr + b);
+                expect |= uint64_t(it == ref[which].end() ? 0 : it->second)
+                          << (8 * b);
+            }
+            ASSERT_EQ(images[which].read(addr, size), expect)
+                << "image " << which << " addr 0x" << std::hex << addr
+                << " size " << size << " iter " << std::dec << i;
+        }
+    }
+    for (int which = 0; which < 2; ++which)
+        for (const auto &[addr, byte] : ref[which])
+            ASSERT_EQ(images[which].readByte(addr), byte) << which;
+}
+
 TEST(Hierarchy, GeometryValidation)
 {
     CacheParams bad = smallCache(1000, 3); // not line*assoc multiple

@@ -532,5 +532,58 @@ TEST(PipelineBuckets, DiseStallChargedForExpansionOverheads)
     EXPECT_EQ(thrash.buckets.total(), thrash.cycles);
 }
 
+/**
+ * Timing checkpoints: stopping a run on its instruction budget, saving
+ * a TimingSnapshot, and resuming — in the same simulator or a freshly
+ * constructed one — must reproduce the uninterrupted run bit for bit:
+ * cycles, every accounting bucket, cache misses, mispredicts, and all
+ * architectural counters.
+ */
+TEST(Pipeline, TimingSnapshotSplitRunMatchesUninterrupted)
+{
+    const Program prog = loopProgram(800,
+                                     "    ldq t2, 0(t5)\n"
+                                     "    addq t3, t2, t3\n"
+                                     "    stq t3, 0(t5)\n");
+    PipelineParams params;
+    params.mem.l1dSize = 1024; // small caches: real miss traffic
+    params.mem.l1iSize = 1024;
+
+    PipelineSim ref(prog, params);
+    const TimingResult want = ref.run();
+    ASSERT_EQ(want.arch.outcome, RunOutcome::Exit);
+
+    // Split run in one simulator: budget expiry, then resume.
+    PipelineSim split(prog, params);
+    const TimingResult mid = split.run(1000);
+    ASSERT_EQ(mid.arch.outcome, RunOutcome::Hang); // budget, not exit
+    TimingSnapshot snap;
+    split.saveSnapshot(snap);
+    const TimingResult got = split.run();
+
+    // Restore into a fresh simulator and finish there too.
+    PipelineSim fresh(prog, params);
+    fresh.restoreSnapshot(snap);
+    const TimingResult got2 = fresh.run();
+
+    for (const TimingResult *r : {&got, &got2}) {
+        EXPECT_EQ(r->cycles, want.cycles);
+        EXPECT_EQ(r->buckets.issue, want.buckets.issue);
+        EXPECT_EQ(r->buckets.imissStall, want.buckets.imissStall);
+        EXPECT_EQ(r->buckets.dmissStall, want.buckets.dmissStall);
+        EXPECT_EQ(r->buckets.branchFlush, want.buckets.branchFlush);
+        EXPECT_EQ(r->buckets.diseStall, want.buckets.diseStall);
+        EXPECT_EQ(r->buckets.hazard, want.buckets.hazard);
+        EXPECT_EQ(r->buckets.drain, want.buckets.drain);
+        EXPECT_EQ(r->mispredicts, want.mispredicts);
+        EXPECT_EQ(r->icacheMisses, want.icacheMisses);
+        EXPECT_EQ(r->dcacheMisses, want.dcacheMisses);
+        EXPECT_EQ(r->l2Misses, want.l2Misses);
+        EXPECT_EQ(r->arch.outcome, want.arch.outcome);
+        EXPECT_EQ(r->arch.dynInsts, want.arch.dynInsts);
+        EXPECT_EQ(r->arch.output, want.arch.output);
+    }
+}
+
 } // namespace
 } // namespace dise

@@ -189,6 +189,7 @@ TEST(RunRequest, JsonRoundTrip)
     req.seed = 99;
     req.trials = 12;
     req.faultTargets = {FaultTarget::PtEntry, FaultTarget::RtEntry};
+    req.snapshots = false;
 
     const Json doc = req.toJson();
     const RunRequest back = RunRequest::fromJson(doc);
@@ -198,6 +199,7 @@ TEST(RunRequest, JsonRoundTrip)
     EXPECT_EQ(back.mfiVariant, MfiVariant::Dise4);
     EXPECT_EQ(back.dise.rtEntries, 512u);
     EXPECT_EQ(back.faultTargets.size(), 2u);
+    EXPECT_FALSE(back.snapshots);
 }
 
 TEST(RunRequest, RejectsUnknownKeysAndBadShapes)
@@ -219,6 +221,12 @@ TEST(RunRequest, RejectsUnknownKeysAndBadShapes)
     watchpointOnly.workload = "gzip";
     watchpointOnly.watchpoint = true;
     EXPECT_THROW(watchpointOnly.validate(), FatalError);
+
+    RunRequest warmTiming;
+    warmTiming.workload = "gzip";
+    warmTiming.mode = RunMode::Timing;
+    warmTiming.warmupInsts = 100;
+    EXPECT_THROW(warmTiming.validate(), FatalError);
 }
 
 // ---- SimSession ----
@@ -326,6 +334,43 @@ TEST(SimSession, FunctionalAndTimingShareTheArchResult)
     // The unified serializer reports the same architectural section.
     EXPECT_EQ(functional.arch.toJson().dump(),
               timing.arch.toJson().dump());
+}
+
+TEST(SimSession, WarmStartMatchesColdRunBitForBit)
+{
+    RunRequest cold;
+    cold.source = kLoopSource;
+    cold.mfi = true;
+    RunRequest warm = cold;
+    warm.warmupInsts = 25;
+
+    SimSession session(SessionConfig{2});
+    const RunResponse a = session.run(cold);
+    const RunResponse b = session.run(warm);
+    ASSERT_TRUE(a.ok) << a.error;
+    ASSERT_TRUE(b.ok) << b.error;
+    // The warm-started run restored a snapshot at app-inst 25 and ran
+    // the remainder; everything but the host section must match a run
+    // that executed the whole program itself — counters, output,
+    // engine statistics, all of it.
+    EXPECT_EQ(stripHost(a.toJson()).dump(), stripHost(b.toJson()).dump());
+
+    // A batch of jobs sharing the warmup point shares one cached
+    // snapshot (single-flight) and every result stays identical.
+    const std::vector<RunRequest> reqs(4, warm);
+    const auto responses = session.runBatch(reqs);
+    for (const RunResponse &r : responses) {
+        ASSERT_TRUE(r.ok) << r.error;
+        EXPECT_EQ(stripHost(r.toJson()).dump(),
+                  stripHost(a.toJson()).dump());
+    }
+
+    // A warmup point past program exit degenerates to the full run.
+    RunRequest past = cold;
+    past.warmupInsts = ~uint64_t(0) / 2;
+    const RunResponse c = session.run(past);
+    ASSERT_TRUE(c.ok) << c.error;
+    EXPECT_EQ(stripHost(c.toJson()).dump(), stripHost(a.toJson()).dump());
 }
 
 // ---- Campaign: serial vs scheduler-parallel ----

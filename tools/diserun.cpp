@@ -41,6 +41,24 @@
  *   --placement <free|stall|pipe>
  *   --max-insts <n>          dynamic instruction cap
  *   --scale <x>              workload scale (workloads only)
+ *   --snapshot-at <n>        functional mode: capture a copy-on-write
+ *                            state snapshot at application instruction
+ *                            n, then run the remainder from it (the
+ *                            result is bit-identical to an
+ *                            uninterrupted run)
+ *   --restore                after the run, restore the --snapshot-at
+ *                            state and replay the suffix (time-travel
+ *                            trap debugging: combine with --trace to
+ *                            step the path from the snapshot to a trap
+ *                            without re-executing the prefix); verifies
+ *                            the replay is bit-identical
+ *
+ * All numeric flags are strictly validated: the whole token must be a
+ * number of the right sign and integrality, so "--jobs 4x" or
+ * "--scale banana" exit with usage instead of silently running with a
+ * half-parsed value. Unknown --mfi=/--placement spellings are rejected
+ * the same way.
+ *
  *   --dump-asm               print the program source (workloads only)
  *   --stats                  dump engine/cache/predictor counters
  *   --stats-json <file>      write the full stats registry (all
@@ -57,6 +75,7 @@
 
 #include "src/common/logging.hpp"
 #include "src/isa/disasm.hpp"
+#include "src/service/bench_config.hpp"
 #include "src/service/session.hpp"
 #include "src/workloads/workloads.hpp"
 
@@ -73,6 +92,8 @@ struct Options
     std::string batchOutFile;
     unsigned jobs = 1;
     uint64_t traceInsts = 0;
+    uint64_t snapshotAt = 0; ///< 0 = no snapshot
+    bool restore = false;
     bool dumpAsm = false;
     bool stats = false;
     std::string statsJsonFile;
@@ -89,23 +110,55 @@ usage(const char *argv0)
     std::exit(2);
 }
 
+/**
+ * Run one of the strict bench_config parsers over a flag value; on a
+ * malformed token the parser's fatal() diagnostic (naming the flag and
+ * the offending text) lands on stderr and we exit with usage, never
+ * with a half-parsed value.
+ */
+template <typename Parse>
+auto
+parsed(const char *argv0, Parse &&parse) -> decltype(parse())
+{
+    try {
+        return parse();
+    } catch (const FatalError &) {
+        usage(argv0);
+    }
+}
+
 Options
 parseArgs(int argc, char **argv)
 {
     Options opts;
+    const char *argv0 = argv[0];
     auto need = [&](int &i) -> const char * {
         if (i + 1 >= argc)
             usage(argv[0]);
         return argv[++i];
+    };
+    // Every numeric flag goes through the validated parsers: positive
+    // where 0 is meaningless, non-negative where 0 selects a mode
+    // (--icache 0 = perfect, --rt 0 = perfect, --trace 0 = off).
+    auto positiveInt = [&](int &i, const char *flag) {
+        const char *text = need(i);
+        return parsed(argv0, [&] {
+            return parsePositiveInt(text, flag);
+        });
+    };
+    auto nonNegativeInt = [&](int &i, const char *flag) {
+        const char *text = need(i);
+        return parsed(argv0, [&] {
+            return parseNonNegativeInt(text, flag);
+        });
     };
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--batch") {
             opts.batchFile = need(i);
         } else if (arg == "--jobs") {
-            opts.jobs = static_cast<unsigned>(std::atoi(need(i)));
-            if (opts.jobs == 0)
-                usage(argv[0]);
+            opts.jobs =
+                static_cast<unsigned>(positiveInt(i, "--jobs"));
         } else if (arg == "--batch-out") {
             opts.batchOutFile = need(i);
         } else if (arg == "--timing") {
@@ -114,10 +167,20 @@ parseArgs(int argc, char **argv)
             opts.productionsFile = need(i);
         } else if (arg == "--mfi" || arg.rfind("--mfi=", 0) == 0) {
             opts.req.mfi = true;
-            if (arg == "--mfi=dise4")
+            if (arg == "--mfi" || arg == "--mfi=dise3") {
+                opts.req.mfiVariant = MfiVariant::Dise3;
+            } else if (arg == "--mfi=dise4") {
                 opts.req.mfiVariant = MfiVariant::Dise4;
-            else if (arg == "--mfi=sandbox")
+            } else if (arg == "--mfi=sandbox") {
                 opts.req.mfiVariant = MfiVariant::Sandbox;
+            } else {
+                std::fprintf(stderr,
+                             "%s: unknown MFI variant (valid: "
+                             "--mfi=dise3, --mfi=dise4, --mfi=sandbox)"
+                             "\n",
+                             arg.c_str());
+                usage(argv0);
+            }
         } else if (arg == "--watchpoint") {
             opts.req.watchpoint = true;
         } else if (arg == "--rewrite-mfi") {
@@ -127,32 +190,49 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--profile") {
             opts.req.profile = true;
         } else if (arg == "--trace") {
-            opts.traceInsts = std::strtoull(need(i), nullptr, 0);
+            opts.traceInsts = nonNegativeInt(i, "--trace");
         } else if (arg == "--icache") {
             opts.req.icacheKB =
-                static_cast<uint32_t>(std::atoi(need(i)));
+                static_cast<uint32_t>(nonNegativeInt(i, "--icache"));
         } else if (arg == "--width") {
-            opts.req.width = static_cast<uint32_t>(std::atoi(need(i)));
+            opts.req.width =
+                static_cast<uint32_t>(positiveInt(i, "--width"));
         } else if (arg == "--rt") {
             opts.req.dise.rtEntries =
-                static_cast<uint32_t>(std::atoi(need(i)));
+                static_cast<uint32_t>(nonNegativeInt(i, "--rt"));
         } else if (arg == "--rt-assoc") {
             opts.req.dise.rtAssoc =
-                static_cast<uint32_t>(std::atoi(need(i)));
+                static_cast<uint32_t>(positiveInt(i, "--rt-assoc"));
         } else if (arg == "--no-expansion-cache") {
             opts.req.dise.expansionCache = false;
         } else if (arg == "--no-trace-cache") {
             opts.req.traceCache = false;
         } else if (arg == "--placement") {
             const std::string p = need(i);
-            opts.req.dise.placement = p == "free" ? DisePlacement::Free
-                                      : p == "stall"
-                                          ? DisePlacement::Stall
-                                          : DisePlacement::Pipe;
+            if (p == "free") {
+                opts.req.dise.placement = DisePlacement::Free;
+            } else if (p == "stall") {
+                opts.req.dise.placement = DisePlacement::Stall;
+            } else if (p == "pipe") {
+                opts.req.dise.placement = DisePlacement::Pipe;
+            } else {
+                std::fprintf(stderr,
+                             "--placement %s: unknown placement "
+                             "(valid: free, stall, pipe)\n",
+                             p.c_str());
+                usage(argv0);
+            }
         } else if (arg == "--max-insts") {
-            opts.req.maxInsts = std::strtoull(need(i), nullptr, 0);
+            opts.req.maxInsts = positiveInt(i, "--max-insts");
         } else if (arg == "--scale") {
-            opts.req.scale = std::strtod(need(i), nullptr);
+            const char *text = need(i);
+            opts.req.scale = parsed(argv0, [&] {
+                return parsePositiveValue(text, "--scale");
+            });
+        } else if (arg == "--snapshot-at") {
+            opts.snapshotAt = positiveInt(i, "--snapshot-at");
+        } else if (arg == "--restore") {
+            opts.restore = true;
         } else if (arg == "--workload") {
             opts.req.workload = need(i);
         } else if (arg == "--dump-asm") {
@@ -169,6 +249,15 @@ parseArgs(int argc, char **argv)
         } else {
             opts.sourceFile = arg;
         }
+    }
+    if (opts.restore && opts.snapshotAt == 0) {
+        std::fprintf(stderr, "--restore requires --snapshot-at\n");
+        usage(argv0);
+    }
+    if (opts.snapshotAt > 0 && opts.req.mode != RunMode::Functional) {
+        std::fprintf(stderr,
+                     "--snapshot-at applies to functional mode only\n");
+        usage(argv0);
     }
     if (!opts.batchFile.empty())
         return opts;
@@ -342,12 +431,30 @@ runMain(int argc, char **argv)
         if (!opts.statsJsonFile.empty())
             writeStatsJson(opts.statsJsonFile, out.registry);
     } else {
-        simOpts.traceInsts = opts.traceInsts;
-        simOpts.onTrace = [](const DynInst &dyn, uint64_t i) {
+        const auto trace = [](const DynInst &dyn, uint64_t i) {
             std::printf("%6llu  0x%llx:%u  %s\n", (unsigned long long)i,
                         (unsigned long long)dyn.pc, dyn.disepc,
                         disassemble(dyn.inst, dyn.pc).c_str());
         };
+        // With --restore, --trace applies to the replay (the whole
+        // point: step the suffix without re-tracing the prefix).
+        if (!opts.restore) {
+            simOpts.traceInsts = opts.traceInsts;
+            simOpts.onTrace = trace;
+        }
+        SimSnapshot snap;
+        if (opts.snapshotAt > 0) {
+            snap = takeWarmupSnapshot(job, opts.snapshotAt);
+            std::printf("snapshot:      app inst %llu (dyn inst %llu, "
+                        "pc 0x%llx, %zu pages)\n",
+                        (unsigned long long)snap.appInsts,
+                        (unsigned long long)snap.result.dynInsts,
+                        (unsigned long long)snap.pc,
+                        snap.memory.pagesTouched());
+            // The main run resumes from the snapshot; its result is
+            // bit-identical to an uninterrupted run (src/sim/snapshot).
+            simOpts.resume = &snap;
+        }
         const FunctionalOutcome out = runFunctionalSim(job, simOpts);
         printRun(out.arch);
         if (req.profile)
@@ -356,6 +463,23 @@ runMain(int argc, char **argv)
             std::fputs(out.statsText.c_str(), stdout);
         if (!opts.statsJsonFile.empty())
             writeStatsJson(opts.statsJsonFile, out.registry);
+        if (opts.restore) {
+            std::printf("\nrestored app inst %llu, replaying:\n",
+                        (unsigned long long)snap.appInsts);
+            SimOptions replayOpts = simOpts;
+            replayOpts.traceInsts = opts.traceInsts;
+            replayOpts.onTrace = trace;
+            const FunctionalOutcome replay =
+                runFunctionalSim(job, replayOpts);
+            printRun(replay.arch);
+            const bool identical = replay.arch.toJson().dump() ==
+                                   out.arch.toJson().dump();
+            std::printf("replay:        %s\n",
+                        identical ? "bit-identical to the original run"
+                                  : "MISMATCH vs the original run");
+            if (!identical)
+                return 1;
+        }
     }
     return 0;
 }

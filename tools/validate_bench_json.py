@@ -22,10 +22,12 @@ Three artifact shapes are accepted:
 
 --compare checks two artifacts for determinism: they must be deeply
 identical after recursively stripping every host-dependent section
-("host", "host_seconds") — wall-clock throughput is the only field
-allowed to differ between reruns. NDJSON streams are compared after
-sorting by index, so two runs that completed jobs in different orders
-(different worker counts) still compare equal.
+("host", "host_seconds") and the campaign "replay" accounting (which
+legitimately differs between snapshot and full-replay modes) —
+wall-clock throughput and replay economics are the only fields allowed
+to differ between reruns. NDJSON streams are compared after sorting by
+index, so two runs that completed jobs in different orders (different
+worker counts) still compare equal.
 
 Exits 0 when every file validates (or the pair matches), 1 with a
 diagnostic per problem otherwise. Stdlib only.
@@ -62,6 +64,7 @@ CAMPAIGN_KEYS = {
     "detected_fraction",
     "parity_detected",
     "parity_recovered",
+    "replay",
     "host",
 }
 
@@ -142,6 +145,19 @@ def check_campaign_entry(entry, where):
     require(
         0.0 <= entry["detected_fraction"] <= 1.0,
         f"{where}: detected_fraction out of [0,1]",
+    )
+    replay = entry["replay"]
+    require(isinstance(replay, dict), f"{where}: replay not an object")
+    missing = {"replayed_insts", "saved_insts"} - replay.keys()
+    require(not missing, f"{where}.replay: missing keys {sorted(missing)}")
+    for key in ("replayed_insts", "saved_insts"):
+        require(
+            isinstance(replay[key], int) and replay[key] >= 0,
+            f"{where}.replay: {key} is not a non-negative integer",
+        )
+    require(
+        replay["replayed_insts"] > 0,
+        f"{where}.replay: campaign executed zero instructions",
     )
 
 
@@ -254,7 +270,11 @@ def validate_file(path):
                               "run registry")
 
 
-HOST_KEYS = {"host", "host_seconds"}
+# "replay" differs between snapshot and full-replay campaign modes by
+# design (it measures how much execution the snapshots saved), so it is
+# stripped alongside the host sections: --compare asserts the two modes
+# produce identical classifications, not identical replay economics.
+HOST_KEYS = {"host", "host_seconds", "replay"}
 
 
 def strip_host(value):

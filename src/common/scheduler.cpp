@@ -6,10 +6,15 @@ namespace dise {
 
 namespace {
 
-/** Set while this thread is executing a task of some scheduler batch;
- *  a nested runBatch from such a thread must run inline (taking a pool
- *  slot for a blocking wait would deadlock the pool). */
-thread_local bool tlsInsideWorkerTask = false;
+/**
+ * The batch state of the task this thread is currently executing;
+ * null outside task bodies. Serves two purposes: a nested runBatch
+ * from a task thread must run inline (taking a pool slot for a
+ * blocking wait would deadlock the pool) and shares its enclosing
+ * batch's cancellation flag, and cancel()/cancelled() from a task
+ * address that task's own batch — never a concurrent one.
+ */
+thread_local void *tlsBatchState = nullptr;
 
 } // namespace
 
@@ -43,31 +48,49 @@ void
 SimScheduler::cancel()
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    cancelled_ = true;
+    if (tlsBatchState != nullptr) {
+        // From inside a task: cancel the batch that task belongs to.
+        static_cast<BatchState *>(tlsBatchState)->cancelled = true;
+        return;
+    }
+    // From outside: the pool batch is the only addressable one.
+    // Idle scheduler: nothing to cancel — a later batch must start
+    // uncancelled, so this is a genuine no-op.
+    if (tasks_ != nullptr)
+        poolBatch_.cancelled = true;
 }
 
 bool
 SimScheduler::cancelled() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return cancelled_;
+    if (tlsBatchState != nullptr)
+        return static_cast<BatchState *>(tlsBatchState)->cancelled;
+    return tasks_ != nullptr && poolBatch_.cancelled;
 }
 
 SimScheduler::BatchStats
 SimScheduler::runInline(std::vector<std::function<void()>> &tasks)
 {
+    // A nested batch shares its enclosing batch's cancellation flag —
+    // a cancel there cancels both. A top-level inline batch gets a
+    // fresh flag of its own, invisible to any concurrent batch.
+    BatchState local;
+    BatchState *const state =
+        tlsBatchState != nullptr ? static_cast<BatchState *>(tlsBatchState)
+                                 : &local;
     BatchStats stats;
     std::exception_ptr error;
     for (auto &task : tasks) {
         {
             std::lock_guard<std::mutex> lock(mutex_);
-            if (cancelled_) {
+            if (state->cancelled) {
                 ++stats.skipped;
                 continue;
             }
         }
-        const bool wasInside = tlsInsideWorkerTask;
-        tlsInsideWorkerTask = true;
+        void *const wasBatch = tlsBatchState;
+        tlsBatchState = state;
         try {
             task();
             ++stats.completed;
@@ -76,9 +99,9 @@ SimScheduler::runInline(std::vector<std::function<void()>> &tasks)
             if (!error)
                 error = std::current_exception();
             std::lock_guard<std::mutex> lock(mutex_);
-            cancelled_ = true;
+            state->cancelled = true;
         }
-        tlsInsideWorkerTask = wasInside;
+        tlsBatchState = wasBatch;
     }
     if (error)
         std::rethrow_exception(error);
@@ -93,12 +116,9 @@ SimScheduler::runBatch(std::vector<std::function<void()>> tasks)
 
     // Inline paths: no pool, or a nested submission from a task of
     // this (or any) scheduler. The nested case keeps its enclosing
-    // batch's cancellation flag — a cancel() there cancels both.
-    if (workers_ <= 1) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        cancelled_ = false;
-    }
-    if (workers_ <= 1 || tlsInsideWorkerTask)
+    // batch's cancellation flag — a cancel() there cancels both; a
+    // top-level inline batch gets a fresh flag inside runInline.
+    if (workers_ <= 1 || tlsBatchState != nullptr)
         return runInline(tasks);
 
     std::unique_lock<std::mutex> lock(mutex_);
@@ -110,7 +130,7 @@ SimScheduler::runBatch(std::vector<std::function<void()>> tasks)
     }
     tasks_ = &tasks;
     pending_ = tasks.size();
-    cancelled_ = false;
+    poolBatch_.cancelled = false;
     error_ = nullptr;
     completed_ = 0;
     skipped_ = 0;
@@ -166,26 +186,26 @@ SimScheduler::runTasks(unsigned self, std::unique_lock<std::mutex> &lock)
 {
     size_t index = 0;
     while (popTask(self, index)) {
-        if (cancelled_) {
+        if (poolBatch_.cancelled) {
             ++skipped_;
             finishOne();
             continue;
         }
         lock.unlock();
-        tlsInsideWorkerTask = true;
+        tlsBatchState = &poolBatch_;
         std::exception_ptr error;
         try {
             (*tasks_)[index]();
         } catch (...) {
             error = std::current_exception();
         }
-        tlsInsideWorkerTask = false;
+        tlsBatchState = nullptr;
         lock.lock();
         ++completed_;
         if (error) {
             if (!error_)
                 error_ = error;
-            cancelled_ = true;
+            poolBatch_.cancelled = true;
         }
         finishOne();
     }

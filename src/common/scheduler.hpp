@@ -21,9 +21,15 @@
  *    the same propagation contract SingleFlightCache gives waiters.
  *    Workers never std::exit; FatalError/PanicError from check()/
  *    fatal()/panic() unwind through this channel to the caller.
- *  - Cancellation: cancel() (from any thread, including a running
- *    task) marks the current batch cancelled; tasks not yet started
- *    are skipped and runBatch() returns normally with the skip count.
+ *  - Cancellation: cancel() marks a batch cancelled; tasks not yet
+ *    started are skipped and runBatch() returns normally with the
+ *    skip count. Cancellation is scoped to one batch: a task calling
+ *    cancel() cancels the batch it belongs to (and, for a nested
+ *    inline batch, its enclosing batch — they share one flag); an
+ *    external thread cancels the pool batch in flight. With no batch
+ *    running, cancel() is a no-op — a later batch starts uncancelled.
+ *    Concurrent batches (the pool batch plus inline batches submitted
+ *    by other threads) never observe each other's cancellation.
  *
  * A scheduler with workers <= 1 runs batches inline on the submitting
  * thread (no pool), preserving the same cancellation and exception
@@ -81,13 +87,16 @@ class SimScheduler
     BatchStats runBatch(std::vector<std::function<void()>> tasks);
 
     /**
-     * Cancel the batch in flight: tasks not yet started are skipped.
-     * Callable from worker tasks and from other threads; a no-op when
-     * no batch is running.
+     * Cancel a batch in flight: tasks not yet started are skipped.
+     * From a worker task, cancels that task's own batch; from any
+     * other thread, cancels the pool batch. A no-op when no batch is
+     * running (see the file header for the scoping rules).
      */
     void cancel();
 
-    /** True while the current batch is cancelled (or errored). */
+    /** True while the calling context's batch is cancelled (or
+     *  errored): a task's own batch from inside a task, the pool
+     *  batch otherwise. False when no batch is running. */
     bool cancelled() const;
 
     /**
@@ -115,6 +124,13 @@ class SimScheduler
     }
 
   private:
+    /** Cancellation flag of one batch (pool or inline); tasks reach
+     *  their own batch's state through a thread-local pointer. */
+    struct BatchState
+    {
+        bool cancelled = false;
+    };
+
     void workerLoop(unsigned self);
     /** Drain tasks (own deque back, then steal fronts) until none
      *  remain; runs under @p lock, unlocking around each task body. */
@@ -133,12 +149,12 @@ class SimScheduler
     std::vector<std::thread> threads_;
     std::vector<std::deque<size_t>> deques_;
 
-    /** @name Current batch (guarded by mutex_). */
+    /** @name Current pool batch (guarded by mutex_). */
     /// @{
     std::vector<std::function<void()>> *tasks_ = nullptr;
     size_t pending_ = 0;   ///< tasks not yet completed or skipped
     uint64_t batchGen_ = 0;
-    bool cancelled_ = false;
+    BatchState poolBatch_;
     std::exception_ptr error_;
     size_t completed_ = 0;
     size_t skipped_ = 0;

@@ -3,13 +3,15 @@
  * Single-flight build cache: a concurrent map where at most one caller
  * runs the (expensive) builder per key; everyone else blocks on the
  * in-flight build and shares its result. Used by the bench harness so
- * sharded workers never build the same workload twice.
+ * sharded workers never build the same workload twice, and by the
+ * serving layer as an idempotent result cache.
  */
 
 #ifndef DISE_COMMON_SINGLEFLIGHT_HPP
 #define DISE_COMMON_SINGLEFLIGHT_HPP
 
 #include <condition_variable>
+#include <cstddef>
 #include <exception>
 #include <map>
 #include <mutex>
@@ -27,42 +29,74 @@ namespace dise {
  * valid for the cache's lifetime (std::map nodes are stable).
  *
  * A builder that throws propagates the exception to itself and every
- * waiter, and leaves the key failed: later get() calls rethrow without
- * retrying (the benches treat a failed build as fatal anyway).
+ * waiter. What happens to the key afterwards is the constructor's
+ * choice:
+ *
+ *  - retryFailures = false (default): the key stays failed and later
+ *    get() calls rethrow without retrying — right when a failed build
+ *    is fatal anyway (the benches).
+ *  - retryFailures = true: the failure is not cached; the next get()
+ *    for the key becomes a fresh builder. Right when the builder can
+ *    fail for reasons of the *request* rather than the key (a warmup
+ *    that traps, a cancelled run) and one bad caller must not poison
+ *    the key for well-formed retries. Still single-flight: concurrent
+ *    callers never build the same key twice at once, and each get()
+ *    runs the builder at most once before returning or throwing.
  */
 template <typename Key, typename Value>
 class SingleFlightCache
 {
   public:
+    explicit SingleFlightCache(bool retryFailures = false)
+        : retryFailures_(retryFailures)
+    {
+    }
+
     template <typename Build>
     const Value &
     get(const Key &key, Build &&build)
     {
         std::unique_lock<std::mutex> lock(mutex_);
         Entry &entry = entries_[key];
-        if (entry.state == State::Empty) {
-            entry.state = State::Building;
-            lock.unlock();
-            try {
-                Value built = build();
-                lock.lock();
-                entry.value = std::move(built);
-                entry.state = State::Ready;
-            } catch (...) {
-                lock.lock();
-                entry.error = std::current_exception();
-                entry.state = State::Failed;
+        for (;;) {
+            if (entry.state == State::Ready)
+                return entry.value;
+            if (entry.state == State::Failed) {
+                if (!retryFailures_)
+                    std::rethrow_exception(entry.error);
+                entry.state = State::Empty;
             }
-            ready_.notify_all();
-        } else {
+            if (entry.state == State::Empty) {
+                entry.state = State::Building;
+                lock.unlock();
+                try {
+                    Value built = build();
+                    lock.lock();
+                    entry.value = std::move(built);
+                    entry.state = State::Ready;
+                } catch (...) {
+                    lock.lock();
+                    entry.error = std::current_exception();
+                    entry.state = State::Failed;
+                    ready_.notify_all();
+                    std::rethrow_exception(entry.error);
+                }
+                ready_.notify_all();
+                return entry.value;
+            }
+            // Building: wait out the in-flight build, then re-examine.
             ready_.wait(lock, [&entry] {
-                return entry.state == State::Ready ||
-                       entry.state == State::Failed;
+                return entry.state != State::Building;
             });
         }
-        if (entry.state == State::Failed)
-            std::rethrow_exception(entry.error);
-        return entry.value;
+    }
+
+    /** Number of keys present (Ready, Failed, or Building). */
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return entries_.size();
     }
 
   private:
@@ -75,7 +109,8 @@ class SingleFlightCache
         std::exception_ptr error;
     };
 
-    std::mutex mutex_;
+    const bool retryFailures_;
+    mutable std::mutex mutex_;
     std::condition_variable ready_;
     std::map<Key, Entry> entries_;
 };

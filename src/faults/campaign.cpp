@@ -99,7 +99,7 @@ struct RunContext
 };
 
 RunContext
-makeRun(const CampaignSetup &setup)
+makeRun(const CampaignSetup &setup, const std::atomic<bool> *cancel)
 {
     RunContext ctx;
     if (setup.makeAcf) {
@@ -109,6 +109,7 @@ makeRun(const CampaignSetup &setup)
     }
     ctx.core =
         std::make_unique<ExecCore>(*setup.prog, ctx.controller.get());
+    ctx.core->setCancelFlag(cancel);
     if (setup.initCore)
         setup.initCore(*ctx.core);
     return ctx;
@@ -152,13 +153,13 @@ struct TrialData
 TrialData
 runTrial(const CampaignSetup &setup, const FaultPlan &plan,
          const RunResult &gold, uint64_t hangBudget,
-         const SimSnapshot *snap)
+         const SimSnapshot *snap, const std::atomic<bool> *cancel)
 {
     TrialData data;
     data.rec.plan = plan;
 
     try {
-        RunContext run = makeRun(setup);
+        RunContext run = makeRun(setup, cancel);
         uint64_t restoredInsts = 0;
         if (snap) {
             // O(delta): adopt the golden prefix (COW memory fork, full
@@ -190,6 +191,8 @@ runTrial(const CampaignSetup &setup, const FaultPlan &plan,
                 if (!run.core->step(dyn))
                     break;
                 ++steps;
+                if ((steps & 0x3ff) == 0 && run.core->cancelRequested())
+                    break;
             }
         }
 
@@ -220,7 +223,7 @@ runCampaign(const CampaignSetup &setup, const CampaignConfig &config,
     CampaignResult result;
 
     // Golden (fault-free) run: the classification baseline.
-    RunContext golden = makeRun(setup);
+    RunContext golden = makeRun(setup, config.cancel);
     const RunResult gold = golden.core->run(config.maxGoldenInsts);
     if (gold.outcome != RunOutcome::Exit || gold.exitCode != 0) {
         fatal(strFormat("fault campaign: golden run did not exit "
@@ -256,11 +259,16 @@ runCampaign(const CampaignSetup &setup, const CampaignConfig &config,
     std::map<uint64_t, std::shared_ptr<const SimSnapshot>> snapshots;
     uint64_t snapshotterInsts = 0;
     if (config.useSnapshots) {
-        RunContext pass = makeRun(setup);
+        RunContext pass = makeRun(setup, config.cancel);
         for (const FaultPlan &plan : plans)
             snapshots.emplace(plan.triggerAppInst, nullptr);
         for (auto &kv : snapshots) {
             pass.core->advanceToAppInst(kv.first);
+            // A cancelled advance leaves the core short of the trigger
+            // boundary — the snapshot would misposition every trial
+            // sharing it, so abandon the campaign here.
+            if (pass.core->cancelRequested())
+                fatal("fault campaign: cancelled during snapshot pass");
             auto snap = std::make_shared<SimSnapshot>();
             pass.core->saveSnapshot(*snap);
             kv.second = std::move(snap);
@@ -281,7 +289,8 @@ runCampaign(const CampaignSetup &setup, const CampaignConfig &config,
         const SimSnapshot *snap = nullptr;
         if (config.useSnapshots)
             snap = snapshots.at(plans[t].triggerAppInst).get();
-        return runTrial(setup, plans[t], gold, hangBudget, snap);
+        return runTrial(setup, plans[t], gold, hangBudget, snap,
+                        config.cancel);
     };
     if (scheduler && scheduler->workers() > 1)
         data = scheduler->map(indices, trial);

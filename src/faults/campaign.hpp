@@ -36,6 +36,7 @@
 #define DISE_FAULTS_CAMPAIGN_HPP
 
 #include <array>
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -103,6 +104,14 @@ struct CampaignConfig
      * count.
      */
     bool useSnapshots = true;
+    /**
+     * Cooperative-cancellation flag installed on every core the
+     * campaign creates (golden, snapshotter, trials). A tripped flag
+     * ends the campaign promptly: in-flight runs stop at the next
+     * block boundary and the golden-run cleanliness check fails with
+     * FatalError. Null = never cancelled.
+     */
+    const std::atomic<bool> *cancel = nullptr;
 };
 
 /** One classified trial. */

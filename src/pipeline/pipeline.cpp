@@ -340,6 +340,13 @@ PipelineSim::run(uint64_t maxInsts, uint64_t maxCycles)
             cycleBudgetExpired = true;
             break;
         }
+        // External wall-clock deadline (the serving daemon): polled at
+        // the same cadence as the functional slow path; a trip is the
+        // cycle-watchdog outcome.
+        if ((steps & 0x3ff) == 0 && core_.cancelRequested()) {
+            cycleBudgetExpired = true;
+            break;
+        }
     }
 
     result_.cycles = lastCommit_;

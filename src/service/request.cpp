@@ -98,6 +98,47 @@ parseFaultTarget(const std::string &name)
     fatal("RunRequest: unknown fault target \"" + name + "\"");
 }
 
+/** @name Checked scalar reads.
+ *  Client JSON is untrusted input: a wrong-typed value must be a
+ *  per-request FatalError naming the key, never the process-killing
+ *  panic Json's as*() accessors raise on type mismatch (a negative
+ *  number parses as Number, not UInt, so checkUInt also rejects
+ *  every negative). */
+/// @{
+uint64_t
+checkUInt(const std::string &key, const Json &value)
+{
+    if (value.type() != Json::Type::UInt)
+        fatal("RunRequest: \"" + key +
+              "\" must be a non-negative integer");
+    return value.asUInt();
+}
+
+bool
+checkBool(const std::string &key, const Json &value)
+{
+    if (value.type() != Json::Type::Bool)
+        fatal("RunRequest: \"" + key + "\" must be a boolean");
+    return value.asBool();
+}
+
+const std::string &
+checkString(const std::string &key, const Json &value)
+{
+    if (!value.isString())
+        fatal("RunRequest: \"" + key + "\" must be a string");
+    return value.asString();
+}
+
+double
+checkNumber(const std::string &key, const Json &value)
+{
+    if (!value.isNumeric())
+        fatal("RunRequest: \"" + key + "\" must be a number");
+    return value.asDouble();
+}
+/// @}
+
 } // namespace
 
 std::string
@@ -176,72 +217,92 @@ RunRequest::fromJson(const Json &doc)
     if (!doc.isObject())
         fatal("RunRequest: job entry is not a JSON object");
     RunRequest req;
+    // Campaign knobs set to a non-default value on a non-campaign
+    // request are a contradiction worth naming, not silently ignoring
+    // (a client that meant "mode": "campaign" would otherwise get a
+    // functional run with its campaign shape dropped). Defaults are
+    // accepted everywhere so fromJson(toJson()) round-trips.
+    std::string campaignKey;
+    const RunRequest defaults;
     for (const auto &kv : doc.members()) {
         const std::string &key = kv.first;
         const Json &value = kv.second;
         if (key == "id") {
-            req.id = value.asString();
+            req.id = checkString(key, value);
         } else if (key == "workload") {
-            req.workload = value.asString();
+            req.workload = checkString(key, value);
         } else if (key == "source") {
-            req.source = value.asString();
+            req.source = checkString(key, value);
         } else if (key == "scale") {
-            req.scale = value.asDouble();
+            req.scale = checkNumber(key, value);
         } else if (key == "regime") {
-            req.regime = value.asString();
+            req.regime = checkString(key, value);
         } else if (key == "mode") {
-            req.mode = parseRunMode(value.asString());
+            req.mode = parseRunMode(checkString(key, value));
         } else if (key == "mfi") {
-            req.mfi = value.asBool();
+            req.mfi = checkBool(key, value);
         } else if (key == "mfi_variant") {
-            req.mfiVariant = parseMfiVariant(value.asString());
+            req.mfiVariant = parseMfiVariant(checkString(key, value));
         } else if (key == "watchpoint") {
-            req.watchpoint = value.asBool();
+            req.watchpoint = checkBool(key, value);
         } else if (key == "rewrite_mfi") {
-            req.rewriteMfi = value.asBool();
+            req.rewriteMfi = checkBool(key, value);
         } else if (key == "compress") {
-            req.compress = value.asBool();
+            req.compress = checkBool(key, value);
         } else if (key == "productions") {
-            req.productions = value.asString();
+            req.productions = checkString(key, value);
         } else if (key == "profile") {
-            req.profile = value.asBool();
+            req.profile = checkBool(key, value);
         } else if (key == "rt_entries") {
-            req.dise.rtEntries = uint32_t(value.asUInt());
+            req.dise.rtEntries = uint32_t(checkUInt(key, value));
         } else if (key == "rt_assoc") {
-            req.dise.rtAssoc = uint32_t(value.asUInt());
+            req.dise.rtAssoc = uint32_t(checkUInt(key, value));
         } else if (key == "placement") {
-            req.dise.placement = parsePlacement(value.asString());
+            req.dise.placement = parsePlacement(checkString(key, value));
         } else if (key == "expansion_cache") {
-            req.dise.expansionCache = value.asBool();
+            req.dise.expansionCache = checkBool(key, value);
         } else if (key == "parity_checks") {
-            req.dise.parityChecks = value.asBool();
+            req.dise.parityChecks = checkBool(key, value);
         } else if (key == "trace_cache") {
-            req.traceCache = value.asBool();
+            req.traceCache = checkBool(key, value);
         } else if (key == "icache_kb") {
-            req.icacheKB = uint32_t(value.asUInt());
+            req.icacheKB = uint32_t(checkUInt(key, value));
         } else if (key == "width") {
-            req.width = uint32_t(value.asUInt());
+            req.width = uint32_t(checkUInt(key, value));
         } else if (key == "max_insts") {
-            req.maxInsts = value.asUInt();
+            req.maxInsts = checkUInt(key, value);
         } else if (key == "max_cycles") {
-            req.maxCycles = value.asUInt();
+            req.maxCycles = checkUInt(key, value);
         } else if (key == "warmup_insts") {
-            req.warmupInsts = value.asUInt();
+            req.warmupInsts = checkUInt(key, value);
         } else if (key == "snapshots") {
-            req.snapshots = value.asBool();
+            req.snapshots = checkBool(key, value);
+            if (req.snapshots != defaults.snapshots)
+                campaignKey = key;
         } else if (key == "seed") {
-            req.seed = value.asUInt();
+            req.seed = checkUInt(key, value);
+            if (req.seed != defaults.seed)
+                campaignKey = key;
         } else if (key == "trials") {
-            req.trials = uint32_t(value.asUInt());
+            req.trials = uint32_t(checkUInt(key, value));
+            if (req.trials != defaults.trials)
+                campaignKey = key;
         } else if (key == "fault_targets") {
+            if (!value.isArray())
+                fatal("RunRequest: \"fault_targets\" must be an array");
             req.faultTargets.clear();
             for (const Json &t : value.items())
                 req.faultTargets.push_back(
-                    parseFaultTarget(t.asString()));
+                    parseFaultTarget(checkString(key, t)));
+            if (req.faultTargets != defaults.faultTargets)
+                campaignKey = key;
         } else {
             fatal("RunRequest: unknown key \"" + key + "\"");
         }
     }
+    if (req.mode != RunMode::Campaign && !campaignKey.empty())
+        fatal("RunRequest: \"" + campaignKey +
+              "\" applies to campaign mode only");
     req.validate();
     return req;
 }

@@ -195,15 +195,29 @@ timingEntryJson(PipelineSim &sim, const TimingResult &t,
 }
 
 SimSnapshot
-takeWarmupSnapshot(const PreparedJob &job, uint64_t warmupAppInsts)
+takeWarmupSnapshot(const PreparedJob &job, uint64_t warmupAppInsts,
+                   const std::atomic<bool> *cancel)
 {
     DISE_ASSERT(job.prog != nullptr, "job without a program");
     std::unique_ptr<DiseController> controller = makeController(job);
     ExecCore core(*job.prog, controller.get());
     core.setTraceCacheEnabled(job.traceCache);
+    core.setCancelFlag(cancel);
     if (job.initCore)
         job.initCore(core);
     core.advanceToAppInst(warmupAppInsts);
+    if (core.cancelRequested())
+        fatal("warmup snapshot cancelled before reaching its target");
+    // A clean exit during warmup is fine — the snapshot degenerates to
+    // the finished run. A trap is not: the guest broke before the
+    // warmup point, and resuming a trapped core would silently report
+    // the trap as the run's result.
+    if (core.trapped()) {
+        fatal(strFormat("warmup trapped after %llu of %llu application "
+                        "instructions",
+                        (unsigned long long)core.result().appInsts,
+                        (unsigned long long)warmupAppInsts));
+    }
     SimSnapshot snap;
     core.saveSnapshot(snap);
     return snap;
@@ -217,6 +231,7 @@ runFunctionalSim(const PreparedJob &job, const SimOptions &opts)
     std::unique_ptr<DiseController> controller = makeController(job);
     ExecCore core(*job.prog, controller.get());
     core.setTraceCacheEnabled(job.traceCache);
+    core.setCancelFlag(opts.cancel);
     if (job.initCore)
         job.initCore(core);
     if (opts.resume)
@@ -264,6 +279,7 @@ runTimingSim(const PreparedJob &job, const SimOptions &opts)
     TimingOutcome out;
     std::unique_ptr<DiseController> controller = makeController(job);
     PipelineSim sim(*job.prog, job.machine, controller.get());
+    sim.core().setCancelFlag(opts.cancel);
     if (job.initCore)
         job.initCore(sim.core());
 

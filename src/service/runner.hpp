@@ -22,6 +22,7 @@
 #ifndef DISE_SERVICE_RUNNER_HPP
 #define DISE_SERVICE_RUNNER_HPP
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -104,6 +105,14 @@ struct SimOptions
      * its results are bit-identical to a cold run of the whole program.
      */
     const SimSnapshot *resume = nullptr;
+    /**
+     * Cooperative-cancellation flag, polled at block-dispatch
+     * granularity (see ExecCore::setCancelFlag). A set flag ends the
+     * run with outcome Hang — the caller (e.g. a serving deadline
+     * watchdog) knows whether it tripped the flag and can reclassify.
+     * Null = never cancelled.
+     */
+    const std::atomic<bool> *cancel = nullptr;
 };
 
 /** One functional run's outputs. */
@@ -141,9 +150,15 @@ FunctionalOutcome runFunctionalSim(const PreparedJob &job,
  * instructions and capture the state (COW memory fork — the snapshot
  * costs O(pages touched), not a full image copy). Feed the result to
  * SimOptions::resume to warm-start runs sharing the same prefix.
+ *
+ * A clean guest exit during warmup degenerates to a snapshot of the
+ * finished run; a guest *trap* during warmup is a FatalError (the
+ * caller asked to warm past a point the program never reaches
+ * intact), as is a tripped @p cancel flag.
  */
 SimSnapshot takeWarmupSnapshot(const PreparedJob &job,
-                               uint64_t warmupAppInsts);
+                               uint64_t warmupAppInsts,
+                               const std::atomic<bool> *cancel = nullptr);
 
 /** Run a PreparedJob on the cycle-level simulator (PipelineSim). */
 TimingOutcome runTimingSim(const PreparedJob &job,

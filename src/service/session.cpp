@@ -26,7 +26,8 @@ SimSession::cachedProgram(const RunRequest &req)
 }
 
 std::shared_ptr<const SimSnapshot>
-SimSession::cachedSnapshot(const RunRequest &req, const PreparedJob &job)
+SimSession::cachedSnapshot(const RunRequest &req, const PreparedJob &job,
+                           const RunContext &ctx)
 {
     // Key on everything that shapes the warmed-up state: the program
     // and ACF environment plus the warmup point. Job-specific fields
@@ -42,14 +43,18 @@ SimSession::cachedSnapshot(const RunRequest &req, const PreparedJob &job)
     norm.faultTargets = RunRequest().faultTargets;
     norm.snapshots = true;
     const std::string key = norm.toJson().dump();
-    return snapshots_.get(key, [&req, &job] {
+    // Each caller builds with its own cancel flag: a build cancelled
+    // by one request's deadline throws to that request, and (the
+    // cache retries failures) a waiting request simply becomes the
+    // next builder under its own flag.
+    return snapshots_.get(key, [&req, &job, &ctx] {
         return std::make_shared<const SimSnapshot>(
-            takeWarmupSnapshot(job, req.warmupInsts));
+            takeWarmupSnapshot(job, req.warmupInsts, ctx.cancel));
     });
 }
 
 RunResponse
-SimSession::execute(const RunRequest &req)
+SimSession::execute(const RunRequest &req, const RunContext &ctx)
 {
     req.validate();
     RunResponse resp;
@@ -61,9 +66,10 @@ SimSession::execute(const RunRequest &req)
       case RunMode::Functional: {
         SimOptions opts;
         opts.registry = true;
+        opts.cancel = ctx.cancel;
         std::shared_ptr<const SimSnapshot> warm;
         if (req.warmupInsts > 0) {
-            warm = cachedSnapshot(req, job);
+            warm = cachedSnapshot(req, job, ctx);
             opts.resume = warm.get();
         }
         const FunctionalOutcome out = runFunctionalSim(job, opts);
@@ -75,6 +81,7 @@ SimSession::execute(const RunRequest &req)
       case RunMode::Timing: {
         SimOptions opts;
         opts.benchEntry = true;
+        opts.cancel = ctx.cancel;
         const TimingOutcome out = runTimingSim(job, opts);
         resp.arch = out.timing.arch;
         resp.cycles = out.timing.cycles;
@@ -95,6 +102,7 @@ SimSession::execute(const RunRequest &req)
         cfg.trials = req.trials;
         cfg.targets = req.faultTargets;
         cfg.useSnapshots = req.snapshots;
+        cfg.cancel = ctx.cancel;
         if (req.maxInsts != ~uint64_t(0))
             cfg.maxGoldenInsts = req.maxInsts;
         const auto t0 = std::chrono::steady_clock::now();
@@ -116,7 +124,13 @@ SimSession::execute(const RunRequest &req)
 RunResponse
 SimSession::run(const RunRequest &req)
 {
-    return execute(req);
+    return execute(req, RunContext{});
+}
+
+RunResponse
+SimSession::run(const RunRequest &req, const RunContext &ctx)
+{
+    return execute(req, ctx);
 }
 
 std::vector<RunResponse>
@@ -134,7 +148,7 @@ SimSession::runBatch(
     return scheduler_.map(indices, [&](size_t i) {
         RunResponse resp;
         try {
-            resp = execute(reqs[i]);
+            resp = execute(reqs[i], RunContext{});
         } catch (const FatalError &e) {
             resp.id = reqs[i].label();
             resp.mode = reqs[i].mode;

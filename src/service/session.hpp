@@ -54,6 +54,22 @@ struct SessionConfig
     unsigned workers = 1;
 };
 
+/** Per-run execution context (everything that is not part of the
+ *  request's identity — cancellation, deadlines). */
+struct RunContext
+{
+    /**
+     * Cooperative-cancellation flag installed on every core the run
+     * creates (including campaign trials and the warmup pass). A
+     * tripped flag ends the run at the next block boundary with
+     * outcome Hang, or FatalError for runs whose partial result is
+     * meaningless (campaigns, warmups). The caller knows whether it
+     * set the flag and reclassifies accordingly. Null = never
+     * cancelled.
+     */
+    const std::atomic<bool> *cancel = nullptr;
+};
+
 class SimSession
 {
   public:
@@ -62,8 +78,11 @@ class SimSession
     /**
      * Execute one request synchronously. FatalError/PanicError
      * propagate to the caller (single runs want the error at main).
+     * The @p ctx overload threads a cancellation flag through the run
+     * (the serving deadline watchdog's hook).
      */
     RunResponse run(const RunRequest &req);
+    RunResponse run(const RunRequest &req, const RunContext &ctx);
 
     /**
      * Execute a batch across the session's workers; responses are
@@ -83,7 +102,7 @@ class SimSession
 
   private:
     /** Build/execute one request; errors propagate. */
-    RunResponse execute(const RunRequest &req);
+    RunResponse execute(const RunRequest &req, const RunContext &ctx);
 
     /** Cached workload program for the request (workload jobs only);
      *  null for inline-source jobs. */
@@ -92,7 +111,8 @@ class SimSession
     /** Cached warm-start snapshot for the request (warmupInsts > 0);
      *  built once per (program, ACF environment, warmup point). */
     std::shared_ptr<const SimSnapshot>
-    cachedSnapshot(const RunRequest &req, const PreparedJob &job);
+    cachedSnapshot(const RunRequest &req, const PreparedJob &job,
+                   const RunContext &ctx);
 
     SimScheduler scheduler_;
     /** Workload programs keyed "<name>@<scale>"; single-flight so
@@ -100,9 +120,11 @@ class SimSession
     SingleFlightCache<std::string, Program> programs_;
     /** Warm-start snapshots keyed on the normalized request identity
      *  plus the warmup point; single-flight so batch jobs sharing a
-     *  prefix execute the warmup exactly once. */
+     *  prefix execute the warmup exactly once. Failures retry: a
+     *  warmup that traps or is cancelled fails only the requests that
+     *  hit it, never poisoning the key for later well-formed runs. */
     SingleFlightCache<std::string, std::shared_ptr<const SimSnapshot>>
-        snapshots_;
+        snapshots_{/*retryFailures=*/true};
     std::mutex resultMutex_;
 };
 

@@ -617,8 +617,10 @@ ExecCore::advanceToAppInst(uint64_t target)
     // cannot overshoot target (every dynamic instruction advances
     // appInsts by at most one), then re-budgets. Unlike run(), a
     // budget expiry here is not a Hang — the caller is positioning the
-    // core, not classifying a run.
-    while (!exited_ && !trapped_ && result_.appInsts < target) {
+    // core, not classifying a run. A tripped cancel flag abandons the
+    // advance wherever it stands (the caller observes the flag).
+    while (!exited_ && !trapped_ && result_.appInsts < target &&
+           !cancelRequested()) {
         const uint64_t budget =
             result_.dynInsts + (target - result_.appInsts);
         if (traceEnabled_) {
@@ -626,6 +628,8 @@ ExecCore::advanceToAppInst(uint64_t target)
         } else {
             DynInst dyn;
             while (result_.dynInsts < budget && step(dyn)) {
+                if ((result_.dynInsts & 0x3ff) == 0 && cancelRequested())
+                    break;
             }
         }
     }
@@ -1376,7 +1380,8 @@ void
 ExecCore::runTranslated(uint64_t maxInsts)
 {
     DynInst dyn;
-    while (!exited_ && !trapped_ && result_.dynInsts < maxInsts) {
+    while (!exited_ && !trapped_ && result_.dynInsts < maxInsts &&
+           !cancelRequested()) {
         if (seqSpec_) {
             // Resumed mid-sequence (resumeAt, or a budget expiry that
             // was later raised): drain the sequence first.
@@ -1421,12 +1426,17 @@ ExecCore::run(uint64_t maxInsts)
     } else {
         DynInst dyn;
         while (result_.dynInsts < maxInsts && step(dyn)) {
+            if ((result_.dynInsts & 0x3ff) == 0 && cancelRequested())
+                break;
         }
     }
     // Watchdog expiry is an architected, classifiable outcome: the
-    // instruction budget ran out with the program still live.
-    if (!exited_ && !trapped_ && result_.dynInsts >= maxInsts)
+    // instruction budget ran out — or an external deadline cancelled
+    // the run — with the program still live.
+    if (!exited_ && !trapped_ &&
+        (result_.dynInsts >= maxInsts || cancelRequested())) {
         result_.outcome = RunOutcome::Hang;
+    }
     return result_;
 }
 

@@ -28,6 +28,7 @@
 #define DISE_SIM_CORE_HPP
 
 #include <array>
+#include <atomic>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -234,6 +235,29 @@ class ExecCore
     bool traceCacheEnabled() const { return traceEnabled_; }
     /// @}
 
+    /** @name Cooperative cancellation.
+     *
+     * An external watchdog (the serving daemon's deadline monitor) may
+     * point the core at an atomic flag; run() polls it at block-
+     * dispatch boundaries (every ~1K instructions on the slow path)
+     * and, when set, stops at the next precise instruction boundary
+     * with a Hang outcome — the same architected classification a
+     * budget expiry gets, so a wall-clock deadline and an instruction
+     * watchdog are indistinguishable to the guest. Never consulted
+     * when unset (the default), so batch and test runs are untouched.
+     */
+    /// @{
+    void setCancelFlag(const std::atomic<bool> *flag)
+    {
+        cancelFlag_ = flag;
+    }
+    bool cancelRequested() const
+    {
+        return cancelFlag_ != nullptr &&
+               cancelFlag_->load(std::memory_order_relaxed);
+    }
+    /// @}
+
   private:
     /**
      * Execute the fetched application instruction at pc_ and retire it.
@@ -307,6 +331,8 @@ class ExecCore
 
     const Program &prog_;
     DiseController *controller_;
+    /** External cancellation request; null = never cancelled. */
+    const std::atomic<bool> *cancelFlag_ = nullptr;
     Memory memory_;
     std::array<uint64_t, kNumLogicalRegs> regs_{};
     Addr pc_;

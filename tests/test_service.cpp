@@ -158,6 +158,50 @@ TEST(Scheduler, ParallelCancellationStopsUnstartedTasks)
     EXPECT_EQ(ran.load(), stats.completed);
 }
 
+TEST(Scheduler, CancelOnIdleOrDrainedPoolIsANoOp)
+{
+    SimScheduler pool(2);
+    // Cancelling before any batch ever ran must not mark the next
+    // batch cancelled.
+    pool.cancel();
+    EXPECT_FALSE(pool.cancelled());
+    std::vector<int> items{0, 1, 2, 3, 4, 5, 6, 7};
+    auto results = pool.map(items, [](int x) { return x + 1; });
+    for (size_t i = 0; i < items.size(); ++i)
+        EXPECT_EQ(results[i], int(i) + 1);
+
+    // Cancelling a pool whose batch has fully drained is equally a
+    // no-op: the daemon's shutdown path may race a cancel against the
+    // last batch completing, and a stale cancel must never leak into
+    // work submitted afterwards.
+    pool.cancel();
+    EXPECT_FALSE(pool.cancelled());
+    results = pool.map(items, [](int x) { return x * 3; });
+    for (size_t i = 0; i < items.size(); ++i)
+        EXPECT_EQ(results[i], int(i) * 3);
+}
+
+TEST(Scheduler, TasksCancelledBeforeStartNeverRun)
+{
+    SimScheduler pool(2);
+    // The very first task to run cancels the batch; with 2 workers at
+    // most one other task can already be in flight, so at least 61 of
+    // the 64 tasks must be skipped without their bodies ever running.
+    std::atomic<size_t> ran{0};
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 64; ++i) {
+        tasks.push_back([&pool, &ran] {
+            ++ran;
+            pool.cancel();
+        });
+    }
+    const auto stats = pool.runBatch(std::move(tasks));
+    EXPECT_EQ(stats.completed + stats.skipped, 64u);
+    EXPECT_EQ(ran.load(), stats.completed);
+    EXPECT_LE(stats.completed, 2u);
+    EXPECT_GE(stats.skipped, 62u);
+}
+
 TEST(Scheduler, NestedBatchRunsInlineWithoutDeadlock)
 {
     SimScheduler pool(2);
@@ -371,6 +415,45 @@ TEST(SimSession, WarmStartMatchesColdRunBitForBit)
     const RunResponse c = session.run(past);
     ASSERT_TRUE(c.ok) << c.error;
     EXPECT_EQ(stripHost(c.toJson()).dump(), stripHost(a.toJson()).dump());
+}
+
+TEST(SimSession, ConcurrentRunAndBatchAreSafeAndBitIdentical)
+{
+    // The serving daemon drives one SimSession from several executor
+    // threads at once — single run() calls racing runBatch() calls.
+    // Every response must match what a quiet serial session produces.
+    const std::vector<RunRequest> reqs = smallBatch();
+    SimSession reference(SessionConfig{1});
+    const auto expected = reference.runBatch(reqs);
+
+    SimSession shared(SessionConfig{2});
+    std::vector<std::vector<RunResponse>> batches(2);
+    std::vector<std::vector<RunResponse>> singles(2);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 2; ++t) {
+        threads.emplace_back([&shared, &reqs, &batches, t] {
+            batches[size_t(t)] = shared.runBatch(reqs);
+        });
+        threads.emplace_back([&shared, &reqs, &singles, t] {
+            for (const RunRequest &req : reqs)
+                singles[size_t(t)].push_back(shared.run(req));
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    for (int t = 0; t < 2; ++t) {
+        ASSERT_EQ(batches[size_t(t)].size(), reqs.size());
+        ASSERT_EQ(singles[size_t(t)].size(), reqs.size());
+        for (size_t i = 0; i < reqs.size(); ++i) {
+            EXPECT_EQ(stripHost(batches[size_t(t)][i].toJson()).dump(),
+                      stripHost(expected[i].toJson()).dump())
+                << reqs[i].id;
+            EXPECT_EQ(stripHost(singles[size_t(t)][i].toJson()).dump(),
+                      stripHost(expected[i].toJson()).dump())
+                << reqs[i].id;
+        }
+    }
 }
 
 // ---- Campaign: serial vs scheduler-parallel ----

@@ -12,16 +12,38 @@
  *   diserun [options] <program.s>
  *   diserun [options] --workload <name>
  *   diserun --batch <jobs.json> [--jobs N] [--batch-out <file>]
+ *   diserun --serve --listen <addr:port|unix:path> [serving options]
  *
  * Options:
  *   --batch <file>           run a JSON batch: either a top-level array
  *                            of RunRequest objects or {"jobs": [...]}.
  *                            Results stream as NDJSON (one JSON object
  *                            per line, with an "index" field) in
- *                            completion order; exit 1 if any job failed
- *   --jobs <n>               batch worker threads (default 1)
+ *                            completion order; exit 1 if any job failed.
+ *                            Every line is flushed as written and write
+ *                            failures (a closed pipe, a full disk) end
+ *                            the batch with a clean nonzero exit
+ *   --jobs <n>               batch worker threads (default 1); with
+ *                            --serve, the SimSession worker pool
  *   --batch-out <file>       write the NDJSON stream here (default
  *                            stdout)
+ *
+ * Serving options (see src/service/server.hpp for the protocol):
+ *   --serve                  run as an NDJSON-over-socket daemon;
+ *                            SIGTERM/SIGINT drain gracefully
+ *   --listen <addr>          "host:port" (":0" = loopback, ephemeral;
+ *                            the bound address is printed on stdout)
+ *                            or "unix:/path"
+ *   --executors <n>          concurrent request executors (default 2)
+ *   --max-pending <n>        global admission cap (default 64)
+ *   --max-pending-per-client <n>
+ *                            per-connection admission cap (default 16)
+ *   --default-deadline-ms <n>
+ *                            wall-clock budget for requests carrying
+ *                            no deadline_ms (default 0 = unlimited)
+ *   --default-max-insts <n>  instruction budget imposed on requests
+ *                            that set none (default 0 = leave as-is)
+ *   --drain-timeout-ms <n>   shutdown drain budget (default 5000)
  *   --timing                 cycle-level model (default: functional)
  *   --productions <file>     install productions from a DSL file
  *   --mfi[=dise3|dise4|sandbox]
@@ -67,15 +89,20 @@
  */
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include <poll.h>
+#include <unistd.h>
+
 #include "src/common/logging.hpp"
 #include "src/isa/disasm.hpp"
 #include "src/service/bench_config.hpp"
+#include "src/service/server.hpp"
 #include "src/service/session.hpp"
 #include "src/workloads/workloads.hpp"
 
@@ -97,6 +124,8 @@ struct Options
     bool dumpAsm = false;
     bool stats = false;
     std::string statsJsonFile;
+    bool serve = false;
+    ServerConfig server;
 };
 
 [[noreturn]] void
@@ -156,6 +185,27 @@ parseArgs(int argc, char **argv)
         const std::string arg = argv[i];
         if (arg == "--batch") {
             opts.batchFile = need(i);
+        } else if (arg == "--serve") {
+            opts.serve = true;
+        } else if (arg == "--listen") {
+            opts.server.listen = need(i);
+        } else if (arg == "--executors") {
+            opts.server.executors =
+                static_cast<unsigned>(positiveInt(i, "--executors"));
+        } else if (arg == "--max-pending") {
+            opts.server.maxPending = positiveInt(i, "--max-pending");
+        } else if (arg == "--max-pending-per-client") {
+            opts.server.maxPendingPerClient =
+                positiveInt(i, "--max-pending-per-client");
+        } else if (arg == "--default-deadline-ms") {
+            opts.server.defaultDeadlineMs =
+                nonNegativeInt(i, "--default-deadline-ms");
+        } else if (arg == "--default-max-insts") {
+            opts.server.defaultMaxInsts =
+                nonNegativeInt(i, "--default-max-insts");
+        } else if (arg == "--drain-timeout-ms") {
+            opts.server.drainTimeoutMs =
+                nonNegativeInt(i, "--drain-timeout-ms");
         } else if (arg == "--jobs") {
             opts.jobs =
                 static_cast<unsigned>(positiveInt(i, "--jobs"));
@@ -259,6 +309,16 @@ parseArgs(int argc, char **argv)
                      "--snapshot-at applies to functional mode only\n");
         usage(argv0);
     }
+    if (opts.serve) {
+        if (!opts.batchFile.empty() || !opts.sourceFile.empty() ||
+            !opts.req.workload.empty()) {
+            std::fprintf(stderr,
+                         "--serve takes no program or batch input\n");
+            usage(argv0);
+        }
+        opts.server.workers = opts.jobs;
+        return opts;
+    }
     if (!opts.batchFile.empty())
         return opts;
     if (opts.sourceFile.empty() == opts.req.workload.empty())
@@ -331,6 +391,57 @@ printProfile(const std::vector<PathRecord> &records, size_t show)
     }
 }
 
+/** Self-pipe the SIGTERM/SIGINT handler writes to; the serve loop
+ *  polls it so shutdown starts from the main thread, not the handler
+ *  (where no lock may be taken). */
+int gSignalPipe[2] = {-1, -1};
+
+extern "C" void
+handleStopSignal(int)
+{
+    const char byte = 0;
+    (void)!write(gSignalPipe[1], &byte, 1);
+}
+
+/** Run the NDJSON serving daemon until a stop signal or a panic. */
+int
+runServe(const Options &opts)
+{
+    if (::pipe(gSignalPipe) != 0)
+        fatal("serve: pipe() failed");
+    std::signal(SIGTERM, handleStopSignal);
+    std::signal(SIGINT, handleStopSignal);
+
+    SimServer server(opts.server);
+    server.start();
+    // The bound address on stdout is the startup handshake: scripts
+    // read it to learn the ephemeral port before sending requests.
+    if (opts.server.listen.rfind("unix:", 0) == 0) {
+        std::printf("serve: listening on %s\n",
+                    opts.server.listen.c_str());
+    } else {
+        std::printf("serve: listening on 127.0.0.1:%d\n",
+                    server.port());
+    }
+    std::fflush(stdout);
+
+    // Wait for a stop signal or a server-initiated stop (panic).
+    for (;;) {
+        pollfd pfd = {gSignalPipe[0], POLLIN, 0};
+        const int rc = ::poll(&pfd, 1, 200);
+        if (rc > 0 && (pfd.revents & POLLIN)) {
+            std::fprintf(stderr, "serve: stop signal, draining\n");
+            server.requestShutdown();
+            break;
+        }
+        if (server.stopping())
+            break;
+    }
+    const int code = server.wait();
+    std::fprintf(stderr, "serve: drained, exiting %d\n", code);
+    return code;
+}
+
 /** Run a parsed batch file through a SimSession, streaming NDJSON. */
 int
 runBatch(const Options &opts)
@@ -360,15 +471,35 @@ runBatch(const Options &opts)
     SimSession session({opts.jobs});
     // Stream one NDJSON line per job as it completes (the session
     // serializes callbacks); "index" identifies the request so
-    // consumers can reorder deterministically.
+    // consumers can reorder deterministically. Every line is flushed
+    // as written — a consumer killed mid-batch still has every
+    // completed result — and a failed write (closed pipe: SIGPIPE is
+    // ignored so it surfaces as a stream error; short write to
+    // --batch-out: full disk) aborts the batch with a clean FatalError
+    // instead of silently dropping results on the floor.
+    const char *sink = opts.batchOutFile.empty()
+                           ? "stdout"
+                           : opts.batchOutFile.c_str();
     const auto responses = session.runBatch(
         reqs, [&](size_t index, const RunResponse &resp) {
             Json line = resp.toJson();
             line["index"] = Json(uint64_t(index));
             out << line.dump() << "\n";
             out.flush();
+            if (!out)
+                fatal(std::string("batch: write to ") + sink +
+                      " failed (closed pipe or full disk); results "
+                      "are incomplete");
         });
 
+    out.flush();
+    if (!out)
+        fatal(std::string("batch: write to ") + sink + " failed");
+    if (!opts.batchOutFile.empty()) {
+        outFile.close();
+        if (!outFile)
+            fatal("batch: short write closing " + opts.batchOutFile);
+    }
     size_t failed = 0;
     for (const RunResponse &resp : responses)
         failed += resp.ok ? 0 : 1;
@@ -381,6 +512,8 @@ int
 runMain(int argc, char **argv)
 {
     Options opts = parseArgs(argc, argv);
+    if (opts.serve)
+        return runServe(opts);
     if (!opts.batchFile.empty())
         return runBatch(opts);
 
@@ -489,6 +622,10 @@ runMain(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
+    // A consumer closing its end of a pipe (head -1 over --batch, a
+    // serve client vanishing mid-write) must surface as a write error
+    // we can report, not a SIGPIPE process kill.
+    std::signal(SIGPIPE, SIG_IGN);
     // Guest failures are architected Trap/Hang outcomes and never throw;
     // the only exceptions reaching here are host-level, already logged
     // to stderr by fatal()/panic(). Separate the two error classes by

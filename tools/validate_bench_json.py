@@ -70,6 +70,18 @@ CAMPAIGN_KEYS = {
 
 THROUGHPUT_KEYS = {"insts", "host"}
 
+SERVICE_KEYS = {
+    "requests",
+    "ok",
+    "error",
+    "malformed",
+    "shed",
+    "deadline",
+    "latency",
+    "open_loop",
+    "host",
+}
+
 
 class ValidationError(Exception):
     pass
@@ -161,11 +173,55 @@ def check_campaign_entry(entry, where):
     )
 
 
+def check_service_entry(entry, where):
+    check_keys(entry, SERVICE_KEYS, where)
+    check_host_section(entry, where)
+    statuses = ("ok", "error", "malformed", "shed", "deadline")
+    for key in ("requests",) + statuses:
+        require(
+            isinstance(entry[key], int) and entry[key] >= 0,
+            f"{where}: {key} is not a non-negative integer",
+        )
+    total = sum(entry[key] for key in statuses)
+    require(
+        total == entry["requests"],
+        f"{where}: status counts sum to {total}, "
+        f"requests is {entry['requests']}",
+    )
+    require(entry["ok"] > 0, f"{where}: no successful requests")
+    latency = entry["latency"]
+    check_keys(latency, {"p50_ms", "p99_ms"}, f"{where}.latency")
+    require(
+        0 <= latency["p50_ms"] <= latency["p99_ms"],
+        f"{where}.latency: p50/p99 out of order",
+    )
+    open_loop = entry["open_loop"]
+    check_keys(open_loop, {"saturation_rps", "steps"},
+               f"{where}.open_loop")
+    require(
+        open_loop["saturation_rps"] >= 0,
+        f"{where}.open_loop: negative saturation_rps",
+    )
+    steps = open_loop["steps"]
+    require(
+        isinstance(steps, list) and steps,
+        f"{where}.open_loop: no sweep steps",
+    )
+    for i, step in enumerate(steps):
+        check_keys(
+            step,
+            {"offered_rps", "completed_rps", "requests", "ok", "shed",
+             "deadline", "error"},
+            f"{where}.open_loop.steps[{i}]",
+        )
+
+
 ENTRY_CHECKS = {
     "timing": check_timing_entry,
     "micro": check_micro_entry,
     "campaign": check_campaign_entry,
     "throughput": check_throughput_entry,
+    "service": check_service_entry,
 }
 
 
@@ -274,7 +330,10 @@ def validate_file(path):
 # design (it measures how much execution the snapshots saved), so it is
 # stripped alongside the host sections: --compare asserts the two modes
 # produce identical classifications, not identical replay economics.
-HOST_KEYS = {"host", "host_seconds", "replay"}
+# "latency" and "open_loop" (service artifacts) are wall-clock
+# measurements: two serve_load runs must agree on every closed-loop
+# status count, not on how fast the host served them.
+HOST_KEYS = {"host", "host_seconds", "replay", "latency", "open_loop"}
 
 
 def strip_host(value):

@@ -13,6 +13,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
+#include <list>
 #include <map>
 #include <mutex>
 #include <utility>
@@ -25,8 +26,7 @@ namespace dise {
  * get(key, build) returns a reference to the cached value, calling
  * build() exactly once per key across all threads: the first caller to
  * miss becomes the builder (the lock is released while build() runs);
- * concurrent callers for the same key wait for it. References stay
- * valid for the cache's lifetime (std::map nodes are stable).
+ * concurrent callers for the same key wait for it.
  *
  * A builder that throws propagates the exception to itself and every
  * waiter. What happens to the key afterwards is the constructor's
@@ -42,13 +42,24 @@ namespace dise {
  *    the key for well-formed retries. Still single-flight: concurrent
  *    callers never build the same key twice at once, and each get()
  *    runs the builder at most once before returning or throwing.
+ *
+ * maxEntries = 0 (default) never evicts, so references get() returns
+ * stay valid for the cache's lifetime (std::map nodes are stable).
+ * maxEntries > 0 bounds the cache: once more keys than that exist,
+ * inserting a new one evicts least-recently-used entries — but never
+ * one that is mid-build or that a get()/getCopy() call is currently
+ * touching, so the bound is soft while keys are in use. With eviction
+ * on, a reference from get() can dangle as soon as the internal lock
+ * is released; use getCopy(), which copies the value out under the
+ * lock, instead.
  */
 template <typename Key, typename Value>
 class SingleFlightCache
 {
   public:
-    explicit SingleFlightCache(bool retryFailures = false)
-        : retryFailures_(retryFailures)
+    explicit SingleFlightCache(bool retryFailures = false,
+                               size_t maxEntries = 0)
+        : retryFailures_(retryFailures), maxEntries_(maxEntries)
     {
     }
 
@@ -57,10 +68,72 @@ class SingleFlightCache
     get(const Key &key, Build &&build)
     {
         std::unique_lock<std::mutex> lock(mutex_);
-        Entry &entry = entries_[key];
+        return acquire(key, build, lock);
+    }
+
+    /** Like get(), but returns the value by copy, made before the
+     *  cache lock is released — the only safe accessor when
+     *  maxEntries > 0, where concurrent eviction can invalidate the
+     *  reference get() hands out. */
+    template <typename Build>
+    Value
+    getCopy(const Key &key, Build &&build)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        return acquire(key, build, lock);
+    }
+
+    /** Number of keys present (Ready, Failed, or Building). */
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return entries_.size();
+    }
+
+  private:
+    enum class State { Empty, Building, Ready, Failed };
+
+    struct Entry
+    {
+        State state = State::Empty;
+        Value value{};
+        std::exception_ptr error;
+        size_t refs = 0; ///< get()/getCopy() calls touching this entry
+        typename std::list<Key>::iterator lruIt;
+    };
+
+    /** Decrements Entry::refs on every exit path; the caller holds the
+     *  cache mutex whenever this destructs. */
+    struct RefGuard
+    {
+        Entry &entry;
+        ~RefGuard() { --entry.refs; }
+    };
+
+    /** Core of get()/getCopy(). @p lock is held on entry and on every
+     *  exit (normal or throwing); it is released only around build().
+     *  The returned reference is valid while the lock stays held. */
+    template <typename Build>
+    Value &
+    acquire(const Key &key, Build &&build,
+            std::unique_lock<std::mutex> &lock)
+    {
+        const auto emplaced = entries_.emplace(key, Entry{});
+        Entry &entry = emplaced.first->second;
+        if (emplaced.second) {
+            lru_.push_front(key);
+            entry.lruIt = lru_.begin();
+        }
+        ++entry.refs;
+        RefGuard guard{entry};
+        if (emplaced.second)
+            evictOver(); // refs protects the key just inserted
         for (;;) {
-            if (entry.state == State::Ready)
+            if (entry.state == State::Ready) {
+                touch(entry);
                 return entry.value;
+            }
             if (entry.state == State::Failed) {
                 if (!retryFailures_)
                     std::rethrow_exception(entry.error);
@@ -82,6 +155,12 @@ class SingleFlightCache
                     std::rethrow_exception(entry.error);
                 }
                 ready_.notify_all();
+                touch(entry);
+                // Keys built concurrently are all mid-build when each
+                // is inserted, so insertion-time eviction skips them;
+                // shrink back under the cap as each build lands (this
+                // entry is ref-protected).
+                evictOver();
                 return entry.value;
             }
             // Building: wait out the in-flight build, then re-examine.
@@ -91,28 +170,46 @@ class SingleFlightCache
         }
     }
 
-    /** Number of keys present (Ready, Failed, or Building). */
-    size_t
-    size() const
+    void
+    touch(Entry &entry)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        return entries_.size();
+        lru_.splice(lru_.begin(), lru_, entry.lruIt);
     }
 
-  private:
-    enum class State { Empty, Building, Ready, Failed };
-
-    struct Entry
+    /** Evict least-recently-used entries until back under the cap,
+     *  skipping entries that are mid-build or in use. Caller holds
+     *  the mutex. */
+    void
+    evictOver()
     {
-        State state = State::Empty;
-        Value value{};
-        std::exception_ptr error;
-    };
+        if (maxEntries_ == 0 || entries_.size() <= maxEntries_)
+            return;
+        for (auto it = std::prev(lru_.end());;) {
+            const auto entryIt = entries_.find(*it);
+            const bool evictable =
+                entryIt->second.state != State::Building &&
+                entryIt->second.refs == 0;
+            const bool atFront = it == lru_.begin();
+            const auto victim = it;
+            if (!atFront)
+                --it;
+            if (evictable) {
+                entries_.erase(entryIt);
+                lru_.erase(victim);
+                if (entries_.size() <= maxEntries_)
+                    return;
+            }
+            if (atFront)
+                return;
+        }
+    }
 
     const bool retryFailures_;
+    const size_t maxEntries_;
     mutable std::mutex mutex_;
     std::condition_variable ready_;
     std::map<Key, Entry> entries_;
+    std::list<Key> lru_; ///< most-recently-used first
 };
 
 } // namespace dise

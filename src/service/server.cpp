@@ -50,7 +50,8 @@ struct SimServer::Connection
 };
 
 SimServer::SimServer(const ServerConfig &config)
-    : config_(config), session_({config.workers})
+    : config_(config), session_({config.workers}),
+      results_(/*retryFailures=*/true, config.maxCachedResults)
 {
 }
 
@@ -132,6 +133,10 @@ SimServer::start()
         ::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr),
                       &len);
         port_ = int(ntohs(addr.sin_port));
+        char hostBuf[INET_ADDRSTRLEN] = {0};
+        if (::inet_ntop(AF_INET, &addr.sin_addr, hostBuf,
+                        sizeof(hostBuf)))
+            host_ = hostBuf;
     }
     if (::listen(listenFd_, 64) != 0)
         fatal("serve: listen() failed: " +
@@ -380,7 +385,13 @@ SimServer::readerLoop(std::shared_ptr<Connection> conn)
             handleLine(conn, seq, line);
         }
         buffer.erase(0, start);
-        if (!discarding && buffer.size() > config_.maxLineBytes) {
+        if (discarding) {
+            // Still inside the oversized line (no terminating newline
+            // yet): everything buffered is its tail. Drop it each
+            // pass, or a peer streaming newline-free data would grow
+            // the buffer without bound.
+            buffer.clear();
+        } else if (buffer.size() > config_.maxLineBytes) {
             // No newline in sight and already over the cap: answer
             // now and discard until one shows up — the connection
             // survives, only this request dies.
@@ -514,7 +525,7 @@ SimServer::admit(const std::shared_ptr<Connection> &conn,
             respond(conn, resp);
             return;
         }
-        if (pending_ >= config_.maxPending ||
+        if (pending_ + inflight_ >= config_.maxPending ||
             conn->queue.size() >= config_.maxPendingPerClient) {
             // Shed with a hint that grows with queue depth, so
             // well-behaved clients back off harder the deeper the
@@ -623,8 +634,10 @@ SimServer::executeJob(const std::shared_ptr<Job> &job)
     Json resp;
     try {
         bool built = false;
-        const std::string &cached =
-            results_.get(job->cacheKey, [this, &job, &built] {
+        // getCopy, not get: the cache evicts (LRU) and a reference
+        // could dangle as soon as its lock drops.
+        const std::string cached =
+            results_.getCopy(job->cacheKey, [this, &job, &built] {
                 built = true;
                 RunContext ctx;
                 ctx.cancel = &job->cancel;
@@ -637,6 +650,20 @@ SimServer::executeJob(const std::shared_ptr<Job> &job)
                     fatal("deadline exceeded during execution");
                 return r.toJson().dump();
             });
+        if (job->cancel.load(std::memory_order_relaxed)) {
+            // The deadline passed while this job sat in getCopy
+            // waiting on an identical in-flight build (the builder's
+            // deadline, if any, is not ours). A late answer is a
+            // deadline miss even though the result exists.
+            resp = envelope(job->seq, "deadline_exceeded");
+            resp["id"] = Json(job->req.label());
+            resp["ok"] = Json(false);
+            resp["error"] = Json(std::string(
+                "deadline exceeded while awaiting an identical "
+                "in-flight request"));
+            respond(job->conn, resp);
+            return;
+        }
         if (!built)
             bumpStat("cache_hits");
         resp = Json::parse(cached);

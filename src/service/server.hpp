@@ -64,7 +64,10 @@
  *     retrying after a lost response gets the cached result instead
  *     of a re-execution, and concurrent identical requests execute
  *     once. Failures are never cached (retryFailures), so a request
- *     cancelled at its deadline does not poison the key.
+ *     cancelled at its deadline does not poison the key. The cache is
+ *     bounded (maxCachedResults, LRU eviction): entries only need to
+ *     live long enough to cover client retry windows, so a flood of
+ *     unique request bodies cannot grow memory without bound.
  *
  * Responses for well-formed, in-budget requests are bit-identical to
  * the NDJSON lines `diserun --batch` emits for the same requests,
@@ -103,7 +106,8 @@ struct ServerConfig
     unsigned workers = 1;
     /** Concurrent request executors (jobs running at once). */
     unsigned executors = 2;
-    /** Global admitted-but-not-finished cap; above it requests shed. */
+    /** Global admitted-but-not-finished cap (queued + in-flight);
+     *  at it, further requests shed. */
     size_t maxPending = 64;
     /** Per-connection queued cap; above it that client sheds. */
     size_t maxPendingPerClient = 16;
@@ -119,6 +123,10 @@ struct ServerConfig
     size_t maxLineBytes = 1 << 20;
     /** Deficit round-robin quantum added per scheduling visit. */
     uint32_t drrQuantum = 4;
+    /** Idempotent result-cache entry cap (LRU eviction beyond it);
+     *  entries only need to outlive client retry windows. 0 = never
+     *  evict. */
+    size_t maxCachedResults = 1024;
 };
 
 /**
@@ -143,6 +151,10 @@ class SimServer
 
     /** Resolved TCP port (after start(); 0 for unix sockets). */
     int port() const { return port_; }
+
+    /** Actually-bound TCP address, e.g. "127.0.0.1" or "0.0.0.0"
+     *  (after start(); empty for unix sockets). */
+    const std::string &host() const { return host_; }
 
     /** True once a drain has begun (signal, panic, or shutdown). */
     bool stopping() const;
@@ -199,6 +211,7 @@ class SimServer
 
     int listenFd_ = -1;
     int port_ = 0;
+    std::string host_; ///< bound TCP address (empty for unix sockets)
     std::string unixPath_; ///< bound unix socket path (unlinked on exit)
     int wakePipe_[2] = {-1, -1}; ///< nudges the listener's poll()
 
@@ -238,9 +251,10 @@ class SimServer
 
     /** Idempotent result cache: canonical request body -> response
      *  JSON. Failures retry (a deadline-cancelled run must not poison
-     *  its key). */
-    SingleFlightCache<std::string, std::string>
-        results_{/*retryFailures=*/true};
+     *  its key); bounded at config_.maxCachedResults with LRU
+     *  eviction, so read only via getCopy(). Sized in the
+     *  constructor. */
+    SingleFlightCache<std::string, std::string> results_;
 
     mutable std::mutex statsMutex_;
     mutable StatGroup stats_{"server"}; ///< statsJson() sets gauges

@@ -319,6 +319,66 @@ TEST(SingleFlight, BuilderFailurePropagatesWithoutRetry)
     EXPECT_EQ(builds.load(), 1);
 }
 
+TEST(SingleFlight, LruEvictionBoundsTheCache)
+{
+    SingleFlightCache<std::string, int> cache(/*retryFailures=*/false,
+                                              /*maxEntries=*/2);
+    std::atomic<int> builds{0};
+    const auto builder = [&](int v) {
+        return [&builds, v] {
+            builds.fetch_add(1);
+            return v;
+        };
+    };
+    EXPECT_EQ(cache.getCopy("a", builder(1)), 1);
+    EXPECT_EQ(cache.getCopy("b", builder(2)), 2);
+    // Touch "a" so "b" is the LRU victim when "c" arrives.
+    EXPECT_EQ(cache.getCopy("a", builder(99)), 1);
+    EXPECT_EQ(cache.getCopy("c", builder(3)), 3);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(builds.load(), 3);
+
+    // "a" survived (still cached); "b" was evicted and rebuilds.
+    EXPECT_EQ(cache.getCopy("a", builder(99)), 1);
+    EXPECT_EQ(builds.load(), 3);
+    EXPECT_EQ(cache.getCopy("b", builder(4)), 4);
+    EXPECT_EQ(builds.load(), 4);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(SingleFlight, EvictionSkipsEntriesMidBuild)
+{
+    // Cap 1, but the in-flight build for "slow" must not be evicted
+    // by "fast" arriving — its waiter still gets the built value.
+    SingleFlightCache<std::string, int> cache(/*retryFailures=*/false,
+                                              /*maxEntries=*/1);
+    std::atomic<bool> building{false};
+    std::atomic<bool> release{false};
+    std::thread slow([&] {
+        const int v = cache.getCopy("slow", [&] {
+            building.store(true);
+            while (!release.load())
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+            return 10;
+        });
+        EXPECT_EQ(v, 10);
+    });
+    while (!building.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_EQ(cache.getCopy("fast", [] { return 20; }), 20);
+    release.store(true);
+    slow.join();
+    // "slow" outlived the insertion of "fast" despite the cap of 1.
+    std::atomic<int> rebuilds{0};
+    EXPECT_EQ(cache.getCopy("slow", [&] {
+                  rebuilds.fetch_add(1);
+                  return 11;
+              }),
+              10);
+    EXPECT_EQ(rebuilds.load(), 0);
+}
+
 TEST(Logging, FatalThrows)
 {
     EXPECT_THROW(fatal("boom"), FatalError);

@@ -15,6 +15,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <csignal>
 #include <string>
 #include <thread>
@@ -58,9 +59,9 @@ class Client
     }
 
     void
-    sendLine(const std::string &body)
+    sendLine(const std::string &body, bool newline = true)
     {
-        const std::string line = body + "\n";
+        const std::string line = newline ? body + "\n" : body;
         size_t off = 0;
         while (off < line.size()) {
             const ssize_t n =
@@ -230,6 +231,82 @@ TEST(SimServer, OversizedLineFailsOnlyThatRequest)
     client.sendLine(runReq("after"));
     Json ok = client.readSeq(2);
     EXPECT_EQ(ok["status"].asString(), "ok");
+}
+
+TEST(SimServer, OversizedStreamWithoutNewlineIsDiscardedNotBuffered)
+{
+    ServerConfig config;
+    config.maxLineBytes = 4096;
+    ServerFixture fx(config);
+    Client client(fx.server.port());
+
+    // A newline-free stream far past the cap: exactly one "oversized"
+    // answer when the cap trips, then every later chunk must be
+    // dropped (not buffered) until the terminating newline arrives.
+    client.sendLine(std::string(6000, 'x') + std::string(5000, 'y') +
+                        std::string(8000, 'z'),
+                    /*newline=*/false);
+    Json oversized = client.readSeq(1);
+    EXPECT_EQ(oversized["status"].asString(), "oversized");
+
+    // End the oversized line; the connection must be clean again —
+    // the next request is seq 2, which also proves no duplicate
+    // "oversized" answers were emitted for the discarded tail.
+    client.sendLine(std::string());
+    client.sendLine(runReq("after"));
+    Json ok = client.readSeq(2);
+    EXPECT_EQ(ok["status"].asString(), "ok");
+    EXPECT_EQ(ok["id"].asString(), "after");
+}
+
+TEST(SimServer, ResultCacheIsBoundedWithLruEviction)
+{
+    ServerConfig config;
+    config.maxCachedResults = 1;
+    ServerFixture fx(config);
+    Client client(fx.server.port());
+
+    // Two distinct request bodies (different max_insts, both large
+    // enough not to matter): with a one-entry cap the second evicts
+    // the first instead of growing the cache.
+    Json first = runReq("first");
+    first["max_insts"] = Json(uint64_t(1) << 40);
+    client.sendLine(first);
+    EXPECT_EQ(client.readSeq(1)["status"].asString(), "ok");
+    Json second = runReq("second");
+    second["max_insts"] = Json((uint64_t(1) << 40) + 1);
+    client.sendLine(second);
+    EXPECT_EQ(client.readSeq(2)["status"].asString(), "ok");
+
+    Json stats = Json::object();
+    stats["kind"] = Json(std::string("stats"));
+    client.sendLine(stats);
+    Json live = client.readSeq(3);
+    EXPECT_LE(live["stats"]["server"]["result_cache_entries"].asUInt(),
+              1u);
+}
+
+TEST(SimServer, WaiterOnInFlightBuildHonorsItsOwnDeadline)
+{
+    ServerFixture fx;
+    Client builder(fx.server.port());
+    Client waiter(fx.server.port());
+
+    // The builder starts a slow run with no deadline; the waiter sends
+    // the identical body (same cache key — ids are excluded) with a
+    // 1 ms budget. Joining the in-flight build must not let the waiter
+    // answer "ok" long after its own deadline passed.
+    builder.sendLine(runReq("leader", "mcf"));
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    Json late = runReq("follower", "mcf");
+    late["deadline_ms"] = Json(uint64_t(1));
+    waiter.sendLine(late);
+
+    Json follower = waiter.readSeq(1);
+    EXPECT_EQ(follower["status"].asString(), "deadline_exceeded");
+    EXPECT_FALSE(follower["ok"].asBool());
+    Json leader = builder.readSeq(1);
+    EXPECT_EQ(leader["status"].asString(), "ok");
 }
 
 TEST(SimServer, ResponsesBitIdenticalToDirectSession)

@@ -44,6 +44,9 @@
  *   --default-max-insts <n>  instruction budget imposed on requests
  *                            that set none (default 0 = leave as-is)
  *   --drain-timeout-ms <n>   shutdown drain budget (default 5000)
+ *   --max-cached-results <n> idempotent result-cache entry cap, LRU
+ *                            eviction beyond it (default 1024;
+ *                            0 = never evict)
  *   --timing                 cycle-level model (default: functional)
  *   --productions <file>     install productions from a DSL file
  *   --mfi[=dise3|dise4|sandbox]
@@ -206,6 +209,9 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--drain-timeout-ms") {
             opts.server.drainTimeoutMs =
                 nonNegativeInt(i, "--drain-timeout-ms");
+        } else if (arg == "--max-cached-results") {
+            opts.server.maxCachedResults =
+                nonNegativeInt(i, "--max-cached-results");
         } else if (arg == "--jobs") {
             opts.jobs =
                 static_cast<unsigned>(positiveInt(i, "--jobs"));
@@ -420,8 +426,10 @@ runServe(const Options &opts)
         std::printf("serve: listening on %s\n",
                     opts.server.listen.c_str());
     } else {
-        std::printf("serve: listening on 127.0.0.1:%d\n",
-                    server.port());
+        // The actually-bound address (getsockname), not a hard-coded
+        // loopback: --listen 0.0.0.0 must not hand scripts a lie.
+        std::printf("serve: listening on %s:%d\n",
+                    server.host().c_str(), server.port());
     }
     std::fflush(stdout);
 

@@ -220,10 +220,14 @@ def main():
         stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True)
     try:
         handshake = daemon.stdout.readline().strip()
-        prefix = "serve: listening on 127.0.0.1:"
+        prefix = "serve: listening on "
         if not handshake.startswith(prefix):
             fail(f"bad startup handshake: {handshake!r}")
-        port = int(handshake[len(prefix):])
+        # The daemon advertises the actually-bound host:port.
+        host, _, port_str = handshake[len(prefix):].rpartition(":")
+        if host != "127.0.0.1":
+            fail(f"expected a loopback bind, got {host!r}")
+        port = int(port_str)
         print(f"gauntlet: daemon up on port {port}")
 
         phase_correctness(port, args.diserun)

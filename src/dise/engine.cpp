@@ -67,6 +67,7 @@ DiseEngine::flushTables()
         entry = RtEntry();
     expCache_.clear();
     ptCorrupt_.clear();
+    corruptResident_ = false;
 }
 
 bool
@@ -84,6 +85,7 @@ DiseEngine::corruptPatternEntry(uint64_t pick)
     ptCorrupt_.insert(resident[pick % resident.size()]);
     stats_.add("pt_faults_injected");
     ++generation_; // stale traces must observe the corrupted entry
+    corruptResident_ = true;
     return true;
 }
 
@@ -101,6 +103,7 @@ DiseEngine::corruptReplacementEntry(uint64_t pick, unsigned bit)
     entry.corruptBit = bit;
     stats_.add("rt_faults_injected");
     ++generation_; // stale traces must observe the corrupted entry
+    corruptResident_ = true;
     return true;
 }
 
@@ -388,6 +391,105 @@ DiseEngine::expand(const DecodedInst &fetched, Addr pc)
     ++expansions_;
     replacementInsts_ += result.numInsts;
     return result;
+}
+
+bool
+DiseEngine::expandFast(const ExpandMemo &memo, ExpandResult &out)
+{
+    // A memo at the live generation proves the active set, the pattern
+    // list, and the memoized instantiation span are all unchanged; the
+    // dynamic preconditions (PT residency, clean RT hits) are verified
+    // below before any state is touched, so a bail-out leaves the
+    // tables exactly as expand() expects to find them.
+    if (memo.gen != generation_ || memo.kind == ExpandMemo::Unknown ||
+        corruptResident_)
+        return false;
+    if (!opcodeResident_[static_cast<size_t>(memo.op)])
+        return false;
+    const auto &covering = patternsByOpcode_[static_cast<size_t>(memo.op)];
+
+    if (memo.kind == ExpandMemo::NoMatch) {
+        // Covered opcode, resident patterns, no match: expand() would
+        // refresh the PT stamps and return a pass-through result.
+        ++inspected_;
+        for (const uint32_t idx : covering)
+            ptStamp_[idx] = ++useCounter_;
+        out = ExpandResult();
+        return true;
+    }
+
+    // Expanded: every RT slot must still be a clean resident hit. Probe
+    // first with no state changes, then commit the PT stamp refreshes
+    // and RT lastUse updates in expand()'s exact order so the shared
+    // LRU clock evolves bit-identically.
+    constexpr uint32_t kMaxFastSeqLen = 64;
+    const uint32_t len = memo.seq->length();
+    RtEntry *hits[kMaxFastSeqLen];
+    if (config_.rtEntries != 0) {
+        if (len > kMaxFastSeqLen)
+            return false;
+        for (uint32_t slot = 0; slot < len; ++slot) {
+            const unsigned set = rtIndex(memo.seqId, slot);
+            RtEntry *way = &rt_[size_t(set) * config_.rtAssoc];
+            RtEntry *hit = nullptr;
+            for (uint32_t w = 0; w < config_.rtAssoc; ++w) {
+                if (way[w].valid && way[w].seqId == memo.seqId &&
+                    way[w].disepc == slot) {
+                    hit = &way[w];
+                    break;
+                }
+            }
+            if (!hit || hit->corrupt)
+                return false; // miss (or fault): the full path fills it
+            hits[slot] = hit;
+        }
+    }
+
+    ++inspected_;
+    for (const uint32_t idx : covering)
+        ptStamp_[idx] = ++useCounter_;
+    if (config_.rtEntries != 0) {
+        for (uint32_t slot = 0; slot < len; ++slot)
+            hits[slot]->lastUse = ++useCounter_;
+    }
+    ++cacheHits_; // the memoized span is still in expCache_
+    ++expansions_;
+    replacementInsts_ += memo.numInsts;
+
+    out = ExpandResult();
+    out.expanded = true;
+    out.seqId = memo.seqId;
+    out.seq = memo.seq;
+    out.insts = memo.insts;
+    out.numInsts = memo.numInsts;
+    out.memoized = true;
+    return true;
+}
+
+void
+DiseEngine::fillMemo(ExpandMemo &memo, const DecodedInst &fetched,
+                     const ExpandResult &result) const
+{
+    memo = ExpandMemo();
+    // Never record outcomes observed through injected corruption: a
+    // parity-suppressed match or garbled delivery is not replayable.
+    if (corruptResident_ || !set_ || set_->empty())
+        return;
+    if (!result.expanded) {
+        memo.gen = generation_;
+        memo.kind = ExpandMemo::NoMatch;
+        memo.op = fetched.op;
+        return;
+    }
+    if (!result.memoized)
+        return; // scratch-backed span: contents may differ next call
+    memo.gen = generation_;
+    memo.kind = ExpandMemo::Expanded;
+    memo.op = fetched.op;
+    memo.seqId = result.seqId;
+    memo.seq = result.seq;
+    memo.insts = result.insts;
+    memo.numInsts = result.numInsts;
 }
 
 const ReplacementSeq *

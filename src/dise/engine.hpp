@@ -90,6 +90,30 @@ struct DiseConfig
 };
 
 /**
+ * Per-static-trigger expansion memo, owned by the caller (one per
+ * translated Engine slot, see TransOp::memo). Records the outcome of a
+ * clean expand() of one static instruction — either "covered opcode but
+ * no pattern matched" or "expanded to this memoized span" — so repeated
+ * dynamic instances can skip the pattern match and the expansion-cache
+ * hash lookup entirely (DiseEngine::expandFast). Invalid whenever the
+ * recorded generation lags the engine's: installs, flushes, and fault
+ * injections all advance it.
+ */
+struct ExpandMemo
+{
+    uint64_t gen = ~uint64_t(0);
+    enum : uint8_t { Unknown = 0, NoMatch = 1, Expanded = 2 };
+    uint8_t kind = Unknown;
+    Opcode op = Opcode::NOP;
+    SeqId seqId = 0;
+    const ReplacementSeq *seq = nullptr;
+    /** Memoized instantiation span (points into the engine's expansion
+     *  cache, stable until the next generation bump). */
+    const DecodedInst *insts = nullptr;
+    uint32_t numInsts = 0;
+};
+
+/**
  * Result of presenting one fetched instruction to the engine.
  *
  * The replacement instructions are exposed as a non-owning span:
@@ -169,6 +193,30 @@ class DiseEngine
      *         instruction passes through unchanged.
      */
     ExpandResult expand(const DecodedInst &fetched, Addr pc);
+
+    /**
+     * Memoized inspection fast path. When @p memo records a clean prior
+     * outcome for the same static instruction at the current table
+     * generation AND the tables are in the state the memo assumes (PT
+     * residency intact, every RT slot of the sequence still a clean
+     * hit), performs the inspection with bit-identical counter and LRU
+     * evolution to expand() — PT stamp refreshes, RT lastUse updates,
+     * inspected/expansions/cache-hit counters — and fills @p out,
+     * returning true. Returns false (with no state touched) whenever
+     * any check fails or any injected corruption may be resident; the
+     * caller then runs the full expand() and may re-fill the memo.
+     */
+    bool expandFast(const ExpandMemo &memo, ExpandResult &out);
+
+    /**
+     * Record the outcome of a full expand() of @p fetched into @p memo
+     * for future expandFast() calls. Only clean outcomes are recorded:
+     * nothing is recorded while injected corruption is resident, and
+     * expansions are recorded only when the result span is memoized
+     * (stable for the rest of the generation).
+     */
+    void fillMemo(ExpandMemo &memo, const DecodedInst &fetched,
+                  const ExpandResult &result) const;
 
     /**
      * Sequence lookup without the RT model (used to resume mid-sequence
@@ -369,6 +417,14 @@ class DiseEngine
     bool suppressExpand_ = false;
     /** Parity-off RT garble: (slot, bit) pairs hit this fetch. */
     std::vector<std::pair<uint32_t, unsigned>> corruptSlotsHit_;
+    /**
+     * Sticky "corruption may be resident" latch: set by either corrupt
+     * hook, cleared only by flushTables. Deliberately conservative —
+     * parity detection repairs individual entries without clearing it —
+     * so expandFast can gate on one flag instead of re-scanning tables;
+     * while set, every inspection takes the full expand() path.
+     */
+    bool corruptResident_ = false;
     /// @}
 
     uint64_t useCounter_ = 0;

@@ -14,6 +14,62 @@ namespace {
 /** Longest straight-line run one translated block may cover. */
 constexpr size_t kMaxBlockLen = 128;
 
+/**
+ * Map an opcode to its flat interpreter handler (writing the access
+ * size for memory ops); OpHandler::NUM when the opcode is outside the
+ * translated repertoire (syscalls, codewords, reserved/invalid
+ * encodings). Shared by block and replacement-sequence translation so
+ * the two interpreters agree on the repertoire.
+ */
+OpHandler
+baseHandler(Opcode op, uint8_t &size)
+{
+    switch (op) {
+      case Opcode::NOP: return OpHandler::Nop;
+      case Opcode::LDA: return OpHandler::Lda;
+      case Opcode::LDAH: return OpHandler::Ldah;
+      case Opcode::ADDQ: return OpHandler::Addq;
+      case Opcode::SUBQ: return OpHandler::Subq;
+      case Opcode::MULQ: return OpHandler::Mulq;
+      case Opcode::AND: return OpHandler::And;
+      case Opcode::BIC: return OpHandler::Bic;
+      case Opcode::OR: return OpHandler::Or;
+      case Opcode::ORNOT: return OpHandler::Ornot;
+      case Opcode::XOR: return OpHandler::Xor;
+      case Opcode::SLL: return OpHandler::Sll;
+      case Opcode::SRL: return OpHandler::Srl;
+      case Opcode::SRA: return OpHandler::Sra;
+      case Opcode::CMPEQ: return OpHandler::Cmpeq;
+      case Opcode::CMPLT: return OpHandler::Cmplt;
+      case Opcode::CMPLE: return OpHandler::Cmple;
+      case Opcode::CMPULT: return OpHandler::Cmpult;
+      case Opcode::CMPULE: return OpHandler::Cmpule;
+      case Opcode::CMOVEQ: return OpHandler::Cmoveq;
+      case Opcode::CMOVNE: return OpHandler::Cmovne;
+      case Opcode::LDBU: size = 1; return OpHandler::Ldbu;
+      case Opcode::LDL: size = 4; return OpHandler::Ldl;
+      case Opcode::LDQ: size = 8; return OpHandler::Ldq;
+      case Opcode::STB: size = 1; return OpHandler::Store;
+      case Opcode::STL: size = 4; return OpHandler::Store;
+      case Opcode::STQ: size = 8; return OpHandler::Store;
+      case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
+      case Opcode::BLE: case Opcode::BGT: case Opcode::BGE:
+      case Opcode::BLBC: case Opcode::BLBS:
+        return OpHandler::CondBranch;
+      case Opcode::BR: case Opcode::BSR:
+        return OpHandler::DirBranch;
+      case Opcode::JMP: case Opcode::JSR: case Opcode::RET:
+        return OpHandler::Jump;
+      case Opcode::DBEQ: case Opcode::DBNE: case Opcode::DBLT:
+      case Opcode::DBGE:
+        return OpHandler::DiseCond;
+      case Opcode::DBR:
+        return OpHandler::DiseBr;
+      default:
+        return OpHandler::NUM;
+    }
+}
+
 /** Outcome of a conditional (application or DISE) branch on value @p v.
  *  Single source of truth for execute() and the translated fast path. */
 bool
@@ -110,6 +166,10 @@ ExecCore::invalidateDecodeCache()
 {
     decodedValid_.assign(decodedValid_.size(), 0);
     ++traceEpoch_;
+    for (auto &kv : traces_) {
+        if (kv.second)
+            retired_.push_back(std::move(kv.second));
+    }
     traces_.clear();
 }
 
@@ -129,16 +189,22 @@ ExecCore::invalidateDecodedRange(Addr addr, unsigned size)
 void
 ExecCore::invalidateTraceRange(Addr addr, unsigned size)
 {
+    // The epoch bump orphans every dispatch entry and chain edge, so
+    // nothing re-enters a dropped block; the graveyard keeps the
+    // storage alive in case the interpreter is currently *inside* one
+    // (SMC invalidation runs mid-chain). See the retired_ member doc.
     ++traceEpoch_;
     if (traces_.empty())
         return;
     const Addr end = addr + size;
     for (auto it = traces_.begin(); it != traces_.end();) {
         const TransBlock &b = *it->second;
-        if (b.entryPC < end && b.coveredEnd() > addr)
+        if (b.entryPC < end && b.coveredEnd() > addr) {
+            retired_.push_back(std::move(it->second));
             it = traces_.erase(it);
-        else
+        } else {
             ++it;
+        }
     }
 }
 
@@ -372,12 +438,9 @@ ExecCore::execute(const DecodedInst &inst, DynInst &dyn)
     }
 }
 
-bool
-ExecCore::beginExpansion(const DecodedInst &fetched)
+void
+ExecCore::adoptExpansion(const ExpandResult &r)
 {
-    const ExpandResult r = controller_->engine().expand(fetched, pc_);
-    if (!r.expanded)
-        return false;
     seqInsts_ = r.insts;
     seqLen_ = r.numInsts;
     seqSpec_ = r.seq;
@@ -387,6 +450,15 @@ ExecCore::beginExpansion(const DecodedInst &fetched)
     pendingExpand_ = r;
     ++result_.expansions;
     ++result_.appInsts;
+}
+
+bool
+ExecCore::beginExpansion(const DecodedInst &fetched)
+{
+    const ExpandResult r = controller_->engine().expand(fetched, pc_);
+    if (!r.expanded)
+        return false;
+    adoptExpansion(r);
     return true;
 }
 
@@ -611,6 +683,23 @@ ExecCore::copyArchStateFrom(const ExecCore &other)
 }
 
 void
+ExecCore::pinSuspendedSeq()
+{
+    // A sequence suspended across an API return must not keep pointing
+    // into engine-owned storage: the caller may install a new
+    // production set or flush tables before resuming, freeing the
+    // expansion-cache span and the ProductionSet that owns the spec.
+    // Copy both into core-owned backing and re-point. Idempotent, so a
+    // run that suspends repeatedly re-pins only once.
+    if (seqSpec_ == nullptr || seqSpec_ == &seqPinnedSpec_)
+        return;
+    seqPinnedInsts_.assign(seqInsts_, seqInsts_ + seqLen_);
+    seqPinnedSpec_ = *seqSpec_;
+    seqInsts_ = seqPinnedInsts_.data();
+    seqSpec_ = &seqPinnedSpec_;
+}
+
+void
 ExecCore::advanceToAppInst(uint64_t target)
 {
     // Chunked advance: each pass budgets dynInsts so that appInsts
@@ -635,9 +724,11 @@ ExecCore::advanceToAppInst(uint64_t target)
     }
     // Drain any in-flight replacement sequence: the target application
     // instruction may have expanded, and its effects are complete only
-    // when the sequence retires.
-    while (seqSpec_ && !exited_ && !trapped_)
+    // when the sequence retires. A DISE-branch loop can spin here
+    // indefinitely, so the cancel flag is honored too.
+    while (seqSpec_ && !exited_ && !trapped_ && !cancelRequested())
         execSeqSlot<false>(nullptr);
+    pinSuspendedSeq();
 }
 
 void
@@ -750,7 +841,7 @@ ExecCore::translateBlock(Addr entry)
             // The engine may expand this instruction; decide at run
             // time. A control trigger may also redirect, so it ends the
             // static block either way.
-            op.kind = TransKind::Engine;
+            op.handler = OpHandler::Engine;
             block->ops.push_back(op);
             pc += 4;
             if (d.isControl())
@@ -758,72 +849,35 @@ ExecCore::translateBlock(Addr entry)
             continue;
         }
 
-        bool translatable = true;
-        bool terminator = false;
-        switch (d.op) {
-          case Opcode::NOP: case Opcode::LDA: case Opcode::LDAH:
-          case Opcode::ADDQ: case Opcode::SUBQ: case Opcode::MULQ:
-          case Opcode::AND: case Opcode::BIC: case Opcode::OR:
-          case Opcode::ORNOT: case Opcode::XOR: case Opcode::SLL:
-          case Opcode::SRL: case Opcode::SRA: case Opcode::CMPEQ:
-          case Opcode::CMPLT: case Opcode::CMPLE: case Opcode::CMPULT:
-          case Opcode::CMPULE: case Opcode::CMOVEQ: case Opcode::CMOVNE:
-            op.kind = TransKind::Alu;
-            break;
-          case Opcode::LDBU:
-            op.kind = TransKind::Load;
-            op.size = 1;
-            break;
-          case Opcode::LDL:
-            op.kind = TransKind::Load;
-            op.size = 4;
-            break;
-          case Opcode::LDQ:
-            op.kind = TransKind::Load;
-            op.size = 8;
-            break;
-          case Opcode::STB:
-            op.kind = TransKind::Store;
-            op.size = 1;
-            break;
-          case Opcode::STL:
-            op.kind = TransKind::Store;
-            op.size = 4;
-            break;
-          case Opcode::STQ:
-            op.kind = TransKind::Store;
-            op.size = 8;
-            break;
-          case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
-          case Opcode::BLE: case Opcode::BGT: case Opcode::BGE:
-          case Opcode::BLBC: case Opcode::BLBS:
-            op.kind = TransKind::CondBranch;
-            op.target = d.branchTarget(pc);
-            terminator = true;
-            break;
-          case Opcode::BR: case Opcode::BSR:
-            op.kind = TransKind::DirBranch;
-            op.target = d.branchTarget(pc);
-            terminator = true;
-            break;
-          case Opcode::JMP: case Opcode::JSR: case Opcode::RET:
-            op.kind = TransKind::Jump;
-            terminator = true;
-            break;
-          default:
+        const OpHandler h = baseHandler(d.op, op.size);
+        if (h == OpHandler::NUM || h == OpHandler::DiseCond ||
+            h == OpHandler::DiseBr) {
             // Syscalls, codewords, DISE branches, reserved/invalid
             // encodings: end the block; the dispatcher executes them
             // through step(), which models their traps and side
             // effects.
-            translatable = false;
             break;
         }
-        if (!translatable)
-            break;
+        op.handler = h;
+        bool terminator = false;
+        if (h == OpHandler::CondBranch || h == OpHandler::DirBranch) {
+            op.target = d.branchTarget(pc);
+            terminator = true;
+        } else if (h == OpHandler::Jump) {
+            terminator = true;
+        }
         block->ops.push_back(op);
         pc += 4;
         if (terminator)
             break;
+    }
+    block->numInsts = static_cast<uint32_t>(block->ops.size());
+    if (block->numInsts != 0) {
+        // Close the slot array with the End sentinel (the fall-through
+        // exit) so the interpreter needs no bounds check.
+        TransOp end;
+        end.handler = OpHandler::End;
+        block->ops.push_back(end);
     }
     return block;
 }
@@ -833,10 +887,50 @@ ExecCore::lookupBlock(Addr pc)
 {
     const uint64_t gen =
         controller_ ? controller_->engine().generation() : 0;
-    auto [it, inserted] = traces_.try_emplace(pc);
-    if (inserted || !it->second || it->second->engineGen != gen)
+    auto it = traces_.find(pc);
+    if (it == traces_.end()) {
+        if (traces_.size() >= traceBlockCap_) {
+            // Cache pressure: evict the whole map (rare — the cap is
+            // far above any real text footprint) rather than maintain
+            // an LRU on the hot path. The epoch bump orphans every
+            // dispatch entry and chain edge into the evicted blocks;
+            // the graveyard keeps them alive through any chain
+            // currently on the stack (this path runs mid-chain via
+            // chainTarget).
+            ++traceEpoch_;
+            ++statTraceEvictions_;
+            for (auto &kv : traces_) {
+                if (kv.second)
+                    retired_.push_back(std::move(kv.second));
+            }
+            traces_.clear();
+        }
+        it = traces_.emplace(pc, nullptr).first;
+    }
+    if (!it->second || it->second->engineGen != gen) {
+        if (it->second) {
+            // Generation-stale block: park it rather than destroy it.
+            // Its stale stamp already keeps every edge and dispatch
+            // entry from re-entering it, but the interpreter may still
+            // be executing it right now (a mid-chain engine-generation
+            // bump), and pre-chaining code destroyed it here — the
+            // DispatchEntry::block dangle this PR's bugfix sweep
+            // closes.
+            retired_.push_back(std::move(it->second));
+        }
         it->second = translateBlock(pc);
+        ++statBlocksTranslated_;
+    }
     return it->second;
+}
+
+const TransBlock *
+ExecCore::chainTarget(Addr pc)
+{
+    if ((pc & 3) != 0 || pc < prog_.textBase || pc >= prog_.textEnd())
+        return nullptr; // out-of-text successors run through step()
+    const TransBlock *b = lookupBlock(pc).get();
+    return b->numInsts == 0 ? nullptr : b;
 }
 
 namespace {
@@ -857,7 +951,7 @@ translateSeq(const ExpandResult &r, SeqTrans &st, uint64_t gen)
     st.ops.clear();
     if (r.seq == nullptr || r.seq->insts.size() != r.numInsts)
         return;
-    st.ops.reserve(r.numInsts);
+    st.ops.reserve(r.numInsts + 1);
     for (uint32_t s = 0; s < r.numInsts; ++s) {
         const DecodedInst &d = r.insts[s];
         SeqOp op;
@@ -871,69 +965,27 @@ translateSeq(const ExpandResult &r, SeqTrans &st, uint64_t gen)
         // instruction (see execSeqSlotBody).
         op.trigger = r.seq->insts[s].isTriggerInsn ||
                      r.seq->insts[s].opDir == OpDirective::Trigger;
-        switch (d.op) {
-          case Opcode::NOP: case Opcode::LDA: case Opcode::LDAH:
-          case Opcode::ADDQ: case Opcode::SUBQ: case Opcode::MULQ:
-          case Opcode::AND: case Opcode::BIC: case Opcode::OR:
-          case Opcode::ORNOT: case Opcode::XOR: case Opcode::SLL:
-          case Opcode::SRL: case Opcode::SRA: case Opcode::CMPEQ:
-          case Opcode::CMPLT: case Opcode::CMPLE: case Opcode::CMPULT:
-          case Opcode::CMPULE: case Opcode::CMOVEQ: case Opcode::CMOVNE:
-            op.kind = SeqOpKind::Alu;
-            break;
-          case Opcode::LDBU:
-            op.kind = SeqOpKind::Load;
-            op.size = 1;
-            break;
-          case Opcode::LDL:
-            op.kind = SeqOpKind::Load;
-            op.size = 4;
-            break;
-          case Opcode::LDQ:
-            op.kind = SeqOpKind::Load;
-            op.size = 8;
-            break;
-          case Opcode::STB:
-            op.kind = SeqOpKind::Store;
-            op.size = 1;
-            break;
-          case Opcode::STL:
-            op.kind = SeqOpKind::Store;
-            op.size = 4;
-            break;
-          case Opcode::STQ:
-            op.kind = SeqOpKind::Store;
-            op.size = 8;
-            break;
-          case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
-          case Opcode::BLE: case Opcode::BGT: case Opcode::BGE:
-          case Opcode::BLBC: case Opcode::BLBS:
-            op.kind = SeqOpKind::CondBranch;
-            break;
-          case Opcode::BR: case Opcode::BSR:
-            op.kind = SeqOpKind::DirBranch;
-            break;
-          case Opcode::JMP: case Opcode::JSR: case Opcode::RET:
-            op.kind = SeqOpKind::Jump;
-            break;
-          case Opcode::DBEQ: case Opcode::DBNE: case Opcode::DBLT:
-          case Opcode::DBGE: case Opcode::DBR: {
-            op.kind = d.op == Opcode::DBR ? SeqOpKind::DiseBr
-                                          : SeqOpKind::DiseCond;
+        op.handler = baseHandler(d.op, op.size);
+        if (op.handler == OpHandler::NUM) {
+            st.ops.clear();
+            return;
+        }
+        if (op.handler == OpHandler::DiseCond ||
+            op.handler == OpHandler::DiseBr) {
             const int64_t target =
                 static_cast<int64_t>(s) + 1 + d.imm;
             op.diseValid =
                 target >= 0 && target <= static_cast<int64_t>(r.numInsts);
             op.diseTarget =
                 op.diseValid ? static_cast<uint32_t>(target) : 0;
-            break;
-          }
-          default:
-            st.ops.clear();
-            return;
         }
         st.ops.push_back(op);
     }
+    // End sentinel: running off the sequence (including a DISE branch
+    // targeting slot == length) lands here and completes it.
+    SeqOp end;
+    end.handler = OpHandler::End;
+    st.ops.push_back(end);
     st.usable = true;
 }
 
@@ -953,6 +1005,32 @@ ExecCore::seqTransFor(const TransOp &t)
     return st.usable ? &st : nullptr;
 }
 
+/*
+ * Dispatch scaffolding for the two translated interpreters (runSeqFast
+ * and runChain). Under GCC/Clang every slot ends in one indirect jump
+ * through a per-function label table ("direct threading"); building
+ * with -DDISE_NO_COMPUTED_GOTO — or another compiler — selects a
+ * portable switch driven through a dispatch label instead. CI builds
+ * the switch variant once per run to keep it compiled and tested.
+ *
+ * Shape rules both interpreters follow:
+ *  - every handler body is a brace block ending in a goto (dispatch,
+ *    a trampoline label, or an exit), so the two dispatch modes share
+ *    the handler text verbatim;
+ *  - architectural counters are accumulated in locals and written back
+ *    at every exit (and around any call that touches result_ itself),
+ *    keeping the member read-modify-writes off the per-slot path;
+ *  - slot arrays end in an OpHandler::End sentinel, so the inner loop
+ *    has no bounds check.
+ */
+#if defined(__GNUC__) && !defined(DISE_NO_COMPUTED_GOTO)
+#define DISE_THREADED_DISPATCH 1
+#define DISE_CASE(name) lbl_##name:
+#else
+#define DISE_THREADED_DISPATCH 0
+#define DISE_CASE(name) case OpHandler::name:
+#endif
+
 void
 ExecCore::runSeqFast(const SeqTrans &st, uint64_t maxInsts)
 {
@@ -965,415 +1043,616 @@ ExecCore::runSeqFast(const SeqTrans &st, uint64_t maxInsts)
     bool pendingHas = false;
     bool pendingTaken = false;
     Addr pendingTarget = 0;
+    uint64_t dyn = result_.dynInsts;
+    uint64_t dise = result_.diseInsts;
+    uint64_t loads = result_.loads;
+    uint64_t stores = result_.stores;
 
-    // Inside the loop, `continue` advances to the next slot; falling
-    // out of the switch (case `break`) ends the sequence.
-    for (;;) {
-        if (j >= len) {
-            pc_ = (pendingHas && pendingTaken) ? pendingTarget
-                                               : tpc + 4;
-            break;
-        }
-        if (result_.dynInsts >= maxInsts) {
-            // Budget expired mid-sequence: write the cursor and the
-            // deferred outcome back so the generic path can resume.
-            seqIdx_ = j;
-            seqHasPendingOutcome_ = pendingHas;
-            seqPendingTaken_ = pendingTaken;
-            seqPendingTarget_ = pendingTarget;
-            return;
-        }
-        const SeqOp &t = ops[j];
-        switch (t.kind) {
-          case SeqOpKind::Alu: {
-            const uint64_t vA = readReg(t.ra);
-            const uint64_t vB = t.useLit
-                                    ? static_cast<uint64_t>(t.imm)
-                                    : readReg(t.rb);
-            switch (t.op) {
-              case Opcode::NOP:
-                break;
-              case Opcode::LDA:
-                writeReg(t.ra, readReg(t.rb) +
-                                   static_cast<uint64_t>(t.imm));
-                break;
-              case Opcode::LDAH:
-                writeReg(t.ra,
-                         readReg(t.rb) +
-                             (static_cast<uint64_t>(t.imm) << 16));
-                break;
-              case Opcode::ADDQ: writeReg(t.rc, vA + vB); break;
-              case Opcode::SUBQ: writeReg(t.rc, vA - vB); break;
-              case Opcode::MULQ: writeReg(t.rc, vA * vB); break;
-              case Opcode::AND: writeReg(t.rc, vA & vB); break;
-              case Opcode::BIC: writeReg(t.rc, vA & ~vB); break;
-              case Opcode::OR: writeReg(t.rc, vA | vB); break;
-              case Opcode::ORNOT: writeReg(t.rc, vA | ~vB); break;
-              case Opcode::XOR: writeReg(t.rc, vA ^ vB); break;
-              case Opcode::SLL: writeReg(t.rc, vA << (vB & 63)); break;
-              case Opcode::SRL: writeReg(t.rc, vA >> (vB & 63)); break;
-              case Opcode::SRA:
-                writeReg(t.rc,
-                         static_cast<uint64_t>(
-                             static_cast<int64_t>(vA) >> (vB & 63)));
-                break;
-              case Opcode::CMPEQ:
-                writeReg(t.rc, vA == vB ? 1 : 0);
-                break;
-              case Opcode::CMPLT:
-                writeReg(t.rc, static_cast<int64_t>(vA) <
-                                       static_cast<int64_t>(vB)
-                                   ? 1
-                                   : 0);
-                break;
-              case Opcode::CMPLE:
-                writeReg(t.rc, static_cast<int64_t>(vA) <=
-                                       static_cast<int64_t>(vB)
-                                   ? 1
-                                   : 0);
-                break;
-              case Opcode::CMPULT:
-                writeReg(t.rc, vA < vB ? 1 : 0);
-                break;
-              case Opcode::CMPULE:
-                writeReg(t.rc, vA <= vB ? 1 : 0);
-                break;
-              case Opcode::CMOVEQ:
-                if (vA == 0)
-                    writeReg(t.rc, vB);
-                break;
-              case Opcode::CMOVNE:
-                if (vA != 0)
-                    writeReg(t.rc, vB);
-                break;
-              default:
-                break; // unreachable: translateSeq admits no others
-            }
-            ++result_.dynInsts;
-            if (!t.trigger)
-                ++result_.diseInsts;
-            ++j;
-            continue;
-          }
-          case SeqOpKind::Load: {
-            const Addr addr =
-                readReg(t.rb) + static_cast<uint64_t>(t.imm);
-            ++result_.loads;
-            uint64_t value;
-            if (t.op == Opcode::LDBU)
-                value = memory_.read(addr, 1);
-            else if (t.op == Opcode::LDL)
-                value = static_cast<uint64_t>(
-                    signExtend(memory_.read(addr, 4), 32));
-            else
-                value = memory_.read(addr, 8);
-            writeReg(t.ra, value);
-            ++result_.dynInsts;
-            if (!t.trigger)
-                ++result_.diseInsts;
-            ++j;
-            continue;
-          }
-          case SeqOpKind::Store: {
-            const Addr addr =
-                readReg(t.rb) + static_cast<uint64_t>(t.imm);
-            ++result_.stores;
-            memory_.write(addr, readReg(t.ra), t.size);
-            // Self-modifying store: the sequence itself lives in the
-            // engine's tables and keeps running; the enclosing block's
-            // staleness is caught by the Engine slot's epoch check.
-            if (addr < prog_.textEnd() &&
-                addr + t.size > prog_.textBase)
-                invalidateDecodedRange(addr, t.size);
-            ++result_.dynInsts;
-            if (!t.trigger)
-                ++result_.diseInsts;
-            ++j;
-            continue;
-          }
-          case SeqOpKind::CondBranch: {
-            const bool taken = condTaken(t.op, readReg(t.ra));
-            const Addr target =
-                tpc + 4 + static_cast<uint64_t>(t.imm) * 4;
-            ++result_.dynInsts;
-            if (!t.trigger)
-                ++result_.diseInsts;
-            if (taken && errorAddr_ != 0 && target == errorAddr_)
-                ++result_.acfDetections;
-            if (t.trigger) {
-                // Trigger branch: later slots ride its path; apply the
-                // outcome at sequence end.
-                pendingHas = true;
-                pendingTaken = taken;
-                pendingTarget = target;
-            } else if (taken) {
-                // Non-trigger branch: post-branch slots belong to the
-                // non-taken path, so a taken branch discards them.
-                pc_ = target;
-                break;
-            }
-            ++j;
-            continue;
-          }
-          case SeqOpKind::DirBranch:
-          case SeqOpKind::Jump: {
-            // Jump reads the target before the link write (execute()
-            // order; the two may name the same register).
-            const Addr target =
-                t.kind == SeqOpKind::Jump
-                    ? readReg(t.rb) & ~Addr(3)
-                    : tpc + 4 + static_cast<uint64_t>(t.imm) * 4;
-            writeReg(t.ra, tpc + 4);
-            ++result_.dynInsts;
-            if (!t.trigger)
-                ++result_.diseInsts;
-            if (errorAddr_ != 0 && target == errorAddr_)
-                ++result_.acfDetections;
-            if (t.trigger) {
-                pendingHas = true;
-                pendingTaken = true;
-                pendingTarget = target;
-                ++j;
-                continue;
-            }
-            pc_ = target;
-            break;
-          }
-          case SeqOpKind::DiseCond:
-          case SeqOpKind::DiseBr: {
-            const bool taken = t.kind == SeqOpKind::DiseBr ||
-                               condTaken(t.op, readReg(t.ra));
-            ++result_.dynInsts;
-            if (!t.trigger)
-                ++result_.diseInsts;
-            if (!taken) {
-                ++j;
-                continue;
-            }
-            if (!t.diseValid) {
-                const int64_t target =
-                    static_cast<int64_t>(j) + 1 + t.imm;
-                raiseTrap(TrapCause::DiseBranchOutOfRange, tpc, j + 1,
-                          static_cast<uint64_t>(target),
-                          strFormat("DISE branch target %lld outside "
-                                    "sequence of length %u",
-                                    (long long)target, len));
-                break;
-            }
-            j = t.diseTarget;
-            continue;
-          }
-        }
-        break;
+#define SEQ_FLUSH()                                                         \
+    do {                                                                    \
+        result_.dynInsts = dyn;                                             \
+        result_.diseInsts = dise;                                           \
+        result_.loads = loads;                                              \
+        result_.stores = stores;                                            \
+    } while (0)
+    /* Budget/deadline prologue of every executing slot. The End
+     * sentinel skips it: running off the end completes the sequence
+     * even with the budget exactly exhausted, matching the generic
+     * path's check order (end-of-sequence tested before the budget). */
+#define SEQ_CHECK()                                                         \
+    do {                                                                    \
+        if (dyn >= maxInsts || cancelPollDue(dyn))                          \
+            goto suspend;                                                   \
+    } while (0)
+#define SEQ_RETIRE(isTrigger)                                               \
+    do {                                                                    \
+        ++dyn;                                                              \
+        dise += !(isTrigger);                                               \
+    } while (0)
+#if DISE_THREADED_DISPATCH
+#define SEQ_DISPATCH() goto *kTab[static_cast<size_t>(ops[j].handler)]
+#else
+#define SEQ_DISPATCH() goto dispatch
+#endif
+#define SEQ_BINOP(name, expr)                                               \
+    DISE_CASE(name)                                                         \
+    {                                                                       \
+        SEQ_CHECK();                                                        \
+        const SeqOp &t = ops[j];                                            \
+        const uint64_t vA = readReg(t.ra);                                  \
+        const uint64_t vB = t.useLit ? static_cast<uint64_t>(t.imm)         \
+                                     : readReg(t.rb);                       \
+        writeReg(t.rc, (expr));                                             \
+        SEQ_RETIRE(t.trigger);                                              \
+        ++j;                                                                \
+        SEQ_DISPATCH();                                                     \
+    }
+#define SEQ_CMOV(name, cond)                                                \
+    DISE_CASE(name)                                                         \
+    {                                                                       \
+        SEQ_CHECK();                                                        \
+        const SeqOp &t = ops[j];                                            \
+        const uint64_t vA = readReg(t.ra);                                  \
+        if (cond)                                                           \
+            writeReg(t.rc, t.useLit ? static_cast<uint64_t>(t.imm)          \
+                                    : readReg(t.rb));                       \
+        SEQ_RETIRE(t.trigger);                                              \
+        ++j;                                                                \
+        SEQ_DISPATCH();                                                     \
+    }
+#define SEQ_LOAD(name, readExpr)                                            \
+    DISE_CASE(name)                                                         \
+    {                                                                       \
+        SEQ_CHECK();                                                        \
+        const SeqOp &t = ops[j];                                            \
+        const Addr addr = readReg(t.rb) + static_cast<uint64_t>(t.imm);     \
+        ++loads;                                                            \
+        writeReg(t.ra, (readExpr));                                         \
+        SEQ_RETIRE(t.trigger);                                              \
+        ++j;                                                                \
+        SEQ_DISPATCH();                                                     \
     }
 
+#if DISE_THREADED_DISPATCH
+    static void *const kTab[] = {
+        &&lbl_Nop, &&lbl_Lda, &&lbl_Ldah, &&lbl_Addq, &&lbl_Subq,
+        &&lbl_Mulq, &&lbl_And, &&lbl_Bic, &&lbl_Or, &&lbl_Ornot,
+        &&lbl_Xor, &&lbl_Sll, &&lbl_Srl, &&lbl_Sra, &&lbl_Cmpeq,
+        &&lbl_Cmplt, &&lbl_Cmple, &&lbl_Cmpult, &&lbl_Cmpule,
+        &&lbl_Cmoveq, &&lbl_Cmovne, &&lbl_Ldbu, &&lbl_Ldl, &&lbl_Ldq,
+        &&lbl_Store, &&lbl_CondBranch, &&lbl_DirBranch, &&lbl_Jump,
+        &&lbl_bad /* Engine */, &&lbl_DiseCond, &&lbl_DiseBr, &&lbl_End,
+    };
+    static_assert(sizeof(kTab) / sizeof(kTab[0]) ==
+                      static_cast<size_t>(OpHandler::NUM),
+                  "sequence handler table out of sync with OpHandler");
+    SEQ_DISPATCH();
+#else
+dispatch:
+    switch (ops[j].handler) {
+#endif
+
+    DISE_CASE(Nop)
+    {
+        SEQ_CHECK();
+        SEQ_RETIRE(ops[j].trigger);
+        ++j;
+        SEQ_DISPATCH();
+    }
+    DISE_CASE(Lda)
+    {
+        SEQ_CHECK();
+        const SeqOp &t = ops[j];
+        writeReg(t.ra, readReg(t.rb) + static_cast<uint64_t>(t.imm));
+        SEQ_RETIRE(t.trigger);
+        ++j;
+        SEQ_DISPATCH();
+    }
+    DISE_CASE(Ldah)
+    {
+        SEQ_CHECK();
+        const SeqOp &t = ops[j];
+        writeReg(t.ra,
+                 readReg(t.rb) + (static_cast<uint64_t>(t.imm) << 16));
+        SEQ_RETIRE(t.trigger);
+        ++j;
+        SEQ_DISPATCH();
+    }
+    SEQ_BINOP(Addq, vA + vB)
+    SEQ_BINOP(Subq, vA - vB)
+    SEQ_BINOP(Mulq, vA * vB)
+    SEQ_BINOP(And, vA & vB)
+    SEQ_BINOP(Bic, vA & ~vB)
+    SEQ_BINOP(Or, vA | vB)
+    SEQ_BINOP(Ornot, vA | ~vB)
+    SEQ_BINOP(Xor, vA ^ vB)
+    SEQ_BINOP(Sll, vA << (vB & 63))
+    SEQ_BINOP(Srl, vA >> (vB & 63))
+    SEQ_BINOP(Sra,
+              static_cast<uint64_t>(static_cast<int64_t>(vA) >> (vB & 63)))
+    SEQ_BINOP(Cmpeq, vA == vB ? 1 : 0)
+    SEQ_BINOP(Cmplt,
+              static_cast<int64_t>(vA) < static_cast<int64_t>(vB) ? 1 : 0)
+    SEQ_BINOP(Cmple,
+              static_cast<int64_t>(vA) <= static_cast<int64_t>(vB) ? 1 : 0)
+    SEQ_BINOP(Cmpult, vA < vB ? 1 : 0)
+    SEQ_BINOP(Cmpule, vA <= vB ? 1 : 0)
+    SEQ_CMOV(Cmoveq, vA == 0)
+    SEQ_CMOV(Cmovne, vA != 0)
+    SEQ_LOAD(Ldbu, memory_.read(addr, 1))
+    SEQ_LOAD(Ldl,
+             static_cast<uint64_t>(signExtend(memory_.read(addr, 4), 32)))
+    SEQ_LOAD(Ldq, memory_.read(addr, 8))
+    DISE_CASE(Store)
+    {
+        SEQ_CHECK();
+        const SeqOp &t = ops[j];
+        const Addr addr = readReg(t.rb) + static_cast<uint64_t>(t.imm);
+        ++stores;
+        memory_.write(addr, readReg(t.ra), t.size);
+        // Self-modifying store: the sequence itself lives in the
+        // engine's tables and keeps running; the enclosing block's
+        // staleness is caught by the Engine slot's epoch check.
+        if (addr < prog_.textEnd() && addr + t.size > prog_.textBase)
+            invalidateDecodedRange(addr, t.size);
+        SEQ_RETIRE(t.trigger);
+        ++j;
+        SEQ_DISPATCH();
+    }
+    DISE_CASE(CondBranch)
+    {
+        SEQ_CHECK();
+        const SeqOp &t = ops[j];
+        const bool taken = condTaken(t.op, readReg(t.ra));
+        const Addr target = tpc + 4 + static_cast<uint64_t>(t.imm) * 4;
+        SEQ_RETIRE(t.trigger);
+        if (taken && errorAddr_ != 0 && target == errorAddr_)
+            ++result_.acfDetections;
+        if (t.trigger) {
+            // Trigger branch: later slots ride its path; apply the
+            // outcome at sequence end.
+            pendingHas = true;
+            pendingTaken = taken;
+            pendingTarget = target;
+        } else if (taken) {
+            // Non-trigger branch: post-branch slots belong to the
+            // non-taken path, so a taken branch discards them.
+            pc_ = target;
+            goto seq_done;
+        }
+        ++j;
+        SEQ_DISPATCH();
+    }
+    DISE_CASE(DirBranch)
+    DISE_CASE(Jump)
+    {
+        SEQ_CHECK();
+        const SeqOp &t = ops[j];
+        // Jump reads the target before the link write (execute()
+        // order; the two may name the same register).
+        const Addr target =
+            t.handler == OpHandler::Jump
+                ? readReg(t.rb) & ~Addr(3)
+                : tpc + 4 + static_cast<uint64_t>(t.imm) * 4;
+        writeReg(t.ra, tpc + 4);
+        SEQ_RETIRE(t.trigger);
+        if (errorAddr_ != 0 && target == errorAddr_)
+            ++result_.acfDetections;
+        if (t.trigger) {
+            pendingHas = true;
+            pendingTaken = true;
+            pendingTarget = target;
+            ++j;
+            SEQ_DISPATCH();
+        }
+        pc_ = target;
+        goto seq_done;
+    }
+    DISE_CASE(DiseCond)
+    DISE_CASE(DiseBr)
+    {
+        SEQ_CHECK();
+        const SeqOp &t = ops[j];
+        const bool taken = t.handler == OpHandler::DiseBr ||
+                           condTaken(t.op, readReg(t.ra));
+        SEQ_RETIRE(t.trigger);
+        if (!taken) {
+            ++j;
+            SEQ_DISPATCH();
+        }
+        if (!t.diseValid) {
+            const int64_t target = static_cast<int64_t>(j) + 1 + t.imm;
+            raiseTrap(TrapCause::DiseBranchOutOfRange, tpc, j + 1,
+                      static_cast<uint64_t>(target),
+                      strFormat("DISE branch target %lld outside "
+                                "sequence of length %u",
+                                (long long)target, len));
+            goto seq_done; // the slot retired; pc_ is the trap state
+        }
+        j = t.diseTarget; // target == len lands on the End sentinel
+        SEQ_DISPATCH();
+    }
+    DISE_CASE(End)
+    {
+        pc_ = (pendingHas && pendingTaken) ? pendingTarget : tpc + 4;
+        goto seq_done;
+    }
+
+#if DISE_THREADED_DISPATCH
+lbl_bad:
+    fatal("runSeqFast: handler outside the sequence repertoire");
+#else
+      default:
+        fatal("runSeqFast: handler outside the sequence repertoire");
+    }
+#endif
+
+suspend:
+    // Budget or deadline expired mid-sequence: write the cursor and
+    // the deferred outcome back so the generic path can resume.
+    seqIdx_ = j;
+    seqHasPendingOutcome_ = pendingHas;
+    seqPendingTaken_ = pendingTaken;
+    seqPendingTarget_ = pendingTarget;
+    SEQ_FLUSH();
+    return;
+
+seq_done:
     seqSpec_ = nullptr;
     seqInsts_ = nullptr;
     seqLen_ = 0;
     seqIdx_ = 0;
     seqHasPendingOutcome_ = false;
+    SEQ_FLUSH();
+
+#undef SEQ_FLUSH
+#undef SEQ_CHECK
+#undef SEQ_RETIRE
+#undef SEQ_DISPATCH
+#undef SEQ_BINOP
+#undef SEQ_CMOV
+#undef SEQ_LOAD
 }
 
 void
-ExecCore::runBlock(const TransBlock &block, uint64_t maxInsts)
+ExecCore::runChain(const TransBlock *block, uint64_t maxInsts)
 {
-    const TransOp *const ops = block.ops.data();
-    const size_t n = block.ops.size();
     const bool haveEngine = controller_ != nullptr;
-    size_t i = 0;
-    Addr pc = block.entryPC;
-    const uint64_t epoch0 = traceEpoch_;
+    const TransBlock *blk = block;
+    const TransOp *t = blk->ops.data();
+    Addr pc = blk->entryPC;
+    uint64_t epoch0 = traceEpoch_;
+    // Successor hand-off registers for the `chain` trampoline.
+    Addr nextPC = 0;
+    ChainEdge *edge = nullptr;
+    uint64_t dyn = result_.dynInsts;
+    uint64_t app = result_.appInsts;
+    uint64_t loads = result_.loads;
+    uint64_t stores = result_.stores;
     // Uncovered-opcode slots bypass expand(); their inspections are
-    // accounted in bulk at block exit (see DiseEngine::noteInspected).
+    // accounted in bulk at chain exit (see DiseEngine::noteInspected).
     uint64_t inspected = 0;
+    uint64_t chainFollows = 0;
 
-    // Inside the loop, `continue` advances to the next slot; falling
-    // out of the switch (case `break`) exits the block with pc_ set.
-    for (;;) {
-        if (i == n || result_.dynInsts >= maxInsts) {
-            pc_ = pc;
-            break;
-        }
-        const TransOp &t = ops[i];
-        switch (t.kind) {
-          case TransKind::Alu: {
-            const uint64_t vA = readReg(t.ra);
-            const uint64_t vB = t.useLit
-                                    ? static_cast<uint64_t>(t.imm)
-                                    : readReg(t.rb);
-            switch (t.op) {
-              case Opcode::NOP:
-                break;
-              case Opcode::LDA:
-                writeReg(t.ra, readReg(t.rb) +
-                                   static_cast<uint64_t>(t.imm));
-                break;
-              case Opcode::LDAH:
-                writeReg(t.ra,
-                         readReg(t.rb) +
-                             (static_cast<uint64_t>(t.imm) << 16));
-                break;
-              case Opcode::ADDQ: writeReg(t.rc, vA + vB); break;
-              case Opcode::SUBQ: writeReg(t.rc, vA - vB); break;
-              case Opcode::MULQ: writeReg(t.rc, vA * vB); break;
-              case Opcode::AND: writeReg(t.rc, vA & vB); break;
-              case Opcode::BIC: writeReg(t.rc, vA & ~vB); break;
-              case Opcode::OR: writeReg(t.rc, vA | vB); break;
-              case Opcode::ORNOT: writeReg(t.rc, vA | ~vB); break;
-              case Opcode::XOR: writeReg(t.rc, vA ^ vB); break;
-              case Opcode::SLL: writeReg(t.rc, vA << (vB & 63)); break;
-              case Opcode::SRL: writeReg(t.rc, vA >> (vB & 63)); break;
-              case Opcode::SRA:
-                writeReg(t.rc,
-                         static_cast<uint64_t>(
-                             static_cast<int64_t>(vA) >> (vB & 63)));
-                break;
-              case Opcode::CMPEQ:
-                writeReg(t.rc, vA == vB ? 1 : 0);
-                break;
-              case Opcode::CMPLT:
-                writeReg(t.rc, static_cast<int64_t>(vA) <
-                                       static_cast<int64_t>(vB)
-                                   ? 1
-                                   : 0);
-                break;
-              case Opcode::CMPLE:
-                writeReg(t.rc, static_cast<int64_t>(vA) <=
-                                       static_cast<int64_t>(vB)
-                                   ? 1
-                                   : 0);
-                break;
-              case Opcode::CMPULT:
-                writeReg(t.rc, vA < vB ? 1 : 0);
-                break;
-              case Opcode::CMPULE:
-                writeReg(t.rc, vA <= vB ? 1 : 0);
-                break;
-              case Opcode::CMOVEQ:
-                if (vA == 0)
-                    writeReg(t.rc, vB);
-                break;
-              case Opcode::CMOVNE:
-                if (vA != 0)
-                    writeReg(t.rc, vB);
-                break;
-              default:
-                break; // unreachable: translateBlock admits no others
-            }
-            ++result_.dynInsts;
-            ++result_.appInsts;
-            inspected += haveEngine;
-            ++i;
-            pc += 4;
-            continue;
-          }
-          case TransKind::Load: {
-            const Addr addr =
-                readReg(t.rb) + static_cast<uint64_t>(t.imm);
-            ++result_.loads;
-            uint64_t value;
-            if (t.op == Opcode::LDBU)
-                value = memory_.read(addr, 1);
-            else if (t.op == Opcode::LDL)
-                value = static_cast<uint64_t>(
-                    signExtend(memory_.read(addr, 4), 32));
-            else
-                value = memory_.read(addr, 8);
-            writeReg(t.ra, value);
-            ++result_.dynInsts;
-            ++result_.appInsts;
-            inspected += haveEngine;
-            ++i;
-            pc += 4;
-            continue;
-          }
-          case TransKind::Store: {
-            const Addr addr =
-                readReg(t.rb) + static_cast<uint64_t>(t.imm);
-            ++result_.stores;
-            memory_.write(addr, readReg(t.ra), t.size);
-            ++result_.dynInsts;
-            ++result_.appInsts;
-            inspected += haveEngine;
-            if (addr < prog_.textEnd() &&
-                addr + t.size > prog_.textBase) {
-                // Self-modifying store: drop stale decodes and traces
-                // (possibly this block — kept alive by the caller's
-                // shared_ptr) and leave the fast path so the rewritten
-                // code is re-translated before it executes.
-                invalidateDecodedRange(addr, t.size);
-                pc_ = pc + 4;
-                break;
-            }
-            ++i;
-            pc += 4;
-            continue;
-          }
-          case TransKind::CondBranch: {
-            const bool taken = condTaken(t.op, readReg(t.ra));
-            ++result_.dynInsts;
-            ++result_.appInsts;
-            inspected += haveEngine;
-            if (!taken) {
-                ++i;
-                pc += 4;
-                continue;
-            }
-            if (errorAddr_ != 0 && t.target == errorAddr_)
-                ++result_.acfDetections;
-            pc_ = t.target;
-            break;
-          }
-          case TransKind::DirBranch: {
-            writeReg(t.ra, pc + 4);
-            ++result_.dynInsts;
-            ++result_.appInsts;
-            inspected += haveEngine;
-            if (errorAddr_ != 0 && t.target == errorAddr_)
-                ++result_.acfDetections;
-            pc_ = t.target;
-            break;
-          }
-          case TransKind::Jump: {
-            // Target read before the link write (execute() order; the
-            // two may name the same register).
-            const Addr target = readReg(t.rb) & ~Addr(3);
-            writeReg(t.ra, pc + 4);
-            ++result_.dynInsts;
-            ++result_.appInsts;
-            inspected += haveEngine;
-            if (errorAddr_ != 0 && target == errorAddr_)
-                ++result_.acfDetections;
-            pc_ = target;
-            break;
-          }
-          case TransKind::Engine: {
-            pc_ = pc;
-            if (!beginExpansion(t.inst)) {
-                if (!execAppInst<false>(t.inst, nullptr))
-                    break; // trapped
-            } else if (const SeqTrans *st = seqTransFor(t)) {
-                runSeqFast(*st, maxInsts);
-            } else {
-                while (seqSpec_ && result_.dynInsts < maxInsts)
-                    execSeqSlot<false>(nullptr);
-            }
-            if (exited_ || trapped_ || seqSpec_)
-                break; // done, or budget expired mid-sequence
-            if (pc_ != pc + 4)
-                break; // redirected out of the block
-            if (traceEpoch_ != epoch0)
-                break; // a sequence store rewrote text: re-translate
-            ++i;
-            pc += 4;
-            continue;
-          }
-        }
-        break;
+#define CHAIN_FLUSH()                                                       \
+    do {                                                                    \
+        result_.dynInsts = dyn;                                             \
+        result_.appInsts = app;                                             \
+        result_.loads = loads;                                              \
+        result_.stores = stores;                                            \
+    } while (0)
+#define CHAIN_RELOAD()                                                      \
+    do {                                                                    \
+        dyn = result_.dynInsts;                                             \
+        app = result_.appInsts;                                             \
+        loads = result_.loads;                                              \
+        stores = result_.stores;                                            \
+    } while (0)
+#if DISE_THREADED_DISPATCH
+#define CHAIN_DISPATCH()                                                    \
+    do {                                                                    \
+        if (dyn >= maxInsts)                                                \
+            goto budget_stop;                                               \
+        goto *kTab[static_cast<size_t>(t->handler)];                        \
+    } while (0)
+#else
+#define CHAIN_DISPATCH()                                                    \
+    do {                                                                    \
+        if (dyn >= maxInsts)                                                \
+            goto budget_stop;                                               \
+        goto dispatch;                                                      \
+    } while (0)
+#endif
+#define CHAIN_RETIRE()                                                      \
+    do {                                                                    \
+        ++dyn;                                                              \
+        ++app;                                                              \
+        inspected += haveEngine;                                            \
+    } while (0)
+#define CHAIN_BINOP(name, expr)                                             \
+    DISE_CASE(name)                                                         \
+    {                                                                       \
+        const uint64_t vA = readReg(t->ra);                                 \
+        const uint64_t vB = t->useLit ? static_cast<uint64_t>(t->imm)       \
+                                      : readReg(t->rb);                     \
+        writeReg(t->rc, (expr));                                            \
+        CHAIN_RETIRE();                                                     \
+        ++t;                                                                \
+        pc += 4;                                                            \
+        CHAIN_DISPATCH();                                                   \
+    }
+#define CHAIN_CMOV(name, cond)                                              \
+    DISE_CASE(name)                                                         \
+    {                                                                       \
+        const uint64_t vA = readReg(t->ra);                                 \
+        if (cond)                                                           \
+            writeReg(t->rc, t->useLit ? static_cast<uint64_t>(t->imm)       \
+                                      : readReg(t->rb));                    \
+        CHAIN_RETIRE();                                                     \
+        ++t;                                                                \
+        pc += 4;                                                            \
+        CHAIN_DISPATCH();                                                   \
+    }
+#define CHAIN_LOAD(name, readExpr)                                          \
+    DISE_CASE(name)                                                         \
+    {                                                                       \
+        const Addr addr = readReg(t->rb) + static_cast<uint64_t>(t->imm);   \
+        ++loads;                                                            \
+        writeReg(t->ra, (readExpr));                                        \
+        CHAIN_RETIRE();                                                     \
+        ++t;                                                                \
+        pc += 4;                                                            \
+        CHAIN_DISPATCH();                                                   \
     }
 
+#if DISE_THREADED_DISPATCH
+    static void *const kTab[] = {
+        &&lbl_Nop, &&lbl_Lda, &&lbl_Ldah, &&lbl_Addq, &&lbl_Subq,
+        &&lbl_Mulq, &&lbl_And, &&lbl_Bic, &&lbl_Or, &&lbl_Ornot,
+        &&lbl_Xor, &&lbl_Sll, &&lbl_Srl, &&lbl_Sra, &&lbl_Cmpeq,
+        &&lbl_Cmplt, &&lbl_Cmple, &&lbl_Cmpult, &&lbl_Cmpule,
+        &&lbl_Cmoveq, &&lbl_Cmovne, &&lbl_Ldbu, &&lbl_Ldl, &&lbl_Ldq,
+        &&lbl_Store, &&lbl_CondBranch, &&lbl_DirBranch, &&lbl_Jump,
+        &&lbl_Engine, &&lbl_bad /* DiseCond */, &&lbl_bad /* DiseBr */,
+        &&lbl_End,
+    };
+    static_assert(sizeof(kTab) / sizeof(kTab[0]) ==
+                      static_cast<size_t>(OpHandler::NUM),
+                  "block handler table out of sync with OpHandler");
+    CHAIN_DISPATCH();
+#else
+dispatch:
+    switch (t->handler) {
+#endif
+
+    DISE_CASE(Nop)
+    {
+        CHAIN_RETIRE();
+        ++t;
+        pc += 4;
+        CHAIN_DISPATCH();
+    }
+    DISE_CASE(Lda)
+    {
+        writeReg(t->ra, readReg(t->rb) + static_cast<uint64_t>(t->imm));
+        CHAIN_RETIRE();
+        ++t;
+        pc += 4;
+        CHAIN_DISPATCH();
+    }
+    DISE_CASE(Ldah)
+    {
+        writeReg(t->ra,
+                 readReg(t->rb) + (static_cast<uint64_t>(t->imm) << 16));
+        CHAIN_RETIRE();
+        ++t;
+        pc += 4;
+        CHAIN_DISPATCH();
+    }
+    CHAIN_BINOP(Addq, vA + vB)
+    CHAIN_BINOP(Subq, vA - vB)
+    CHAIN_BINOP(Mulq, vA * vB)
+    CHAIN_BINOP(And, vA & vB)
+    CHAIN_BINOP(Bic, vA & ~vB)
+    CHAIN_BINOP(Or, vA | vB)
+    CHAIN_BINOP(Ornot, vA | ~vB)
+    CHAIN_BINOP(Xor, vA ^ vB)
+    CHAIN_BINOP(Sll, vA << (vB & 63))
+    CHAIN_BINOP(Srl, vA >> (vB & 63))
+    CHAIN_BINOP(Sra,
+                static_cast<uint64_t>(static_cast<int64_t>(vA) >>
+                                      (vB & 63)))
+    CHAIN_BINOP(Cmpeq, vA == vB ? 1 : 0)
+    CHAIN_BINOP(Cmplt,
+                static_cast<int64_t>(vA) < static_cast<int64_t>(vB) ? 1 : 0)
+    CHAIN_BINOP(Cmple,
+                static_cast<int64_t>(vA) <= static_cast<int64_t>(vB) ? 1
+                                                                     : 0)
+    CHAIN_BINOP(Cmpult, vA < vB ? 1 : 0)
+    CHAIN_BINOP(Cmpule, vA <= vB ? 1 : 0)
+    CHAIN_CMOV(Cmoveq, vA == 0)
+    CHAIN_CMOV(Cmovne, vA != 0)
+    CHAIN_LOAD(Ldbu, memory_.read(addr, 1))
+    CHAIN_LOAD(Ldl,
+               static_cast<uint64_t>(signExtend(memory_.read(addr, 4), 32)))
+    CHAIN_LOAD(Ldq, memory_.read(addr, 8))
+    DISE_CASE(Store)
+    {
+        const Addr addr = readReg(t->rb) + static_cast<uint64_t>(t->imm);
+        ++stores;
+        memory_.write(addr, readReg(t->ra), t->size);
+        CHAIN_RETIRE();
+        if (addr < prog_.textEnd() && addr + t->size > prog_.textBase) {
+            // Self-modifying store: drop stale decodes and traces
+            // (possibly blocks of this very chain — parked on the
+            // graveyard, so the cursor stays valid) and leave the fast
+            // path so the rewritten code is re-translated before it
+            // executes.
+            invalidateDecodedRange(addr, t->size);
+            pc_ = pc + 4;
+            goto exit_flush;
+        }
+        ++t;
+        pc += 4;
+        CHAIN_DISPATCH();
+    }
+    DISE_CASE(CondBranch)
+    {
+        const bool taken = condTaken(t->op, readReg(t->ra));
+        CHAIN_RETIRE();
+        if (!taken) {
+            ++t;
+            pc += 4;
+            CHAIN_DISPATCH();
+        }
+        if (errorAddr_ != 0 && t->target == errorAddr_)
+            ++result_.acfDetections;
+        nextPC = t->target;
+        edge = &t->chain;
+        goto chain;
+    }
+    DISE_CASE(DirBranch)
+    {
+        writeReg(t->ra, pc + 4);
+        CHAIN_RETIRE();
+        if (errorAddr_ != 0 && t->target == errorAddr_)
+            ++result_.acfDetections;
+        nextPC = t->target;
+        edge = &t->chain;
+        goto chain;
+    }
+    DISE_CASE(Jump)
+    {
+        // Target read before the link write (execute() order; the two
+        // may name the same register).
+        const Addr target = readReg(t->rb) & ~Addr(3);
+        writeReg(t->ra, pc + 4);
+        CHAIN_RETIRE();
+        if (errorAddr_ != 0 && target == errorAddr_)
+            ++result_.acfDetections;
+        nextPC = target;
+        edge = &t->chain;
+        goto chain;
+    }
+    DISE_CASE(Engine)
+    {
+        pc_ = pc;
+        CHAIN_FLUSH();
+        {
+            DiseEngine &eng = controller_->engine();
+            ExpandResult r;
+            if (!eng.expandFast(t->memo, r)) {
+                // Full inspection; refresh the slot's memo from its
+                // outcome so the next dynamic instance takes the
+                // memoized path.
+                r = eng.expand(t->inst, pc);
+                eng.fillMemo(t->memo, t->inst, r);
+            }
+            if (!r.expanded) {
+                // Pass-through (or trap: checked below via trapped_).
+                execAppInst<false>(t->inst, nullptr);
+            } else {
+                adoptExpansion(r);
+                if (const SeqTrans *sq = seqTransFor(*t)) {
+                    runSeqFast(*sq, maxInsts);
+                } else {
+                    while (seqSpec_ && result_.dynInsts < maxInsts &&
+                           !cancelPollDue(result_.dynInsts))
+                        execSeqSlot<false>(nullptr);
+                }
+            }
+        }
+        CHAIN_RELOAD();
+        if (exited_ || trapped_ || seqSpec_)
+            goto exit_flush; // done, or budget/deadline mid-sequence
+        if (traceEpoch_ != epoch0)
+            goto exit_flush; // a sequence store rewrote text (pc_ set)
+        if (pc_ == pc + 4) {
+            ++t;
+            pc += 4;
+            CHAIN_DISPATCH();
+        }
+        // Expansion redirect: chain straight into the successor block,
+        // so a hot memoized expansion costs zero dispatcher trips.
+        nextPC = pc_;
+        edge = &t->chain;
+        goto chain;
+    }
+    DISE_CASE(End)
+    {
+        nextPC = pc; // pc is already past the last covered slot
+        edge = &blk->fallChain;
+        goto chain;
+    }
+
+#if DISE_THREADED_DISPATCH
+lbl_bad:
+    fatal("runChain: handler outside the block repertoire");
+#else
+      default:
+        fatal("runChain: handler outside the block repertoire");
+    }
+#endif
+
+chain:
+    // Block exit with a known successor PC: follow (or patch) the
+    // taken/fall-through edge and keep executing without a dispatcher
+    // round trip.
+    if (!chainEnabled_) {
+        pc_ = nextPC;
+        goto exit_flush;
+    }
+    if (cancelPollDue(dyn)) {
+        // Deadline observed at a block boundary — a precise
+        // instruction boundary; run() classifies the outcome.
+        pc_ = nextPC;
+        goto exit_flush;
+    }
+    {
+        const uint64_t gen =
+            haveEngine ? controller_->engine().generation() : 0;
+        const TransBlock *nb;
+        if (edge->next != nullptr && edge->epoch == traceEpoch_ &&
+            edge->gen == gen && edge->target == nextPC) {
+            nb = edge->next;
+        } else {
+            // Patch (or re-patch) the edge. chainTarget may evict or
+            // retranslate — either bumps traceEpoch_, so the stamps
+            // are read only after it returns. (The engine generation
+            // cannot move inside a run.)
+            nb = chainTarget(nextPC);
+            if (nb == nullptr) {
+                pc_ = nextPC; // untranslatable successor: dispatcher
+                goto exit_flush;
+            }
+            edge->next = nb;
+            edge->epoch = traceEpoch_;
+            edge->gen = gen;
+            edge->target = nextPC;
+        }
+        blk = nb;
+    }
+    ++chainFollows;
+    t = blk->ops.data();
+    pc = nextPC;
+    epoch0 = traceEpoch_;
+    CHAIN_DISPATCH();
+
+budget_stop:
+    pc_ = pc;
+exit_flush:
+    CHAIN_FLUSH();
+    statChainFollows_ += chainFollows;
     if (inspected != 0)
         controller_->engine().noteInspected(inspected);
+
+#undef CHAIN_FLUSH
+#undef CHAIN_RELOAD
+#undef CHAIN_DISPATCH
+#undef CHAIN_RETIRE
+#undef CHAIN_BINOP
+#undef CHAIN_CMOV
+#undef CHAIN_LOAD
 }
 
 void
@@ -1382,6 +1661,10 @@ ExecCore::runTranslated(uint64_t maxInsts)
     DynInst dyn;
     while (!exited_ && !trapped_ && result_.dynInsts < maxInsts &&
            !cancelRequested()) {
+        // Dispatcher top is the one point provably outside any chain
+        // (no runChain frame live), so retired blocks parked by
+        // invalidation/eviction can finally be freed.
+        retired_.clear();
         if (seqSpec_) {
             // Resumed mid-sequence (resumeAt, or a budget expiry that
             // was later raised): drain the sequence first.
@@ -1406,15 +1689,14 @@ ExecCore::runTranslated(uint64_t maxInsts)
             de.epoch = traceEpoch_;
             de.gen = gen;
         }
-        const TransBlock &block = *de.block;
-        if (block.ops.empty()) {
+        if (de.block->numInsts == 0) {
             // Leading untranslatable instruction (syscall, codeword,
             // ...): execute it through the full machinery.
             if (!step(dyn))
                 break;
             continue;
         }
-        runBlock(block, maxInsts);
+        runChain(de.block.get(), maxInsts);
     }
 }
 
@@ -1437,6 +1719,11 @@ ExecCore::run(uint64_t maxInsts)
         (result_.dynInsts >= maxInsts || cancelRequested())) {
         result_.outcome = RunOutcome::Hang;
     }
+    // If the budget (or a cancel) suspended us mid-replacement-sequence,
+    // the in-flight sequence state points into engine-owned storage that
+    // the application may invalidate (install(), flushTables()) before
+    // resuming. Copy it into core-owned storage.
+    pinSuspendedSeq();
     return result_;
 }
 

@@ -32,6 +32,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/assembler/program.hpp"
 #include "src/common/json.hpp"
@@ -233,6 +234,39 @@ class ExecCore
     /// @{
     void setTraceCacheEnabled(bool on) { traceEnabled_ = on; }
     bool traceCacheEnabled() const { return traceEnabled_; }
+
+    /**
+     * Superblock chaining (DESIGN.md section 13): follow patched
+     * successor edges block-to-block instead of returning to the
+     * dispatch cache at every block boundary. On by default; the off
+     * switch exists for differential benchmarking (bench_sim_throughput
+     * reports both) and as a second-stage escape hatch behind
+     * --no-trace-cache.
+     */
+    void setChainingEnabled(bool on) { chainEnabled_ = on; }
+    bool chainingEnabled() const { return chainEnabled_; }
+
+    /**
+     * Translated-block residency cap (test hook; the default is ample
+     * for every real workload). Crossing the cap evicts the whole block
+     * map — with the epoch bump and graveyard parking that make
+     * eviction safe mid-chain — so a tiny cap stress-tests the
+     * invalidation machinery.
+     */
+    void setTraceBlockCap(size_t cap) { traceBlockCap_ = cap ? cap : 1; }
+
+    /** Fast-path observability (bench/test only; not architectural). */
+    struct TraceCacheStats
+    {
+        uint64_t blocksTranslated = 0;
+        uint64_t evictions = 0; ///< whole-map cache-pressure evictions
+        uint64_t chainFollows = 0;
+    };
+    TraceCacheStats traceCacheStats() const
+    {
+        return {statBlocksTranslated_, statTraceEvictions_,
+                statChainFollows_};
+    }
     /// @}
 
     /** @name Cooperative cancellation.
@@ -278,15 +312,47 @@ class ExecCore
      * up sequence state when it expands. Requires controller_.
      */
     bool beginExpansion(const DecodedInst &fetched);
+    /** Adopt a just-produced expansion as the in-flight sequence. */
+    void adoptExpansion(const ExpandResult &r);
     /** run() body when the trace cache is enabled. */
     void runTranslated(uint64_t maxInsts);
-    /** Dispatch one translated block starting at pc_ (its entry PC). */
-    void runBlock(const TransBlock &block, uint64_t maxInsts);
+    /**
+     * Execute the superblock chain starting at @p block (whose entry PC
+     * is pc_): the direct-threaded interpreter runs the block's slots
+     * and follows patched ChainEdges block-to-block until a budget
+     * expiry, a cancellation poll, an untranslatable successor, a chain
+     * invalidation, or termination. The caller must hold @p block alive
+     * (dispatch-cache shared_ptr); chain successors are kept alive by
+     * traces_ plus the retired_ graveyard.
+     */
+    void runChain(const TransBlock *block, uint64_t maxInsts);
+    /**
+     * Chainable block entered at @p pc, translating on miss: null when
+     * the target is unaligned, outside text, or untranslatable (the
+     * chain exits to the dispatcher, which routes through step()).
+     */
+    const TransBlock *chainTarget(Addr pc);
     /** Current-generation block entered at @p pc (translating on miss). */
     std::shared_ptr<const TransBlock> lookupBlock(Addr pc);
     std::shared_ptr<const TransBlock> translateBlock(Addr entry);
     /** Drop translated blocks overlapping [addr, addr+size). */
     void invalidateTraceRange(Addr addr, unsigned size);
+    /**
+     * Rate-limited cooperative-cancel poll for the translated fast
+     * path: cheap epoch arithmetic off the retired-instruction count,
+     * touching the atomic only once per ~1K retirements — the same
+     * stride the slow path polls at — so chained loops and spinning
+     * replacement sequences observe a deadline within a bounded
+     * overshoot.
+     */
+    bool
+    cancelPollDue(uint64_t dynInsts)
+    {
+        if (dynInsts < nextCancelPoll_)
+            return false;
+        nextCancelPoll_ = dynInsts + 1024;
+        return cancelRequested();
+    }
     /**
      * Pre-translated form of the just-begun expansion (pendingExpand_),
      * cached on the Engine slot @p t. Null when the expansion is not
@@ -357,7 +423,12 @@ class ExecCore
      * The instantiated instructions are a non-owning span into the DISE
      * engine's expansion cache (see ExpandResult); it stays valid for
      * the whole sequence because the engine is not consulted again
-     * until the sequence retires.
+     * until the sequence retires. When a run RETURNS with the sequence
+     * still in flight (budget expiry, cooperative cancel) that
+     * assumption breaks — the caller may install productions or flush
+     * tables, freeing the storage under the span — so every public
+     * entry point that can exit mid-sequence calls pinSuspendedSeq()
+     * to copy the span and spec into the core-owned backing below.
      */
     /// @{
     const DecodedInst *seqInsts_ = nullptr;
@@ -370,6 +441,13 @@ class ExecCore
     Addr seqPendingTarget_ = 0;
     bool seqFirstEmitted_ = false;
     ExpandResult pendingExpand_;
+    /** Re-point a suspended sequence at core-owned copies (see the
+     *  group comment). Idempotent; no-op at an app boundary. */
+    void pinSuspendedSeq();
+    /** Core-owned backing for a sequence suspended across an API
+     *  return: engine mutations can free the original storage. */
+    std::vector<DecodedInst> seqPinnedInsts_;
+    ReplacementSeq seqPinnedSpec_;
     /** Outcome scratch for non-emitting sequence execution; only the
      *  fields execute() and the sequence-control logic read are reset
      *  per slot (cheaper than value-initializing a DynInst). */
@@ -379,6 +457,7 @@ class ExecCore
     /** @name Translated basic-block trace cache. */
     /// @{
     bool traceEnabled_ = true;
+    bool chainEnabled_ = true;
     /** Blocks keyed by entry PC; validated against the engine
      *  generation at dispatch. shared_ptr keeps the block a store
      *  inside it invalidates alive until the block exits. */
@@ -387,6 +466,35 @@ class ExecCore
      *  it observes a change (a replacement-sequence store may have
      *  rewritten text the block itself covers). */
     uint64_t traceEpoch_ = 0;
+    /**
+     * Graveyard for blocks removed from traces_ while translated code
+     * may still be on the stack: SMC invalidation, cache-pressure
+     * eviction, and generation-stale replacement all happen mid-chain,
+     * when the interpreter holds raw pointers (the running block, its
+     * ops cursor, patched chain edges) into blocks that traces_ no
+     * longer owns. Every removal parks the shared_ptr here instead of
+     * destroying it; the dispatcher clears the graveyard at the top of
+     * its loop, the one point provably outside any chain. Reachability
+     * is separately severed by the epoch bump / generation stamp, so
+     * parked blocks are garbage the moment they land here — the
+     * graveyard only defers destruction, never revival.
+     */
+    std::vector<std::shared_ptr<const TransBlock>> retired_;
+    /**
+     * Cache-pressure bound on traces_ (see setTraceBlockCap). At the
+     * default, fig-scale workloads never evict; the cap exists so a
+     * pathological or adversarial text footprint cannot grow the block
+     * map without bound.
+     */
+    size_t traceBlockCap_ = 65536;
+    /** Next dynInsts value at which the fast path polls cancelFlag_. */
+    uint64_t nextCancelPoll_ = 0;
+    /** @name Fast-path counters (traceCacheStats; not architectural). */
+    /// @{
+    uint64_t statBlocksTranslated_ = 0;
+    uint64_t statTraceEvictions_ = 0;
+    uint64_t statChainFollows_ = 0;
+    /// @}
     /**
      * Direct-mapped dispatch cache in front of traces_: entry PC ->
      * block, validated against the trace epoch and engine generation.

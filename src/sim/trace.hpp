@@ -4,27 +4,50 @@
  * fast-path representation of straight-line guest code.
  *
  * A TransBlock pre-resolves one basic block of decoded instructions into
- * compact slots — handler kind, operand register indices, pre-sign-
- * extended immediate, pre-computed direct-branch target — executed by a
- * tight dispatch loop in ExecCore (see core.cpp) that bypasses the
- * per-instruction fetch/decode/DISE-inspection machinery of step().
+ * compact slots — a flat dispatch handler, operand register indices,
+ * pre-sign-extended immediate, pre-computed direct-branch target —
+ * executed by a direct-threaded interpreter in ExecCore (see core.cpp)
+ * that bypasses the per-instruction fetch/decode/DISE-inspection
+ * machinery of step(). Handlers are flattened to one jump per slot
+ * (computed goto under GCC/Clang, a portable switch under
+ * -DDISE_NO_COMPUTED_GOTO), and every slot array ends in an OpHandler::
+ * End sentinel so the inner loop needs no bounds check.
+ *
+ * Steady-state execution additionally follows **superblock chain
+ * edges**: each terminator slot (and the block-level fall-through)
+ * carries a patchable ChainEdge naming its successor block, stamped
+ * with the trace epoch and engine generation at patch time. A valid
+ * edge jumps block-to-block without consulting the dispatch cache or
+ * the block map at all; a stale stamp falls back to a lookup and
+ * re-patch. See DESIGN.md section 13 for the edge-invalidation rules
+ * and the pointer-stability contract (every block erasure either bumps
+ * the trace epoch or strictly advances the generation, and erased
+ * blocks are parked on a graveyard until the interpreter is outside
+ * any chain).
  *
  * Slots whose opcode the active DISE production set covers are kept as
  * Engine slots: they consult the engine at run time (exactly like the
  * slow path), so PT/RT residency state, miss events, and every engine
- * counter evolve bit-identically to a step()-driven run. Instructions
- * the fast path cannot model (syscalls, codewords, invalid encodings,
- * DISE branches in the application stream) terminate translation and
- * execute through the ordinary step() fallback.
+ * counter evolve bit-identically to a step()-driven run. A per-slot
+ * ExpandMemo short-circuits the engine's pattern match and expansion-
+ * cache hash lookup for repeated clean hits (see
+ * DiseEngine::expandFast). Instructions the fast path cannot model
+ * (syscalls, codewords, invalid encodings, DISE branches in the
+ * application stream) terminate translation and execute through the
+ * ordinary step() fallback.
  *
- * Invalidation (see DESIGN.md section 9):
+ * Invalidation (see DESIGN.md sections 9 and 13):
  *  - blocks are keyed by entry PC and stamped with the DISE engine's
  *    table generation; any production install, table flush, or injected
- *    table corruption bumps the generation and orphans stale blocks;
+ *    table corruption bumps the generation and orphans stale blocks and
+ *    chain edges;
  *  - stores into the text segment route through
- *    ExecCore::invalidateDecodedRange, which drops every block
- *    overlapping the written range (and the store exits its own block,
- *    so self-modified code is re-translated before it executes).
+ *    ExecCore::invalidateDecodedRange, which bumps the trace epoch
+ *    (orphaning every chain edge and dispatch entry) and drops every
+ *    block overlapping the written range;
+ *  - cache-pressure eviction (the block map is bounded) also bumps the
+ *    trace epoch, so no cached pointer ever outlives its target's
+ *    residency unnoticed.
  */
 
 #ifndef DISE_SIM_TRACE_HPP
@@ -33,38 +56,71 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/dise/engine.hpp"
 #include "src/isa/inst.hpp"
 
 namespace dise {
 
-/** Dispatch class of one translated slot. */
-enum class TransKind : uint8_t {
-    Alu,        ///< register/immediate compute, LDA/LDAH, NOP, CMOV
-    Load,       ///< LDBU/LDL/LDQ
-    Store,      ///< STB/STL/STQ
-    CondBranch, ///< direct conditional branch (block terminator)
-    DirBranch,  ///< BR/BSR: unconditional direct + link (terminator)
-    Jump,       ///< JMP/JSR/RET: indirect + link (terminator)
-    Engine,     ///< opcode covered by the DISE production set: consult
-                ///< the engine at run time (may expand)
+struct TransBlock;
+
+/**
+ * Flat dispatch handler of one translated slot: one indirect jump per
+ * slot selects the full behavior (opcode and addressing mode folded
+ * in), with no nested switch. Shared by the block interpreter and the
+ * pre-translated replacement-sequence interpreter; each implements the
+ * subset that can appear in its slot stream.
+ */
+enum class OpHandler : uint8_t {
+    /** @name Straight-line compute (both interpreters). */
+    /// @{
+    Nop, Lda, Ldah, Addq, Subq, Mulq, And, Bic, Or, Ornot, Xor,
+    Sll, Srl, Sra, Cmpeq, Cmplt, Cmple, Cmpult, Cmpule, Cmoveq, Cmovne,
+    /// @}
+    /** @name Memory (size/sign pre-resolved; both interpreters). */
+    /// @{
+    Ldbu, Ldl, Ldq, Store,
+    /// @}
+    /** @name Control (block: terminators; sequence: trigger-relative). */
+    /// @{
+    CondBranch, DirBranch, Jump,
+    /// @}
+    /** Opcode covered by the DISE production set: consult the engine
+     *  at run time (block interpreter only). */
+    Engine,
+    /** @name DISE branches (sequence interpreter only). */
+    /// @{
+    DiseCond, DiseBr,
+    /// @}
+    /** Sentinel closing every slot array: block fall-through exit /
+     *  replacement-sequence end. */
+    End,
+    NUM,
 };
 
-/** Dispatch class of one pre-translated replacement-sequence slot. */
-enum class SeqOpKind : uint8_t {
-    Alu,
-    Load,
-    Store,
-    CondBranch, ///< application conditional branch (trigger-PC-relative)
-    DirBranch,  ///< BR/BSR
-    Jump,       ///< JMP/JSR/RET
-    DiseCond,   ///< dbeq/dbne/dblt/dbge: moves the DISEPC
-    DiseBr,     ///< dbr: unconditional DISEPC move
+/**
+ * A patchable successor edge: the direct-threaded jump from one block
+ * exit to the next block's first slot. Valid iff the stamped (epoch,
+ * gen) pair still matches the core's live trace epoch and the engine's
+ * table generation AND the recorded target PC equals the dynamic
+ * successor PC (indirect jumps and expansion redirects patch a
+ * monomorphic target; a mispredicted target re-patches). The pointer
+ * is raw by design — it is only dereferenced after the stamps
+ * validate, and the core guarantees no block is destroyed without
+ * either a trace-epoch bump or a generation advance (see the
+ * graveyard in ExecCore).
+ */
+struct ChainEdge
+{
+    const TransBlock *next = nullptr;
+    uint64_t epoch = ~uint64_t(0);
+    uint64_t gen = 0;
+    Addr target = 0;
 };
 
 /** One pre-translated slot of a memoized replacement sequence. */
 struct SeqOp
 {
-    SeqOpKind kind = SeqOpKind::Alu;
+    OpHandler handler = OpHandler::End;
     Opcode op = Opcode::NOP;
     RegIndex ra = 0;
     RegIndex rb = 0;
@@ -73,7 +129,7 @@ struct SeqOp
     /** Slot retires as the application's own instruction (T.INSN /
      *  T.OP re-emission), not DISE-inserted work. */
     bool trigger = false;
-    uint8_t size = 0;        ///< memory access size (Load/Store)
+    uint8_t size = 0;        ///< memory access size (Store)
     bool diseValid = false;  ///< DISE-branch target is within range
     int64_t imm = 0;         ///< pre-sign-extended immediate / literal
     uint32_t diseTarget = 0; ///< resolved DISE-branch target slot
@@ -84,6 +140,7 @@ struct SeqOp
  * Engine slot. Valid while the engine still hands out the same span
  * (same insts pointer/length) at the same table generation; expansions
  * that are not memoized (scratch-backed or fault-garbled) never use it.
+ * @c ops holds numInsts real slots plus the End sentinel.
  */
 struct SeqTrans
 {
@@ -99,40 +156,54 @@ struct SeqTrans
 /** One pre-resolved slot of a translated basic block. */
 struct TransOp
 {
-    TransKind kind = TransKind::Alu;
+    OpHandler handler = OpHandler::End;
     Opcode op = Opcode::NOP;
     RegIndex ra = 0;
     RegIndex rb = 0;
     RegIndex rc = 0;
     bool useLit = false;
-    uint8_t size = 0; ///< memory access size (Load/Store)
+    uint8_t size = 0; ///< memory access size (Store)
     int64_t imm = 0;  ///< pre-sign-extended immediate / literal
     Addr target = 0;  ///< pre-computed direct-branch target
     /** Full decode, for Engine slots and diagnostics. */
     DecodedInst inst;
+    /** @name Execution-time state of slots in a block the dispatcher
+     *  otherwise treats as immutable (patched on first execution,
+     *  validated by stamps on every use). */
+    /// @{
+    /** Terminators and Engine slots: the patched successor edge. */
+    mutable ChainEdge chain;
+    /** Engine slots: the engine-side expansion memo (skips the pattern
+     *  match and cache hash on repeated clean hits). */
+    mutable ExpandMemo memo;
     /** Engine slots: cached translation of this slot's memoized
-     *  replacement sequence (see SeqTrans). Execution-time state of a
-     *  block the dispatcher otherwise treats as immutable. */
+     *  replacement sequence (see SeqTrans). */
     mutable SeqTrans seqCache;
+    /// @}
 };
 
 /**
- * A translated straight-line micro-trace. Empty @c ops marks an entry
+ * A translated straight-line micro-trace. @c ops holds numInsts real
+ * slots plus one OpHandler::End sentinel; numInsts == 0 marks an entry
  * whose first instruction is untranslatable (the dispatcher remembers
  * the decision and routes the PC through step() without re-probing).
  */
 struct TransBlock
 {
     Addr entryPC = 0;
+    /** Static instructions covered (excludes the End sentinel). */
+    uint32_t numInsts = 0;
     /** DiseEngine::generation() at build time (0 without a controller). */
     uint64_t engineGen = 0;
     std::vector<TransOp> ops;
+    /** Patched successor for the fall-through exit (End sentinel). */
+    mutable ChainEdge fallChain;
 
     /** First address past the last static instruction word covered. */
     Addr
     coveredEnd() const
     {
-        return entryPC + (ops.empty() ? 1 : ops.size()) * 4;
+        return entryPC + (numInsts == 0 ? 1 : numInsts) * 4;
     }
 };
 

@@ -11,13 +11,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <functional>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/acf/mfi.hpp"
 #include "src/assembler/assembler.hpp"
+#include "src/common/scheduler.hpp"
 #include "src/dise/controller.hpp"
 #include "src/dise/parser.hpp"
 #include "src/sim/core.hpp"
@@ -116,11 +120,18 @@ expectIdentical(const RunSnapshot &fast, const RunSnapshot &slow)
  * corruption, ...) before the run finishes — at an identical point on
  * both paths, since the budget counts retired instructions.
  */
+/** Optional fast-path knobs for runMfi (all defaults = stock core). */
+struct MfiKnobs
+{
+    bool chaining = true; ///< superblock chaining on the fast path
+    size_t blockCap = 0;  ///< nonzero: setTraceBlockCap (eviction)
+};
+
 RunSnapshot
 runMfi(const Program &prog, bool traceCache,
        const std::function<void(ExecCore &, DiseController &)> &midRun =
            nullptr,
-       uint64_t phase1Insts = 0)
+       uint64_t phase1Insts = 0, const MfiKnobs &knobs = {})
 {
     MfiOptions opts;
     opts.variant = MfiVariant::Dise3;
@@ -131,6 +142,9 @@ runMfi(const Program &prog, bool traceCache,
     ExecCore core(prog, &controller);
     initMfiRegisters(core, prog);
     core.setTraceCacheEnabled(traceCache);
+    core.setChainingEnabled(knobs.chaining);
+    if (knobs.blockCap)
+        core.setTraceBlockCap(knobs.blockCap);
     if (midRun) {
         core.run(phase1Insts);
         midRun(core, controller);
@@ -308,6 +322,184 @@ TEST(Trace, SequenceTrapsIdenticalAcrossPaths)
     EXPECT_EQ(results[1].trap.pc, results[0].trap.pc);
     EXPECT_EQ(results[1].trap.disepc, results[0].trap.disepc);
     EXPECT_EQ(results[1].dynInsts, results[0].dynInsts);
+}
+
+TEST(Trace, ChainingEngagesAndMatchesNoChainRun)
+{
+    const Program prog = smallWorkload("bzip2");
+
+    const RunSnapshot chained = runMfi(prog, true);
+    MfiKnobs noChain;
+    noChain.chaining = false;
+    const RunSnapshot unchained =
+        runMfi(prog, true, nullptr, 0, noChain);
+    expectIdentical(chained, unchained);
+
+    // The stats counters prove both modes did what they claim: the
+    // chained run followed patched edges, the unchained run never did.
+    ExecCore probe(prog);
+    probe.run();
+    EXPECT_GT(probe.traceCacheStats().chainFollows, 0u);
+    EXPECT_GT(probe.traceCacheStats().blocksTranslated, 0u);
+
+    ExecCore probeOff(prog);
+    probeOff.setChainingEnabled(false);
+    probeOff.run();
+    EXPECT_EQ(probeOff.traceCacheStats().chainFollows, 0u);
+}
+
+TEST(Trace, SmcInChainedSuccessorRepatchesStaleEdge)
+{
+    // kSmcCrossBlock under chaining: the `call target` edge is patched
+    // on the first call; the patch loop then rewrites target's first
+    // two instructions (epoch bump), so the second call must fail the
+    // edge's epoch check and re-translate instead of following the
+    // stale block.
+    const Program prog = assemble(kSmcCrossBlock);
+
+    ExecCore fast(prog);
+    const RunResult r = fast.run();
+    EXPECT_EQ(r.exitCode, 5);
+    EXPECT_GT(fast.traceCacheStats().chainFollows, 0u);
+    // The rewrite forces a second translation of the target block.
+    EXPECT_GT(fast.traceCacheStats().blocksTranslated,
+              uint64_t(4)); // distinct static blocks alone would be ~4
+
+    ExecCore slow(prog);
+    slow.setTraceCacheEnabled(false);
+    const RunResult ref = slow.run();
+    EXPECT_EQ(ref.exitCode, 5);
+    EXPECT_EQ(r.dynInsts, ref.dynInsts);
+}
+
+TEST(Trace, EvictionPressureMidChainStaysIdentical)
+{
+    // A two-block trace cache capacity forces a whole-cache eviction
+    // on nearly every translation — including from chainTarget, i.e.
+    // *inside* a live chain, where the interpreter still holds raw
+    // pointers into the just-evicted blocks (kept alive by the
+    // graveyard). Everything must still be bit-identical.
+    const Program prog = smallWorkload("bzip2");
+
+    MfiKnobs pressure;
+    pressure.blockCap = 2;
+    const RunSnapshot fast = runMfi(prog, true, nullptr, 0, pressure);
+    const RunSnapshot slow = runMfi(prog, false);
+    expectIdentical(fast, slow);
+
+    ExecCore probe(prog);
+    probe.setTraceBlockCap(2);
+    probe.run();
+    EXPECT_GT(probe.traceCacheStats().evictions, 0u);
+}
+
+TEST(Trace, MidRunTraceCacheToggleStaysIdentical)
+{
+    const Program prog = smallWorkload("bzip2");
+    const RunSnapshot slow = runMfi(prog, false);
+
+    // Fast start, drop to the slow path mid-run: dispatch state and
+    // chain edges become unreachable and must not leak into the rest
+    // of the run.
+    const RunSnapshot fastThenSlow = runMfi(
+        prog, true,
+        [](ExecCore &core, DiseController &) {
+            core.setTraceCacheEnabled(false);
+        },
+        20000);
+    expectIdentical(fastThenSlow, slow);
+
+    // Slow start, enable the trace cache mid-run: blocks translate
+    // and chains form from a mid-program machine state.
+    const RunSnapshot slowThenFast = runMfi(
+        prog, false,
+        [](ExecCore &core, DiseController &) {
+            core.setTraceCacheEnabled(true);
+        },
+        20000);
+    expectIdentical(slowThenFast, slow);
+}
+
+TEST(Trace, CancelDeadlineStopsTightChainedLoop)
+{
+    // A two-instruction infinite loop that chains into itself: without
+    // the bounded-interval cancel poll, run() would never return (the
+    // chain never revisits the dispatcher). ~1k-retirement polling
+    // must observe the flag and classify the run as a Hang.
+    const Program prog = assemble(".text\n"
+                                  "main:\n"
+                                  "    li 0, s0\n"
+                                  "loop:\n"
+                                  "    addq s0, 1, s0\n"
+                                  "    br zero, loop\n");
+    ExecCore core(prog);
+    std::atomic<bool> cancel{false};
+    core.setCancelFlag(&cancel);
+    std::thread killer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+        cancel.store(true, std::memory_order_relaxed);
+    });
+    const RunResult r = core.run(); // unbounded budget
+    killer.join();
+    EXPECT_EQ(r.outcome, RunOutcome::Hang);
+    EXPECT_FALSE(r.exited);
+    EXPECT_GT(r.dynInsts, 0u);
+}
+
+TEST(Trace, CancelDeadlineStopsDiseBranchLoop)
+{
+    // A replacement sequence that is itself an infinite loop (dbr
+    // self-branch): the per-slot poll inside the sequence interpreter
+    // must observe the deadline — chain-boundary polling alone never
+    // fires because the sequence never ends.
+    const Program prog = assemble(".text\n"
+                                  "main:\n"
+                                  "    laq buf, t5\n"
+                                  "    ldq t0, 0(t5)\n"
+                                  "    li 0, v0\n    li 0, a0\n"
+                                  "    syscall\n"
+                                  ".data\n"
+                                  "buf:\n    .quad 7\n");
+    auto set = std::make_shared<ProductionSet>(parseProductions(
+        "P1: class == load -> R1\n"
+        "R1: dbr zero, -1\n"
+        "    T.INSN\n",
+        prog.symbols));
+    DiseController controller;
+    controller.install(set);
+    ExecCore core(prog, &controller);
+    std::atomic<bool> cancel{false};
+    core.setCancelFlag(&cancel);
+    std::thread killer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+        cancel.store(true, std::memory_order_relaxed);
+    });
+    const RunResult r = core.run();
+    killer.join();
+    EXPECT_EQ(r.outcome, RunOutcome::Hang);
+    EXPECT_GT(r.diseInsts, 0u);
+}
+
+TEST(Trace, FastSlowIdentityAcrossWorkerCounts)
+{
+    // The chained fast path keeps all its state (trace cache, chain
+    // edges, graveyard, memo slots) inside the core, so concurrent
+    // cores on a worker pool must reproduce the single-threaded
+    // snapshot exactly.
+    const Program prog = smallWorkload("gcc");
+    const RunSnapshot referenceFast = runMfi(prog, true);
+    const RunSnapshot referenceSlow = runMfi(prog, false);
+    expectIdentical(referenceFast, referenceSlow);
+
+    for (unsigned workers : {1u, 4u}) {
+        SimScheduler scheduler(workers);
+        const std::vector<int> lanes = {0, 1, 2, 3};
+        const auto snaps = scheduler.map(lanes, [&](int lane) {
+            return runMfi(prog, (lane & 1) == 0);
+        });
+        for (const RunSnapshot &snap : snaps)
+            expectIdentical(snap, referenceFast);
+    }
 }
 
 } // namespace

@@ -4,8 +4,8 @@
  *
  * Not a paper figure — a host-side performance harness for the
  * simulator itself, guarding the translated basic-block engine's
- * speedup (DESIGN.md section 9). Per workload it measures guest MIPS
- * for:
+ * speedup (DESIGN.md section 9) and the timing model's trace feed
+ * (DESIGN.md section 14). Per workload it measures guest MIPS for:
  *
  *   functional               no DISE, trace cache on
  *   functional_mfi           MFI (DISE3) productions, trace cache on
@@ -14,23 +14,34 @@
  *                            dispatcher — isolates the chaining win)
  *   functional_mfi_slowpath  same run with the trace cache disabled
  *                            (the --no-trace-cache escape hatch)
- *   timing_mfi               baseline 4-wide machine, MFI productions
+ *   timing_mfi               baseline 4-wide machine, MFI productions,
+ *                            batched trace feed (the default path)
+ *   timing_mfi_stepfeed      the same machine on the step-driven
+ *                            reference path (--no-trace-feed)
+ *   timing_mfi_sampled       SMARTS-style sampled timing on the feed
  *
- * The fast and slow functional MFI runs must retire the identical
- * instruction count (a cheap differential check; the full bit-identity
- * suite lives in tests/test_trace.cpp), and every run must exit
- * cleanly. The "speedup" column is functional_mfi over its slow-path
- * twin.
+ * Differential checks (hard failures): the fast and slow functional
+ * MFI runs must retire the identical instruction count, and the feed
+ * and step-driven timing runs must agree bit-for-bit on cycles, every
+ * cycle bucket, the prediction/redirect counters, and the retired
+ * instruction count (the full bit-identity suite lives in
+ * tests/test_trace_feed.cpp). The "speedup" column is functional_mfi
+ * over its slow-path twin; "t-spdup" is the feed over the step-driven
+ * reference, also recorded (host section, so determinism comparisons
+ * strip it) in the timing_mfi entry. The sampled entry carries a
+ * "sampling" section with the window configuration and the CPI error
+ * of the extrapolation against the full-detail run.
  *
  * Honors the usual harness knobs (DISE_BENCH_SCALE / _ONLY / _JOBS /
  * _JSON); the JSON artifact is BENCH_sim_throughput.json with kind
  * "throughput", whose entries carry the guest instruction count and
  * the per-entry host section. Host wall-clock numbers are inherently
  * machine-dependent: determinism comparisons strip every host section
- * (validate_bench_json.py --compare).
+ * and every sampling section (validate_bench_json.py --compare).
  */
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <memory>
 
@@ -40,6 +51,10 @@ using namespace dise;
 using namespace dise::bench;
 
 namespace {
+
+/** Sampled-timing configuration exercised by the bench. */
+constexpr uint64_t kSamplePeriod = 10000;
+constexpr uint64_t kSampleDetail = 2000;
 
 struct Measured
 {
@@ -51,6 +66,13 @@ struct Measured
     {
         return seconds > 0.0 ? double(insts) / 1e6 / seconds : 0.0;
     }
+};
+
+/** A timing run: wall-clock measurement plus the full timing result. */
+struct TimedMeasured
+{
+    Measured m;
+    TimingResult t;
 };
 
 Json
@@ -100,24 +122,94 @@ runFunctional(const Program &prog,
     return m;
 }
 
-Measured
+TimedMeasured
 runTimingMfi(const Program &prog,
              std::shared_ptr<const ProductionSet> set,
-             const std::string &what)
+             const std::string &what, bool traceFeed,
+             uint64_t samplePeriod = 0, uint64_t sampleDetail = 0)
 {
     DiseController controller{DiseConfig{}};
     controller.install(std::move(set));
     PipelineSim sim(prog, baselineMachine(), &controller);
+    sim.setTraceFeed(traceFeed);
+    if (samplePeriod != 0)
+        sim.setSampling(samplePeriod, sampleDetail);
     initMfiRegisters(sim.core(), prog);
     const auto t0 = std::chrono::steady_clock::now();
-    const TimingResult t = sim.run();
-    Measured m;
-    m.seconds = std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count();
-    m.insts = t.arch.dynInsts;
-    check(t, what);
-    return m;
+    TimedMeasured out;
+    out.t = sim.run();
+    out.m.seconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    out.m.insts = out.t.arch.dynInsts;
+    check(out.t, what);
+    return out;
+}
+
+/**
+ * The feed-vs-step identity contract, enforced loudly: both paths must
+ * agree on every architectural and timing number. Cheap differential
+ * twin of the registry-level comparison in tests/test_trace_feed.cpp.
+ */
+void
+checkFeedIdentity(const std::string &bench, const TimingResult &feed,
+                  const TimingResult &step)
+{
+    const auto mismatch = [&](const char *what, uint64_t a, uint64_t b) {
+        fatal(strFormat("BENCH FAILURE: %s trace feed diverged from the "
+                        "step-driven reference: %s %llu (feed) vs %llu "
+                        "(step)",
+                        bench.c_str(), what, (unsigned long long)a,
+                        (unsigned long long)b));
+    };
+    const auto req = [&](const char *what, uint64_t a, uint64_t b) {
+        if (a != b)
+            mismatch(what, a, b);
+    };
+    req("dyn_insts", feed.arch.dynInsts, step.arch.dynInsts);
+    req("cycles", feed.cycles, step.cycles);
+    req("bucket.issue", feed.buckets.issue, step.buckets.issue);
+    req("bucket.imiss_stall", feed.buckets.imissStall,
+        step.buckets.imissStall);
+    req("bucket.dmiss_stall", feed.buckets.dmissStall,
+        step.buckets.dmissStall);
+    req("bucket.branch_flush", feed.buckets.branchFlush,
+        step.buckets.branchFlush);
+    req("bucket.dise_stall", feed.buckets.diseStall,
+        step.buckets.diseStall);
+    req("bucket.hazard", feed.buckets.hazard, step.buckets.hazard);
+    req("bucket.drain", feed.buckets.drain, step.buckets.drain);
+    req("mispredicts", feed.mispredicts, step.mispredicts);
+    req("decode_redirects", feed.decodeRedirects, step.decodeRedirects);
+    req("dise_mispredicts", feed.diseMispredicts, step.diseMispredicts);
+    req("expansion_stalls", feed.expansionStalls, step.expansionStalls);
+    req("miss_stall_cycles", feed.missStallCycles, step.missStallCycles);
+    req("icache_misses", feed.icacheMisses, step.icacheMisses);
+    req("dcache_misses", feed.dcacheMisses, step.dcacheMisses);
+    req("l2_misses", feed.l2Misses, step.l2Misses);
+}
+
+/** The sampling section of the timing_mfi_sampled artifact entry. */
+Json
+samplingSection(const TimingResult &sampled, const TimingResult &full)
+{
+    const SamplingInfo &s = sampled.sampling;
+    Json out = Json::object();
+    out["period"] = Json(s.period);
+    out["detail"] = Json(s.detail);
+    out["sampled_insts"] = Json(s.sampledInsts);
+    out["warmed_insts"] = Json(s.warmedInsts);
+    out["measured_cycles"] = Json(s.measuredCycles);
+    out["estimated_cycles"] = Json(sampled.estimatedCycles());
+    out["measured_cpi"] = Json(s.measuredCpi());
+    const double err =
+        full.cycles
+            ? std::fabs(double(sampled.estimatedCycles()) -
+                        double(full.cycles)) /
+                  double(full.cycles)
+            : 0.0;
+    out["cpi_error"] = Json(err);
+    return out;
 }
 
 void
@@ -129,7 +221,8 @@ runSimThroughput()
 
     const auto specs = selectedSpecs();
     TextTable table({"bench", "func", "func+MFI", "no-chain",
-                     "MFI-slowpath", "speedup", "timing+MFI"});
+                     "MFI-slowpath", "speedup", "t-step", "t-feed",
+                     "t-spdup", "t-sampled", "cpi-err%"});
     struct Row
     {
         std::vector<std::string> cells;
@@ -155,8 +248,27 @@ runSimThroughput()
                 (unsigned long long)nochain.insts,
                 (unsigned long long)slow.insts));
         }
-        const Measured timing =
-            runTimingMfi(prog, set, spec.name + " timing_mfi");
+
+        const TimedMeasured step = runTimingMfi(
+            prog, set, spec.name + " timing_mfi_stepfeed", false);
+        const TimedMeasured feed =
+            runTimingMfi(prog, set, spec.name + " timing_mfi", true);
+        checkFeedIdentity(spec.name, feed.t, step.t);
+        const TimedMeasured sampled = runTimingMfi(
+            prog, set, spec.name + " timing_mfi_sampled", true,
+            kSamplePeriod, kSampleDetail);
+        if (sampled.t.arch.dynInsts != feed.t.arch.dynInsts) {
+            fatal(strFormat(
+                "BENCH FAILURE: %s sampled timing changed retirement: "
+                "%llu insts vs %llu full-detail",
+                spec.name.c_str(),
+                (unsigned long long)sampled.t.arch.dynInsts,
+                (unsigned long long)feed.t.arch.dynInsts));
+        }
+        const double feedSpeedup =
+            step.m.mips() > 0.0 ? feed.m.mips() / step.m.mips() : 0.0;
+        const Json sampling = samplingSection(sampled.t, feed.t);
+        const double cpiErr = sampling.at("cpi_error").asDouble();
 
         if (BenchJson::instance().enabled()) {
             BenchJson::instance().record(spec.name, "functional",
@@ -169,8 +281,19 @@ runSimThroughput()
             BenchJson::instance().record(spec.name,
                                          "functional_mfi_slowpath",
                                          throughputEntry(slow));
+            Json feedEntry = throughputEntry(feed.m);
+            // Host-relative ratio: lives in the host section so
+            // determinism comparisons strip it with the rest.
+            feedEntry["host"]["speedup_vs_step"] = Json(feedSpeedup);
             BenchJson::instance().record(spec.name, "timing_mfi",
-                                         throughputEntry(timing));
+                                         feedEntry);
+            BenchJson::instance().record(spec.name,
+                                         "timing_mfi_stepfeed",
+                                         throughputEntry(step.m));
+            Json sampledEntry = throughputEntry(sampled.m);
+            sampledEntry["sampling"] = sampling;
+            BenchJson::instance().record(spec.name, "timing_mfi_sampled",
+                                         sampledEntry);
         }
 
         Row row;
@@ -183,7 +306,11 @@ runSimThroughput()
                                         ? fast.mips() / slow.mips()
                                         : 0.0,
                                     2),
-                     TextTable::num(timing.mips(), 1)};
+                     TextTable::num(step.m.mips(), 1),
+                     TextTable::num(feed.m.mips(), 1),
+                     TextTable::num(feedSpeedup, 2),
+                     TextTable::num(sampled.m.mips(), 1),
+                     TextTable::num(cpiErr * 100.0, 3)};
         return row;
     });
     for (const Row &row : rows)

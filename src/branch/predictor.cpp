@@ -62,9 +62,15 @@ BranchPredictor::btbInsert(Addr pc, Addr target)
 BranchPredictor::Prediction
 BranchPredictor::predict(Addr pc, OpClass cls, Addr fallThrough)
 {
+    stats_.add("predictions");
+    return predictHot(pc, cls, fallThrough);
+}
+
+BranchPredictor::Prediction
+BranchPredictor::predictHot(Addr pc, OpClass cls, Addr fallThrough)
+{
     Prediction pred;
     pred.target = fallThrough;
-    stats_.add("predictions");
 
     switch (cls) {
       case OpClass::CondBranch: {
@@ -124,6 +130,12 @@ void
 BranchPredictor::update(Addr pc, OpClass cls, bool taken, Addr target)
 {
     stats_.add("updates");
+    updateHot(pc, cls, taken, target);
+}
+
+void
+BranchPredictor::updateHot(Addr pc, OpClass cls, bool taken, Addr target)
+{
     if (cls == OpClass::CondBranch) {
         const unsigned idx = gshareIndex(pc);
         uint8_t &counter = counters_[idx];

@@ -61,6 +61,20 @@ class BranchPredictor
      */
     void update(Addr pc, OpClass cls, bool taken, Addr target);
 
+    /**
+     * @name Caller-accounted hot variants.
+     * predict()/update() are implemented as a "predictions"/"updates"
+     * counter bump plus these, so direction, BTB, RAS, and history
+     * behaviour is identical by construction. Hot consumers (the
+     * trace-feed timing path and sampled-mode warming) call these and
+     * bump cached StatGroup::cell() pointers themselves, keeping the
+     * per-branch path free of map lookups.
+     */
+    /// @{
+    Prediction predictHot(Addr pc, OpClass cls, Addr fallThrough);
+    void updateHot(Addr pc, OpClass cls, bool taken, Addr target);
+    /// @}
+
     /** Push a return address (on calls). */
     void pushReturn(Addr returnAddr);
 

@@ -40,6 +40,16 @@ class StatGroup
     /** Read a counter; returns 0 when absent. */
     uint64_t get(const std::string &key) const;
 
+    /**
+     * Stable pointer to the counter cell for @p key (created at 0 if
+     * absent). Hot paths bump the cell directly, skipping the map
+     * lookup and string construction of add(); map nodes never move,
+     * so the pointer stays valid until the map itself is replaced
+     * (copy-assignment from another StatGroup, e.g. a snapshot
+     * restore) — holders must re-derive their cells after that.
+     */
+    uint64_t *cell(const std::string &key) { return &counters_[key]; }
+
     /** All counters in insertion-independent (sorted) order. */
     const std::map<std::string, uint64_t> &counters() const
     {

@@ -113,6 +113,88 @@ struct DecodedInst
     /** Direct-branch target for a trigger fetched at @p pc. */
     Addr branchTarget(Addr pc) const;
 
+    /**
+     * @name Inline fast variants of destReg() / srcRegList().
+     *
+     * Same results for every decodable instruction, dispatching on the
+     * decoded (cls, op) pair instead of the out-of-line opInfo() format
+     * lookup. They exist so the trace-feed timing path can walk register
+     * dependences without leaving the hot loop, while the step-driven
+     * reference keeps the original out-of-line cost profile; an
+     * exhaustive test asserts equivalence over the whole opcode space.
+     */
+    /// @{
+    RegIndex
+    destRegFast() const
+    {
+        switch (cls) {
+          case OpClass::Load:
+            return ra;
+          case OpClass::IntAlu:
+            // LDA/LDAH are memory-format address arithmetic: dest ra.
+            return (op == Opcode::LDA || op == Opcode::LDAH) ? ra : rc;
+          case OpClass::IntMult:
+            return rc;
+          case OpClass::UncondBranch:
+          case OpClass::Call:
+            return ra; // BR/BSR link through ra
+          case OpClass::Jump:
+          case OpClass::CallIndirect:
+          case OpClass::Return:
+            return ra;
+          default:
+            // Store, CondBranch, DiseBranch, Nop, Syscall, Codeword,
+            // Invalid: no architecturally visible destination.
+            return kZeroReg;
+        }
+    }
+
+    SrcRegList
+    srcRegListFast() const
+    {
+        SrcRegList srcs;
+        switch (cls) {
+          case OpClass::IntAlu:
+            if (op == Opcode::LDA || op == Opcode::LDAH) {
+                srcs.push(rb); // memory-format: base register only
+                break;
+            }
+            [[fallthrough]];
+          case OpClass::IntMult:
+            srcs.push(ra);
+            if (!useLit)
+                srcs.push(rb);
+            if (op == Opcode::CMOVEQ || op == Opcode::CMOVNE)
+                srcs.push(rc); // partial write reads the old dest
+            break;
+          case OpClass::Load:
+            srcs.push(rb);
+            break;
+          case OpClass::Store:
+            srcs.push(rb);
+            srcs.push(ra);
+            break;
+          case OpClass::CondBranch:
+          case OpClass::DiseBranch:
+            srcs.push(ra);
+            break;
+          case OpClass::Jump:
+          case OpClass::CallIndirect:
+          case OpClass::Return:
+            srcs.push(rb);
+            break;
+          case OpClass::Syscall:
+            srcs.push(kRetReg);
+            srcs.push(kArg0Reg);
+            srcs.push(static_cast<RegIndex>(kArg0Reg + 1));
+            break;
+          default:
+            break;
+        }
+        return srcs;
+    }
+    /// @}
+
     bool operator==(const DecodedInst &other) const;
 };
 

@@ -18,6 +18,8 @@ Cache::Cache(const CacheParams &params, Cache *next, uint32_t memLatency)
                 "size must be a multiple of line*assoc");
     numSets_ = params_.sizeBytes / (params_.lineBytes * params_.assoc);
     DISE_ASSERT(isPow2(numSets_), "set count must be pow2");
+    lineShift_ = log2i(params_.lineBytes);
+    tagShift_ = log2i(numSets_);
     lines_.assign(size_t(numSets_) * params_.assoc, Line());
     mru_.assign(numSets_, 0);
 }
@@ -28,26 +30,16 @@ Cache::access(Addr addr, bool write)
     stats_.add("accesses");
     if (write)
         stats_.add("writes");
-    if (perfect_)
-        return params_.hitLatency;
+    // accessHot() is the whole algorithm (MRU probe inline, the rest
+    // in accessFillPath); access() only adds the per-access counters
+    // the hot callers account for themselves.
+    return accessHot(addr, write);
+}
 
-    const uint64_t la = lineAddr(addr);
-    const uint64_t set = la & (numSets_ - 1);
-    const uint64_t tag = la >> log2i(numSets_);
+uint32_t
+Cache::accessFillPath(Addr addr, bool write, uint64_t set, uint64_t tag)
+{
     Line *way = &lines_[set * params_.assoc];
-
-    // MRU-first early exit: hot access streams mostly re-hit the line
-    // they touched last, so probe it before the associative scan.
-    {
-        Line &mruLine = way[mru_[set]];
-        if (mruLine.valid && mruLine.tag == tag) {
-            mruLine.lastUse = ++useCounter_;
-            if (write)
-                mruLine.dirty = true;
-            return params_.hitLatency;
-        }
-    }
-
     Line *hit = nullptr;
     Line *victim = &way[0];
     for (uint32_t w = 0; w < params_.assoc; ++w) {

@@ -54,6 +54,38 @@ class Cache
      */
     uint32_t access(Addr addr, bool write);
 
+    /**
+     * The caller-accounted hot variant of access(): identical line,
+     * LRU, miss, and writeback behaviour (access() is implemented on
+     * top of it), except that the per-access "accesses"/"writes"
+     * counter bumps are the caller's responsibility — hot consumers
+     * (the trace-feed timing path, sampled-mode warming) bump cached
+     * StatGroup::cell() pointers instead, keeping the common
+     * MRU-hit case free of map lookups. Final counter values are
+     * identical either way; miss-side stats stay internal.
+     */
+    uint32_t
+    accessHot(Addr addr, bool write)
+    {
+        if (perfect_)
+            return params_.hitLatency;
+        const uint64_t la = uint64_t(addr) >> lineShift_;
+        const uint64_t set = la & (numSets_ - 1);
+        const uint64_t tag = la >> tagShift_;
+        Line *way = &lines_[set * params_.assoc];
+        Line &mruLine = way[mru_[set]];
+        if (mruLine.valid && mruLine.tag == tag) {
+            mruLine.lastUse = ++useCounter_;
+            if (write)
+                mruLine.dirty = true;
+            return params_.hitLatency;
+        }
+        return accessFillPath(addr, write, set, tag);
+    }
+
+    /** Mutable stats access for cell() caching by hot consumers. */
+    StatGroup &statsMutable() { return stats_; }
+
     /** True if @p addr is resident (no state change, no stats). */
     bool probe(Addr addr) const;
 
@@ -95,11 +127,17 @@ class Cache
 
     uint64_t lineAddr(Addr addr) const { return addr / params_.lineBytes; }
 
+    /** Non-MRU hits and the whole miss path of accessHot(). */
+    uint32_t accessFillPath(Addr addr, bool write, uint64_t set,
+                            uint64_t tag);
+
     CacheParams params_;
     Cache *next_;
     uint32_t memLatency_;
     bool perfect_;
     uint32_t numSets_ = 1;
+    uint32_t lineShift_ = 0; ///< log2(lineBytes); valid when !perfect_
+    uint32_t tagShift_ = 0;  ///< log2(numSets_); valid when !perfect_
     std::vector<Line> lines_; ///< numSets_ x assoc, row-major
     /**
      * Most-recently-used way per set: access() probes it before the

@@ -2,9 +2,23 @@
 
 #include <algorithm>
 
+#include "src/common/bits.hpp"
 #include "src/common/logging.hpp"
 
 namespace dise {
+
+namespace {
+
+/** Records per ExecCore::fillTrace batch on the trace-feed path.
+ *  Sized so the ring (kFeedBatch * sizeof(DynInst)) stays L1-resident:
+ *  the producer writes and the consumer reads every record exactly
+ *  once, so a larger ring only adds cache traffic. */
+constexpr size_t kFeedBatch = 64;
+
+/** Commit-clock advance between deadline-cancel polls (step path). */
+constexpr uint64_t kCancelPollCycles = 0x10000;
+
+} // namespace
 
 PipelineSim::PipelineSim(const Program &prog, const PipelineParams &params,
                          DiseController *controller)
@@ -12,25 +26,142 @@ PipelineSim::PipelineSim(const Program &prog, const PipelineParams &params,
       mem_(params.mem), bpred_(params.bpred)
 {
     feDepth_ = params_.frontendDepth;
+    uint64_t missPenMax = 0;
     if (controller_) {
         const DiseConfig &cfg = controller_->engine().config();
         if (cfg.placement == DisePlacement::Pipe)
             feDepth_ += 1;
         stallPerExpansion_ = cfg.placement == DisePlacement::Stall;
+        missPenMax = std::max<uint64_t>(cfg.missPenalty,
+                                        cfg.composedMissPenalty);
     }
     commitRing_.assign(params_.robEntries, 0);
     issueRing_.assign(params_.rsEntries, 0);
     regReady_.fill(0);
+
+    const uint32_t lb = params_.mem.lineBytes;
+    feLinePow2_ = lb != 0 && isPow2(lb);
+    feLineShift_ = feLinePow2_ ? log2i(lb) : 0;
+
+    // Worst-case commit-clock advance for one instruction: a PT/RT fill
+    // stall, plus an I-side and a D-side full miss chain (each at most
+    // L1 + fill-from-L2 + fill-from-memory, doubled for the writeback
+    // recursion), plus the deepest redirect refill and the longest
+    // execution latency, all doubled with fixed slop so the bound stays
+    // safe against bandwidth/occupancy rounding. Only batch sizing near
+    // a cycle budget uses it; it is asserted, never trusted silently.
+    const MemHierarchyParams &m = params_.mem;
+    const uint64_t missChain =
+        uint64_t(m.l1Latency) + 2 * (uint64_t(m.l2Latency) + m.memLatency);
+    perInstCycleBound_ =
+        2 * (missPenMax + 2 * missChain + feDepth_ +
+             params_.syscallLatency + params_.intMultLatency +
+             params_.decodeRedirectPenalty + params_.width + 16);
+
+    rebindHotCells();
 }
 
 void
-PipelineSim::newFetchGroup(uint64_t cycle, Addr pc, bool accessICache)
+PipelineSim::rebindHotCells()
+{
+    icAccCell_ = mem_.icache().statsMutable().cell("accesses");
+    dcAccCell_ = mem_.dcache().statsMutable().cell("accesses");
+    dcWrCell_ = mem_.dcache().statsMutable().cell("writes");
+    bpPredCell_ = bpred_.stats().cell("predictions");
+    bpUpdCell_ = bpred_.stats().cell("updates");
+}
+
+void
+PipelineSim::setSampling(uint64_t period, uint64_t detail)
+{
+    if (period == 0) {
+        samplePeriod_ = 0;
+        sampleDetail_ = 0;
+        phaseDetail_ = true;
+        phaseLeft_ = 0;
+        result_.sampling = SamplingInfo{};
+        return;
+    }
+    DISE_ASSERT(detail > 0 && detail <= period,
+                "sampling detail must be in [1, period]");
+    samplePeriod_ = period;
+    sampleDetail_ = detail;
+    phaseDetail_ = true;
+    phaseLeft_ = detail;
+    result_.sampling.enabled = true;
+    result_.sampling.period = period;
+    result_.sampling.detail = detail;
+}
+
+// ---------------------------------------------------------------------
+// Leaf accessors: the ONLY divergence between the step-driven reference
+// (kFast = false: public stat-counting component entry points) and the
+// trace-feed path (kFast = true: inline hot variants + cached cells).
+// ---------------------------------------------------------------------
+
+template <bool kFast>
+uint32_t
+PipelineSim::fetchAccessT(Addr pc)
+{
+    if constexpr (kFast) {
+        ++*icAccCell_;
+        return mem_.icache().accessHot(pc, false);
+    } else {
+        return mem_.fetchAccess(pc);
+    }
+}
+
+template <bool kFast>
+uint32_t
+PipelineSim::dataAccessT(Addr addr, bool write)
+{
+    if constexpr (kFast) {
+        ++*dcAccCell_;
+        if (write)
+            ++*dcWrCell_;
+        return mem_.dcache().accessHot(addr, write);
+    } else {
+        return mem_.dataAccess(addr, write);
+    }
+}
+
+template <bool kFast>
+BranchPredictor::Prediction
+PipelineSim::predictT(Addr pc, OpClass cls, Addr fallThrough)
+{
+    if constexpr (kFast) {
+        ++*bpPredCell_;
+        return bpred_.predictHot(pc, cls, fallThrough);
+    } else {
+        return bpred_.predict(pc, cls, fallThrough);
+    }
+}
+
+template <bool kFast>
+void
+PipelineSim::updateT(Addr pc, OpClass cls, bool taken, Addr target)
+{
+    if constexpr (kFast) {
+        ++*bpUpdCell_;
+        bpred_.updateHot(pc, cls, taken, target);
+    } else {
+        bpred_.update(pc, cls, taken, target);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The timing model proper (shared between both delivery paths).
+// ---------------------------------------------------------------------
+
+template <bool kFast>
+void
+PipelineSim::newFetchGroupT(uint64_t cycle, Addr pc, bool accessICache)
 {
     feCycle_ = std::max(feCycle_, cycle);
     feSlots_ = 0;
-    const uint64_t line = pc / mem_.params().lineBytes;
+    const uint64_t line = fetchLine(pc);
     if (accessICache || line != curLine_) {
-        const uint32_t lat = mem_.fetchAccess(pc);
+        const uint32_t lat = fetchAccessT<kFast>(pc);
         if (lat > params_.mem.l1Latency) {
             feCycle_ += lat - params_.mem.l1Latency;
             pend_.imiss += lat - params_.mem.l1Latency;
@@ -48,8 +179,9 @@ PipelineSim::raiseRedirect(uint64_t cycle, StallCause cause)
     }
 }
 
+template <bool kFast>
 uint64_t
-PipelineSim::frontend(const DynInst &dyn)
+PipelineSim::frontendT(const DynInst &dyn)
 {
     const bool appBoundary = !dyn.expanded || dyn.firstOfSeq;
 
@@ -72,8 +204,8 @@ PipelineSim::frontend(const DynInst &dyn)
                     break;
                 }
             }
-            newFetchGroup(std::max(pendingRedirect_, feCycle_), dyn.pc,
-                          true);
+            newFetchGroupT<kFast>(std::max(pendingRedirect_, feCycle_),
+                                  dyn.pc, true);
             pendingRedirect_ = 0;
             redirectCause_ = StallCause::None;
         }
@@ -81,7 +213,7 @@ PipelineSim::frontend(const DynInst &dyn)
         if (dyn.missPenalty > 0) {
             result_.missStallCycles += dyn.missPenalty;
             pend_.dise += dyn.missPenalty;
-            newFetchGroup(feCycle_ + dyn.missPenalty, dyn.pc, true);
+            newFetchGroupT<kFast>(feCycle_ + dyn.missPenalty, dyn.pc, true);
         }
         // Expansion stall placement: one bubble per expansion.
         if (dyn.firstOfSeq && stallPerExpansion_) {
@@ -89,13 +221,13 @@ PipelineSim::frontend(const DynInst &dyn)
             pend_.dise += 1;
             feCycle_ += 1;
         }
-        const uint64_t line = dyn.pc / mem_.params().lineBytes;
+        const uint64_t line = fetchLine(dyn.pc);
         if (line != curLine_) {
             // Line crossing: new fetch group with an I-cache access.
-            newFetchGroup(feSlots_ > 0 ? feCycle_ + 1 : feCycle_, dyn.pc,
-                          true);
+            newFetchGroupT<kFast>(feSlots_ > 0 ? feCycle_ + 1 : feCycle_,
+                                  dyn.pc, true);
         } else if (feSlots_ >= params_.width) {
-            newFetchGroup(feCycle_ + 1, dyn.pc, false);
+            newFetchGroupT<kFast>(feCycle_ + 1, dyn.pc, false);
         }
     } else {
         // Replacement instruction: consumes a decode slot, no fetch.
@@ -122,10 +254,11 @@ PipelineSim::instLatency(const DynInst &dyn) const
     }
 }
 
+template <bool kFast>
 void
-PipelineSim::resolveControl(Addr pc, OpClass cls, bool taken, Addr target,
-                            uint64_t resolveCycle, uint64_t decodeCycle,
-                            const BranchPredictor::Prediction &pred)
+PipelineSim::resolveControlT(Addr pc, OpClass cls, bool taken, Addr target,
+                             uint64_t resolveCycle, uint64_t decodeCycle,
+                             const BranchPredictor::Prediction &pred)
 {
     const bool wrongDir = pred.taken != taken;
     const bool wrongTarget =
@@ -149,100 +282,117 @@ PipelineSim::resolveControl(Addr pc, OpClass cls, bool taken, Addr target,
         curLine_ = ~uint64_t(0);
     }
     if (cls != OpClass::Nop) {
-        bpred_.update(pc, cls, taken, target);
+        updateT<kFast>(pc, cls, taken, target);
         if (cls == OpClass::Call || cls == OpClass::CallIndirect)
             bpred_.pushReturn(pc + 4);
     }
 }
 
-TimingResult
-PipelineSim::run(uint64_t maxInsts, uint64_t maxCycles)
+template <bool kFast>
+void
+PipelineSim::timeInst(const DynInst &dyn)
 {
-    DynInst dyn;
-    uint64_t steps = 0;
-    bool cycleBudgetExpired = false;
-    while (steps < maxInsts && core_.step(dyn)) {
-        ++steps;
+    // ---- Front end: decode timestamp. ----
+    const uint64_t decodeCycle = frontendT<kFast>(dyn);
 
-        // ---- Front end: decode timestamp. ----
-        const uint64_t decodeCycle = frontend(dyn);
-
-        // ---- Dispatch. ----
-        uint64_t dispatch = decodeCycle + feDepth_;
-        // ROB entry must be free.
-        const uint64_t robFree =
-            commitRing_[instIndex_ % params_.robEntries];
-        if (robFree > dispatch) {
-            pend_.hazard += robFree - dispatch;
-            dispatch = robFree;
-        }
-        // RS entry must be free (freed at issue).
-        const uint64_t rsFree =
-            issueRing_[instIndex_ % params_.rsEntries] + 1;
-        if (rsFree > dispatch) {
-            pend_.hazard += rsFree - dispatch;
-            dispatch = rsFree;
-        }
-        // In-order dispatch, width per cycle.
-        if (dispatch < dispatchCycleCur_)
-            dispatch = dispatchCycleCur_;
-        if (dispatch == dispatchCycleCur_) {
-            if (dispatchSlots_ >= params_.width) {
-                ++dispatch;
-                dispatchCycleCur_ = dispatch;
-                dispatchSlots_ = 0;
-            }
-        } else {
+    // ---- Dispatch. ----
+    uint64_t dispatch = decodeCycle + feDepth_;
+    // Ring slots for this instruction. The feed path keeps incremental
+    // wraparound cursors (a runtime-divisor modulo costs measurable time
+    // per instruction, and these fire four times per inst); the
+    // reference derives the identical slot the original way.
+    const size_t robIdx =
+        kFast ? robIdx_ : size_t(instIndex_ % params_.robEntries);
+    const size_t rsIdx =
+        kFast ? rsIdx_ : size_t(instIndex_ % params_.rsEntries);
+    // ROB entry must be free.
+    const uint64_t robFree = commitRing_[robIdx];
+    if (robFree > dispatch) {
+        pend_.hazard += robFree - dispatch;
+        dispatch = robFree;
+    }
+    // RS entry must be free (freed at issue).
+    const uint64_t rsFree = issueRing_[rsIdx] + 1;
+    if (rsFree > dispatch) {
+        pend_.hazard += rsFree - dispatch;
+        dispatch = rsFree;
+    }
+    // In-order dispatch, width per cycle.
+    if (dispatch < dispatchCycleCur_)
+        dispatch = dispatchCycleCur_;
+    if (dispatch == dispatchCycleCur_) {
+        if (dispatchSlots_ >= params_.width) {
+            ++dispatch;
             dispatchCycleCur_ = dispatch;
             dispatchSlots_ = 0;
         }
-        ++dispatchSlots_;
+    } else {
+        dispatchCycleCur_ = dispatch;
+        dispatchSlots_ = 0;
+    }
+    ++dispatchSlots_;
 
-        // ---- Issue: dataflow-limited. ----
-        uint64_t ready = dispatch + 1;
+    // ---- Issue: dataflow-limited. ----
+    uint64_t ready = dispatch + 1;
+    if constexpr (kFast) {
+        const SrcRegList srcs = dyn.inst.srcRegListFast();
+        for (const RegIndex src : srcs)
+            ready = std::max(ready, regReady_[src]);
+    } else {
         for (const RegIndex src : dyn.inst.srcRegList())
             ready = std::max(ready, regReady_[src]);
-        if (ready > dispatch + 1)
-            pend_.hazard += ready - (dispatch + 1);
-        const uint64_t issue = ready;
-        issueRing_[instIndex_ % params_.rsEntries] = issue;
+    }
+    if (ready > dispatch + 1)
+        pend_.hazard += ready - (dispatch + 1);
+    const uint64_t issue = ready;
+    issueRing_[rsIdx] = issue;
 
-        // ---- Complete. ----
-        uint64_t complete = issue + instLatency(dyn);
-        if (dyn.isMem && !dyn.isStore) {
-            // Loads: AGU + D-cache access.
-            const uint32_t lat = mem_.dataAccess(dyn.memAddr, false);
-            if (lat > params_.mem.l1Latency)
-                pend_.dmiss += lat - params_.mem.l1Latency;
-            complete = issue + 1 + lat;
-        }
-        const RegIndex dest = dyn.inst.destReg();
-        if (dest != kZeroReg)
-            regReady_[dest] = complete;
+    // ---- Complete. ----
+    uint64_t complete = issue + instLatency(dyn);
+    if (dyn.isMem && !dyn.isStore) {
+        // Loads: AGU + D-cache access.
+        const uint32_t lat = dataAccessT<kFast>(dyn.memAddr, false);
+        if (lat > params_.mem.l1Latency)
+            pend_.dmiss += lat - params_.mem.l1Latency;
+        complete = issue + 1 + lat;
+    }
+    const RegIndex dest =
+        kFast ? dyn.inst.destRegFast() : dyn.inst.destReg();
+    if (dest != kZeroReg)
+        regReady_[dest] = complete;
 
-        // ---- Commit: in order, width per cycle. ----
-        const uint64_t prevCommitClock = lastCommit_;
-        uint64_t commit = std::max(complete + 1, lastCommit_);
-        if (commit == commitCycleCur_) {
-            if (commitSlots_ >= params_.width) {
-                ++commit;
-                commitCycleCur_ = commit;
-                commitSlots_ = 0;
-            }
-        } else {
+    // ---- Commit: in order, width per cycle. ----
+    const uint64_t prevCommitClock = lastCommit_;
+    uint64_t commit = std::max(complete + 1, lastCommit_);
+    if (commit == commitCycleCur_) {
+        if (commitSlots_ >= params_.width) {
+            ++commit;
             commitCycleCur_ = commit;
             commitSlots_ = 0;
         }
-        ++commitSlots_;
-        lastCommit_ = commit;
-        commitRing_[instIndex_ % params_.robEntries] = commit;
+    } else {
+        commitCycleCur_ = commit;
+        commitSlots_ = 0;
+    }
+    ++commitSlots_;
+    lastCommit_ = commit;
+    commitRing_[robIdx] = commit;
 
-        // ---- Cycle accounting (see CycleBreakdown): charge this
-        // instruction's commit-clock advance to its observed stall
-        // causes in priority order; the remainder is base issue work.
-        // Amounts left unconsumed overlapped older work — drop them.
-        {
-            uint64_t remaining = commit - prevCommitClock;
+    // ---- Cycle accounting (see CycleBreakdown): charge this
+    // instruction's commit-clock advance to its observed stall
+    // causes in priority order; the remainder is base issue work.
+    // Amounts left unconsumed overlapped older work — drop them.
+    {
+        uint64_t remaining = commit - prevCommitClock;
+        // Most instructions observe no stall at all: every charge below
+        // would be a no-op, so short-circuit straight to the issue
+        // bucket (bit-identical — charging zeros changes nothing).
+        const uint64_t anyStall = pend_.dise | pend_.imiss |
+                                  pend_.branch | pend_.drain |
+                                  pend_.dmiss | pend_.hazard;
+        if (anyStall == 0) {
+            result_.buckets.issue += remaining;
+        } else {
             const auto charge = [&remaining](uint64_t &bucket,
                                              uint64_t amount) {
                 const uint64_t take = std::min(remaining, amount);
@@ -258,108 +408,357 @@ PipelineSim::run(uint64_t maxInsts, uint64_t maxCycles)
             result_.buckets.issue += remaining;
             pend_ = PendingStalls{};
         }
+    }
 
-        if (dyn.isStore) {
-            // Store buffer: D-cache updated at commit, off the critical
-            // path.
-            mem_.dataAccess(dyn.memAddr, true);
-        }
-        if (dyn.isSyscall) {
-            // Syscalls serialize the pipeline.
-            raiseRedirect(commit + 1, StallCause::Drain);
-        }
+    if (dyn.isStore) {
+        // Store buffer: D-cache updated at commit, off the critical
+        // path.
+        dataAccessT<kFast>(dyn.memAddr, true);
+    }
+    if (dyn.isSyscall) {
+        // Syscalls serialize the pipeline.
+        raiseRedirect(commit + 1, StallCause::Drain);
+    }
 
-        // ---- Control flow and prediction. ----
-        //
-        // The front end predicts once per fetched (application-level)
-        // PC. For an expansion, that single prediction covers the whole
-        // replacement sequence: internal branches are never predicted
-        // separately (paper Section 2.2) — a sequence whose outcome
-        // differs from the trigger-PC prediction costs a mispredict
-        // resolved when its deciding branch executes.
-        if (!dyn.expanded) {
-            if (dyn.isAppControl) {
-                const auto pred =
-                    bpred_.predict(dyn.pc, dyn.inst.cls, dyn.pc + 4);
-                resolveControl(dyn.pc, dyn.inst.cls, dyn.taken,
-                               dyn.actualTarget, complete, decodeCycle,
-                               pred);
+    // ---- Control flow and prediction. ----
+    //
+    // The front end predicts once per fetched (application-level)
+    // PC. For an expansion, that single prediction covers the whole
+    // replacement sequence: internal branches are never predicted
+    // separately (paper Section 2.2) — a sequence whose outcome
+    // differs from the trigger-PC prediction costs a mispredict
+    // resolved when its deciding branch executes.
+    if (!dyn.expanded) {
+        if (dyn.isAppControl) {
+            const auto pred =
+                predictT<kFast>(dyn.pc, dyn.inst.cls, dyn.pc + 4);
+            resolveControlT<kFast>(dyn.pc, dyn.inst.cls, dyn.taken,
+                                   dyn.actualTarget, complete, decodeCycle,
+                                   pred);
+        }
+    } else {
+        if (dyn.firstOfSeq) {
+            seqPredCls_ = dyn.seqPredClass;
+            seqTriggerPC_ = dyn.pc;
+            seqTrigTaken_ = false;
+            seqTrigTarget_ = 0;
+            seqRedirected_ = false;
+            seqRedirTarget_ = 0;
+            seqResolve_ = complete;
+            if (seqPredCls_ != OpClass::Nop) {
+                seqPred_ =
+                    predictT<kFast>(dyn.pc, seqPredCls_, dyn.pc + 4);
+            } else {
+                seqPred_ = BranchPredictor::Prediction{};
+                seqPred_.target = dyn.pc + 4;
+                seqPred_.targetKnown = true;
             }
-        } else {
-            if (dyn.firstOfSeq) {
-                seqPredCls_ = dyn.seqPredClass;
-                seqTriggerPC_ = dyn.pc;
-                seqTrigTaken_ = false;
-                seqTrigTarget_ = 0;
-                seqRedirected_ = false;
-                seqRedirTarget_ = 0;
-                seqResolve_ = complete;
-                if (seqPredCls_ != OpClass::Nop) {
-                    seqPred_ = bpred_.predict(dyn.pc, seqPredCls_,
-                                              dyn.pc + 4);
+        }
+        if (dyn.inst.isDiseBranch() && dyn.taken) {
+            // Taken DISE branch: fetch restarts at the same PC, new
+            // DISEPC — interpreted as a misprediction.
+            ++result_.diseMispredicts;
+            raiseRedirect(complete + 1, StallCause::Dise);
+        }
+        if (dyn.isAppControl) {
+            seqResolve_ = std::max(seqResolve_, complete);
+            if (dyn.taken) {
+                if (dyn.triggerSlot) {
+                    // Deferred: applied at sequence end unless a
+                    // later non-trigger branch redirects first.
+                    seqTrigTaken_ = true;
+                    seqTrigTarget_ = dyn.actualTarget;
                 } else {
-                    seqPred_ = BranchPredictor::Prediction{};
-                    seqPred_.target = dyn.pc + 4;
-                    seqPred_.targetKnown = true;
+                    seqRedirected_ = true;
+                    seqRedirTarget_ = dyn.actualTarget;
                 }
-            }
-            if (dyn.inst.isDiseBranch() && dyn.taken) {
-                // Taken DISE branch: fetch restarts at the same PC, new
-                // DISEPC — interpreted as a misprediction.
-                ++result_.diseMispredicts;
-                raiseRedirect(complete + 1, StallCause::Dise);
-            }
-            if (dyn.isAppControl) {
-                seqResolve_ = std::max(seqResolve_, complete);
-                if (dyn.taken) {
-                    if (dyn.triggerSlot) {
-                        // Deferred: applied at sequence end unless a
-                        // later non-trigger branch redirects first.
-                        seqTrigTaken_ = true;
-                        seqTrigTarget_ = dyn.actualTarget;
-                    } else {
-                        seqRedirected_ = true;
-                        seqRedirTarget_ = dyn.actualTarget;
-                    }
-                }
-            }
-            if (dyn.lastOfSeq) {
-                const bool taken = seqRedirected_ || seqTrigTaken_;
-                const Addr next = seqRedirected_
-                                      ? seqRedirTarget_
-                                      : (seqTrigTaken_ ? seqTrigTarget_
-                                                       : dyn.pc + 4);
-                resolveControl(seqTriggerPC_, seqPredCls_, taken, next,
-                               std::max(seqResolve_, complete),
-                               decodeCycle, seqPred_);
             }
         }
+        if (dyn.lastOfSeq) {
+            const bool taken = seqRedirected_ || seqTrigTaken_;
+            const Addr next = seqRedirected_
+                                  ? seqRedirTarget_
+                                  : (seqTrigTaken_ ? seqTrigTarget_
+                                                   : dyn.pc + 4);
+            resolveControlT<kFast>(seqTriggerPC_, seqPredCls_, taken, next,
+                                   std::max(seqResolve_, complete),
+                                   decodeCycle, seqPred_);
+        }
+    }
 
-        ++instIndex_;
+    ++instIndex_;
+    if constexpr (kFast) {
+        if (++robIdx_ == params_.robEntries)
+            robIdx_ = 0;
+        if (++rsIdx_ == params_.rsEntries)
+            rsIdx_ = 0;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Functional warming (sampling gaps).
+// ---------------------------------------------------------------------
+
+void
+PipelineSim::warmInst(const DynInst &dyn)
+{
+    // I-side: the detailed front end touches the I-cache once per
+    // fetched line plus once per redirect target; a redirect (branch
+    // flush, PT/RT fill, syscall drain) re-accesses even a same-line
+    // target. Model that by invalidating the current-line latch on
+    // every redirect cause and accessing on line change.
+    const bool appBoundary = !dyn.expanded || dyn.firstOfSeq;
+    if (appBoundary) {
+        if (dyn.missPenalty > 0)
+            curLine_ = ~uint64_t(0); // PT/RT fill flushes the front end
+        const uint64_t line = fetchLine(dyn.pc);
+        if (line != curLine_) {
+            ++*icAccCell_;
+            mem_.icache().accessHot(dyn.pc, false);
+            curLine_ = line;
+        }
+    }
+
+    // D-side: loads and stores in program order, exactly as the
+    // detailed model orders its calls (loads at issue, stores at
+    // commit, both within the same per-instruction pass).
+    if (dyn.isMem) {
+        ++*dcAccCell_;
+        if (dyn.isStore)
+            ++*dcWrCell_;
+        mem_.dcache().accessHot(dyn.memAddr, dyn.isStore);
+    }
+
+    // Branch predictor: replicate the detailed model's predict/update/
+    // RAS traffic, including sequence-level prediction for expansions.
+    // A refetch happens iff the branch was taken (actual redirect or
+    // correctly predicted taken) or predicted taken (wrong-direction
+    // flush) — in all three cases the detailed front end starts a new
+    // fetch group with an unconditional I-cache access.
+    if (!dyn.expanded) {
+        if (dyn.isAppControl) {
+            ++*bpPredCell_;
+            const auto pred =
+                bpred_.predictHot(dyn.pc, dyn.inst.cls, dyn.pc + 4);
+            ++*bpUpdCell_;
+            bpred_.updateHot(dyn.pc, dyn.inst.cls, dyn.taken,
+                             dyn.actualTarget);
+            if (dyn.inst.cls == OpClass::Call ||
+                dyn.inst.cls == OpClass::CallIndirect)
+                bpred_.pushReturn(dyn.pc + 4);
+            if (dyn.taken || pred.taken)
+                curLine_ = ~uint64_t(0);
+        }
+    } else {
+        if (dyn.firstOfSeq) {
+            seqPredCls_ = dyn.seqPredClass;
+            seqTriggerPC_ = dyn.pc;
+            seqTrigTaken_ = false;
+            seqTrigTarget_ = 0;
+            seqRedirected_ = false;
+            seqRedirTarget_ = 0;
+            if (seqPredCls_ != OpClass::Nop) {
+                ++*bpPredCell_;
+                seqPred_ = bpred_.predictHot(dyn.pc, seqPredCls_,
+                                             dyn.pc + 4);
+            } else {
+                seqPred_ = BranchPredictor::Prediction{};
+                seqPred_.target = dyn.pc + 4;
+                seqPred_.targetKnown = true;
+            }
+        }
+        if (dyn.inst.isDiseBranch() && dyn.taken)
+            curLine_ = ~uint64_t(0); // unpredicted redirect, refetch
+        if (dyn.isAppControl && dyn.taken) {
+            if (dyn.triggerSlot) {
+                seqTrigTaken_ = true;
+                seqTrigTarget_ = dyn.actualTarget;
+            } else {
+                seqRedirected_ = true;
+                seqRedirTarget_ = dyn.actualTarget;
+            }
+        }
+        if (dyn.lastOfSeq) {
+            const bool taken = seqRedirected_ || seqTrigTaken_;
+            const Addr next = seqRedirected_
+                                  ? seqRedirTarget_
+                                  : (seqTrigTaken_ ? seqTrigTarget_
+                                                   : dyn.pc + 4);
+            if (seqPredCls_ != OpClass::Nop) {
+                ++*bpUpdCell_;
+                bpred_.updateHot(seqTriggerPC_, seqPredCls_, taken, next);
+                if (seqPredCls_ == OpClass::Call ||
+                    seqPredCls_ == OpClass::CallIndirect)
+                    bpred_.pushReturn(seqTriggerPC_ + 4);
+            }
+            if (taken || seqPred_.taken)
+                curLine_ = ~uint64_t(0);
+        }
+    }
+    if (dyn.isSyscall)
+        curLine_ = ~uint64_t(0); // drain forces a refetch
+}
+
+// ---------------------------------------------------------------------
+// Delivery loops.
+// ---------------------------------------------------------------------
+
+PipelineSim::RunStop
+PipelineSim::runStepDriven(uint64_t maxInsts, uint64_t maxCycles)
+{
+    DynInst dyn;
+    RunStop stop;
+    while (stop.steps < maxInsts && core_.step(dyn)) {
+        ++stop.steps;
+        timeInst<false>(dyn);
         if (maxCycles != 0 && lastCommit_ > maxCycles) {
-            cycleBudgetExpired = true;
+            stop.cycleBudgetExpired = true;
             break;
         }
         // External wall-clock deadline (the serving daemon): polled at
-        // the same cadence as the functional slow path; a trip is the
-        // cycle-watchdog outcome.
-        if ((steps & 0x3ff) == 0 && core_.cancelRequested()) {
-            cycleBudgetExpired = true;
+        // the same instruction cadence as the functional slow path, and
+        // additionally whenever the commit clock has advanced far since
+        // the last poll — miss-heavy regions cover many cycles (and
+        // much wall time) per instruction, which would otherwise
+        // stretch the poll interval. A trip is the cycle-watchdog
+        // outcome.
+        if ((stop.steps & 0x3ff) == 0 ||
+            lastCommit_ - lastCancelPollCommit_ >= kCancelPollCycles) {
+            lastCancelPollCommit_ = lastCommit_;
+            if (core_.cancelRequested()) {
+                stop.cycleBudgetExpired = true;
+                break;
+            }
+        }
+    }
+    return stop;
+}
+
+PipelineSim::RunStop
+PipelineSim::runFeed(uint64_t maxInsts, uint64_t maxCycles)
+{
+    if (ring_.empty())
+        ring_.resize(kFeedBatch);
+    const bool sampling = samplePeriod_ != 0;
+    // Derived ring cursors for the kFast structural-hazard walk (see
+    // timeInst): recomputed here rather than checkpointed, so snapshot
+    // layout stays independent of the feed implementation.
+    robIdx_ = size_t(instIndex_ % params_.robEntries);
+    rsIdx_ = size_t(instIndex_ % params_.rsEntries);
+    RunStop stop;
+    while (stop.steps < maxInsts) {
+        uint64_t want =
+            std::min<uint64_t>(kFeedBatch, maxInsts - stop.steps);
+        bool bounded = false;
+        if (maxCycles != 0 && phaseDetail_) {
+            // Size the batch so a full batch cannot overshoot the
+            // budget; once the remaining headroom is under one
+            // per-instruction bound, run record-at-a-time so the budget
+            // check below stops on exactly the same instruction as the
+            // per-step reference.
+            const uint64_t headroom = maxCycles - lastCommit_;
+            const uint64_t allowed = headroom / perInstCycleBound_;
+            if (allowed == 0) {
+                want = 1;
+            } else {
+                want = std::min(want, allowed);
+                bounded = true;
+            }
+        }
+        const size_t n = core_.fillTrace(ring_.data(), size_t(want));
+        if (n == 0) {
+            // Program exit/trap, or a cancel before any progress.
+            if (core_.cancelRequested())
+                stop.cycleBudgetExpired = true;
+            break;
+        }
+        if (!sampling) {
+            // Dedicated full-detail loop: no per-record mode dispatch in
+            // the common (unsampled) configuration.
+            for (size_t i = 0; i < n; ++i)
+                timeInst<true>(ring_[i]);
+        } else {
+            for (size_t i = 0; i < n; ++i) {
+                const DynInst &dyn = ring_[i];
+                // Phase switches wait for an application boundary so a
+                // replacement sequence is never split across modes.
+                if (phaseLeft_ == 0 &&
+                    (!dyn.expanded || dyn.firstOfSeq)) {
+                    if (phaseDetail_) {
+                        const uint64_t warmLen =
+                            samplePeriod_ - sampleDetail_;
+                        if (warmLen > 0) {
+                            phaseDetail_ = false;
+                            phaseLeft_ = warmLen;
+                        } else {
+                            phaseLeft_ = sampleDetail_; // detail==period
+                        }
+                    } else {
+                        phaseDetail_ = true;
+                        phaseLeft_ = sampleDetail_;
+                    }
+                }
+                if (phaseLeft_ > 0)
+                    --phaseLeft_;
+                if (phaseDetail_) {
+                    timeInst<true>(dyn);
+                    ++result_.sampling.sampledInsts;
+                } else {
+                    warmInst(dyn);
+                    ++result_.sampling.warmedInsts;
+                }
+            }
+        }
+        stop.steps += n;
+        if (maxCycles != 0) {
+            if (bounded) {
+                // The batch was sized from perInstCycleBound_; a trip
+                // here means the bound is wrong — fail loudly rather
+                // than stop on a different instruction than the
+                // reference would.
+                DISE_ASSERT(lastCommit_ <= maxCycles,
+                            "per-instruction cycle bound violated by a "
+                            "trace-feed batch");
+            } else if (lastCommit_ > maxCycles) {
+                stop.cycleBudgetExpired = true;
+                break;
+            }
+        }
+        // Deadline poll once per batch (finer than the reference's
+        // 1024-instruction stride).
+        lastCancelPollCommit_ = lastCommit_;
+        if (core_.cancelRequested()) {
+            stop.cycleBudgetExpired = true;
             break;
         }
     }
+    return stop;
+}
+
+TimingResult
+PipelineSim::run(uint64_t maxInsts, uint64_t maxCycles)
+{
+    DISE_ASSERT(samplePeriod_ == 0 || traceFeed_,
+                "sampled timing requires the trace feed");
+    const RunStop stop = traceFeed_ ? runFeed(maxInsts, maxCycles)
+                                    : runStepDriven(maxInsts, maxCycles);
 
     result_.cycles = lastCommit_;
     result_.arch = core_.result();
     // Watchdog expiry (instruction cap or cycle budget) with the core
     // still live is a Hang outcome, mirroring ExecCore::run.
     if (result_.arch.outcome == RunOutcome::Running &&
-        (cycleBudgetExpired || steps >= maxInsts)) {
+        (stop.cycleBudgetExpired || stop.steps >= maxInsts)) {
         result_.arch.outcome = RunOutcome::Hang;
     }
     result_.icacheMisses = mem_.icache().misses();
     result_.dcacheMisses = mem_.dcache().misses();
     result_.l2Misses = mem_.l2().misses();
+    if (result_.sampling.enabled) {
+        // Warming never advances the commit clock, so the cycle count
+        // is exactly the cycles measured inside the detailed windows.
+        result_.sampling.measuredCycles = lastCommit_;
+    }
     // The accounting identity: every commit-clock advance was charged
     // to exactly one bucket, so the buckets partition the cycle count.
     DISE_ASSERT(result_.buckets.total() == result_.cycles,
@@ -403,7 +802,10 @@ PipelineSim::saveSnapshot(TimingSnapshot &out) const
                    seqTrigTarget_,
                    seqRedirected_,
                    seqRedirTarget_,
-                   seqResolve_};
+                   seqResolve_,
+                   uint64_t(phaseDetail_),
+                   phaseLeft_,
+                   lastCancelPollCommit_};
     out.scalars.insert(out.scalars.end(), regReady_.begin(),
                        regReady_.end());
     out.scalars.insert(out.scalars.end(), commitRing_.begin(),
@@ -420,7 +822,7 @@ PipelineSim::restoreSnapshot(const TimingSnapshot &snap)
     mem_.adoptState(*snap.mem);
     bpred_ = *snap.bpred;
     const uint64_t *p = snap.scalars.data();
-    DISE_ASSERT(snap.scalars.size() == 27 + regReady_.size() +
+    DISE_ASSERT(snap.scalars.size() == 30 + regReady_.size() +
                                            commitRing_.size() +
                                            issueRing_.size(),
                 "timing snapshot shape mismatch (different machine "
@@ -452,12 +854,18 @@ PipelineSim::restoreSnapshot(const TimingSnapshot &snap)
     seqRedirected_ = *p++ != 0;
     seqRedirTarget_ = *p++;
     seqResolve_ = *p++;
+    phaseDetail_ = *p++ != 0;
+    phaseLeft_ = *p++;
+    lastCancelPollCommit_ = *p++;
     for (uint64_t &r : regReady_)
         r = *p++;
     for (uint64_t &r : commitRing_)
         r = *p++;
     for (uint64_t &r : issueRing_)
         r = *p++;
+    // adoptState/copy-assignment above replaced the components' stat
+    // maps; the cached cells point into the old ones.
+    rebindHotCells();
 }
 
 void
@@ -497,6 +905,21 @@ PipelineSim::registerStats(StatsRegistry &reg)
     reg.add("bpred", &bpred_.stats());
     if (controller_)
         reg.add("dise", &controller_->engine().stats());
+
+    // Only present for sampled runs: full-detail feed and step-driven
+    // runs must serialize identically.
+    if (result_.sampling.enabled) {
+        const SamplingInfo &s = result_.sampling;
+        samplingStats_.set("period", s.period);
+        samplingStats_.set("detail", s.detail);
+        samplingStats_.set("sampled_insts", s.sampledInsts);
+        samplingStats_.set("warmed_insts", s.warmedInsts);
+        samplingStats_.set("measured_cycles", s.measuredCycles);
+        samplingStats_.set("estimated_cycles", result_.estimatedCycles());
+        reg.add("sampling", &samplingStats_);
+        reg.addRatio("sampling.measured_cpi", "sampling.measured_cycles",
+                     "sampling.sampled_insts");
+    }
 
     reg.addRatio("mem.l1i.miss_rate", "mem.l1i.misses",
                  "mem.l1i.accesses");

@@ -28,6 +28,17 @@
  *    issue timestamps, loads access the D-cache at issue, stores at
  *    commit (store buffer hides their latency).
  *
+ * Trace delivery (DESIGN.md Section 14): by default the model pulls the
+ * dynamic stream in batches through ExecCore::fillTrace (the trace
+ * feed), which keeps the architectural interpreter in its fast
+ * dispatch loop and times each batch with inlined cache/predictor
+ * accessors. setTraceFeed(false) falls back to per-instruction
+ * ExecCore::step — the bit-identical reference path. On top of the
+ * feed, setSampling enables SMARTS-style sampled timing: periodic
+ * detailed windows with functional warming (caches + branch predictor
+ * only, zero cycles) in between, reporting measured CPI over the
+ * sampled windows and an extrapolated whole-run cycle estimate.
+ *
  * Deliberate simplifications (documented in DESIGN.md): wrong-path fetch
  * consumes the mispredict shadow but does not pollute the I-cache;
  * issue-port contention is subsumed by dispatch/commit width.
@@ -97,6 +108,35 @@ struct CycleBreakdown
     }
 };
 
+/**
+ * SMARTS-style sampling configuration and measurements. When enabled,
+ * the dynamic stream alternates between detailed windows (@c detail
+ * instructions timed by the full pipeline model) and warming gaps
+ * (@c period - @c detail instructions that only touch the caches and
+ * branch predictor, advancing the cycle clock by nothing). Windows
+ * start and end on application-instruction boundaries, so a DISE
+ * replacement sequence is never split across a phase switch; the run
+ * always opens with a detailed window, making a period that covers the
+ * whole run equivalent to full detailed timing.
+ */
+struct SamplingInfo
+{
+    bool enabled = false;
+    uint64_t period = 0;         ///< sampling unit, in instructions
+    uint64_t detail = 0;         ///< detailed instructions per unit
+    uint64_t sampledInsts = 0;   ///< instructions timed in detail
+    uint64_t warmedInsts = 0;    ///< instructions functionally warmed
+    uint64_t measuredCycles = 0; ///< commit-clock cycles in the windows
+
+    /** CPI measured over the detailed windows only. */
+    double
+    measuredCpi() const
+    {
+        return sampledInsts ? double(measuredCycles) / double(sampledInsts)
+                            : 0.0;
+    }
+};
+
 /** Timing results of one run. */
 struct TimingResult
 {
@@ -117,11 +157,26 @@ struct TimingResult
     uint64_t icacheMisses = 0;
     uint64_t dcacheMisses = 0;
     uint64_t l2Misses = 0;
+    /** Sampled-timing configuration and measurements (default: off). */
+    SamplingInfo sampling;
 
     double
     ipc() const
     {
         return cycles ? double(arch.dynInsts) / double(cycles) : 0.0;
+    }
+
+    /**
+     * Whole-run cycle estimate: the sampled-CPI extrapolation over all
+     * retired instructions when sampling, the exact count otherwise.
+     */
+    uint64_t
+    estimatedCycles() const
+    {
+        if (!sampling.enabled || sampling.sampledInsts == 0)
+            return cycles;
+        return uint64_t(sampling.measuredCpi() * double(arch.dynInsts) +
+                        0.5);
     }
 };
 
@@ -132,7 +187,12 @@ struct TimingResult
  * accumulated TimingResult, and the pipeline's clock/occupancy
  * scalars. PipelineSim::run is resumable (all loop state lives in
  * members), so restoring a checkpoint and running on is bit-identical
- * — cycles, buckets, counters — to a run that never stopped.
+ * — cycles, buckets, counters — to a run that never stopped. This
+ * holds on the trace-feed path at any batch boundary and under
+ * sampling at any point in the phase schedule (the sampling phase
+ * position is part of the scalar state); the trace-feed and sampling
+ * *configuration* is not checkpointed — configure the restored
+ * simulator the same way before restoring.
  */
 struct TimingSnapshot
 {
@@ -141,7 +201,8 @@ struct TimingSnapshot
     std::unique_ptr<MemHierarchy> mem;
     std::unique_ptr<BranchPredictor> bpred;
     /** Opaque pipeline scalar state (front end, accounting, back end,
-     *  sequence-level prediction); filled by PipelineSim. */
+     *  sequence-level prediction, sampling phase); filled by
+     *  PipelineSim. */
     std::vector<uint64_t> scalars;
 };
 
@@ -171,6 +232,26 @@ class PipelineSim
     TimingResult run(uint64_t maxInsts = ~uint64_t(0),
                      uint64_t maxCycles = 0);
 
+    /**
+     * Select the trace-delivery path (default: the batched trace feed).
+     * The step-driven path is the reference: both produce bit-identical
+     * cycles, buckets, and component statistics; the feed is simply
+     * faster. Sampled timing requires the feed.
+     */
+    void setTraceFeed(bool enabled) { traceFeed_ = enabled; }
+    bool traceFeedEnabled() const { return traceFeed_; }
+
+    /**
+     * Configure SMARTS-style sampled timing (see SamplingInfo).
+     * @param period Sampling unit in instructions; 0 disables sampling.
+     * @param detail Detailed instructions per unit; must be in
+     *               [1, period] when period is nonzero. detail == period
+     *               degenerates to full detailed timing.
+     * Call before run(); re-arming mid-stream restarts the phase
+     * schedule at a detailed window.
+     */
+    void setSampling(uint64_t period, uint64_t detail);
+
     ExecCore &core() { return core_; }
     MemHierarchy &mem() { return mem_; }
     BranchPredictor &predictor() { return bpred_; }
@@ -191,9 +272,12 @@ class PipelineSim
      * Register every component's StatGroup (caches, predictor, engine
      * when present, the pipeline's own cycle accounting, and the
      * architectural run counters) into @p reg under hierarchical names,
-     * plus the standard derived ratios (miss rates, IPC/CPI). Call
-     * after run(); the registry reads the groups lazily, so it must be
-     * serialized while this simulator is alive.
+     * plus the standard derived ratios (miss rates, IPC/CPI). When
+     * sampled timing ran, a "sampling" group with the window
+     * configuration, measured cycles and the CPI extrapolation is
+     * included (never otherwise, so feed and step-driven runs serialize
+     * identically). Call after run(); the registry reads the groups
+     * lazily, so it must be serialized while this simulator is alive.
      */
     void registerStats(StatsRegistry &reg);
 
@@ -201,24 +285,89 @@ class PipelineSim
     /** What raised the pending front-end redirect (for accounting). */
     enum class StallCause : uint8_t { None, Branch, Dise, Drain };
 
-    /** Front-end delivery: returns the decode cycle of @p dyn. */
-    uint64_t frontend(const DynInst &dyn);
+    /** How a run loop stopped (shared epilogue input). */
+    struct RunStop
+    {
+        uint64_t steps = 0;
+        bool cycleBudgetExpired = false;
+    };
 
-    /** Raise the pending redirect to @p cycle, tracking its cause. */
-    void raiseRedirect(uint64_t cycle, StallCause cause);
+    /**
+     * @name The timing model proper, shared by both delivery paths.
+     *
+     * Every function is templated on kFast, which selects only the leaf
+     * accessors: kFast = false uses the component's public stat-counting
+     * entry points (Cache::access, BranchPredictor::predict/update,
+     * DecodedInst::srcRegList) — the frozen reference; kFast = true uses
+     * the inline hot variants plus cached StatGroup cells, leaving every
+     * timing decision byte-for-byte the same. Identity between the two
+     * paths is by construction, not by parallel maintenance.
+     */
+    /// @{
+    /** Time one dynamic instruction (the whole per-instruction pass:
+     *  frontend → dispatch → issue → complete → commit → accounting →
+     *  control resolution). */
+    template <bool kFast> void timeInst(const DynInst &dyn);
+
+    /** Front-end delivery: returns the decode cycle of @p dyn. */
+    template <bool kFast> uint64_t frontendT(const DynInst &dyn);
 
     /** Start a new fetch group at @p cycle fetching @p pc. */
-    void newFetchGroup(uint64_t cycle, Addr pc, bool accessICache);
-
-    uint32_t instLatency(const DynInst &dyn) const;
+    template <bool kFast>
+    void newFetchGroupT(uint64_t cycle, Addr pc, bool accessICache);
 
     /**
      * Evaluate a resolved control transfer against its prediction,
      * charging redirects and training the predictor.
      */
-    void resolveControl(Addr pc, OpClass cls, bool taken, Addr target,
-                        uint64_t resolveCycle, uint64_t decodeCycle,
-                        const BranchPredictor::Prediction &pred);
+    template <bool kFast>
+    void resolveControlT(Addr pc, OpClass cls, bool taken, Addr target,
+                         uint64_t resolveCycle, uint64_t decodeCycle,
+                         const BranchPredictor::Prediction &pred);
+
+    /** Leaf accessors (see the group comment). */
+    template <bool kFast> uint32_t fetchAccessT(Addr pc);
+    template <bool kFast> uint32_t dataAccessT(Addr addr, bool write);
+    template <bool kFast>
+    BranchPredictor::Prediction predictT(Addr pc, OpClass cls,
+                                         Addr fallThrough);
+    template <bool kFast>
+    void updateT(Addr pc, OpClass cls, bool taken, Addr target);
+    /// @}
+
+    /** The reference loop: ExecCore::step per instruction. */
+    RunStop runStepDriven(uint64_t maxInsts, uint64_t maxCycles);
+
+    /** The batched loop: ExecCore::fillTrace, timing or warming each
+     *  record; owns the sampling phase schedule. */
+    RunStop runFeed(uint64_t maxInsts, uint64_t maxCycles);
+
+    /**
+     * Functionally warm one instruction (sampling gaps): replicate
+     * exactly the I-cache, D-cache and branch-predictor traffic the
+     * detailed model would generate — including redirect-induced
+     * refetches and sequence-level prediction — while advancing the
+     * cycle clock by nothing.
+     */
+    void warmInst(const DynInst &dyn);
+
+    /**
+     * Re-resolve the cached StatGroup cell pointers the kFast leaves
+     * bump. Must run after anything that replaces the components' stat
+     * maps (construction, snapshot restore).
+     */
+    void rebindHotCells();
+
+    /** Fetch-line number of @p pc (line-crossing detection). */
+    uint64_t
+    fetchLine(Addr pc) const
+    {
+        return feLinePow2_ ? (pc >> feLineShift_)
+                           : pc / mem_.params().lineBytes;
+    }
+
+    void raiseRedirect(uint64_t cycle, StallCause cause);
+    uint32_t instLatency(const DynInst &dyn) const;
 
     PipelineParams params_;
     DiseController *controller_;
@@ -236,6 +385,8 @@ class PipelineSim
     StallCause redirectCause_ = StallCause::None;
     uint32_t feDepth_ = 7;
     bool stallPerExpansion_ = false;
+    uint32_t feLineShift_ = 0;
+    bool feLinePow2_ = false;
     /// @}
 
     /** @name Cycle-accounting state (see CycleBreakdown).
@@ -258,6 +409,7 @@ class PipelineSim
     PendingStalls pend_;
     StatGroup pipeStats_{"pipeline"};
     StatGroup runStats_{"run"};
+    StatGroup samplingStats_{"sampling"};
     /// @}
 
     /** @name Back-end state. */
@@ -273,7 +425,10 @@ class PipelineSim
     uint64_t lastCommit_ = 0;
     /// @}
 
-    /** @name Per-expansion (sequence-level) prediction state. */
+    /** @name Per-expansion (sequence-level) prediction state.
+     *  Shared by detailed timing and functional warming (a sequence is
+     *  never split across a phase switch, so exactly one mode owns it
+     *  at a time). */
     /// @{
     OpClass seqPredCls_ = OpClass::Nop;
     BranchPredictor::Prediction seqPred_;
@@ -283,6 +438,42 @@ class PipelineSim
     bool seqRedirected_ = false;
     Addr seqRedirTarget_ = 0;
     uint64_t seqResolve_ = 0;
+    /// @}
+
+    /** @name Trace-feed and sampling state. */
+    /// @{
+    bool traceFeed_ = true;     ///< delivery path selector (config)
+    uint64_t samplePeriod_ = 0; ///< 0 = sampling off (config)
+    uint64_t sampleDetail_ = 0; ///< detailed insts per period (config)
+    bool phaseDetail_ = true;   ///< current phase: detailed vs warming
+    uint64_t phaseLeft_ = 0;    ///< instructions left in current phase
+    /** Commit clock at the last deadline-cancel poll: the step-driven
+     *  loop also polls when the clock jumps far between the fixed
+     *  instruction-stride polls (miss-heavy regions advance many cycles
+     *  per instruction, which would otherwise stretch the wall-clock
+     *  poll interval). */
+    uint64_t lastCancelPollCommit_ = 0;
+    /**
+     * Static per-instruction commit-clock advance bound: on the feed
+     * path a batch of n records is only timed when the cycle budget has
+     * n * bound headroom, so the budget check can stay per-batch and
+     * still stop on exactly the same instruction as the per-step
+     * reference (the tail runs record-at-a-time). Asserted after every
+     * bounded batch.
+     */
+    uint64_t perInstCycleBound_ = 0;
+    std::vector<DynInst> ring_; ///< feed batch buffer (lazy)
+    /** Incremental commit/issue-ring cursors for the kFast hazard walk;
+     *  derived (instIndex_ mod ring size) at runFeed entry, never
+     *  checkpointed. The reference path keeps the plain modulo. */
+    size_t robIdx_ = 0;
+    size_t rsIdx_ = 0;
+    /** Cached component stat cells (rebindHotCells). */
+    uint64_t *icAccCell_ = nullptr;
+    uint64_t *dcAccCell_ = nullptr;
+    uint64_t *dcWrCell_ = nullptr;
+    uint64_t *bpPredCell_ = nullptr;
+    uint64_t *bpUpdCell_ = nullptr;
     /// @}
 };
 

@@ -163,6 +163,19 @@ RunRequest::validate() const
         fatal("RunRequest: width must be >= 1");
     if (watchpoint && !mfi)
         fatal("RunRequest: watchpoint requires mfi");
+    if (samplePeriod != 0) {
+        if (mode != RunMode::Timing)
+            fatal("RunRequest: sample_period applies to timing mode "
+                  "only");
+        if (!traceFeed)
+            fatal("RunRequest: sampled timing requires the trace feed "
+                  "(drop \"trace_feed\": false)");
+        if (sampleDetail == 0 || sampleDetail > samplePeriod)
+            fatal("RunRequest: sample_detail must be in [1, "
+                  "sample_period]");
+    } else if (sampleDetail != 0) {
+        fatal("RunRequest: sample_detail requires sample_period");
+    }
     if (warmupInsts > 0 && mode != RunMode::Functional)
         fatal("RunRequest: warmup_insts applies to functional mode only");
     if (mode == RunMode::Campaign) {
@@ -196,6 +209,9 @@ RunRequest::toJson() const
     doc["expansion_cache"] = Json(dise.expansionCache);
     doc["parity_checks"] = Json(dise.parityChecks);
     doc["trace_cache"] = Json(traceCache);
+    doc["trace_feed"] = Json(traceFeed);
+    doc["sample_period"] = Json(samplePeriod);
+    doc["sample_detail"] = Json(sampleDetail);
     doc["icache_kb"] = Json(icacheKB);
     doc["width"] = Json(width);
     doc["max_insts"] = Json(maxInsts);
@@ -265,6 +281,12 @@ RunRequest::fromJson(const Json &doc)
             req.dise.parityChecks = checkBool(key, value);
         } else if (key == "trace_cache") {
             req.traceCache = checkBool(key, value);
+        } else if (key == "trace_feed") {
+            req.traceFeed = checkBool(key, value);
+        } else if (key == "sample_period") {
+            req.samplePeriod = checkUInt(key, value);
+        } else if (key == "sample_detail") {
+            req.sampleDetail = checkUInt(key, value);
         } else if (key == "icache_kb") {
             req.icacheKB = uint32_t(checkUInt(key, value));
         } else if (key == "width") {

@@ -82,6 +82,20 @@ struct RunRequest
     /// @{
     DiseConfig dise;
     bool traceCache = true; ///< translated basic-block fast path
+    /** Batched retire-trace delivery into the timing model (timing
+     *  mode); false selects the step()-per-instruction reference path.
+     *  Results are bit-identical either way — this is a speed knob
+     *  kept as a knob only so the identity is checkable. */
+    bool traceFeed = true;
+    /** @name SMARTS-style sampled timing (timing mode; requires the
+     *  trace feed). samplePeriod = 0 disables sampling; otherwise each
+     *  period-instruction unit starts with sampleDetail instructions
+     *  of detailed pipeline timing and functionally warms the caches
+     *  and branch predictor through the rest. */
+    /// @{
+    uint64_t samplePeriod = 0;
+    uint64_t sampleDetail = 0;
+    /// @}
     uint32_t icacheKB = 32; ///< 0 = perfect (timing mode)
     uint32_t width = 4;     ///< machine width (timing mode)
     /// @}

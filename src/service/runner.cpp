@@ -110,6 +110,9 @@ prepareJob(const RunRequest &req, const Program *base)
     // ---- Configuration. ----
     job.dise = req.dise;
     job.traceCache = req.traceCache;
+    job.traceFeed = req.traceFeed;
+    job.samplePeriod = req.samplePeriod;
+    job.sampleDetail = req.sampleDetail;
     job.machine.width = req.width;
     job.machine.mem.l1iSize = req.icacheKB * 1024; // 0 = perfect
     job.maxInsts = req.maxInsts;
@@ -191,6 +194,20 @@ timingEntryJson(PipelineSim &sim, const TimingResult &t,
     buckets["drain"] = Json(t.buckets.drain);
     entry["buckets"] = std::move(buckets);
     entry["counters"] = reg.toJson();
+    if (t.sampling.enabled) {
+        // Single-run sampling section: the bench adds "cpi_error" when
+        // it also holds the full-detail reference; a lone sampled run
+        // reports the measurement and the extrapolation only.
+        Json sampling = Json::object();
+        sampling["period"] = Json(t.sampling.period);
+        sampling["detail"] = Json(t.sampling.detail);
+        sampling["sampled_insts"] = Json(t.sampling.sampledInsts);
+        sampling["warmed_insts"] = Json(t.sampling.warmedInsts);
+        sampling["measured_cycles"] = Json(t.sampling.measuredCycles);
+        sampling["measured_cpi"] = Json(t.sampling.measuredCpi());
+        sampling["estimated_cycles"] = Json(t.estimatedCycles());
+        entry["sampling"] = std::move(sampling);
+    }
     return entry;
 }
 
@@ -279,6 +296,10 @@ runTimingSim(const PreparedJob &job, const SimOptions &opts)
     TimingOutcome out;
     std::unique_ptr<DiseController> controller = makeController(job);
     PipelineSim sim(*job.prog, job.machine, controller.get());
+    sim.core().setTraceCacheEnabled(job.traceCache);
+    sim.setTraceFeed(job.traceFeed);
+    if (job.samplePeriod != 0)
+        sim.setSampling(job.samplePeriod, job.sampleDetail);
     sim.core().setCancelFlag(opts.cancel);
     if (job.initCore)
         job.initCore(sim.core());

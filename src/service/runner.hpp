@@ -64,6 +64,11 @@ struct PreparedJob
 
     PipelineParams machine;
     bool traceCache = true;
+    /** Timing: batched retire-trace delivery (false = step reference). */
+    bool traceFeed = true;
+    /** Timing: SMARTS sampling unit/window; 0 = full-detail timing. */
+    uint64_t samplePeriod = 0;
+    uint64_t sampleDetail = 0;
     uint64_t maxInsts = ~uint64_t(0);
     uint64_t maxCycles = 0;
 

@@ -942,13 +942,15 @@ namespace {
  * encodings.
  */
 void
-translateSeq(const ExpandResult &r, SeqTrans &st, uint64_t gen)
+translateSeq(const ExpandResult &r, SeqTrans &st, uint64_t gen,
+             OpClass triggerCls)
 {
     st.insts = r.insts;
     st.numInsts = r.numInsts;
     st.gen = gen;
     st.usable = false;
     st.ops.clear();
+    st.tmpl.clear();
     if (r.seq == nullptr || r.seq->insts.size() != r.numInsts)
         return;
     st.ops.reserve(r.numInsts + 1);
@@ -986,6 +988,30 @@ translateSeq(const ExpandResult &r, SeqTrans &st, uint64_t gen)
     SeqOp end;
     end.handler = OpHandler::End;
     st.ops.push_back(end);
+    // Trace-record templates: everything static for the sequence is
+    // stamped once here; the emitting interpreter copies a template and
+    // fills in only the per-execution fields (see SEQ_EMIT_BASE).
+    st.tmpl.resize(r.numInsts);
+    for (uint32_t s = 0; s < r.numInsts; ++s) {
+        DynInst &d = st.tmpl[s];
+        d.disepc = s + 1;
+        d.inst = r.insts[s];
+        d.expanded = true;
+        d.triggerSlot = st.ops[s].trigger;
+        d.firstOfSeq = s == 0;
+        d.seqLen = r.numInsts;
+    }
+    // Sequence-level prediction class (see DynInst::seqPredClass): a
+    // translation-time constant of (trigger, sequence), so the emitting
+    // interpreter never recomputes it. execSeqSlotBody derives the
+    // identical value per visit on the generic path.
+    OpClass predCls = OpClass::Nop;
+    if (isControlClass(triggerCls))
+        predCls = triggerCls;
+    else if (r.numInsts > 0 && isControlClass(r.insts[r.numInsts - 1].cls))
+        predCls = r.insts[r.numInsts - 1].cls;
+    if (r.numInsts > 0)
+        st.tmpl[0].seqPredClass = predCls;
     st.usable = true;
 }
 
@@ -1001,7 +1027,7 @@ ExecCore::seqTransFor(const TransOp &t)
     const uint64_t gen = controller_->engine().generation();
     if (st.insts != r.insts || st.numInsts != r.numInsts ||
         st.gen != gen)
-        translateSeq(r, st, gen);
+        translateSeq(r, st, gen, t.inst.cls);
     return st.usable ? &st : nullptr;
 }
 
@@ -1031,6 +1057,7 @@ ExecCore::seqTransFor(const TransOp &t)
 #define DISE_CASE(name) case OpHandler::name:
 #endif
 
+template <bool kEmit>
 void
 ExecCore::runSeqFast(const SeqTrans &st, uint64_t maxInsts)
 {
@@ -1047,6 +1074,14 @@ ExecCore::runSeqFast(const SeqTrans &st, uint64_t maxInsts)
     uint64_t dise = result_.diseInsts;
     uint64_t loads = result_.loads;
     uint64_t stores = result_.stores;
+    // Emission cursor (kEmit only); runSeqFast always enters at slot 0,
+    // so seqBase marks where this sequence's records start.
+    [[maybe_unused]] DynInst *eout = emit_;
+    [[maybe_unused]] DynInst *const seqBase = eout;
+    // Pre-built per-slot records (see translateSeq): SEQ_EMIT_BASE
+    // copies one — slot 0's template already carries the sequence-level
+    // prediction class — and stamps only the per-execution fields.
+    [[maybe_unused]] const DynInst *const tmpl = st.tmpl.data();
 
 #define SEQ_FLUSH()                                                         \
     do {                                                                    \
@@ -1054,6 +1089,27 @@ ExecCore::runSeqFast(const SeqTrans &st, uint64_t maxInsts)
         result_.diseInsts = dise;                                           \
         result_.loads = loads;                                              \
         result_.stores = stores;                                            \
+        if constexpr (kEmit)                                                \
+            emit_ = eout;                                                   \
+    } while (0)
+    /* The step()-identical trace record for the retiring slot @p t
+     * (kEmit call sites only); outcome extras are the caller's. */
+#define SEQ_EMIT_BASE(t)                                                    \
+    do {                                                                    \
+        *eout = tmpl[j];                                                    \
+        eout->pc = tpc;                                                     \
+        if (j == 0) {                                                       \
+            eout->ptMiss = pendingExpand_.ptMiss;                           \
+            eout->rtMiss = pendingExpand_.rtMiss;                           \
+            eout->missPenalty = pendingExpand_.missPenalty;                 \
+        }                                                                   \
+    } while (0)
+#define SEQ_EMIT_PLAIN(t)                                                   \
+    do {                                                                    \
+        if constexpr (kEmit) {                                              \
+            SEQ_EMIT_BASE(t);                                               \
+            ++eout;                                                         \
+        }                                                                   \
     } while (0)
     /* Budget/deadline prologue of every executing slot. The End
      * sentinel skips it: running off the end completes the sequence
@@ -1084,6 +1140,7 @@ ExecCore::runSeqFast(const SeqTrans &st, uint64_t maxInsts)
                                      : readReg(t.rb);                       \
         writeReg(t.rc, (expr));                                             \
         SEQ_RETIRE(t.trigger);                                              \
+        SEQ_EMIT_PLAIN(t);                                                  \
         ++j;                                                                \
         SEQ_DISPATCH();                                                     \
     }
@@ -1097,6 +1154,7 @@ ExecCore::runSeqFast(const SeqTrans &st, uint64_t maxInsts)
             writeReg(t.rc, t.useLit ? static_cast<uint64_t>(t.imm)          \
                                     : readReg(t.rb));                       \
         SEQ_RETIRE(t.trigger);                                              \
+        SEQ_EMIT_PLAIN(t);                                                  \
         ++j;                                                                \
         SEQ_DISPATCH();                                                     \
     }
@@ -1109,6 +1167,12 @@ ExecCore::runSeqFast(const SeqTrans &st, uint64_t maxInsts)
         ++loads;                                                            \
         writeReg(t.ra, (readExpr));                                         \
         SEQ_RETIRE(t.trigger);                                              \
+        if constexpr (kEmit) {                                              \
+            SEQ_EMIT_BASE(t);                                               \
+            eout->isMem = true;                                             \
+            eout->memAddr = addr;                                           \
+            ++eout;                                                         \
+        }                                                                   \
         ++j;                                                                \
         SEQ_DISPATCH();                                                     \
     }
@@ -1136,6 +1200,7 @@ dispatch:
     {
         SEQ_CHECK();
         SEQ_RETIRE(ops[j].trigger);
+        SEQ_EMIT_PLAIN(ops[j]);
         ++j;
         SEQ_DISPATCH();
     }
@@ -1145,6 +1210,7 @@ dispatch:
         const SeqOp &t = ops[j];
         writeReg(t.ra, readReg(t.rb) + static_cast<uint64_t>(t.imm));
         SEQ_RETIRE(t.trigger);
+        SEQ_EMIT_PLAIN(t);
         ++j;
         SEQ_DISPATCH();
     }
@@ -1155,6 +1221,7 @@ dispatch:
         writeReg(t.ra,
                  readReg(t.rb) + (static_cast<uint64_t>(t.imm) << 16));
         SEQ_RETIRE(t.trigger);
+        SEQ_EMIT_PLAIN(t);
         ++j;
         SEQ_DISPATCH();
     }
@@ -1196,6 +1263,13 @@ dispatch:
         if (addr < prog_.textEnd() && addr + t.size > prog_.textBase)
             invalidateDecodedRange(addr, t.size);
         SEQ_RETIRE(t.trigger);
+        if constexpr (kEmit) {
+            SEQ_EMIT_BASE(t);
+            eout->isMem = true;
+            eout->isStore = true;
+            eout->memAddr = addr;
+            ++eout;
+        }
         ++j;
         SEQ_DISPATCH();
     }
@@ -1206,6 +1280,15 @@ dispatch:
         const bool taken = condTaken(t.op, readReg(t.ra));
         const Addr target = tpc + 4 + static_cast<uint64_t>(t.imm) * 4;
         SEQ_RETIRE(t.trigger);
+        if constexpr (kEmit) {
+            // actualTarget is stamped even when not taken (execute()
+            // sets it unconditionally for conditional branches).
+            SEQ_EMIT_BASE(t);
+            eout->isAppControl = true;
+            eout->taken = taken;
+            eout->actualTarget = target;
+            ++eout;
+        }
         if (taken && errorAddr_ != 0 && target == errorAddr_)
             ++result_.acfDetections;
         if (t.trigger) {
@@ -1217,6 +1300,8 @@ dispatch:
         } else if (taken) {
             // Non-trigger branch: post-branch slots belong to the
             // non-taken path, so a taken branch discards them.
+            if constexpr (kEmit)
+                eout[-1].lastOfSeq = true;
             pc_ = target;
             goto seq_done;
         }
@@ -1236,6 +1321,13 @@ dispatch:
                 : tpc + 4 + static_cast<uint64_t>(t.imm) * 4;
         writeReg(t.ra, tpc + 4);
         SEQ_RETIRE(t.trigger);
+        if constexpr (kEmit) {
+            SEQ_EMIT_BASE(t);
+            eout->isAppControl = true;
+            eout->taken = true;
+            eout->actualTarget = target;
+            ++eout;
+        }
         if (errorAddr_ != 0 && target == errorAddr_)
             ++result_.acfDetections;
         if (t.trigger) {
@@ -1245,6 +1337,8 @@ dispatch:
             ++j;
             SEQ_DISPATCH();
         }
+        if constexpr (kEmit)
+            eout[-1].lastOfSeq = true;
         pc_ = target;
         goto seq_done;
     }
@@ -1257,10 +1351,14 @@ dispatch:
                            condTaken(t.op, readReg(t.ra));
         SEQ_RETIRE(t.trigger);
         if (!taken) {
+            SEQ_EMIT_PLAIN(t);
             ++j;
             SEQ_DISPATCH();
         }
         if (!t.diseValid) {
+            // The slot retires but emits nothing: step() counts the
+            // retirement, then returns false without writing a record
+            // (execSeqSlotBody traps before its *out store).
             const int64_t target = static_cast<int64_t>(j) + 1 + t.imm;
             raiseTrap(TrapCause::DiseBranchOutOfRange, tpc, j + 1,
                       static_cast<uint64_t>(target),
@@ -1269,11 +1367,23 @@ dispatch:
                                 (long long)target, len));
             goto seq_done; // the slot retired; pc_ is the trap state
         }
+        if constexpr (kEmit) {
+            SEQ_EMIT_BASE(t);
+            eout->taken = true;
+            eout->diseTarget = t.diseTarget;
+            ++eout;
+        }
         j = t.diseTarget; // target == len lands on the End sentinel
         SEQ_DISPATCH();
     }
     DISE_CASE(End)
     {
+        // Running off the end completes the sequence: the generic path
+        // marks the final retiring slot lastOfSeq in the same pass.
+        if constexpr (kEmit) {
+            if (eout != seqBase)
+                eout[-1].lastOfSeq = true;
+        }
         pc_ = (pendingHas && pendingTaken) ? pendingTarget : tpc + 4;
         goto seq_done;
     }
@@ -1306,6 +1416,8 @@ seq_done:
     SEQ_FLUSH();
 
 #undef SEQ_FLUSH
+#undef SEQ_EMIT_BASE
+#undef SEQ_EMIT_PLAIN
 #undef SEQ_CHECK
 #undef SEQ_RETIRE
 #undef SEQ_DISPATCH
@@ -1314,6 +1426,7 @@ seq_done:
 #undef SEQ_LOAD
 }
 
+template <bool kEmit>
 void
 ExecCore::runChain(const TransBlock *block, uint64_t maxInsts)
 {
@@ -1333,6 +1446,9 @@ ExecCore::runChain(const TransBlock *block, uint64_t maxInsts)
     // accounted in bulk at chain exit (see DiseEngine::noteInspected).
     uint64_t inspected = 0;
     uint64_t chainFollows = 0;
+    // Emission cursor (kEmit only), synced with emit_ at every flush
+    // point so the Engine handler's callees see a current cursor.
+    [[maybe_unused]] DynInst *eout = emit_;
 
 #define CHAIN_FLUSH()                                                       \
     do {                                                                    \
@@ -1340,6 +1456,8 @@ ExecCore::runChain(const TransBlock *block, uint64_t maxInsts)
         result_.appInsts = app;                                             \
         result_.loads = loads;                                              \
         result_.stores = stores;                                            \
+        if constexpr (kEmit)                                                \
+            emit_ = eout;                                                   \
     } while (0)
 #define CHAIN_RELOAD()                                                      \
     do {                                                                    \
@@ -1347,6 +1465,20 @@ ExecCore::runChain(const TransBlock *block, uint64_t maxInsts)
         app = result_.appInsts;                                             \
         loads = result_.loads;                                              \
         stores = result_.stores;                                            \
+        if constexpr (kEmit)                                                \
+            eout = emit_;                                                   \
+    } while (0)
+    /* The step()-identical trace record for the retiring application
+     * instruction at @p pc (kEmit call sites only); outcome extras are
+     * the caller's. */
+#define CHAIN_EMIT()                                                        \
+    do {                                                                    \
+        if constexpr (kEmit) {                                              \
+            *eout = DynInst{};                                              \
+            eout->pc = pc;                                                  \
+            eout->inst = t->inst;                                           \
+            ++eout;                                                         \
+        }                                                                   \
     } while (0)
 #if DISE_THREADED_DISPATCH
 #define CHAIN_DISPATCH()                                                    \
@@ -1377,6 +1509,7 @@ ExecCore::runChain(const TransBlock *block, uint64_t maxInsts)
                                       : readReg(t->rb);                     \
         writeReg(t->rc, (expr));                                            \
         CHAIN_RETIRE();                                                     \
+        CHAIN_EMIT();                                                       \
         ++t;                                                                \
         pc += 4;                                                            \
         CHAIN_DISPATCH();                                                   \
@@ -1389,6 +1522,7 @@ ExecCore::runChain(const TransBlock *block, uint64_t maxInsts)
             writeReg(t->rc, t->useLit ? static_cast<uint64_t>(t->imm)       \
                                       : readReg(t->rb));                    \
         CHAIN_RETIRE();                                                     \
+        CHAIN_EMIT();                                                       \
         ++t;                                                                \
         pc += 4;                                                            \
         CHAIN_DISPATCH();                                                   \
@@ -1400,6 +1534,14 @@ ExecCore::runChain(const TransBlock *block, uint64_t maxInsts)
         ++loads;                                                            \
         writeReg(t->ra, (readExpr));                                        \
         CHAIN_RETIRE();                                                     \
+        if constexpr (kEmit) {                                              \
+            *eout = DynInst{};                                              \
+            eout->pc = pc;                                                  \
+            eout->inst = t->inst;                                           \
+            eout->isMem = true;                                             \
+            eout->memAddr = addr;                                           \
+            ++eout;                                                         \
+        }                                                                   \
         ++t;                                                                \
         pc += 4;                                                            \
         CHAIN_DISPATCH();                                                   \
@@ -1428,6 +1570,7 @@ dispatch:
     DISE_CASE(Nop)
     {
         CHAIN_RETIRE();
+        CHAIN_EMIT();
         ++t;
         pc += 4;
         CHAIN_DISPATCH();
@@ -1436,6 +1579,7 @@ dispatch:
     {
         writeReg(t->ra, readReg(t->rb) + static_cast<uint64_t>(t->imm));
         CHAIN_RETIRE();
+        CHAIN_EMIT();
         ++t;
         pc += 4;
         CHAIN_DISPATCH();
@@ -1445,6 +1589,7 @@ dispatch:
         writeReg(t->ra,
                  readReg(t->rb) + (static_cast<uint64_t>(t->imm) << 16));
         CHAIN_RETIRE();
+        CHAIN_EMIT();
         ++t;
         pc += 4;
         CHAIN_DISPATCH();
@@ -1482,6 +1627,15 @@ dispatch:
         ++stores;
         memory_.write(addr, readReg(t->ra), t->size);
         CHAIN_RETIRE();
+        if constexpr (kEmit) {
+            *eout = DynInst{};
+            eout->pc = pc;
+            eout->inst = t->inst;
+            eout->isMem = true;
+            eout->isStore = true;
+            eout->memAddr = addr;
+            ++eout;
+        }
         if (addr < prog_.textEnd() && addr + t->size > prog_.textBase) {
             // Self-modifying store: drop stale decodes and traces
             // (possibly blocks of this very chain — parked on the
@@ -1500,6 +1654,17 @@ dispatch:
     {
         const bool taken = condTaken(t->op, readReg(t->ra));
         CHAIN_RETIRE();
+        if constexpr (kEmit) {
+            // actualTarget is stamped even when not taken (execute()
+            // sets it unconditionally for conditional branches).
+            *eout = DynInst{};
+            eout->pc = pc;
+            eout->inst = t->inst;
+            eout->isAppControl = true;
+            eout->taken = taken;
+            eout->actualTarget = t->target;
+            ++eout;
+        }
         if (!taken) {
             ++t;
             pc += 4;
@@ -1515,6 +1680,15 @@ dispatch:
     {
         writeReg(t->ra, pc + 4);
         CHAIN_RETIRE();
+        if constexpr (kEmit) {
+            *eout = DynInst{};
+            eout->pc = pc;
+            eout->inst = t->inst;
+            eout->isAppControl = true;
+            eout->taken = true;
+            eout->actualTarget = t->target;
+            ++eout;
+        }
         if (errorAddr_ != 0 && t->target == errorAddr_)
             ++result_.acfDetections;
         nextPC = t->target;
@@ -1528,6 +1702,15 @@ dispatch:
         const Addr target = readReg(t->rb) & ~Addr(3);
         writeReg(t->ra, pc + 4);
         CHAIN_RETIRE();
+        if constexpr (kEmit) {
+            *eout = DynInst{};
+            eout->pc = pc;
+            eout->inst = t->inst;
+            eout->isAppControl = true;
+            eout->taken = true;
+            eout->actualTarget = target;
+            ++eout;
+        }
         if (errorAddr_ != 0 && target == errorAddr_)
             ++result_.acfDetections;
         nextPC = target;
@@ -1550,15 +1733,26 @@ dispatch:
             }
             if (!r.expanded) {
                 // Pass-through (or trap: checked below via trapped_).
-                execAppInst<false>(t->inst, nullptr);
+                if constexpr (kEmit) {
+                    if (execAppInst<true>(t->inst, emit_))
+                        ++emit_;
+                } else {
+                    execAppInst<false>(t->inst, nullptr);
+                }
             } else {
                 adoptExpansion(r);
                 if (const SeqTrans *sq = seqTransFor(*t)) {
-                    runSeqFast(*sq, maxInsts);
+                    runSeqFast<kEmit>(*sq, maxInsts);
                 } else {
                     while (seqSpec_ && result_.dynInsts < maxInsts &&
-                           !cancelPollDue(result_.dynInsts))
-                        execSeqSlot<false>(nullptr);
+                           !cancelPollDue(result_.dynInsts)) {
+                        if constexpr (kEmit) {
+                            if (execSeqSlot<true>(emit_))
+                                ++emit_;
+                        } else {
+                            execSeqSlot<false>(nullptr);
+                        }
+                    }
                 }
             }
         }
@@ -1648,6 +1842,7 @@ exit_flush:
 
 #undef CHAIN_FLUSH
 #undef CHAIN_RELOAD
+#undef CHAIN_EMIT
 #undef CHAIN_DISPATCH
 #undef CHAIN_RETIRE
 #undef CHAIN_BINOP
@@ -1696,8 +1891,80 @@ ExecCore::runTranslated(uint64_t maxInsts)
                 break;
             continue;
         }
-        runChain(de.block.get(), maxInsts);
+        runChain<false>(de.block.get(), maxInsts);
     }
+}
+
+size_t
+ExecCore::fillTrace(DynInst *ring, size_t cap, uint64_t maxDyn)
+{
+    if (exited_ || trapped_ || cap == 0)
+        return 0;
+    // Budget in retirement units: every retired instruction emits at
+    // most one record, so bounding dynInsts bounds the ring too.
+    const uint64_t budget =
+        std::min(maxDyn, result_.dynInsts + cap);
+
+    if (!traceEnabled_) {
+        // Reference path: step() straight into the ring, with the slow
+        // loop's cancel-poll stride.
+        DynInst *out = ring;
+        DynInst *const end = ring + cap;
+        while (out != end && result_.dynInsts < budget) {
+            if (!step(*out))
+                break;
+            ++out;
+            if ((result_.dynInsts & 0x3ff) == 0 && cancelRequested())
+                break;
+        }
+        pinSuspendedSeq();
+        return static_cast<size_t>(out - ring);
+    }
+
+    // Translated path: runTranslated's dispatcher with the emitting
+    // interpreter variants. emit_ is live for the duration of the
+    // call; every exit from the interpreters syncs it.
+    emit_ = ring;
+    DynInst *const end = ring + cap;
+    while (!exited_ && !trapped_ && result_.dynInsts < budget &&
+           emit_ != end && !cancelRequested()) {
+        retired_.clear();
+        if (seqSpec_) {
+            // Resumed mid-sequence (a prior batch boundary landed
+            // inside an expansion): drain it a slot at a time.
+            if (execSeqSlot<true>(emit_))
+                ++emit_;
+            continue;
+        }
+        if ((pc_ & 3) != 0 || pc_ < prog_.textBase ||
+            pc_ >= prog_.textEnd()) {
+            if (!step(*emit_))
+                break;
+            ++emit_;
+            continue;
+        }
+        DispatchEntry &de =
+            dispatch_[(pc_ >> 2) & (kDispatchEntries - 1)];
+        const uint64_t gen =
+            controller_ ? controller_->engine().generation() : 0;
+        if (de.pc != pc_ || de.epoch != traceEpoch_ || de.gen != gen) {
+            de.block = lookupBlock(pc_);
+            de.pc = pc_;
+            de.epoch = traceEpoch_;
+            de.gen = gen;
+        }
+        if (de.block->numInsts == 0) {
+            if (!step(*emit_))
+                break;
+            ++emit_;
+            continue;
+        }
+        runChain<true>(de.block.get(), budget);
+    }
+    pinSuspendedSeq();
+    const size_t n = static_cast<size_t>(emit_ - ring);
+    emit_ = nullptr;
+    return n;
 }
 
 RunResult

@@ -46,47 +46,6 @@ namespace dise {
 
 struct SimSnapshot;
 
-/** One correct-path dynamic instruction with its execution outcome. */
-struct DynInst
-{
-    Addr pc = 0;
-    uint32_t disepc = 0; ///< 0 for application instructions
-    DecodedInst inst;
-
-    /** @name Expansion bookkeeping. */
-    /// @{
-    bool expanded = false;    ///< part of a replacement sequence
-    bool triggerSlot = false; ///< this slot is T.INSN
-    bool firstOfSeq = false;
-    bool lastOfSeq = false;
-    uint32_t seqLen = 0;
-    bool ptMiss = false; ///< set on the first slot only
-    bool rtMiss = false;
-    uint32_t missPenalty = 0;
-    /**
-     * Prediction class of the whole expansion (set on the first slot):
-     * the front end predicts once per fetched trigger PC — the trigger's
-     * own class when the trigger is a control instruction, else the
-     * class of the sequence's final instruction when that is application
-     * control (e.g. the compressed-out branch ending a dictionary
-     * entry), else Nop (predict fall-through).
-     */
-    OpClass seqPredClass = OpClass::Nop;
-    /// @}
-
-    /** @name Execution outcome. */
-    /// @{
-    bool isAppControl = false; ///< application-level control transfer
-    bool taken = false;        ///< app control or DISE branch outcome
-    Addr actualTarget = 0;     ///< taken app-control target
-    uint32_t diseTarget = 0;   ///< taken DISE-branch target slot
-    bool isMem = false;
-    bool isStore = false;
-    Addr memAddr = 0;
-    bool isSyscall = false;
-    /// @}
-};
-
 /** Aggregate results of an architectural run. */
 struct RunResult
 {
@@ -146,6 +105,31 @@ class ExecCore
      * the cap yields a Hang outcome, the watchdog-expiry result).
      */
     RunResult run(uint64_t maxInsts = ~uint64_t(0));
+
+    /**
+     * Batched retire-trace feed: execute forward — through the
+     * translated fast path when enabled, step() otherwise — filling
+     * @p ring with the DynInst records the same number of step() calls
+     * would have produced, bit-identical field for field. Stops at
+     * ring capacity, at @p maxDyn retired dynamic instructions (an
+     * absolute result().dynInsts bound, run()-style), at termination
+     * (exit/trap), or at a cooperative-cancel poll; like run(), a
+     * return mid-replacement-sequence pins the suspended sequence so
+     * the next call can resume it.
+     *
+     * @return The number of records written. 0 means no progress:
+     *         terminated, budget already spent, or cancelled. Unlike
+     *         run(), a budget expiry is NOT classified as a Hang —
+     *         the caller owns outcome classification (the timing
+     *         model applies its own instruction/cycle budgets).
+     *
+     * A retirement can consume budget without emitting exactly where
+     * step() retires without returning a record (the out-of-range
+     * DISE-branch trap), so callers must consume by record count, not
+     * by dynInsts delta.
+     */
+    size_t fillTrace(DynInst *ring, size_t cap,
+                     uint64_t maxDyn = ~uint64_t(0));
 
     bool exited() const { return exited_; }
     /** True once an architected trap terminated the run. */
@@ -324,7 +308,14 @@ class ExecCore
      * invalidation, or termination. The caller must hold @p block alive
      * (dispatch-cache shared_ptr); chain successors are kept alive by
      * traces_ plus the retired_ graveyard.
+     *
+     * kEmit (the fillTrace feed): every retirement additionally writes
+     * its DynInst record through the emit_ cursor, bit-identical to
+     * what step() would have produced for the same instruction. The
+     * caller bounds @p maxInsts so the ring cannot overrun (each
+     * retired instruction emits at most one record).
      */
+    template <bool kEmit>
     void runChain(const TransBlock *block, uint64_t maxInsts);
     /**
      * Chainable block entered at @p pc, translating on miss: null when
@@ -366,8 +357,11 @@ class ExecCore
      * identical retirement counters, PC outcome, trap points, and
      * self-modifying-store invalidations. Suspends (leaving seqSpec_
      * and seqIdx_ consistent for a later generic resume) when the
-     * instruction budget expires mid-sequence.
+     * instruction budget expires mid-sequence. kEmit mirrors
+     * runChain: each retiring slot writes its trace record through
+     * emit_ (equivalent to looping execSeqSlot<true>).
      */
+    template <bool kEmit>
     void runSeqFast(const SeqTrans &st, uint64_t maxInsts);
 
     /**
@@ -489,6 +483,14 @@ class ExecCore
     size_t traceBlockCap_ = 65536;
     /** Next dynInsts value at which the fast path polls cancelFlag_. */
     uint64_t nextCancelPoll_ = 0;
+    /**
+     * fillTrace emission cursor: the next free ring slot. Non-null
+     * only while a fillTrace call is on the stack; the kEmit
+     * interpreter variants keep a local copy and sync it here at
+     * every flush point (CHAIN_FLUSH / SEQ_FLUSH / handler calls that
+     * leave the interpreter).
+     */
+    DynInst *emit_ = nullptr;
     /** @name Fast-path counters (traceCacheStats; not architectural). */
     /// @{
     uint64_t statBlocksTranslated_ = 0;

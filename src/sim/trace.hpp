@@ -117,6 +117,59 @@ struct ChainEdge
     Addr target = 0;
 };
 
+/**
+ * One correct-path dynamic instruction with its execution outcome.
+ *
+ * Packed into exactly one cache line: the trace feed moves one record
+ * per retired instruction from the emitting interpreters to the timing
+ * model, so record size is ring and cache traffic. The narrow fields
+ * are safe by construction — disepc/seqLen/diseTarget index into a
+ * replacement sequence, and dictionary sequences are bounded far below
+ * 64Ki slots.
+ */
+struct alignas(64) DynInst
+{
+    Addr pc = 0;
+    Addr memAddr = 0;      ///< valid when isMem
+    Addr actualTarget = 0; ///< taken app-control target
+    DecodedInst inst;
+
+    /** @name Expansion bookkeeping. */
+    /// @{
+    uint32_t missPenalty = 0; ///< set on the first slot only
+    uint16_t disepc = 0;      ///< slot + 1; 0 for application insts
+    uint16_t seqLen = 0;
+    uint16_t diseTarget = 0; ///< taken DISE-branch target slot
+    /**
+     * Prediction class of the whole expansion (set on the first slot):
+     * the front end predicts once per fetched trigger PC — the trigger's
+     * own class when the trigger is a control instruction, else the
+     * class of the sequence's final instruction when that is application
+     * control (e.g. the compressed-out branch ending a dictionary
+     * entry), else Nop (predict fall-through).
+     */
+    OpClass seqPredClass = OpClass::Nop;
+    bool expanded : 1 = false;    ///< part of a replacement sequence
+    bool triggerSlot : 1 = false; ///< this slot is T.INSN
+    bool firstOfSeq : 1 = false;
+    bool lastOfSeq : 1 = false;
+    bool ptMiss : 1 = false; ///< set on the first slot only
+    bool rtMiss : 1 = false;
+    /// @}
+
+    /** @name Execution outcome. */
+    /// @{
+    bool isAppControl : 1 = false; ///< application-level control transfer
+    bool taken : 1 = false;        ///< app control or DISE branch outcome
+    bool isMem : 1 = false;
+    bool isStore : 1 = false;
+    bool isSyscall : 1 = false;
+    /// @}
+};
+static_assert(sizeof(DynInst) == 64,
+              "DynInst must stay a single cache line — the trace feed "
+              "streams one record per retired instruction");
+
 /** One pre-translated slot of a memoized replacement sequence. */
 struct SeqOp
 {
@@ -151,6 +204,15 @@ struct SeqTrans
      *  syscall): the generic per-slot path runs instead. */
     bool usable = false;
     std::vector<SeqOp> ops;
+    /**
+     * Pre-built trace records, one per real slot: every field that is
+     * static for the sequence (slot position, decoded instruction,
+     * expansion flags) is stamped at translation time, so the emitting
+     * interpreter copies a record and fills in only the trigger PC,
+     * the slot-0 expansion outcome, and per-execution extras. Same
+     * validity as @c ops.
+     */
+    std::vector<DynInst> tmpl;
 };
 
 /** One pre-resolved slot of a translated basic block. */

@@ -48,6 +48,17 @@
  *                            eviction beyond it (default 1024;
  *                            0 = never evict)
  *   --timing                 cycle-level model (default: functional)
+ *   --no-trace-feed          timing mode: drive the timing model with
+ *                            step() per instruction (the reference
+ *                            delivery path) instead of batched
+ *                            retire-trace feeding; results are
+ *                            bit-identical, only slower
+ *   --timing-sample <period>:<detail>
+ *                            timing mode: SMARTS-style sampled timing
+ *                            — per period instructions, time the first
+ *                            detail in full and functionally warm the
+ *                            caches/predictor through the rest;
+ *                            reports measured + extrapolated CPI
  *   --productions <file>     install productions from a DSL file
  *   --mfi[=dise3|dise4|sandbox]
  *                            memory fault isolation via DISE
@@ -219,6 +230,36 @@ parseArgs(int argc, char **argv)
             opts.batchOutFile = need(i);
         } else if (arg == "--timing") {
             opts.req.mode = RunMode::Timing;
+        } else if (arg == "--no-trace-feed") {
+            opts.req.traceFeed = false;
+        } else if (arg == "--timing-sample") {
+            const std::string spec = need(i);
+            const size_t colon = spec.find(':');
+            uint64_t period = 0, detail = 0;
+            bool parsedOk = colon != std::string::npos && colon > 0 &&
+                            colon + 1 < spec.size();
+            if (parsedOk) {
+                parsedOk = parsed(argv0, [&] {
+                    period =
+                        parsePositiveInt(spec.substr(0, colon).c_str(),
+                                         "--timing-sample period");
+                    detail =
+                        parsePositiveInt(spec.substr(colon + 1).c_str(),
+                                         "--timing-sample detail");
+                    return true;
+                });
+            }
+            if (!parsedOk || period == 0 || detail == 0 ||
+                detail > period) {
+                std::fprintf(stderr,
+                             "--timing-sample %s: expected "
+                             "<period>:<detail> with 1 <= detail <= "
+                             "period\n",
+                             spec.c_str());
+                usage(argv0);
+            }
+            opts.req.samplePeriod = period;
+            opts.req.sampleDetail = detail;
         } else if (arg == "--productions") {
             opts.productionsFile = need(i);
         } else if (arg == "--mfi" || arg.rfind("--mfi=", 0) == 0) {
@@ -565,6 +606,17 @@ runMain(int argc, char **argv)
                     (unsigned long long)t.l2Misses);
         std::printf("PT/RT stalls:  %llu cycles\n",
                     (unsigned long long)t.missStallCycles);
+        if (t.sampling.enabled) {
+            std::printf(
+                "sampling:      %llu:%llu — %llu insts timed, %llu "
+                "warmed; measured CPI %.4f, estimated %llu cycles\n",
+                (unsigned long long)t.sampling.period,
+                (unsigned long long)t.sampling.detail,
+                (unsigned long long)t.sampling.sampledInsts,
+                (unsigned long long)t.sampling.warmedInsts,
+                t.sampling.measuredCpi(),
+                (unsigned long long)t.estimatedCycles());
+        }
         if (req.profile)
             printProfile(out.profile, 0);
         if (opts.stats)

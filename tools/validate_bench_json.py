@@ -22,10 +22,12 @@ Three artifact shapes are accepted:
 
 --compare checks two artifacts for determinism: they must be deeply
 identical after recursively stripping every host-dependent section
-("host", "host_seconds") and the campaign "replay" accounting (which
-legitimately differs between snapshot and full-replay modes) —
-wall-clock throughput and replay economics are the only fields allowed
-to differ between reruns. NDJSON streams are compared after sorting by
+("host", "host_seconds"), the campaign "replay" accounting (which
+legitimately differs between snapshot and full-replay modes), and the
+"sampling" sections (so sampled artifacts compare against full-detail
+reruns on the architectural stream they must share) — wall-clock
+throughput, replay economics, and sampling windows are the only fields
+allowed to differ between reruns. NDJSON streams are compared after sorting by
 index, so two runs that completed jobs in different orders (different
 worker counts) still compare equal.
 
@@ -69,6 +71,20 @@ CAMPAIGN_KEYS = {
 }
 
 THROUGHPUT_KEYS = {"insts", "host"}
+
+# Sampled-timing section (timing_mfi_sampled entries, and any timing
+# entry produced by a sampled run). "cpi_error" is present only when
+# the producer also held the full-detail reference (the bench does; a
+# lone sampled run cannot compute it).
+SAMPLING_KEYS = {
+    "period",
+    "detail",
+    "sampled_insts",
+    "warmed_insts",
+    "measured_cycles",
+    "measured_cpi",
+    "estimated_cycles",
+}
 
 SERVICE_KEYS = {
     "requests",
@@ -122,11 +138,50 @@ def check_host_section(entry, where):
     )
 
 
+def check_sampling_section(entry, where):
+    """Validate the optional sampled-timing section of an entry."""
+    if "sampling" not in entry:
+        return
+    sampling = entry["sampling"]
+    check_keys(sampling, SAMPLING_KEYS, f"{where}.sampling")
+    require(
+        sampling["period"] > 0,
+        f"{where}.sampling: period must be positive",
+    )
+    require(
+        0 < sampling["detail"] <= sampling["period"],
+        f"{where}.sampling: detail out of [1, period]",
+    )
+    for key in ("sampled_insts", "warmed_insts", "measured_cycles",
+                "estimated_cycles"):
+        require(
+            isinstance(sampling[key], int) and sampling[key] >= 0,
+            f"{where}.sampling: {key} is not a non-negative integer",
+        )
+    require(
+        sampling["measured_cpi"] >= 0,
+        f"{where}.sampling: negative measured_cpi",
+    )
+    if "cpi_error" in sampling:
+        require(
+            sampling["cpi_error"] >= 0,
+            f"{where}.sampling: negative cpi_error",
+        )
+    if "insts" in entry:
+        covered = sampling["sampled_insts"] + sampling["warmed_insts"]
+        require(
+            covered == entry["insts"],
+            f"{where}.sampling: sampled+warmed insts ({covered}) do not "
+            f"cover the run ({entry['insts']})",
+        )
+
+
 def check_timing_entry(entry, where):
     check_keys(entry, TIMING_KEYS, where)
     require(entry["cycles"] >= 0, f"{where}: negative cycles")
     check_host_section(entry, where)
     check_buckets(entry, where)
+    check_sampling_section(entry, where)
     counters = entry["counters"]
     require(isinstance(counters, dict), f"{where}: counters not an object")
     for section in ("pipeline", "run", "mem"):
@@ -143,6 +198,14 @@ def check_throughput_entry(entry, where):
     check_keys(entry, THROUGHPUT_KEYS, where)
     require(entry["insts"] > 0, f"{where}: zero insts")
     check_host_section(entry, where)
+    # timing_mfi entries carry the feed-vs-step wall-clock ratio inside
+    # the host section (host-relative, so --compare strips it).
+    if "speedup_vs_step" in entry["host"]:
+        require(
+            entry["host"]["speedup_vs_step"] >= 0,
+            f"{where}.host: negative speedup_vs_step",
+        )
+    check_sampling_section(entry, where)
 
 
 def check_campaign_entry(entry, where):
@@ -332,8 +395,13 @@ def validate_file(path):
 # produce identical classifications, not identical replay economics.
 # "latency" and "open_loop" (service artifacts) are wall-clock
 # measurements: two serve_load runs must agree on every closed-loop
-# status count, not on how fast the host served them.
-HOST_KEYS = {"host", "host_seconds", "replay", "latency", "open_loop"}
+# status count, not on how fast the host served them. "sampling" is
+# stripped so a sampled artifact compares equal to a full-detail rerun
+# of the same jobs on everything they are required to agree on (the
+# architectural stream); sampled-vs-sampled determinism of the section
+# itself is covered by the test suite.
+HOST_KEYS = {"host", "host_seconds", "replay", "latency", "open_loop",
+             "sampling"}
 
 
 def strip_host(value):

@@ -19,13 +19,21 @@
  *   timing_mfi_stepfeed      the same machine on the step-driven
  *                            reference path (--no-trace-feed)
  *   timing_mfi_sampled       SMARTS-style sampled timing on the feed
+ *   timing_mfi_fused         the same machine with the macro-op fusion
+ *                            ACF enabled; its artifact entry carries a
+ *                            deterministic "fusion" section with the
+ *                            per-family pair counts, the fused
+ *                            coverage of the retired stream, and the
+ *                            IPC delta over timing_mfi
  *
  * Differential checks (hard failures): the fast and slow functional
- * MFI runs must retire the identical instruction count, and the feed
+ * MFI runs must retire the identical instruction count, the feed
  * and step-driven timing runs must agree bit-for-bit on cycles, every
  * cycle bucket, the prediction/redirect counters, and the retired
  * instruction count (the full bit-identity suite lives in
- * tests/test_trace_feed.cpp). The "speedup" column is functional_mfi
+ * tests/test_trace_feed.cpp), and the fused timing run must retire an
+ * architectural result identical to the unfused one — fusion contracts
+ * issue slots, never semantics. The "speedup" column is functional_mfi
  * over its slow-path twin; "t-spdup" is the feed over the step-driven
  * reference, also recorded (host section, so determinism comparisons
  * strip it) in the timing_mfi entry. The sampled entry carries a
@@ -73,6 +81,8 @@ struct TimedMeasured
 {
     Measured m;
     TimingResult t;
+    /** acf.fusion counters when the run had fusion enabled. */
+    std::map<std::string, uint64_t> fusionCounters;
 };
 
 Json
@@ -126,7 +136,8 @@ TimedMeasured
 runTimingMfi(const Program &prog,
              std::shared_ptr<const ProductionSet> set,
              const std::string &what, bool traceFeed,
-             uint64_t samplePeriod = 0, uint64_t sampleDetail = 0)
+             uint64_t samplePeriod = 0, uint64_t sampleDetail = 0,
+             bool fusion = false)
 {
     DiseController controller{DiseConfig{}};
     controller.install(std::move(set));
@@ -135,6 +146,7 @@ runTimingMfi(const Program &prog,
     if (samplePeriod != 0)
         sim.setSampling(samplePeriod, sampleDetail);
     initMfiRegisters(sim.core(), prog);
+    sim.core().setFusionEnabled(fusion);
     const auto t0 = std::chrono::steady_clock::now();
     TimedMeasured out;
     out.t = sim.run();
@@ -142,7 +154,39 @@ runTimingMfi(const Program &prog,
                         std::chrono::steady_clock::now() - t0)
                         .count();
     out.m.insts = out.t.arch.dynInsts;
+    if (fusion)
+        out.fusionCounters = sim.core().fusionStatGroup().counters();
     check(out.t, what);
+    return out;
+}
+
+/**
+ * The deterministic "fusion" artifact section of the timing_mfi_fused
+ * entry: per-family pair counts, the fused fraction of the retired
+ * stream, and the IPC the contraction buys over the unfused twin.
+ * Everything here must be bit-stable across runs (validated by
+ * validate_bench_json.py --compare, which does NOT strip it).
+ */
+Json
+fusionSection(const TimedMeasured &fused, const TimedMeasured &unfused)
+{
+    Json out = Json::object();
+    for (const auto &kv : fused.fusionCounters)
+        out[kv.first] = Json(kv.second);
+    const uint64_t pairs = fused.fusionCounters.count("fused_pairs")
+                               ? fused.fusionCounters.at("fused_pairs")
+                               : 0;
+    const double cov =
+        fused.t.arch.dynInsts
+            ? 2.0 * double(pairs) / double(fused.t.arch.dynInsts)
+            : 0.0;
+    out["coverage"] = Json(cov);
+    out["ipc"] = Json(fused.t.ipc());
+    out["ipc_unfused"] = Json(unfused.t.ipc());
+    out["ipc_delta_pct"] =
+        Json(unfused.t.ipc() > 0.0
+                 ? 100.0 * (fused.t.ipc() / unfused.t.ipc() - 1.0)
+                 : 0.0);
     return out;
 }
 
@@ -222,7 +266,8 @@ runSimThroughput()
     const auto specs = selectedSpecs();
     TextTable table({"bench", "func", "func+MFI", "no-chain",
                      "MFI-slowpath", "speedup", "t-step", "t-feed",
-                     "t-spdup", "t-sampled", "cpi-err%"});
+                     "t-spdup", "t-sampled", "cpi-err%", "fuse-cov%",
+                     "fuse-ipc%"});
     struct Row
     {
         std::vector<std::string> cells;
@@ -254,6 +299,19 @@ runSimThroughput()
         const TimedMeasured feed =
             runTimingMfi(prog, set, spec.name + " timing_mfi", true);
         checkFeedIdentity(spec.name, feed.t, step.t);
+        const TimedMeasured fused = runTimingMfi(
+            prog, set, spec.name + " timing_mfi_fused", true, 0, 0,
+            /*fusion=*/true);
+        // Fusion is a contraction of the issue stream, never of the
+        // architecture: the fused run must retire the identical
+        // architectural result or the fused execution paths are wrong.
+        if (fused.t.arch.toJson().dump() != feed.t.arch.toJson().dump()) {
+            fatal(strFormat(
+                "BENCH FAILURE: %s fused timing run diverged "
+                "architecturally from the unfused run:\n  %s\nvs\n  %s",
+                spec.name.c_str(), fused.t.arch.toJson().dump().c_str(),
+                feed.t.arch.toJson().dump().c_str()));
+        }
         const TimedMeasured sampled = runTimingMfi(
             prog, set, spec.name + " timing_mfi_sampled", true,
             kSamplePeriod, kSampleDetail);
@@ -269,6 +327,7 @@ runSimThroughput()
             step.m.mips() > 0.0 ? feed.m.mips() / step.m.mips() : 0.0;
         const Json sampling = samplingSection(sampled.t, feed.t);
         const double cpiErr = sampling.at("cpi_error").asDouble();
+        const Json fusionInfo = fusionSection(fused, feed);
 
         if (BenchJson::instance().enabled()) {
             BenchJson::instance().record(spec.name, "functional",
@@ -290,6 +349,10 @@ runSimThroughput()
             BenchJson::instance().record(spec.name,
                                          "timing_mfi_stepfeed",
                                          throughputEntry(step.m));
+            Json fusedEntry = throughputEntry(fused.m);
+            fusedEntry["fusion"] = fusionInfo;
+            BenchJson::instance().record(spec.name, "timing_mfi_fused",
+                                         fusedEntry);
             Json sampledEntry = throughputEntry(sampled.m);
             sampledEntry["sampling"] = sampling;
             BenchJson::instance().record(spec.name, "timing_mfi_sampled",
@@ -310,7 +373,12 @@ runSimThroughput()
                      TextTable::num(feed.m.mips(), 1),
                      TextTable::num(feedSpeedup, 2),
                      TextTable::num(sampled.m.mips(), 1),
-                     TextTable::num(cpiErr * 100.0, 3)};
+                     TextTable::num(cpiErr * 100.0, 3),
+                     TextTable::num(fusionInfo.at("coverage").asDouble() *
+                                        100.0,
+                                    2),
+                     TextTable::num(
+                         fusionInfo.at("ipc_delta_pct").asDouble(), 2)};
         return row;
     });
     for (const Row &row : rows)

@@ -1,0 +1,243 @@
+#include "src/acf/fusion.hpp"
+
+namespace dise {
+
+namespace {
+
+bool
+isCompareOp(Opcode op)
+{
+    return op >= Opcode::CMPEQ && op <= Opcode::CMPULE;
+}
+
+bool
+isCondBranchOp(Opcode op)
+{
+    return op >= Opcode::BEQ && op <= Opcode::BLBS;
+}
+
+bool
+isLoadOpAlu(Opcode op)
+{
+    switch (op) {
+      case Opcode::ADDQ:
+      case Opcode::SUBQ:
+      case Opcode::AND:
+      case Opcode::BIC:
+      case Opcode::OR:
+      case Opcode::ORNOT:
+      case Opcode::XOR:
+      case Opcode::SLL:
+      case Opcode::SRL:
+      case Opcode::SRA:
+        return true;
+      default:
+        return isCompareOp(op);
+    }
+}
+
+/** cmpXX ra,rb|#lit,rc ; bYY rc,disp — branch tests the fresh result. */
+bool
+fuseCmpBranch(const DecodedInst &first, const DecodedInst &second,
+              DecodedInst *out)
+{
+    if (!isCondBranchOp(second.op))
+        return false;
+    // A compare into the zero register is dead: the native branch reads
+    // a constant 0, not the compare result, so the pair is not a
+    // dependence and must not fuse.
+    if (first.rc == kZeroReg || second.ra != first.rc)
+        return false;
+    out->op = Opcode::FCMPBR;
+    out->cls = OpClass::CondBranch;
+    out->ra = first.ra;
+    out->rb = first.rb;
+    out->rc = first.rc;
+    out->useLit = first.useLit;
+    // branchTarget(pairPC) must equal the native target of the branch
+    // sitting one word later: rebase the displacement by +1.
+    out->imm = second.imm + 1;
+    out->tag = packCmpBr(first.op, second.op,
+                         first.useLit ? static_cast<uint8_t>(first.imm)
+                                      : 0);
+    return true;
+}
+
+/** ldah r,h(base) ; lda r,l(r) — 32-bit constant/address formation. */
+bool
+fuseAddrConst(const DecodedInst &first, const DecodedInst &second,
+              DecodedInst *out)
+{
+    if (second.op != Opcode::LDA)
+        return false;
+    const RegIndex r = first.ra;
+    if (r == kZeroReg || second.ra != r || second.rb != r)
+        return false;
+    out->op = Opcode::FLDAC;
+    out->cls = OpClass::IntAlu;
+    out->rc = r;
+    out->ra = first.rb; // original base (often the zero register)
+    out->useLit = true;
+    out->imm = (first.imm << 16) + second.imm;
+    return true;
+}
+
+/** sll ra,#k,rc ; addq rc,rb|#l,rc — scaled-index formation. */
+bool
+fuseShiftAdd(const DecodedInst &first, const DecodedInst &second,
+             DecodedInst *out)
+{
+    if (second.op != Opcode::ADDQ)
+        return false;
+    if (!first.useLit || first.imm < 0 || first.imm > 63)
+        return false;
+    const RegIndex t = first.rc;
+    if (t == kZeroReg || second.rc != t)
+        return false;
+    out->op = Opcode::FSHADD;
+    out->cls = OpClass::IntAlu;
+    out->ra = first.ra;
+    out->rc = t;
+    out->tag = static_cast<uint16_t>(first.imm);
+    if (second.useLit) {
+        if (second.ra != t)
+            return false;
+        out->useLit = true;
+        out->imm = second.imm;
+        return true;
+    }
+    if (second.ra == t && second.rb != t) {
+        out->rb = second.rb;
+    } else if (second.rb == t && second.ra != t) {
+        out->rb = second.ra;
+    } else {
+        return false; // addq t,t,t doubles the shifted value: 2 reads
+    }
+    out->useLit = false;
+    return true;
+}
+
+/** lda r,d(base) ; ldX r,d2(r) — address-formed load, r overwritten. */
+bool
+fuseAddrLoad(const DecodedInst &first, const DecodedInst &second,
+             DecodedInst *out)
+{
+    const RegIndex r = first.ra;
+    if (r == kZeroReg || second.rb != r || second.ra != r)
+        return false;
+    out->op = Opcode::FLDAL;
+    out->cls = OpClass::Load;
+    out->ra = r;
+    out->rb = first.rb;
+    out->imm = first.imm + second.imm;
+    out->tag = static_cast<uint16_t>(second.op);
+    return true;
+}
+
+/** lda r,d(base) ; stX rx,0(r) — address-formed store; r survives. */
+bool
+fuseAddrStore(const DecodedInst &first, const DecodedInst &second,
+              DecodedInst *out)
+{
+    const RegIndex r = first.ra;
+    // rx == r would store the freshly formed address; the fused op
+    // reads its data register before computing the address, so skip.
+    // The store displacement must be zero: r survives the pair holding
+    // base+d, and one immediate field cannot carry both displacements.
+    if (r == kZeroReg || second.rb != r || second.ra == r ||
+        second.imm != 0) {
+        return false;
+    }
+    out->op = Opcode::FLDAS;
+    out->cls = OpClass::Store;
+    out->ra = second.ra; // data register
+    out->rb = first.rb;  // original base
+    out->rc = r;         // formed address, architecturally written
+    out->imm = first.imm;
+    out->tag = static_cast<uint16_t>(second.op);
+    return true;
+}
+
+/** ldq r,d(base) ; OP r,rx|#l,r — load feeding one ALU op, r final. */
+bool
+fuseLoadOp(const DecodedInst &first, const DecodedInst &second,
+           DecodedInst *out)
+{
+    if (second.cls != OpClass::IntAlu || !isLoadOpAlu(second.op))
+        return false;
+    const RegIndex r = first.ra;
+    if (r == kZeroReg || second.rc != r)
+        return false;
+    bool swapped = false;
+    if (second.useLit) {
+        if (second.ra != r)
+            return false;
+        out->rc = kZeroReg;
+    } else if (second.ra == r && second.rb != r) {
+        out->rc = second.rb;
+    } else if (second.rb == r && second.ra != r) {
+        out->rc = second.ra;
+        swapped = true;
+    } else {
+        return false; // OP r,r,r reads the loaded value twice
+    }
+    out->op = Opcode::FLDOP;
+    out->cls = OpClass::Load;
+    out->ra = r;
+    out->rb = first.rb;
+    out->useLit = second.useLit;
+    out->imm = first.imm;
+    out->tag = packLoadOp(second.op,
+                          second.useLit
+                              ? static_cast<uint8_t>(second.imm)
+                              : 0,
+                          swapped, second.useLit);
+    return true;
+}
+
+} // namespace
+
+const char *
+fusedFamilyName(int index)
+{
+    switch (index) {
+      case 0: return "cmp_branch";
+      case 1: return "addr_const";
+      case 2: return "shift_add";
+      case 3: return "addr_load";
+      case 4: return "addr_store";
+      case 5: return "load_op";
+      default: return "unknown";
+    }
+}
+
+bool
+fusePair(const DecodedInst &first, const DecodedInst &second,
+         DecodedInst *out)
+{
+    *out = DecodedInst{};
+    switch (first.op) {
+      case Opcode::CMPEQ:
+      case Opcode::CMPLT:
+      case Opcode::CMPLE:
+      case Opcode::CMPULT:
+      case Opcode::CMPULE:
+        return fuseCmpBranch(first, second, out);
+      case Opcode::LDAH:
+        return fuseAddrConst(first, second, out);
+      case Opcode::LDA:
+        if (second.cls == OpClass::Load)
+            return fuseAddrLoad(first, second, out);
+        if (second.cls == OpClass::Store)
+            return fuseAddrStore(first, second, out);
+        return false;
+      case Opcode::SLL:
+        return fuseShiftAdd(first, second, out);
+      case Opcode::LDQ:
+        return fuseLoadOp(first, second, out);
+      default:
+        return false;
+    }
+}
+
+} // namespace dise

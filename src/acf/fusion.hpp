@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Macro-op fusion ACF: DISE run "in reverse".
+ *
+ * Where every other ACF expands one trigger instruction into a
+ * replacement sequence, fusion contracts two adjacent dependent
+ * application instructions into one fused internal op (per "The Renewed
+ * Case for the RISC: Avoiding ISA Bloat with Macro-Op Fusion"). Fused
+ * ops have no encoding — the decoder synthesizes them at fetch — so
+ * fusion is not a ProductionSet and cannot be composed with one via
+ * composeNested/composeMerged; the AcfRegistry rejects such requests
+ * with a structured error.
+ *
+ * This module is the pure pattern matcher: given two decoded
+ * application instructions it decides whether they form a fusible pair
+ * and, if so, synthesizes the fused DecodedInst. Execution semantics
+ * live in ExecCore (both interpreter tiers), and the single-slot timing
+ * model falls out of PipelineSim's one-record-one-slot accounting.
+ *
+ * Families (one fused opcode each):
+ *   cmp_branch  FCMPBR  cmpXX ra,rb|#l,rc ; bYY rc,disp
+ *   addr_const  FLDAC   ldah r,h(base)    ; lda r,l(r)
+ *   shift_add   FSHADD  sll ra,#k,rc      ; addq rc,rb|#l,rc
+ *   addr_load   FLDAL   lda r,d(base)     ; ldX r,d2(r)
+ *   addr_store  FLDAS   lda r,d(base)     ; stX rx,d2(r)
+ *   load_op     FLDOP   ldq r,d(base)     ; OP r,rx|#l,r
+ *
+ * Eligibility is purely architectural: a pair fuses only when the
+ * second instruction's sole consumption of the first is expressible in
+ * one op and the intermediate value is fully overwritten (or the pair
+ * is dead in the same way natively). Fusion decisions are a pure
+ * function of the two instruction words, so the fast (trace-cache) and
+ * slow (step) paths reach identical decisions by construction.
+ */
+
+#ifndef DISE_ACF_FUSION_HPP
+#define DISE_ACF_FUSION_HPP
+
+#include <cstdint>
+
+#include "src/isa/inst.hpp"
+
+namespace dise {
+
+/** Fused-pair families, in fused-opcode order (FCMPBR..FLDOP). */
+constexpr int kNumFusedFamilies = 6;
+
+/** Stable stats key for family @p index (0..kNumFusedFamilies-1). */
+const char *fusedFamilyName(int index);
+
+/** Family index for a fused opcode (FCMPBR -> 0 .. FLDOP -> 5). */
+inline int
+fusedFamilyIndex(Opcode op)
+{
+    return static_cast<int>(op) - static_cast<int>(Opcode::FCMPBR);
+}
+
+/**
+ * @name FCMPBR tag packing
+ * [7:0] compare literal, [10:8] compare index (op - CMPEQ),
+ * [13:11] branch index (op - BEQ).
+ */
+/// @{
+struct CmpBrFields
+{
+    Opcode cmpOp;
+    Opcode brOp;
+    uint8_t lit;
+};
+
+inline uint16_t
+packCmpBr(Opcode cmpOp, Opcode brOp, uint8_t lit)
+{
+    const unsigned cmpIdx = static_cast<unsigned>(cmpOp) -
+                            static_cast<unsigned>(Opcode::CMPEQ);
+    const unsigned brIdx = static_cast<unsigned>(brOp) -
+                           static_cast<unsigned>(Opcode::BEQ);
+    return static_cast<uint16_t>(lit | (cmpIdx << 8) | (brIdx << 11));
+}
+
+inline CmpBrFields
+unpackCmpBr(uint16_t tag)
+{
+    CmpBrFields f;
+    f.lit = static_cast<uint8_t>(tag & 0xff);
+    f.cmpOp = static_cast<Opcode>(static_cast<unsigned>(Opcode::CMPEQ) +
+                                  ((tag >> 8) & 0x7));
+    f.brOp = static_cast<Opcode>(static_cast<unsigned>(Opcode::BEQ) +
+                                 ((tag >> 11) & 0x7));
+    return f;
+}
+/// @}
+
+/**
+ * @name FLDOP tag packing
+ * [5:0] ALU opcode, [13:6] ALU literal, [14] operands swapped (the
+ * loaded value is the ALU's rb), [15] literal form.
+ */
+/// @{
+struct LoadOpFields
+{
+    Opcode aluOp;
+    uint8_t lit;
+    bool swapped;
+    bool useLit;
+};
+
+inline uint16_t
+packLoadOp(Opcode aluOp, uint8_t lit, bool swapped, bool useLit)
+{
+    return static_cast<uint16_t>(
+        (static_cast<unsigned>(aluOp) & 0x3f) | (unsigned(lit) << 6) |
+        (unsigned(swapped) << 14) | (unsigned(useLit) << 15));
+}
+
+inline LoadOpFields
+unpackLoadOp(uint16_t tag)
+{
+    LoadOpFields f;
+    f.aluOp = static_cast<Opcode>(tag & 0x3f);
+    f.lit = static_cast<uint8_t>((tag >> 6) & 0xff);
+    f.swapped = (tag >> 14) & 1;
+    f.useLit = (tag >> 15) & 1;
+    return f;
+}
+/// @}
+
+/**
+ * Try to fuse the adjacent dependent pair (@p first at pc, @p second at
+ * pc+4). On success fills @p out with the synthesized fused instruction
+ * (raw == 0; for FCMPBR, imm is the branch displacement rebased so that
+ * out->branchTarget(pairPC) is the native target) and returns true.
+ *
+ * The caller is responsible for the non-architectural gates: both words
+ * inside the text segment, and neither opcode covered by an installed
+ * DISE production set (expansion takes priority over contraction).
+ */
+bool fusePair(const DecodedInst &first, const DecodedInst &second,
+              DecodedInst *out);
+
+} // namespace dise
+
+#endif // DISE_ACF_FUSION_HPP

@@ -5,6 +5,32 @@
 
 namespace dise {
 
+const char *
+mfiVariantName(MfiVariant variant)
+{
+    switch (variant) {
+      case MfiVariant::Dise3:
+        return "dise3";
+      case MfiVariant::Dise4:
+        return "dise4";
+      case MfiVariant::Sandbox:
+        return "sandbox";
+    }
+    return "?";
+}
+
+MfiVariant
+parseMfiVariant(const std::string &name)
+{
+    if (name == "dise3")
+        return MfiVariant::Dise3;
+    if (name == "dise4")
+        return MfiVariant::Dise4;
+    if (name == "sandbox")
+        return MfiVariant::Sandbox;
+    fatal("unknown MFI variant \"" + name + "\"");
+}
+
 namespace {
 
 /** Sandboxing sequence: mask the base register, re-base it into the

@@ -42,6 +42,12 @@ enum class MfiVariant : uint8_t {
     Sandbox, ///< address sandboxing, 2 added, no fault detection
 };
 
+/** Stable lower-case variant name ("dise3", "dise4", "sandbox"). */
+const char *mfiVariantName(MfiVariant variant);
+
+/** Parse a variant name; fatal() on anything else. */
+MfiVariant parseMfiVariant(const std::string &name);
+
 /** MFI configuration. */
 struct MfiOptions
 {

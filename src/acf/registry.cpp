@@ -1,0 +1,289 @@
+#include "src/acf/registry.hpp"
+
+#include "src/acf/assertions.hpp"
+#include "src/acf/compose.hpp"
+#include "src/acf/compress.hpp"
+#include "src/acf/mfi.hpp"
+#include "src/acf/profiler.hpp"
+#include "src/acf/rewriter.hpp"
+#include "src/common/logging.hpp"
+#include "src/dise/parser.hpp"
+
+namespace dise {
+
+const char *
+acfComposeName(AcfCompose compose)
+{
+    switch (compose) {
+      case AcfCompose::Append:
+        return "append";
+      case AcfCompose::Merged:
+        return "merged";
+      case AcfCompose::Nested:
+        return "nested";
+    }
+    return "?";
+}
+
+AcfCompose
+parseAcfCompose(const std::string &name)
+{
+    if (name == "append")
+        return AcfCompose::Append;
+    if (name == "merged")
+        return AcfCompose::Merged;
+    if (name == "nested")
+        return AcfCompose::Nested;
+    fatal("unknown ACF compose mode \"" + name +
+          "\" (append, merged, nested)");
+}
+
+std::string
+AcfSpec::str() const
+{
+    std::string s = kind;
+    if (!variant.empty())
+        s += ":" + variant;
+    if (compose != AcfCompose::Append)
+        s += std::string("/") + acfComposeName(compose);
+    return s;
+}
+
+Json
+AcfSpec::toJson() const
+{
+    Json doc = Json::object();
+    doc["kind"] = Json(kind);
+    if (!variant.empty())
+        doc["variant"] = Json(variant);
+    if (compose != AcfCompose::Append)
+        doc["compose"] = Json(std::string(acfComposeName(compose)));
+    return doc;
+}
+
+AcfSpec
+AcfSpec::fromJson(const Json &doc)
+{
+    if (!doc.isObject())
+        fatal("RunRequest: \"acfs\" entries must be JSON objects");
+    AcfSpec spec;
+    bool haveKind = false;
+    for (const auto &kv : doc.members()) {
+        const std::string &key = kv.first;
+        const Json &value = kv.second;
+        if (!value.isString())
+            fatal("RunRequest: acfs entry key \"" + key +
+                  "\" must be a string");
+        if (key == "kind") {
+            spec.kind = value.asString();
+            haveKind = true;
+        } else if (key == "variant") {
+            spec.variant = value.asString();
+        } else if (key == "compose") {
+            spec.compose = parseAcfCompose(value.asString());
+        } else {
+            fatal("RunRequest: acfs entry has unknown key \"" + key +
+                  "\" (kind, variant, compose)");
+        }
+    }
+    if (!haveKind || spec.kind.empty())
+        fatal("RunRequest: acfs entry missing \"kind\"");
+    return spec;
+}
+
+const AcfRegistry &
+AcfRegistry::instance()
+{
+    static const AcfRegistry registry;
+    return registry;
+}
+
+AcfRegistry::AcfRegistry()
+{
+    kinds_["productions"] = {/*productionSet=*/true,
+                             /*takesVariant=*/false};
+    kinds_["mfi"] = {true, true};
+    kinds_["watchpoint"] = {true, false};
+    kinds_["profiler"] = {true, false};
+    kinds_["compress"] = {true, false};
+    kinds_["rewrite_mfi"] = {false, false};
+    kinds_["fusion"] = {false, false};
+}
+
+bool
+AcfRegistry::known(const std::string &kind) const
+{
+    return kinds_.count(kind) != 0;
+}
+
+std::string
+AcfRegistry::kindList() const
+{
+    std::string out;
+    for (const auto &kv : kinds_) {
+        if (!out.empty())
+            out += ", ";
+        out += kv.first;
+    }
+    return out;
+}
+
+void
+AcfRegistry::validate(const std::vector<AcfSpec> &acfs,
+                      bool haveProductionsText) const
+{
+    // The nearest preceding production-set entry — the target any
+    // "merged"/"nested" entry composes with.
+    std::string composeTarget;
+    bool sawMfi = false;
+    bool sawProductionsEntry = false;
+    std::vector<std::string> seen;
+    for (size_t i = 0; i < acfs.size(); ++i) {
+        const AcfSpec &spec = acfs[i];
+        const std::string where =
+            "RunRequest: acfs[" + std::to_string(i) + "]: ";
+        auto it = kinds_.find(spec.kind);
+        if (it == kinds_.end()) {
+            fatal(where + "unknown ACF kind \"" + spec.kind + "\" (" +
+                  kindList() + ")");
+        }
+        const KindInfo &info = it->second;
+        for (const std::string &prev : seen) {
+            if (prev == spec.kind)
+                fatal(where + "duplicate ACF kind \"" + spec.kind +
+                      "\"");
+        }
+        seen.push_back(spec.kind);
+        if (!spec.variant.empty()) {
+            if (!info.takesVariant)
+                fatal(where + "\"" + spec.kind +
+                      "\" does not take a variant");
+            if (spec.kind == "mfi")
+                parseMfiVariant(spec.variant); // fatal() when unknown
+        }
+        if (spec.compose != AcfCompose::Append) {
+            // Composition operates on production sets (paper Section
+            // 3.3); an entry that does not build one cannot be a
+            // composition operand — reject, never silently drop.
+            if (!info.productionSet) {
+                fatal(where + "cannot compose \"" + spec.str() +
+                      "\": \"" + spec.kind +
+                      "\" does not build a production set" +
+                      (spec.kind == "fusion"
+                           ? " (fusion contracts the decoded stream "
+                             "after all expansion; it composes with "
+                             "every ACF implicitly and only accepts "
+                             "\"append\")"
+                           : " (only \"append\" is valid)"));
+            }
+            if (composeTarget.empty()) {
+                fatal(where + "cannot compose \"" + spec.str() +
+                      "\": no preceding production-set ACF to " +
+                      acfComposeName(spec.compose) + " with");
+            }
+        }
+        if (spec.kind == "watchpoint" && !sawMfi)
+            fatal(where + "\"watchpoint\" requires a preceding "
+                          "\"mfi\" entry");
+        if (spec.kind == "productions" && !haveProductionsText)
+            fatal(where + "\"productions\" entry requires the "
+                          "\"productions\" DSL text");
+        if (info.productionSet)
+            composeTarget = spec.kind;
+        sawMfi = sawMfi || spec.kind == "mfi";
+        sawProductionsEntry =
+            sawProductionsEntry || spec.kind == "productions";
+    }
+    if (haveProductionsText && !sawProductionsEntry)
+        fatal("RunRequest: \"productions\" text requires a "
+              "{\"kind\": \"productions\"} acfs entry");
+}
+
+AcfBuild
+AcfRegistry::build(const std::vector<AcfSpec> &acfs,
+                   const std::string &productionsText,
+                   Program &prog) const
+{
+    validate(acfs, !productionsText.empty());
+
+    AcfBuild out;
+    ProductionSet acc;
+    bool any = false;
+    // Delayed fold: the previous production-set contribution stays
+    // pending (not yet merged into acc) so a later "merged"/"nested"
+    // entry can still compose with it; "append" flushes it.
+    std::unique_ptr<ProductionSet> pending;
+
+    auto contribute = [&](const AcfSpec &spec, ProductionSet set) {
+        any = true;
+        switch (spec.compose) {
+          case AcfCompose::Append:
+            if (pending)
+                acc.merge(*pending);
+            pending =
+                std::make_unique<ProductionSet>(std::move(set));
+            return;
+          case AcfCompose::Merged:
+            *pending = composeMerged(*pending, set);
+            return;
+          case AcfCompose::Nested:
+            // This entry wraps the stream the pending entry produces:
+            // [compress, mfi/nested] = MFI(decompress(app)).
+            *pending = composeNested(set, *pending);
+            return;
+        }
+    };
+
+    for (const AcfSpec &spec : acfs) {
+        if (spec.kind == "productions") {
+            contribute(spec,
+                       parseProductions(productionsText, prog.symbols));
+        } else if (spec.kind == "mfi") {
+            MfiOptions opts;
+            if (!spec.variant.empty())
+                opts.variant = parseMfiVariant(spec.variant);
+            contribute(spec, makeMfiProductions(prog, opts));
+            out.mfiRegisters = true;
+        } else if (spec.kind == "watchpoint") {
+            // Guard cell the program never writes, above the stack
+            // region; any nonzero store landing there trips the
+            // watchpoint assertion.
+            out.watchAddr = prog.dataBase +
+                            (Addr(1) << (kSegmentShift - 1)) +
+                            (Addr(1) << 20);
+            contribute(spec, makeWatchpointProductions(prog));
+            out.watchRegisters = true;
+        } else if (spec.kind == "profiler") {
+            contribute(spec, makePathProfilerProductions());
+            out.profilerRegisters = true;
+        } else if (spec.kind == "rewrite_mfi") {
+            prog = applyMfiRewriting(prog);
+        } else if (spec.kind == "compress") {
+            CompressionResult comp = compressProgram(prog);
+            prog = std::move(comp.compressed);
+            contribute(spec, *comp.dictionary);
+        } else if (spec.kind == "fusion") {
+            out.fusion = true;
+        } else {
+            fatal("AcfRegistry: unhandled kind \"" + spec.kind + "\"");
+        }
+    }
+    if (pending)
+        acc.merge(*pending);
+    if (any) {
+        out.productions =
+            std::make_shared<const ProductionSet>(std::move(acc));
+    }
+    // The transforms preserve the data segment, so placing the
+    // profile buffer past the final program's data matches placing it
+    // past the original's.
+    if (out.profilerRegisters) {
+        out.profileBuffer = prog.dataBase +
+                            ((prog.data.size() + 0xffff) &
+                             ~size_t(0xfff)) +
+                            (1 << 20);
+    }
+    return out;
+}
+
+} // namespace dise

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The ACF registry: one ordered spec list describes a run's whole
+ * customization environment.
+ *
+ * A RunRequest names its ACFs as an ordered list of AcfSpec entries
+ * ({"kind": "mfi", "variant": "dise4"}, {"kind": "watchpoint",
+ * "compose": "merged"}, {"kind": "fusion"}, ...) and the registry
+ * resolves the list into everything prepareJob needs: the installed
+ * production set (with composition order explicit — see AcfCompose),
+ * the program transforms (binary rewriting, compression) applied in
+ * list order, the dedicated-register initialization flags, and the
+ * decode-stage fusion switch. The legacy RunRequest booleans
+ * (mfi/watchpoint/rewrite_mfi/compress/profile) survive as aliases
+ * that desugar to a canonical list (RunRequest::normalizedAcfs), so
+ * diserun, the bench harness, and the serve daemon all route through
+ * this one resolver.
+ *
+ * Composition semantics per entry:
+ *
+ *  - "append" (default): the entry's production set is installed
+ *    alongside everything before it (plain ProductionSet::merge).
+ *  - "merged": non-nested composition with the nearest preceding
+ *    production-set entry — identical patterns share one trigger and
+ *    concatenate their sequences (composeMerged, paper Section 3.3).
+ *  - "nested": this entry is applied to (wraps) the output of the
+ *    nearest preceding production-set entry — [compress,
+ *    mfi/nested] yields MFI(decompress(app)) (composeNested).
+ *
+ * Entries that do not build a production set (fusion contracts the
+ * decoded stream after expansion; rewrite_mfi is a static binary
+ * transform) reject "merged"/"nested" with a FatalError naming the
+ * offending pattern — there is no silent drop.
+ */
+
+#ifndef DISE_ACF_REGISTRY_HPP
+#define DISE_ACF_REGISTRY_HPP
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/assembler/program.hpp"
+#include "src/common/json.hpp"
+#include "src/dise/production.hpp"
+
+namespace dise {
+
+/** How one ACF-spec entry combines with the entries before it. */
+enum class AcfCompose : uint8_t {
+    Append, ///< install alongside (plain merge)
+    Merged, ///< composeMerged with the preceding production-set entry
+    Nested, ///< composeNested around the preceding production-set entry
+};
+
+/** Stable lower-case compose name ("append", "merged", "nested"). */
+const char *acfComposeName(AcfCompose compose);
+
+/** Parse a compose name; fatal() on anything else. */
+AcfCompose parseAcfCompose(const std::string &name);
+
+/** One entry of a RunRequest "acfs" list. */
+struct AcfSpec
+{
+    /** Registered kind ("mfi", "watchpoint", "profiler", "fusion",
+     *  "productions", "rewrite_mfi", "compress"). */
+    std::string kind;
+    /** Kind-specific variant; only "mfi" takes one (dise3/dise4/
+     *  sandbox), empty selects the kind's default. */
+    std::string variant;
+    AcfCompose compose = AcfCompose::Append;
+
+    bool operator==(const AcfSpec &o) const
+    {
+        return kind == o.kind && variant == o.variant &&
+               compose == o.compose;
+    }
+    bool operator!=(const AcfSpec &o) const { return !(*this == o); }
+
+    /** Debug/error rendering: kind[:variant][/compose]. */
+    std::string str() const;
+
+    Json toJson() const;
+
+    /** Parse one "acfs" entry; fatal() on unknown keys or bad types. */
+    static AcfSpec fromJson(const Json &doc);
+};
+
+/** What an ACF-spec list resolves to. */
+struct AcfBuild
+{
+    /** Productions to install; null = no DISE controller at all. */
+    std::shared_ptr<const ProductionSet> productions;
+    /** Decode-stage macro-op fusion (src/acf/fusion). */
+    bool fusion = false;
+    /** Initialize the MFI dedicated registers. */
+    bool mfiRegisters = false;
+    /** Arm the watchpoint at watchAddr (requires mfiRegisters). */
+    bool watchRegisters = false;
+    Addr watchAddr = 0;
+    /** Initialize the profiler registers / read the path profile. */
+    bool profilerRegisters = false;
+    /** Path-profile buffer base; 0 = no profiler installed. */
+    Addr profileBuffer = 0;
+};
+
+/**
+ * The kind-name -> builder registry. One process-wide instance; the
+ * set of kinds is fixed at construction (there is no dynamic
+ * registration — the point is one authoritative list, not a plugin
+ * system).
+ */
+class AcfRegistry
+{
+  public:
+    static const AcfRegistry &instance();
+
+    bool known(const std::string &kind) const;
+
+    /** Comma-separated sorted kind list (for error messages). */
+    std::string kindList() const;
+
+    /**
+     * Check list shape without a program: kinds exist, no duplicates,
+     * variants are legal, compose targets exist ("merged"/"nested"
+     * need a preceding production-set entry, and only production-set
+     * kinds may be composed), "watchpoint" follows "mfi", and
+     * "productions" entries match @p haveProductionsText. fatal() on
+     * the first violation.
+     */
+    void validate(const std::vector<AcfSpec> &acfs,
+                  bool haveProductionsText) const;
+
+    /**
+     * Resolve @p acfs in list order: build and compose production
+     * sets, apply program transforms to @p prog in place, and collect
+     * the register-initialization flags. Calls validate() first.
+     */
+    AcfBuild build(const std::vector<AcfSpec> &acfs,
+                   const std::string &productionsText,
+                   Program &prog) const;
+
+  private:
+    struct KindInfo
+    {
+        /** Builds a ProductionSet (composable). */
+        bool productionSet = false;
+        /** Accepts a non-empty variant string. */
+        bool takesVariant = false;
+    };
+
+    AcfRegistry();
+
+    std::map<std::string, KindInfo> kinds_;
+};
+
+} // namespace dise
+
+#endif // DISE_ACF_REGISTRY_HPP

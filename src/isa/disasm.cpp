@@ -10,6 +10,53 @@ std::string
 disassemble(const DecodedInst &inst, Addr pc)
 {
     const OpInfo &info = opInfo(inst.op);
+    if (isFusedOp(inst.op) && inst.cls != OpClass::Invalid) {
+        // Synthesized fused internal ops (no encoding, raw == 0).
+        std::ostringstream os;
+        os << info.mnemonic << ' ';
+        switch (inst.op) {
+          case Opcode::FCMPBR:
+            os << regName(inst.ra) << ", ";
+            if (inst.useLit)
+                os << '#' << (inst.tag & 0xff);
+            else
+                os << regName(inst.rb);
+            os << ", " << regName(inst.rc) << ", ";
+            if (pc != 0) {
+                os << strFormat("0x%llx", (unsigned long long)
+                                              inst.branchTarget(pc));
+            } else {
+                os << ".+" << inst.imm;
+            }
+            break;
+          case Opcode::FLDAC:
+            os << regName(inst.rc) << ", " << inst.imm << '('
+               << regName(inst.ra) << ')';
+            break;
+          case Opcode::FSHADD:
+            os << regName(inst.ra) << "<<" << (inst.tag & 0x3f) << ", ";
+            if (inst.useLit)
+                os << '#' << inst.imm;
+            else
+                os << regName(inst.rb);
+            os << ", " << regName(inst.rc);
+            break;
+          case Opcode::FLDAL:
+          case Opcode::FLDOP:
+            os << regName(inst.ra) << ", " << inst.imm << '('
+               << regName(inst.rb) << ')';
+            if (inst.op == Opcode::FLDOP)
+                os << ", " << regName(inst.rc);
+            break;
+          case Opcode::FLDAS:
+            os << regName(inst.ra) << ", " << inst.imm << '('
+               << regName(inst.rb) << ") -> " << regName(inst.rc);
+            break;
+          default:
+            break;
+        }
+        return os.str();
+    }
     if (!info.valid || inst.cls == OpClass::Invalid)
         return strFormat("<invalid 0x%08x>", inst.raw);
 

@@ -19,9 +19,18 @@ isCmov(Opcode op)
 RegIndex
 DecodedInst::destReg() const
 {
+    // Raw words whose opcode bits name a fused internal op decode to
+    // cls Invalid with unparsed fields; only synthesized fused insts
+    // carry a real class, so gate the format dispatch on it.
+    if (cls == OpClass::Invalid)
+        return kZeroReg;
     switch (opInfo(op).format) {
       case InstFormat::Memory:
-        return (cls == OpClass::Store) ? kZeroReg : ra;
+        if (cls == OpClass::Store) {
+            // Fused lda+store also writes the formed address register.
+            return op == Opcode::FLDAS ? rc : kZeroReg;
+        }
+        return ra;
       case InstFormat::Branch:
         // Conditional branches read ra; BR/BSR link through ra. DISE
         // branches read ra and write nothing.
@@ -55,11 +64,15 @@ DecodedInst::srcRegList() const
 {
     SrcRegList srcs;
     auto push = [&](RegIndex r) { srcs.push(r); };
+    if (cls == OpClass::Invalid)
+        return srcs;
     switch (opInfo(op).format) {
       case InstFormat::Memory:
         push(rb);
         if (cls == OpClass::Store)
             push(ra);
+        if (op == Opcode::FLDOP)
+            push(rc); // fused load-op's ALU operand
         break;
       case InstFormat::Branch:
         if (cls == OpClass::CondBranch || cls == OpClass::DiseBranch)

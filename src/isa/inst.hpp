@@ -142,9 +142,15 @@ struct DecodedInst
           case OpClass::CallIndirect:
           case OpClass::Return:
             return ra;
+          case OpClass::CondBranch:
+            // Fused compare+branch writes the compare result to rc.
+            return op == Opcode::FCMPBR ? rc : kZeroReg;
+          case OpClass::Store:
+            // Fused lda+store also writes the formed address register.
+            return op == Opcode::FLDAS ? rc : kZeroReg;
           default:
-            // Store, CondBranch, DiseBranch, Nop, Syscall, Codeword,
-            // Invalid: no architecturally visible destination.
+            // DiseBranch, Nop, Syscall, Codeword, Invalid: no
+            // architecturally visible destination.
             return kZeroReg;
         }
     }
@@ -169,12 +175,18 @@ struct DecodedInst
             break;
           case OpClass::Load:
             srcs.push(rb);
+            if (op == Opcode::FLDOP)
+                srcs.push(rc); // fused load-op's ALU operand
             break;
           case OpClass::Store:
             srcs.push(rb);
             srcs.push(ra);
             break;
           case OpClass::CondBranch:
+            srcs.push(ra);
+            if (op == Opcode::FCMPBR && !useLit)
+                srcs.push(rb); // fused compare's register operand
+            break;
           case OpClass::DiseBranch:
             srcs.push(ra);
             break;

@@ -63,6 +63,21 @@ buildTable()
     def(Opcode::CMPULE, "cmpule", InstFormat::Operate, OpClass::IntAlu);
     def(Opcode::CMOVEQ, "cmoveq", InstFormat::Operate, OpClass::IntAlu);
     def(Opcode::CMOVNE, "cmovne", InstFormat::Operate, OpClass::IntAlu);
+    // Fused internal ops: a mnemonic and class for disassembly/timing,
+    // but valid=false — they have no encoding, the assembler cannot
+    // emit them, and a raw word with these opcode bits decodes Invalid.
+    auto defFused = [&](Opcode op, const char *name, InstFormat fmt,
+                        OpClass cls) {
+        table[static_cast<size_t>(op)] = {op, name, fmt, cls, false};
+    };
+    defFused(Opcode::FCMPBR, "fcmpbr", InstFormat::Operate,
+             OpClass::CondBranch);
+    defFused(Opcode::FLDAC, "fldac", InstFormat::Operate, OpClass::IntAlu);
+    defFused(Opcode::FSHADD, "fshadd", InstFormat::Operate,
+             OpClass::IntAlu);
+    defFused(Opcode::FLDAL, "fldal", InstFormat::Memory, OpClass::Load);
+    defFused(Opcode::FLDAS, "fldas", InstFormat::Memory, OpClass::Store);
+    defFused(Opcode::FLDOP, "fldop", InstFormat::Memory, OpClass::Load);
     def(Opcode::RES0, "res0", InstFormat::Codeword, OpClass::Codeword);
     def(Opcode::RES1, "res1", InstFormat::Codeword, OpClass::Codeword);
     def(Opcode::RES2, "res2", InstFormat::Codeword, OpClass::Codeword);

@@ -73,6 +73,17 @@ enum class Opcode : uint8_t {
     CMPULE = 0x27,
     CMOVEQ = 0x28, ///< rc <- rb if ra == 0
     CMOVNE = 0x29, ///< rc <- rb if ra != 0
+    // Fused internal ops (macro-op fusion ACF, src/acf/fusion). These
+    // never appear in application text or assembler input: the decoder
+    // synthesizes them from adjacent dependent pairs at fetch, so the
+    // table marks them invalid (no encoding surface) while still giving
+    // them a mnemonic and class for disassembly and timing.
+    FCMPBR = 0x2a, ///< cmpXX ra,rb|#lit,rc ; bYY rc,disp
+    FLDAC  = 0x2b, ///< ldah r,h(base) ; lda r,l(r)   (constant formation)
+    FSHADD = 0x2c, ///< sll ra,#k,rc ; addq rc,rb,rc  (scaled index)
+    FLDAL  = 0x2d, ///< lda r,d(base) ; ldX r,d2(r)   (address-formed load)
+    FLDAS  = 0x2e, ///< lda r,d(base) ; stX rx,d2(r)  (address-formed store)
+    FLDOP  = 0x2f, ///< ldq r,d(base) ; OP r,rx,r     (load-op)
     // Reserved opcodes: DISE codewords for aware ACFs.
     RES0  = 0x30,
     RES1  = 0x31,
@@ -137,6 +148,18 @@ const char *opName(Opcode op);
 
 /** Parse a mnemonic; empty when unknown. */
 std::optional<Opcode> opFromName(const std::string &name);
+
+/**
+ * True for the fused internal opcodes synthesized by the macro-op
+ * fusion ACF. Fused ops have no encoding (opInfo(op).valid is false):
+ * they exist only in synthesized DecodedInsts, so a decoded raw word
+ * carrying one of these opcode bits still classifies as Invalid.
+ */
+inline bool
+isFusedOp(Opcode op)
+{
+    return op >= Opcode::FCMPBR && op <= Opcode::FLDOP;
+}
 
 /** True if @p cls reads memory. */
 inline bool

@@ -905,6 +905,8 @@ PipelineSim::registerStats(StatsRegistry &reg)
     reg.add("bpred", &bpred_.stats());
     if (controller_)
         reg.add("dise", &controller_->engine().stats());
+    if (core_.fusionEnabled())
+        reg.add("acf.fusion", &core_.fusionStatGroup());
 
     // Only present for sampled runs: full-detail feed and step-driven
     // runs must serialize identically.

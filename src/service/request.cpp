@@ -34,32 +34,6 @@ parseRunMode(const std::string &name)
 namespace {
 
 const char *
-mfiVariantName(MfiVariant variant)
-{
-    switch (variant) {
-      case MfiVariant::Dise3:
-        return "dise3";
-      case MfiVariant::Dise4:
-        return "dise4";
-      case MfiVariant::Sandbox:
-        return "sandbox";
-    }
-    return "?";
-}
-
-MfiVariant
-parseMfiVariant(const std::string &name)
-{
-    if (name == "dise3")
-        return MfiVariant::Dise3;
-    if (name == "dise4")
-        return MfiVariant::Dise4;
-    if (name == "sandbox")
-        return MfiVariant::Sandbox;
-    fatal("RunRequest: unknown mfi_variant \"" + name + "\"");
-}
-
-const char *
 placementName(DisePlacement placement)
 {
     switch (placement) {
@@ -150,6 +124,30 @@ RunRequest::label() const
     return what + "/" + regime;
 }
 
+std::vector<AcfSpec>
+RunRequest::normalizedAcfs() const
+{
+    if (acfsExplicit)
+        return acfs;
+    // Desugar the legacy booleans in the order prepareJob historically
+    // applied them; the watchpoint was always merged over the MFI set.
+    std::vector<AcfSpec> specs;
+    if (!productions.empty())
+        specs.push_back({"productions", "", AcfCompose::Append});
+    if (mfi)
+        specs.push_back(
+            {"mfi", mfiVariantName(mfiVariant), AcfCompose::Append});
+    if (watchpoint)
+        specs.push_back({"watchpoint", "", AcfCompose::Merged});
+    if (profile)
+        specs.push_back({"profiler", "", AcfCompose::Append});
+    if (rewriteMfi)
+        specs.push_back({"rewrite_mfi", "", AcfCompose::Append});
+    if (compress)
+        specs.push_back({"compress", "", AcfCompose::Append});
+    return specs;
+}
+
 void
 RunRequest::validate() const
 {
@@ -161,8 +159,35 @@ RunRequest::validate() const
         fatal("RunRequest: scale applies to workloads only");
     if (width == 0)
         fatal("RunRequest: width must be >= 1");
+    if (acfsExplicit &&
+        (mfi || watchpoint || rewriteMfi || compress || profile)) {
+        fatal("RunRequest: the \"acfs\" list cannot be mixed with the "
+              "legacy ACF booleans (mfi, watchpoint, rewrite_mfi, "
+              "compress, profile) — use one form");
+    }
     if (watchpoint && !mfi)
         fatal("RunRequest: watchpoint requires mfi");
+    const std::vector<AcfSpec> specs = normalizedAcfs();
+    AcfRegistry::instance().validate(specs, !productions.empty());
+    bool fusion = false;
+    for (const AcfSpec &spec : specs)
+        fusion = fusion || spec.kind == "fusion";
+    if (fusion) {
+        // Fusion retires instruction pairs, so nothing that needs an
+        // exactly-N single-instruction boundary can run under it.
+        if (warmupInsts > 0)
+            fatal("RunRequest: fusion retires instruction pairs and "
+                  "cannot honour the exact warm-start boundary — drop "
+                  "warmup_insts");
+        if (samplePeriod != 0)
+            fatal("RunRequest: fusion is incompatible with sampled "
+                  "timing (sampling units count single retired "
+                  "instructions)");
+        if (mode == RunMode::Campaign)
+            fatal("RunRequest: fusion is incompatible with campaign "
+                  "mode (fault triggers count single application "
+                  "instructions)");
+    }
     if (samplePeriod != 0) {
         if (mode != RunMode::Timing)
             fatal("RunRequest: sample_period applies to timing mode "
@@ -196,13 +221,23 @@ RunRequest::toJson() const
     doc["scale"] = Json(scale);
     doc["regime"] = Json(regime);
     doc["mode"] = Json(std::string(runModeName(mode)));
-    doc["mfi"] = Json(mfi);
-    doc["mfi_variant"] = Json(std::string(mfiVariantName(mfiVariant)));
-    doc["watchpoint"] = Json(watchpoint);
-    doc["rewrite_mfi"] = Json(rewriteMfi);
-    doc["compress"] = Json(compress);
+    // Emit only the ACF form the request used: a round-tripped
+    // request must parse back without tripping the mixing rejection.
+    if (acfsExplicit) {
+        Json list = Json::array();
+        for (const AcfSpec &spec : acfs)
+            list.push_back(spec.toJson());
+        doc["acfs"] = std::move(list);
+    } else {
+        doc["mfi"] = Json(mfi);
+        doc["mfi_variant"] =
+            Json(std::string(mfiVariantName(mfiVariant)));
+        doc["watchpoint"] = Json(watchpoint);
+        doc["rewrite_mfi"] = Json(rewriteMfi);
+        doc["compress"] = Json(compress);
+        doc["profile"] = Json(profile);
+    }
     doc["productions"] = Json(productions);
-    doc["profile"] = Json(profile);
     doc["rt_entries"] = Json(dise.rtEntries);
     doc["rt_assoc"] = Json(dise.rtAssoc);
     doc["placement"] = Json(std::string(placementName(dise.placement)));
@@ -239,6 +274,9 @@ RunRequest::fromJson(const Json &doc)
     // functional run with its campaign shape dropped). Defaults are
     // accepted everywhere so fromJson(toJson()) round-trips.
     std::string campaignKey;
+    // First legacy ACF key seen; presence (not value) is what counts,
+    // so "mfi": false still conflicts with an "acfs" list.
+    std::string legacyAcfKey;
     const RunRequest defaults;
     for (const auto &kv : doc.members()) {
         const std::string &key = kv.first;
@@ -255,20 +293,33 @@ RunRequest::fromJson(const Json &doc)
             req.regime = checkString(key, value);
         } else if (key == "mode") {
             req.mode = parseRunMode(checkString(key, value));
+        } else if (key == "acfs") {
+            if (!value.isArray())
+                fatal("RunRequest: \"acfs\" must be an array");
+            req.acfs.clear();
+            for (const Json &entry : value.items())
+                req.acfs.push_back(AcfSpec::fromJson(entry));
+            req.acfsExplicit = true;
         } else if (key == "mfi") {
             req.mfi = checkBool(key, value);
+            legacyAcfKey = key;
         } else if (key == "mfi_variant") {
             req.mfiVariant = parseMfiVariant(checkString(key, value));
+            legacyAcfKey = key;
         } else if (key == "watchpoint") {
             req.watchpoint = checkBool(key, value);
+            legacyAcfKey = key;
         } else if (key == "rewrite_mfi") {
             req.rewriteMfi = checkBool(key, value);
+            legacyAcfKey = key;
         } else if (key == "compress") {
             req.compress = checkBool(key, value);
+            legacyAcfKey = key;
         } else if (key == "productions") {
             req.productions = checkString(key, value);
         } else if (key == "profile") {
             req.profile = checkBool(key, value);
+            legacyAcfKey = key;
         } else if (key == "rt_entries") {
             req.dise.rtEntries = uint32_t(checkUInt(key, value));
         } else if (key == "rt_assoc") {
@@ -325,6 +376,9 @@ RunRequest::fromJson(const Json &doc)
     if (req.mode != RunMode::Campaign && !campaignKey.empty())
         fatal("RunRequest: \"" + campaignKey +
               "\" applies to campaign mode only");
+    if (req.acfsExplicit && !legacyAcfKey.empty())
+        fatal("RunRequest: \"acfs\" cannot be mixed with the legacy "
+              "ACF key \"" + legacyAcfKey + "\" — use one form");
     req.validate();
     return req;
 }

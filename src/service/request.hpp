@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/acf/mfi.hpp"
+#include "src/acf/registry.hpp"
 #include "src/common/json.hpp"
 #include "src/dise/engine.hpp"
 #include "src/faults/campaign.hpp"
@@ -61,8 +62,18 @@ struct RunRequest
 
     RunMode mode = RunMode::Functional;
 
-    /** @name ACF environment. */
+    /** @name ACF environment.
+     *
+     *  The primary form is the ordered "acfs" spec list, resolved by
+     *  AcfRegistry (src/acf/registry.hpp). The booleans below are the
+     *  legacy aliases; they desugar to the canonical list (see
+     *  normalizedAcfs) and a request mixing both forms is rejected. */
     /// @{
+    /** Ordered ACF-spec list; authoritative when acfsExplicit. */
+    std::vector<AcfSpec> acfs;
+    /** True when the request used the "acfs" form (JSON key present,
+     *  or a caller filled @c acfs directly). */
+    bool acfsExplicit = false;
     bool mfi = false;
     MfiVariant mfiVariant = MfiVariant::Dise3;
     /** Watchpoint assertion merged over the MFI set (requires mfi). */
@@ -72,7 +83,8 @@ struct RunRequest
     /** Compress the text and install the decompression dictionary. */
     bool compress = false;
     /** Production DSL text to install (parsed against the program's
-     *  symbols). */
+     *  symbols). Both forms use it; the acfs form additionally needs a
+     *  {"kind": "productions"} entry fixing its position. */
     std::string productions;
     /** Path-profiler ACF (installs productions + dedicated regs). */
     bool profile = false;
@@ -130,6 +142,16 @@ struct RunRequest
 
     /** The response/artifact label this request resolves to. */
     std::string label() const;
+
+    /**
+     * The canonical ACF-spec list: @c acfs when the request used the
+     * new form, otherwise the legacy booleans desugared in the fixed
+     * historical order [productions, mfi, watchpoint/merged,
+     * profiler, rewrite_mfi, compress]. This is what prepareJob
+     * resolves through the AcfRegistry, so an aliased request and its
+     * desugared spelling are equivalent by construction.
+     */
+    std::vector<AcfSpec> normalizedAcfs() const;
 
     /** fatal() on contradictions (no program, bad scale, ...). */
     void validate() const;

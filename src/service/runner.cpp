@@ -3,15 +3,12 @@
 #include <algorithm>
 #include <chrono>
 
-#include "src/acf/compress.hpp"
 #include "src/acf/assertions.hpp"
-#include "src/acf/compose.hpp"
 #include "src/acf/mfi.hpp"
-#include "src/acf/rewriter.hpp"
+#include "src/acf/registry.hpp"
 #include "src/assembler/assembler.hpp"
 #include "src/common/logging.hpp"
 #include "src/common/stats.hpp"
-#include "src/dise/parser.hpp"
 #include "src/sim/snapshot.hpp"
 
 namespace dise {
@@ -57,55 +54,17 @@ prepareJob(const RunRequest &req, const Program *base)
         prog = assemble(req.source);
     }
 
-    // ---- Assemble the production set (pre-transform program). ----
-    auto set = std::make_shared<ProductionSet>();
-    bool haveDise = false;
-    if (!req.productions.empty()) {
-        set->merge(parseProductions(req.productions, prog.symbols));
-        haveDise = true;
-    }
-    // Guard cell the program never writes, above the stack region; any
-    // nonzero store landing there trips the watchpoint assertion.
-    const Addr watchAddr = prog.dataBase +
-                           (Addr(1) << (kSegmentShift - 1)) +
-                           (Addr(1) << 20);
-    if (req.mfi) {
-        MfiOptions mfiOpts;
-        mfiOpts.variant = req.mfiVariant;
-        if (req.watchpoint) {
-            set->merge(composeMerged(makeMfiProductions(prog, mfiOpts),
-                                     makeWatchpointProductions(prog)));
-        } else {
-            set->merge(makeMfiProductions(prog, mfiOpts));
-        }
-        haveDise = true;
-    }
-    if (req.profile) {
-        set->merge(makePathProfilerProductions());
-        haveDise = true;
-    }
-
-    // ---- Program transforms. ----
-    if (req.rewriteMfi)
-        prog = applyMfiRewriting(prog);
-    if (req.profile) {
-        // Place the profile buffer past everything in the data segment.
-        job.profileBuffer = prog.dataBase +
-                            ((prog.data.size() + 0xffff) &
-                             ~size_t(0xfff)) +
-                            (1 << 20);
-    }
-    if (req.compress) {
-        const CompressionResult comp = compressProgram(prog);
-        prog = comp.compressed;
-        set->merge(*comp.dictionary);
-        haveDise = true;
-    }
+    // ---- Resolve the ACF environment through the one registry.
+    // Both request forms funnel through here: the legacy booleans
+    // desugar to the same spec list the "acfs" form carries.
+    const AcfBuild acfBuild = AcfRegistry::instance().build(
+        req.normalizedAcfs(), req.productions, prog);
 
     job.owned = std::make_shared<const Program>(std::move(prog));
     job.prog = job.owned.get();
-    if (haveDise)
-        job.productions = std::move(set);
+    job.productions = acfBuild.productions;
+    job.fusion = acfBuild.fusion;
+    job.profileBuffer = acfBuild.profileBuffer;
 
     // ---- Configuration. ----
     job.dise = req.dise;
@@ -119,9 +78,10 @@ prepareJob(const RunRequest &req, const Program *base)
     job.maxCycles = req.maxCycles;
 
     // ---- Register-initialization hook. ----
-    const bool mfiRegs = req.mfi;
-    const bool profRegs = req.profile;
-    const bool watchRegs = req.watchpoint;
+    const bool mfiRegs = acfBuild.mfiRegisters;
+    const bool profRegs = acfBuild.profilerRegisters;
+    const bool watchRegs = acfBuild.watchRegisters;
+    const Addr watchAddr = acfBuild.watchAddr;
     const Addr profileBuffer = job.profileBuffer;
     std::shared_ptr<const Program> owned = job.owned;
     if (mfiRegs || profRegs) {
@@ -216,6 +176,9 @@ takeWarmupSnapshot(const PreparedJob &job, uint64_t warmupAppInsts,
                    const std::atomic<bool> *cancel)
 {
     DISE_ASSERT(job.prog != nullptr, "job without a program");
+    // RunRequest::validate rejects fusion + warmup (a fused boundary
+    // retires two application instructions, breaking exactly-N).
+    DISE_ASSERT(!job.fusion, "warmup snapshot of a fusion job");
     std::unique_ptr<DiseController> controller = makeController(job);
     ExecCore core(*job.prog, controller.get());
     core.setTraceCacheEnabled(job.traceCache);
@@ -248,6 +211,7 @@ runFunctionalSim(const PreparedJob &job, const SimOptions &opts)
     std::unique_ptr<DiseController> controller = makeController(job);
     ExecCore core(*job.prog, controller.get());
     core.setTraceCacheEnabled(job.traceCache);
+    core.setFusionEnabled(job.fusion);
     core.setCancelFlag(opts.cancel);
     if (job.initCore)
         job.initCore(core);
@@ -265,9 +229,10 @@ runFunctionalSim(const PreparedJob &job, const SimOptions &opts)
     out.arch = core.run(job.maxInsts);
     out.hostSeconds = secondsSince(t0);
 
-    if (opts.statsText && controller)
-        out.statsText = controller->engine().stats().dump();
-    if (opts.registry) {
+    // One registry walk feeds both the text (--stats) and the JSON
+    // (--stats-json) outputs so the two can never drift apart: a
+    // counter group registered here shows up in both or in neither.
+    if (opts.statsText || opts.registry) {
         StatsRegistry reg;
         StatGroup runStats("run");
         runStats.set("dyn_insts", out.arch.dynInsts);
@@ -280,9 +245,14 @@ runFunctionalSim(const PreparedJob &job, const SimOptions &opts)
         reg.add("run", &runStats);
         if (controller)
             reg.add("dise", &controller->engine().stats());
+        if (job.fusion)
+            reg.add("acf.fusion", &core.fusionStatGroup());
         setRunMeta(reg, out.arch.outcome, out.hostSeconds,
                    out.arch.dynInsts);
-        out.registry = reg.toJson();
+        if (opts.statsText)
+            out.statsText = reg.dump();
+        if (opts.registry)
+            out.registry = reg.toJson();
     }
     if (job.profileBuffer != 0)
         out.profile = readPathProfile(core, job.profileBuffer);
@@ -297,6 +267,7 @@ runTimingSim(const PreparedJob &job, const SimOptions &opts)
     std::unique_ptr<DiseController> controller = makeController(job);
     PipelineSim sim(*job.prog, job.machine, controller.get());
     sim.core().setTraceCacheEnabled(job.traceCache);
+    sim.core().setFusionEnabled(job.fusion);
     sim.setTraceFeed(job.traceFeed);
     if (job.samplePeriod != 0)
         sim.setSampling(job.samplePeriod, job.sampleDetail);
@@ -308,25 +279,21 @@ runTimingSim(const PreparedJob &job, const SimOptions &opts)
     out.timing = sim.run(job.maxInsts, job.maxCycles);
     out.hostSeconds = secondsSince(t0);
 
-    if (opts.statsText) {
-        std::string text;
-        if (controller)
-            text += controller->engine().stats().dump();
-        text += sim.mem().icache().stats().dump();
-        text += sim.mem().dcache().stats().dump();
-        text += sim.mem().l2().stats().dump();
-        text += sim.predictor().stats().dump();
-        out.statsText = std::move(text);
-    }
     if (opts.benchEntry)
         out.benchEntry = timingEntryJson(sim, out.timing,
                                          out.hostSeconds);
-    if (opts.registry) {
+    // One registry walk for both output shapes (see runFunctionalSim):
+    // PipelineSim::registerStats is the single authority on which
+    // component groups a timing run exposes.
+    if (opts.statsText || opts.registry) {
         StatsRegistry reg;
         sim.registerStats(reg);
         setRunMeta(reg, out.timing.arch.outcome, out.hostSeconds,
                    out.timing.arch.dynInsts);
-        out.registry = reg.toJson();
+        if (opts.statsText)
+            out.statsText = reg.dump();
+        if (opts.registry)
+            out.registry = reg.toJson();
     }
     if (job.profileBuffer != 0)
         out.profile = readPathProfile(sim.core(), job.profileBuffer);

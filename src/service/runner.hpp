@@ -62,6 +62,9 @@ struct PreparedJob
     std::shared_ptr<const ProductionSet> productions;
     DiseConfig dise;
 
+    /** Decode-stage macro-op fusion (ExecCore::setFusionEnabled). */
+    bool fusion = false;
+
     PipelineParams machine;
     bool traceCache = true;
     /** Timing: batched retire-trace delivery (false = step reference). */
@@ -80,10 +83,10 @@ struct PreparedJob
 };
 
 /**
- * Prepare a request for execution: build (or adopt @p base), apply
- * binary rewriting and compression, assemble the production set (DSL
- * text, MFI, watchpoint, profiler, decompression dictionary), and
- * compose the register-initialization hook.
+ * Prepare a request for execution: build (or adopt @p base), resolve
+ * the request's ACF-spec list through the AcfRegistry (production-set
+ * assembly and composition, program transforms, the fusion switch),
+ * and compose the register-initialization hook.
  *
  * @param base An already-built base program to start from (e.g. a
  *             session-cached workload); null = build from the request.

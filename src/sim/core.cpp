@@ -165,6 +165,7 @@ void
 ExecCore::invalidateDecodeCache()
 {
     decodedValid_.assign(decodedValid_.size(), 0);
+    clearFusionMap();
     ++traceEpoch_;
     for (auto &kv : traces_) {
         if (kv.second)
@@ -183,7 +184,95 @@ ExecCore::invalidateDecodedRange(Addr addr, unsigned size)
         if (idx < decodedValid_.size())
             decodedValid_[idx] = 0;
     }
+    invalidateFusionRange(addr, size);
     invalidateTraceRange(addr, size);
+}
+
+void
+ExecCore::setFusionEnabled(bool on)
+{
+    if (on == fusionEnabled_)
+        return;
+    fusionEnabled_ = on;
+    // Translated blocks bake fusion decisions into their slots, so the
+    // whole trace cache (and the memoized decisions) must go.
+    invalidateDecodeCache();
+}
+
+void
+ExecCore::clearFusionMap()
+{
+    fusionState_.clear();
+    fusionInst_.clear();
+}
+
+void
+ExecCore::invalidateFusionRange(Addr addr, unsigned size)
+{
+    if (fusionState_.empty())
+        return;
+    const Addr end = std::min<Addr>(addr + size, prog_.textEnd());
+    Addr first = std::max(addr, prog_.textBase) & ~Addr(3);
+    // A pair starting one word earlier spans into the written range.
+    if (first >= prog_.textBase + 4)
+        first -= 4;
+    for (Addr a = first; a < end; a += 4) {
+        const size_t idx = static_cast<size_t>((a - prog_.textBase) >> 2);
+        if (idx < fusionState_.size())
+            fusionState_[idx] = 0;
+    }
+}
+
+const DecodedInst *
+ExecCore::fusionAt(Addr pc)
+{
+    if (controller_) {
+        // Coverage feeds the decision, so any table install or flush
+        // (generation bump) restarts the memo from scratch.
+        const uint64_t gen = controller_->engine().generation();
+        if (gen != fusionGen_) {
+            fusionGen_ = gen;
+            clearFusionMap();
+        }
+    }
+    if (fusionState_.empty()) {
+        fusionState_.assign(decoded_.size(), 0);
+        fusionInst_.assign(decoded_.size(), DecodedInst{});
+    }
+    const Addr off = pc - prog_.textBase;
+    if ((off & 3) != 0)
+        return nullptr;
+    const size_t idx = static_cast<size_t>(off >> 2);
+    if (idx + 1 >= fusionState_.size())
+        return nullptr; // the pair would cross the end of text
+    if (fusionState_[idx] == 1)
+        return nullptr;
+    if (fusionState_[idx] == 2)
+        return &fusionInst_[idx];
+    const DecodedInst &first = fetchDecode(pc);
+    const DecodedInst &second = fetchDecode(pc + 4);
+    bool ok = fusePair(first, second, &fusionInst_[idx]);
+    if (ok && controller_) {
+        // Expansion takes priority over contraction: a covered opcode
+        // must reach the engine exactly as fetched.
+        const DiseEngine &eng = controller_->engine();
+        if (eng.opcodeCovered(first.op) || eng.opcodeCovered(second.op))
+            ok = false;
+    }
+    fusionState_[idx] = ok ? 2 : 1;
+    return ok ? &fusionInst_[idx] : nullptr;
+}
+
+const StatGroup &
+ExecCore::fusionStatGroup() const
+{
+    fusionGroup_.set("fused_pairs", statFusedPairs_);
+    fusionGroup_.set("fused_insts", 2 * statFusedPairs_);
+    for (int i = 0; i < kNumFusedFamilies; ++i) {
+        fusionGroup_.set(std::string("pairs_") + fusedFamilyName(i),
+                         statFusedFamily_[i]);
+    }
+    return fusionGroup_;
 }
 
 void
@@ -492,6 +581,172 @@ ExecCore::execAppInst(const DecodedInst &fetched, DynInst *out)
 }
 
 bool
+ExecCore::executeFused(const DecodedInst &fz, Addr pc, DynInst &dyn)
+{
+    switch (fz.op) {
+      case Opcode::FCMPBR: {
+        const CmpBrFields f = unpackCmpBr(fz.tag);
+        const uint64_t vA = readReg(fz.ra);
+        const uint64_t vB =
+            fz.useLit ? static_cast<uint64_t>(f.lit) : readReg(fz.rb);
+        uint64_t r;
+        switch (f.cmpOp) {
+          case Opcode::CMPEQ:
+            r = vA == vB ? 1 : 0;
+            break;
+          case Opcode::CMPLT:
+            r = static_cast<int64_t>(vA) < static_cast<int64_t>(vB) ? 1
+                                                                    : 0;
+            break;
+          case Opcode::CMPLE:
+            r = static_cast<int64_t>(vA) <= static_cast<int64_t>(vB) ? 1
+                                                                     : 0;
+            break;
+          case Opcode::CMPULT:
+            r = vA < vB ? 1 : 0;
+            break;
+          default: // CMPULE
+            r = vA <= vB ? 1 : 0;
+            break;
+        }
+        writeReg(fz.rc, r);
+        dyn.isAppControl = true;
+        dyn.taken = condTaken(f.brOp, r);
+        dyn.actualTarget = fz.branchTarget(pc);
+        if (dyn.taken && errorAddr_ != 0 &&
+            dyn.actualTarget == errorAddr_) {
+            ++result_.acfDetections;
+        }
+        return dyn.taken;
+      }
+      case Opcode::FLDAC:
+        writeReg(fz.rc, readReg(fz.ra) + static_cast<uint64_t>(fz.imm));
+        return false;
+      case Opcode::FSHADD: {
+        const uint64_t v = readReg(fz.ra) << (fz.tag & 63);
+        writeReg(fz.rc, v + (fz.useLit ? static_cast<uint64_t>(fz.imm)
+                                       : readReg(fz.rb)));
+        return false;
+      }
+      case Opcode::FLDAL: {
+        dyn.isMem = true;
+        dyn.memAddr = readReg(fz.rb) + static_cast<uint64_t>(fz.imm);
+        const auto ld = static_cast<Opcode>(fz.tag);
+        uint64_t value;
+        if (ld == Opcode::LDBU) {
+            value = memory_.read(dyn.memAddr, 1);
+        } else if (ld == Opcode::LDL) {
+            value = static_cast<uint64_t>(
+                signExtend(memory_.read(dyn.memAddr, 4), 32));
+        } else {
+            value = memory_.read(dyn.memAddr, 8);
+        }
+        writeReg(fz.ra, value);
+        return false;
+      }
+      case Opcode::FLDAS: {
+        dyn.isMem = true;
+        dyn.isStore = true;
+        const Addr addr = readReg(fz.rb) + static_cast<uint64_t>(fz.imm);
+        dyn.memAddr = addr;
+        const auto st = static_cast<Opcode>(fz.tag);
+        const unsigned size =
+            st == Opcode::STB ? 1 : (st == Opcode::STL ? 4 : 8);
+        memory_.write(addr, readReg(fz.ra), size);
+        writeReg(fz.rc, addr); // the lda half's result survives the pair
+        return false;
+      }
+      case Opcode::FLDOP: {
+        dyn.isMem = true;
+        dyn.memAddr = readReg(fz.rb) + static_cast<uint64_t>(fz.imm);
+        const uint64_t loaded = memory_.read(dyn.memAddr, 8);
+        const LoadOpFields f = unpackLoadOp(fz.tag);
+        uint64_t vA, vB;
+        if (f.useLit) {
+            vA = loaded;
+            vB = f.lit;
+        } else if (f.swapped) {
+            vA = readReg(fz.rc);
+            vB = loaded;
+        } else {
+            vA = loaded;
+            vB = readReg(fz.rc);
+        }
+        uint64_t r;
+        switch (f.aluOp) {
+          case Opcode::ADDQ: r = vA + vB; break;
+          case Opcode::SUBQ: r = vA - vB; break;
+          case Opcode::AND: r = vA & vB; break;
+          case Opcode::BIC: r = vA & ~vB; break;
+          case Opcode::OR: r = vA | vB; break;
+          case Opcode::ORNOT: r = vA | ~vB; break;
+          case Opcode::XOR: r = vA ^ vB; break;
+          case Opcode::SLL: r = vA << (vB & 63); break;
+          case Opcode::SRL: r = vA >> (vB & 63); break;
+          case Opcode::SRA:
+            r = static_cast<uint64_t>(static_cast<int64_t>(vA) >>
+                                      (vB & 63));
+            break;
+          case Opcode::CMPEQ: r = vA == vB ? 1 : 0; break;
+          case Opcode::CMPLT:
+            r = static_cast<int64_t>(vA) < static_cast<int64_t>(vB) ? 1
+                                                                    : 0;
+            break;
+          case Opcode::CMPLE:
+            r = static_cast<int64_t>(vA) <= static_cast<int64_t>(vB) ? 1
+                                                                     : 0;
+            break;
+          case Opcode::CMPULT: r = vA < vB ? 1 : 0; break;
+          default: // CMPULE (fusePair admits nothing else)
+            r = vA <= vB ? 1 : 0;
+            break;
+        }
+        writeReg(fz.ra, r);
+        return false;
+      }
+      default:
+        fatal("executeFused: not a fused opcode");
+    }
+}
+
+template <bool kEmit>
+bool
+ExecCore::execFusedPair(const DecodedInst &fz, DynInst *out)
+{
+    DynInst dyn;
+    dyn.pc = pc_;
+    dyn.disepc = 0;
+    dyn.inst = fz;
+    if (controller_) {
+        // Natively both constituents would be presented to the engine
+        // (and declined — fusionAt vetoes covered opcodes).
+        controller_->engine().noteInspected(2);
+    }
+    const bool taken = executeFused(fz, pc_, dyn);
+    // One record, two retirements: the architectural counters advance
+    // exactly as the unfused pair would.
+    result_.dynInsts += 2;
+    result_.appInsts += 2;
+    if (dyn.isMem) {
+        if (dyn.isStore)
+            ++result_.stores;
+        else
+            ++result_.loads;
+    }
+    ++statFusedPairs_;
+    ++statFusedFamily_[fusedFamilyIndex(fz.op)];
+    if (fz.op == Opcode::FLDAS && dyn.memAddr < prog_.textEnd() &&
+        dyn.memAddr + 8 > prog_.textBase) {
+        // Self-modifying store (conservative width: at most a quadword).
+        invalidateDecodedRange(dyn.memAddr, 8);
+    }
+    pc_ = taken ? dyn.actualTarget : pc_ + 8;
+    if constexpr (kEmit)
+        *out = dyn;
+    return true;
+}
+
+bool
 ExecCore::step(DynInst &out)
 {
     if (exited_ || trapped_)
@@ -507,6 +762,13 @@ ExecCore::step(DynInst &out)
             return false;
         }
         const DecodedInst &fetched = fetchDecode(pc_);
+        if (fusionEnabled_) {
+            // Contraction before expansion is safe: fusionAt() refuses
+            // any pair touching a covered opcode, so the engine still
+            // sees everything it would see natively.
+            if (const DecodedInst *fz = fusionAt(pc_))
+                return execFusedPair<true>(*fz, &out);
+        }
         if (controller_)
             beginExpansion(fetched);
         if (!seqSpec_) {
@@ -702,6 +964,13 @@ ExecCore::pinSuspendedSeq()
 void
 ExecCore::advanceToAppInst(uint64_t target)
 {
+    // A fused boundary retires two application instructions at once,
+    // which breaks the exactly-N contract below; the service layer
+    // rejects fusion combined with every advance-based feature.
+    DISE_ASSERT(!fusionEnabled_,
+                "advanceToAppInst requires at most one application "
+                "instruction per retirement boundary; fusion retires "
+                "pairs");
     // Chunked advance: each pass budgets dynInsts so that appInsts
     // cannot overshoot target (every dynamic instruction advances
     // appInsts by at most one), then re-budgets. Unlike run(), a
@@ -826,6 +1095,53 @@ ExecCore::translateBlock(Addr entry)
 
     Addr pc = entry;
     while (block->ops.size() < kMaxBlockLen && prog_.inText(pc)) {
+        if (fusionEnabled_) {
+            // Same per-PC decision step() takes, baked into one slot
+            // covering two words (see the numInsts accounting below).
+            if (const DecodedInst *fz = fusionAt(pc)) {
+                TransOp fop;
+                fop.op = fz->op;
+                fop.ra = fz->ra;
+                fop.rb = fz->rb;
+                fop.rc = fz->rc;
+                fop.useLit = fz->useLit;
+                fop.imm = fz->imm;
+                fop.inst = *fz;
+                bool fusedTerm = false;
+                switch (fz->op) {
+                  case Opcode::FCMPBR:
+                    fop.handler = OpHandler::FCmpBr;
+                    fop.target = fz->branchTarget(pc);
+                    fusedTerm = true;
+                    break;
+                  case Opcode::FLDAC:
+                    fop.handler = OpHandler::FLdaC;
+                    break;
+                  case Opcode::FSHADD:
+                    fop.handler = OpHandler::FShAdd;
+                    break;
+                  case Opcode::FLDAL:
+                    fop.handler = OpHandler::FLdaL;
+                    break;
+                  case Opcode::FLDAS: {
+                    fop.handler = OpHandler::FLdaS;
+                    const auto st = static_cast<Opcode>(fz->tag);
+                    fop.size = st == Opcode::STB
+                                   ? 1
+                                   : (st == Opcode::STL ? 4 : 8);
+                    break;
+                  }
+                  default: // FLDOP
+                    fop.handler = OpHandler::FLdOp;
+                    break;
+                }
+                block->ops.push_back(fop);
+                pc += 8;
+                if (fusedTerm)
+                    break;
+                continue;
+            }
+        }
         const DecodedInst &d = fetchDecode(pc);
 
         TransOp op;
@@ -871,8 +1187,11 @@ ExecCore::translateBlock(Addr entry)
         if (terminator)
             break;
     }
-    block->numInsts = static_cast<uint32_t>(block->ops.size());
-    if (block->numInsts != 0) {
+    // Words covered, not slots: every translated slot advanced pc by
+    // its own width (4, or 8 for a fused pair), so coveredEnd() keeps
+    // seeing the fused second words for SMC overlap checks.
+    block->numInsts = static_cast<uint32_t>((pc - entry) / 4);
+    if (!block->ops.empty()) {
         // Close the slot array with the End sentinel (the fall-through
         // exit) so the interpreter needs no bounds check.
         TransOp end;
@@ -1185,7 +1504,13 @@ ExecCore::runSeqFast(const SeqTrans &st, uint64_t maxInsts)
         &&lbl_Cmplt, &&lbl_Cmple, &&lbl_Cmpult, &&lbl_Cmpule,
         &&lbl_Cmoveq, &&lbl_Cmovne, &&lbl_Ldbu, &&lbl_Ldl, &&lbl_Ldq,
         &&lbl_Store, &&lbl_CondBranch, &&lbl_DirBranch, &&lbl_Jump,
-        &&lbl_bad /* Engine */, &&lbl_DiseCond, &&lbl_DiseBr, &&lbl_End,
+        &&lbl_bad /* Engine */, &&lbl_DiseCond, &&lbl_DiseBr,
+        // Fused ops never appear in replacement sequences (fusion is
+        // not a ProductionSet; translateSeq cannot produce them).
+        &&lbl_bad /* FCmpBr */, &&lbl_bad /* FLdaC */,
+        &&lbl_bad /* FShAdd */, &&lbl_bad /* FLdaL */,
+        &&lbl_bad /* FLdaS */, &&lbl_bad /* FLdOp */,
+        &&lbl_End,
     };
     static_assert(sizeof(kTab) / sizeof(kTab[0]) ==
                       static_cast<size_t>(OpHandler::NUM),
@@ -1501,6 +1826,16 @@ ExecCore::runChain(const TransBlock *block, uint64_t maxInsts)
         ++app;                                                              \
         inspected += haveEngine;                                            \
     } while (0)
+    /* A fused slot retires both constituents (and natively the engine
+     * would have inspected both). */
+#define CHAIN_RETIRE_FUSED()                                                \
+    do {                                                                    \
+        dyn += 2;                                                           \
+        app += 2;                                                           \
+        inspected += 2 * haveEngine;                                        \
+        ++statFusedPairs_;                                                  \
+        ++statFusedFamily_[fusedFamilyIndex(t->op)];                        \
+    } while (0)
 #define CHAIN_BINOP(name, expr)                                             \
     DISE_CASE(name)                                                         \
     {                                                                       \
@@ -1556,7 +1891,8 @@ ExecCore::runChain(const TransBlock *block, uint64_t maxInsts)
         &&lbl_Cmoveq, &&lbl_Cmovne, &&lbl_Ldbu, &&lbl_Ldl, &&lbl_Ldq,
         &&lbl_Store, &&lbl_CondBranch, &&lbl_DirBranch, &&lbl_Jump,
         &&lbl_Engine, &&lbl_bad /* DiseCond */, &&lbl_bad /* DiseBr */,
-        &&lbl_End,
+        &&lbl_FCmpBr, &&lbl_FLdaC, &&lbl_FShAdd, &&lbl_FLdaL,
+        &&lbl_FLdaS, &&lbl_FLdOp, &&lbl_End,
     };
     static_assert(sizeof(kTab) / sizeof(kTab[0]) ==
                       static_cast<size_t>(OpHandler::NUM),
@@ -1717,6 +2053,84 @@ dispatch:
         edge = &t->chain;
         goto chain;
     }
+    DISE_CASE(FCmpBr)
+    {
+        DynInst fdyn;
+        const bool taken = executeFused(t->inst, pc, fdyn);
+        CHAIN_RETIRE_FUSED();
+        if constexpr (kEmit) {
+            fdyn.pc = pc;
+            fdyn.inst = t->inst;
+            *eout = fdyn;
+            ++eout;
+        }
+        if (!taken) {
+            ++t;
+            pc += 8;
+            CHAIN_DISPATCH();
+        }
+        nextPC = t->target;
+        edge = &t->chain;
+        goto chain;
+    }
+    DISE_CASE(FLdaC)
+    DISE_CASE(FShAdd)
+    {
+        DynInst fdyn;
+        executeFused(t->inst, pc, fdyn);
+        CHAIN_RETIRE_FUSED();
+        if constexpr (kEmit) {
+            fdyn.pc = pc;
+            fdyn.inst = t->inst;
+            *eout = fdyn;
+            ++eout;
+        }
+        ++t;
+        pc += 8;
+        CHAIN_DISPATCH();
+    }
+    DISE_CASE(FLdaL)
+    DISE_CASE(FLdOp)
+    {
+        DynInst fdyn;
+        executeFused(t->inst, pc, fdyn);
+        ++loads;
+        CHAIN_RETIRE_FUSED();
+        if constexpr (kEmit) {
+            fdyn.pc = pc;
+            fdyn.inst = t->inst;
+            *eout = fdyn;
+            ++eout;
+        }
+        ++t;
+        pc += 8;
+        CHAIN_DISPATCH();
+    }
+    DISE_CASE(FLdaS)
+    {
+        DynInst fdyn;
+        executeFused(t->inst, pc, fdyn);
+        ++stores;
+        CHAIN_RETIRE_FUSED();
+        if constexpr (kEmit) {
+            fdyn.pc = pc;
+            fdyn.inst = t->inst;
+            *eout = fdyn;
+            ++eout;
+        }
+        if (fdyn.memAddr < prog_.textEnd() &&
+            fdyn.memAddr + 8 > prog_.textBase) {
+            // Self-modifying store, same conservative width as the
+            // step-path fused store: leave the fast path so the
+            // rewritten code is re-translated before it executes.
+            invalidateDecodedRange(fdyn.memAddr, 8);
+            pc_ = pc + 8;
+            goto exit_flush;
+        }
+        ++t;
+        pc += 8;
+        CHAIN_DISPATCH();
+    }
     DISE_CASE(Engine)
     {
         pc_ = pc;
@@ -1845,6 +2259,7 @@ exit_flush:
 #undef CHAIN_EMIT
 #undef CHAIN_DISPATCH
 #undef CHAIN_RETIRE
+#undef CHAIN_RETIRE_FUSED
 #undef CHAIN_BINOP
 #undef CHAIN_CMOV
 #undef CHAIN_LOAD

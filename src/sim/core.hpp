@@ -28,14 +28,17 @@
 #define DISE_SIM_CORE_HPP
 
 #include <array>
+#include <array>
 #include <atomic>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/acf/fusion.hpp"
 #include "src/assembler/program.hpp"
 #include "src/common/json.hpp"
+#include "src/common/stats.hpp"
 #include "src/dise/controller.hpp"
 #include "src/mem/memory.hpp"
 #include "src/sim/syscalls.hpp"
@@ -253,6 +256,34 @@ class ExecCore
     }
     /// @}
 
+    /** @name Macro-op fusion ACF (src/acf/fusion).
+     *
+     * DISE run "in reverse": when enabled, the decode stage recognizes
+     * adjacent dependent application pairs (cmp+branch, address
+     * formation, shift+add, load-op) and executes them as one fused
+     * internal op retiring both constituents — dynInsts/appInsts
+     * advance by two, loads/stores count per constituent, so the
+     * architectural RunResult is bit-identical to an unfused run; the
+     * win is one trace record (one issue slot in PipelineSim) per
+     * pair. Decisions are a pure per-PC function of the two text words
+     * and production coverage (covered opcodes never fuse: expansion
+     * takes priority), so the fast and slow paths agree by
+     * construction. Off by default.
+     *
+     * Fusion retires two application instructions per boundary, which
+     * breaks advanceToAppInst's exactly-N contract — the service layer
+     * rejects fusion combined with warmup snapshots, sampling, and
+     * campaigns.
+     */
+    /// @{
+    void setFusionEnabled(bool on);
+    bool fusionEnabled() const { return fusionEnabled_; }
+    /** Fused-pair counters (total + per family), materialized into a
+     *  StatGroup for single-walk registration as "acf.fusion". */
+    const StatGroup &fusionStatGroup() const;
+    uint64_t fusedPairs() const { return statFusedPairs_; }
+    /// @}
+
     /** @name Cooperative cancellation.
      *
      * An external watchdog (the serving daemon's deadline monitor) may
@@ -370,6 +401,39 @@ class ExecCore
      * @p inst is always the instruction to run).
      */
     void execute(const DecodedInst &inst, DynInst &dyn);
+
+    /** @name Macro-op fusion internals. */
+    /// @{
+    /**
+     * The fused pair starting at @p pc, or null when the words there
+     * do not fuse. Memoized per text word; consulted identically by
+     * step() and translateBlock so both tiers see one decision.
+     * Requires fusionEnabled_ and prog_.inText(pc).
+     */
+    const DecodedInst *fusionAt(Addr pc);
+    /**
+     * Execute the fused pair at pc_ and retire both constituents as
+     * one record. Mirrors execAppInst's contract; @return false on a
+     * trap (fused constituents cannot trap themselves, but the core
+     * may have been cancelled at the boundary).
+     */
+    template <bool kEmit>
+    bool execFusedPair(const DecodedInst &fz, DynInst *out);
+    /**
+     * Fused semantics shared by both interpreter tiers: register and
+     * memory effects plus @p dyn outcome fields (isMem/memAddr/taken/
+     * actualTarget/isAppControl/isStore) and the acfDetections counter.
+     * Does NOT advance pc_, the retirement counters, or loads/stores
+     * (the chain interpreter accumulates those in locals), and does NOT
+     * invalidate decode state on text stores — callers handle all of
+     * that.
+     * @return For FCMPBR, the taken flag; false otherwise.
+     */
+    bool executeFused(const DecodedInst &fz, Addr pc, DynInst &dyn);
+    void clearFusionMap();
+    /** Drop fusion decisions for pairs touching [addr, addr+size). */
+    void invalidateFusionRange(Addr addr, unsigned size);
+    /// @}
     /** Record an architected trap and halt the core (never throws). */
     void raiseTrap(TrapCause cause, Addr pc, uint32_t disepc,
                    uint64_t faultAddr, std::string message);
@@ -446,6 +510,24 @@ class ExecCore
      *  fields execute() and the sequence-control logic read are reset
      *  per slot (cheaper than value-initializing a DynInst). */
     DynInst seqScratch_;
+    /// @}
+
+    /** @name Macro-op fusion state. */
+    /// @{
+    bool fusionEnabled_ = false;
+    /** Lazy per-text-word fusion map: 0 unknown, 1 no-fuse, 2 fused
+     *  (fusionInst_ holds the synthesized instruction). */
+    std::vector<uint8_t> fusionState_;
+    std::vector<DecodedInst> fusionInst_;
+    /** Engine generation the map was computed against; any install or
+     *  flush changes coverage, so a mismatch clears the whole map. */
+    uint64_t fusionGen_ = 0;
+    /** Executed fused pairs, total and per family (not architectural —
+     *  identical across tiers within a regime, but fused-vs-native
+     *  runs differ here by design). */
+    uint64_t statFusedPairs_ = 0;
+    std::array<uint64_t, kNumFusedFamilies> statFusedFamily_{};
+    mutable StatGroup fusionGroup_{"acf.fusion"};
     /// @}
 
     /** @name Translated basic-block trace cache. */

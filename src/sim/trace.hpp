@@ -91,6 +91,11 @@ enum class OpHandler : uint8_t {
     /// @{
     DiseCond, DiseBr,
     /// @}
+    /** @name Fused internal ops (macro-op fusion ACF; block interpreter
+     *  only — fused ops never appear in replacement sequences). */
+    /// @{
+    FCmpBr, FLdaC, FShAdd, FLdaL, FLdaS, FLdOp,
+    /// @}
     /** Sentinel closing every slot array: block fall-through exit /
      *  replacement-sequence end. */
     End,
@@ -253,7 +258,9 @@ struct TransOp
 struct TransBlock
 {
     Addr entryPC = 0;
-    /** Static instructions covered (excludes the End sentinel). */
+    /** Static instruction WORDS covered (excludes the End sentinel).
+     *  A fused slot covers two words, so this can exceed the slot
+     *  count; coveredEnd() depends on it for SMC overlap checks. */
     uint32_t numInsts = 0;
     /** DiseEngine::generation() at build time (0 without a controller). */
     uint64_t engineGen = 0;

@@ -1,0 +1,397 @@
+#include "src/workloads/generator.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "src/assembler/assembler.hpp"
+#include "src/common/logging.hpp"
+#include "src/common/rng.hpp"
+#include "src/isa/regs.hpp"
+
+namespace dise {
+
+namespace {
+
+/** Bytes of the single data region every memory operand lands in. */
+constexpr uint32_t kRegionBytes = 16384;
+/** Aligned-8 offset mask (loaded into a register: too wide for the
+ *  8-bit operate literal). Keeps masked quadword accesses in
+ *  [0, 8191], well inside the region. */
+constexpr uint32_t kOffsetMask = 8184;
+
+/** Registers generated code may use, shuffled per program. s0..s4
+ *  stay reserved (rewriter scavenging), a0/v0 do syscalls. */
+const std::vector<RegIndex> kGenPool = {1,  2,  3,  4,  5,  6,  7,
+                                        8,  14, 17, 18, 19, 20, 21,
+                                        22, 23, 24, 25};
+
+struct GenState
+{
+    Rng rng;
+    std::ostringstream os;
+    uint32_t nextLabel = 0;
+    std::string base;  ///< data-region base (laq gdat)
+    std::string mask;  ///< holds kOffsetMask
+    std::string outer; ///< outer-loop counter
+    std::string inner; ///< inner-loop counter
+    std::vector<std::string> vals; ///< general value registers
+
+    explicit GenState(uint64_t seed) : rng(seed) {}
+
+    std::string
+    label()
+    {
+        return "Lg" + std::to_string(nextLabel++);
+    }
+
+    const std::string &
+    val()
+    {
+        return vals[rng.below(vals.size())];
+    }
+
+    /** @p n distinct value registers (idioms whose semantics need
+     *  role separation, e.g. a store's data vs. address register). */
+    std::vector<std::string>
+    distinct(size_t n)
+    {
+        DISE_ASSERT(n <= vals.size(), "distinct() over pool size");
+        std::vector<size_t> idx(vals.size());
+        for (size_t i = 0; i < idx.size(); ++i)
+            idx[i] = i;
+        // Partial Fisher-Yates driven by the program's own stream.
+        std::vector<std::string> out;
+        for (size_t i = 0; i < n; ++i) {
+            const size_t j =
+                i + static_cast<size_t>(rng.below(idx.size() - i));
+            std::swap(idx[i], idx[j]);
+            out.push_back(vals[idx[i]]);
+        }
+        return out;
+    }
+};
+
+const char *
+pickCompare(Rng &rng)
+{
+    static const char *const ops[] = {"cmpeq", "cmplt", "cmple",
+                                      "cmpult", "cmpule"};
+    return ops[rng.below(5)];
+}
+
+const char *
+pickBranch(Rng &rng)
+{
+    static const char *const ops[] = {"beq", "bne", "blt", "bge",
+                                      "bgt", "ble", "blbc", "blbs"};
+    return ops[rng.below(8)];
+}
+
+const char *
+pickLoadOpAlu(Rng &rng)
+{
+    static const char *const ops[] = {"addq", "subq", "and",  "bic",
+                                      "or",   "ornot", "xor", "sll",
+                                      "srl",  "sra",  "cmpeq", "cmplt",
+                                      "cmpule"};
+    return ops[rng.below(13)];
+}
+
+/** Masked in-bounds quadword address: addr = base + (v & mask). */
+void
+emitMaskedAddr(GenState &g, const std::string &v, const std::string &o)
+{
+    g.os << "    and " << v << ", " << g.mask << ", " << o << "\n"
+         << "    addq " << g.base << ", " << o << ", " << o << "\n";
+}
+
+/** A few register-only filler instructions. */
+uint32_t
+emitAluFiller(GenState &g, uint32_t count)
+{
+    uint32_t emitted = 0;
+    for (uint32_t i = 0; i < count; ++i) {
+        const std::string a = g.val(), b = g.val(), c = g.val();
+        switch (g.rng.below(6)) {
+          case 0:
+            g.os << "    addq " << a << ", " << b << ", " << c << "\n";
+            break;
+          case 1:
+            g.os << "    subq " << a << ", "
+                 << g.rng.below(256) << ", " << c << "\n";
+            break;
+          case 2:
+            g.os << "    xor " << a << ", " << b << ", " << c << "\n";
+            break;
+          case 3:
+            g.os << "    mulq " << a << ", "
+                 << (1 + g.rng.below(255)) << ", " << c << "\n";
+            break;
+          case 4:
+            g.os << "    srl " << a << ", " << g.rng.below(16) << ", "
+                 << c << "\n";
+            break;
+          default:
+            g.os << "    cmovne " << a << ", " << b << ", " << c
+                 << "\n";
+            break;
+        }
+        ++emitted;
+    }
+    return emitted;
+}
+
+/**
+ * Emit one idiom of the weighted mix. Fusible-pair idioms dominate so
+ * the differential harness exercises every fusion family; each one is
+ * written exactly in the shape fusePair matches (and occasionally in
+ * a near-miss shape, which must simply execute natively).
+ */
+void
+emitIdiom(GenState &g)
+{
+    Rng &rng = g.rng;
+    switch (rng.below(12)) {
+      case 0: { // cmp+branch (fusible) over a short skipped tail
+        const auto r = g.distinct(2);
+        const std::string skip = g.label();
+        g.os << "    " << pickCompare(rng) << " " << r[0] << ", ";
+        if (rng.chance(0.5))
+            g.os << rng.below(256);
+        else
+            g.os << r[1];
+        g.os << ", " << r[0] << "\n";
+        g.os << "    " << pickBranch(rng) << " " << r[0] << ", " << skip
+             << "\n";
+        emitAluFiller(g, 1 + uint32_t(rng.below(3)));
+        g.os << skip << ":\n";
+        break;
+      }
+      case 1: { // ldah+lda constant formation (fusible)
+        const std::string r = g.val();
+        g.os << "    ldah " << r << ", " << rng.below(256)
+             << "(zero)\n"
+             << "    lda " << r << ", " << rng.below(4096) << "(" << r
+             << ")\n";
+        break;
+      }
+      case 2: { // sll+addq scaled index (fusible)
+        const auto r = g.distinct(3);
+        g.os << "    sll " << r[0] << ", " << rng.below(8) << ", "
+             << r[1] << "\n";
+        if (rng.chance(0.4)) {
+            g.os << "    addq " << r[1] << ", " << rng.below(256)
+                 << ", " << r[1] << "\n";
+        } else {
+            g.os << "    addq " << r[1] << ", " << r[2] << ", " << r[1]
+                 << "\n";
+        }
+        break;
+      }
+      case 3: { // lda+ldq address-formed load (fusible)
+        const std::string r = g.val();
+        g.os << "    lda " << r << ", " << rng.below(512) * 8 << "("
+             << g.base << ")\n"
+             << "    ldq " << r << ", " << rng.below(256) * 8 << "("
+             << r << ")\n";
+        break;
+      }
+      case 4: { // lda+stq address-formed store (fusible)
+        const auto r = g.distinct(2);
+        g.os << "    lda " << r[0] << ", " << rng.below(1024) * 8
+             << "(" << g.base << ")\n"
+             << "    stq " << r[1] << ", 0(" << r[0] << ")\n";
+        break;
+      }
+      case 5: { // ldq+op load-feeding-ALU (fusible)
+        const auto r = g.distinct(2);
+        g.os << "    ldq " << r[0] << ", " << rng.below(1024) * 8
+             << "(" << g.base << ")\n";
+        const char *op = pickLoadOpAlu(rng);
+        if (rng.chance(0.4)) {
+            g.os << "    " << op << " " << r[0] << ", "
+                 << rng.below(256) << ", " << r[0] << "\n";
+        } else if (rng.chance(0.5)) {
+            g.os << "    " << op << " " << r[0] << ", " << r[1] << ", "
+                 << r[0] << "\n";
+        } else {
+            g.os << "    " << op << " " << r[1] << ", " << r[0] << ", "
+                 << r[0] << "\n";
+        }
+        break;
+      }
+      case 6: { // forward branch landing on the SECOND word of a
+                // fusible lda+ldq pair: a fused decode at the pair
+                // head must not change what a jump to the middle sees.
+        const auto r = g.distinct(3);
+        const std::string mid = g.label();
+        emitMaskedAddr(g, r[1], r[0]);
+        g.os << "    " << pickCompare(rng) << " " << r[1] << ", "
+             << r[2] << ", " << r[2] << "\n"
+             << "    " << (rng.chance(0.5) ? "beq" : "bne") << " "
+             << r[2] << ", " << mid << "\n"
+             << "    lda " << r[0] << ", " << rng.below(512) * 8 << "("
+             << g.base << ")\n"
+             << mid << ":\n"
+             << "    ldq " << r[0] << ", 0(" << r[0] << ")\n";
+        break;
+      }
+      case 7: { // masked random-address load
+        const auto r = g.distinct(2);
+        emitMaskedAddr(g, r[1], r[0]);
+        g.os << "    ldq " << r[1] << ", 0(" << r[0] << ")\n";
+        break;
+      }
+      case 8: { // masked random-address store
+        const auto r = g.distinct(2);
+        emitMaskedAddr(g, r[1], r[0]);
+        g.os << "    stq " << r[1] << ", 0(" << r[0] << ")\n";
+        break;
+      }
+      case 9: { // byte load + mix
+        const auto r = g.distinct(2);
+        emitMaskedAddr(g, r[1], r[0]);
+        g.os << "    ldbu " << r[1] << ", " << rng.below(8) << "("
+             << r[0] << ")\n"
+             << "    xor " << r[1] << ", " << g.val() << ", "
+             << g.val() << "\n";
+        break;
+      }
+      case 10: { // bounded inner loop around a couple of idioms
+        const std::string top = g.label();
+        g.os << "    li " << 2 + rng.below(5) << ", " << g.inner
+             << "\n"
+             << top << ":\n";
+        const uint32_t body = 1 + uint32_t(rng.below(2));
+        for (uint32_t i = 0; i < body; ++i) {
+            // Flat idiom subset only, so nesting depth is exactly one.
+            switch (rng.below(10)) {
+              case 0:
+                emitAluFiller(g, 2);
+                break;
+              case 1: {
+                const auto r = g.distinct(2);
+                g.os << "    ldq " << r[0] << ", "
+                     << rng.below(1024) * 8 << "(" << g.base << ")\n"
+                     << "    addq " << r[0] << ", " << r[1] << ", "
+                     << r[0] << "\n";
+                break;
+              }
+              default: {
+                const auto r = g.distinct(2);
+                emitMaskedAddr(g, r[1], r[0]);
+                if (rng.chance(0.5))
+                    g.os << "    ldq " << r[1] << ", 0(" << r[0]
+                         << ")\n";
+                else
+                    g.os << "    stq " << r[1] << ", 0(" << r[0]
+                         << ")\n";
+                break;
+              }
+            }
+        }
+        g.os << "    subq " << g.inner << ", 1, " << g.inner << "\n"
+             << "    bne " << g.inner << ", " << top << "\n";
+        break;
+      }
+      default: // plain ALU filler
+        emitAluFiller(g, 1 + uint32_t(rng.below(3)));
+        break;
+    }
+}
+
+} // namespace
+
+std::string
+generateRandomSource(const GeneratorOptions &opts)
+{
+    DISE_ASSERT(opts.minIdioms >= 1 && opts.minIdioms <= opts.maxIdioms,
+                "generator idiom range");
+    DISE_ASSERT(opts.minIters >= 1 && opts.minIters <= opts.maxIters,
+                "generator iteration range");
+    GenState g(opts.seed);
+
+    // Role assignment: shuffle the pool so register pressure patterns
+    // differ between seeds.
+    std::vector<RegIndex> pool = kGenPool;
+    for (size_t i = 0; i + 1 < pool.size(); ++i) {
+        const size_t j =
+            i + static_cast<size_t>(g.rng.below(pool.size() - i));
+        std::swap(pool[i], pool[j]);
+    }
+    g.base = regName(pool[0]);
+    g.mask = regName(pool[1]);
+    g.outer = regName(pool[2]);
+    g.inner = regName(pool[3]);
+    for (size_t i = 4; i < 12; ++i)
+        g.vals.push_back(regName(pool[i]));
+
+    const uint32_t idioms = opts.minIdioms +
+                            uint32_t(g.rng.below(
+                                opts.maxIdioms - opts.minIdioms + 1));
+    const uint32_t iters =
+        opts.minIters +
+        uint32_t(g.rng.below(opts.maxIters - opts.minIters + 1));
+
+    g.os << "    .text\n"
+         << "main:\n";
+    // Every register the body may read gets a defined value first.
+    g.os << "    laq gdat, " << g.base << "\n"
+         << "    li " << kOffsetMask << ", " << g.mask << "\n"
+         << "    li 1, " << g.inner << "\n";
+    for (const std::string &v : g.vals)
+        g.os << "    li " << g.rng.below(1 << 20) << ", " << v << "\n";
+
+    // Seed the data region with an LCG so loads see varied values.
+    {
+        const auto r = g.distinct(3);
+        g.os << "    laq gdat, " << r[0] << "\n"
+             << "    li " << (kRegionBytes / 8) << ", " << r[1] << "\n"
+             << "    li " << (1 + g.rng.below(65536)) << ", " << r[2]
+             << "\n"
+             << "init_l:\n"
+             << "    mulq " << r[2] << ", 213, " << r[2] << "\n"
+             << "    addq " << r[2] << ", 251, " << r[2] << "\n"
+             << "    stq " << r[2] << ", 0(" << r[0] << ")\n"
+             << "    lda " << r[0] << ", 8(" << r[0] << ")\n"
+             << "    subq " << r[1] << ", 1, " << r[1] << "\n"
+             << "    bne " << r[1] << ", init_l\n";
+    }
+
+    g.os << "    li " << iters << ", " << g.outer << "\n"
+         << "loop:\n";
+    for (uint32_t i = 0; i < idioms; ++i)
+        emitIdiom(g);
+    g.os << "    subq " << g.outer << ", 1, " << g.outer << "\n"
+         << "    bne " << g.outer << ", loop\n";
+
+    // Fold every value register into a checksum, print it, exit(0).
+    // The checksum makes architectural divergence visible in the
+    // run's output, not just in the counters.
+    g.os << "    li 0, a0\n";
+    for (const std::string &v : g.vals)
+        g.os << "    xor a0, " << v << ", a0\n";
+    g.os << "    li 2, v0\n"
+         << "    syscall\n"
+         << "    li 0, v0\n"
+         << "    li 0, a0\n"
+         << "    syscall\n";
+    // Error-handler symbol so the program also runs under MFI.
+    g.os << "error:\n"
+         << "    li 0, v0\n"
+         << "    li 42, a0\n"
+         << "    syscall\n";
+
+    g.os << "    .data\n"
+         << "gdat:\n    .space " << kRegionBytes << "\n";
+    return g.os.str();
+}
+
+Program
+generateRandomProgram(const GeneratorOptions &opts)
+{
+    return assemble(generateRandomSource(opts));
+}
+
+} // namespace dise

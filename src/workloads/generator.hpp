@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Seeded random Alpha-program generator.
+ *
+ * Feeds the fusion differential harness (`diserun --gen-diff`): each
+ * seed deterministically produces a program that is guaranteed to
+ *
+ *  - assemble (only mnemonics/operand shapes the assembler defines),
+ *  - terminate (every loop counts a pre-loaded counter down; all other
+ *    branches are forward),
+ *  - avoid undefined traps (every register is initialized before the
+ *    body runs; memory operands are masked into one aligned in-bounds
+ *    data region; the only syscalls are the checksum print and exit).
+ *
+ * The instruction mix is weighted toward the dependent pairs the
+ * fusion ACF matches (cmp+branch, ldah/lda and lda+load/store address
+ * formation, shift+add indexing, load+op), including deliberately
+ * adversarial placements — forward branches landing on the *second*
+ * word of a fusible pair — so the differential harness exercises the
+ * decode-window edge cases, not just the happy path.
+ *
+ * Seed policy: the same seed always yields byte-identical source
+ * (Rng is xoshiro256**, fixed across hosts). Harnesses derive
+ * per-program seeds from a base seed with Rng::deriveSeed(base, i) so
+ * one reported seed reproduces one failing program exactly.
+ */
+
+#ifndef DISE_WORKLOADS_GENERATOR_HPP
+#define DISE_WORKLOADS_GENERATOR_HPP
+
+#include <string>
+
+#include "src/assembler/program.hpp"
+
+namespace dise {
+
+/** Shape knobs for one generated program. */
+struct GeneratorOptions
+{
+    uint64_t seed = 1;
+    /** Idiom count of the main loop body (static size driver). */
+    uint32_t minIdioms = 12;
+    uint32_t maxIdioms = 48;
+    /** Outer-loop trip-count range. */
+    uint32_t minIters = 4;
+    uint32_t maxIters = 32;
+};
+
+/** Generate the assembly source for one seed. */
+std::string generateRandomSource(const GeneratorOptions &opts);
+
+/** Generate and assemble one seed's program. */
+Program generateRandomProgram(const GeneratorOptions &opts);
+
+} // namespace dise
+
+#endif // DISE_WORKLOADS_GENERATOR_HPP

@@ -59,13 +59,40 @@
  *                            detail in full and functionally warm the
  *                            caches/predictor through the rest;
  *                            reports measured + extrapolated CPI
- *   --productions <file>     install productions from a DSL file
+ *   --acf <kind[:variant][/compose]>
+ *                            append one entry to the ordered ACF-spec
+ *                            list (the RunRequest "acfs" form), e.g.
+ *                            --acf mfi:dise4 --acf watchpoint/merged
+ *                            --acf fusion. Resolved by the AcfRegistry;
+ *                            cannot be mixed with the legacy ACF flags
+ *                            below
+ *   --productions <file>     install productions from a DSL file (with
+ *                            --acf, add an "--acf productions" entry
+ *                            fixing its position in the list)
  *   --mfi[=dise3|dise4|sandbox]
- *                            memory fault isolation via DISE
+ *                            memory fault isolation via DISE (legacy
+ *                            alias of --acf mfi:<variant>)
  *   --watchpoint             merge the watchpoint assertion over MFI
+ *                            (legacy alias of --acf watchpoint/merged)
  *   --rewrite-mfi            binary-rewriting MFI baseline (no DISE)
  *   --compress               compress the text, run via decompression
  *   --profile                path profiler; prints the records
+ *
+ * Generator / differential-harness options (src/workloads/generator):
+ *   --gen-seed <n>           run the seeded random program for seed n
+ *                            instead of a file/workload (--dump-asm
+ *                            prints its source). Composes with --acf,
+ *                            --timing, --stats, ...
+ *   --gen-diff <n>           differential harness: generate n programs
+ *                            (per-program seeds derived from the
+ *                            --gen-seed base, default 2003) and check
+ *                            native-vs-fused architectural identity
+ *                            and fast-vs-slow bit-identity for each,
+ *                            sharded over --jobs threads. Prints a
+ *                            worker-count-independent result digest;
+ *                            any failure dumps the reproducing seed and
+ *                            writes the program listing next to the
+ *                            cwd, then exits 1
  *   --trace <n>              print the first n dynamic instructions
  *   --icache <KB>            L1I size (0 = perfect)
  *   --width <n>              machine width
@@ -103,21 +130,27 @@
  */
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
+#include <thread>
 
 #include <poll.h>
 #include <unistd.h>
 
 #include "src/common/logging.hpp"
+#include "src/common/rng.hpp"
 #include "src/isa/disasm.hpp"
 #include "src/service/bench_config.hpp"
 #include "src/service/server.hpp"
 #include "src/service/session.hpp"
+#include "src/workloads/generator.hpp"
 #include "src/workloads/workloads.hpp"
 
 using namespace dise;
@@ -133,6 +166,9 @@ struct Options
     std::string batchOutFile;
     unsigned jobs = 1;
     uint64_t traceInsts = 0;
+    uint64_t genSeed = 2003;
+    bool genSeedSet = false;
+    uint64_t genDiff = 0; ///< 0 = no differential harness
     uint64_t snapshotAt = 0; ///< 0 = no snapshot
     bool restore = false;
     bool dumpAsm = false;
@@ -260,6 +296,38 @@ parseArgs(int argc, char **argv)
             }
             opts.req.samplePeriod = period;
             opts.req.sampleDetail = detail;
+        } else if (arg == "--acf") {
+            // kind[:variant][/compose], e.g. mfi:dise4, fusion,
+            // watchpoint/merged. Repeatable; order is the list order.
+            std::string body = need(i);
+            AcfSpec spec;
+            const size_t slash = body.find('/');
+            if (slash != std::string::npos) {
+                spec.compose = parsed(argv0, [&] {
+                    return parseAcfCompose(body.substr(slash + 1));
+                });
+                body = body.substr(0, slash);
+            }
+            const size_t colon = body.find(':');
+            if (colon != std::string::npos) {
+                spec.variant = body.substr(colon + 1);
+                body = body.substr(0, colon);
+            }
+            spec.kind = body;
+            if (!AcfRegistry::instance().known(spec.kind)) {
+                std::fprintf(
+                    stderr, "--acf %s: unknown ACF kind (valid: %s)\n",
+                    spec.kind.c_str(),
+                    AcfRegistry::instance().kindList().c_str());
+                usage(argv0);
+            }
+            opts.req.acfs.push_back(std::move(spec));
+            opts.req.acfsExplicit = true;
+        } else if (arg == "--gen-seed") {
+            opts.genSeed = nonNegativeInt(i, "--gen-seed");
+            opts.genSeedSet = true;
+        } else if (arg == "--gen-diff") {
+            opts.genDiff = positiveInt(i, "--gen-diff");
         } else if (arg == "--productions") {
             opts.productionsFile = need(i);
         } else if (arg == "--mfi" || arg.rfind("--mfi=", 0) == 0) {
@@ -347,6 +415,26 @@ parseArgs(int argc, char **argv)
             opts.sourceFile = arg;
         }
     }
+    if (opts.req.acfsExplicit &&
+        (opts.req.mfi || opts.req.watchpoint || opts.req.rewriteMfi ||
+         opts.req.compress || opts.req.profile)) {
+        std::fprintf(stderr,
+                     "--acf cannot be mixed with the legacy ACF flags "
+                     "(--mfi/--watchpoint/--rewrite-mfi/--compress/"
+                     "--profile)\n");
+        usage(argv0);
+    }
+    if (opts.snapshotAt > 0) {
+        for (const AcfSpec &spec : opts.req.acfs) {
+            if (spec.kind == "fusion") {
+                std::fprintf(stderr,
+                             "--snapshot-at counts single application "
+                             "instructions and cannot be combined with "
+                             "--acf fusion\n");
+                usage(argv0);
+            }
+        }
+    }
     if (opts.restore && opts.snapshotAt == 0) {
         std::fprintf(stderr, "--restore requires --snapshot-at\n");
         usage(argv0);
@@ -368,6 +456,15 @@ parseArgs(int argc, char **argv)
     }
     if (!opts.batchFile.empty())
         return opts;
+    if (opts.genDiff > 0 || opts.genSeedSet) {
+        if (!opts.sourceFile.empty() || !opts.req.workload.empty()) {
+            std::fprintf(stderr,
+                         "--gen-seed/--gen-diff generate the program; "
+                         "drop the file/--workload input\n");
+            usage(argv0);
+        }
+        return opts;
+    }
     if (opts.sourceFile.empty() == opts.req.workload.empty())
         usage(argv[0]); // exactly one input source
     return opts;
@@ -557,6 +654,157 @@ runBatch(const Options &opts)
     return failed == 0 ? 0 : 1;
 }
 
+/**
+ * Generator differential harness (--gen-diff N).
+ *
+ * For each of N derived seeds, runs the generated program under four
+ * functional regimes — {native, fused} x {slow step loop, chained
+ * trace-cache fast path} — and requires all four architectural
+ * results to be bit-identical (same outcome, counters, and printed
+ * checksum). A generated program that traps or hangs fails the run
+ * too: the generator guarantees clean termination, so either is a
+ * generator bug worth a reproducing seed.
+ *
+ * Work is sharded over --jobs threads; results land in a seed-indexed
+ * array, so the summary digest is independent of the worker count —
+ * CI runs the same block with --jobs 1 and --jobs 4 and compares
+ * digests to prove scheduler-independence.
+ */
+int
+runGenDiff(const Options &opts)
+{
+    struct Regime
+    {
+        bool fusion;
+        bool fast;
+        const char *name;
+    };
+    static const std::array<Regime, 4> kRegimes = {{
+        {false, false, "native-slow"},
+        {false, true, "native-fast"},
+        {true, false, "fused-slow"},
+        {true, true, "fused-fast"},
+    }};
+
+    const uint64_t count = opts.genDiff;
+    struct Row
+    {
+        uint64_t seed = 0;
+        bool failed = false;
+        std::string why;
+        std::string canonical; ///< native-slow result JSON
+        uint64_t fusedPairs = 0;
+        uint64_t fusedDynInsts = 0;
+    };
+    std::vector<Row> rows(count);
+    std::atomic<size_t> nextIndex{0};
+    std::mutex dumpMutex;
+
+    auto worker = [&]() {
+        for (;;) {
+            const size_t i = nextIndex.fetch_add(1);
+            if (i >= count)
+                return;
+            Row &row = rows[i];
+            row.seed = Rng::deriveSeed(opts.genSeed, i);
+            GeneratorOptions gen;
+            gen.seed = row.seed;
+            const std::string src = generateRandomSource(gen);
+
+            std::array<std::string, 4> results;
+            for (size_t k = 0; k < kRegimes.size(); ++k) {
+                RunRequest req;
+                req.source = src;
+                req.maxInsts = 20000000; // generous Hang backstop
+                req.traceCache = kRegimes[k].fast;
+                if (kRegimes[k].fusion) {
+                    req.acfsExplicit = true;
+                    req.acfs = {{"fusion", "", AcfCompose::Append}};
+                }
+                SimOptions simOpts;
+                const bool wantCoverage =
+                    kRegimes[k].fusion && kRegimes[k].fast;
+                simOpts.registry = wantCoverage;
+                const FunctionalOutcome out =
+                    runFunctionalSim(prepareJob(req), simOpts);
+                results[k] = out.arch.toJson().dump();
+                // The generator promises clean termination: a trap,
+                // hang, or nonzero exit from the reference regime is a
+                // generator bug, not a simulator one — fail loudly.
+                if (k == 0 &&
+                    !(out.arch.exited && out.arch.exitCode == 0)) {
+                    row.failed = true;
+                    row.why +=
+                        "generated program did not exit cleanly:\n  " +
+                        results[0] + "\n";
+                }
+                if (wantCoverage && out.registry.isObject() &&
+                    out.registry.contains("acf")) {
+                    const Json &fz = out.registry.at("acf").at("fusion");
+                    row.fusedPairs += fz.at("fused_pairs").asUInt();
+                    row.fusedDynInsts += out.arch.dynInsts;
+                }
+                if (k > 0 && results[k] != results[0]) {
+                    row.failed = true;
+                    row.why += std::string(kRegimes[k].name) +
+                               " diverged from native-slow:\n  " +
+                               results[0] + "\n  vs\n  " + results[k] +
+                               "\n";
+                }
+            }
+            row.canonical = results[0];
+            if (row.failed) {
+                // Reproduction artifact: the seed plus the listing.
+                std::lock_guard<std::mutex> lock(dumpMutex);
+                const std::string file =
+                    "gen-diff-failure-" + std::to_string(row.seed) +
+                    ".s";
+                std::ofstream dump(file);
+                dump << "# diserun --gen-seed " << row.seed
+                     << " reproduces this program\n"
+                     << src;
+                std::fprintf(stderr,
+                             "gen-diff FAILURE seed=%llu (listing: %s)"
+                             "\n%s",
+                             (unsigned long long)row.seed, file.c_str(),
+                             row.why.c_str());
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    for (unsigned t = 1; t < opts.jobs; ++t)
+        pool.emplace_back(worker);
+    worker();
+    for (std::thread &t : pool)
+        t.join();
+
+    // Order-stable FNV-1a digest over the canonical per-seed results:
+    // identical across worker counts or the sharding leaked state.
+    uint64_t digest = 14695981039346656037ull;
+    uint64_t failures = 0, fusedPairs = 0, fusedDynInsts = 0;
+    for (const Row &row : rows) {
+        for (const char c : row.canonical) {
+            digest ^= static_cast<unsigned char>(c);
+            digest *= 1099511628211ull;
+        }
+        failures += row.failed ? 1 : 0;
+        fusedPairs += row.fusedPairs;
+        fusedDynInsts += row.fusedDynInsts;
+    }
+    std::printf("gen-diff: programs=%llu regimes=%zu failures=%llu "
+                "fused_pairs=%llu coverage=%.2f%% digest=%016llx\n",
+                (unsigned long long)count, kRegimes.size(),
+                (unsigned long long)failures,
+                (unsigned long long)fusedPairs,
+                fusedDynInsts
+                    ? 100.0 * 2.0 * double(fusedPairs) /
+                          double(fusedDynInsts)
+                    : 0.0,
+                (unsigned long long)digest);
+    return failures == 0 ? 0 : 1;
+}
+
 int
 runMain(int argc, char **argv)
 {
@@ -565,8 +813,21 @@ runMain(int argc, char **argv)
         return runServe(opts);
     if (!opts.batchFile.empty())
         return runBatch(opts);
+    if (opts.genDiff > 0)
+        return runGenDiff(opts);
 
     RunRequest &req = opts.req;
+    if (opts.genSeedSet) {
+        GeneratorOptions gen;
+        gen.seed = opts.genSeed;
+        req.source = generateRandomSource(gen);
+        if (req.id.empty())
+            req.id = "gen-" + std::to_string(opts.genSeed);
+        if (opts.dumpAsm) {
+            std::fputs(req.source.c_str(), stdout);
+            return 0;
+        }
+    }
     if (!opts.sourceFile.empty())
         req.source = readFile(opts.sourceFile);
     if (!opts.productionsFile.empty())

@@ -27,7 +27,9 @@ legitimately differs between snapshot and full-replay modes), and the
 "sampling" sections (so sampled artifacts compare against full-detail
 reruns on the architectural stream they must share) — wall-clock
 throughput, replay economics, and sampling windows are the only fields
-allowed to differ between reruns. NDJSON streams are compared after sorting by
+allowed to differ between reruns. The "fusion" section of
+timing_mfi_fused entries is deliberately NOT stripped: fusion coverage
+and the IPC delta are deterministic and must reproduce exactly. NDJSON streams are compared after sorting by
 index, so two runs that completed jobs in different orders (different
 worker counts) still compare equal.
 
@@ -84,6 +86,25 @@ SAMPLING_KEYS = {
     "measured_cycles",
     "measured_cpi",
     "estimated_cycles",
+}
+
+# Macro-op-fusion section (timing_mfi_fused throughput entries). Fully
+# deterministic — pair counts and IPC derive from the architectural and
+# cycle streams — so --compare does NOT strip it: two reruns must agree
+# on every field, including the IPC delta.
+FUSION_KEYS = {
+    "fused_pairs",
+    "fused_insts",
+    "pairs_cmp_branch",
+    "pairs_addr_const",
+    "pairs_shift_add",
+    "pairs_addr_load",
+    "pairs_addr_store",
+    "pairs_load_op",
+    "coverage",
+    "ipc",
+    "ipc_unfused",
+    "ipc_delta_pct",
 }
 
 SERVICE_KEYS = {
@@ -176,6 +197,36 @@ def check_sampling_section(entry, where):
         )
 
 
+def check_fusion_section(entry, where):
+    """The fusion coverage section of timing_mfi_fused entries."""
+    if "fusion" not in entry:
+        return
+    fusion = entry["fusion"]
+    check_keys(fusion, FUSION_KEYS, f"{where}.fusion")
+    extra = fusion.keys() - FUSION_KEYS
+    require(not extra, f"{where}.fusion: unknown keys {sorted(extra)}")
+    pairs = fusion["fused_pairs"]
+    require(
+        fusion["fused_insts"] == 2 * pairs,
+        f"{where}.fusion: fused_insts ({fusion['fused_insts']}) is not "
+        f"2 * fused_pairs ({pairs})",
+    )
+    family_sum = sum(
+        fusion[k] for k in FUSION_KEYS if k.startswith("pairs_")
+    )
+    require(
+        family_sum == pairs,
+        f"{where}.fusion: per-family counts sum to {family_sum}, "
+        f"fused_pairs is {pairs}",
+    )
+    require(
+        0.0 <= fusion["coverage"] <= 1.0,
+        f"{where}.fusion: coverage out of [0, 1]",
+    )
+    for key in ("ipc", "ipc_unfused"):
+        require(fusion[key] >= 0, f"{where}.fusion: negative {key}")
+
+
 def check_timing_entry(entry, where):
     check_keys(entry, TIMING_KEYS, where)
     require(entry["cycles"] >= 0, f"{where}: negative cycles")
@@ -206,6 +257,7 @@ def check_throughput_entry(entry, where):
             f"{where}.host: negative speedup_vs_step",
         )
     check_sampling_section(entry, where)
+    check_fusion_section(entry, where)
 
 
 def check_campaign_entry(entry, where):
